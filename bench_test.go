@@ -1,0 +1,375 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (Section V), plus the slowdown study and the ablations
+// called out in DESIGN.md.  Each benchmark runs the full case-study
+// configuration (wfs.Study: one primary source, thirty-two speakers) and
+// reports the headline quantities as custom metrics; run with -v to see
+// the rendered tables, and see cmd/wfsstudy + EXPERIMENTS.md for the
+// complete output.
+package repro_test
+
+import (
+	"sync"
+	"testing"
+
+	"tquad/internal/core"
+	"tquad/internal/imgproc"
+	"tquad/internal/pin"
+	"tquad/internal/shadow"
+	"tquad/internal/study"
+	"tquad/internal/wfs"
+)
+
+var (
+	benchOnce sync.Once
+	benchS    *study.Study
+)
+
+// benchStudy lazily builds the shared Study-configuration workload.
+func benchStudy(b *testing.B) *study.Study {
+	b.Helper()
+	benchOnce.Do(func() {
+		s, err := study.New(wfs.Study())
+		if err != nil {
+			b.Fatalf("study: %v", err)
+		}
+		benchS = s
+	})
+	return benchS
+}
+
+// BenchmarkTableI_FlatProfile regenerates the gprof flat profile of the
+// WFS application (paper Table I).
+func BenchmarkTableI_FlatProfile(b *testing.B) {
+	s := benchStudy(b)
+	for i := 0; i < b.N; i++ {
+		p, err := s.FlatProfile()
+		if err != nil {
+			b.Fatalf("flat profile: %v", err)
+		}
+		if i == 0 {
+			b.Logf("Table I\n%s", study.RenderTableI(p))
+			ws, _ := p.Row("wav_store")
+			ff, _ := p.Row("fft1d")
+			b.ReportMetric(ws.Pct, "wav_store_%time")
+			b.ReportMetric(ff.Pct, "fft1d_%time")
+		}
+	}
+}
+
+// BenchmarkTableII_QUAD regenerates the producer/consumer summary (paper
+// Table II), both stack modes.
+func BenchmarkTableII_QUAD(b *testing.B) {
+	s := benchStudy(b)
+	for i := 0; i < b.N; i++ {
+		excl, _, err := s.QUAD(false)
+		if err != nil {
+			b.Fatalf("QUAD excl: %v", err)
+		}
+		incl, _, err := s.QUAD(true)
+		if err != nil {
+			b.Fatalf("QUAD incl: %v", err)
+		}
+		if i == 0 {
+			b.Logf("Table II\n%s", study.RenderTableII(excl, incl))
+			sf, _ := excl.Kernel("AudioIo_setFrames")
+			b.ReportMetric(float64(sf.Out), "setFrames_OUT_bytes")
+			b.ReportMetric(float64(sf.OutUnMA), "setFrames_OUT_UnMA")
+		}
+	}
+}
+
+// BenchmarkTableIII_InstrumentedProfile regenerates the flat profile of
+// the QUAD-instrumented binary (paper Table III).
+func BenchmarkTableIII_InstrumentedProfile(b *testing.B) {
+	s := benchStudy(b)
+	for i := 0; i < b.N; i++ {
+		base, instr, err := s.InstrumentedFlat()
+		if err != nil {
+			b.Fatalf("instrumented flat: %v", err)
+		}
+		if i == 0 {
+			b.Logf("Table III\n%s", study.RenderTableIII(base, instr))
+			sf, _ := instr.Row("AudioIo_setFrames")
+			b.ReportMetric(sf.Pct, "setFrames_instr_%time")
+		}
+	}
+}
+
+// BenchmarkFigure6_ReadBandwidth regenerates the temporal read-bandwidth
+// graph, stack included, ~64 slices (paper Figure 6).
+func BenchmarkFigure6_ReadBandwidth(b *testing.B) {
+	s := benchStudy(b)
+	iv, err := s.SliceForCount(64)
+	if err != nil {
+		b.Fatalf("slice: %v", err)
+	}
+	for i := 0; i < b.N; i++ {
+		prof, _, err := s.TQUAD(core.Options{SliceInterval: iv, IncludeStack: true})
+		if err != nil {
+			b.Fatalf("tQUAD: %v", err)
+		}
+		if i == 0 {
+			b.Logf("Figure 6\n%s", study.RenderFigure(
+				"memory bandwidth usage, reads, stack included (top ten kernels)",
+				prof, wfs.TopTenKernels(), true, true, 64))
+			ws, _ := prof.Kernel("wav_store")
+			b.ReportMetric(float64(prof.NumSlices), "slices")
+			b.ReportMetric(float64(ws.FirstSlice)/float64(prof.NumSlices), "wav_store_start_frac")
+		}
+	}
+}
+
+// BenchmarkFigure7_WriteBandwidth regenerates the temporal
+// write-bandwidth graph, stack excluded, ~256 slices (paper Figure 7).
+func BenchmarkFigure7_WriteBandwidth(b *testing.B) {
+	s := benchStudy(b)
+	iv, err := s.SliceForCount(256)
+	if err != nil {
+		b.Fatalf("slice: %v", err)
+	}
+	for i := 0; i < b.N; i++ {
+		prof, _, err := s.TQUAD(core.Options{SliceInterval: iv, IncludeStack: true})
+		if err != nil {
+			b.Fatalf("tQUAD: %v", err)
+		}
+		if i == 0 {
+			// The paper cuts the second half off (only wav_store is
+			// active); the renderer shows the full run.
+			b.Logf("Figure 7\n%s", study.RenderFigure(
+				"memory bandwidth usage, writes, stack excluded (last ten kernels)",
+				prof, wfs.LastTenKernels(), false, false, 128))
+			b.ReportMetric(float64(prof.NumSlices), "slices")
+		}
+	}
+}
+
+// BenchmarkTableIV_Phases regenerates the phase table (paper Table IV):
+// fine slices, phase detection, per-kernel bandwidth statistics.
+func BenchmarkTableIV_Phases(b *testing.B) {
+	s := benchStudy(b)
+	for i := 0; i < b.N; i++ {
+		phases, prof, err := s.Phases(5000)
+		if err != nil {
+			b.Fatalf("phases: %v", err)
+		}
+		if i == 0 {
+			b.Logf("Table IV\n%s", study.RenderTableIV(phases, prof.NumSlices))
+			b.ReportMetric(float64(len(phases)), "phases")
+			if len(phases) == 5 {
+				b.ReportMetric(float64(phases[4].Span())/float64(prof.NumSlices), "wave_save_span_frac")
+			}
+		}
+	}
+}
+
+// BenchmarkSlowdown_BySlice sweeps the tQUAD configuration grid and
+// reports the simulated slowdown spread (paper Section V.A: 37.2x-68.95x
+// depending on the time slice and the stack option).
+func BenchmarkSlowdown_BySlice(b *testing.B) {
+	s := benchStudy(b)
+	native, err := s.NativeICount()
+	if err != nil {
+		b.Fatalf("native: %v", err)
+	}
+	ivs := []uint64{native / 2000, native / 64, native / 16}
+	for i := 0; i < b.N; i++ {
+		rows, err := s.Slowdown(ivs)
+		if err != nil {
+			b.Fatalf("slowdown: %v", err)
+		}
+		if i == 0 {
+			b.Logf("Slowdown\n%s", study.RenderSlowdown(rows))
+			min, max := rows[0].Slowdown, rows[0].Slowdown
+			for _, r := range rows {
+				if r.Tool != "tQUAD" {
+					continue
+				}
+				if r.Slowdown < min {
+					min = r.Slowdown
+				}
+				if r.Slowdown > max {
+					max = r.Slowdown
+				}
+			}
+			b.ReportMetric(min, "slowdown_min_x")
+			b.ReportMetric(max, "slowdown_max_x")
+		}
+	}
+}
+
+// BenchmarkNativeExecution measures raw interpreter throughput on the
+// case-study workload (the slowdown baseline).
+func BenchmarkNativeExecution(b *testing.B) {
+	s := benchStudy(b)
+	var instr uint64
+	for i := 0; i < b.N; i++ {
+		m, _ := s.W.NewMachine()
+		if err := m.Run(wfs.MaxInstr); err != nil {
+			b.Fatalf("run: %v", err)
+		}
+		instr = m.ICount
+	}
+	b.ReportMetric(float64(instr), "guest_instructions")
+}
+
+// BenchmarkImgprocPipeline measures the second case-study workload (the
+// integer image pipeline) natively and under tQUAD.
+func BenchmarkImgprocPipeline(b *testing.B) {
+	w, err := imgproc.NewWorkload(imgproc.Small())
+	if err != nil {
+		b.Fatalf("workload: %v", err)
+	}
+	b.Run("native", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m, _ := w.NewMachine()
+			if err := m.Run(500_000_000); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("tquad", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m, _ := w.NewMachine()
+			e := pin.NewEngine(m)
+			core.Attach(e, core.Options{SliceInterval: 3000, IncludeStack: true})
+			if err := m.Run(500_000_000); err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.ReportMetric(float64(m.Time())/float64(m.ICount), "slowdown_x")
+			}
+		}
+	})
+}
+
+// --- ablation benchmarks (design choices called out in DESIGN.md) ---
+
+// BenchmarkAblation_ShadowPagedVsMap compares the paged shadow memory
+// against the naive map-per-address representation on a realistic access
+// pattern.
+func BenchmarkAblation_ShadowPagedVsMap(b *testing.B) {
+	const span = 1 << 20
+	b.Run("paged", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			o := shadow.NewOwners()
+			for a := uint64(0); a < span; a += 8 {
+				o.SetRange(a, 8, uint16(a%7+1))
+			}
+			var sum uint64
+			for a := uint64(0); a < span; a += 8 {
+				sum += uint64(o.Owner(a))
+			}
+			_ = sum
+		}
+	})
+	b.Run("map", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			o := shadow.NewMapOwners()
+			for a := uint64(0); a < span; a += 8 {
+				o.SetRange(a, 8, uint16(a%7+1))
+			}
+			var sum uint64
+			for a := uint64(0); a < span; a += 8 {
+				sum += uint64(o.Owner(a))
+			}
+			_ = sum
+		}
+	})
+}
+
+// BenchmarkAblation_CodeCache compares the Pin-style code cache
+// (decode+instrument once) against decoding on every step.
+func BenchmarkAblation_CodeCache(b *testing.B) {
+	w, err := wfs.NewWorkload(wfs.Small())
+	if err != nil {
+		b.Fatalf("workload: %v", err)
+	}
+	for _, cached := range []bool{true, false} {
+		name := "cached"
+		if !cached {
+			name = "decode-per-step"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m, _ := w.NewMachine()
+				m.CacheEnabled = cached
+				if err := m.Run(wfs.MaxInstr); err != nil {
+					b.Fatalf("run: %v", err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_PrefetchFastPath compares the paper's
+// return-immediately-on-prefetch analysis path against tracing
+// prefetches like ordinary reads.
+func BenchmarkAblation_PrefetchFastPath(b *testing.B) {
+	w, err := wfs.NewWorkload(wfs.Small())
+	if err != nil {
+		b.Fatalf("workload: %v", err)
+	}
+	for _, trace := range []bool{false, true} {
+		name := "fast-path"
+		if trace {
+			name = "trace-prefetches"
+		}
+		b.Run(name, func(b *testing.B) {
+			var overhead uint64
+			for i := 0; i < b.N; i++ {
+				m, _ := w.NewMachine()
+				e := pin.NewEngine(m)
+				core.Attach(e, core.Options{IncludeStack: true, TracePrefetches: trace})
+				if err := m.Run(wfs.MaxInstr); err != nil {
+					b.Fatalf("run: %v", err)
+				}
+				overhead = m.Overhead
+			}
+			b.ReportMetric(float64(overhead), "simulated_overhead")
+		})
+	}
+}
+
+// BenchmarkAblation_Granularity compares instruction-granular analysis
+// calls against basic-block (TRACE) granularity for the same measurement
+// (executed instruction counting): the block form fires an order of
+// magnitude fewer analysis calls.
+func BenchmarkAblation_Granularity(b *testing.B) {
+	w, err := wfs.NewWorkload(wfs.Small())
+	if err != nil {
+		b.Fatalf("workload: %v", err)
+	}
+	b.Run("per-instruction", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m, _ := w.NewMachine()
+			e := pin.NewEngine(m)
+			var count uint64
+			e.INSAddInstrumentFunction(func(ins *pin.INS) {
+				ins.InsertCall(func(ctx *pin.Context) { count++ })
+			})
+			if err := m.Run(wfs.MaxInstr); err != nil {
+				b.Fatal(err)
+			}
+			if count != m.ICount {
+				b.Fatalf("count %d != icount %d", count, m.ICount)
+			}
+		}
+	})
+	b.Run("per-basic-block", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m, _ := w.NewMachine()
+			e := pin.NewEngine(m)
+			var count uint64
+			e.TRACEAddInstrumentFunction(func(tr *pin.TRACE) {
+				n := uint64(tr.NumInstrs())
+				tr.InsertCall(func(ctx *pin.Context) { count += n })
+			})
+			if err := m.Run(wfs.MaxInstr); err != nil {
+				b.Fatal(err)
+			}
+			if count != m.ICount {
+				b.Fatalf("count %d != icount %d", count, m.ICount)
+			}
+		}
+	})
+}

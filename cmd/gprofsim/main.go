@@ -1,0 +1,71 @@
+// Command gprofsim produces the gprof-style flat profile of the WFS
+// case-study workload (paper Table I), or — with -instrumented — the
+// flat profile of the QUAD-instrumented run with rank and trend columns
+// (paper Table III).
+//
+// Usage:
+//
+//	gprofsim [-config small|study] [-instrumented] [-sample N] [-all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"tquad/internal/report"
+	"tquad/internal/study"
+	"tquad/internal/wfs"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gprofsim: ")
+	var (
+		config       = flag.String("config", "small", "workload configuration: small or study")
+		instrumented = flag.Bool("instrumented", false, "profile the QUAD-instrumented binary (Table III)")
+		all          = flag.Bool("all", false, "include every routine, not just the paper's kernels")
+	)
+	flag.Parse()
+
+	var cfg wfs.Config
+	switch *config {
+	case "small":
+		cfg = wfs.Small()
+	case "study":
+		cfg = wfs.Study()
+	default:
+		log.Fatalf("unknown config %q", *config)
+	}
+	s, err := study.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *instrumented {
+		base, instr, err := s.InstrumentedFlat()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("flat profile of the QUAD-instrumented run (total %.3fs vs native %.3fs)\n\n",
+			instr.TotalSeconds, base.TotalSeconds)
+		fmt.Print(study.RenderTableIII(base, instr))
+		return
+	}
+
+	p, err := s.FlatProfile()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("flat profile: %d samples, %.4f simulated seconds\n\n", p.TotalSamples, p.TotalSeconds)
+	if !*all {
+		fmt.Print(study.RenderTableI(p))
+		return
+	}
+	t := report.NewTable("routine", "%time", "self seconds", "calls", "self ms/call", "total ms/call")
+	for _, r := range p.Rows {
+		t.AddRow(r.Name, report.F2(r.Pct), report.F(r.SelfSeconds), report.U(r.Calls),
+			report.F(r.SelfMsCall), report.F(r.TotalMsCall))
+	}
+	fmt.Print(t.String())
+}

@@ -1,0 +1,138 @@
+// Command tqdump inspects guest binary images: symbol tables, segment
+// layout and instruction-level disassembly — the "objdump" of the
+// simulated toolchain.  It can also save the built images to disk and
+// re-inspect them, demonstrating that the profilers need nothing but the
+// binary machine code.
+//
+// Usage:
+//
+//	tqdump [-app wfs|imgproc] [-config small|study] [-func NAME]
+//	       [-save DIR] [-load FILE...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"tquad/internal/cfg"
+	"tquad/internal/image"
+	"tquad/internal/imgproc"
+	"tquad/internal/isa"
+	"tquad/internal/wfs"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tqdump: ")
+	var (
+		app     = flag.String("app", "wfs", "application to build: wfs or imgproc")
+		config  = flag.String("config", "small", "wfs configuration: small or study")
+		fnName  = flag.String("func", "", "disassemble this routine (default: symbols only)")
+		cfgDump = flag.Bool("cfg", false, "with -func: dump the routine's control-flow graph as DOT")
+		saveDir = flag.String("save", "", "write the built images to this directory as .tqi files")
+	)
+	flag.Parse()
+
+	var images []*image.Image
+	if args := flag.Args(); len(args) > 0 {
+		// Load mode: inspect serialised images.
+		for _, path := range args {
+			blob, err := os.ReadFile(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			img, err := image.Unmarshal(blob)
+			if err != nil {
+				log.Fatalf("%s: %v", path, err)
+			}
+			images = append(images, img)
+		}
+	} else {
+		images = buildImages(*app, *config)
+	}
+
+	if *saveDir != "" {
+		if err := os.MkdirAll(*saveDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		for _, img := range images {
+			path := filepath.Join(*saveDir, img.Name+".tqi")
+			if err := os.WriteFile(path, img.Marshal(), 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote %s (%d bytes)\n", path, len(img.Marshal()))
+		}
+	}
+
+	for _, img := range images {
+		dumpImage(img, *fnName, *cfgDump)
+	}
+}
+
+func buildImages(app, config string) []*image.Image {
+	switch app {
+	case "wfs":
+		var cfg wfs.Config
+		switch config {
+		case "small":
+			cfg = wfs.Small()
+		case "study":
+			cfg = wfs.Study()
+		default:
+			log.Fatalf("unknown config %q", config)
+		}
+		w, err := wfs.NewWorkload(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return w.Prog.Images()
+	case "imgproc":
+		w, err := imgproc.NewWorkload(imgproc.Small())
+		if err != nil {
+			log.Fatal(err)
+		}
+		return w.Prog.Images()
+	}
+	log.Fatalf("unknown app %q", app)
+	return nil
+}
+
+func dumpImage(img *image.Image, fnName string, cfgDump bool) {
+	fmt.Printf("image %s (%s): code [%#x,%#x) %d bytes, data [%#x,%#x) %d init + %d bss\n",
+		img.Name, img.Kind, img.Base, img.CodeEnd(), len(img.Code),
+		img.DataBase, img.DataEnd(), len(img.Data), img.BSSSize)
+	if fnName == "" {
+		for _, r := range img.Routines() {
+			fmt.Printf("  %#08x  %-28s %5d instructions\n",
+				r.Entry, r.Name, (r.End-r.Entry)/isa.InstrSize)
+		}
+		fmt.Println()
+		return
+	}
+	r, ok := img.Lookup(fnName)
+	if !ok {
+		return // not in this image
+	}
+	code := img.Code[r.Entry-img.Base : r.End-img.Base]
+	if cfgDump {
+		g, err := cfg.Build(code, r.Entry)
+		if err != nil {
+			log.Fatalf("cfg %s: %v", fnName, err)
+		}
+		fmt.Print(g.DOT(fnName))
+		return
+	}
+	instrs, err := isa.Disassemble(code)
+	if err != nil {
+		log.Fatalf("disassemble %s: %v", fnName, err)
+	}
+	fmt.Printf("\n%s:\n", fnName)
+	for i, ins := range instrs {
+		pc := r.Entry + uint64(i)*isa.InstrSize
+		fmt.Printf("  %#08x  %s\n", pc, ins)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,180 @@
+// Command tquad runs the tQUAD temporal memory-bandwidth profiler on the
+// WFS case-study workload and prints per-kernel bandwidth series and
+// statistics — the data behind the paper's Figures 6/7 and Table IV.
+//
+// Usage:
+//
+//	tquad [-config small|study] [-slice N] [-stack include|exclude]
+//	      [-ignore-libs] [-metric reads|writes|both] [-kernels top|last|all]
+//	      [-width N] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"tquad/internal/core"
+	"tquad/internal/pin"
+	"tquad/internal/plot"
+	"tquad/internal/report"
+	"tquad/internal/study"
+	"tquad/internal/trace"
+	"tquad/internal/wfs"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tquad: ")
+	var (
+		config     = flag.String("config", "small", "workload configuration: small or study")
+		slice      = flag.Uint64("slice", 0, "time slice interval in instructions (0 = ~64 slices)")
+		stack      = flag.String("stack", "include", "stack-area accesses: include or exclude")
+		ignoreLibs = flag.Bool("ignore-libs", false, "exclude OS/library routine bandwidth")
+		metric     = flag.String("metric", "reads", "plotted metric: reads, writes or both")
+		kernels    = flag.String("kernels", "top", "kernel set: top (ten), last (ten) or all")
+		width      = flag.Int("width", 64, "chart width in characters")
+		csv        = flag.Bool("csv", false, "emit raw per-slice CSV instead of charts")
+		jsonFile   = flag.String("json", "", "also write the full profile as JSON to this file")
+		svgFile    = flag.String("svg", "", "render the bandwidth heatmap (the paper's figure) as SVG to this file")
+	)
+	flag.Parse()
+
+	cfg, err := pickConfig(*config)
+	if err != nil {
+		log.Fatal(err)
+	}
+	includeStack := *stack == "include"
+	if *stack != "include" && *stack != "exclude" {
+		log.Fatalf("bad -stack %q", *stack)
+	}
+
+	w, err := wfs.NewWorkload(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, _ := w.NewMachine()
+	e := pin.NewEngine(m)
+	interval := *slice
+	if interval == 0 {
+		// Dry-sizing: aim for ~64 slices like the paper's Figure 6.
+		s, err := study.New(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		interval, err = s.SliceForCount(64)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	tool := core.Attach(e, core.Options{
+		SliceInterval: interval,
+		IncludeStack:  includeStack,
+		ExcludeLibs:   *ignoreLibs,
+	})
+	if err := m.Run(wfs.MaxInstr); err != nil {
+		log.Fatalf("run: %v", err)
+	}
+	prof := tool.Snapshot()
+	if *jsonFile != "" {
+		fh, err := os.Create(*jsonFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := trace.SaveTemporal(fh, prof); err != nil {
+			log.Fatal(err)
+		}
+		fh.Close()
+	}
+
+	names := kernelSet(*kernels, prof)
+	if *svgFile != "" {
+		svg := plot.Heatmap(prof, plot.SortLanesByFirstActivity(prof, names), plot.Options{
+			Title:        fmt.Sprintf("tQUAD %s bandwidth (%s)", *metric, *stack+" stack"),
+			Reads:        *metric != "writes",
+			IncludeStack: includeStack,
+		})
+		if err := os.WriteFile(*svgFile, []byte(svg), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("heatmap written to %s\n", *svgFile)
+	}
+	fmt.Printf("tQUAD: %d instructions, %d slices of %d instructions, slowdown %.1fx\n\n",
+		prof.TotalInstr, prof.NumSlices, prof.SliceInterval,
+		float64(m.Time())/float64(prof.TotalInstr))
+
+	if *csv {
+		emitCSV(prof, names, *metric, includeStack)
+		return
+	}
+	if *metric == "reads" || *metric == "both" {
+		fmt.Print(study.RenderFigure("reads (bytes per slice)", prof, names, true, includeStack, *width))
+		fmt.Println()
+	}
+	if *metric == "writes" || *metric == "both" {
+		fmt.Print(study.RenderFigure("writes (bytes per slice)", prof, names, false, includeStack, *width))
+		fmt.Println()
+	}
+
+	// Summary statistics (Table IV's per-kernel columns).
+	t := report.NewTable("kernel", "first", "last", "activity span",
+		"avg rd B/i", "avg wr B/i", "max R+W B/i")
+	for _, n := range names {
+		k, ok := prof.Kernel(n)
+		if !ok {
+			continue
+		}
+		st := k.Stats(includeStack, prof.SliceInterval)
+		t.AddRow(n, report.U(k.FirstSlice), report.U(k.LastSlice), report.U(k.ActivitySpan),
+			report.F(st.AvgRead), report.F(st.AvgWrite), report.F(st.MaxRW))
+	}
+	fmt.Print(t.String())
+}
+
+func pickConfig(name string) (wfs.Config, error) {
+	switch name {
+	case "small":
+		return wfs.Small(), nil
+	case "study":
+		return wfs.Study(), nil
+	}
+	return wfs.Config{}, fmt.Errorf("unknown config %q (want small or study)", name)
+}
+
+func kernelSet(sel string, prof *core.Profile) []string {
+	switch sel {
+	case "top":
+		return wfs.TopTenKernels()
+	case "last":
+		return wfs.LastTenKernels()
+	}
+	var names []string
+	for _, k := range prof.Kernels {
+		names = append(names, k.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func emitCSV(prof *core.Profile, names []string, metric string, includeStack bool) {
+	header := append([]string{"slice"}, names...)
+	rows := make([][]float64, prof.NumSlices)
+	series := make(map[string][]uint64, len(names))
+	for _, n := range names {
+		if k, ok := prof.Kernel(n); ok {
+			series[n] = k.Series(prof.NumSlices, metric != "writes", includeStack)
+		} else {
+			series[n] = make([]uint64, prof.NumSlices)
+		}
+	}
+	for s := uint64(0); s < prof.NumSlices; s++ {
+		row := []float64{float64(s)}
+		for _, n := range names {
+			row = append(row, float64(series[n][s]))
+		}
+		rows[s] = row
+	}
+	os.Stdout.WriteString(report.CSV(header, rows))
+}

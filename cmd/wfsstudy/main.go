@@ -1,0 +1,140 @@
+// Command wfsstudy reproduces the paper's entire evaluation section in
+// one run: Tables I-IV, Figures 6-7 (as text charts), the slowdown study
+// and the kernel-clustering outlook.  Its output is the source of
+// EXPERIMENTS.md.
+//
+// Usage:
+//
+//	wfsstudy [-config small|study]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"tquad/internal/cluster"
+	"tquad/internal/core"
+	"tquad/internal/study"
+	"tquad/internal/wfs"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("wfsstudy: ")
+	config := flag.String("config", "study", "workload configuration: small or study")
+	flag.Parse()
+
+	var cfg wfs.Config
+	switch *config {
+	case "small":
+		cfg = wfs.Small()
+	case "study":
+		cfg = wfs.Study()
+	default:
+		log.Fatalf("unknown config %q", *config)
+	}
+
+	s, err := study.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	native, err := s.NativeICount()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("## Case study: hArtes-wfs-like workload (%s configuration)\n\n", *config)
+	fmt.Printf("1 primary source, %d secondary sources (speakers), %d frames of %d samples, %d-point FFT.\n",
+		cfg.Speakers, cfg.Frames, cfg.FrameSize, cfg.FFTSize)
+	fmt.Printf("Native execution: %d guest instructions.\n\n", native)
+
+	// Table I.
+	flat, err := s.FlatProfile()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("### Table I — flat profile (gprof analogue)")
+	fmt.Println()
+	fmt.Println(study.RenderTableI(flat))
+
+	// Table II.
+	excl, _, err := s.QUAD(false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	incl, _, err := s.QUAD(true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("### Table II — QUAD producer/consumer summary")
+	fmt.Println()
+	fmt.Println(study.RenderTableII(excl, incl))
+
+	// Table III.
+	base, instr, err := s.InstrumentedFlat()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("### Table III — flat profile of the QUAD-instrumented run")
+	fmt.Println()
+	fmt.Println(study.RenderTableIII(base, instr))
+
+	// Figure 6.
+	iv64, err := s.SliceForCount(64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof6, m6, err := s.TQUAD(core.Options{SliceInterval: iv64, IncludeStack: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("### Figure 6 — reads, stack included, %d slices (slowdown %.1fx)\n\n",
+		prof6.NumSlices, float64(m6.Time())/float64(prof6.TotalInstr))
+	fmt.Println("```")
+	fmt.Print(study.RenderFigure("bytes per slice", prof6, wfs.TopTenKernels(), true, true, 64))
+	fmt.Println("```")
+	fmt.Println()
+
+	// Figure 7.
+	iv256, err := s.SliceForCount(256)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof7, _, err := s.TQUAD(core.Options{SliceInterval: iv256, IncludeStack: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("### Figure 7 — writes, stack excluded, %d slices\n\n", prof7.NumSlices)
+	fmt.Println("```")
+	fmt.Print(study.RenderFigure("bytes per slice", prof7, wfs.LastTenKernels(), false, false, 128))
+	fmt.Println("```")
+	fmt.Println()
+
+	// Table IV.
+	phases, prof, err := s.Phases(5000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("### Table IV — %d phases over %d slices of 5000 instructions\n\n", len(phases), prof.NumSlices)
+	fmt.Println("```")
+	fmt.Print(study.RenderTableIV(phases, prof.NumSlices))
+	fmt.Println("```")
+
+	// Slowdown.
+	rows, err := s.Slowdown([]uint64{native / 2000, native / 64, native / 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("### Section V.A — instrumentation slowdown (simulated)")
+	fmt.Println()
+	fmt.Println(study.RenderSlowdown(rows))
+
+	// Task clustering (the paper's stated consumer of these results).
+	res := cluster.Build(prof, incl, cluster.Options{TargetClusters: 5, IncludeStack: true})
+	fmt.Println("### Outlook — kernel clustering for task partitioning")
+	fmt.Println()
+	for i, c := range res.Clusters {
+		fmt.Printf("cluster %d (intra %d bytes): %v\n", i+1, c.IntraBytes, c.Kernels)
+	}
+	fmt.Printf("inter-cluster communication: %d bytes\n", res.InterBytes)
+}

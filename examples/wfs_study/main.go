@@ -1,0 +1,67 @@
+// WFS study: drive the library's case-study API end to end on the fast
+// configuration — the programme of the paper's Section V in ~20 lines of
+// client code.  (cmd/wfsstudy renders the full evaluation; this example
+// shows the API surface an adopter would use.)
+//
+//	go run ./examples/wfs_study
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tquad/internal/core"
+	"tquad/internal/study"
+	"tquad/internal/wfs"
+)
+
+func main() {
+	log.SetFlags(0)
+	s, err := study.New(wfs.Small())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Flat profile (Table I): who dominates execution time?
+	flat, err := s.FlatProfile()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("top kernels by execution time:")
+	for i, r := range flat.Rows {
+		if i == 5 {
+			break
+		}
+		fmt.Printf("  %d. %-24s %5.2f%%  (%d calls)\n", i+1, r.Name, r.Pct, r.Calls)
+	}
+
+	// Temporal bandwidth (Figures 6/7): when do they run, and how hard
+	// do they hit memory?
+	iv, err := s.SliceForCount(64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof, _, err := s.TQUAD(core.Options{SliceInterval: iv, IncludeStack: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ntemporal read-bandwidth (stack included):")
+	fmt.Print(study.RenderFigure("", prof, wfs.TopTenKernels()[:5], true, true, 60))
+
+	// Phases (Table IV): the structure a partitioner needs.
+	phases, pprof, err := s.Phases(5000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%d execution phases:\n", len(phases))
+	labels := []string{"initialization", "wave load", "wave propagation", "WFS main processing", "wave save"}
+	for i, ph := range phases {
+		label := "?"
+		if i < len(labels) {
+			label = labels[i]
+		}
+		fmt.Printf("  %-20s slices %5d-%5d (%4.1f%% of run, %d kernels)\n",
+			label, ph.Start, ph.End-1,
+			100*float64(ph.Span())/float64(pprof.NumSlices), len(ph.Kernels))
+	}
+}

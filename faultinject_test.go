@@ -1,0 +1,141 @@
+// Fault-injection tests: the toolchain must degrade into clean traps —
+// never panics, never silent corruption — when fed damaged binaries or
+// hostile configurations.
+package repro_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"tquad/internal/core"
+	"tquad/internal/gos"
+	"tquad/internal/image"
+	"tquad/internal/pin"
+	"tquad/internal/vm"
+	"tquad/internal/wav"
+	"tquad/internal/wfs"
+)
+
+// runCorrupted loads the WFS program with one code byte flipped and runs
+// it under instrumentation, reporting the outcome.
+func runCorrupted(t *testing.T, rng *rand.Rand, w *wfs.Workload) (halted bool, err error) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("corrupted binary caused a panic: %v", r)
+		}
+	}()
+	// Clone and corrupt the main image.
+	blob := w.Prog.Main.Marshal()
+	img, uerr := image.Unmarshal(blob)
+	if uerr != nil {
+		t.Fatal(uerr)
+	}
+	off := rng.Intn(len(img.Code))
+	img.Code[off] ^= byte(1 << rng.Intn(8))
+
+	m := vm.New()
+	osys := gos.New()
+	osys.AddFile(w.Cfg.InputFile, wav.Encode(w.Input))
+	m.SetSyscallHandler(osys)
+	m.LoadImage(img)
+	for _, lib := range w.Prog.Libs {
+		m.LoadImage(lib)
+	}
+	m.Reset(w.Prog.EntryPC)
+	e := pin.NewEngine(m)
+	core.Attach(e, core.Options{SliceInterval: 10_000, IncludeStack: true})
+	err = m.Run(100_000_000)
+	return m.Halted, err
+}
+
+// TestCorruptedBinaryNeverPanics flips random bits in the code segment:
+// every outcome must be a clean halt, a typed trap, or fuel exhaustion.
+func TestCorruptedBinaryNeverPanics(t *testing.T) {
+	w, err := wfs.NewWorkload(wfs.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(31337))
+	var halts, traps, fuel int
+	for i := 0; i < 30; i++ {
+		halted, err := runCorrupted(t, rng, w)
+		switch {
+		case err == nil && halted:
+			halts++
+		case errors.Is(err, vm.ErrFuel):
+			fuel++
+		default:
+			var trap *vm.Trap
+			if !errors.As(err, &trap) {
+				t.Fatalf("trial %d: unexpected outcome halted=%v err=%v", i, halted, err)
+			}
+			traps++
+		}
+	}
+	t.Logf("30 corrupted runs: %d clean halts, %d traps, %d fuel exhaustions", halts, traps, fuel)
+}
+
+// TestTruncatedInputFile: a damaged input WAVE file must surface as a
+// guest-level error (non-zero exit), not a crash.
+func TestTruncatedInputFile(t *testing.T) {
+	w, err := wfs.NewWorkload(wfs.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := wav.Encode(w.Input)
+	for _, cut := range []int{0, 10, 44, len(full) / 2} {
+		m := vm.New()
+		osys := gos.New()
+		osys.AddFile(w.Cfg.InputFile, full[:cut])
+		m.SetSyscallHandler(osys)
+		for _, img := range w.Prog.Images() {
+			m.LoadImage(img)
+		}
+		m.Reset(w.Prog.EntryPC)
+		if err := m.Run(wfs.MaxInstr); err != nil {
+			t.Fatalf("cut=%d: trap instead of guest error: %v", cut, err)
+		}
+		if m.ExitCode == 0 {
+			t.Errorf("cut=%d: guest reported success on truncated input", cut)
+		}
+	}
+}
+
+// TestMissingInputFile: no input at all.
+func TestMissingInputFile(t *testing.T) {
+	w, err := wfs.NewWorkload(wfs.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := vm.New()
+	m.SetSyscallHandler(gos.New()) // empty file system
+	for _, img := range w.Prog.Images() {
+		m.LoadImage(img)
+	}
+	m.Reset(w.Prog.EntryPC)
+	if err := m.Run(wfs.MaxInstr); err != nil {
+		t.Fatalf("trap instead of guest error: %v", err)
+	}
+	if m.ExitCode == 0 {
+		t.Fatalf("guest reported success without an input file")
+	}
+}
+
+// TestTinyStackTraps: an undersized stack reservation must produce a
+// stack-overflow trap, not memory corruption.
+func TestTinyStackTraps(t *testing.T) {
+	w, err := wfs.NewWorkload(wfs.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := w.NewMachine()
+	m.StackSize = 64 // absurd
+	m.Reset(w.Prog.EntryPC)
+	err = m.Run(wfs.MaxInstr)
+	var trap *vm.Trap
+	if !errors.As(err, &trap) {
+		t.Fatalf("err = %v, want stack-overflow trap", err)
+	}
+}

@@ -1,0 +1,3 @@
+module tquad
+
+go 1.22

@@ -1,0 +1,209 @@
+// Package asm is the textual assembler: it parses the exact syntax the
+// disassembler (isa.Instr.String) emits, completing the toolchain round
+// trip binary → text → binary.  Handy for patching guest binaries by
+// hand in tests and for reading tqdump output back in.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"tquad/internal/isa"
+)
+
+// mnemonics maps each textual mnemonic back to its opcode.
+var mnemonics = func() map[string]isa.Op {
+	m := make(map[string]isa.Op, isa.NumOps)
+	for op := isa.Op(1); int(op) < isa.NumOps; op++ {
+		m[op.String()] = op
+	}
+	return m
+}()
+
+// Parse assembles a single instruction line.
+func Parse(line string) (isa.Instr, error) {
+	var ins isa.Instr
+	s := strings.TrimSpace(line)
+	if strings.HasPrefix(s, "?p ") {
+		ins.Pred = true
+		s = strings.TrimSpace(s[3:])
+	}
+	fields := strings.SplitN(s, " ", 2)
+	if len(fields) == 0 || fields[0] == "" {
+		return ins, fmt.Errorf("asm: empty instruction")
+	}
+	op, ok := mnemonics[fields[0]]
+	if !ok {
+		return ins, fmt.Errorf("asm: unknown mnemonic %q", fields[0])
+	}
+	ins.Op = op
+	rest := ""
+	if len(fields) == 2 {
+		rest = strings.TrimSpace(fields[1])
+	}
+
+	switch {
+	case op == isa.OpSyscall:
+		imm, err := parseImm(rest)
+		if err != nil {
+			return ins, err
+		}
+		ins.Imm = imm
+
+	case ins.IsMemRead():
+		// op rD, [rS1+IMM]
+		parts := splitArgs(rest, 2)
+		if parts == nil {
+			return ins, fmt.Errorf("asm: load needs 2 operands: %q", rest)
+		}
+		rd, err := parseReg(parts[0])
+		if err != nil {
+			return ins, err
+		}
+		rs1, imm, err := parseMem(parts[1])
+		if err != nil {
+			return ins, err
+		}
+		ins.Rd, ins.Rs1, ins.Imm = rd, rs1, imm
+
+	case ins.IsMemWrite():
+		// op [rS1+IMM], rS2
+		parts := splitArgs(rest, 2)
+		if parts == nil {
+			return ins, fmt.Errorf("asm: store needs 2 operands: %q", rest)
+		}
+		rs1, imm, err := parseMem(parts[0])
+		if err != nil {
+			return ins, err
+		}
+		rs2, err := parseReg(parts[1])
+		if err != nil {
+			return ins, err
+		}
+		ins.Rs1, ins.Rs2, ins.Imm = rs1, rs2, imm
+
+	case op == isa.OpCall || op == isa.OpJmp:
+		imm, err := parseImm(rest)
+		if err != nil {
+			return ins, err
+		}
+		ins.Imm = imm
+
+	default:
+		// op rD, rS1, rS2, IMM
+		parts := splitArgs(rest, 4)
+		if parts == nil {
+			return ins, fmt.Errorf("asm: %s needs 4 operands: %q", op, rest)
+		}
+		rd, err := parseReg(parts[0])
+		if err != nil {
+			return ins, err
+		}
+		rs1, err := parseReg(parts[1])
+		if err != nil {
+			return ins, err
+		}
+		rs2, err := parseReg(parts[2])
+		if err != nil {
+			return ins, err
+		}
+		imm, err := parseImm(parts[3])
+		if err != nil {
+			return ins, err
+		}
+		ins.Rd, ins.Rs1, ins.Rs2, ins.Imm = rd, rs1, rs2, imm
+	}
+
+	// Round-trip through the binary form so the validation rules of the
+	// decoder apply (register range, paired registers).
+	var buf [isa.InstrSize]byte
+	ins.Encode(buf[:])
+	checked, err := isa.Decode(buf[:])
+	if err != nil {
+		return ins, fmt.Errorf("asm: %v", err)
+	}
+	return checked, nil
+}
+
+// Assemble parses a whole listing: one instruction per line, with blank
+// lines and ';' / '//' comments ignored, returning encoded machine code.
+func Assemble(text string) ([]byte, error) {
+	var out []byte
+	for lineNo, raw := range strings.Split(text, "\n") {
+		line := raw
+		if i := strings.Index(line, ";"); i >= 0 {
+			line = line[:i]
+		}
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		ins, err := Parse(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+		}
+		out = ins.EncodeTo(out)
+	}
+	return out, nil
+}
+
+// splitArgs splits a comma-separated operand list, requiring exactly n
+// parts (memory operands contain no commas in this syntax).
+func splitArgs(s string, n int) []string {
+	parts := strings.Split(s, ",")
+	if len(parts) != n {
+		return nil
+	}
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func parseReg(s string) (uint8, error) {
+	if len(s) < 2 || s[0] != 'r' {
+		return 0, fmt.Errorf("asm: bad register %q", s)
+	}
+	v, err := strconv.ParseUint(s[1:], 10, 8)
+	if err != nil || v >= isa.NumRegs {
+		return 0, fmt.Errorf("asm: bad register %q", s)
+	}
+	return uint8(v), nil
+}
+
+func parseImm(s string) (int32, error) {
+	v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("asm: bad immediate %q", s)
+	}
+	if v < -1<<31 || v > 1<<31-1 {
+		return 0, fmt.Errorf("asm: immediate %d out of 32-bit range", v)
+	}
+	return int32(v), nil
+}
+
+// parseMem parses "[rN+IMM]" or "[rN-IMM]".
+func parseMem(s string) (uint8, int32, error) {
+	if len(s) < 4 || s[0] != '[' || s[len(s)-1] != ']' {
+		return 0, 0, fmt.Errorf("asm: bad memory operand %q", s)
+	}
+	body := s[1 : len(s)-1]
+	sep := strings.IndexAny(body, "+-")
+	if sep < 0 {
+		reg, err := parseReg(body)
+		return reg, 0, err
+	}
+	reg, err := parseReg(body[:sep])
+	if err != nil {
+		return 0, 0, err
+	}
+	imm, err := parseImm(body[sep:])
+	if err != nil {
+		return 0, 0, err
+	}
+	return reg, imm, nil
+}

@@ -1,0 +1,127 @@
+package asm_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"tquad/internal/asm"
+	"tquad/internal/gos"
+	"tquad/internal/isa"
+	"tquad/internal/vm"
+	"tquad/internal/wfs"
+)
+
+// TestDisasmAsmRoundTrip: for random valid instructions,
+// Parse(ins.String()) == ins — the assembler inverts the disassembler.
+func TestDisasmAsmRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	for trial := 0; trial < 3000; trial++ {
+		in := isa.Instr{
+			Op:   isa.Op(rng.Intn(isa.NumOps-1) + 1),
+			Pred: rng.Intn(2) == 0,
+			Rd:   uint8(rng.Intn(isa.NumRegs - 1)),
+			Rs1:  uint8(rng.Intn(isa.NumRegs - 1)),
+			Rs2:  uint8(rng.Intn(isa.NumRegs - 1)),
+			Imm:  int32(rng.Uint32()),
+		}
+		// Canonicalise: fields the textual form does not carry for this
+		// opcode must be zero for equality to be meaningful.
+		switch {
+		case in.Op == isa.OpSyscall:
+			in.Rd, in.Rs1, in.Rs2 = 0, 0, 0
+		case in.IsMemRead():
+			in.Rs2 = 0
+		case in.IsMemWrite():
+			in.Rd = 0
+		case in.Op == isa.OpCall || in.Op == isa.OpJmp:
+			in.Rd, in.Rs1, in.Rs2 = 0, 0, 0
+		}
+		got, err := asm.Parse(in.String())
+		if err != nil {
+			t.Fatalf("trial %d: Parse(%q): %v", trial, in.String(), err)
+		}
+		if got != in {
+			t.Fatalf("trial %d: %q parsed to %+v, want %+v", trial, in.String(), got, in)
+		}
+	}
+}
+
+// TestWholeBinaryRoundTrip: disassemble the entire WFS main image,
+// reassemble it, and require identical bytes.
+func TestWholeBinaryRoundTrip(t *testing.T) {
+	w, err := wfs.NewWorkload(wfs.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, img := range w.Prog.Images() {
+		instrs, err := isa.Disassemble(img.Code)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var text string
+		for _, ins := range instrs {
+			text += ins.String() + "\n"
+		}
+		code, err := asm.Assemble(text)
+		if err != nil {
+			t.Fatalf("%s: %v", img.Name, err)
+		}
+		if string(code) != string(img.Code) {
+			t.Fatalf("%s: reassembled binary differs (%d vs %d bytes)", img.Name, len(code), len(img.Code))
+		}
+	}
+}
+
+// TestAssembleAndRun: hand-written assembly executes.
+func TestAssembleAndRun(t *testing.T) {
+	code, err := asm.Assemble(`
+		; sum the numbers 1..10
+		ldi r8, r0, r0, 10
+		ldi r9, r0, r0, 0
+		add r9, r9, r8, 0     // loop:
+		addi r8, r8, r0, -1
+		bne r0, r8, r0, -3
+		halt r0, r9, r0, 0
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := vm.New()
+	m.SetSyscallHandler(gos.New())
+	m.Mem.Write(0x1000, code)
+	m.Reset(0x1000)
+	if err := m.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if m.ExitCode != 55 {
+		t.Fatalf("assembled program = %d, want 55", m.ExitCode)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"frobnicate r1, r2, r3, 0",
+		"ld8 r1",           // missing memory operand
+		"ld8 r1, [x5+0]",   // bad register
+		"st8 [r1+0], r99",  // register out of range
+		"add r1, r2, r3",   // missing immediate
+		"syscall many",     // bad immediate
+		"ld16 r63, [r1+0]", // paired register out of range
+	}
+	for _, c := range cases {
+		if _, err := asm.Parse(c); err == nil {
+			t.Errorf("Parse(%q) succeeded", c)
+		}
+	}
+}
+
+func TestAssembleReportsLine(t *testing.T) {
+	_, err := asm.Assemble("nop r0, r0, r0, 0\nbogus\n")
+	if err == nil {
+		t.Fatal("bad listing accepted")
+	}
+	if got := err.Error(); len(got) < 6 || got[:6] != "line 2" {
+		t.Errorf("error %q does not name the line", err)
+	}
+}

@@ -1,0 +1,103 @@
+// Package callstack maintains the profilers' internal dynamic call stack.
+//
+// Run-time instrumentation has no static call graph ("we do not
+// necessarily have any kind of extra information about the structure of
+// the program in the binary code ... we needed to implement our own call
+// graph.  For this purpose, an internal call stack data structure is
+// dynamically created and maintained") — this package is that structure,
+// fed by the EnterFC/Return analysis events and able to exclude
+// OS/library routines from attribution, as tQUAAD's command-line option
+// allows.
+package callstack
+
+import "fmt"
+
+// Frame is one entry of the internal call stack.
+type Frame struct {
+	Name   string
+	Entry  uint64
+	InMain bool
+}
+
+// Resolver maps a callee entry address to its routine identity.  The ok
+// result is false for addresses with no symbol (they are tracked as
+// anonymous frames).
+type Resolver func(target uint64) (name string, inMain bool, ok bool)
+
+// Stack is the internal call stack.
+type Stack struct {
+	resolver    Resolver
+	excludeLibs bool
+
+	frames   []Frame
+	libDepth int // depth of excluded (library) frames above the top kernel
+
+	// MaxDepth records the deepest stack observed, for diagnostics.
+	MaxDepth int
+}
+
+// New creates a stack.  When excludeLibs is set, routines outside the
+// main image are not pushed; while execution is inside such a routine the
+// stack attributes nothing (Current reports ok=false), which is how the
+// "exclusion of memory bandwidth usage data caused by OS and library
+// routine calls" option behaves.
+func New(resolver Resolver, excludeLibs bool) *Stack {
+	return &Stack{resolver: resolver, excludeLibs: excludeLibs}
+}
+
+// OnCall records a function call to the given entry address (the EnterFC
+// analysis routine).
+func (s *Stack) OnCall(target uint64) {
+	name, inMain, ok := s.resolver(target)
+	if !ok {
+		name, inMain = fmt.Sprintf("sub_%x", target), false
+	}
+	if s.excludeLibs && !inMain {
+		s.libDepth++
+		return
+	}
+	if s.libDepth > 0 {
+		// Call made from inside an excluded region: everything below
+		// it stays excluded until the region unwinds.
+		s.libDepth++
+		return
+	}
+	s.frames = append(s.frames, Frame{Name: name, Entry: target, InMain: inMain})
+	if len(s.frames) > s.MaxDepth {
+		s.MaxDepth = len(s.frames)
+	}
+}
+
+// OnReturn records a function return.  Unmatched returns (returning past
+// the profiler's attach point) are ignored.
+func (s *Stack) OnReturn() {
+	if s.libDepth > 0 {
+		s.libDepth--
+		return
+	}
+	if n := len(s.frames); n > 0 {
+		s.frames = s.frames[:n-1]
+	}
+}
+
+// Current returns the function currently executing according to the
+// stack.  ok is false when the stack is empty or execution is inside an
+// excluded library region.
+func (s *Stack) Current() (Frame, bool) {
+	if s.libDepth > 0 || len(s.frames) == 0 {
+		return Frame{}, false
+	}
+	return s.frames[len(s.frames)-1], true
+}
+
+// Depth returns the number of attributable frames on the stack.
+func (s *Stack) Depth() int { return len(s.frames) }
+
+// InExcluded reports whether execution is currently inside an excluded
+// library region.
+func (s *Stack) InExcluded() bool { return s.libDepth > 0 }
+
+// Frames returns a copy of the current frames, outermost first.
+func (s *Stack) Frames() []Frame {
+	return append([]Frame(nil), s.frames...)
+}

@@ -1,0 +1,183 @@
+package cfg_test
+
+import (
+	"strings"
+	"testing"
+
+	"tquad/internal/cfg"
+	"tquad/internal/glibc"
+	"tquad/internal/hl"
+	"tquad/internal/image"
+	"tquad/internal/isa"
+	"tquad/internal/wfs"
+)
+
+func asm(instrs ...isa.Instr) []byte {
+	var buf []byte
+	for _, in := range instrs {
+		buf = in.EncodeTo(buf)
+	}
+	return buf
+}
+
+func TestStraightLineSingleBlock(t *testing.T) {
+	code := asm(
+		isa.Instr{Op: isa.OpLdi, Rd: 8, Imm: 1},
+		isa.Instr{Op: isa.OpAddi, Rd: 8, Rs1: 8, Imm: 2},
+		isa.Instr{Op: isa.OpRet},
+	)
+	g, err := cfg.Build(code, 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Blocks) != 1 {
+		t.Fatalf("blocks = %d, want 1", len(g.Blocks))
+	}
+	b := g.Blocks[0x1000]
+	if b.NumInstrs() != 3 || len(b.Succs) != 0 {
+		t.Fatalf("block = %+v", b)
+	}
+}
+
+func TestLoopShape(t *testing.T) {
+	// ldi; loop: addi; bne -> loop; ret
+	code := asm(
+		isa.Instr{Op: isa.OpLdi, Rd: 8, Imm: 10},
+		isa.Instr{Op: isa.OpAddi, Rd: 8, Rs1: 8, Imm: -1},           // 0x1008 (loop head)
+		isa.Instr{Op: isa.OpBne, Rs1: 8, Rs2: isa.RegZero, Imm: -2}, // back edge
+		isa.Instr{Op: isa.OpRet},
+	)
+	g, err := cfg.Build(code, 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Blocks) != 3 {
+		t.Fatalf("blocks = %d, want 3 (preheader, loop, exit)", len(g.Blocks))
+	}
+	loop := g.Blocks[0x1008]
+	if loop == nil {
+		t.Fatalf("loop head block missing: %v", g.Starts())
+	}
+	// The loop block must have two successors: itself and the exit.
+	hasSelf, hasExit := false, false
+	for _, s := range loop.Succs {
+		if s == 0x1008 {
+			hasSelf = true
+		}
+		if s == 0x1018 {
+			hasExit = true
+		}
+	}
+	if !hasSelf || !hasExit {
+		t.Fatalf("loop successors = %#v", loop.Succs)
+	}
+}
+
+func TestCallEndsBlock(t *testing.T) {
+	// Pin-style trace semantics: calls terminate blocks with a
+	// fall-through successor, so an entered block always runs to its
+	// end.
+	code := asm(
+		isa.Instr{Op: isa.OpLdi, Rd: 8, Imm: 1},
+		isa.Instr{Op: isa.OpCall, Imm: 0x9000}, // external call
+		isa.Instr{Op: isa.OpAddi, Rd: 8, Rs1: 8, Imm: 1},
+		isa.Instr{Op: isa.OpRet},
+	)
+	g, err := cfg.Build(code, 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Blocks) != 2 {
+		t.Fatalf("blocks = %d, want 2 (call block + continuation)", len(g.Blocks))
+	}
+	head := g.Blocks[0x1000]
+	if head.NumInstrs() != 2 || len(head.Succs) != 1 || head.Succs[0] != 0x1010 {
+		t.Fatalf("call block = %+v", head)
+	}
+}
+
+func TestDiamond(t *testing.T) {
+	// if r8 { r9 = 1 } else { r9 = 2 }; ret
+	code := asm(
+		isa.Instr{Op: isa.OpBeq, Rs1: 8, Rs2: isa.RegZero, Imm: 2}, // -> else (0x1018)
+		isa.Instr{Op: isa.OpLdi, Rd: 9, Imm: 1},                    // then
+		isa.Instr{Op: isa.OpJmp, Imm: 1},                           // -> join (0x1020)
+		isa.Instr{Op: isa.OpLdi, Rd: 9, Imm: 2},                    // else
+		isa.Instr{Op: isa.OpRet},                                   // join
+	)
+	g, err := cfg.Build(code, 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Blocks) != 4 {
+		t.Fatalf("blocks = %d, want 4 (cond, then, else, join)", len(g.Blocks))
+	}
+	join := g.Blocks[0x1020]
+	if join == nil || join.NumInstrs() != 1 {
+		t.Fatalf("join block wrong: %+v", join)
+	}
+}
+
+// TestWholeProgramCFGs builds the CFG of every WFS routine and validates
+// the tiling/successor invariants, plus block counts covering the whole
+// code.
+func TestWholeProgramCFGs(t *testing.T) {
+	w, err := wfs.NewWorkload(wfs.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, img := range w.Prog.Images() {
+		for _, r := range img.Routines() {
+			code := img.Code[r.Entry-img.Base : r.End-img.Base]
+			g, err := cfg.Build(code, r.Entry)
+			if err != nil {
+				t.Fatalf("%s: %v", r.Name, err)
+			}
+			if err := g.Validate(); err != nil {
+				t.Fatalf("%s: %v", r.Name, err)
+			}
+			var covered uint64
+			for _, b := range g.Blocks {
+				covered += b.End - b.Start
+			}
+			if covered != r.End-r.Entry {
+				t.Fatalf("%s: blocks cover %d of %d bytes", r.Name, covered, r.End-r.Entry)
+			}
+		}
+	}
+}
+
+func TestDOT(t *testing.T) {
+	b := hl.NewBuilder("t", image.Main)
+	b.Func("main", 0, func(f *hl.Fn) {
+		i := f.Local()
+		f.ForRangeI(i, 0, 3, func() {})
+		f.Ret0()
+	})
+	prog, err := hl.Link(b, glibc.Builder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := prog.Main.Lookup("main")
+	code := prog.Main.Code[r.Entry-prog.Main.Base : r.End-prog.Main.Base]
+	g, err := cfg.Build(code, r.Entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := g.DOT("main")
+	if !strings.Contains(dot, "digraph") || !strings.Contains(dot, "->") {
+		t.Fatalf("DOT output malformed:\n%s", dot)
+	}
+}

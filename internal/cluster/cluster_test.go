@@ -1,0 +1,120 @@
+package cluster_test
+
+import (
+	"testing"
+
+	"tquad/internal/cluster"
+	"tquad/internal/core"
+	"tquad/internal/quad"
+)
+
+// prof builds a synthetic temporal profile where each kernel is active in
+// the given slice range.
+func prof(activity map[string][2]uint64) *core.Profile {
+	p := &core.Profile{SliceInterval: 1000, NumSlices: 100, IncludeStack: true}
+	for name, r := range activity {
+		k := &core.KernelProfile{Name: name}
+		for s := r[0]; s < r[1]; s++ {
+			k.Points = append(k.Points, core.SlicePoint{Slice: s, ReadIncl: 10, Instr: 500})
+		}
+		k.ActivitySpan = r[1] - r[0]
+		p.Kernels = append(p.Kernels, k)
+	}
+	return p
+}
+
+func rep(edges map[[2]string]uint64) *quad.Report {
+	r := &quad.Report{}
+	for pair, bytes := range edges {
+		r.Bindings = append(r.Bindings, quad.Binding{Producer: pair[0], Consumer: pair[1], Bytes: bytes})
+	}
+	return r
+}
+
+func TestTwoCommunicatingPairs(t *testing.T) {
+	p := prof(map[string][2]uint64{
+		"a1": {0, 50}, "a2": {0, 50},
+		"b1": {50, 100}, "b2": {50, 100},
+	})
+	r := rep(map[[2]string]uint64{
+		{"a1", "a2"}: 10000,
+		{"b1", "b2"}: 10000,
+		{"a2", "b1"}: 10, // weak cross edge
+	})
+	res := cluster.Build(p, r, cluster.Options{TargetClusters: 2, IncludeStack: true})
+	if len(res.Clusters) != 2 {
+		t.Fatalf("got %d clusters: %+v", len(res.Clusters), res.Clusters)
+	}
+	for _, c := range res.Clusters {
+		if len(c.Kernels) != 2 {
+			t.Fatalf("cluster sizes wrong: %+v", res.Clusters)
+		}
+		prefix := c.Kernels[0][:1]
+		if c.Kernels[1][:1] != prefix {
+			t.Fatalf("mixed cluster: %v", c.Kernels)
+		}
+	}
+	if res.InterBytes != 10 {
+		t.Errorf("inter-cluster bytes = %d, want 10", res.InterBytes)
+	}
+}
+
+func TestIntraMaximised(t *testing.T) {
+	// The objective: intra >= inter for a clear-cut case.
+	p := prof(map[string][2]uint64{"x": {0, 100}, "y": {0, 100}, "z": {0, 100}})
+	r := rep(map[[2]string]uint64{
+		{"x", "y"}: 5000,
+		{"y", "z"}: 40,
+	})
+	res := cluster.Build(p, r, cluster.Options{TargetClusters: 2, IncludeStack: true})
+	var intra uint64
+	for _, c := range res.Clusters {
+		intra += c.IntraBytes
+	}
+	if intra < res.InterBytes {
+		t.Fatalf("intra %d < inter %d", intra, res.InterBytes)
+	}
+	// x and y must share a cluster.
+	for _, c := range res.Clusters {
+		has := map[string]bool{}
+		for _, k := range c.Kernels {
+			has[k] = true
+		}
+		if has["x"] != has["y"] && (has["x"] || has["y"]) {
+			t.Fatalf("x and y separated: %+v", res.Clusters)
+		}
+	}
+}
+
+func TestCoActivityAloneClusters(t *testing.T) {
+	// No communication at all: co-activity should still group the two
+	// temporally-aligned kernels when merging down to 2 clusters.
+	p := prof(map[string][2]uint64{
+		"early1": {0, 40}, "early2": {0, 40},
+		"late": {60, 100},
+	})
+	res := cluster.Build(p, rep(nil), cluster.Options{TargetClusters: 2, CommWeight: 0.1, IncludeStack: true})
+	if len(res.Clusters) != 2 {
+		t.Fatalf("clusters: %+v", res.Clusters)
+	}
+	big := res.Clusters[0]
+	if len(big.Kernels) != 2 || big.Kernels[0] != "early1" || big.Kernels[1] != "early2" {
+		t.Fatalf("co-activity pair not grouped: %+v", res.Clusters)
+	}
+}
+
+func TestThresholdStopsMerging(t *testing.T) {
+	p := prof(map[string][2]uint64{"a": {0, 30}, "b": {40, 70}, "c": {80, 100}})
+	// Disjoint activity, no communication: nothing should merge.
+	res := cluster.Build(p, rep(nil), cluster.Options{MinSimilarity: 0.2, IncludeStack: true})
+	if len(res.Clusters) != 3 {
+		t.Fatalf("disjoint kernels merged: %+v", res.Clusters)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	res := cluster.Build(&core.Profile{}, &quad.Report{}, cluster.Options{})
+	if len(res.Clusters) != 0 {
+		t.Fatalf("clusters from nothing: %+v", res.Clusters)
+	}
+}

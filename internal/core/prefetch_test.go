@@ -1,0 +1,85 @@
+package core_test
+
+import (
+	"testing"
+
+	"tquad/internal/core"
+	"tquad/internal/glibc"
+	"tquad/internal/gos"
+	"tquad/internal/hl"
+	"tquad/internal/image"
+	"tquad/internal/pin"
+	"tquad/internal/vm"
+)
+
+// buildPrefetcher links a kernel issuing one real load and three
+// prefetches per iteration.
+func buildPrefetcher(t *testing.T) *vm.Machine {
+	t.Helper()
+	b := hl.NewBuilder("t", image.Main)
+	g := b.Global("buf", 1024*8)
+	b.Func("scan", 0, func(f *hl.Fn) {
+		p := f.Local()
+		f.Set(p, f.GAddr(g))
+		acc := f.Local()
+		f.SetI(acc, 0)
+		i := f.Local()
+		f.ForRangeI(i, 0, 1024, func() {
+			addr := f.Local()
+			f.Set(addr, f.Add(p, f.ShlI(i, 3)))
+			f.Prefetch(addr, 64)
+			f.Prefetch(addr, 128)
+			f.Prefetch(addr, 192)
+			f.Set(acc, f.Add(acc, f.Ld8(addr, 0)))
+		})
+		f.Ret(acc)
+	})
+	b.Func("main", 0, func(f *hl.Fn) { f.Ret(f.Call("scan")) })
+	prog, err := hl.Link(b, glibc.Builder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := vm.New()
+	m.SetSyscallHandler(gos.New())
+	for _, img := range prog.Images() {
+		m.LoadImage(img)
+	}
+	m.Reset(prog.EntryPC)
+	return m
+}
+
+// TestPrefetchFastPathExcludesBytes: by default the analysis routines
+// "return immediately upon detection of a prefetch state" — prefetched
+// bytes must not count as bandwidth.
+func TestPrefetchFastPathExcludesBytes(t *testing.T) {
+	run := func(trace bool) (*core.Profile, *vm.Machine) {
+		m := buildPrefetcher(t)
+		e := pin.NewEngine(m)
+		tool := core.Attach(e, core.Options{SliceInterval: 1000, IncludeStack: true, TracePrefetches: trace})
+		if err := m.Run(10_000_000); err != nil {
+			t.Fatal(err)
+		}
+		return tool.Snapshot(), m
+	}
+	normal, mN := run(false)
+	traced, mT := run(true)
+	kn, _ := normal.Kernel("scan")
+	kt, _ := traced.Kernel("scan")
+	if kn == nil || kt == nil {
+		t.Fatal("scan kernel missing")
+	}
+	// Fast path: exactly the 1024 8-byte loads plus the kernel's own
+	// return-address pop.
+	if want := uint64(1024*8 + 8); kn.TotalReadIncl != want {
+		t.Errorf("fast-path reads = %d, want %d (prefetches excluded)", kn.TotalReadIncl, want)
+	}
+	// Tracing prefetches adds three 8-byte prefetch accesses per
+	// iteration.
+	if want := uint64(1024*8 + 3*1024*8 + 8); kt.TotalReadIncl != want {
+		t.Errorf("traced-prefetch reads = %d, want %d", kt.TotalReadIncl, want)
+	}
+	// The fast path must also be cheaper in simulated overhead.
+	if mN.Overhead >= mT.Overhead {
+		t.Errorf("fast path overhead %d >= traced %d", mN.Overhead, mT.Overhead)
+	}
+}

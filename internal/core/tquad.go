@@ -1,0 +1,441 @@
+// Package core implements tQUAD, the paper's contribution: a temporal
+// memory-bandwidth profiler.  It divides execution into time slices of a
+// fixed number of guest instructions (the platform-independent clock) and
+// records, per kernel and per slice, how many bytes were read and written
+// — separately for accesses that touch the local stack area and those
+// that do not.  From the resulting series it derives each kernel's
+// activity span, average and peak bandwidth in bytes per instruction, and
+// the raw material for phase identification (package phase) and the
+// running-time graphs of Figures 6 and 7.
+//
+// The tool follows the paper's architecture (Figs. 3-5): instruction-level
+// instrumentation attaches IncreaseRead/IncreaseWrite analysis calls with
+// InsertPredicatedCall (returning immediately on prefetch detection),
+// routine-level instrumentation maintains the internal call stack via
+// EnterFC, and return instructions are monitored to keep that stack
+// consistent.
+package core
+
+import (
+	"sort"
+
+	"tquad/internal/callstack"
+	"tquad/internal/pin"
+)
+
+// Options configure one tQUAD run.
+type Options struct {
+	// SliceInterval is the number of guest instructions per time slice —
+	// "a key parameter which adjusts the detailing degree of the
+	// extracted memory bandwidth usage information".
+	SliceInterval uint64
+	// IncludeStack selects whether local-stack-area accesses are traced.
+	// When true the profile carries both the stack-inclusive and
+	// stack-exclusive series (the exclusive one is derivable for free);
+	// when false, stack accesses are discarded early and only the
+	// exclusive series exists.
+	IncludeStack bool
+	// ExcludeLibs drops bandwidth caused by OS/library routines (those
+	// outside the main image).
+	ExcludeLibs bool
+	// TracePrefetches disables the prefetch fast path (analysis
+	// routines normally "return immediately upon detection of a
+	// prefetch state"): prefetched bytes are then traced like real
+	// reads.  Exists for the ablation benchmark; the paper's tool never
+	// does this.
+	TracePrefetches bool
+
+	// Simulated analysis costs (instruction-equivalents); zero selects
+	// the defaults.
+	CostTrace    uint64
+	CostSkip     uint64
+	CostPrefetch uint64
+	// CostSnapshot is charged once per time-slice boundary (the paper's
+	// "memory bandwidth snapshot management"); it is what makes small
+	// slice intervals more expensive, producing the 37.2x-68.95x
+	// slowdown spread of Section V.A.
+	CostSnapshot uint64
+}
+
+// Default analysis costs.  Tracing a tQUAD access updates a per-kernel
+// slice accumulator (cheaper than QUAD's per-byte shadow walk).
+const (
+	DefaultCostTrace    = 260
+	DefaultCostSkip     = 25
+	DefaultCostPrefetch = 2
+	DefaultCostSnapshot = 25_000
+	// DefaultSliceInterval is used when Options.SliceInterval is zero.
+	DefaultSliceInterval = 100_000
+)
+
+func (o *Options) setDefaults() {
+	if o.SliceInterval == 0 {
+		o.SliceInterval = DefaultSliceInterval
+	}
+	if o.CostTrace == 0 {
+		o.CostTrace = DefaultCostTrace
+	}
+	if o.CostSkip == 0 {
+		o.CostSkip = DefaultCostSkip
+	}
+	if o.CostPrefetch == 0 {
+		o.CostPrefetch = DefaultCostPrefetch
+	}
+	if o.CostSnapshot == 0 {
+		o.CostSnapshot = DefaultCostSnapshot
+	}
+}
+
+// SlicePoint is one kernel's traffic within one time slice.
+type SlicePoint struct {
+	Slice     uint64 // slice index
+	ReadIncl  uint64 // bytes read, counting stack-area accesses
+	ReadExcl  uint64 // bytes read, stack-area accesses excluded
+	WriteIncl uint64
+	WriteExcl uint64
+	// Instr counts the kernel's own executed instructions within the
+	// slice — the denominator of the bytes-per-instruction intensities
+	// (a kernel active for a sliver of a slice is normalised by its own
+	// time, not the whole slice).
+	Instr uint64
+}
+
+// Total returns read+write bytes for the chosen stack mode.
+func (p SlicePoint) Total(includeStack bool) uint64 {
+	if includeStack {
+		return p.ReadIncl + p.WriteIncl
+	}
+	return p.ReadExcl + p.WriteExcl
+}
+
+// kernelSeries accumulates one kernel's temporal data during the run.
+type kernelSeries struct {
+	name   string
+	points map[uint64]*SlicePoint
+}
+
+// Tool is one attached tQUAD instance.
+type Tool struct {
+	opts   Options
+	engine *pin.Engine
+	stack  *callstack.Stack
+
+	series    []*kernelSeries
+	ids       map[string]uint16
+	lastSlice uint64
+	lastIC    uint64 // ICount at the previous attributed event
+	// Snapshots counts slice-boundary snapshot operations.
+	Snapshots uint64
+}
+
+// Attach wires a tQUAD tool onto the engine.  Call before running the
+// machine.
+func Attach(e *pin.Engine, opts Options) *Tool {
+	opts.setDefaults()
+	t := &Tool{
+		opts:   opts,
+		engine: e,
+		series: []*kernelSeries{nil}, // id 0 reserved
+		ids:    make(map[string]uint16),
+	}
+	e.InitSymbols()
+	t.stack = callstack.New(func(target uint64) (string, bool, bool) {
+		rtn, ok := e.RTNFindByAddress(target)
+		if !ok {
+			return "", false, false
+		}
+		return rtn.Name(), rtn.IsInMainImage(), true
+	}, opts.ExcludeLibs)
+	e.INSAddInstrumentFunction(t.instruction)
+	return t
+}
+
+func (t *Tool) kernelID(name string) uint16 {
+	if id, ok := t.ids[name]; ok {
+		return id
+	}
+	id := uint16(len(t.series))
+	t.ids[name] = id
+	t.series = append(t.series, &kernelSeries{name: name, points: make(map[uint64]*SlicePoint)})
+	return id
+}
+
+// instruction is the Instruction() instrumentation routine: it sets up
+// the analysis calls for memory references, calls and returns.
+func (t *Tool) instruction(ins *pin.INS) {
+	m := t.engine.Machine()
+	switch {
+	case ins.IsCall():
+		ins.InsertCall(func(ctx *pin.Context) {
+			t.account(ctx, false, true)
+			t.stack.OnCall(ctx.Target) // EnterFC: update the call stack
+		})
+	case ins.IsRet():
+		ins.InsertCall(func(ctx *pin.Context) {
+			t.account(ctx, true, true)
+			t.stack.OnReturn()
+		})
+	case ins.IsMemoryRead():
+		ins.InsertPredicatedCall(func(ctx *pin.Context) {
+			if ctx.Prefetch && !t.opts.TracePrefetches {
+				m.ChargeOverhead(t.opts.CostPrefetch)
+				return
+			}
+			t.account(ctx, true, m.IsStackAddr(ctx.Addr, ctx.SP))
+		})
+	case ins.IsMemoryWrite():
+		ins.InsertPredicatedCall(func(ctx *pin.Context) {
+			if ctx.Prefetch {
+				m.ChargeOverhead(t.opts.CostPrefetch)
+				return
+			}
+			t.account(ctx, false, m.IsStackAddr(ctx.Addr, ctx.SP))
+		})
+	}
+}
+
+// account is the IncreaseRead/IncreaseWrite analysis body: it charges the
+// current kernel's slice accumulator.
+func (t *Tool) account(ctx *pin.Context, isRead, isStack bool) {
+	m := t.engine.Machine()
+	// Instructions executed since the previous event all belong to the
+	// current kernel (calls and returns are themselves events, so the
+	// kernel cannot have changed in between).
+	delta := m.ICount - t.lastIC
+	t.lastIC = m.ICount
+	fr, ok := t.stack.Current()
+	if !ok {
+		m.ChargeOverhead(t.opts.CostSkip)
+		return
+	}
+	if !t.opts.IncludeStack && isStack {
+		m.ChargeOverhead(t.opts.CostSkip)
+		t.chargeInstr(fr.Name, m.ICount/t.opts.SliceInterval, delta)
+		return
+	}
+	m.ChargeOverhead(t.opts.CostTrace)
+	id := t.kernelID(fr.Name)
+	ks := t.series[id]
+	slice := m.ICount / t.opts.SliceInterval
+	if slice != t.lastSlice {
+		// Slice boundary: snapshot management (rotating the bandwidth
+		// usage data list), the slice-dependent part of the overhead.
+		m.ChargeOverhead(t.opts.CostSnapshot)
+		t.Snapshots++
+		t.lastSlice = slice
+	}
+	pt := ks.points[slice]
+	if pt == nil {
+		pt = &SlicePoint{Slice: slice}
+		ks.points[slice] = pt
+	}
+	pt.Instr += delta
+	size := uint64(ctx.Size)
+	if isRead {
+		pt.ReadIncl += size
+		if !isStack {
+			pt.ReadExcl += size
+		}
+	} else {
+		pt.WriteIncl += size
+		if !isStack {
+			pt.WriteExcl += size
+		}
+	}
+}
+
+// chargeInstr attributes instruction time to a kernel's slice without any
+// byte traffic (the early-discarded-access path).
+func (t *Tool) chargeInstr(name string, slice, delta uint64) {
+	if delta == 0 {
+		return
+	}
+	id := t.kernelID(name)
+	ks := t.series[id]
+	pt := ks.points[slice]
+	if pt == nil {
+		pt = &SlicePoint{Slice: slice}
+		ks.points[slice] = pt
+	}
+	pt.Instr += delta
+}
+
+// KernelProfile is the finished temporal record of one kernel.
+type KernelProfile struct {
+	Name   string
+	Points []SlicePoint // sorted by slice index; only non-empty slices
+
+	FirstSlice   uint64 // earliest slice with activity
+	LastSlice    uint64 // latest slice with activity
+	ActivitySpan uint64 // number of slices with any activity
+
+	TotalReadIncl  uint64
+	TotalReadExcl  uint64
+	TotalWriteIncl uint64
+	TotalWriteExcl uint64
+}
+
+// hasTraffic reports whether the point carries any byte traffic (points
+// may exist purely to attribute instruction time).
+func (p SlicePoint) hasTraffic() bool {
+	return p.ReadIncl|p.WriteIncl|p.ReadExcl|p.WriteExcl != 0
+}
+
+// Active reports whether the kernel touched memory in the given slice.
+func (k *KernelProfile) Active(slice uint64) bool {
+	i := sort.Search(len(k.Points), func(i int) bool { return k.Points[i].Slice >= slice })
+	return i < len(k.Points) && k.Points[i].Slice == slice && k.Points[i].hasTraffic()
+}
+
+// Point returns the kernel's traffic in the given slice (zero value if
+// silent).
+func (k *KernelProfile) Point(slice uint64) SlicePoint {
+	i := sort.Search(len(k.Points), func(i int) bool { return k.Points[i].Slice >= slice })
+	if i < len(k.Points) && k.Points[i].Slice == slice {
+		return k.Points[i]
+	}
+	return SlicePoint{Slice: slice}
+}
+
+// BandwidthStats are the normalised bytes-per-instruction figures of
+// Table IV for one stack mode.
+type BandwidthStats struct {
+	AvgRead  float64 // bytes per instruction, averaged over active slices
+	AvgWrite float64
+	MaxRW    float64 // peak (read+write) bytes per instruction in any slice
+}
+
+// Stats computes the kernel's bandwidth statistics for the chosen stack
+// mode.  Intensities are normalised by the kernel's own executed
+// instructions in the contributing slices ("the data are normalized as
+// number of bytes-per-instruction"), so a burst kernel like
+// AudioIo_setFrames reports its true per-instruction intensity no matter
+// how little of a slice it occupies.
+func (k *KernelProfile) Stats(includeStack bool, sliceInterval uint64) BandwidthStats {
+	var s BandwidthStats
+	var reads, writes, instr uint64
+	// Peaks are only meaningful where the kernel executed a
+	// non-negligible share of the slice; tiny samples (a lone spill
+	// burst cut by a slice boundary) are statistical noise, the "slight
+	// inconsistencies in the measurements" the paper flags with
+	// upper-bound markers.
+	minInstr := sliceInterval / 64
+	if minInstr == 0 {
+		minInstr = 1
+	}
+	for _, p := range k.Points {
+		if p.Total(includeStack) == 0 {
+			continue
+		}
+		if includeStack {
+			reads += p.ReadIncl
+			writes += p.WriteIncl
+		} else {
+			reads += p.ReadExcl
+			writes += p.WriteExcl
+		}
+		instr += p.Instr
+		if p.Instr >= minInstr {
+			if rw := float64(p.Total(includeStack)) / float64(p.Instr); rw > s.MaxRW {
+				s.MaxRW = rw
+			}
+		}
+	}
+	if instr == 0 {
+		return s
+	}
+	s.AvgRead = float64(reads) / float64(instr)
+	s.AvgWrite = float64(writes) / float64(instr)
+	return s
+}
+
+// Series expands the kernel's per-slice byte counts into a dense vector
+// over [0, numSlices) for the chosen metric — the plotted series of
+// Figures 6 and 7.
+func (k *KernelProfile) Series(numSlices uint64, reads, includeStack bool) []uint64 {
+	out := make([]uint64, numSlices)
+	for _, p := range k.Points {
+		if p.Slice >= numSlices {
+			continue
+		}
+		switch {
+		case reads && includeStack:
+			out[p.Slice] = p.ReadIncl
+		case reads:
+			out[p.Slice] = p.ReadExcl
+		case includeStack:
+			out[p.Slice] = p.WriteIncl
+		default:
+			out[p.Slice] = p.WriteExcl
+		}
+	}
+	return out
+}
+
+// Profile is the finished result of one tQUAD run.
+type Profile struct {
+	SliceInterval uint64
+	NumSlices     uint64 // total slices in the run (ceil of icount/interval)
+	TotalInstr    uint64 // guest instructions executed
+	IncludeStack  bool   // whether stack-inclusive series are populated
+	Kernels       []*KernelProfile
+}
+
+// Snapshot assembles the profile accumulated so far (normally called
+// after the machine halts).
+func (t *Tool) Snapshot() *Profile {
+	ic := t.engine.Machine().ICount
+	p := &Profile{
+		SliceInterval: t.opts.SliceInterval,
+		NumSlices:     (ic + t.opts.SliceInterval - 1) / t.opts.SliceInterval,
+		TotalInstr:    ic,
+		IncludeStack:  t.opts.IncludeStack,
+	}
+	for id := 1; id < len(t.series); id++ {
+		ks := t.series[id]
+		kp := &KernelProfile{Name: ks.name}
+		for _, pt := range ks.points {
+			kp.Points = append(kp.Points, *pt)
+		}
+		sort.Slice(kp.Points, func(i, j int) bool { return kp.Points[i].Slice < kp.Points[j].Slice })
+		first := true
+		for _, pt := range kp.Points {
+			kp.TotalReadIncl += pt.ReadIncl
+			kp.TotalReadExcl += pt.ReadExcl
+			kp.TotalWriteIncl += pt.WriteIncl
+			kp.TotalWriteExcl += pt.WriteExcl
+			if pt.hasTraffic() {
+				if first {
+					kp.FirstSlice = pt.Slice
+					first = false
+				}
+				kp.LastSlice = pt.Slice
+				kp.ActivitySpan++
+			}
+		}
+		p.Kernels = append(p.Kernels, kp)
+	}
+	sort.Slice(p.Kernels, func(i, j int) bool { return p.Kernels[i].Name < p.Kernels[j].Name })
+	return p
+}
+
+// Kernel returns the profile of the named kernel.
+func (p *Profile) Kernel(name string) (*KernelProfile, bool) {
+	for _, k := range p.Kernels {
+		if k.Name == name {
+			return k, true
+		}
+	}
+	return nil, false
+}
+
+// ActiveSet returns the names of kernels active in the given slice.
+func (p *Profile) ActiveSet(slice uint64) []string {
+	var names []string
+	for _, k := range p.Kernels {
+		if k.Active(slice) {
+			names = append(names, k.Name)
+		}
+	}
+	return names
+}

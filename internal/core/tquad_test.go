@@ -1,0 +1,239 @@
+package core_test
+
+import (
+	"testing"
+
+	"tquad/internal/core"
+	"tquad/internal/glibc"
+	"tquad/internal/gos"
+	"tquad/internal/hl"
+	"tquad/internal/image"
+	"tquad/internal/pin"
+	"tquad/internal/vm"
+)
+
+// buildStreamer links a guest whose kernel writes a fixed number of bytes
+// per call, with an idle (compute-only) kernel in between — known traffic
+// in known time windows.
+func buildStreamer(t *testing.T) *vm.Machine {
+	t.Helper()
+	b := hl.NewBuilder("t", image.Main)
+	g := b.Global("buf", 256*8)
+	b.Func("burst", 0, func(f *hl.Fn) {
+		p := f.Local()
+		f.Set(p, f.GAddr(g))
+		i := f.Local()
+		f.ForRangeI(i, 0, 256, func() {
+			f.St8(f.Add(p, f.ShlI(i, 3)), 0, i)
+		})
+		f.Ret0()
+	})
+	b.Func("idle", 0, func(f *hl.Fn) {
+		acc := f.Local()
+		f.SetI(acc, 1)
+		i := f.Local()
+		f.ForRangeI(i, 0, 2000, func() {
+			f.Set(acc, f.Add(acc, f.Xor(acc, i)))
+		})
+		f.Ret(acc)
+	})
+	b.Func("main", 0, func(f *hl.Fn) {
+		r := f.Local()
+		f.SetI(r, 0)
+		k := f.Local()
+		f.ForRangeI(k, 0, 3, func() {
+			f.CallV("burst")
+			f.CallV("idle")
+		})
+		f.Ret(r)
+	})
+	prog, err := hl.Link(b, glibc.Builder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := vm.New()
+	m.SetSyscallHandler(gos.New())
+	for _, img := range prog.Images() {
+		m.LoadImage(img)
+	}
+	m.Reset(prog.EntryPC)
+	return m
+}
+
+func runTQUAD(t *testing.T, opts core.Options) (*core.Profile, *vm.Machine, *core.Tool) {
+	t.Helper()
+	m := buildStreamer(t)
+	e := pin.NewEngine(m)
+	tool := core.Attach(e, opts)
+	if err := m.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	return tool.Snapshot(), m, tool
+}
+
+func TestTotalsMatchKnownTraffic(t *testing.T) {
+	prof, _, _ := runTQUAD(t, core.Options{SliceInterval: 500, IncludeStack: true})
+	burst, ok := prof.Kernel("burst")
+	if !ok {
+		t.Fatal("burst kernel missing")
+	}
+	// 3 calls x 256 words stored = 6144 bytes of non-stack writes.
+	if burst.TotalWriteExcl != 3*256*8 {
+		t.Errorf("burst writes (excl) = %d, want %d", burst.TotalWriteExcl, 3*256*8)
+	}
+	// Inclusive adds the return-address pop only (burst makes no calls
+	// and has no frame).
+	if burst.TotalWriteIncl < burst.TotalWriteExcl {
+		t.Errorf("inclusive writes below exclusive")
+	}
+	idle, ok := prof.Kernel("idle")
+	if !ok {
+		t.Fatal("idle kernel missing")
+	}
+	if idle.TotalWriteExcl != 0 {
+		t.Errorf("idle wrote %d non-stack bytes, want 0", idle.TotalWriteExcl)
+	}
+}
+
+func TestSliceSumsEqualTotals(t *testing.T) {
+	prof, _, _ := runTQUAD(t, core.Options{SliceInterval: 300, IncludeStack: true})
+	for _, k := range prof.Kernels {
+		var r, w uint64
+		for _, p := range k.Points {
+			r += p.ReadIncl
+			w += p.WriteIncl
+		}
+		if r != k.TotalReadIncl || w != k.TotalWriteIncl {
+			t.Errorf("%s: slice sums (%d,%d) != totals (%d,%d)", k.Name, r, w, k.TotalReadIncl, k.TotalWriteIncl)
+		}
+	}
+}
+
+func TestSliceIntervalInvariance(t *testing.T) {
+	// Total bytes must not depend on the slice interval.
+	fine, _, _ := runTQUAD(t, core.Options{SliceInterval: 100, IncludeStack: true})
+	coarse, _, _ := runTQUAD(t, core.Options{SliceInterval: 10_000, IncludeStack: true})
+	for _, kf := range fine.Kernels {
+		kc, ok := coarse.Kernel(kf.Name)
+		if !ok {
+			t.Errorf("%s missing at coarse slicing", kf.Name)
+			continue
+		}
+		if kf.TotalReadIncl != kc.TotalReadIncl || kf.TotalWriteIncl != kc.TotalWriteIncl {
+			t.Errorf("%s: totals differ across slice intervals: (%d,%d) vs (%d,%d)",
+				kf.Name, kf.TotalReadIncl, kf.TotalWriteIncl, kc.TotalReadIncl, kc.TotalWriteIncl)
+		}
+	}
+	if fine.NumSlices <= coarse.NumSlices {
+		t.Errorf("finer slicing produced fewer slices: %d vs %d", fine.NumSlices, coarse.NumSlices)
+	}
+}
+
+func TestBurstActivityAlternates(t *testing.T) {
+	prof, _, _ := runTQUAD(t, core.Options{SliceInterval: 400, IncludeStack: false})
+	burst, _ := prof.Kernel("burst")
+	if burst == nil {
+		t.Fatal("burst missing")
+	}
+	// Three separate bursts => activity must not be one contiguous run.
+	if burst.ActivitySpan == 0 {
+		t.Fatal("burst has no activity")
+	}
+	span := burst.LastSlice - burst.FirstSlice + 1
+	if span == burst.ActivitySpan {
+		t.Errorf("burst activity contiguous (%d slices); idle gaps expected", span)
+	}
+}
+
+func TestSeriesDenseExpansion(t *testing.T) {
+	prof, _, _ := runTQUAD(t, core.Options{SliceInterval: 400, IncludeStack: true})
+	burst, _ := prof.Kernel("burst")
+	series := burst.Series(prof.NumSlices, false, true) // writes incl
+	if uint64(len(series)) != prof.NumSlices {
+		t.Fatalf("series length %d, want %d", len(series), prof.NumSlices)
+	}
+	var sum uint64
+	for _, v := range series {
+		sum += v
+	}
+	if sum != burst.TotalWriteIncl {
+		t.Fatalf("series sum %d != total %d", sum, burst.TotalWriteIncl)
+	}
+}
+
+func TestInstrAttributionCoversRun(t *testing.T) {
+	prof, _, _ := runTQUAD(t, core.Options{SliceInterval: 500, IncludeStack: true})
+	var instr uint64
+	for _, k := range prof.Kernels {
+		for _, p := range k.Points {
+			instr += p.Instr
+		}
+	}
+	// Nearly all guest instructions are attributable to some routine
+	// (slack: _start preamble and the final event-to-halt gap).
+	if instr < prof.TotalInstr*9/10 {
+		t.Errorf("attributed %d of %d instructions", instr, prof.TotalInstr)
+	}
+	if instr > prof.TotalInstr {
+		t.Errorf("attributed more instructions (%d) than executed (%d)", instr, prof.TotalInstr)
+	}
+}
+
+func TestStatsIntensity(t *testing.T) {
+	prof, _, _ := runTQUAD(t, core.Options{SliceInterval: 500, IncludeStack: true})
+	burst, _ := prof.Kernel("burst")
+	idle, _ := prof.Kernel("idle")
+	bs := burst.Stats(true, prof.SliceInterval)
+	is := idle.Stats(true, prof.SliceInterval)
+	if bs.AvgWrite <= 0 {
+		t.Fatalf("burst avg write intensity = %f", bs.AvgWrite)
+	}
+	if bs.AvgWrite <= 4*is.AvgWrite {
+		t.Errorf("burst intensity %.3f not clearly above idle's %.3f", bs.AvgWrite, is.AvgWrite)
+	}
+	if bs.MaxRW < bs.AvgWrite {
+		t.Errorf("max %.3f below average %.3f", bs.MaxRW, bs.AvgWrite)
+	}
+}
+
+func TestExcludeLibsOption(t *testing.T) {
+	m := buildStreamer(t)
+	e := pin.NewEngine(m)
+	tool := core.Attach(e, core.Options{SliceInterval: 500, IncludeStack: true, ExcludeLibs: true})
+	if err := m.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	prof := tool.Snapshot()
+	for _, k := range prof.Kernels {
+		switch k.Name {
+		case "memcpy", "memset", "memset8", "imin", "imax", "iabs", "read_full", "write_all", "open_r", "open_w":
+			t.Errorf("library routine %s present despite ExcludeLibs", k.Name)
+		}
+	}
+}
+
+func TestSnapshotCostScalesWithSliceCount(t *testing.T) {
+	_, mFine, toolFine := runTQUAD(t, core.Options{SliceInterval: 100, IncludeStack: true})
+	_, mCoarse, toolCoarse := runTQUAD(t, core.Options{SliceInterval: 50_000, IncludeStack: true})
+	if toolFine.Snapshots <= toolCoarse.Snapshots {
+		t.Errorf("snapshots fine=%d coarse=%d", toolFine.Snapshots, toolCoarse.Snapshots)
+	}
+	if mFine.Overhead <= mCoarse.Overhead {
+		t.Errorf("fine slicing must cost more: %d vs %d", mFine.Overhead, mCoarse.Overhead)
+	}
+}
+
+func TestActiveSet(t *testing.T) {
+	prof, _, _ := runTQUAD(t, core.Options{SliceInterval: 400, IncludeStack: true})
+	burst, _ := prof.Kernel("burst")
+	set := prof.ActiveSet(burst.FirstSlice)
+	found := false
+	for _, n := range set {
+		if n == "burst" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("ActiveSet(%d) = %v misses burst", burst.FirstSlice, set)
+	}
+}

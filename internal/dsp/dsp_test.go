@@ -1,0 +1,137 @@
+package dsp_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tquad/internal/dsp"
+)
+
+func TestBitRevInvolution(t *testing.T) {
+	f := func(x16 uint16, bits8 uint8) bool {
+		bits := int(bits8)%12 + 1
+		x := int(x16) & (1<<bits - 1)
+		return dsp.BitRev(dsp.BitRev(x, bits), bits) == x
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	// Known values.
+	if dsp.BitRev(1, 3) != 4 || dsp.BitRev(6, 3) != 3 || dsp.BitRev(0, 8) != 0 {
+		t.Fatalf("BitRev known values wrong")
+	}
+}
+
+func TestPermSelfInverse(t *testing.T) {
+	const n, bits = 64, 6
+	rng := rand.New(rand.NewSource(1))
+	data := make([]float64, 2*n)
+	for i := range data {
+		data[i] = rng.NormFloat64()
+	}
+	orig := append([]float64(nil), data...)
+	dsp.Perm(data, n, bits)
+	dsp.Perm(data, n, bits)
+	for i := range data {
+		if data[i] != orig[i] {
+			t.Fatalf("perm not self-inverse at %d", i)
+		}
+	}
+}
+
+// TestFFTRoundTrip: inverse(forward(x)) == n*x to numerical precision.
+func TestFFTRoundTrip(t *testing.T) {
+	for _, n := range []int{8, 64, 256, 1024} {
+		bits := 0
+		for 1<<bits < n {
+			bits++
+		}
+		rng := rand.New(rand.NewSource(int64(n)))
+		data := make([]float64, 2*n)
+		for i := range data {
+			data[i] = rng.NormFloat64()
+		}
+		orig := append([]float64(nil), data...)
+		dsp.FFT1D(data, n, 1, bits)
+		dsp.FFT1D(data, n, -1, bits)
+		for i := range data {
+			if diff := math.Abs(data[i]/float64(n) - orig[i]); diff > 1e-10 {
+				t.Fatalf("n=%d: roundtrip error %g at %d", n, diff, i)
+			}
+		}
+	}
+}
+
+// TestFFTParseval: energy is preserved (up to the 1/n convention).
+func TestFFTParseval(t *testing.T) {
+	const n, bits = 512, 9
+	rng := rand.New(rand.NewSource(2))
+	data := make([]float64, 2*n)
+	var timeEnergy float64
+	for i := 0; i < n; i++ {
+		data[2*i] = rng.NormFloat64()
+		timeEnergy += data[2*i]*data[2*i] + data[2*i+1]*data[2*i+1]
+	}
+	dsp.FFT1D(data, n, 1, bits)
+	var freqEnergy float64
+	for i := 0; i < n; i++ {
+		freqEnergy += data[2*i]*data[2*i] + data[2*i+1]*data[2*i+1]
+	}
+	if rel := math.Abs(freqEnergy/float64(n)-timeEnergy) / timeEnergy; rel > 1e-10 {
+		t.Fatalf("Parseval violated: rel error %g", rel)
+	}
+}
+
+// TestFFTImpulse: a unit impulse transforms to an all-ones spectrum.
+func TestFFTImpulse(t *testing.T) {
+	const n, bits = 128, 7
+	data := make([]float64, 2*n)
+	data[0] = 1
+	dsp.FFT1D(data, n, 1, bits)
+	for i := 0; i < n; i++ {
+		if math.Abs(data[2*i]-1) > 1e-12 || math.Abs(data[2*i+1]) > 1e-12 {
+			t.Fatalf("impulse spectrum wrong at bin %d: (%g, %g)", i, data[2*i], data[2*i+1])
+		}
+	}
+}
+
+// TestFFTSinusoid: a pure tone concentrates its energy in the right bin.
+func TestFFTSinusoid(t *testing.T) {
+	const n, bits, k = 256, 8, 17
+	data := make([]float64, 2*n)
+	for i := 0; i < n; i++ {
+		data[2*i] = math.Cos(2 * math.Pi * k * float64(i) / n)
+	}
+	dsp.FFT1D(data, n, 1, bits)
+	// Forward transform with isign=+1 uses exp(+i...): the cosine lands
+	// at bins k and n-k with magnitude n/2.
+	for _, bin := range []int{k, n - k} {
+		mag := math.Hypot(data[2*bin], data[2*bin+1])
+		if math.Abs(mag-n/2) > 1e-9 {
+			t.Fatalf("bin %d magnitude %g, want %g", bin, mag, float64(n)/2)
+		}
+	}
+	var rest float64
+	for i := 0; i < n; i++ {
+		if i == k || i == n-k {
+			continue
+		}
+		rest += math.Hypot(data[2*i], data[2*i+1])
+	}
+	if rest > 1e-7 {
+		t.Fatalf("leakage %g", rest)
+	}
+}
+
+func TestComplexHelpers(t *testing.T) {
+	re, im := dsp.CMul(1, 2, 3, 4) // (1+2i)(3+4i) = -5+10i
+	if re != -5 || im != 10 {
+		t.Fatalf("CMul = (%g, %g)", re, im)
+	}
+	re, im = dsp.CAdd(1, 2, 3, 4)
+	if re != 4 || im != 6 {
+		t.Fatalf("CAdd = (%g, %g)", re, im)
+	}
+}

@@ -1,0 +1,75 @@
+// Package dsp is the host-side reference implementation of the WFS
+// signal chain.  Every routine mirrors its guest twin (package wfs)
+// operation for operation, in the same floating-point evaluation order,
+// so guest outputs can be verified bit-for-bit against the host — the
+// strongest possible correctness check for the compiler, the VM and the
+// instrumentation (which must not perturb results).
+package dsp
+
+import "math"
+
+// BitRev reverses the low `bits` bits of x (the guest bitrev kernel).
+func BitRev(x, bits int) int {
+	r := 0
+	for k := 0; k < bits; k++ {
+		r = r<<1 | x&1
+		x >>= 1
+	}
+	return r
+}
+
+// Perm applies the bit-reversal permutation to an interleaved complex
+// array in place (the guest perm kernel).
+func Perm(data []float64, n, bits int) {
+	for i := 0; i < n; i++ {
+		j := BitRev(i, bits)
+		if i < j {
+			data[2*i], data[2*j] = data[2*j], data[2*i]
+			data[2*i+1], data[2*j+1] = data[2*j+1], data[2*i+1]
+		}
+	}
+}
+
+// FFT1D computes the in-place radix-2 Danielson-Lanczos transform of an
+// interleaved complex array, mirroring the guest fft1d kernel exactly:
+// per-group twiddles from math.Cos/math.Sin of theta = pi*m/mmax, and the
+// same butterfly expression order.  isign=+1 is the forward transform.
+// No normalisation is applied (the guest scales by 1/n in c2r).
+func FFT1D(data []float64, n, isign, bits int) {
+	Perm(data, n, bits)
+	signf := float64(isign)
+	mmax := 1
+	for mmax < n {
+		istep := mmax << 1
+		for m := 0; m < mmax; m++ {
+			theta := (math.Pi * float64(m)) / float64(mmax)
+			wr := math.Cos(theta)
+			wi := math.Sin(theta) * signf
+			for i := m; i < n; i += istep {
+				j := i + mmax
+				djr := data[2*j]
+				dji := data[2*j+1]
+				dir := data[2*i]
+				dii := data[2*i+1]
+				tr := wr*djr - wi*dji
+				ti := wr*dji + wi*djr
+				data[2*j] = dir - tr
+				data[2*j+1] = dii - ti
+				data[2*i] = dir + tr
+				data[2*i+1] = dii + ti
+			}
+		}
+		mmax = istep
+	}
+}
+
+// CMul multiplies two complex values given as (re, im) pairs, mirroring
+// the guest cmult kernel's expression order.
+func CMul(ar, ai, br, bi float64) (float64, float64) {
+	return ar*br - ai*bi, ar*bi + ai*br
+}
+
+// CAdd adds two complex values (the guest cadd kernel).
+func CAdd(ar, ai, br, bi float64) (float64, float64) {
+	return ar + br, ai + bi
+}

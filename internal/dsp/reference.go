@@ -1,0 +1,220 @@
+package dsp
+
+import (
+	"math"
+
+	"tquad/internal/wfs"
+)
+
+// Reference runs the complete WFS pipeline on the host, mirroring the
+// guest program in package wfs operation for operation, and returns the
+// interleaved PCM16 output samples the guest's wav_store should produce.
+// The input is the PCM16 mono source signal (exactly what wav_load reads
+// from the file).
+func Reference(cfg wfs.Config, input []int16) []int16 {
+	n := cfg.FrameSize
+	fft := cfg.FFTSize
+	bits := cfg.FFTBits()
+	spk := cfg.Speakers
+	ringN := cfg.RingSize
+	mask := ringN - 1
+	steps := (cfg.Frames + cfg.TrajPeriod - 1) / cfg.TrajPeriod
+
+	// wav_load: PCM16 -> float64 via multiplication by the exact
+	// reciprocal.
+	src := make([]float64, cfg.TotalInputSamples())
+	for i := range src {
+		if i < len(input) {
+			src[i] = float64(input[i]) * (1.0 / 32768.0)
+		}
+	}
+
+	// Filter_init.
+	coefTime := make([]float64, wfs.FilterTaps)
+	mid := (wfs.FilterTaps - 1) / 2
+	for t := 0; t < wfs.FilterTaps; t++ {
+		m := t - mid
+		var v float64
+		if m == 0 {
+			v = 2 * wfs.FilterCutoff
+		} else {
+			mf := float64(m)
+			arg := (2 * math.Pi * wfs.FilterCutoff * 0.5) * mf
+			v = math.Sin(arg) / (math.Pi * mf)
+		}
+		w := 0.54 - 0.46*math.Cos((2*math.Pi/float64(wfs.FilterTaps-1))*float64(t))
+		coefTime[t] = v * w
+	}
+	preCoef := make([]float64, wfs.PreTaps)
+	preCoef[0] = 1.0
+	c := -0.35
+	for t := 1; t < wfs.PreTaps; t++ {
+		preCoef[t] = c
+		c = c * 0.5
+	}
+
+	// ffw(0) and ffw(1): spectrum + refinement, H_main *= H_eq.
+	hMain := make([]float64, 2*fft)
+	ffw := func(which int) {
+		fb := make([]float64, 2*fft)
+		for t := 0; t < wfs.FilterTaps; t++ {
+			fb[2*t] = coefTime[t]
+		}
+		FFT1D(fb, fft, 1, bits)
+		for p := 0; p < wfs.FfwPasses; p++ {
+			for b := 0; b < fft; b++ {
+				prev := (b + fft - 1) & (fft - 1)
+				next := (b + 1) & (fft - 1)
+				re := fb[2*b]*0.98 + (fb[2*prev]*0.01 + fb[2*next]*0.01)
+				im := fb[2*b+1]*0.98 + (fb[2*prev+1]*0.01 + fb[2*next+1]*0.01)
+				fb[2*b] = re
+				fb[2*b+1] = im
+			}
+		}
+		if which == 0 {
+			copy(hMain, fb)
+		} else {
+			for b := 0; b < fft; b++ {
+				hr, hi := hMain[2*b], hMain[2*b+1]
+				xr, xi := fb[2*b], fb[2*b+1]
+				hMain[2*b] = hr*xr - hi*xi
+				hMain[2*b+1] = hr*xi + hi*xr
+			}
+		}
+	}
+	ffw(0)
+	ffw(1)
+
+	// SecondarySource_init.
+	spkPos := make([][2]float64, spk)
+	for s := 0; s < spk; s++ {
+		spkPos[s][0] = (float64(s) - float64(spk)/2) * wfs.SpeakerSpacing
+		spkPos[s][1] = 0
+	}
+
+	// wave_propagation: trajectory, gains, delays per step.
+	gains := make([]float64, steps*spk)
+	delays := make([]int, steps*spk)
+	for step := 0; step < steps; step++ {
+		// PrimarySource_deriveTP: Euler-accumulated angle.
+		ang := float64(step) * 0.12
+		for i := 0; i < n*wfs.TrajSubstepFactor; i++ {
+			ang = ang + 0.12/float64(cfg.FrameSize*wfs.TrajSubstepFactor)
+		}
+		px := wfs.SourceRadius * math.Cos(ang)
+		py := wfs.SourceDistance + (wfs.SourceRadius*0.5)*math.Sin(ang)
+		for s := 0; s < spk; s++ {
+			dx := px - spkPos[s][0]
+			dy := py - spkPos[s][1]
+			d := math.Sqrt(dx*dx + dy*dy)
+			g := wfs.GainQ / (wfs.RefDistance + d)
+			att := 1.0
+			for k := 0; k < wfs.PathSteps; k++ {
+				att = att * 0.98
+			}
+			g = g * (0.75 + 0.25*att)
+			del := int(math.Trunc(d * (float64(cfg.SampleRate) / wfs.SoundSpeed)))
+			if lim := ringN - n - 1; del > lim {
+				del = lim
+			}
+			// vsmult2d master volume.
+			gains[step*spk+s] = g * wfs.MasterVolume
+			delays[step*spk+s] = del
+		}
+	}
+
+	// Frame loop state.
+	preState := make([]float64, wfs.PreTaps) // x1..x7 live at [1..)
+	inBlock := make([]float64, fft)
+	smooth := make([]float64, 2*fft)
+	ring := make([]float64, ringN)
+	srcFrame := make([]float64, n)
+	spkFrames := make([]float64, spk*n)
+	outData := make([]float64, cfg.TotalOutputSamples())
+
+	for fr := 0; fr < cfg.Frames; fr++ {
+		// AudioIo_getFrames.
+		copy(srcFrame, src[fr*n:(fr+1)*n])
+
+		// Filter_process_pre_: register FIR window.
+		x := make([]float64, wfs.PreTaps)
+		copy(x[1:], preState[1:])
+		for i := 0; i < n; i++ {
+			x[0] = srcFrame[i]
+			acc := preCoef[0] * x[0]
+			for t := 1; t < wfs.PreTaps; t++ {
+				acc = acc + preCoef[t]*x[t]
+			}
+			srcFrame[i] = acc
+			for t := wfs.PreTaps - 1; t >= 1; t-- {
+				x[t] = x[t-1]
+			}
+		}
+		copy(preState[1:], x[1:])
+
+		// Filter_process.
+		fb := make([]float64, 2*fft)
+		copy(inBlock[n:], srcFrame)
+		for i := 0; i < fft; i++ {
+			fb[2*i] = inBlock[i]
+		}
+		FFT1D(fb, fft, 1, bits)
+		for b := 0; b < fft; b++ {
+			tr, ti := CMul(fb[2*b], fb[2*b+1], hMain[2*b], hMain[2*b+1])
+			fb[2*b], fb[2*b+1] = CAdd(tr, ti, smooth[2*b], smooth[2*b+1])
+			smooth[2*b] = tr * wfs.SmoothAlpha
+			smooth[2*b+1] = ti * wfs.SmoothAlpha
+		}
+		FFT1D(fb, fft, -1, bits)
+		wb := (fr * n) & mask
+		for i := 0; i < n; i++ {
+			ring[wb+i] = fb[2*(n+i)] * (1.0 / float64(fft))
+		}
+		copy(inBlock[:n], inBlock[n:])
+
+		// DelayLine_processChunk.
+		step := fr / cfg.TrajPeriod
+		pos := fr * n
+		for s := 0; s < spk; s++ {
+			g := gains[step*spk+s]
+			del := delays[step*spk+s]
+			for i := 0; i < n; i++ {
+				idx := (pos + i - del) & mask
+				// tmp starts from the zeroed scratch: 0 + g*v.
+				spkFrames[s*n+i] = 0 + g*ring[idx]
+			}
+		}
+
+		// AudioIo_setFrames.
+		for i := 0; i < n; i++ {
+			base := (fr*n + i) * spk
+			for s := 0; s < spk; s++ {
+				outData[base+s] = spkFrames[s*n+i]
+			}
+		}
+	}
+
+	// wav_store: error-feedback quantisation.
+	out := make([]int16, cfg.TotalOutputSamples())
+	var e0, e1 float64
+	for i, v := range outData {
+		corr := (e0 + e1) * 0.25
+		scaled := v*32767.0 + corr
+		var q int64
+		if scaled < 0 {
+			q = int64(math.Trunc(scaled - 0.5))
+		} else {
+			q = int64(math.Trunc(scaled + 0.5))
+		}
+		if q > 32767 {
+			q = 32767
+		}
+		if q < -32768 {
+			q = -32768
+		}
+		e1 = e0
+		e0 = scaled - float64(q)
+		out[i] = int16(q)
+	}
+	return out
+}

@@ -1,0 +1,303 @@
+// Package flatprof is a gprof-analogue flat profiler for guest programs:
+// it samples the simulated clock at a fixed period and attributes each
+// sample to the routine whose code is executing (self time) and to every
+// routine on the call stack (cumulative time), while counting exact call
+// numbers — the data behind the paper's Table I, and, run together with
+// an attached QUAD tool whose analysis overhead inflates the clock,
+// Table III.
+//
+// Sampling is settled lazily: between two instrumented events (calls and
+// returns) control stays within one routine, so the samples that accrued
+// in the interval can be attributed exactly when the next event fires.
+// This gives the same statistical model as gprof's timer interrupt with
+// none of the jitter (the paper ran gprof fifty times to average it out).
+package flatprof
+
+import (
+	"sort"
+
+	"tquad/internal/callstack"
+	"tquad/internal/pin"
+)
+
+// Options configure the profiler.
+type Options struct {
+	// SamplePeriod is the simulated time (instructions + charged
+	// overhead) between samples.  The analogue of gprof's 10 ms tick.
+	SamplePeriod uint64
+	// InstrPerSecond converts simulated time to seconds for the report
+	// ("by knowing the number of CPI ... it is possible to retrieve the
+	// conventional execution time").
+	InstrPerSecond float64
+	// ExcludeLibs drops library routines from attribution.
+	ExcludeLibs bool
+}
+
+// Defaults used when fields are zero.
+const (
+	DefaultSamplePeriod   = 10_000
+	DefaultInstrPerSecond = 1e9
+)
+
+func (o *Options) setDefaults() {
+	if o.SamplePeriod == 0 {
+		o.SamplePeriod = DefaultSamplePeriod
+	}
+	if o.InstrPerSecond == 0 {
+		o.InstrPerSecond = DefaultInstrPerSecond
+	}
+}
+
+type counters struct {
+	selfSamples uint64
+	cumSamples  uint64
+	calls       uint64
+}
+
+// Profiler is one attached flat profiler.
+type Profiler struct {
+	opts   Options
+	engine *pin.Engine
+	stack  *callstack.Stack
+
+	taken uint64 // samples settled so far
+	funcs map[string]*counters
+}
+
+// Attach wires the profiler onto the engine.  Call before running; call
+// Finish after the machine halts.
+func Attach(e *pin.Engine, opts Options) *Profiler {
+	opts.setDefaults()
+	p := &Profiler{
+		opts:   opts,
+		engine: e,
+		funcs:  make(map[string]*counters),
+	}
+	e.InitSymbols()
+	p.stack = callstack.New(func(target uint64) (string, bool, bool) {
+		rtn, ok := e.RTNFindByAddress(target)
+		if !ok {
+			return "", false, false
+		}
+		return rtn.Name(), rtn.IsInMainImage(), true
+	}, opts.ExcludeLibs)
+
+	e.INSAddInstrumentFunction(func(ins *pin.INS) {
+		switch {
+		case ins.IsCall():
+			ins.InsertCall(func(ctx *pin.Context) {
+				p.settle(ctx.PC)
+				p.stack.OnCall(ctx.Target)
+				if fr, ok := p.stack.Current(); ok {
+					p.fn(fr.Name).calls++
+				}
+			})
+		case ins.IsRet():
+			ins.InsertCall(func(ctx *pin.Context) {
+				p.settle(ctx.PC)
+				p.stack.OnReturn()
+			})
+		}
+	})
+	return p
+}
+
+func (p *Profiler) fn(name string) *counters {
+	c := p.funcs[name]
+	if c == nil {
+		c = &counters{}
+		p.funcs[name] = c
+	}
+	return c
+}
+
+// settle attributes the samples that accrued since the last event to the
+// routine containing pc (self time) and to every routine on the stack
+// (cumulative time).
+func (p *Profiler) settle(pc uint64) {
+	due := p.engine.Machine().Time() / p.opts.SamplePeriod
+	if due <= p.taken {
+		return
+	}
+	n := due - p.taken
+	p.taken = due
+
+	var cur string
+	if rtn, ok := p.engine.RTNFindByAddress(pc); ok {
+		if p.opts.ExcludeLibs && !rtn.IsInMainImage() {
+			cur = ""
+		} else {
+			cur = rtn.Name()
+		}
+	}
+	if cur != "" {
+		p.fn(cur).selfSamples += n
+	}
+	// Cumulative attribution: each distinct routine on the stack (plus
+	// the one executing) gets the samples once.
+	seen := map[string]bool{}
+	if cur != "" {
+		seen[cur] = true
+		p.fn(cur).cumSamples += n
+	}
+	for _, fr := range p.stack.Frames() {
+		if fr.Name == "" || seen[fr.Name] {
+			continue
+		}
+		seen[fr.Name] = true
+		p.fn(fr.Name).cumSamples += n
+	}
+}
+
+// Finish settles outstanding samples after the machine halts.
+func (p *Profiler) Finish() {
+	p.settle(p.engine.Machine().PC)
+}
+
+// Row is one line of the flat profile.
+type Row struct {
+	Name        string
+	Pct         float64 // % of total execution time (self)
+	SelfSeconds float64
+	Calls       uint64
+	SelfMsCall  float64 // self milliseconds per call
+	TotalMsCall float64 // self+descendants milliseconds per call
+}
+
+// Profile is a finished flat profile, rows sorted by descending self
+// time.
+type Profile struct {
+	TotalSeconds float64
+	TotalSamples uint64
+	Rows         []Row
+}
+
+// Report assembles the flat profile.
+func (p *Profiler) Report() *Profile {
+	p.Finish()
+	secPerSample := float64(p.opts.SamplePeriod) / p.opts.InstrPerSecond
+	prof := &Profile{TotalSamples: p.taken}
+	prof.TotalSeconds = float64(p.taken) * secPerSample
+	for name, c := range p.funcs {
+		if c.selfSamples == 0 && c.calls == 0 {
+			continue
+		}
+		r := Row{
+			Name:        name,
+			SelfSeconds: float64(c.selfSamples) * secPerSample,
+			Calls:       c.calls,
+		}
+		if p.taken > 0 {
+			r.Pct = 100 * float64(c.selfSamples) / float64(p.taken)
+		}
+		if c.calls > 0 {
+			r.SelfMsCall = 1000 * r.SelfSeconds / float64(c.calls)
+			r.TotalMsCall = 1000 * float64(c.cumSamples) * secPerSample / float64(c.calls)
+		}
+		prof.Rows = append(prof.Rows, r)
+	}
+	sort.Slice(prof.Rows, func(i, j int) bool {
+		if prof.Rows[i].SelfSeconds != prof.Rows[j].SelfSeconds {
+			return prof.Rows[i].SelfSeconds > prof.Rows[j].SelfSeconds
+		}
+		return prof.Rows[i].Name < prof.Rows[j].Name
+	})
+	return prof
+}
+
+// Row returns the named row.
+func (p *Profile) Row(name string) (Row, bool) {
+	for _, r := range p.Rows {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Row{}, false
+}
+
+// Rank returns the 1-based position of the named function, 0 if absent.
+func (p *Profile) Rank(name string) int {
+	for i, r := range p.Rows {
+		if r.Name == name {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// Trend classifies how a function's contribution moved between a baseline
+// profile and an instrumented one — the arrows of Table III.
+type Trend string
+
+// Trend values.
+const (
+	TrendStrongUp   Trend = "up2"   // ↑↑
+	TrendUp         Trend = "up"    // ↑
+	TrendFlat       Trend = "flat"  // ↔
+	TrendDown       Trend = "down"  // ↓
+	TrendStrongDown Trend = "down2" // ↓↓
+)
+
+// Arrow renders the trend as in the paper.
+func (t Trend) Arrow() string {
+	switch t {
+	case TrendStrongUp:
+		return "++"
+	case TrendUp:
+		return "+"
+	case TrendDown:
+		return "-"
+	case TrendStrongDown:
+		return "--"
+	}
+	return "="
+}
+
+// CompareRow is one line of the Table III comparison.
+type CompareRow struct {
+	Name    string
+	Pct     float64 // % time in the instrumented run
+	Seconds float64
+	Rank    int
+	Trend   Trend
+}
+
+// Compare builds Table III: for each function of the baseline profile,
+// its percentage, rank and trend in the instrumented profile.
+func Compare(baseline, instrumented *Profile, names []string) []CompareRow {
+	rows := make([]CompareRow, 0, len(names))
+	for _, name := range names {
+		nr, _ := instrumented.Row(name)
+		br, _ := baseline.Row(name)
+		cr := CompareRow{
+			Name:    name,
+			Pct:     nr.Pct,
+			Seconds: nr.SelfSeconds,
+			Rank:    instrumented.Rank(name),
+		}
+		switch ratio := safeRatio(nr.Pct, br.Pct); {
+		case ratio >= 2:
+			cr.Trend = TrendStrongUp
+		case ratio >= 1.25:
+			cr.Trend = TrendUp
+		case ratio <= 0.3:
+			cr.Trend = TrendStrongDown
+		case ratio <= 0.8:
+			cr.Trend = TrendDown
+		default:
+			cr.Trend = TrendFlat
+		}
+		rows = append(rows, cr)
+	}
+	return rows
+}
+
+func safeRatio(a, b float64) float64 {
+	if b == 0 {
+		if a == 0 {
+			return 1
+		}
+		return 2
+	}
+	return a / b
+}

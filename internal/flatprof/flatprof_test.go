@@ -1,0 +1,196 @@
+package flatprof_test
+
+import (
+	"testing"
+
+	"tquad/internal/flatprof"
+	"tquad/internal/glibc"
+	"tquad/internal/gos"
+	"tquad/internal/hl"
+	"tquad/internal/image"
+	"tquad/internal/pin"
+	"tquad/internal/vm"
+)
+
+// buildSkewed links a program where `heavy` burns roughly 9x the
+// instructions of `light`, with known call counts.
+func buildSkewed(t *testing.T) *vm.Machine {
+	t.Helper()
+	b := hl.NewBuilder("t", image.Main)
+	spin := func(iters int64) func(f *hl.Fn) {
+		return func(f *hl.Fn) {
+			acc := f.Local()
+			f.SetI(acc, 0)
+			i := f.Local()
+			f.ForRangeI(i, 0, iters, func() {
+				f.Set(acc, f.Add(acc, i))
+			})
+			f.Ret(acc)
+		}
+	}
+	b.Func("heavy", 0, spin(9000))
+	b.Func("light", 0, spin(1000))
+	b.Func("main", 0, func(f *hl.Fn) {
+		k := f.Local()
+		f.ForRangeI(k, 0, 5, func() {
+			f.CallV("heavy")
+			f.CallV("light")
+			f.CallV("light")
+		})
+		f.Ret0()
+	})
+	prog, err := hl.Link(b, glibc.Builder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := vm.New()
+	m.SetSyscallHandler(gos.New())
+	for _, img := range prog.Images() {
+		m.LoadImage(img)
+	}
+	m.Reset(prog.EntryPC)
+	return m
+}
+
+func profileSkewed(t *testing.T, opts flatprof.Options) *flatprof.Profile {
+	t.Helper()
+	m := buildSkewed(t)
+	e := pin.NewEngine(m)
+	p := flatprof.Attach(e, opts)
+	if err := m.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	return p.Report()
+}
+
+func TestExactCallCounts(t *testing.T) {
+	p := profileSkewed(t, flatprof.Options{SamplePeriod: 100})
+	h, _ := p.Row("heavy")
+	l, _ := p.Row("light")
+	if h.Calls != 5 {
+		t.Errorf("heavy calls = %d, want 5", h.Calls)
+	}
+	if l.Calls != 10 {
+		t.Errorf("light calls = %d, want 10", l.Calls)
+	}
+}
+
+func TestSelfTimeProportions(t *testing.T) {
+	p := profileSkewed(t, flatprof.Options{SamplePeriod: 50})
+	h, _ := p.Row("heavy")
+	l, _ := p.Row("light")
+	// heavy runs 9000 iterations x5, light 1000 x10: ratio 4.5.
+	ratio := h.SelfSeconds / l.SelfSeconds
+	if ratio < 3.5 || ratio > 5.5 {
+		t.Errorf("heavy/light self-time ratio = %.2f, want ~4.5", ratio)
+	}
+	if p.Rank("heavy") != 1 {
+		t.Errorf("heavy rank = %d, want 1", p.Rank("heavy"))
+	}
+}
+
+func TestPercentagesSumBelow100(t *testing.T) {
+	p := profileSkewed(t, flatprof.Options{SamplePeriod: 50})
+	var sum float64
+	for _, r := range p.Rows {
+		if r.Pct < 0 {
+			t.Errorf("%s negative pct %f", r.Name, r.Pct)
+		}
+		sum += r.Pct
+	}
+	if sum > 100.0001 {
+		t.Errorf("pct sum = %.3f > 100", sum)
+	}
+	if sum < 90 {
+		t.Errorf("pct sum = %.3f, unattributed time too large", sum)
+	}
+}
+
+func TestCumulativeCoversDescendants(t *testing.T) {
+	p := profileSkewed(t, flatprof.Options{SamplePeriod: 50})
+	m, ok := p.Row("main")
+	if !ok {
+		t.Fatal("main missing")
+	}
+	h, _ := p.Row("heavy")
+	// main's total-per-call includes heavy's and light's time, so it
+	// must exceed its own (tiny) self time and heavy's per-call time.
+	if m.TotalMsCall <= h.SelfMsCall*5 {
+		t.Errorf("main total/call %.4f does not cover descendants (heavy 5x%.4f)",
+			m.TotalMsCall, h.SelfMsCall)
+	}
+	if m.SelfMsCall >= m.TotalMsCall {
+		t.Errorf("main self %.4f >= total %.4f", m.SelfMsCall, m.TotalMsCall)
+	}
+}
+
+func TestSecondsConversion(t *testing.T) {
+	p := profileSkewed(t, flatprof.Options{SamplePeriod: 100, InstrPerSecond: 1e6})
+	// ~165k instructions at 1e6 instr/s is ~0.165 simulated seconds.
+	if p.TotalSeconds < 0.05 || p.TotalSeconds > 0.5 {
+		t.Errorf("TotalSeconds = %f, want ~0.1-0.2", p.TotalSeconds)
+	}
+}
+
+func TestTrendClassification(t *testing.T) {
+	mk := func(names []string, pcts []float64) *flatprof.Profile {
+		p := &flatprof.Profile{TotalSamples: 1000}
+		for i, n := range names {
+			p.Rows = append(p.Rows, flatprof.Row{Name: n, Pct: pcts[i], SelfSeconds: pcts[i]})
+		}
+		return p
+	}
+	base := mk([]string{"a", "b", "c", "d", "e"}, []float64{10, 10, 10, 10, 10})
+	instr := mk([]string{"a", "b", "c", "d", "e"}, []float64{25, 13, 10, 7.5, 2})
+	rows := flatprof.Compare(base, instr, []string{"a", "b", "c", "d", "e"})
+	want := map[string]flatprof.Trend{
+		"a": flatprof.TrendStrongUp,
+		"b": flatprof.TrendUp,
+		"c": flatprof.TrendFlat,
+		"d": flatprof.TrendDown,
+		"e": flatprof.TrendStrongDown,
+	}
+	for _, r := range rows {
+		if r.Trend != want[r.Name] {
+			t.Errorf("%s trend = %v, want %v", r.Name, r.Trend, want[r.Name])
+		}
+	}
+	arrows := map[flatprof.Trend]string{
+		flatprof.TrendStrongUp: "++", flatprof.TrendUp: "+", flatprof.TrendFlat: "=",
+		flatprof.TrendDown: "-", flatprof.TrendStrongDown: "--",
+	}
+	for tr, a := range arrows {
+		if tr.Arrow() != a {
+			t.Errorf("%v arrow = %q, want %q", tr, tr.Arrow(), a)
+		}
+	}
+}
+
+func TestExcludeLibsProfile(t *testing.T) {
+	m := buildSkewed(t)
+	e := pin.NewEngine(m)
+	p := flatprof.Attach(e, flatprof.Options{SamplePeriod: 50, ExcludeLibs: true})
+	if err := m.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	prof := p.Report()
+	if _, ok := prof.Row("heavy"); !ok {
+		t.Fatal("heavy missing")
+	}
+	// _start is not in the main image's... it is. Library routines are
+	// the glibc image's; none are called here, but the option must not
+	// break attribution.
+	if prof.TotalSamples == 0 {
+		t.Fatal("no samples recorded")
+	}
+}
+
+func TestRankMissing(t *testing.T) {
+	p := &flatprof.Profile{}
+	if p.Rank("ghost") != 0 {
+		t.Errorf("Rank of missing function must be 0")
+	}
+	if _, ok := p.Row("ghost"); ok {
+		t.Errorf("Row of missing function must not be ok")
+	}
+}

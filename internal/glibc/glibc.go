@@ -1,0 +1,131 @@
+// Package glibc builds the guest C-library image: a handful of memory and
+// I/O routines compiled into a *separate library image*, so that the
+// profilers' "exclude OS and library routine calls" option has something
+// real to exclude — exactly the main-image test tQUAD applies ("tQUAD
+// ignores the functions which are not in the main image file of the
+// program").
+package glibc
+
+import (
+	"tquad/internal/gos"
+	"tquad/internal/hl"
+	"tquad/internal/image"
+)
+
+// Builder returns the library image builder with the full libc routine
+// set declared.  Link it alongside the application's main builder.
+func Builder() *hl.Builder {
+	b := hl.NewBuilder("libc", image.Library)
+
+	// memcpy(dst, src, n): forward byte copy in 8-byte chunks with a
+	// byte tail.  Returns dst.
+	b.Func("memcpy", 3, func(f *hl.Fn) {
+		dst, src, n := f.Param(0), f.Param(1), f.Param(2)
+		i := f.Local()
+		lim := f.Local()
+		f.Set(lim, f.AndI(n, ^int64(7)))
+		f.SetI(i, 0)
+		f.While(func() hl.Reg { return f.Slt(i, lim) }, func() {
+			f.St8(f.Add(dst, i), 0, f.Ld8(f.Add(src, i), 0))
+			f.Inc(i, 8)
+		})
+		f.While(func() hl.Reg { return f.Slt(i, n) }, func() {
+			f.St1(f.Add(dst, i), 0, f.Ld1(f.Add(src, i), 0))
+			f.Inc(i, 1)
+		})
+		f.Ret(dst)
+	})
+
+	// memset(dst, c, n): byte fill.  Returns dst.
+	b.Func("memset", 3, func(f *hl.Fn) {
+		dst, c, n := f.Param(0), f.Param(1), f.Param(2)
+		i := f.Local()
+		f.ForRange(i, 0, n, func() {
+			f.St1(f.Add(dst, i), 0, c)
+		})
+		f.Ret(dst)
+	})
+
+	// memset8(dst, v, n): fill n 8-byte words with v.  Returns dst.
+	b.Func("memset8", 3, func(f *hl.Fn) {
+		dst, v, n := f.Param(0), f.Param(1), f.Param(2)
+		i := f.Local()
+		f.ForRange(i, 0, n, func() {
+			f.St8(f.Add(dst, f.ShlI(i, 3)), 0, v)
+		})
+		f.Ret(dst)
+	})
+
+	// imin(a, b) / imax(a, b): signed integer min/max.
+	b.Func("imin", 2, func(f *hl.Fn) {
+		a, bb := f.Param(0), f.Param(1)
+		f.If(f.Slt(a, bb), func() { f.Ret(a) })
+		f.Ret(bb)
+	})
+	b.Func("imax", 2, func(f *hl.Fn) {
+		a, bb := f.Param(0), f.Param(1)
+		f.If(f.Slt(a, bb), func() { f.Ret(bb) })
+		f.Ret(a)
+	})
+
+	// iabs(a): integer absolute value.
+	b.Func("iabs", 1, func(f *hl.Fn) {
+		a := f.Param(0)
+		f.If(f.SltI(a, 0), func() { f.Ret(f.Sub(f.Zero(), a)) })
+		f.Ret(a)
+	})
+
+	// read_full(fd, buf, n): loop SysRead until n bytes or EOF; returns
+	// the bytes actually read.
+	b.Func("read_full", 3, func(f *hl.Fn) {
+		fd, buf, n := f.Param(0), f.Param(1), f.Param(2)
+		got := f.Local()
+		f.SetI(got, 0)
+		done := f.Local()
+		f.SetI(done, 0)
+		f.While(func() hl.Reg {
+			return f.And(f.Seq(done, f.Zero()), f.Slt(got, n))
+		}, func() {
+			r := f.Local()
+			f.Set(r, f.Syscall(gos.SysRead, fd, f.Add(buf, got), f.Sub(n, got)))
+			f.If(f.SltI(r, 1), func() {
+				f.SetI(done, 1)
+			}, func() {
+				f.Set(got, f.Add(got, r))
+			})
+		})
+		f.Ret(got)
+	})
+
+	// write_all(fd, buf, n): buffered write — checksums the payload (the
+	// stdio-style per-byte pass every buffered write pays) and loops
+	// SysWrite until everything is out.  Returns the checksum.
+	b.Func("write_all", 3, func(f *hl.Fn) {
+		fd, buf, n := f.Param(0), f.Param(1), f.Param(2)
+		crc := f.Local()
+		i := f.Local()
+		f.SetI(crc, 0)
+		f.ForRange(i, 0, n, func() {
+			v := f.Ld1(f.Add(buf, i), 0)
+			f.Set(crc, f.Xor(f.ShrI(crc, 1), f.Mul(v, f.Const(0x9E3779B1))))
+		})
+		done := f.Local()
+		f.SetI(done, 0)
+		f.While(func() hl.Reg { return f.Slt(done, n) }, func() {
+			r := f.Local()
+			f.Set(r, f.Syscall(gos.SysWrite, fd, f.Add(buf, done), f.Sub(n, done)))
+			f.Set(done, f.Add(done, r))
+		})
+		f.Ret(crc)
+	})
+
+	// open_r(name, len) / open_w(name, len): open helpers.
+	b.Func("open_r", 2, func(f *hl.Fn) {
+		f.Ret(f.Syscall(gos.SysOpen, f.Param(0), f.Param(1), f.Const(gos.OpenRead)))
+	})
+	b.Func("open_w", 2, func(f *hl.Fn) {
+		f.Ret(f.Syscall(gos.SysOpen, f.Param(0), f.Param(1), f.Const(gos.OpenWrite)))
+	})
+
+	return b
+}

@@ -1,0 +1,203 @@
+package glibc_test
+
+import (
+	"bytes"
+	"testing"
+
+	"tquad/internal/glibc"
+	"tquad/internal/gos"
+	"tquad/internal/hl"
+	"tquad/internal/image"
+	"tquad/internal/vm"
+)
+
+// harness links a main that exercises one libc routine and returns the
+// machine plus OS after the run.
+func harness(t *testing.T, setup func(b *hl.Builder), main func(f *hl.Fn), files map[string][]byte) (*vm.Machine, *gos.OS) {
+	t.Helper()
+	b := hl.NewBuilder("t", image.Main)
+	if setup != nil {
+		setup(b)
+	}
+	b.Func("main", 0, main)
+	prog, err := hl.Link(b, glibc.Builder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := vm.New()
+	osys := gos.New()
+	for name, data := range files {
+		osys.AddFile(name, data)
+	}
+	m.SetSyscallHandler(osys)
+	for _, img := range prog.Images() {
+		m.LoadImage(img)
+	}
+	m.Reset(prog.EntryPC)
+	if err := m.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	return m, osys
+}
+
+func TestMemcpyAllLengths(t *testing.T) {
+	// Copy lengths around the 8-byte chunk boundary, verify with a
+	// checksum of the destination.
+	for _, n := range []int64{0, 1, 7, 8, 9, 15, 16, 17, 64, 100} {
+		var src, dst hl.Global
+		m, _ := harness(t, func(b *hl.Builder) {
+			data := make([]byte, 128)
+			for i := range data {
+				data[i] = byte(i + 1)
+			}
+			src = b.GlobalData("src", data)
+			dst = b.Global("dst", 128)
+		}, func(f *hl.Fn) {
+			f.CallV("memcpy", f.GAddr(dst), f.GAddr(src), f.Const(n))
+			f.Ret0()
+		}, nil)
+		got := make([]byte, 128)
+		m.Mem.Read(0x0200_0000, got) // src is the first initialised symbol
+		_ = got
+		// Verify via direct memory inspection of dst.
+		want := make([]byte, 128)
+		for i := int64(0); i < n; i++ {
+			want[i] = byte(i + 1)
+		}
+		dstAddr := findGlobal(t, m, n)
+		dstBytes := make([]byte, 128)
+		m.Mem.Read(dstAddr, dstBytes)
+		if !bytes.Equal(dstBytes[:n], want[:n]) {
+			t.Fatalf("n=%d: dst=%v want=%v", n, dstBytes[:n], want[:n])
+		}
+		for i := n; i < 128; i++ {
+			if dstBytes[i] != 0 {
+				t.Fatalf("n=%d: memcpy overran at %d", n, i)
+			}
+		}
+	}
+}
+
+// findGlobal locates the dst buffer: it is the BSS symbol right after the
+// 128-byte initialised src.
+func findGlobal(t *testing.T, m *vm.Machine, _ int64) uint64 {
+	t.Helper()
+	for _, img := range m.Images {
+		if img.Kind == image.Main {
+			return img.DataBase + uint64(len(img.Data))
+		}
+	}
+	t.Fatal("main image missing")
+	return 0
+}
+
+func TestMemsetAndMemset8(t *testing.T) {
+	var buf hl.Global
+	m, _ := harness(t, func(b *hl.Builder) {
+		buf = b.Global("buf", 64)
+	}, func(f *hl.Fn) {
+		f.CallV("memset", f.GAddr(buf), f.Const(0xAB), f.Const(10))
+		f.CallV("memset8", f.AddI(f.GAddr(buf), 16), f.Const(0x1122334455667788), f.Const(2))
+		f.Ret0()
+	}, nil)
+	base := mainBSS(t, m)
+	for i := uint64(0); i < 10; i++ {
+		if m.Mem.ByteAt(base+i) != 0xAB {
+			t.Fatalf("memset byte %d = %#x", i, m.Mem.ByteAt(base+i))
+		}
+	}
+	if m.Mem.ByteAt(base+10) != 0 {
+		t.Fatalf("memset overran")
+	}
+	if m.Mem.ReadUint64(base+16) != 0x1122334455667788 || m.Mem.ReadUint64(base+24) != 0x1122334455667788 {
+		t.Fatalf("memset8 wrong: %#x %#x", m.Mem.ReadUint64(base+16), m.Mem.ReadUint64(base+24))
+	}
+}
+
+func mainBSS(t *testing.T, m *vm.Machine) uint64 {
+	t.Helper()
+	for _, img := range m.Images {
+		if img.Kind == image.Main {
+			return img.DataBase + uint64(len(img.Data))
+		}
+	}
+	t.Fatal("no main image")
+	return 0
+}
+
+func TestIntHelpers(t *testing.T) {
+	cases := []struct {
+		fn   string
+		a, b int64
+		want int64
+	}{
+		{"imin", 3, 9, 3},
+		{"imin", 9, 3, 3},
+		{"imin", -5, 5, -5},
+		{"imax", 3, 9, 9},
+		{"imax", -5, -9, -5},
+		{"iabs", -7, 0, 7},
+		{"iabs", 7, 0, 7},
+	}
+	for _, c := range cases {
+		fn, a, bb, want := c.fn, c.a, c.b, c.want
+		m, _ := harness(t, nil, func(f *hl.Fn) {
+			if fn == "iabs" {
+				f.Ret(f.Call(fn, f.Const(a)))
+			} else {
+				f.Ret(f.Call(fn, f.Const(a), f.Const(bb)))
+			}
+		}, nil)
+		if m.ExitCode != want {
+			t.Errorf("%s(%d,%d) = %d, want %d", fn, a, bb, m.ExitCode, want)
+		}
+	}
+}
+
+func TestReadFullAcrossChunks(t *testing.T) {
+	var buf hl.Global
+	data := make([]byte, 300)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	m, _ := harness(t, func(b *hl.Builder) {
+		buf = b.Global("buf", 512)
+	}, func(f *hl.Fn) {
+		nm, nl := f.Str("f")
+		fd := f.Call("open_r", nm, f.Const(nl))
+		got := f.Call("read_full", fd, f.GAddr(buf), f.Const(512))
+		f.Ret(got) // 300: EOF before 512
+	}, map[string][]byte{"f": data})
+	if m.ExitCode != 300 {
+		t.Fatalf("read_full = %d, want 300", m.ExitCode)
+	}
+	base := mainBSS(t, m)
+	got := make([]byte, 300)
+	m.Mem.Read(base, got)
+	if !bytes.Equal(got, data) {
+		t.Fatalf("read_full data mismatch")
+	}
+}
+
+func TestWriteAllProducesFile(t *testing.T) {
+	var buf hl.Global
+	m, osys := harness(t, func(b *hl.Builder) {
+		buf = b.Global("buf", 16)
+	}, func(f *hl.Fn) {
+		p := f.Local()
+		f.Set(p, f.GAddr(buf))
+		i := f.Local()
+		f.ForRangeI(i, 0, 16, func() {
+			f.St1(f.Add(p, i), 0, f.AddI(i, 65)) // 'A'..'P'
+		})
+		nm, nl := f.Str("out")
+		fd := f.Call("open_w", nm, f.Const(nl))
+		f.CallV("write_all", fd, p, f.Const(16))
+		f.Ret0()
+	}, nil)
+	_ = m
+	got, ok := osys.File("out")
+	if !ok || string(got) != "ABCDEFGHIJKLMNOP" {
+		t.Fatalf("write_all produced %q (ok=%v)", got, ok)
+	}
+}

@@ -1,0 +1,231 @@
+package hl_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"tquad/internal/gos"
+	"tquad/internal/hl"
+	"tquad/internal/image"
+	"tquad/internal/vm"
+)
+
+// A tiny statement AST generated once and then executed twice: emitted as
+// guest code through the builder, and interpreted directly on the host.
+// Any divergence is a compiler/VM bug.
+type stmt interface {
+	emit(f *hl.Fn, locals []hl.Reg)
+	eval(vals []int64)
+}
+
+type assign struct {
+	dst, a, b int
+	op        byte // '+', '-', '*', '^', '<'
+}
+
+func (s assign) emit(f *hl.Fn, locals []hl.Reg) {
+	switch s.op {
+	case '+':
+		f.Set(locals[s.dst], f.Add(locals[s.a], locals[s.b]))
+	case '-':
+		f.Set(locals[s.dst], f.Sub(locals[s.a], locals[s.b]))
+	case '*':
+		f.Set(locals[s.dst], f.Mul(locals[s.a], locals[s.b]))
+	case '^':
+		f.Set(locals[s.dst], f.Xor(locals[s.a], locals[s.b]))
+	case '<':
+		f.Set(locals[s.dst], f.Slt(locals[s.a], locals[s.b]))
+	}
+}
+
+func (s assign) eval(vals []int64) {
+	switch s.op {
+	case '+':
+		vals[s.dst] = vals[s.a] + vals[s.b]
+	case '-':
+		vals[s.dst] = vals[s.a] - vals[s.b]
+	case '*':
+		vals[s.dst] = vals[s.a] * vals[s.b]
+	case '^':
+		vals[s.dst] = vals[s.a] ^ vals[s.b]
+	case '<':
+		if vals[s.a] < vals[s.b] {
+			vals[s.dst] = 1
+		} else {
+			vals[s.dst] = 0
+		}
+	}
+}
+
+type ifStmt struct {
+	cond      int   // local tested against a constant
+	limit     int64 // condition: locals[cond] < limit
+	then, els []stmt
+}
+
+func (s ifStmt) emit(f *hl.Fn, locals []hl.Reg) {
+	f.If(f.SltI(locals[s.cond], s.limit), func() {
+		for _, st := range s.then {
+			st.emit(f, locals)
+		}
+	}, func() {
+		for _, st := range s.els {
+			st.emit(f, locals)
+		}
+	})
+}
+
+func (s ifStmt) eval(vals []int64) {
+	branch := s.els
+	if vals[s.cond] < s.limit {
+		branch = s.then
+	}
+	for _, st := range branch {
+		st.eval(vals)
+	}
+}
+
+type loopStmt struct {
+	iters int64 // fixed trip count (keeps host/guest trivially aligned)
+	level int   // nesting level selects a dedicated loop variable
+	body  []stmt
+}
+
+func (s loopStmt) emit(f *hl.Fn, locals []hl.Reg) {
+	// Each nesting level owns a loop variable beyond the modelled set,
+	// so nested loops never clobber an enclosing counter.
+	i := locals[len(locals)-1-s.level]
+	f.ForRangeI(i, 0, s.iters, func() {
+		for _, st := range s.body {
+			st.emit(f, locals)
+		}
+	})
+}
+
+func (s loopStmt) eval(vals []int64) {
+	for k := int64(0); k < s.iters; k++ {
+		for _, st := range s.body {
+			st.eval(vals)
+		}
+	}
+}
+
+type callStmt struct {
+	dst, arg int
+}
+
+func (s callStmt) emit(f *hl.Fn, locals []hl.Reg) {
+	r := f.Call("mix", locals[s.arg])
+	f.Set(locals[s.dst], r)
+}
+
+func (s callStmt) eval(vals []int64) {
+	vals[s.dst] = mixModel(vals[s.arg])
+}
+
+// mixModel mirrors the guest "mix" helper below.
+func mixModel(x int64) int64 {
+	x = x*2654435761 + 12345
+	x ^= int64(uint64(x) >> 13)
+	return x
+}
+
+// genBlock builds a random statement list, bounded in depth and size.
+func genBlock(rng *rand.Rand, nLocals, depth int, budget *int) []stmt {
+	var out []stmt
+	for *budget > 0 && rng.Intn(4) != 0 {
+		*budget--
+		switch k := rng.Intn(10); {
+		case k < 5:
+			out = append(out, assign{
+				dst: rng.Intn(nLocals), a: rng.Intn(nLocals), b: rng.Intn(nLocals),
+				op: []byte{'+', '-', '*', '^', '<'}[rng.Intn(5)],
+			})
+		case k < 7 && depth > 0:
+			out = append(out, ifStmt{
+				cond:  rng.Intn(nLocals),
+				limit: int64(rng.Intn(2001) - 1000),
+				then:  genBlock(rng, nLocals, depth-1, budget),
+				els:   genBlock(rng, nLocals, depth-1, budget),
+			})
+		case k < 9 && depth > 0:
+			out = append(out, loopStmt{
+				iters: int64(rng.Intn(6)),
+				level: depth,
+				body:  genBlock(rng, nLocals, depth-1, budget),
+			})
+		default:
+			out = append(out, callStmt{dst: rng.Intn(nLocals), arg: rng.Intn(nLocals)})
+		}
+	}
+	return out
+}
+
+// TestControlFlowFuzz: random programs with branches, fixed-trip loops
+// and helper calls behave identically in guest code and on the host.
+func TestControlFlowFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(987654321))
+	const nLocals = 6
+	for trial := 0; trial < 80; trial++ {
+		budget := 40
+		prog := genBlock(rng, nLocals, 3, &budget)
+		init := make([]int64, nLocals)
+		for i := range init {
+			init[i] = int64(rng.Intn(401) - 200)
+		}
+
+		// Host evaluation.
+		vals := append([]int64(nil), init...)
+		for _, st := range prog {
+			st.eval(vals)
+		}
+		var want int64
+		for _, v := range vals {
+			want ^= v
+		}
+		want &= 0x7fffffff
+
+		// Guest emission.
+		b := hl.NewBuilder("cfuzz", image.Main)
+		b.Func("mix", 1, func(f *hl.Fn) {
+			x := f.Param(0)
+			f.Set(x, f.Add(f.Mul(x, f.Const(2654435761)), f.Const(12345)))
+			f.Set(x, f.Xor(x, f.ShrI(x, 13)))
+			f.Ret(x)
+		})
+		b.Func("main", 0, func(f *hl.Fn) {
+			locals := make([]hl.Reg, nLocals+4) // +4 loop variables (one per depth)
+			for i := range locals {
+				locals[i] = f.Local()
+			}
+			for i := 0; i < nLocals; i++ {
+				f.SetI(locals[i], init[i])
+			}
+			for _, st := range prog {
+				st.emit(f, locals)
+			}
+			acc := f.Local()
+			f.SetI(acc, 0)
+			for i := 0; i < nLocals; i++ {
+				f.Set(acc, f.Xor(acc, locals[i]))
+			}
+			f.Ret(f.AndI(acc, 0x7fffffff))
+		})
+		p, err := hl.Link(b)
+		if err != nil {
+			t.Fatalf("trial %d: link: %v", trial, err)
+		}
+		m := vm.New()
+		m.SetSyscallHandler(gos.New())
+		for _, img := range p.Images() {
+			m.LoadImage(img)
+		}
+		m.Reset(p.EntryPC)
+		if err := m.Run(50_000_000); err != nil {
+			t.Fatalf("trial %d: run: %v", trial, err)
+		}
+		if m.ExitCode != want {
+			t.Fatalf("trial %d: guest %d != host %d", trial, m.ExitCode, want)
+		}
+	}
+}

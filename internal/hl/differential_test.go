@@ -1,0 +1,164 @@
+package hl_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"tquad/internal/gos"
+	"tquad/internal/hl"
+	"tquad/internal/image"
+	"tquad/internal/vm"
+)
+
+// TestRandomProgramsMatchHostSemantics is a differential fuzz test: it
+// generates random straight-line integer programs through the builder
+// API, simultaneously evaluating them on the host, and requires the
+// guest result to match exactly.  This closes the loop across the whole
+// toolchain — builder, register allocator, linker, encoder, decoder,
+// interpreter.
+func TestRandomProgramsMatchHostSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260705))
+	for trial := 0; trial < 120; trial++ {
+		b := hl.NewBuilder("fuzz", image.Main)
+
+		// Host-side model of up to 8 variables.
+		vals := make([]int64, 8)
+		for i := range vals {
+			vals[i] = int64(rng.Intn(2001) - 1000)
+		}
+
+		b.Func("main", 0, func(f *hl.Fn) {
+			locals := make([]hl.Reg, len(vals))
+			for i := range locals {
+				locals[i] = f.Local()
+				f.SetI(locals[i], vals[i])
+			}
+			model := append([]int64(nil), vals...)
+			steps := rng.Intn(60) + 10
+			for s := 0; s < steps; s++ {
+				d := rng.Intn(len(locals))
+				a := rng.Intn(len(locals))
+				c := rng.Intn(len(locals))
+				switch rng.Intn(8) {
+				case 0:
+					f.Set(locals[d], f.Add(locals[a], locals[c]))
+					model[d] = model[a] + model[c]
+				case 1:
+					f.Set(locals[d], f.Sub(locals[a], locals[c]))
+					model[d] = model[a] - model[c]
+				case 2:
+					f.Set(locals[d], f.Mul(locals[a], locals[c]))
+					model[d] = model[a] * model[c]
+				case 3:
+					f.Set(locals[d], f.Xor(locals[a], locals[c]))
+					model[d] = model[a] ^ model[c]
+				case 4:
+					k := int64(rng.Intn(63) + 1)
+					f.Set(locals[d], f.AndI(locals[a], k))
+					model[d] = model[a] & k
+				case 5:
+					k := int64(rng.Intn(16))
+					f.Set(locals[d], f.ShlI(locals[a], k))
+					model[d] = model[a] << k
+				case 6:
+					f.Set(locals[d], f.Slt(locals[a], locals[c]))
+					if model[a] < model[c] {
+						model[d] = 1
+					} else {
+						model[d] = 0
+					}
+				case 7:
+					k := int64(rng.Intn(201) - 100)
+					f.Set(locals[d], f.AddI(locals[a], k))
+					model[d] = model[a] + k
+				}
+			}
+			// Fold everything into one result (xor keeps all lanes
+			// significant without overflow concerns).
+			acc := f.Local()
+			f.SetI(acc, 0)
+			var want int64
+			for i, l := range locals {
+				f.Set(acc, f.Xor(acc, l))
+				want ^= model[i]
+			}
+			// Clamp the exit code into a safe range for comparison.
+			f.Set(acc, f.AndI(acc, 0x7fffffff))
+			want &= 0x7fffffff
+			f.Ret(acc)
+			vals[0] = want // smuggle the expectation out via the closure
+		})
+
+		prog, err := hl.Link(b)
+		if err != nil {
+			t.Fatalf("trial %d: link: %v", trial, err)
+		}
+		m := vm.New()
+		m.SetSyscallHandler(gos.New())
+		for _, img := range prog.Images() {
+			m.LoadImage(img)
+		}
+		m.Reset(prog.EntryPC)
+		if err := m.Run(10_000_000); err != nil {
+			t.Fatalf("trial %d: run: %v", trial, err)
+		}
+		if m.ExitCode != vals[0] {
+			t.Fatalf("trial %d: guest %d, host model %d", trial, m.ExitCode, vals[0])
+		}
+	}
+}
+
+// TestRandomMemoryProgramsMatchModel does the same with loads and stores
+// over a small global array.
+func TestRandomMemoryProgramsMatchModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	for trial := 0; trial < 60; trial++ {
+		b := hl.NewBuilder("fuzzmem", image.Main)
+		const cells = 16
+		g := b.Global("cells", cells*8)
+		model := make([]int64, cells)
+		var want int64
+
+		b.Func("main", 0, func(f *hl.Fn) {
+			base := f.Local()
+			f.Set(base, f.GAddr(g))
+			cur := f.Local()
+			f.SetI(cur, 1)
+			mcur := int64(1)
+			for i := range model {
+				model[i] = 0
+			}
+			steps := rng.Intn(50) + 10
+			for s := 0; s < steps; s++ {
+				idx := int64(rng.Intn(cells))
+				if rng.Intn(2) == 0 {
+					f.St8(base, idx*8, cur)
+					model[idx] = mcur
+				} else {
+					f.Set(cur, f.Add(cur, f.Ld8(base, idx*8)))
+					mcur = mcur + model[idx]
+				}
+			}
+			f.Set(cur, f.AndI(cur, 0x3fffffff))
+			want = mcur & 0x3fffffff
+			f.Ret(cur)
+		})
+
+		prog, err := hl.Link(b)
+		if err != nil {
+			t.Fatalf("trial %d: link: %v", trial, err)
+		}
+		m := vm.New()
+		m.SetSyscallHandler(gos.New())
+		for _, img := range prog.Images() {
+			m.LoadImage(img)
+		}
+		m.Reset(prog.EntryPC)
+		if err := m.Run(10_000_000); err != nil {
+			t.Fatalf("trial %d: run: %v", trial, err)
+		}
+		if m.ExitCode != want {
+			t.Fatalf("trial %d: guest %d, host model %d", trial, m.ExitCode, want)
+		}
+	}
+}

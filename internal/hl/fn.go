@@ -1,0 +1,577 @@
+package hl
+
+import (
+	"fmt"
+	"math"
+
+	"tquad/internal/isa"
+)
+
+// Fn emits the body of one function.  All emitter methods follow the
+// statement discipline documented in the package comment: expression
+// results (temporaries) are only valid until the next statement-level
+// operation (Set*, St*, Prefetch, If, While, ForRange, Call, Ret,
+// Syscall, SetPred).
+type Fn struct {
+	fn      *fn
+	builder *Builder
+	pass    int
+	err     error
+
+	nextLocal int
+	maxLocal  int
+	tempTop   int
+	allocaOff uint64
+}
+
+func (f *Fn) fail(format string, args ...any) {
+	if f.err == nil {
+		f.err = fmt.Errorf(format, args...)
+	}
+}
+
+// begin emits the prologue and binds parameters to fresh locals.
+func (f *Fn) begin() {
+	if f.pass == 2 && f.fn.frameSize > 0 {
+		f.emit(isa.Instr{Op: isa.OpAddi, Rd: isa.RegSP, Rs1: isa.RegSP, Imm: int32(-int64(f.fn.frameSize))})
+	}
+	for i := 0; i < f.fn.arity; i++ {
+		p := f.Local()
+		f.emit(isa.Instr{Op: isa.OpMov, Rd: uint8(p), Rs1: uint8(1 + i)})
+	}
+}
+
+// endFunc appends an implicit `return 0` epilogue so falling off the end
+// of a body is well defined.
+func (f *Fn) endFunc() {
+	f.epilogue(Reg(isa.RegZero))
+}
+
+func (f *Fn) emit(ins isa.Instr) {
+	if f.pass == 2 {
+		f.fn.code = append(f.fn.code, ins)
+	}
+}
+
+// here returns the index of the next instruction to be emitted.
+func (f *Fn) here() int { return len(f.fn.code) }
+
+func (f *Fn) emit3(op isa.Op, rd, rs1, rs2 Reg) {
+	f.emit(isa.Instr{Op: op, Rd: uint8(rd), Rs1: uint8(rs1), Rs2: uint8(rs2)})
+}
+
+// Local allocates a register-resident local variable for the lifetime of
+// the function.  Locals survive calls (they are spilled around them).
+func (f *Fn) Local() Reg {
+	if f.nextLocal >= maxLocals {
+		f.fail("too many locals (max %d)", maxLocals)
+		return Reg(firstLocalReg)
+	}
+	r := Reg(firstLocalReg + f.nextLocal)
+	f.nextLocal++
+	if f.nextLocal > f.maxLocal {
+		f.maxLocal = f.nextLocal
+	}
+	return r
+}
+
+// Param returns the i-th parameter (bound to a local by the prologue).
+func (f *Fn) Param(i int) Reg {
+	if i >= f.fn.arity {
+		f.fail("param %d out of range (arity %d)", i, f.fn.arity)
+		return Reg(firstLocalReg)
+	}
+	return Reg(firstLocalReg + i)
+}
+
+func (f *Fn) temp() Reg {
+	if f.tempTop >= maxTemps {
+		f.fail("expression too deep (max %d temporaries); assign intermediates to locals", maxTemps)
+		return Reg(firstTempReg)
+	}
+	r := Reg(firstTempReg + f.tempTop)
+	f.tempTop++
+	return r
+}
+
+func (f *Fn) resetTemps() { f.tempTop = 0 }
+
+// Alloca reserves size bytes in the function's stack frame and returns the
+// frame offset.  Use FrameAddr to obtain its address.
+func (f *Fn) Alloca(size uint64) uint64 {
+	off := f.allocaOff
+	f.allocaOff += (size + 7) &^ 7
+	return off
+}
+
+// FrameAddr returns the address of a frame offset obtained from Alloca.
+func (f *Fn) FrameAddr(off uint64) Reg {
+	t := f.temp()
+	f.emit(isa.Instr{Op: isa.OpAddi, Rd: uint8(t), Rs1: isa.RegSP, Imm: int32(off)})
+	return t
+}
+
+// Zero returns the always-zero register.
+func (f *Fn) Zero() Reg { return Reg(isa.RegZero) }
+
+// Const materialises a 64-bit integer constant.
+func (f *Fn) Const(v int64) Reg {
+	t := f.temp()
+	f.loadConst(t, uint64(v), v >= math.MinInt32 && v <= math.MaxInt32)
+	return t
+}
+
+// ConstF materialises a float64 constant (raw IEEE-754 bits).
+func (f *Fn) ConstF(v float64) Reg {
+	t := f.temp()
+	f.loadConst(t, math.Float64bits(v), false)
+	return t
+}
+
+func (f *Fn) loadConst(rd Reg, bits uint64, fitsI32 bool) {
+	switch {
+	case fitsI32:
+		f.emit(isa.Instr{Op: isa.OpLdi, Rd: uint8(rd), Imm: int32(bits)})
+	case bits>>32 == 0:
+		f.emit(isa.Instr{Op: isa.OpLdiu, Rd: uint8(rd), Imm: int32(uint32(bits))})
+	default:
+		f.emit(isa.Instr{Op: isa.OpLdiu, Rd: uint8(rd), Imm: int32(uint32(bits))})
+		f.emit(isa.Instr{Op: isa.OpLuhi, Rd: uint8(rd), Imm: int32(uint32(bits >> 32))})
+	}
+}
+
+// GAddr materialises the address of a global symbol (resolved at link
+// time).
+func (f *Fn) GAddr(g Global) Reg {
+	t := f.temp()
+	if f.pass == 2 {
+		f.fn.relocs = append(f.fn.relocs, reloc{instr: f.here(), kind: relAddr, sym: g.name})
+	}
+	f.emit(isa.Instr{Op: isa.OpLdiu, Rd: uint8(t)})
+	return t
+}
+
+// binary expression operations.
+
+func (f *Fn) bin(op isa.Op, a, b Reg) Reg {
+	t := f.temp()
+	f.emit3(op, t, a, b)
+	return t
+}
+
+// Add returns a+b.
+func (f *Fn) Add(a, b Reg) Reg { return f.bin(isa.OpAdd, a, b) }
+
+// Sub returns a-b.
+func (f *Fn) Sub(a, b Reg) Reg { return f.bin(isa.OpSub, a, b) }
+
+// Mul returns a*b.
+func (f *Fn) Mul(a, b Reg) Reg { return f.bin(isa.OpMul, a, b) }
+
+// Div returns a/b (signed).
+func (f *Fn) Div(a, b Reg) Reg { return f.bin(isa.OpDiv, a, b) }
+
+// Rem returns a%b (signed).
+func (f *Fn) Rem(a, b Reg) Reg { return f.bin(isa.OpRem, a, b) }
+
+// And returns a&b.
+func (f *Fn) And(a, b Reg) Reg { return f.bin(isa.OpAnd, a, b) }
+
+// Or returns a|b.
+func (f *Fn) Or(a, b Reg) Reg { return f.bin(isa.OpOr, a, b) }
+
+// Xor returns a^b.
+func (f *Fn) Xor(a, b Reg) Reg { return f.bin(isa.OpXor, a, b) }
+
+// Shl returns a<<b.
+func (f *Fn) Shl(a, b Reg) Reg { return f.bin(isa.OpShl, a, b) }
+
+// Shr returns a>>b (logical).
+func (f *Fn) Shr(a, b Reg) Reg { return f.bin(isa.OpShr, a, b) }
+
+// Sar returns a>>b (arithmetic).
+func (f *Fn) Sar(a, b Reg) Reg { return f.bin(isa.OpSar, a, b) }
+
+// Slt returns 1 if a<b (signed), else 0.
+func (f *Fn) Slt(a, b Reg) Reg { return f.bin(isa.OpSlt, a, b) }
+
+// Sltu returns 1 if a<b (unsigned), else 0.
+func (f *Fn) Sltu(a, b Reg) Reg { return f.bin(isa.OpSltu, a, b) }
+
+// Seq returns 1 if a==b, else 0.
+func (f *Fn) Seq(a, b Reg) Reg { return f.bin(isa.OpSeq, a, b) }
+
+// immediate-form expression operations.
+
+func (f *Fn) binI(op isa.Op, a Reg, v int64) Reg {
+	if v < math.MinInt32 || v > math.MaxInt32 {
+		f.fail("immediate %d out of 32-bit range", v)
+		v = 0
+	}
+	t := f.temp()
+	f.emit(isa.Instr{Op: op, Rd: uint8(t), Rs1: uint8(a), Imm: int32(v)})
+	return t
+}
+
+// AddI returns a+v.
+func (f *Fn) AddI(a Reg, v int64) Reg { return f.binI(isa.OpAddi, a, v) }
+
+// MulI returns a*v.
+func (f *Fn) MulI(a Reg, v int64) Reg { return f.binI(isa.OpMuli, a, v) }
+
+// AndI returns a&v.
+func (f *Fn) AndI(a Reg, v int64) Reg { return f.binI(isa.OpAndi, a, v) }
+
+// OrI returns a|v.
+func (f *Fn) OrI(a Reg, v int64) Reg { return f.binI(isa.OpOri, a, v) }
+
+// ShlI returns a<<v.
+func (f *Fn) ShlI(a Reg, v int64) Reg { return f.binI(isa.OpShli, a, v) }
+
+// ShrI returns a>>v (logical).
+func (f *Fn) ShrI(a Reg, v int64) Reg { return f.binI(isa.OpShri, a, v) }
+
+// SltI returns 1 if a<v (signed), else 0.
+func (f *Fn) SltI(a Reg, v int64) Reg { return f.binI(isa.OpSlti, a, v) }
+
+// floating-point expression operations.
+
+// Fadd returns a+b.
+func (f *Fn) Fadd(a, b Reg) Reg { return f.bin(isa.OpFadd, a, b) }
+
+// Fsub returns a-b.
+func (f *Fn) Fsub(a, b Reg) Reg { return f.bin(isa.OpFsub, a, b) }
+
+// Fmul returns a*b.
+func (f *Fn) Fmul(a, b Reg) Reg { return f.bin(isa.OpFmul, a, b) }
+
+// Fdiv returns a/b.
+func (f *Fn) Fdiv(a, b Reg) Reg { return f.bin(isa.OpFdiv, a, b) }
+
+// Fneg returns -a.
+func (f *Fn) Fneg(a Reg) Reg { return f.bin(isa.OpFneg, a, 0) }
+
+// Fabs returns |a|.
+func (f *Fn) Fabs(a Reg) Reg { return f.bin(isa.OpFabs, a, 0) }
+
+// Fsqrt returns sqrt(a).
+func (f *Fn) Fsqrt(a Reg) Reg { return f.bin(isa.OpFsqrt, a, 0) }
+
+// Fsin returns sin(a).
+func (f *Fn) Fsin(a Reg) Reg { return f.bin(isa.OpFsin, a, 0) }
+
+// Fcos returns cos(a).
+func (f *Fn) Fcos(a Reg) Reg { return f.bin(isa.OpFcos, a, 0) }
+
+// Fmin returns min(a,b).
+func (f *Fn) Fmin(a, b Reg) Reg { return f.bin(isa.OpFmin, a, b) }
+
+// Fmax returns max(a,b).
+func (f *Fn) Fmax(a, b Reg) Reg { return f.bin(isa.OpFmax, a, b) }
+
+// Flt returns 1 if a<b, else 0.
+func (f *Fn) Flt(a, b Reg) Reg { return f.bin(isa.OpFlt, a, b) }
+
+// Fle returns 1 if a<=b, else 0.
+func (f *Fn) Fle(a, b Reg) Reg { return f.bin(isa.OpFle, a, b) }
+
+// Feq returns 1 if a==b, else 0.
+func (f *Fn) Feq(a, b Reg) Reg { return f.bin(isa.OpFeq, a, b) }
+
+// I2f converts a signed integer to float64.
+func (f *Fn) I2f(a Reg) Reg { return f.bin(isa.OpI2f, a, 0) }
+
+// F2i truncates a float64 to a signed integer.
+func (f *Fn) F2i(a Reg) Reg { return f.bin(isa.OpF2i, a, 0) }
+
+// loads (expressions).
+
+func (f *Fn) load(op isa.Op, base Reg, off int64) Reg {
+	if off < math.MinInt32 || off > math.MaxInt32 {
+		f.fail("load offset %d out of range", off)
+		off = 0
+	}
+	t := f.temp()
+	f.emit(isa.Instr{Op: op, Rd: uint8(t), Rs1: uint8(base), Imm: int32(off)})
+	return t
+}
+
+// Ld1 loads one byte (zero-extended) from base+off.
+func (f *Fn) Ld1(base Reg, off int64) Reg { return f.load(isa.OpLd1, base, off) }
+
+// Ld2 loads two bytes (zero-extended).
+func (f *Fn) Ld2(base Reg, off int64) Reg { return f.load(isa.OpLd2, base, off) }
+
+// Ld2s loads two bytes (sign-extended, for PCM samples).
+func (f *Fn) Ld2s(base Reg, off int64) Reg { return f.load(isa.OpLd2s, base, off) }
+
+// Ld4 loads four bytes (zero-extended).
+func (f *Fn) Ld4(base Reg, off int64) Reg { return f.load(isa.OpLd4, base, off) }
+
+// Ld4s loads four bytes (sign-extended).
+func (f *Fn) Ld4s(base Reg, off int64) Reg { return f.load(isa.OpLd4s, base, off) }
+
+// Ld8 loads an 8-byte word.
+func (f *Fn) Ld8(base Reg, off int64) Reg { return f.load(isa.OpLd8, base, off) }
+
+// statements.
+
+// stores.
+
+func (f *Fn) store(op isa.Op, base Reg, off int64, val Reg) {
+	if off < math.MinInt32 || off > math.MaxInt32 {
+		f.fail("store offset %d out of range", off)
+		off = 0
+	}
+	f.emit(isa.Instr{Op: op, Rs1: uint8(base), Rs2: uint8(val), Imm: int32(off)})
+	f.resetTemps()
+}
+
+// St1 stores the low byte of val at base+off.
+func (f *Fn) St1(base Reg, off int64, val Reg) { f.store(isa.OpSt1, base, off, val) }
+
+// St2 stores the low two bytes of val.
+func (f *Fn) St2(base Reg, off int64, val Reg) { f.store(isa.OpSt2, base, off, val) }
+
+// St4 stores the low four bytes of val.
+func (f *Fn) St4(base Reg, off int64, val Reg) { f.store(isa.OpSt4, base, off, val) }
+
+// St8 stores val as an 8-byte word.
+func (f *Fn) St8(base Reg, off int64, val Reg) { f.store(isa.OpSt8, base, off, val) }
+
+// Cpy16 copies 16 bytes from src+sOff to dst+dOff through a paired
+// register load/store (the ISA's SSE-style wide move) — two instructions
+// moving 32 bytes of traffic.
+func (f *Fn) Cpy16(dst Reg, dOff int64, src Reg, sOff int64) {
+	if dOff < math.MinInt32 || dOff > math.MaxInt32 || sOff < math.MinInt32 || sOff > math.MaxInt32 {
+		f.fail("Cpy16 offset out of range")
+		return
+	}
+	t1 := f.temp()
+	t2 := f.temp()
+	if t2 != t1+1 {
+		f.fail("Cpy16: non-consecutive temporaries")
+		return
+	}
+	f.emit(isa.Instr{Op: isa.OpLd16, Rd: uint8(t1), Rs1: uint8(src), Imm: int32(sOff)})
+	f.emit(isa.Instr{Op: isa.OpSt16, Rs1: uint8(dst), Rs2: uint8(t1), Imm: int32(dOff)})
+	f.resetTemps()
+}
+
+// Prefetch issues a prefetch of the cache line at base+off.  Analysis
+// routines detect the prefetch flag and return immediately, as in the
+// paper.
+func (f *Fn) Prefetch(base Reg, off int64) {
+	f.emit(isa.Instr{Op: isa.OpPrefetch, Rs1: uint8(base), Imm: int32(off)})
+	f.resetTemps()
+}
+
+// SetPred sets the predicate register from cond.
+func (f *Fn) SetPred(cond Reg) {
+	f.emit(isa.Instr{Op: isa.OpSetp, Rs1: uint8(cond)})
+	f.resetTemps()
+}
+
+// PredSt8 emits a predicated 8-byte store, executed only when the
+// predicate register is non-zero.
+func (f *Fn) PredSt8(base Reg, off int64, val Reg) {
+	f.emit(isa.Instr{Op: isa.OpSt8, Pred: true, Rs1: uint8(base), Rs2: uint8(val), Imm: int32(off)})
+	f.resetTemps()
+}
+
+// PredLd8 emits a predicated 8-byte load into the dst local.
+func (f *Fn) PredLd8(dst Reg, base Reg, off int64) {
+	f.emit(isa.Instr{Op: isa.OpLd8, Pred: true, Rd: uint8(dst), Rs1: uint8(base), Imm: int32(off)})
+	f.resetTemps()
+}
+
+// Set assigns src to the dst local.
+func (f *Fn) Set(dst, src Reg) {
+	f.emit3(isa.OpMov, dst, src, 0)
+	f.resetTemps()
+}
+
+// SetI assigns an integer constant to the dst local.
+func (f *Fn) SetI(dst Reg, v int64) {
+	f.loadConst(dst, uint64(v), v >= math.MinInt32 && v <= math.MaxInt32)
+	f.resetTemps()
+}
+
+// SetF assigns a float64 constant to the dst local.
+func (f *Fn) SetF(dst Reg, v float64) {
+	f.loadConst(dst, math.Float64bits(v), false)
+	f.resetTemps()
+}
+
+// spillSlot returns the frame offset of the i-th local's spill slot.
+func (f *Fn) spillSlot(i int) int32 {
+	return int32(f.fn.allocaSize + uint64(i)*8)
+}
+
+// Call invokes a function by name (resolved at link time, possibly in
+// another image) and returns its result in a fresh local.  All locals are
+// spilled to the frame across the call; expression temporaries do not
+// survive it.
+func (f *Fn) Call(name string, args ...Reg) Reg {
+	res := f.Local()
+	if len(args) > 6 {
+		f.fail("call %s: too many arguments (%d)", name, len(args))
+		return res
+	}
+	// Marshal arguments into r1..r6 (argument registers are disjoint
+	// from locals and temporaries, so no clobbering is possible here).
+	for i, a := range args {
+		f.emit3(isa.OpMov, Reg(1+i), a, 0)
+	}
+	if f.pass == 2 {
+		// Spill every local the function uses (pass 1 fixed the count).
+		for i := 0; i < f.fn.numLocals; i++ {
+			f.emit(isa.Instr{Op: isa.OpSt8, Rs1: isa.RegSP, Rs2: uint8(firstLocalReg + i), Imm: f.spillSlot(i)})
+		}
+		f.fn.relocs = append(f.fn.relocs, reloc{instr: f.here(), kind: relCall, sym: name})
+		f.emit(isa.Instr{Op: isa.OpCall})
+		for i := 0; i < f.fn.numLocals; i++ {
+			f.emit(isa.Instr{Op: isa.OpLd8, Rd: uint8(firstLocalReg + i), Rs1: isa.RegSP, Imm: f.spillSlot(i)})
+		}
+	}
+	f.emit3(isa.OpMov, res, Reg(1), 0)
+	f.resetTemps()
+	return res
+}
+
+// CallV invokes a function for its side effects, discarding the result
+// (no result local is allocated).
+func (f *Fn) CallV(name string, args ...Reg) {
+	if len(args) > 6 {
+		f.fail("call %s: too many arguments (%d)", name, len(args))
+		return
+	}
+	for i, a := range args {
+		f.emit3(isa.OpMov, Reg(1+i), a, 0)
+	}
+	if f.pass == 2 {
+		for i := 0; i < f.fn.numLocals; i++ {
+			f.emit(isa.Instr{Op: isa.OpSt8, Rs1: isa.RegSP, Rs2: uint8(firstLocalReg + i), Imm: f.spillSlot(i)})
+		}
+		f.fn.relocs = append(f.fn.relocs, reloc{instr: f.here(), kind: relCall, sym: name})
+		f.emit(isa.Instr{Op: isa.OpCall})
+		for i := 0; i < f.fn.numLocals; i++ {
+			f.emit(isa.Instr{Op: isa.OpLd8, Rd: uint8(firstLocalReg + i), Rs1: isa.RegSP, Imm: f.spillSlot(i)})
+		}
+	}
+	f.resetTemps()
+}
+
+// Syscall issues an environment call and returns its result in a fresh
+// temporary.  Syscalls preserve all registers except r1.
+func (f *Fn) Syscall(num int32, args ...Reg) Reg {
+	if len(args) > 6 {
+		f.fail("syscall %d: too many arguments (%d)", num, len(args))
+	}
+	for i, a := range args {
+		f.emit3(isa.OpMov, Reg(1+i), a, 0)
+	}
+	f.emit(isa.Instr{Op: isa.OpSyscall, Imm: num})
+	f.resetTemps()
+	t := f.temp()
+	f.emit3(isa.OpMov, t, Reg(1), 0)
+	return t
+}
+
+func (f *Fn) epilogue(val Reg) {
+	f.emit3(isa.OpMov, Reg(1), val, 0)
+	if f.pass == 2 && f.fn.frameSize > 0 {
+		f.emit(isa.Instr{Op: isa.OpAddi, Rd: isa.RegSP, Rs1: isa.RegSP, Imm: int32(f.fn.frameSize)})
+	}
+	f.emit(isa.Instr{Op: isa.OpRet})
+}
+
+// Ret returns val from the function.
+func (f *Fn) Ret(val Reg) {
+	f.epilogue(val)
+	f.resetTemps()
+}
+
+// Ret0 returns 0 from the function.
+func (f *Fn) Ret0() { f.Ret(Reg(isa.RegZero)) }
+
+// patchBranch sets the relative immediate of the branch at instruction
+// index idx so that it targets instruction index target.
+func (f *Fn) patchBranch(idx, target int) {
+	if f.pass != 2 {
+		return
+	}
+	f.fn.code[idx].Imm = int32(target - (idx + 1))
+}
+
+// If emits a conditional: then() runs when cond is non-zero; the optional
+// els() otherwise.
+func (f *Fn) If(cond Reg, then func(), els ...func()) {
+	var elseFn func()
+	if len(els) > 0 {
+		elseFn = els[0]
+	}
+	// beq cond, zero -> else/end
+	condBr := f.here()
+	f.emit(isa.Instr{Op: isa.OpBeq, Rs1: uint8(cond), Rs2: isa.RegZero})
+	f.resetTemps()
+	then()
+	f.resetTemps()
+	if elseFn == nil {
+		f.patchBranch(condBr, f.here())
+		return
+	}
+	skipElse := f.here()
+	f.emit(isa.Instr{Op: isa.OpJmp})
+	f.patchBranch(condBr, f.here())
+	elseFn()
+	f.resetTemps()
+	f.patchBranch(skipElse, f.here())
+}
+
+// While emits a loop: cond is re-evaluated before each iteration and the
+// loop runs while it returns non-zero.
+func (f *Fn) While(cond func() Reg, body func()) {
+	start := f.here()
+	f.resetTemps()
+	c := cond()
+	exitBr := f.here()
+	f.emit(isa.Instr{Op: isa.OpBeq, Rs1: uint8(c), Rs2: isa.RegZero})
+	f.resetTemps()
+	body()
+	f.resetTemps()
+	back := f.here()
+	f.emit(isa.Instr{Op: isa.OpJmp})
+	f.patchBranch(back, start)
+	f.patchBranch(exitBr, f.here())
+}
+
+// ForRange emits `for i = start; i < end; i++ { body }` where i is a
+// local and end is any register holding the loop bound (commonly another
+// local).
+func (f *Fn) ForRange(i Reg, start int64, end Reg, body func()) {
+	f.SetI(i, start)
+	f.While(func() Reg { return f.Slt(i, end) }, func() {
+		body()
+		f.Set(i, f.AddI(i, 1))
+	})
+}
+
+// ForRangeI is ForRange with a constant bound.
+func (f *Fn) ForRangeI(i Reg, start, end int64, body func()) {
+	f.SetI(i, start)
+	f.While(func() Reg { return f.SltI(i, end) }, func() {
+		body()
+		f.Set(i, f.AddI(i, 1))
+	})
+}
+
+// Inc adds a constant to a local in place.
+func (f *Fn) Inc(dst Reg, v int64) { f.Set(dst, f.AddI(dst, v)) }
+
+// Str interns a string literal and returns (address, length) with the
+// address in a fresh temporary.
+func (f *Fn) Str(s string) (addr Reg, length int64) {
+	g := f.builder.StringLit(s)
+	return f.GAddr(g), int64(len(s))
+}

@@ -1,0 +1,216 @@
+// Package hl is the high-level program builder: a small structured
+// compiler that turns Go-described guest functions into binary machine
+// code for the ISA in package isa, packaged as loadable images (package
+// image).
+//
+// The model is deliberately close to a classic C compiler for a RISC
+// target:
+//
+//   - every function gets locals in dedicated registers (r8..) and a
+//     stack frame holding local arrays plus one spill slot per local;
+//   - arguments travel in r1..r6, the result in r1;
+//   - all registers are caller-saved: each call site stores the caller's
+//     locals to its frame and reloads them after the call.  This is what
+//     produces genuine local-stack memory traffic, which the paper's
+//     include/exclude-stack analyses depend on;
+//   - expression temporaries live in a register stack (r42..) that resets
+//     at statement boundaries and may not be carried across calls (Call
+//     results are materialised into fresh locals for this reason).
+//
+// Function bodies are emitted in two passes: pass one discovers the
+// number of locals and the frame size, pass two emits final code.  Body
+// closures therefore must be deterministic (they are plain builder-call
+// sequences).
+package hl
+
+import (
+	"fmt"
+	"math"
+
+	"tquad/internal/image"
+	"tquad/internal/isa"
+)
+
+// Register allocation ranges.
+const (
+	firstLocalReg = 8
+	maxLocals     = 34 // r8..r41
+	firstTempReg  = 42
+	maxTemps      = 18 // r42..r59
+)
+
+// Reg is a virtual value handle: a physical register assigned by the
+// builder.  Regs returned by expression operations are temporaries that
+// are only valid within the current statement.
+type Reg uint8
+
+// Global identifies a data-segment symbol.
+type Global struct {
+	name string
+	size uint64
+}
+
+// Name returns the symbol name.
+func (g Global) Name() string { return g.name }
+
+// Size returns the symbol size in bytes.
+func (g Global) Size() uint64 { return g.size }
+
+// relocKind distinguishes relocation targets.
+type relocKind uint8
+
+const (
+	relCall relocKind = iota // patch imm with routine entry address
+	relAddr                  // patch imm with data symbol address
+)
+
+type reloc struct {
+	instr int // instruction index within the function
+	kind  relocKind
+	sym   string
+}
+
+// fn is one function under construction.
+type fn struct {
+	name   string
+	arity  int
+	body   func(f *Fn)
+	code   []isa.Instr
+	relocs []reloc
+
+	numLocals  int
+	allocaSize uint64
+	frameSize  uint64
+}
+
+type dataSym struct {
+	name string
+	off  uint64 // offset within the image data segment
+	size uint64
+	init []byte // nil for BSS
+}
+
+// Builder accumulates the functions and globals of one image.
+type Builder struct {
+	name   string
+	kind   image.Kind
+	funcs  []*fn
+	byName map[string]*fn
+
+	data       []dataSym
+	dataByName map[string]int
+	initSize   uint64 // bytes of initialised data so far
+	bssSize    uint64
+	strLits    map[string]Global
+}
+
+// NewBuilder creates a builder for an image of the given kind.
+func NewBuilder(name string, kind image.Kind) *Builder {
+	return &Builder{
+		name:       name,
+		kind:       kind,
+		byName:     make(map[string]*fn),
+		dataByName: make(map[string]int),
+		strLits:    make(map[string]Global),
+	}
+}
+
+// Name returns the image name.
+func (b *Builder) Name() string { return b.name }
+
+// Global reserves size bytes of zero-initialised data under the given
+// symbol name.
+func (b *Builder) Global(name string, size uint64) Global {
+	if _, dup := b.dataByName[name]; dup {
+		panic(fmt.Sprintf("hl: duplicate global %q", name))
+	}
+	size = (size + 7) &^ 7
+	b.dataByName[name] = len(b.data)
+	b.data = append(b.data, dataSym{name: name, size: size})
+	b.bssSize += size
+	return Global{name: name, size: size}
+}
+
+// GlobalData reserves an initialised data symbol.
+func (b *Builder) GlobalData(name string, data []byte) Global {
+	if _, dup := b.dataByName[name]; dup {
+		panic(fmt.Sprintf("hl: duplicate global %q", name))
+	}
+	size := (uint64(len(data)) + 7) &^ 7
+	cp := make([]byte, size)
+	copy(cp, data)
+	b.dataByName[name] = len(b.data)
+	b.data = append(b.data, dataSym{name: name, size: size, init: cp})
+	b.initSize += size
+	return Global{name: name, size: size}
+}
+
+// GlobalF64s reserves an initialised array of float64 values.
+func (b *Builder) GlobalF64s(name string, vals []float64) Global {
+	buf := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		putU64(buf[8*i:], math.Float64bits(v))
+	}
+	return b.GlobalData(name, buf)
+}
+
+func putU64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+// StringLit interns a string literal in the data segment and returns its
+// symbol.  Identical literals share one symbol.
+func (b *Builder) StringLit(s string) Global {
+	if g, ok := b.strLits[s]; ok {
+		return g
+	}
+	g := b.GlobalData(fmt.Sprintf(".str%d", len(b.strLits)), []byte(s))
+	b.strLits[s] = g
+	return g
+}
+
+// Func declares a function with the given arity.  The body closure is run
+// twice (see package comment); it receives the Fn emitter.
+func (b *Builder) Func(name string, arity int, body func(f *Fn)) {
+	if _, dup := b.byName[name]; dup {
+		panic(fmt.Sprintf("hl: duplicate function %q", name))
+	}
+	if arity > 6 {
+		panic(fmt.Sprintf("hl: function %q: arity %d exceeds 6 register arguments", name, arity))
+	}
+	f := &fn{name: name, arity: arity, body: body}
+	b.funcs = append(b.funcs, f)
+	b.byName[name] = f
+}
+
+// compile runs both emission passes for every function.
+func (b *Builder) compile() error {
+	for _, f := range b.funcs {
+		// Pass 1: discover locals and frame size.
+		probe := &Fn{fn: f, builder: b, pass: 1}
+		probe.begin()
+		f.body(probe)
+		if probe.err != nil {
+			return fmt.Errorf("hl: %s.%s: %w", b.name, f.name, probe.err)
+		}
+		f.numLocals = probe.maxLocal
+		f.allocaSize = probe.allocaOff
+		f.frameSize = f.allocaSize + uint64(f.numLocals)*8
+		// Pass 2: emit.
+		f.code = f.code[:0]
+		f.relocs = f.relocs[:0]
+		emit := &Fn{fn: f, builder: b, pass: 2}
+		emit.begin()
+		f.body(emit)
+		if emit.err != nil {
+			return fmt.Errorf("hl: %s.%s: %w", b.name, f.name, emit.err)
+		}
+		emit.endFunc()
+		if emit.err != nil {
+			return fmt.Errorf("hl: %s.%s: %w", b.name, f.name, emit.err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,269 @@
+package hl_test
+
+import (
+	"testing"
+
+	"tquad/internal/gos"
+	"tquad/internal/hl"
+	"tquad/internal/image"
+	"tquad/internal/vm"
+)
+
+// runMain links the builder, loads it into a fresh machine with a fresh
+// OS, runs it to completion, and returns the machine, OS and exit code.
+func runMain(t *testing.T, b *hl.Builder, libs ...*hl.Builder) (*vm.Machine, *gos.OS, int64) {
+	t.Helper()
+	prog, err := hl.Link(b, libs...)
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	m := vm.New()
+	osys := gos.New()
+	m.SetSyscallHandler(osys)
+	for _, img := range prog.Images() {
+		m.LoadImage(img)
+	}
+	m.Reset(prog.EntryPC)
+	if err := m.Run(50_000_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return m, osys, m.ExitCode
+}
+
+func TestArithmetic(t *testing.T) {
+	b := hl.NewBuilder("t", image.Main)
+	b.Func("main", 0, func(f *hl.Fn) {
+		x := f.Local()
+		f.SetI(x, 21)
+		f.Set(x, f.Add(x, x))                       // 42
+		f.Set(x, f.Sub(f.MulI(x, 10), f.Const(20))) // 400
+		f.Set(x, f.Div(x, f.Const(8)))              // 50
+		f.Set(x, f.Rem(x, f.Const(17)))             // 16
+		f.Set(x, f.Xor(x, f.Const(3)))              // 19
+		f.Ret(x)
+	})
+	_, _, code := runMain(t, b)
+	if code != 19 {
+		t.Fatalf("exit code = %d, want 19", code)
+	}
+}
+
+func TestLoopsAndBranches(t *testing.T) {
+	b := hl.NewBuilder("t", image.Main)
+	b.Func("main", 0, func(f *hl.Fn) {
+		sum := f.Local()
+		i := f.Local()
+		f.SetI(sum, 0)
+		f.ForRangeI(i, 0, 100, func() {
+			f.If(f.AndI(i, 1), func() {
+				f.Set(sum, f.Add(sum, i))
+			}, func() {
+				f.Set(sum, f.Sub(sum, i))
+			})
+		})
+		// sum of odds 0..99 minus sum of evens = 50
+		f.Ret(sum)
+	})
+	_, _, code := runMain(t, b)
+	if code != 50 {
+		t.Fatalf("exit code = %d, want 50", code)
+	}
+}
+
+func TestCallsAndRecursion(t *testing.T) {
+	b := hl.NewBuilder("t", image.Main)
+	b.Func("fib", 1, func(f *hl.Fn) {
+		n := f.Param(0)
+		f.If(f.SltI(n, 2), func() {
+			f.Ret(n)
+		})
+		a := f.Call("fib", f.AddI(n, -1))
+		c := f.Call("fib", f.AddI(n, -2))
+		f.Ret(f.Add(a, c))
+	})
+	b.Func("main", 0, func(f *hl.Fn) {
+		r := f.Call("fib", f.Const(12))
+		f.Ret(r) // fib(12) = 144
+	})
+	_, _, code := runMain(t, b)
+	if code != 144 {
+		t.Fatalf("fib(12) = %d, want 144", code)
+	}
+}
+
+func TestGlobalsAndMemory(t *testing.T) {
+	b := hl.NewBuilder("t", image.Main)
+	buf := b.Global("buf", 8*64)
+	b.Func("main", 0, func(f *hl.Fn) {
+		p := f.Local()
+		i := f.Local()
+		f.Set(p, f.GAddr(buf))
+		f.ForRangeI(i, 0, 64, func() {
+			addr := f.Add(p, f.ShlI(i, 3))
+			f.St8(addr, 0, i)
+		})
+		sum := f.Local()
+		f.SetI(sum, 0)
+		f.ForRangeI(i, 0, 64, func() {
+			addr := f.Add(p, f.ShlI(i, 3))
+			f.Set(sum, f.Add(sum, f.Ld8(addr, 0)))
+		})
+		f.Ret(sum) // 0+1+...+63 = 2016
+	})
+	_, _, code := runMain(t, b)
+	if code != 2016 {
+		t.Fatalf("sum = %d, want 2016", code)
+	}
+}
+
+func TestFloatOps(t *testing.T) {
+	b := hl.NewBuilder("t", image.Main)
+	b.Func("main", 0, func(f *hl.Fn) {
+		x := f.Local()
+		f.SetF(x, 2.0)
+		f.Set(x, f.Fsqrt(x))                // 1.414...
+		f.Set(x, f.Fmul(x, x))              // 2.0000...
+		f.Set(x, f.Fadd(x, f.ConstF(40.0))) // 42.0000...
+		f.Ret(f.F2i(x))
+	})
+	_, _, code := runMain(t, b)
+	if code != 42 && code != 41 { // sqrt rounding may land at 41.999...
+		t.Fatalf("result = %d, want ~42", code)
+	}
+}
+
+func TestAllocaFrame(t *testing.T) {
+	b := hl.NewBuilder("t", image.Main)
+	b.Func("sumsq", 1, func(f *hl.Fn) {
+		n := f.Param(0)
+		arr := f.Alloca(8 * 16)
+		i := f.Local()
+		f.ForRange(i, 0, n, func() {
+			a := f.FrameAddr(arr)
+			f.St8(f.Add(a, f.ShlI(i, 3)), 0, f.Mul(i, i))
+		})
+		sum := f.Local()
+		f.SetI(sum, 0)
+		f.ForRange(i, 0, n, func() {
+			a := f.FrameAddr(arr)
+			f.Set(sum, f.Add(sum, f.Ld8(f.Add(a, f.ShlI(i, 3)), 0)))
+		})
+		f.Ret(sum)
+	})
+	b.Func("main", 0, func(f *hl.Fn) {
+		f.Ret(f.Call("sumsq", f.Const(10))) // 0+1+4+...+81 = 285
+	})
+	_, _, code := runMain(t, b)
+	if code != 285 {
+		t.Fatalf("sumsq(10) = %d, want 285", code)
+	}
+}
+
+func TestSyscallsAndFiles(t *testing.T) {
+	b := hl.NewBuilder("t", image.Main)
+	buf := b.Global("iobuf", 64)
+	b.Func("main", 0, func(f *hl.Fn) {
+		name, nameLen := f.Str("in.dat")
+		fd := f.Local()
+		f.Set(fd, f.Syscall(gos.SysOpen, name, f.Const(nameLen), f.Const(gos.OpenRead)))
+		p := f.Local()
+		f.Set(p, f.GAddr(buf))
+		n := f.Local()
+		f.Set(n, f.Syscall(gos.SysRead, fd, p, f.Const(64)))
+		// Sum the bytes we read.
+		sum := f.Local()
+		i := f.Local()
+		f.SetI(sum, 0)
+		f.ForRange(i, 0, n, func() {
+			f.Set(sum, f.Add(sum, f.Ld1(f.Add(p, i), 0)))
+		})
+		// Write the buffer back out to a new file.
+		oname, onameLen := f.Str("out.dat")
+		ofd := f.Local()
+		f.Set(ofd, f.Syscall(gos.SysOpen, oname, f.Const(onameLen), f.Const(gos.OpenWrite)))
+		f.Syscall(gos.SysWrite, ofd, p, n)
+		f.Syscall(gos.SysClose, ofd)
+		f.Ret(sum)
+	})
+	prog, err := hl.Link(b)
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	m := vm.New()
+	osys := gos.New()
+	osys.AddFile("in.dat", []byte{1, 2, 3, 4, 5})
+	m.SetSyscallHandler(osys)
+	for _, img := range prog.Images() {
+		m.LoadImage(img)
+	}
+	m.Reset(prog.EntryPC)
+	if err := m.Run(1_000_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if m.ExitCode != 15 {
+		t.Fatalf("sum = %d, want 15", m.ExitCode)
+	}
+	out, ok := osys.File("out.dat")
+	if !ok {
+		t.Fatalf("out.dat not created")
+	}
+	if string(out) != string([]byte{1, 2, 3, 4, 5}) {
+		t.Fatalf("out.dat = %v", out)
+	}
+}
+
+func TestCrossImageCall(t *testing.T) {
+	lib := hl.NewBuilder("libc", image.Library)
+	lib.Func("triple", 1, func(f *hl.Fn) {
+		f.Ret(f.MulI(f.Param(0), 3))
+	})
+	b := hl.NewBuilder("t", image.Main)
+	b.Func("main", 0, func(f *hl.Fn) {
+		f.Ret(f.Call("triple", f.Const(14)))
+	})
+	_, _, code := runMain(t, b, lib)
+	if code != 42 {
+		t.Fatalf("triple(14) = %d, want 42", code)
+	}
+}
+
+func TestPredicatedStore(t *testing.T) {
+	b := hl.NewBuilder("t", image.Main)
+	g := b.Global("slot", 16)
+	b.Func("main", 0, func(f *hl.Fn) {
+		p := f.Local()
+		f.Set(p, f.GAddr(g))
+		v := f.Local()
+		f.SetI(v, 7)
+		// Predicate false: store must not happen.
+		f.SetPred(f.Zero())
+		f.PredSt8(p, 0, v)
+		// Predicate true: store happens.
+		f.SetPred(f.Const(1))
+		f.PredSt8(p, 8, v)
+		a := f.Ld8(p, 0)
+		bb := f.Ld8(p, 8)
+		f.Ret(f.Add(f.MulI(a, 100), bb)) // want 0*100+7 = 7
+	})
+	_, _, code := runMain(t, b)
+	if code != 7 {
+		t.Fatalf("predicated result = %d, want 7", code)
+	}
+}
+
+func TestStringDedup(t *testing.T) {
+	b := hl.NewBuilder("t", image.Main)
+	b.Func("main", 0, func(f *hl.Fn) {
+		a1, _ := f.Str("hello")
+		x := f.Local()
+		f.Set(x, a1)
+		a2, _ := f.Str("hello")
+		y := f.Local()
+		f.Set(y, a2)
+		f.Ret(f.Seq(x, y)) // identical literals share an address
+	})
+	_, _, code := runMain(t, b)
+	if code != 1 {
+		t.Fatalf("interned strings differ")
+	}
+}

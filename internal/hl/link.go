@@ -1,0 +1,195 @@
+package hl
+
+import (
+	"fmt"
+
+	"tquad/internal/gos"
+	"tquad/internal/image"
+	"tquad/internal/isa"
+)
+
+// Default placement of linked images in the guest address space.  All
+// addresses stay below 2^32 so they fit the LDIU/CALL immediates; the
+// stack lives high (vm.DefaultStackBase) and the heap at gos.HeapBase.
+const (
+	MainCodeBase = 0x0001_0000
+	MainDataBase = 0x0200_0000
+	LibCodeBase  = 0x0080_0000
+	LibDataBase  = 0x0300_0000
+	imageStride  = 0x0040_0000 // spacing between consecutive library images
+)
+
+// Program is the result of linking: the placed images plus the entry
+// point of the synthesised _start routine.
+type Program struct {
+	Main    *image.Image
+	Libs    []*image.Image
+	EntryPC uint64
+}
+
+// Images returns all images, main first.
+func (p *Program) Images() []*image.Image {
+	out := []*image.Image{p.Main}
+	return append(out, p.Libs...)
+}
+
+type placedFn struct {
+	f     *fn
+	entry uint64
+	end   uint64
+}
+
+// Link compiles the main builder and any library builders, places them at
+// their standard bases, resolves cross-image calls and data references,
+// synthesises _start (which calls main and exits with its return value),
+// and returns the placed images.
+func Link(mainB *Builder, libs ...*Builder) (*Program, error) {
+	builders := append([]*Builder{mainB}, libs...)
+	fnAddr := make(map[string]uint64)
+	dataAddr := make(map[string]uint64)
+	placed := make(map[*Builder][]placedFn)
+
+	if _, ok := mainB.byName["main"]; !ok {
+		return nil, fmt.Errorf("hl: main image %q has no main function", mainB.name)
+	}
+
+	for _, b := range builders {
+		if err := b.compile(); err != nil {
+			return nil, err
+		}
+	}
+
+	// _start is three instructions prepended to the main image:
+	//	call main; syscall exit; halt
+	const startLen = 3 * isa.InstrSize
+
+	// Place code and assign routine entry addresses.
+	for bi, b := range builders {
+		codeBase := uint64(MainCodeBase)
+		if bi > 0 {
+			codeBase = LibCodeBase + uint64(bi-1)*imageStride
+		}
+		off := codeBase
+		if bi == 0 {
+			off += startLen
+		}
+		for _, f := range b.funcs {
+			size := uint64(len(f.code)) * isa.InstrSize
+			if _, dup := fnAddr[f.name]; dup {
+				return nil, fmt.Errorf("hl: duplicate function symbol %q", f.name)
+			}
+			fnAddr[f.name] = off
+			placed[b] = append(placed[b], placedFn{f: f, entry: off, end: off + size})
+			off += size
+		}
+	}
+
+	// Place data symbols.
+	type dataLayout struct {
+		base     uint64
+		initSize uint64
+	}
+	layouts := make(map[*Builder]dataLayout)
+	for bi, b := range builders {
+		dataBase := uint64(MainDataBase)
+		if bi > 0 {
+			dataBase = LibDataBase + uint64(bi-1)*imageStride
+		}
+		// Initialised symbols first, then BSS.
+		off := dataBase
+		for i := range b.data {
+			if b.data[i].init != nil {
+				b.data[i].off = off
+				off += b.data[i].size
+			}
+		}
+		initEnd := off
+		for i := range b.data {
+			if b.data[i].init == nil {
+				b.data[i].off = off
+				off += b.data[i].size
+			}
+		}
+		for _, d := range b.data {
+			if _, dup := dataAddr[d.name]; dup {
+				return nil, fmt.Errorf("hl: duplicate data symbol %q", d.name)
+			}
+			dataAddr[d.name] = d.off
+		}
+		layouts[b] = dataLayout{base: dataBase, initSize: initEnd - dataBase}
+	}
+
+	// Apply relocations.
+	for _, b := range builders {
+		for _, f := range b.funcs {
+			for _, r := range f.relocs {
+				switch r.kind {
+				case relCall:
+					addr, ok := fnAddr[r.sym]
+					if !ok {
+						return nil, fmt.Errorf("hl: %s: call to undefined function %q", f.name, r.sym)
+					}
+					f.code[r.instr].Imm = int32(uint32(addr))
+				case relAddr:
+					addr, ok := dataAddr[r.sym]
+					if !ok {
+						return nil, fmt.Errorf("hl: %s: reference to undefined symbol %q", f.name, r.sym)
+					}
+					f.code[r.instr].Imm = int32(uint32(addr))
+				}
+			}
+		}
+	}
+
+	// Encode and build the images.
+	var prog Program
+	for bi, b := range builders {
+		codeBase := uint64(MainCodeBase)
+		kind := image.Main
+		if bi > 0 {
+			codeBase = LibCodeBase + uint64(bi-1)*imageStride
+			kind = image.Library
+		}
+		var code []byte
+		var routines []image.Routine
+		if bi == 0 {
+			// Synthesise _start.
+			start := []isa.Instr{
+				{Op: isa.OpCall, Imm: int32(uint32(fnAddr["main"]))},
+				{Op: isa.OpSyscall, Imm: gos.SysExit},
+				{Op: isa.OpHalt, Rs1: 1},
+			}
+			for _, ins := range start {
+				code = ins.EncodeTo(code)
+			}
+			routines = append(routines, image.Routine{Name: "_start", Entry: codeBase, End: codeBase + startLen})
+			prog.EntryPC = codeBase
+		}
+		for _, pf := range placed[b] {
+			for _, ins := range pf.f.code {
+				code = ins.EncodeTo(code)
+			}
+			routines = append(routines, image.Routine{Name: pf.f.name, Entry: pf.entry, End: pf.end})
+		}
+		lay := layouts[b]
+		data := make([]byte, lay.initSize)
+		var bss uint64
+		for _, d := range b.data {
+			if d.init != nil {
+				copy(data[d.off-lay.base:], d.init)
+			} else {
+				bss += d.size
+			}
+		}
+		img, err := image.New(b.name, kind, codeBase, code, lay.base, data, bss, routines)
+		if err != nil {
+			return nil, err
+		}
+		if bi == 0 {
+			prog.Main = img
+		} else {
+			prog.Libs = append(prog.Libs, img)
+		}
+	}
+	return &prog, nil
+}

@@ -1,0 +1,258 @@
+// Package image defines the binary image format produced by the high-level
+// builder (package hl) and consumed by the loader and the instrumentation
+// framework.  An image bundles a code segment, a data segment, and a symbol
+// table mapping routine names to PC ranges — the same information Pin's
+// PIN_InitSymbols exposes for an ELF binary.
+//
+// A process is linked from one or more images: the main program image and
+// any library images (the guest libc).  Library routines are what the
+// profilers' "exclude OS/library calls" option filters out, keyed on the
+// image a routine belongs to, exactly as tQUAD keys on "the main image
+// file of the program".
+package image
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"tquad/internal/isa"
+)
+
+// Kind distinguishes the main executable from shared-library images.
+type Kind uint8
+
+const (
+	// Main is the program's own image; its routines are the "kernels"
+	// the profilers report on.
+	Main Kind = iota
+	// Library is a shared-library image (the guest libc); its routines
+	// can be excluded from profiling.
+	Library
+)
+
+func (k Kind) String() string {
+	if k == Main {
+		return "main"
+	}
+	return "library"
+}
+
+// Routine is one function in an image's symbol table.  Entry and End are
+// absolute guest addresses after the image has been placed; End is
+// exclusive.
+type Routine struct {
+	Name  string
+	Entry uint64
+	End   uint64
+}
+
+// Contains reports whether pc falls inside the routine body.
+func (r Routine) Contains(pc uint64) bool { return pc >= r.Entry && pc < r.End }
+
+// Image is a placed (linked) binary image.
+type Image struct {
+	Name     string
+	Kind     Kind
+	Base     uint64 // address of the first code byte
+	Code     []byte // encoded instructions, len % isa.InstrSize == 0
+	DataBase uint64 // address of the first data byte
+	Data     []byte // initialised data segment
+	BSSSize  uint64 // zero-initialised bytes following Data
+
+	routines []Routine // sorted by Entry
+	byName   map[string]int
+}
+
+// New assembles an image from its parts.  Routines may be given in any
+// order; they are validated against the code range and sorted.
+func New(name string, kind Kind, base uint64, code []byte, dataBase uint64, data []byte, bssSize uint64, routines []Routine) (*Image, error) {
+	if len(code)%isa.InstrSize != 0 {
+		return nil, fmt.Errorf("image %s: code size %d not a multiple of %d", name, len(code), isa.InstrSize)
+	}
+	img := &Image{
+		Name:     name,
+		Kind:     kind,
+		Base:     base,
+		Code:     code,
+		DataBase: dataBase,
+		Data:     data,
+		BSSSize:  bssSize,
+		routines: append([]Routine(nil), routines...),
+		byName:   make(map[string]int, len(routines)),
+	}
+	sort.Slice(img.routines, func(i, j int) bool { return img.routines[i].Entry < img.routines[j].Entry })
+	end := base + uint64(len(code))
+	for i, r := range img.routines {
+		if r.Entry < base || r.End > end || r.Entry >= r.End {
+			return nil, fmt.Errorf("image %s: routine %s range [%#x,%#x) outside code [%#x,%#x)", name, r.Name, r.Entry, r.End, base, end)
+		}
+		if i > 0 && img.routines[i-1].End > r.Entry {
+			return nil, fmt.Errorf("image %s: routine %s overlaps %s", name, r.Name, img.routines[i-1].Name)
+		}
+		if _, dup := img.byName[r.Name]; dup {
+			return nil, fmt.Errorf("image %s: duplicate routine %s", name, r.Name)
+		}
+		img.byName[r.Name] = i
+	}
+	return img, nil
+}
+
+// CodeEnd returns the exclusive end address of the code segment.
+func (im *Image) CodeEnd() uint64 { return im.Base + uint64(len(im.Code)) }
+
+// DataEnd returns the exclusive end address of the data+bss segment.
+func (im *Image) DataEnd() uint64 { return im.DataBase + uint64(len(im.Data)) + im.BSSSize }
+
+// ContainsPC reports whether pc lies in the image's code segment.
+func (im *Image) ContainsPC(pc uint64) bool { return pc >= im.Base && pc < im.CodeEnd() }
+
+// Routines returns the symbol table sorted by entry address.
+func (im *Image) Routines() []Routine { return im.routines }
+
+// FindRoutine returns the routine containing pc, if any.
+func (im *Image) FindRoutine(pc uint64) (Routine, bool) {
+	i := sort.Search(len(im.routines), func(i int) bool { return im.routines[i].End > pc })
+	if i < len(im.routines) && im.routines[i].Contains(pc) {
+		return im.routines[i], true
+	}
+	return Routine{}, false
+}
+
+// Lookup returns the routine with the given name.
+func (im *Image) Lookup(name string) (Routine, bool) {
+	if i, ok := im.byName[name]; ok {
+		return im.routines[i], true
+	}
+	return Routine{}, false
+}
+
+// magic identifies the serialised image format ("TQIM" + version 1).
+var magic = []byte{'T', 'Q', 'I', 'M', 1}
+
+// Marshal serialises the image to a self-contained byte stream, so guest
+// binaries can be written to disk and reloaded — tQUAD only needs "the
+// binary machine code of the application".
+func (im *Image) Marshal() []byte {
+	var buf bytes.Buffer
+	buf.Write(magic)
+	writeStr := func(s string) {
+		var n [4]byte
+		binary.LittleEndian.PutUint32(n[:], uint32(len(s)))
+		buf.Write(n[:])
+		buf.WriteString(s)
+	}
+	writeU64 := func(v uint64) {
+		var n [8]byte
+		binary.LittleEndian.PutUint64(n[:], v)
+		buf.Write(n[:])
+	}
+	writeBytes := func(b []byte) {
+		writeU64(uint64(len(b)))
+		buf.Write(b)
+	}
+	writeStr(im.Name)
+	buf.WriteByte(byte(im.Kind))
+	writeU64(im.Base)
+	writeBytes(im.Code)
+	writeU64(im.DataBase)
+	writeBytes(im.Data)
+	writeU64(im.BSSSize)
+	writeU64(uint64(len(im.routines)))
+	for _, r := range im.routines {
+		writeStr(r.Name)
+		writeU64(r.Entry)
+		writeU64(r.End)
+	}
+	return buf.Bytes()
+}
+
+// Unmarshal parses an image serialised by Marshal.
+func Unmarshal(b []byte) (*Image, error) {
+	if len(b) < len(magic) || !bytes.Equal(b[:len(magic)], magic) {
+		return nil, fmt.Errorf("image: bad magic")
+	}
+	b = b[len(magic):]
+	fail := fmt.Errorf("image: truncated stream")
+	readStr := func() (string, error) {
+		if len(b) < 4 {
+			return "", fail
+		}
+		n := binary.LittleEndian.Uint32(b)
+		b = b[4:]
+		if uint32(len(b)) < n {
+			return "", fail
+		}
+		s := string(b[:n])
+		b = b[n:]
+		return s, nil
+	}
+	readU64 := func() (uint64, error) {
+		if len(b) < 8 {
+			return 0, fail
+		}
+		v := binary.LittleEndian.Uint64(b)
+		b = b[8:]
+		return v, nil
+	}
+	readBytes := func() ([]byte, error) {
+		n, err := readU64()
+		if err != nil || uint64(len(b)) < n {
+			return nil, fail
+		}
+		out := append([]byte(nil), b[:n]...)
+		b = b[n:]
+		return out, nil
+	}
+	name, err := readStr()
+	if err != nil {
+		return nil, err
+	}
+	if len(b) < 1 {
+		return nil, fail
+	}
+	kind := Kind(b[0])
+	b = b[1:]
+	base, err := readU64()
+	if err != nil {
+		return nil, err
+	}
+	code, err := readBytes()
+	if err != nil {
+		return nil, err
+	}
+	dataBase, err := readU64()
+	if err != nil {
+		return nil, err
+	}
+	data, err := readBytes()
+	if err != nil {
+		return nil, err
+	}
+	bss, err := readU64()
+	if err != nil {
+		return nil, err
+	}
+	nr, err := readU64()
+	if err != nil {
+		return nil, err
+	}
+	routines := make([]Routine, 0, nr)
+	for i := uint64(0); i < nr; i++ {
+		rn, err := readStr()
+		if err != nil {
+			return nil, err
+		}
+		entry, err := readU64()
+		if err != nil {
+			return nil, err
+		}
+		end, err := readU64()
+		if err != nil {
+			return nil, err
+		}
+		routines = append(routines, Routine{Name: rn, Entry: entry, End: end})
+	}
+	return New(name, kind, base, code, dataBase, data, bss, routines)
+}

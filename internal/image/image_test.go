@@ -1,0 +1,156 @@
+package image_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tquad/internal/image"
+	"tquad/internal/isa"
+)
+
+func code(n int) []byte {
+	var buf []byte
+	for i := 0; i < n; i++ {
+		buf = isa.Instr{Op: isa.OpNop}.EncodeTo(buf)
+	}
+	return buf
+}
+
+func mustImage(t *testing.T) *image.Image {
+	t.Helper()
+	img, err := image.New("app", image.Main, 0x1000, code(16), 0x9000, []byte{1, 2, 3, 4}, 64, []image.Routine{
+		{Name: "alpha", Entry: 0x1000, End: 0x1020},
+		{Name: "beta", Entry: 0x1020, End: 0x1060},
+		{Name: "gamma", Entry: 0x1060, End: 0x1080},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func TestRoutineLookup(t *testing.T) {
+	img := mustImage(t)
+	for pc, want := range map[uint64]string{
+		0x1000: "alpha", 0x1018: "alpha",
+		0x1020: "beta", 0x1058: "beta",
+		0x1060: "gamma", 0x1078: "gamma",
+	} {
+		r, ok := img.FindRoutine(pc)
+		if !ok || r.Name != want {
+			t.Errorf("FindRoutine(%#x) = %q/%v, want %q", pc, r.Name, ok, want)
+		}
+	}
+	if _, ok := img.FindRoutine(0x0fff); ok {
+		t.Errorf("address below image resolved")
+	}
+	if _, ok := img.FindRoutine(0x1080); ok {
+		t.Errorf("address past code end resolved")
+	}
+	r, ok := img.Lookup("beta")
+	if !ok || r.Entry != 0x1020 {
+		t.Errorf("Lookup(beta) = %+v/%v", r, ok)
+	}
+	if _, ok := img.Lookup("missing"); ok {
+		t.Errorf("Lookup(missing) succeeded")
+	}
+}
+
+func TestBounds(t *testing.T) {
+	img := mustImage(t)
+	if img.CodeEnd() != 0x1000+16*isa.InstrSize {
+		t.Errorf("CodeEnd = %#x", img.CodeEnd())
+	}
+	if img.DataEnd() != 0x9000+4+64 {
+		t.Errorf("DataEnd = %#x", img.DataEnd())
+	}
+	if !img.ContainsPC(0x1000) || img.ContainsPC(img.CodeEnd()) {
+		t.Errorf("ContainsPC boundary broken")
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	// Misaligned code.
+	if _, err := image.New("x", image.Main, 0, []byte{1, 2, 3}, 0, nil, 0, nil); err == nil {
+		t.Errorf("misaligned code accepted")
+	}
+	// Routine outside code range.
+	if _, err := image.New("x", image.Main, 0x1000, code(4), 0, nil, 0, []image.Routine{
+		{Name: "a", Entry: 0x1000, End: 0x2000},
+	}); err == nil {
+		t.Errorf("out-of-range routine accepted")
+	}
+	// Overlapping routines.
+	if _, err := image.New("x", image.Main, 0x1000, code(8), 0, nil, 0, []image.Routine{
+		{Name: "a", Entry: 0x1000, End: 0x1020},
+		{Name: "b", Entry: 0x1018, End: 0x1040},
+	}); err == nil {
+		t.Errorf("overlapping routines accepted")
+	}
+	// Duplicate names.
+	if _, err := image.New("x", image.Main, 0x1000, code(8), 0, nil, 0, []image.Routine{
+		{Name: "a", Entry: 0x1000, End: 0x1010},
+		{Name: "a", Entry: 0x1010, End: 0x1020},
+	}); err == nil {
+		t.Errorf("duplicate routine names accepted")
+	}
+	// Empty range.
+	if _, err := image.New("x", image.Main, 0x1000, code(8), 0, nil, 0, []image.Routine{
+		{Name: "a", Entry: 0x1010, End: 0x1010},
+	}); err == nil {
+		t.Errorf("empty routine accepted")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	img := mustImage(t)
+	blob := img.Marshal()
+	got, err := image.Unmarshal(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != img.Name || got.Kind != img.Kind || got.Base != img.Base ||
+		got.DataBase != img.DataBase || got.BSSSize != img.BSSSize {
+		t.Fatalf("metadata mismatch: %+v vs %+v", got, img)
+	}
+	if string(got.Code) != string(img.Code) || string(got.Data) != string(img.Data) {
+		t.Fatalf("segment contents differ")
+	}
+	gr, ir := got.Routines(), img.Routines()
+	if len(gr) != len(ir) {
+		t.Fatalf("routine count %d vs %d", len(gr), len(ir))
+	}
+	for i := range ir {
+		if gr[i] != ir[i] {
+			t.Errorf("routine %d: %+v vs %+v", i, gr[i], ir[i])
+		}
+	}
+}
+
+// TestUnmarshalNeverPanics: arbitrary byte soup must produce an error,
+// not a crash.
+func TestUnmarshalNeverPanics(t *testing.T) {
+	img := mustImage(t)
+	blob := img.Marshal()
+	// Truncations at every length.
+	for i := 0; i < len(blob); i++ {
+		if _, err := image.Unmarshal(blob[:i]); err == nil {
+			t.Fatalf("truncation at %d accepted", i)
+		}
+	}
+	// Random corruption.
+	f := func(junk []byte) bool {
+		_, err := image.Unmarshal(junk) // must not panic
+		_ = err
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if image.Main.String() != "main" || image.Library.String() != "library" {
+		t.Errorf("Kind strings wrong: %q %q", image.Main, image.Library)
+	}
+}

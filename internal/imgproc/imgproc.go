@@ -1,0 +1,397 @@
+// Package imgproc is the second case-study workload (the paper: "tQUAD
+// was tested on a set of real applications"): an integer image-processing
+// pipeline — box blur, Sobel edge detection, thresholding, histogram —
+// compiled to guest machine code like the WFS application, with a
+// host-side mirror for bit-exact verification.
+//
+// The pipeline's kernels have deliberately contrasting memory
+// signatures: img_load streams a file through a small staging buffer,
+// blur3x3/sobel are stencil kernels with 9- and 6-point reads per output
+// pixel, threshold is a pure streaming map, histogram is a scatter with
+// a tiny reused output range, and img_store funnels everything back out
+// — a compact playground for the profilers outside the audio domain.
+package imgproc
+
+import (
+	"fmt"
+
+	"tquad/internal/glibc"
+	"tquad/internal/gos"
+	"tquad/internal/hl"
+	"tquad/internal/image"
+	"tquad/internal/vm"
+)
+
+// Config sizes the scenario.
+type Config struct {
+	Width, Height int
+	Threshold     int64 // binarisation level (0..255)
+	BlurPasses    int   // repeated box-blur applications
+	InputFile     string
+	OutputFile    string
+	HistFile      string
+}
+
+// Small is the configuration used by tests and examples.
+func Small() Config {
+	return Config{
+		Width: 96, Height: 64,
+		Threshold:  96,
+		BlurPasses: 2,
+		InputFile:  "input.img",
+		OutputFile: "edges.img",
+		HistFile:   "hist.bin",
+	}
+}
+
+// Validate checks the structural requirements of the generated code.
+func (c Config) Validate() error {
+	switch {
+	case c.Width < 8 || c.Height < 8:
+		return fmt.Errorf("imgproc: image too small: %dx%d", c.Width, c.Height)
+	case c.Threshold < 0 || c.Threshold > 255:
+		return fmt.Errorf("imgproc: threshold %d out of range", c.Threshold)
+	case c.BlurPasses < 1:
+		return fmt.Errorf("imgproc: need at least one blur pass")
+	case c.InputFile == "" || c.OutputFile == "" || c.HistFile == "":
+		return fmt.Errorf("imgproc: file names required")
+	}
+	return nil
+}
+
+// KernelNames lists the pipeline's kernels for phase/cluster analyses.
+func KernelNames() []string {
+	return []string{"img_load", "blur3x3", "sobel", "threshold", "histogram", "img_store"}
+}
+
+// Build generates the guest program.
+func Build(cfg Config) (*hl.Builder, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	b := hl.NewBuilder("imgproc", image.Main)
+
+	w := int64(cfg.Width)
+	h := int64(cfg.Height)
+	n := w * h
+
+	staging := b.Global("staging", 2048)
+	src := b.Global("src", uint64(n*8)) // pixels as 64-bit ints
+	tmp := b.Global("tmp", uint64(n*8)) // blur scratch
+	edges := b.Global("edges", uint64(n*8))
+	hist := b.Global("hist", 256*8)
+
+	// img_load: stream the byte image through the staging buffer and
+	// widen each pixel to a word.
+	b.Func("img_load", 0, func(f *hl.Fn) {
+		nm, nl := f.Str(cfg.InputFile)
+		fd := f.Call("open_r", nm, f.Const(nl))
+		f.If(f.SltI(fd, 0), func() { f.Ret(f.Const(-1)) })
+		sp := f.Local()
+		f.Set(sp, f.GAddr(staging))
+		dp := f.Local()
+		f.Set(dp, f.GAddr(src))
+		idx := f.Local()
+		f.SetI(idx, 0)
+		done := f.Local()
+		f.SetI(done, 0)
+		k := f.Local()
+		f.While(func() hl.Reg {
+			return f.And(f.Seq(done, f.Zero()), f.Slt(idx, f.Const(n)))
+		}, func() {
+			got := f.Call("read_full", fd, sp, f.Const(2048))
+			f.If(f.SltI(got, 1), func() {
+				f.SetI(done, 1)
+			}, func() {
+				f.SetI(k, 0)
+				f.While(func() hl.Reg { return f.Slt(k, got) }, func() {
+					f.St8(f.Add(dp, f.ShlI(idx, 3)), 0, f.Ld1(f.Add(sp, k), 0))
+					f.Inc(k, 1)
+					f.Inc(idx, 1)
+				})
+			})
+		})
+		f.Syscall(gos.SysClose, fd)
+		f.Ret(idx)
+	})
+
+	// pixAt(base, x, y) helper address: base + 8*(y*w + x).
+	pix := func(f *hl.Fn, base hl.Reg, x, y hl.Reg) hl.Reg {
+		return f.Add(base, f.ShlI(f.Add(f.MulI(y, w), x), 3))
+	}
+
+	// blur3x3: one box-blur pass src -> tmp, then copy back.  Borders
+	// are copied unchanged.
+	b.Func("blur3x3", 0, func(f *hl.Fn) {
+		sp := f.Local()
+		f.Set(sp, f.GAddr(src))
+		tp := f.Local()
+		f.Set(tp, f.GAddr(tmp))
+		x := f.Local()
+		y := f.Local()
+		acc := f.Local()
+		f.ForRangeI(y, 1, h-1, func() {
+			f.ForRangeI(x, 1, w-1, func() {
+				f.SetI(acc, 0)
+				for dy := int64(-1); dy <= 1; dy++ {
+					for dx := int64(-1); dx <= 1; dx++ {
+						f.Set(acc, f.Add(acc, f.Ld8(pix(f, sp, x, y), (dy*w+dx)*8)))
+					}
+				}
+				f.St8(pix(f, tp, x, y), 0, f.Div(acc, f.Const(9)))
+			})
+		})
+		// Copy the interior back (borders keep their original values).
+		f.ForRangeI(y, 1, h-1, func() {
+			f.ForRangeI(x, 1, w-1, func() {
+				f.St8(pix(f, sp, x, y), 0, f.Ld8(pix(f, tp, x, y), 0))
+			})
+		})
+		f.Ret0()
+	})
+
+	// sobel: gradient magnitude |gx|+|gy| clamped to 255, src -> edges.
+	b.Func("sobel", 0, func(f *hl.Fn) {
+		sp := f.Local()
+		f.Set(sp, f.GAddr(src))
+		ep := f.Local()
+		f.Set(ep, f.GAddr(edges))
+		x := f.Local()
+		y := f.Local()
+		gx := f.Local()
+		gy := f.Local()
+		mag := f.Local()
+		f.ForRangeI(y, 1, h-1, func() {
+			f.ForRangeI(x, 1, w-1, func() {
+				// gx = (p[+1,-1]+2p[+1,0]+p[+1,+1]) - (p[-1,-1]+2p[-1,0]+p[-1,+1])
+				f.Set(gx, f.Ld8(pix(f, sp, x, y), (-w+1)*8))
+				f.Set(gx, f.Add(gx, f.MulI(f.Ld8(pix(f, sp, x, y), 1*8), 2)))
+				f.Set(gx, f.Add(gx, f.Ld8(pix(f, sp, x, y), (w+1)*8)))
+				f.Set(gx, f.Sub(gx, f.Ld8(pix(f, sp, x, y), (-w-1)*8)))
+				f.Set(gx, f.Sub(gx, f.MulI(f.Ld8(pix(f, sp, x, y), -1*8), 2)))
+				f.Set(gx, f.Sub(gx, f.Ld8(pix(f, sp, x, y), (w-1)*8)))
+				// gy mirrors vertically.
+				f.Set(gy, f.Ld8(pix(f, sp, x, y), (w-1)*8))
+				f.Set(gy, f.Add(gy, f.MulI(f.Ld8(pix(f, sp, x, y), w*8), 2)))
+				f.Set(gy, f.Add(gy, f.Ld8(pix(f, sp, x, y), (w+1)*8)))
+				f.Set(gy, f.Sub(gy, f.Ld8(pix(f, sp, x, y), (-w-1)*8)))
+				f.Set(gy, f.Sub(gy, f.MulI(f.Ld8(pix(f, sp, x, y), -w*8), 2)))
+				f.Set(gy, f.Sub(gy, f.Ld8(pix(f, sp, x, y), (-w+1)*8)))
+				gxa := f.Call("iabs", gx)
+				gya := f.Call("iabs", gy)
+				f.Set(mag, f.Add(gxa, gya))
+				m2 := f.Call("imin", mag, f.Const(255))
+				f.St8(pix(f, ep, x, y), 0, m2)
+			})
+		})
+		f.Ret0()
+	})
+
+	// threshold: binarise edges in place.
+	b.Func("threshold", 0, func(f *hl.Fn) {
+		ep := f.Local()
+		f.Set(ep, f.GAddr(edges))
+		i := f.Local()
+		v := f.Local()
+		f.ForRangeI(i, 0, n, func() {
+			f.Set(v, f.Ld8(f.Add(ep, f.ShlI(i, 3)), 0))
+			f.If(f.Slt(v, f.Const(cfg.Threshold)), func() {
+				f.St8(f.Add(ep, f.ShlI(i, 3)), 0, f.Zero())
+			}, func() {
+				f.St8(f.Add(ep, f.ShlI(i, 3)), 0, f.Const(255))
+			})
+		})
+		f.Ret0()
+	})
+
+	// histogram: 256-bin histogram of the blurred source image — a
+	// scatter into a tiny reused address range.
+	b.Func("histogram", 0, func(f *hl.Fn) {
+		sp := f.Local()
+		f.Set(sp, f.GAddr(src))
+		hp := f.Local()
+		f.Set(hp, f.GAddr(hist))
+		i := f.Local()
+		slot := f.Local()
+		f.ForRangeI(i, 0, n, func() {
+			f.Set(slot, f.Add(hp, f.ShlI(f.AndI(f.Ld8(f.Add(sp, f.ShlI(i, 3)), 0), 255), 3)))
+			f.St8(slot, 0, f.AddI(f.Ld8(slot, 0), 1))
+		})
+		f.Ret0()
+	})
+
+	// img_store: narrow the edge map back to bytes through the staging
+	// buffer and write both outputs.
+	b.Func("img_store", 0, func(f *hl.Fn) {
+		nm, nl := f.Str(cfg.OutputFile)
+		fd := f.Call("open_w", nm, f.Const(nl))
+		ep := f.Local()
+		f.Set(ep, f.GAddr(edges))
+		sp := f.Local()
+		f.Set(sp, f.GAddr(staging))
+		idx := f.Local()
+		fill := f.Local()
+		f.SetI(idx, 0)
+		f.SetI(fill, 0)
+		f.While(func() hl.Reg { return f.Slt(idx, f.Const(n)) }, func() {
+			f.St1(f.Add(sp, fill), 0, f.Ld8(f.Add(ep, f.ShlI(idx, 3)), 0))
+			f.Inc(fill, 1)
+			f.Inc(idx, 1)
+			f.If(f.Seq(fill, f.Const(2048)), func() {
+				f.CallV("write_all", fd, sp, f.Const(2048))
+				f.SetI(fill, 0)
+			})
+		})
+		f.If(f.Slt(f.Zero(), fill), func() {
+			f.CallV("write_all", fd, sp, fill)
+		})
+		f.Syscall(gos.SysClose, fd)
+		// Histogram file: 256 little-endian words.
+		hm, hml := f.Str(cfg.HistFile)
+		hfd := f.Call("open_w", hm, f.Const(hml))
+		f.CallV("write_all", hfd, f.GAddr(hist), f.Const(256*8))
+		f.Syscall(gos.SysClose, hfd)
+		f.Ret0()
+	})
+
+	b.Func("main", 0, func(f *hl.Fn) {
+		got := f.Call("img_load")
+		f.If(f.Slt(got, f.Const(n)), func() { f.Ret(f.Const(1)) })
+		p := f.Local()
+		f.ForRangeI(p, 0, int64(cfg.BlurPasses), func() {
+			f.CallV("blur3x3")
+		})
+		f.CallV("histogram")
+		f.CallV("sobel")
+		f.CallV("threshold")
+		f.CallV("img_store")
+		f.Ret(f.Zero())
+	})
+	return b, nil
+}
+
+// Workload is a linked program plus its deterministic input image.
+type Workload struct {
+	Cfg   Config
+	Prog  *hl.Program
+	Input []byte // W*H grayscale bytes
+}
+
+// NewWorkload builds, links and prepares the input.
+func NewWorkload(cfg Config) (*Workload, error) {
+	app, err := Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := hl.Link(app, glibc.Builder())
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{Cfg: cfg, Prog: prog, Input: TestImage(cfg.Width, cfg.Height)}, nil
+}
+
+// NewMachine instantiates a fresh machine with the input installed.
+func (w *Workload) NewMachine() (*vm.Machine, *gos.OS) {
+	m := vm.New()
+	osys := gos.New()
+	osys.AddFile(w.Cfg.InputFile, w.Input)
+	m.SetSyscallHandler(osys)
+	for _, img := range w.Prog.Images() {
+		m.LoadImage(img)
+	}
+	m.Reset(w.Prog.EntryPC)
+	return m, osys
+}
+
+// TestImage deterministically generates a grayscale test pattern with
+// gradients, circles and noise — enough structure for every kernel to do
+// real work.
+func TestImage(w, h int) []byte {
+	out := make([]byte, w*h)
+	state := uint64(0x9E3779B97F4A7C15)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := (x * 255 / w) // horizontal ramp
+			// Two "discs" with sharp edges.
+			for _, c := range [][3]int{{w / 3, h / 3, h / 5}, {2 * w / 3, 2 * h / 3, h / 4}} {
+				dx, dy := x-c[0], y-c[1]
+				if dx*dx+dy*dy < c[2]*c[2] {
+					v = 230
+				}
+			}
+			// Deterministic speckle.
+			state = state*6364136223846793005 + 1442695040888963407
+			v += int(state>>60) - 8
+			if v < 0 {
+				v = 0
+			}
+			if v > 255 {
+				v = 255
+			}
+			out[y*w+x] = byte(v)
+		}
+	}
+	return out
+}
+
+// Reference mirrors the guest pipeline on the host, returning the edge
+// map bytes and the histogram.
+func Reference(cfg Config, input []byte) (edges []byte, hist [256]uint64) {
+	w, h := cfg.Width, cfg.Height
+	n := w * h
+	src := make([]int64, n)
+	for i := 0; i < n && i < len(input); i++ {
+		src[i] = int64(input[i])
+	}
+	// blur passes
+	tmp := make([]int64, n)
+	for p := 0; p < cfg.BlurPasses; p++ {
+		for y := 1; y < h-1; y++ {
+			for x := 1; x < w-1; x++ {
+				var acc int64
+				for dy := -1; dy <= 1; dy++ {
+					for dx := -1; dx <= 1; dx++ {
+						acc += src[(y+dy)*w+x+dx]
+					}
+				}
+				tmp[y*w+x] = acc / 9
+			}
+		}
+		for y := 1; y < h-1; y++ {
+			for x := 1; x < w-1; x++ {
+				src[y*w+x] = tmp[y*w+x]
+			}
+		}
+	}
+	// histogram of the blurred image
+	for i := 0; i < n; i++ {
+		hist[src[i]&255]++
+	}
+	// sobel + threshold
+	e := make([]int64, n)
+	for y := 1; y < h-1; y++ {
+		for x := 1; x < w-1; x++ {
+			at := func(dx, dy int) int64 { return src[(y+dy)*w+x+dx] }
+			gx := at(1, -1) + 2*at(1, 0) + at(1, 1) - at(-1, -1) - 2*at(-1, 0) - at(-1, 1)
+			gy := at(-1, 1) + 2*at(0, 1) + at(1, 1) - at(-1, -1) - 2*at(0, -1) - at(1, -1)
+			if gx < 0 {
+				gx = -gx
+			}
+			if gy < 0 {
+				gy = -gy
+			}
+			mag := gx + gy
+			if mag > 255 {
+				mag = 255
+			}
+			e[y*w+x] = mag
+		}
+	}
+	edges = make([]byte, n)
+	for i := 0; i < n; i++ {
+		if e[i] >= cfg.Threshold {
+			edges[i] = 255
+		}
+	}
+	return edges, hist
+}

@@ -1,0 +1,216 @@
+package imgproc_test
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"tquad/internal/core"
+	"tquad/internal/imgproc"
+	"tquad/internal/phase"
+	"tquad/internal/pin"
+	"tquad/internal/quad"
+)
+
+func run(t *testing.T) (*imgproc.Workload, []byte, []byte) {
+	t.Helper()
+	w, err := imgproc.NewWorkload(imgproc.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, osys := w.NewMachine()
+	if err := m.Run(500_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if m.ExitCode != 0 {
+		t.Fatalf("guest exit code %d", m.ExitCode)
+	}
+	edges, ok := osys.File(w.Cfg.OutputFile)
+	if !ok {
+		t.Fatal("edge map not written")
+	}
+	hist, ok := osys.File(w.Cfg.HistFile)
+	if !ok {
+		t.Fatal("histogram not written")
+	}
+	return w, edges, hist
+}
+
+// TestGuestMatchesReference: the guest pipeline's outputs are bit-exact
+// against the host mirror (pure integer arithmetic, so exactness is
+// mandatory).
+func TestGuestMatchesReference(t *testing.T) {
+	w, edges, histRaw := run(t)
+	wantEdges, wantHist := imgproc.Reference(w.Cfg, w.Input)
+	if len(edges) != len(wantEdges) {
+		t.Fatalf("edge map length %d, want %d", len(edges), len(wantEdges))
+	}
+	for i := range wantEdges {
+		if edges[i] != wantEdges[i] {
+			t.Fatalf("edge pixel %d: guest %d, reference %d", i, edges[i], wantEdges[i])
+		}
+	}
+	if len(histRaw) != 256*8 {
+		t.Fatalf("histogram file %d bytes", len(histRaw))
+	}
+	var total uint64
+	for b := 0; b < 256; b++ {
+		got := binary.LittleEndian.Uint64(histRaw[8*b:])
+		if got != wantHist[b] {
+			t.Fatalf("hist bin %d: guest %d, reference %d", b, got, wantHist[b])
+		}
+		total += got
+	}
+	if total != uint64(w.Cfg.Width*w.Cfg.Height) {
+		t.Fatalf("histogram total %d, want %d", total, w.Cfg.Width*w.Cfg.Height)
+	}
+	// The pipeline found real edges: both classes present.
+	var on, off int
+	for _, v := range edges {
+		if v == 255 {
+			on++
+		} else if v == 0 {
+			off++
+		} else {
+			t.Fatalf("non-binary edge value %d", v)
+		}
+	}
+	if on == 0 || off == 0 {
+		t.Fatalf("degenerate edge map: on=%d off=%d", on, off)
+	}
+}
+
+// TestPipelinePhases: the profilers generalise beyond the audio domain —
+// tQUAD + phase detection recover the pipeline's stage structure.
+func TestPipelinePhases(t *testing.T) {
+	w, err := imgproc.NewWorkload(imgproc.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := w.NewMachine()
+	e := pin.NewEngine(m)
+	tool := core.Attach(e, core.Options{SliceInterval: 3000, IncludeStack: true})
+	if err := m.Run(500_000_000); err != nil {
+		t.Fatal(err)
+	}
+	prof := tool.Snapshot()
+	phases := phase.Detect(prof, phase.Options{
+		IncludeStack: true,
+		Kernels:      imgproc.KernelNames(),
+	})
+	if len(phases) < 3 {
+		for i, ph := range phases {
+			t.Logf("phase %d [%d,%d): %v", i+1, ph.Start, ph.End, ph.KernelNames())
+		}
+		t.Fatalf("detected %d phases, want >= 3 (load, processing, store)", len(phases))
+	}
+	has := func(ph phase.Phase, name string) bool {
+		for _, k := range ph.Kernels {
+			if k.Name == name {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(phases[0], "img_load") {
+		t.Errorf("first phase %v missing img_load", phases[0].KernelNames())
+	}
+	if !has(phases[len(phases)-1], "img_store") {
+		t.Errorf("last phase %v missing img_store", phases[len(phases)-1].KernelNames())
+	}
+	// blur must come before sobel.
+	blur, _ := prof.Kernel("blur3x3")
+	sob, _ := prof.Kernel("sobel")
+	if blur == nil || sob == nil {
+		t.Fatal("stencil kernels missing from profile")
+	}
+	if blur.FirstSlice >= sob.LastSlice {
+		t.Errorf("blur [%d..] does not precede sobel [..%d]", blur.FirstSlice, sob.LastSlice)
+	}
+}
+
+// TestPipelineDataFlow: QUAD recovers the producer/consumer chain
+// img_load -> blur3x3 -> sobel and the stencil read amplification.
+func TestPipelineDataFlow(t *testing.T) {
+	w, err := imgproc.NewWorkload(imgproc.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := w.NewMachine()
+	e := pin.NewEngine(m)
+	tool := quad.Attach(e, quad.Options{IncludeStack: false})
+	if err := m.Run(500_000_000); err != nil {
+		t.Fatal(err)
+	}
+	rep := tool.Report()
+	edge := func(p, c string) uint64 {
+		for _, b := range rep.Bindings {
+			if b.Producer == p && b.Consumer == c {
+				return b.Bytes
+			}
+		}
+		return 0
+	}
+	if edge("img_load", "blur3x3") == 0 {
+		t.Errorf("img_load -> blur3x3 binding missing")
+	}
+	if edge("blur3x3", "sobel") == 0 {
+		t.Errorf("blur3x3 -> sobel binding missing")
+	}
+	if edge("sobel", "threshold") == 0 {
+		t.Errorf("sobel -> threshold binding missing")
+	}
+	if edge("threshold", "img_store") == 0 {
+		t.Errorf("threshold -> img_store binding missing")
+	}
+	// Stencil amplification: blur reads ~9 bytes per byte it writes once;
+	// its IN must far exceed its UnMA.
+	bl, ok := rep.Kernel("blur3x3")
+	if !ok {
+		t.Fatal("blur3x3 missing")
+	}
+	if bl.In < 4*bl.InUnMA {
+		t.Errorf("blur3x3 IN=%d vs UnMA=%d: stencil amplification missing", bl.In, bl.InUnMA)
+	}
+	// The histogram scatters into a tiny reused range.
+	hg, ok := rep.Kernel("histogram")
+	if !ok {
+		t.Fatal("histogram missing")
+	}
+	if hg.OutUnMA > 256*8 {
+		t.Errorf("histogram OUT UnMA = %d, want <= 2048", hg.OutUnMA)
+	}
+	if hg.Out < 8*uint64(w.Cfg.Width*w.Cfg.Height)/2 {
+		t.Errorf("histogram OUT = %d, expected heavy reuse", hg.Out)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := imgproc.Small()
+	bad.Width = 2
+	if _, err := imgproc.Build(bad); err == nil {
+		t.Errorf("tiny image accepted")
+	}
+	bad = imgproc.Small()
+	bad.Threshold = 400
+	if _, err := imgproc.Build(bad); err == nil {
+		t.Errorf("out-of-range threshold accepted")
+	}
+	bad = imgproc.Small()
+	bad.BlurPasses = 0
+	if _, err := imgproc.Build(bad); err == nil {
+		t.Errorf("zero blur passes accepted")
+	}
+}
+
+func TestImageDeterministic(t *testing.T) {
+	a := imgproc.TestImage(64, 48)
+	b := imgproc.TestImage(64, 48)
+	if len(a) != 64*48 {
+		t.Fatalf("image size %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("test image not deterministic at %d", i)
+		}
+	}
+}

@@ -1,0 +1,387 @@
+// Package isa defines the guest instruction set architecture used by the
+// tQUAD reproduction: a 64-bit RISC-like machine with a fixed-width 8-byte
+// binary instruction encoding.
+//
+// The ISA is deliberately small but complete enough to compile a real
+// application (the hArtes-wfs-like Wave Field Synthesis workload) down to
+// genuine machine code.  The dynamic-binary-instrumentation framework in
+// package pin decodes these encoded bytes at run time, exactly as Pin
+// decodes x86: the profilers never see anything but the binary image and
+// the dynamic instruction stream.
+//
+// Encoding (little-endian, 8 bytes per instruction):
+//
+//	byte 0: opcode (low 7 bits) | predicate flag (bit 7)
+//	byte 1: rd  (destination register)
+//	byte 2: rs1 (first source register)
+//	byte 3: rs2 (second source register)
+//	bytes 4-7: imm (signed 32-bit immediate)
+//
+// A set predicate flag makes the instruction execute only when the
+// predicate register P holds a non-zero value; this is what exercises the
+// INS_InsertPredicatedCall path of the instrumentation framework.
+package isa
+
+import "fmt"
+
+// WordSize is the architectural word size in bytes.
+const WordSize = 8
+
+// InstrSize is the size of one encoded instruction in bytes.
+const InstrSize = 8
+
+// NumRegs is the number of general-purpose registers.  r0 is hard-wired to
+// zero.  By software convention (package hl) r1..r6 carry arguments and r1
+// the return value.
+const NumRegs = 64
+
+// Architectural register aliases.
+const (
+	RegZero = 0  // always reads as zero; writes are discarded
+	RegRet  = 1  // return value / first argument
+	RegSP   = 62 // stack pointer (grows down)
+	RegLR   = 63 // link register (return address saved by CALL)
+)
+
+// Op is an opcode.  The zero value is Invalid so that decoding zeroed
+// memory traps instead of silently executing.
+type Op uint8
+
+// Opcodes.  Memory operations encode their access width in the mnemonic;
+// the access width is what the bandwidth profilers account in bytes.
+const (
+	OpInvalid Op = iota
+
+	// Control.
+	OpNop
+	OpHalt // stop the machine; rs1 holds the exit code register
+
+	// Constants and register moves.
+	OpLdi  // rd = imm (sign-extended)
+	OpLdiu // rd = uint32(imm) (zero-extended)
+	OpLuhi // rd = (rd & 0xffffffff) | imm<<32 (load upper half)
+	OpMov  // rd = rs1
+
+	// Integer ALU, register-register.
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv // signed; division by zero traps
+	OpRem // signed remainder; division by zero traps
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr // logical right shift
+	OpSar // arithmetic right shift
+
+	// Integer ALU, register-immediate.
+	OpAddi
+	OpMuli
+	OpAndi
+	OpOri
+	OpShli
+	OpShri
+
+	// Comparisons: rd = 1 if the relation holds, else 0.
+	OpSlt  // rd = rs1 < rs2 (signed)
+	OpSltu // rd = rs1 < rs2 (unsigned)
+	OpSeq  // rd = rs1 == rs2
+	OpSlti // rd = rs1 < imm (signed)
+
+	// Floating point (registers hold raw IEEE-754 bit patterns).
+	OpFadd
+	OpFsub
+	OpFmul
+	OpFdiv
+	OpFneg
+	OpFabs
+	OpFsqrt
+	OpFsin
+	OpFcos
+	OpFmin
+	OpFmax
+	OpFlt // rd = 1 if f(rs1) < f(rs2)
+	OpFle // rd = 1 if f(rs1) <= f(rs2)
+	OpFeq // rd = 1 if f(rs1) == f(rs2)
+	OpI2f // rd = float64(int64(rs1))
+	OpF2i // rd = int64(trunc(f(rs1)))
+
+	// Loads: rd = mem[rs1+imm], zero-extended unless noted.
+	OpLd1
+	OpLd2
+	OpLd2s // sign-extending 16-bit load (PCM samples)
+	OpLd4
+	OpLd4s // sign-extending 32-bit load
+	OpLd8
+	OpLd16 // paired load: rd and rd+1 from 16 consecutive bytes (SSE-style)
+
+	// Stores: mem[rs1+imm] = low bytes of rs2.
+	OpSt1
+	OpSt2
+	OpSt4
+	OpSt8
+	OpSt16 // paired store: rs2 and rs2+1 to 16 consecutive bytes
+
+	// Prefetch: a memory-reference instruction flagged as prefetch; the
+	// analysis routines must return immediately upon detecting it.
+	OpPrefetch
+
+	// Control flow.  Branch targets are imm-relative to the next PC.
+	OpBeq   // if rs1 == rs2 branch
+	OpBne   // if rs1 != rs2 branch
+	OpBlt   // if rs1 <  rs2 (signed) branch
+	OpBge   // if rs1 >= rs2 (signed) branch
+	OpBltu  // unsigned <
+	OpJmp   // unconditional, imm-relative
+	OpCall  // absolute target in imm; pushes return PC on the stack
+	OpCallr // absolute target in rs1; pushes return PC on the stack
+	OpRet   // pops return PC from the stack
+
+	// Predicate register.
+	OpSetp // P = rs1 (any non-zero value counts as true)
+
+	// Environment call: service number in imm, args in r1..r6,
+	// result in r1.
+	OpSyscall
+
+	opMax // number of opcodes; keep last
+)
+
+// NumOps is the number of defined opcodes.
+const NumOps = int(opMax)
+
+// predBit is the predicate flag in byte 0 of the encoding.
+const predBit = 0x80
+
+var opNames = [...]string{
+	OpInvalid:  "invalid",
+	OpNop:      "nop",
+	OpHalt:     "halt",
+	OpLdi:      "ldi",
+	OpLdiu:     "ldiu",
+	OpLuhi:     "luhi",
+	OpMov:      "mov",
+	OpAdd:      "add",
+	OpSub:      "sub",
+	OpMul:      "mul",
+	OpDiv:      "div",
+	OpRem:      "rem",
+	OpAnd:      "and",
+	OpOr:       "or",
+	OpXor:      "xor",
+	OpShl:      "shl",
+	OpShr:      "shr",
+	OpSar:      "sar",
+	OpAddi:     "addi",
+	OpMuli:     "muli",
+	OpAndi:     "andi",
+	OpOri:      "ori",
+	OpShli:     "shli",
+	OpShri:     "shri",
+	OpSlt:      "slt",
+	OpSltu:     "sltu",
+	OpSeq:      "seq",
+	OpSlti:     "slti",
+	OpFadd:     "fadd",
+	OpFsub:     "fsub",
+	OpFmul:     "fmul",
+	OpFdiv:     "fdiv",
+	OpFneg:     "fneg",
+	OpFabs:     "fabs",
+	OpFsqrt:    "fsqrt",
+	OpFsin:     "fsin",
+	OpFcos:     "fcos",
+	OpFmin:     "fmin",
+	OpFmax:     "fmax",
+	OpFlt:      "flt",
+	OpFle:      "fle",
+	OpFeq:      "feq",
+	OpI2f:      "i2f",
+	OpF2i:      "f2i",
+	OpLd1:      "ld1",
+	OpLd2:      "ld2",
+	OpLd2s:     "ld2s",
+	OpLd4:      "ld4",
+	OpLd4s:     "ld4s",
+	OpLd8:      "ld8",
+	OpLd16:     "ld16",
+	OpSt1:      "st1",
+	OpSt2:      "st2",
+	OpSt4:      "st4",
+	OpSt8:      "st8",
+	OpSt16:     "st16",
+	OpPrefetch: "prefetch",
+	OpBeq:      "beq",
+	OpBne:      "bne",
+	OpBlt:      "blt",
+	OpBge:      "bge",
+	OpBltu:     "bltu",
+	OpJmp:      "jmp",
+	OpCall:     "call",
+	OpCallr:    "callr",
+	OpRet:      "ret",
+	OpSetp:     "setp",
+	OpSyscall:  "syscall",
+}
+
+// String returns the mnemonic of the opcode.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Valid reports whether o is a defined opcode.
+func (o Op) Valid() bool { return o > OpInvalid && o < opMax }
+
+// Instr is a decoded instruction.
+type Instr struct {
+	Op   Op
+	Pred bool // execute only if predicate register is non-zero
+	Rd   uint8
+	Rs1  uint8
+	Rs2  uint8
+	Imm  int32
+}
+
+// IsMemRead reports whether the instruction reads guest memory as data.
+// Prefetches count as memory-referencing instructions but carry the
+// prefetch flag; CALL/RET stack traffic is reported separately by the VM.
+func (i Instr) IsMemRead() bool {
+	switch i.Op {
+	case OpLd1, OpLd2, OpLd2s, OpLd4, OpLd4s, OpLd8, OpLd16, OpPrefetch:
+		return true
+	}
+	return false
+}
+
+// IsMemWrite reports whether the instruction writes guest memory as data.
+func (i Instr) IsMemWrite() bool {
+	switch i.Op {
+	case OpSt1, OpSt2, OpSt4, OpSt8, OpSt16:
+		return true
+	}
+	return false
+}
+
+// IsPrefetch reports whether the instruction is a prefetch.
+func (i Instr) IsPrefetch() bool { return i.Op == OpPrefetch }
+
+// IsReturn reports whether the instruction returns from a function.
+func (i Instr) IsReturn() bool { return i.Op == OpRet }
+
+// IsCall reports whether the instruction is a direct or indirect call.
+func (i Instr) IsCall() bool { return i.Op == OpCall || i.Op == OpCallr }
+
+// AccessSize returns the number of bytes moved by a memory-referencing
+// instruction, and 0 for non-memory instructions.  Prefetches are sized
+// like an 8-byte load (the bytes are not accounted by the profilers, which
+// skip prefetches, but the VM still performs the access).
+func (i Instr) AccessSize() int {
+	switch i.Op {
+	case OpLd1, OpSt1:
+		return 1
+	case OpLd2, OpLd2s, OpSt2:
+		return 2
+	case OpLd4, OpLd4s, OpSt4:
+		return 4
+	case OpLd8, OpSt8, OpPrefetch:
+		return 8
+	case OpLd16, OpSt16:
+		return 16
+	}
+	return 0
+}
+
+// Encode writes the 8-byte binary encoding of the instruction into dst.
+// It panics if dst is shorter than InstrSize (programming error).
+func (i Instr) Encode(dst []byte) {
+	_ = dst[InstrSize-1]
+	b0 := uint8(i.Op)
+	if i.Pred {
+		b0 |= predBit
+	}
+	dst[0] = b0
+	dst[1] = i.Rd
+	dst[2] = i.Rs1
+	dst[3] = i.Rs2
+	u := uint32(i.Imm)
+	dst[4] = byte(u)
+	dst[5] = byte(u >> 8)
+	dst[6] = byte(u >> 16)
+	dst[7] = byte(u >> 24)
+}
+
+// EncodeTo appends the binary encoding of the instruction to buf.
+func (i Instr) EncodeTo(buf []byte) []byte {
+	var tmp [InstrSize]byte
+	i.Encode(tmp[:])
+	return append(buf, tmp[:]...)
+}
+
+// Decode decodes one instruction from src.  It returns an error if src is
+// too short or the opcode is undefined.
+func Decode(src []byte) (Instr, error) {
+	if len(src) < InstrSize {
+		return Instr{}, fmt.Errorf("isa: truncated instruction: %d bytes", len(src))
+	}
+	op := Op(src[0] &^ predBit)
+	if !op.Valid() {
+		return Instr{}, fmt.Errorf("isa: invalid opcode %#x", src[0]&^predBit)
+	}
+	if src[1] >= NumRegs || src[2] >= NumRegs || src[3] >= NumRegs {
+		return Instr{}, fmt.Errorf("isa: register index out of range (%d,%d,%d)", src[1], src[2], src[3])
+	}
+	// Paired operations address rd/rs2 and the following register.
+	if op == OpLd16 && src[1]+1 >= NumRegs || op == OpSt16 && src[3]+1 >= NumRegs {
+		return Instr{}, fmt.Errorf("isa: paired register out of range")
+	}
+	imm := uint32(src[4]) | uint32(src[5])<<8 | uint32(src[6])<<16 | uint32(src[7])<<24
+	return Instr{
+		Op:   op,
+		Pred: src[0]&predBit != 0,
+		Rd:   src[1],
+		Rs1:  src[2],
+		Rs2:  src[3],
+		Imm:  int32(imm),
+	}, nil
+}
+
+// String renders the instruction in assembly-like form.
+func (i Instr) String() string {
+	p := ""
+	if i.Pred {
+		p = "?p "
+	}
+	switch {
+	case i.Op == OpSyscall:
+		return fmt.Sprintf("%s%s %d", p, i.Op, i.Imm)
+	case i.IsMemRead():
+		return fmt.Sprintf("%s%s r%d, [r%d%+d]", p, i.Op, i.Rd, i.Rs1, i.Imm)
+	case i.IsMemWrite():
+		return fmt.Sprintf("%s%s [r%d%+d], r%d", p, i.Op, i.Rs1, i.Imm, i.Rs2)
+	case i.Op == OpCall || i.Op == OpJmp:
+		return fmt.Sprintf("%s%s %d", p, i.Op, i.Imm)
+	default:
+		return fmt.Sprintf("%s%s r%d, r%d, r%d, %d", p, i.Op, i.Rd, i.Rs1, i.Rs2, i.Imm)
+	}
+}
+
+// Disassemble decodes a whole code segment, one instruction per InstrSize
+// bytes, returning the decoded slice.  Used by the image dumper and tests.
+func Disassemble(code []byte) ([]Instr, error) {
+	if len(code)%InstrSize != 0 {
+		return nil, fmt.Errorf("isa: code length %d not a multiple of %d", len(code), InstrSize)
+	}
+	out := make([]Instr, 0, len(code)/InstrSize)
+	for off := 0; off < len(code); off += InstrSize {
+		ins, err := Decode(code[off:])
+		if err != nil {
+			return nil, fmt.Errorf("isa: at offset %d: %w", off, err)
+		}
+		out = append(out, ins)
+	}
+	return out, nil
+}

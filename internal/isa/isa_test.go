@@ -1,0 +1,186 @@
+package isa_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tquad/internal/isa"
+)
+
+// TestEncodeDecodeRoundTrip is the core binary-format property: any valid
+// instruction survives encode → decode unchanged.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(opRaw uint8, pred bool, rd, rs1, rs2 uint8, imm int32) bool {
+		op := isa.Op(opRaw%uint8(isa.NumOps-1) + 1) // valid, non-Invalid opcode
+		in := isa.Instr{Op: op, Pred: pred,
+			Rd: rd % (isa.NumRegs - 1), Rs1: rs1 % (isa.NumRegs - 1), Rs2: rs2 % (isa.NumRegs - 1),
+			Imm: imm}
+		var buf [isa.InstrSize]byte
+		in.Encode(buf[:])
+		out, err := isa.Decode(buf[:])
+		if err != nil {
+			t.Logf("decode error for %+v: %v", in, err)
+			return false
+		}
+		return out == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsInvalid(t *testing.T) {
+	if _, err := isa.Decode(make([]byte, 3)); err == nil {
+		t.Errorf("short buffer should fail")
+	}
+	zero := make([]byte, isa.InstrSize)
+	if _, err := isa.Decode(zero); err == nil {
+		t.Errorf("zeroed memory (opcode 0) must not decode")
+	}
+	bad := make([]byte, isa.InstrSize)
+	bad[0] = 0x7f // far beyond opMax, predicate bit clear
+	if _, err := isa.Decode(bad); err == nil {
+		t.Errorf("undefined opcode must not decode")
+	}
+	// Register indices beyond the register file must be rejected (a
+	// corrupted binary must trap, not index out of range).
+	reg := make([]byte, isa.InstrSize)
+	isa.Instr{Op: isa.OpAdd}.Encode(reg)
+	reg[2] = isa.NumRegs
+	if _, err := isa.Decode(reg); err == nil {
+		t.Errorf("out-of-range register accepted")
+	}
+}
+
+func TestPredicateBitSeparateFromOpcode(t *testing.T) {
+	in := isa.Instr{Op: isa.OpSt8, Pred: true, Rs1: 5, Rs2: 6, Imm: -16}
+	var buf [isa.InstrSize]byte
+	in.Encode(buf[:])
+	if buf[0]&0x80 == 0 {
+		t.Fatalf("predicate flag not encoded in bit 7")
+	}
+	out, err := isa.Decode(buf[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Pred || out.Op != isa.OpSt8 {
+		t.Fatalf("decoded %+v, want predicated st8", out)
+	}
+}
+
+func TestClassifiers(t *testing.T) {
+	cases := []struct {
+		op       isa.Op
+		read     bool
+		write    bool
+		prefetch bool
+		call     bool
+		ret      bool
+		size     int
+	}{
+		{isa.OpLd1, true, false, false, false, false, 1},
+		{isa.OpLd2s, true, false, false, false, false, 2},
+		{isa.OpLd4, true, false, false, false, false, 4},
+		{isa.OpLd8, true, false, false, false, false, 8},
+		{isa.OpLd16, true, false, false, false, false, 16},
+		{isa.OpSt1, false, true, false, false, false, 1},
+		{isa.OpSt2, false, true, false, false, false, 2},
+		{isa.OpSt4, false, true, false, false, false, 4},
+		{isa.OpSt8, false, true, false, false, false, 8},
+		{isa.OpSt16, false, true, false, false, false, 16},
+		{isa.OpPrefetch, true, false, true, false, false, 8},
+		{isa.OpCall, false, false, false, true, false, 0},
+		{isa.OpCallr, false, false, false, true, false, 0},
+		{isa.OpRet, false, false, false, false, true, 0},
+		{isa.OpAdd, false, false, false, false, false, 0},
+		{isa.OpFsin, false, false, false, false, false, 0},
+	}
+	for _, c := range cases {
+		in := isa.Instr{Op: c.op}
+		if in.IsMemRead() != c.read {
+			t.Errorf("%v IsMemRead = %v", c.op, in.IsMemRead())
+		}
+		if in.IsMemWrite() != c.write {
+			t.Errorf("%v IsMemWrite = %v", c.op, in.IsMemWrite())
+		}
+		if in.IsPrefetch() != c.prefetch {
+			t.Errorf("%v IsPrefetch = %v", c.op, in.IsPrefetch())
+		}
+		if in.IsCall() != c.call {
+			t.Errorf("%v IsCall = %v", c.op, in.IsCall())
+		}
+		if in.IsReturn() != c.ret {
+			t.Errorf("%v IsReturn = %v", c.op, in.IsReturn())
+		}
+		if in.AccessSize() != c.size {
+			t.Errorf("%v AccessSize = %d, want %d", c.op, in.AccessSize(), c.size)
+		}
+	}
+}
+
+func TestOpStringsUniqueAndNamed(t *testing.T) {
+	seen := make(map[string]isa.Op)
+	for op := isa.Op(1); int(op) < isa.NumOps; op++ {
+		name := op.String()
+		if name == "" || name[0] == 'o' && len(name) > 3 && name[:3] == "op(" {
+			t.Errorf("opcode %d has no mnemonic", op)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Errorf("mnemonic %q shared by %d and %d", name, prev, op)
+		}
+		seen[name] = op
+	}
+	if isa.Op(0).Valid() {
+		t.Errorf("opcode 0 must be invalid")
+	}
+	if isa.Op(isa.NumOps).Valid() {
+		t.Errorf("opcode NumOps must be invalid")
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var code []byte
+	var want []isa.Instr
+	for i := 0; i < 64; i++ {
+		in := isa.Instr{
+			Op:  isa.Op(rng.Intn(isa.NumOps-1) + 1),
+			Rd:  uint8(rng.Intn(isa.NumRegs - 1)), // keep paired ops in range
+			Rs1: uint8(rng.Intn(isa.NumRegs - 1)),
+			Imm: int32(rng.Uint32()),
+		}
+		want = append(want, in)
+		code = in.EncodeTo(code)
+	}
+	got, err := isa.Disassemble(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d instructions, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("instruction %d: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+	if _, err := isa.Disassemble(code[:len(code)-1]); err == nil {
+		t.Errorf("misaligned code must not disassemble")
+	}
+}
+
+func TestInstrStringForms(t *testing.T) {
+	cases := map[string]isa.Instr{
+		"ld8 r3, [r4+16]":   {Op: isa.OpLd8, Rd: 3, Rs1: 4, Imm: 16},
+		"st8 [r4-8], r5":    {Op: isa.OpSt8, Rs1: 4, Rs2: 5, Imm: -8},
+		"call 4096":         {Op: isa.OpCall, Imm: 4096},
+		"syscall 7":         {Op: isa.OpSyscall, Imm: 7},
+		"?p st8 [r1+0], r2": {Op: isa.OpSt8, Pred: true, Rs1: 1, Rs2: 2},
+	}
+	for want, in := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}

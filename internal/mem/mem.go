@@ -1,0 +1,172 @@
+// Package mem implements the sparse, paged guest memory used by the
+// virtual machine.  Memory is allocated lazily in fixed-size pages so that
+// a 64-bit guest address space costs only what the workload actually
+// touches — the same technique the shadow-memory package uses for its
+// analysis metadata.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// PageBits is the base-2 logarithm of the page size.
+const PageBits = 12
+
+// PageSize is the size of one page in bytes (4 KiB).
+const PageSize = 1 << PageBits
+
+const offMask = PageSize - 1
+
+// Memory is a sparse byte-addressable guest memory.  The zero value is
+// ready to use.  Memory is not safe for concurrent use; the VM is
+// single-threaded like the instrumented guest in the paper.
+type Memory struct {
+	pages map[uint64]*[PageSize]byte
+}
+
+// New returns an empty memory.
+func New() *Memory {
+	return &Memory{pages: make(map[uint64]*[PageSize]byte)}
+}
+
+func (m *Memory) page(addr uint64) *[PageSize]byte {
+	if m.pages == nil {
+		m.pages = make(map[uint64]*[PageSize]byte)
+	}
+	idx := addr >> PageBits
+	p := m.pages[idx]
+	if p == nil {
+		p = new([PageSize]byte)
+		m.pages[idx] = p
+	}
+	return p
+}
+
+// peek returns the page for addr if it exists, without allocating.
+func (m *Memory) peek(addr uint64) *[PageSize]byte {
+	return m.pages[addr>>PageBits]
+}
+
+// PageCount returns the number of pages materialised so far.
+func (m *Memory) PageCount() int { return len(m.pages) }
+
+// Footprint returns the number of bytes of guest memory backed by real
+// pages.
+func (m *Memory) Footprint() int64 { return int64(len(m.pages)) * PageSize }
+
+// ByteAt returns the byte at addr (0 for untouched memory).
+func (m *Memory) ByteAt(addr uint64) byte {
+	if p := m.peek(addr); p != nil {
+		return p[addr&offMask]
+	}
+	return 0
+}
+
+// SetByte stores b at addr.
+func (m *Memory) SetByte(addr uint64, b byte) {
+	m.page(addr)[addr&offMask] = b
+}
+
+// Read fills dst with the bytes starting at addr.
+func (m *Memory) Read(addr uint64, dst []byte) {
+	for len(dst) > 0 {
+		off := addr & offMask
+		n := PageSize - int(off)
+		if n > len(dst) {
+			n = len(dst)
+		}
+		if p := m.peek(addr); p != nil {
+			copy(dst[:n], p[off:int(off)+n])
+		} else {
+			for i := 0; i < n; i++ {
+				dst[i] = 0
+			}
+		}
+		dst = dst[n:]
+		addr += uint64(n)
+	}
+}
+
+// Write stores src starting at addr.
+func (m *Memory) Write(addr uint64, src []byte) {
+	for len(src) > 0 {
+		off := addr & offMask
+		n := PageSize - int(off)
+		if n > len(src) {
+			n = len(src)
+		}
+		copy(m.page(addr)[off:int(off)+n], src[:n])
+		src = src[n:]
+		addr += uint64(n)
+	}
+}
+
+// ReadUint reads a little-endian unsigned integer of the given byte size
+// (1, 2, 4 or 8) at addr.
+func (m *Memory) ReadUint(addr uint64, size int) uint64 {
+	var buf [8]byte
+	m.Read(addr, buf[:size])
+	switch size {
+	case 1:
+		return uint64(buf[0])
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(buf[:2]))
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(buf[:4]))
+	case 8:
+		return binary.LittleEndian.Uint64(buf[:8])
+	}
+	panic(fmt.Sprintf("mem: bad access size %d", size))
+}
+
+// WriteUint stores the low `size` bytes of v at addr, little-endian.
+func (m *Memory) WriteUint(addr uint64, v uint64, size int) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	switch size {
+	case 1, 2, 4, 8:
+		m.Write(addr, buf[:size])
+	default:
+		panic(fmt.Sprintf("mem: bad access size %d", size))
+	}
+}
+
+// ReadUint64 reads an 8-byte little-endian word at addr.
+func (m *Memory) ReadUint64(addr uint64) uint64 { return m.ReadUint(addr, 8) }
+
+// WriteUint64 stores an 8-byte little-endian word at addr.
+func (m *Memory) WriteUint64(addr uint64, v uint64) { m.WriteUint(addr, v, 8) }
+
+// Zero clears n bytes starting at addr.  Pages entirely inside the range
+// that are not yet materialised stay unmaterialised.
+func (m *Memory) Zero(addr uint64, n uint64) {
+	for n > 0 {
+		off := addr & offMask
+		c := uint64(PageSize) - off
+		if c > n {
+			c = n
+		}
+		if p := m.peek(addr); p != nil {
+			for i := uint64(0); i < c; i++ {
+				p[off+i] = 0
+			}
+		}
+		addr += c
+		n -= c
+	}
+}
+
+// Pages calls fn for each materialised page in ascending base-address
+// order.  The callback must not mutate the memory.
+func (m *Memory) Pages(fn func(base uint64, data *[PageSize]byte)) {
+	idxs := make([]uint64, 0, len(m.pages))
+	for idx := range m.pages {
+		idxs = append(idxs, idx)
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	for _, idx := range idxs {
+		fn(idx<<PageBits, m.pages[idx])
+	}
+}

@@ -1,0 +1,175 @@
+package mem_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tquad/internal/mem"
+)
+
+// TestWriteReadRoundTrip: what is written is read back, at any address,
+// including across page boundaries.
+func TestWriteReadRoundTrip(t *testing.T) {
+	f := func(addr uint64, data []byte) bool {
+		if len(data) > 3*mem.PageSize {
+			data = data[:3*mem.PageSize]
+		}
+		m := mem.New()
+		m.Write(addr, data)
+		got := make([]byte, len(data))
+		m.Read(addr, got)
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAgainstReferenceMap: a random mixed workload behaves exactly like a
+// plain map[addr]byte.
+func TestAgainstReferenceMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	m := mem.New()
+	ref := make(map[uint64]byte)
+	// Confine to a window that straddles several pages.
+	base := uint64(0x7ffc_0000)
+	for i := 0; i < 20000; i++ {
+		addr := base + uint64(rng.Intn(5*mem.PageSize))
+		switch rng.Intn(3) {
+		case 0:
+			b := byte(rng.Intn(256))
+			m.SetByte(addr, b)
+			ref[addr] = b
+		case 1:
+			if got, want := m.ByteAt(addr), ref[addr]; got != want {
+				t.Fatalf("addr %#x: got %d want %d", addr, got, want)
+			}
+		case 2:
+			n := rng.Intn(64) + 1
+			v := rng.Uint64()
+			size := []int{1, 2, 4, 8}[rng.Intn(4)]
+			_ = n
+			m.WriteUint(addr, v, size)
+			for k := 0; k < size; k++ {
+				ref[addr+uint64(k)] = byte(v >> (8 * k))
+			}
+		}
+	}
+	for addr, want := range ref {
+		if got := m.ByteAt(addr); got != want {
+			t.Fatalf("final state addr %#x: got %d want %d", addr, got, want)
+		}
+	}
+}
+
+func TestUntouchedMemoryReadsZero(t *testing.T) {
+	m := mem.New()
+	if m.ByteAt(0xdeadbeef) != 0 {
+		t.Errorf("untouched byte not zero")
+	}
+	buf := make([]byte, 100)
+	for i := range buf {
+		buf[i] = 0xff
+	}
+	m.Read(1<<40, buf)
+	for i, b := range buf {
+		if b != 0 {
+			t.Fatalf("byte %d = %d, want 0", i, b)
+		}
+	}
+	if m.PageCount() != 0 {
+		t.Errorf("reads must not materialise pages (got %d)", m.PageCount())
+	}
+}
+
+func TestUintWidths(t *testing.T) {
+	m := mem.New()
+	const v = uint64(0x1122334455667788)
+	for _, size := range []int{1, 2, 4, 8} {
+		addr := uint64(size * 100)
+		m.WriteUint(addr, v, size)
+		got := m.ReadUint(addr, size)
+		want := v
+		if size < 8 {
+			want = v & (1<<(8*size) - 1)
+		}
+		if got != want {
+			t.Errorf("size %d: got %#x want %#x", size, got, want)
+		}
+	}
+	// Little-endian layout.
+	m.WriteUint64(0, 0x0102030405060708)
+	if m.ByteAt(0) != 0x08 || m.ByteAt(7) != 0x01 {
+		t.Errorf("not little-endian: first=%#x last=%#x", m.ByteAt(0), m.ByteAt(7))
+	}
+}
+
+func TestCrossPageWord(t *testing.T) {
+	m := mem.New()
+	addr := uint64(mem.PageSize - 3) // straddles the first page boundary
+	m.WriteUint64(addr, 0xcafebabe12345678)
+	if got := m.ReadUint64(addr); got != 0xcafebabe12345678 {
+		t.Fatalf("cross-page word: got %#x", got)
+	}
+	if m.PageCount() != 2 {
+		t.Errorf("expected 2 pages, got %d", m.PageCount())
+	}
+}
+
+func TestZero(t *testing.T) {
+	m := mem.New()
+	data := make([]byte, 3*mem.PageSize)
+	for i := range data {
+		data[i] = 0xaa
+	}
+	m.Write(0, data)
+	m.Zero(100, uint64(len(data))-200)
+	for i := range data {
+		want := byte(0)
+		if i < 100 || i >= len(data)-100 {
+			want = 0xaa
+		}
+		if got := m.ByteAt(uint64(i)); got != want {
+			t.Fatalf("after Zero: byte %d = %#x, want %#x", i, got, want)
+		}
+	}
+	// Zeroing unmaterialised memory must not allocate.
+	m2 := mem.New()
+	m2.Zero(1<<30, 1<<20)
+	if m2.PageCount() != 0 {
+		t.Errorf("Zero materialised %d pages", m2.PageCount())
+	}
+}
+
+func TestPagesIterationSorted(t *testing.T) {
+	m := mem.New()
+	for _, addr := range []uint64{5 * mem.PageSize, 1 * mem.PageSize, 9 * mem.PageSize} {
+		m.SetByte(addr, 1)
+	}
+	var bases []uint64
+	m.Pages(func(base uint64, _ *[mem.PageSize]byte) {
+		bases = append(bases, base)
+	})
+	want := []uint64{1 * mem.PageSize, 5 * mem.PageSize, 9 * mem.PageSize}
+	if len(bases) != len(want) {
+		t.Fatalf("got %d pages, want %d", len(bases), len(want))
+	}
+	for i := range want {
+		if bases[i] != want[i] {
+			t.Errorf("page %d base %#x, want %#x", i, bases[i], want[i])
+		}
+	}
+	if m.Footprint() != 3*mem.PageSize {
+		t.Errorf("footprint = %d", m.Footprint())
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var m mem.Memory
+	m.SetByte(123, 7)
+	if m.ByteAt(123) != 7 {
+		t.Fatalf("zero-value Memory unusable")
+	}
+}

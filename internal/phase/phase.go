@@ -1,0 +1,433 @@
+// Package phase identifies the main execution phases of an application
+// from a tQUAD temporal profile — the analysis behind Table IV: "the
+// recognition of the main phases in the execution time of an application
+// that can be used to identify related kernels for task clustering".
+//
+// The detector works on the per-slice active-kernel sets.  Activity is
+// smoothed over a window (kernels may touch memory intermittently within
+// a logical phase), consecutive slices with the same smoothed signature
+// are merged into segments, and segments are then agglomerated while the
+// kernel-set similarity of neighbours stays above a threshold or a
+// segment is too short to stand on its own.
+package phase
+
+import (
+	"sort"
+
+	"tquad/internal/core"
+)
+
+// Options tune the detector.
+type Options struct {
+	// Window is the smoothing half-width in slices: a kernel counts as
+	// active at slice s if it has traffic anywhere in [s-Window,
+	// s+Window].
+	Window uint64
+	// MinLen is the minimum phase length in slices; shorter segments are
+	// merged into their most similar neighbour.
+	MinLen uint64
+	// MergeSim is the Jaccard similarity above which adjacent segments
+	// are considered the same phase and merged.
+	MergeSim float64
+	// OverlapSim merges adjacent segments when one's kernel set is
+	// mostly contained in the other's (overlap coefficient): this fuses
+	// the within-phase alternation of a processing loop (FFT part /
+	// delay-line part) into a single phase.
+	OverlapSim float64
+	// PeriodSim detects recurring activity patterns: when segments i and
+	// i+2 are this similar (Jaccard), the intervening segment belongs to
+	// the same phase (an A-B-A-B processing loop collapses into one
+	// phase).
+	PeriodSim float64
+	// IncludeStack selects which traffic counts as activity.
+	IncludeStack bool
+	// Kernels, when non-empty, restricts the analysis to the listed
+	// kernels — the paper "only consider[s] the kernels previously
+	// selected and not all the functions".
+	Kernels []string
+}
+
+func (o *Options) setDefaults(numSlices uint64) {
+	if o.Window == 0 {
+		o.Window = numSlices/2000 + 1
+	}
+	if o.MinLen == 0 {
+		o.MinLen = numSlices/300 + 3
+	}
+	if o.MergeSim == 0 {
+		o.MergeSim = 0.5
+	}
+	if o.OverlapSim == 0 {
+		o.OverlapSim = 0.75
+	}
+	if o.PeriodSim == 0 {
+		o.PeriodSim = 0.65
+	}
+}
+
+// KernelActivity summarises one kernel within a phase.
+type KernelActivity struct {
+	Name         string
+	ActivitySpan uint64 // slices with traffic inside the phase
+	Stats        core.BandwidthStats
+	StatsExcl    core.BandwidthStats
+}
+
+// Phase is one detected execution phase; Start and End are slice indices,
+// End exclusive.
+type Phase struct {
+	Start   uint64
+	End     uint64
+	Kernels []KernelActivity // sorted by descending activity span
+
+	// AggregateMBW is the sum of the member kernels' maximum bandwidth
+	// usage (read+write, stack included), the paper's "aggregate MBW"
+	// column.
+	AggregateMBW float64
+}
+
+// Span returns the phase length in slices.
+func (p *Phase) Span() uint64 { return p.End - p.Start }
+
+// KernelNames lists the phase's kernels.
+func (p *Phase) KernelNames() []string {
+	out := make([]string, len(p.Kernels))
+	for i, k := range p.Kernels {
+		out[i] = k.Name
+	}
+	return out
+}
+
+// Detect identifies the phases of the profile.
+func Detect(prof *core.Profile, opts Options) []Phase {
+	if prof.NumSlices == 0 || len(prof.Kernels) == 0 {
+		return nil
+	}
+	opts.setDefaults(prof.NumSlices)
+
+	// Select the kernel universe.
+	kernels := prof.Kernels
+	if len(opts.Kernels) > 0 {
+		keep := make(map[string]bool, len(opts.Kernels))
+		for _, k := range opts.Kernels {
+			keep[k] = true
+		}
+		kernels = nil
+		for _, k := range prof.Kernels {
+			if keep[k.Name] {
+				kernels = append(kernels, k)
+			}
+		}
+		if len(kernels) == 0 {
+			return nil
+		}
+	}
+
+	// Dense activity matrix: kernel x slice.
+	n := int(prof.NumSlices)
+	kcount := len(kernels)
+	active := make([][]bool, kcount)
+	for ki, k := range kernels {
+		row := make([]bool, n)
+		for _, pt := range k.Points {
+			if pt.Slice < uint64(n) && pt.Total(opts.IncludeStack) > 0 {
+				row[pt.Slice] = true
+			}
+		}
+		active[ki] = row
+	}
+
+	// Smoothed signatures: bitset per slice.
+	words := (kcount + 63) / 64
+	sig := make([][]uint64, n)
+	w := int(opts.Window)
+	for s := 0; s < n; s++ {
+		bits := make([]uint64, words)
+		lo := s - w
+		if lo < 0 {
+			lo = 0
+		}
+		hi := s + w
+		if hi >= n {
+			hi = n - 1
+		}
+		for ki := 0; ki < kcount; ki++ {
+			for t := lo; t <= hi; t++ {
+				if active[ki][t] {
+					bits[ki/64] |= 1 << (ki % 64)
+					break
+				}
+			}
+		}
+		sig[s] = bits
+	}
+
+	// Run-length compress identical signatures into segments.
+	var segs []segment
+	for s := 0; s < n; {
+		e := s + 1
+		for e < n && equalBits(sig[e], sig[s]) {
+			e++
+		}
+		segs = append(segs, segment{start: s, end: e, bits: unionRange(active, kcount, s, e)})
+		s = e
+	}
+
+	// Merge short segments and similar neighbours until stable.
+	for changed := true; changed && len(segs) > 1; {
+		changed = false
+		// First, absorb too-short segments into the more similar
+		// neighbour.
+		for i := 0; i < len(segs); i++ {
+			if uint64(segs[i].end-segs[i].start) >= opts.MinLen {
+				continue
+			}
+			j := bestNeighbour(segs, i)
+			if j < 0 {
+				continue
+			}
+			segs = absorbSeg(segs, i, j)
+			changed = true
+			break
+		}
+		if changed {
+			continue
+		}
+		// Then, merge adjacent segments whose kernel sets overlap:
+		// either by Jaccard similarity or — for short segments only,
+		// the within-loop alternation case — by near-containment.  A
+		// long homogeneous segment (e.g. the trailing wav_store phase)
+		// must not be absorbed just because its kernels also appear in
+		// a busier neighbour.
+		shortLimit := opts.MinLen * 4
+		if lim := uint64(n) / 20; lim > shortLimit {
+			shortLimit = lim
+		}
+		for i := 0; i+1 < len(segs); i++ {
+			spanA := uint64(segs[i].end - segs[i].start)
+			spanB := uint64(segs[i+1].end - segs[i+1].start)
+			short := spanA <= shortLimit || spanB <= shortLimit
+			if jaccardBits(segs[i].bits, segs[i+1].bits) >= opts.MergeSim ||
+				(short && overlapBits(segs[i].bits, segs[i+1].bits) >= opts.OverlapSim) {
+				segs = mergeSegs(segs, i, i+1)
+				changed = true
+				break
+			}
+		}
+		if changed {
+			continue
+		}
+		// Finally, collapse periodic alternation: segments wedged
+		// between two similar recurrences belong to the same phase.  A
+		// processing loop may cycle through several distinct activity
+		// patterns, so periods up to maxPeriod are considered.
+		const maxPeriod = 4
+	periodic:
+		for p := 2; p <= maxPeriod; p++ {
+			for i := 0; i+p < len(segs); i++ {
+				if jaccardBits(segs[i].bits, segs[i+p].bits) >= opts.PeriodSim {
+					segs = mergeSegs(segs, i, i+1)
+					changed = true
+					break periodic
+				}
+			}
+		}
+	}
+
+	// Materialise phases with per-kernel statistics.  Membership is
+	// decided by where a kernel's activity actually lives: a kernel
+	// belongs to a phase if a meaningful share (10%) of its total
+	// activity falls inside it.  This is the paper's rule of ignoring
+	// kernels "activated in a short period of time outside the
+	// identified span ... with respect to the overall memory access
+	// pattern".
+	phases := make([]Phase, 0, len(segs))
+	for _, sg := range segs {
+		ph := Phase{Start: uint64(sg.start), End: uint64(sg.end)}
+		for _, k := range kernels {
+			ka := kernelInPhase(k, uint64(sg.start), uint64(sg.end), prof.SliceInterval)
+			if ka.ActivitySpan == 0 || ka.ActivitySpan*10 < k.ActivitySpan {
+				continue
+			}
+			ph.Kernels = append(ph.Kernels, ka)
+			ph.AggregateMBW += ka.Stats.MaxRW
+		}
+		sort.Slice(ph.Kernels, func(i, j int) bool {
+			if ph.Kernels[i].ActivitySpan != ph.Kernels[j].ActivitySpan {
+				return ph.Kernels[i].ActivitySpan > ph.Kernels[j].ActivitySpan
+			}
+			return ph.Kernels[i].Name < ph.Kernels[j].Name
+		})
+		if len(ph.Kernels) > 0 {
+			phases = append(phases, ph)
+		}
+	}
+	return phases
+}
+
+// kernelInPhase computes a kernel's statistics restricted to [start,
+// end).
+func kernelInPhase(k *core.KernelProfile, start, end, interval uint64) KernelActivity {
+	ka := KernelActivity{Name: k.Name}
+	var readIncl, readExcl, writeIncl, writeExcl, instr uint64
+	var maxIncl, maxExcl float64
+	minInstr := interval / 64
+	if minInstr == 0 {
+		minInstr = 1
+	}
+	for _, pt := range k.Points {
+		if pt.Slice < start || pt.Slice >= end {
+			continue
+		}
+		if pt.ReadIncl|pt.WriteIncl|pt.ReadExcl|pt.WriteExcl == 0 {
+			continue
+		}
+		ka.ActivitySpan++
+		readIncl += pt.ReadIncl
+		readExcl += pt.ReadExcl
+		writeIncl += pt.WriteIncl
+		writeExcl += pt.WriteExcl
+		instr += pt.Instr
+		if pt.Instr >= minInstr {
+			if rw := float64(pt.ReadIncl+pt.WriteIncl) / float64(pt.Instr); rw > maxIncl {
+				maxIncl = rw
+			}
+			if rw := float64(pt.ReadExcl+pt.WriteExcl) / float64(pt.Instr); rw > maxExcl {
+				maxExcl = rw
+			}
+		}
+	}
+	if ka.ActivitySpan == 0 || instr == 0 {
+		return ka
+	}
+	activeInstr := float64(instr)
+	ka.Stats = core.BandwidthStats{
+		AvgRead:  float64(readIncl) / activeInstr,
+		AvgWrite: float64(writeIncl) / activeInstr,
+		MaxRW:    maxIncl,
+	}
+	ka.StatsExcl = core.BandwidthStats{
+		AvgRead:  float64(readExcl) / activeInstr,
+		AvgWrite: float64(writeExcl) / activeInstr,
+		MaxRW:    maxExcl,
+	}
+	return ka
+}
+
+func equalBits(a, b []uint64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// unionRange returns the set of kernels active anywhere in [s, e).
+func unionRange(active [][]bool, kcount, s, e int) []uint64 {
+	bits := make([]uint64, (kcount+63)/64)
+	for ki := 0; ki < kcount; ki++ {
+		for t := s; t < e; t++ {
+			if active[ki][t] {
+				bits[ki/64] |= 1 << (ki % 64)
+				break
+			}
+		}
+	}
+	return bits
+}
+
+// overlapBits is the overlap coefficient |A∩B| / min(|A|,|B|).
+func overlapBits(a, b []uint64) float64 {
+	var inter, ca, cb int
+	for i := range a {
+		inter += popcount(a[i] & b[i])
+		ca += popcount(a[i])
+		cb += popcount(b[i])
+	}
+	m := ca
+	if cb < m {
+		m = cb
+	}
+	if m == 0 {
+		return 1
+	}
+	return float64(inter) / float64(m)
+}
+
+func jaccardBits(a, b []uint64) float64 {
+	var inter, union int
+	for i := range a {
+		inter += popcount(a[i] & b[i])
+		union += popcount(a[i] | b[i])
+	}
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// segment is a contiguous slice range with the set of kernels active in
+// it.
+type segment struct {
+	start, end int // end exclusive
+	bits       []uint64
+}
+
+// bestNeighbour picks the adjacent segment most similar to segs[i].
+func bestNeighbour(segs []segment, i int) int {
+	left, right := i-1, i+1
+	switch {
+	case left < 0 && right >= len(segs):
+		return -1
+	case left < 0:
+		return right
+	case right >= len(segs):
+		return left
+	}
+	if jaccardBits(segs[i].bits, segs[left].bits) >= jaccardBits(segs[i].bits, segs[right].bits) {
+		return left
+	}
+	return right
+}
+
+// absorbSeg folds the short segment i into its neighbour j, keeping the
+// neighbour's kernel signature: a below-threshold segment is boundary
+// noise, and unioning its bits would leak transition-slice kernels into
+// the surviving phase.
+func absorbSeg(segs []segment, i, j int) []segment {
+	lo, hi := i, j
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	merged := segs[lo]
+	merged.end = segs[hi].end
+	merged.bits = segs[j].bits
+	out := append(segs[:lo:lo], merged)
+	return append(out, segs[hi+1:]...)
+}
+
+// mergeSegs merges segments i and j (adjacent) and returns the new slice.
+func mergeSegs(segs []segment, i, j int) []segment {
+	if i > j {
+		i, j = j, i
+	}
+	merged := segs[i]
+	merged.end = segs[j].end
+	bits := make([]uint64, len(merged.bits))
+	for w := range bits {
+		bits[w] = segs[i].bits[w] | segs[j].bits[w]
+	}
+	merged.bits = bits
+	out := append(segs[:i:i], merged)
+	return append(out, segs[j+1:]...)
+}

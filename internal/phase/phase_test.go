@@ -1,0 +1,177 @@
+package phase_test
+
+import (
+	"testing"
+
+	"tquad/internal/core"
+	"tquad/internal/phase"
+)
+
+// synth builds a core.Profile from a per-kernel map of slice ranges, each
+// slice carrying the given byte load and instruction count.
+func synth(numSlices uint64, interval uint64, activity map[string][][2]uint64) *core.Profile {
+	p := &core.Profile{
+		SliceInterval: interval,
+		NumSlices:     numSlices,
+		TotalInstr:    numSlices * interval,
+		IncludeStack:  true,
+	}
+	for name, ranges := range activity {
+		k := &core.KernelProfile{Name: name}
+		for _, r := range ranges {
+			for s := r[0]; s < r[1]; s++ {
+				k.Points = append(k.Points, core.SlicePoint{
+					Slice: s, ReadIncl: 100, WriteIncl: 50, ReadExcl: 80, WriteExcl: 40,
+					Instr: interval / 2,
+				})
+			}
+		}
+		for _, pt := range k.Points {
+			k.TotalReadIncl += pt.ReadIncl
+			k.TotalWriteIncl += pt.WriteIncl
+			k.TotalReadExcl += pt.ReadExcl
+			k.TotalWriteExcl += pt.WriteExcl
+		}
+		if len(k.Points) > 0 {
+			k.FirstSlice = k.Points[0].Slice
+			k.LastSlice = k.Points[len(k.Points)-1].Slice
+			k.ActivitySpan = uint64(len(k.Points))
+		}
+		p.Kernels = append(p.Kernels, k)
+	}
+	return p
+}
+
+func names(ph phase.Phase) map[string]bool {
+	out := map[string]bool{}
+	for _, k := range ph.Kernels {
+		out[k.Name] = true
+	}
+	return out
+}
+
+func TestThreeCleanPhases(t *testing.T) {
+	p := synth(300, 1000, map[string][][2]uint64{
+		"init": {{0, 100}},
+		"work": {{100, 200}},
+		"save": {{200, 300}},
+	})
+	phases := phase.Detect(p, phase.Options{IncludeStack: true, Window: 1})
+	if len(phases) != 3 {
+		t.Fatalf("got %d phases, want 3: %+v", len(phases), phases)
+	}
+	for i, want := range []string{"init", "work", "save"} {
+		if !names(phases[i])[want] {
+			t.Errorf("phase %d missing %s: %v", i+1, want, phases[i].KernelNames())
+		}
+	}
+	// Partition property: contiguous, ordered, covering.
+	if phases[0].Start != 0 || phases[len(phases)-1].End != 300 {
+		t.Errorf("phases do not cover the run")
+	}
+	for i := 1; i < len(phases); i++ {
+		if phases[i].Start != phases[i-1].End {
+			t.Errorf("gap between phases %d and %d", i, i+1)
+		}
+	}
+}
+
+func TestAlternationCollapses(t *testing.T) {
+	// A and B alternate every 10 slices for 200 slices, then C runs.
+	act := map[string][][2]uint64{"C": {{200, 300}}}
+	var aRanges, bRanges [][2]uint64
+	for s := uint64(0); s < 200; s += 20 {
+		aRanges = append(aRanges, [2]uint64{s, s + 10})
+		bRanges = append(bRanges, [2]uint64{s + 10, s + 20})
+	}
+	act["A"] = aRanges
+	act["B"] = bRanges
+	p := synth(300, 1000, act)
+	phases := phase.Detect(p, phase.Options{IncludeStack: true, Window: 1})
+	if len(phases) != 2 {
+		for i, ph := range phases {
+			t.Logf("phase %d [%d,%d): %v", i+1, ph.Start, ph.End, ph.KernelNames())
+		}
+		t.Fatalf("alternating A/B must collapse into one phase: got %d phases", len(phases))
+	}
+	if !names(phases[0])["A"] || !names(phases[0])["B"] {
+		t.Errorf("phase 1 should contain both alternating kernels: %v", phases[0].KernelNames())
+	}
+	if !names(phases[1])["C"] || names(phases[1])["A"] {
+		t.Errorf("phase 2 wrong: %v", phases[1].KernelNames())
+	}
+}
+
+func TestShortSegmentAbsorbed(t *testing.T) {
+	p := synth(200, 1000, map[string][][2]uint64{
+		"long": {{0, 98}, {102, 200}},
+		"blip": {{98, 102}}, // 4-slice blip in the middle
+	})
+	phases := phase.Detect(p, phase.Options{IncludeStack: true, Window: 1, MinLen: 10})
+	if len(phases) != 1 {
+		t.Fatalf("blip not absorbed: %d phases", len(phases))
+	}
+}
+
+func TestKernelFilter(t *testing.T) {
+	p := synth(100, 1000, map[string][][2]uint64{
+		"keep":  {{0, 50}},
+		"other": {{50, 100}},
+	})
+	phases := phase.Detect(p, phase.Options{IncludeStack: true, Window: 1, Kernels: []string{"keep"}})
+	for _, ph := range phases {
+		if names(ph)["other"] {
+			t.Fatalf("filtered kernel leaked into %v", ph.KernelNames())
+		}
+	}
+	// Filtering everything out yields no phases.
+	if got := phase.Detect(p, phase.Options{Kernels: []string{"ghost"}}); got != nil {
+		t.Fatalf("phases from empty kernel set: %+v", got)
+	}
+}
+
+func TestPhaseStatistics(t *testing.T) {
+	p := synth(100, 1000, map[string][][2]uint64{"k": {{0, 100}}})
+	phases := phase.Detect(p, phase.Options{IncludeStack: true, Window: 1})
+	if len(phases) != 1 || len(phases[0].Kernels) != 1 {
+		t.Fatalf("unexpected phases: %+v", phases)
+	}
+	ka := phases[0].Kernels[0]
+	if ka.ActivitySpan != 100 {
+		t.Errorf("activity span = %d, want 100", ka.ActivitySpan)
+	}
+	// 100 bytes read per 500 instructions = 0.2 B/instr.
+	if ka.Stats.AvgRead < 0.19 || ka.Stats.AvgRead > 0.21 {
+		t.Errorf("avg read = %f, want 0.2", ka.Stats.AvgRead)
+	}
+	if ka.StatsExcl.AvgRead >= ka.Stats.AvgRead {
+		t.Errorf("exclusive average not below inclusive")
+	}
+	if phases[0].AggregateMBW <= 0 {
+		t.Errorf("aggregate MBW = %f", phases[0].AggregateMBW)
+	}
+	if phases[0].Span() != 100 {
+		t.Errorf("span = %d", phases[0].Span())
+	}
+}
+
+func TestEmptyProfile(t *testing.T) {
+	if got := phase.Detect(&core.Profile{}, phase.Options{}); got != nil {
+		t.Fatalf("phases from empty profile: %+v", got)
+	}
+}
+
+func TestKernelsSortedByActivity(t *testing.T) {
+	p := synth(100, 1000, map[string][][2]uint64{
+		"busy":  {{0, 100}},
+		"brief": {{40, 50}},
+	})
+	phases := phase.Detect(p, phase.Options{IncludeStack: true, Window: 1})
+	if len(phases) != 1 {
+		t.Fatalf("want one phase, got %d", len(phases))
+	}
+	ks := phases[0].Kernels
+	if len(ks) != 2 || ks[0].Name != "busy" || ks[1].Name != "brief" {
+		t.Fatalf("kernel order: %v", phases[0].KernelNames())
+	}
+}

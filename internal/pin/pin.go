@@ -1,0 +1,263 @@
+// Package pin is the run-time dynamic binary instrumentation framework the
+// profiling tools (QUAD, tQUAD, the flat profiler) are written against.
+// It mirrors the slice of Intel Pin's API that the paper's pseudocode
+// uses:
+//
+//   - INSAddInstrumentFunction — per-instruction instrumentation hook
+//     (Pin's INS_AddInstrumentFunction),
+//   - RTNAddInstrumentFunction — per-routine instrumentation hook
+//     (Pin's RTN_AddInstrumentFunction),
+//   - InsertCall / InsertPredicatedCall on an INS — attach analysis
+//     routines, the predicated form being suppressed when the guest
+//     predicate is false,
+//   - InitSymbols — make routines accessible by name,
+//   - routine/image queries (RTNFindByAddress, main-image test).
+//
+// Instrumentation happens lazily the first time an instruction is
+// executed (the VM's code-cache fill), exactly like Pin's JIT: the
+// instrumentation callbacks run once per static instruction and decide
+// which analysis calls to attach; the analysis calls then run on every
+// dynamic execution.
+package pin
+
+import (
+	"fmt"
+
+	"tquad/internal/image"
+	"tquad/internal/isa"
+	"tquad/internal/vm"
+)
+
+// INS is the instrumentation-time view of one static instruction.
+type INS struct {
+	PC    uint64
+	Instr isa.Instr
+
+	calls []analysisCall
+}
+
+// IsMemoryRead reports whether the instruction reads memory (Pin's
+// INS_IsMemoryRead); prefetches are memory reads carrying the prefetch
+// flag.
+func (ins *INS) IsMemoryRead() bool { return ins.Instr.IsMemRead() }
+
+// IsMemoryWrite reports whether the instruction writes memory.
+func (ins *INS) IsMemoryWrite() bool { return ins.Instr.IsMemWrite() }
+
+// IsPrefetch reports whether the instruction is a prefetch.
+func (ins *INS) IsPrefetch() bool { return ins.Instr.IsPrefetch() }
+
+// IsRet reports whether the instruction is a function return.
+func (ins *INS) IsRet() bool { return ins.Instr.IsReturn() }
+
+// IsCall reports whether the instruction is a function call.
+func (ins *INS) IsCall() bool { return ins.Instr.IsCall() }
+
+// MemoryAccessSize returns the byte width of the access.
+func (ins *INS) MemoryAccessSize() int { return ins.Instr.AccessSize() }
+
+// AnalysisFunc is an analysis routine: it receives the dynamic event for
+// the instruction it was attached to.  Analysis code must treat the event
+// as read-only.
+type AnalysisFunc func(ctx *Context)
+
+// Context is the dynamic state handed to analysis routines — the
+// IARG_* values of Pin (instruction pointer, effective address, access
+// size, stack-pointer register, prefetch flag, branch target).
+type Context struct {
+	PC       uint64
+	Addr     uint64
+	Size     int
+	SP       uint64
+	Target   uint64
+	Prefetch bool
+	Kind     vm.EventKind
+}
+
+type analysisCall struct {
+	fn         AnalysisFunc
+	predicated bool
+}
+
+// InsertCall attaches an analysis routine that fires on every dynamic
+// execution of the instruction, even when a predicated instruction is
+// skipped.
+func (ins *INS) InsertCall(fn AnalysisFunc) {
+	ins.calls = append(ins.calls, analysisCall{fn: fn})
+}
+
+// InsertPredicatedCall attaches an analysis routine that fires only when
+// the instruction actually executes (Pin's INS_InsertPredicatedCall:
+// "ensures that the analysis routine is invoked only if the instruction
+// is predicated true").
+func (ins *INS) InsertPredicatedCall(fn AnalysisFunc) {
+	ins.calls = append(ins.calls, analysisCall{fn: fn, predicated: true})
+}
+
+// RTN is the instrumentation-time view of one routine.
+type RTN struct {
+	Routine image.Routine
+	Image   *image.Image
+
+	entryCalls []AnalysisFunc
+}
+
+// Name returns the routine's symbol name (requires InitSymbols).
+func (r *RTN) Name() string { return r.Routine.Name }
+
+// IsInMainImage reports whether the routine belongs to the program's main
+// executable image rather than a library.
+func (r *RTN) IsInMainImage() bool { return r.Image != nil && r.Image.Kind == image.Main }
+
+// InsertEntryCall attaches an analysis routine invoked every time control
+// enters the routine's first instruction.
+func (r *RTN) InsertEntryCall(fn AnalysisFunc) {
+	r.entryCalls = append(r.entryCalls, fn)
+}
+
+// InstrumentFunc is a per-instruction instrumentation callback.
+type InstrumentFunc func(ins *INS)
+
+// RTNInstrumentFunc is a per-routine instrumentation callback, invoked the
+// first time any instruction of the routine is reached.
+type RTNInstrumentFunc func(rtn *RTN)
+
+// Engine couples a machine with registered tools.  It implements
+// vm.Probe.
+type Engine struct {
+	machine *vm.Machine
+
+	insCallbacks   []InstrumentFunc
+	rtnCallbacks   []RTNInstrumentFunc
+	traceCallbacks []TraceInstrumentFunc
+
+	symbolsInited  bool
+	seenRoutines   map[uint64]*RTN           // routine entry -> RTN (after first touch)
+	tracedRoutines map[uint64]bool           // routines whose CFG has been instrumented
+	blockHeads     map[uint64][]AnalysisFunc // block head pc -> trace analysis calls
+
+	// Stats mirrors Pin's internal bookkeeping and feeds the
+	// instrumentation-overhead experiments.
+	Stats struct {
+		StaticInstrumented uint64 // static instructions instrumented
+		AnalysisCalls      uint64 // dynamic analysis-routine invocations
+		SuppressedCalls    uint64 // predicated calls suppressed
+	}
+}
+
+// NewEngine attaches a new instrumentation engine to the machine.  The
+// engine installs itself as the machine's probe; call it before running.
+func NewEngine(m *vm.Machine) *Engine {
+	e := &Engine{
+		machine:      m,
+		seenRoutines: make(map[uint64]*RTN),
+	}
+	m.SetProbe(e)
+	return e
+}
+
+// Machine returns the instrumented machine.
+func (e *Engine) Machine() *vm.Machine { return e.machine }
+
+// InitSymbols makes routine symbol information available to the tools
+// (Pin's PIN_InitSymbols: "must be called to access functions by name").
+// Tools that skip it get anonymous routines.
+func (e *Engine) InitSymbols() { e.symbolsInited = true }
+
+// INSAddInstrumentFunction registers a per-instruction instrumentation
+// callback.
+func (e *Engine) INSAddInstrumentFunction(fn InstrumentFunc) {
+	e.insCallbacks = append(e.insCallbacks, fn)
+}
+
+// RTNAddInstrumentFunction registers a per-routine instrumentation
+// callback.
+func (e *Engine) RTNAddInstrumentFunction(fn RTNInstrumentFunc) {
+	e.rtnCallbacks = append(e.rtnCallbacks, fn)
+}
+
+// RTNFindByAddress resolves an address to its routine, consulting the
+// symbol tables of all loaded images.
+func (e *Engine) RTNFindByAddress(pc uint64) (*RTN, bool) {
+	r, img, ok := e.machine.FindRoutine(pc)
+	if !ok {
+		return nil, false
+	}
+	rtn := &RTN{Routine: r, Image: img}
+	if !e.symbolsInited {
+		rtn.Routine.Name = fmt.Sprintf("sub_%x", r.Entry)
+	}
+	return rtn, true
+}
+
+// IsMainImagePC reports whether pc belongs to the main executable image.
+func (e *Engine) IsMainImagePC(pc uint64) bool {
+	img, ok := e.machine.FindImage(pc)
+	return ok && img.Kind == image.Main
+}
+
+// Compile implements vm.Probe: it is invoked by the machine's code cache
+// the first time each static instruction is reached, runs the registered
+// instrumentation callbacks, and returns the fused analysis handler.
+func (e *Engine) Compile(pc uint64, instr isa.Instr) vm.Handler {
+	// Routine-granularity instrumentation fires once per routine, on
+	// first touch of its entry instruction.
+	var entryCalls []AnalysisFunc
+	if len(e.rtnCallbacks) > 0 {
+		if r, img, ok := e.machine.FindRoutine(pc); ok && pc == r.Entry {
+			if _, seen := e.seenRoutines[r.Entry]; !seen {
+				rtn := &RTN{Routine: r, Image: img}
+				if !e.symbolsInited {
+					rtn.Routine.Name = fmt.Sprintf("sub_%x", r.Entry)
+				}
+				for _, cb := range e.rtnCallbacks {
+					cb(rtn)
+				}
+				e.seenRoutines[r.Entry] = rtn
+			}
+			entryCalls = e.seenRoutines[r.Entry].entryCalls
+		}
+	}
+
+	// Trace-granularity (basic-block) instrumentation.
+	headCalls := e.traceCompile(pc)
+
+	ins := &INS{PC: pc, Instr: instr}
+	for _, cb := range e.insCallbacks {
+		cb(ins)
+	}
+	if len(ins.calls) == 0 && len(entryCalls) == 0 && len(headCalls) == 0 {
+		return nil
+	}
+	e.Stats.StaticInstrumented++
+
+	calls := ins.calls
+	prefetch := instr.IsPrefetch()
+	return func(ev *vm.Event) {
+		ctx := Context{
+			PC:       ev.PC,
+			Addr:     ev.Addr,
+			Size:     ev.Size,
+			SP:       ev.SP,
+			Target:   ev.Target,
+			Prefetch: prefetch,
+			Kind:     ev.Kind,
+		}
+		for _, fn := range headCalls {
+			e.Stats.AnalysisCalls++
+			fn(&ctx)
+		}
+		for _, fn := range entryCalls {
+			e.Stats.AnalysisCalls++
+			fn(&ctx)
+		}
+		for _, c := range calls {
+			if c.predicated && !ev.Executed {
+				e.Stats.SuppressedCalls++
+				continue
+			}
+			e.Stats.AnalysisCalls++
+			c.fn(&ctx)
+		}
+	}
+}

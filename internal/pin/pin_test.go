@@ -1,0 +1,221 @@
+package pin_test
+
+import (
+	"testing"
+
+	"tquad/internal/glibc"
+	"tquad/internal/gos"
+	"tquad/internal/hl"
+	"tquad/internal/image"
+	"tquad/internal/pin"
+	"tquad/internal/vm"
+)
+
+// buildGuest links a small two-function program with a library call and a
+// predicated store, returning a loaded machine.
+func buildGuest(t *testing.T) *vm.Machine {
+	t.Helper()
+	b := hl.NewBuilder("t", image.Main)
+	g := b.Global("buf", 128)
+	b.Func("writer", 1, func(f *hl.Fn) {
+		n := f.Param(0)
+		p := f.Local()
+		f.Set(p, f.GAddr(g))
+		i := f.Local()
+		f.ForRange(i, 0, n, func() {
+			f.St8(f.Add(p, f.ShlI(i, 3)), 0, i)
+		})
+		f.Prefetch(p, 64)
+		// One predicated-false and one predicated-true store.
+		f.SetPred(f.Zero())
+		f.PredSt8(p, 120, n)
+		f.SetPred(f.Const(1))
+		f.PredSt8(p, 120, n)
+		f.Ret0()
+	})
+	b.Func("main", 0, func(f *hl.Fn) {
+		f.CallV("writer", f.Const(4))
+		r := f.Call("imin", f.Const(3), f.Const(9)) // library call
+		f.Ret(r)
+	})
+	prog, err := hl.Link(b, glibc.Builder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := vm.New()
+	m.SetSyscallHandler(gos.New())
+	for _, img := range prog.Images() {
+		m.LoadImage(img)
+	}
+	m.Reset(prog.EntryPC)
+	return m
+}
+
+func TestPredicatedCallSuppression(t *testing.T) {
+	m := buildGuest(t)
+	e := pin.NewEngine(m)
+	var predicated, always int
+	e.INSAddInstrumentFunction(func(ins *pin.INS) {
+		if ins.IsMemoryWrite() && ins.Instr.Pred {
+			ins.InsertPredicatedCall(func(ctx *pin.Context) { predicated++ })
+			ins.InsertCall(func(ctx *pin.Context) { always++ })
+		}
+	})
+	if err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if always != 2 {
+		t.Fatalf("unconditional calls = %d, want 2 (both dynamic executions)", always)
+	}
+	if predicated != 1 {
+		t.Fatalf("predicated calls = %d, want 1 (suppressed when predicate false)", predicated)
+	}
+	if e.Stats.SuppressedCalls != 1 {
+		t.Fatalf("SuppressedCalls = %d", e.Stats.SuppressedCalls)
+	}
+}
+
+func TestPrefetchFlagDelivered(t *testing.T) {
+	m := buildGuest(t)
+	e := pin.NewEngine(m)
+	var prefetches, reads int
+	e.INSAddInstrumentFunction(func(ins *pin.INS) {
+		if ins.IsMemoryRead() {
+			ins.InsertPredicatedCall(func(ctx *pin.Context) {
+				if ctx.Prefetch {
+					prefetches++
+				} else {
+					reads++
+				}
+			})
+		}
+	})
+	if err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if prefetches != 1 {
+		t.Fatalf("prefetch events = %d, want 1", prefetches)
+	}
+	if reads == 0 {
+		t.Fatalf("no ordinary read events (spill restores expected)")
+	}
+}
+
+func TestRoutineInstrumentationFiresOncePerRoutine(t *testing.T) {
+	m := buildGuest(t)
+	e := pin.NewEngine(m)
+	e.InitSymbols()
+	instrumented := map[string]int{}
+	entries := map[string]int{}
+	e.RTNAddInstrumentFunction(func(rtn *pin.RTN) {
+		instrumented[rtn.Name()]++
+		name := rtn.Name()
+		rtn.InsertEntryCall(func(ctx *pin.Context) { entries[name]++ })
+	})
+	if err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	for name, n := range instrumented {
+		if n != 1 {
+			t.Errorf("routine %s instrumented %d times, want 1", name, n)
+		}
+	}
+	if instrumented["writer"] != 1 || instrumented["main"] != 1 || instrumented["imin"] != 1 {
+		t.Fatalf("instrumented set incomplete: %v", instrumented)
+	}
+	if entries["writer"] != 1 || entries["imin"] != 1 {
+		t.Fatalf("entry calls: %v", entries)
+	}
+}
+
+func TestSymbolsRequireInit(t *testing.T) {
+	m := buildGuest(t)
+	e := pin.NewEngine(m)
+	// Without InitSymbols routines are anonymous.
+	img := m.Images[0]
+	rtn, ok := e.RTNFindByAddress(img.Routines()[1].Entry)
+	if !ok {
+		t.Fatal("routine not found")
+	}
+	if rtn.Name() == img.Routines()[1].Name {
+		t.Fatalf("symbol name %q available before InitSymbols", rtn.Name())
+	}
+	e.InitSymbols()
+	rtn, _ = e.RTNFindByAddress(img.Routines()[1].Entry)
+	if rtn.Name() != img.Routines()[1].Name {
+		t.Fatalf("after InitSymbols: %q, want %q", rtn.Name(), img.Routines()[1].Name)
+	}
+}
+
+func TestMainImageClassification(t *testing.T) {
+	m := buildGuest(t)
+	e := pin.NewEngine(m)
+	e.InitSymbols()
+	var appPC, libPC uint64
+	for _, img := range m.Images {
+		r := img.Routines()[0]
+		if img.Kind == image.Main {
+			appPC = r.Entry
+		} else {
+			libPC = r.Entry
+		}
+	}
+	app, _ := e.RTNFindByAddress(appPC)
+	lib, _ := e.RTNFindByAddress(libPC)
+	if !app.IsInMainImage() {
+		t.Errorf("app routine not classified as main image")
+	}
+	if lib.IsInMainImage() {
+		t.Errorf("libc routine classified as main image")
+	}
+	if !e.IsMainImagePC(appPC) || e.IsMainImagePC(libPC) {
+		t.Errorf("IsMainImagePC misclassifies")
+	}
+}
+
+func TestMultipleToolsCompose(t *testing.T) {
+	m := buildGuest(t)
+	e := pin.NewEngine(m)
+	var a, b int
+	e.INSAddInstrumentFunction(func(ins *pin.INS) {
+		if ins.IsMemoryWrite() {
+			ins.InsertCall(func(ctx *pin.Context) { a++ })
+		}
+	})
+	e.INSAddInstrumentFunction(func(ins *pin.INS) {
+		if ins.IsMemoryWrite() {
+			ins.InsertCall(func(ctx *pin.Context) { b++ })
+		}
+	})
+	if err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if a == 0 || a != b {
+		t.Fatalf("tools disagree: a=%d b=%d", a, b)
+	}
+	if e.Stats.AnalysisCalls == 0 || e.Stats.StaticInstrumented == 0 {
+		t.Fatalf("engine stats empty: %+v", e.Stats)
+	}
+}
+
+func TestEventAddressesMatchArchitecture(t *testing.T) {
+	m := buildGuest(t)
+	e := pin.NewEngine(m)
+	ok := true
+	e.INSAddInstrumentFunction(func(ins *pin.INS) {
+		if ins.IsMemoryWrite() && !ins.Instr.Pred {
+			size := ins.MemoryAccessSize()
+			ins.InsertPredicatedCall(func(ctx *pin.Context) {
+				if ctx.Size != size {
+					ok = false
+				}
+			})
+		}
+	})
+	if err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("dynamic access size disagrees with static decode")
+	}
+}

@@ -1,0 +1,72 @@
+package pin
+
+import (
+	"tquad/internal/cfg"
+	"tquad/internal/image"
+)
+
+// TRACE is the instrumentation-time view of one basic block — Pin's
+// trace/BBL granularity, the cheapest way to count executed instructions
+// (one analysis call per block instead of one per instruction).
+type TRACE struct {
+	Block   *cfg.Block
+	Routine image.Routine
+
+	headCalls []AnalysisFunc
+}
+
+// Address returns the block's start address.
+func (tr *TRACE) Address() uint64 { return tr.Block.Start }
+
+// NumInstrs returns the block length in instructions.
+func (tr *TRACE) NumInstrs() int { return tr.Block.NumInstrs() }
+
+// InsertCall attaches an analysis routine invoked every time control
+// enters the block.
+func (tr *TRACE) InsertCall(fn AnalysisFunc) {
+	tr.headCalls = append(tr.headCalls, fn)
+}
+
+// TraceInstrumentFunc is a per-basic-block instrumentation callback.
+type TraceInstrumentFunc func(tr *TRACE)
+
+// TRACEAddInstrumentFunction registers a basic-block instrumentation
+// callback.  The first time any instruction of a routine is reached, the
+// routine's control-flow graph is built from its binary code and the
+// callback runs once per block.
+func (e *Engine) TRACEAddInstrumentFunction(fn TraceInstrumentFunc) {
+	e.traceCallbacks = append(e.traceCallbacks, fn)
+	if e.blockHeads == nil {
+		e.blockHeads = make(map[uint64][]AnalysisFunc)
+		e.tracedRoutines = make(map[uint64]bool)
+	}
+}
+
+// traceCompile runs the trace-granularity instrumentation for the
+// routine containing pc (once per routine) and returns the analysis
+// calls attached to pc as a block head.
+func (e *Engine) traceCompile(pc uint64) []AnalysisFunc {
+	if len(e.traceCallbacks) == 0 {
+		return nil
+	}
+	r, img, ok := e.machine.FindRoutine(pc)
+	if ok && !e.tracedRoutines[r.Entry] {
+		e.tracedRoutines[r.Entry] = true
+		code := img.Code[r.Entry-img.Base : r.End-img.Base]
+		if g, err := cfg.Build(code, r.Entry); err == nil {
+			for _, start := range g.Starts() {
+				tr := &TRACE{Block: g.Blocks[start], Routine: r}
+				if !e.symbolsInited {
+					tr.Routine.Name = ""
+				}
+				for _, cb := range e.traceCallbacks {
+					cb(tr)
+				}
+				if len(tr.headCalls) > 0 {
+					e.blockHeads[start] = tr.headCalls
+				}
+			}
+		}
+	}
+	return e.blockHeads[pc]
+}

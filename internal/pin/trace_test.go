@@ -1,0 +1,118 @@
+package pin_test
+
+import (
+	"testing"
+
+	"tquad/internal/pin"
+	"tquad/internal/vm"
+	"tquad/internal/wfs"
+)
+
+// attachBBLCounter installs a trace-granularity instruction counter: one
+// analysis call per basic-block execution, crediting the block's length.
+func attachBBLCounter(e *pin.Engine) *uint64 {
+	count := new(uint64)
+	e.TRACEAddInstrumentFunction(func(tr *pin.TRACE) {
+		n := uint64(tr.NumInstrs())
+		tr.InsertCall(func(ctx *pin.Context) {
+			*count += n
+		})
+	})
+	return count
+}
+
+// TestBBLCountingIsExact: since calls, syscalls and all control
+// transfers terminate basic blocks, an entered block always executes to
+// completion — so per-block counting must reproduce the machine's
+// instruction counter exactly.  This cross-validates the CFG
+// construction against the interpreter on two full applications.
+func TestBBLCountingIsExact(t *testing.T) {
+	w, err := wfs.NewWorkload(wfs.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := w.NewMachine()
+	e := pin.NewEngine(m)
+	count := attachBBLCounter(e)
+	if err := m.Run(wfs.MaxInstr); err != nil {
+		t.Fatal(err)
+	}
+	if *count != m.ICount {
+		t.Fatalf("BBL-counted %d instructions, machine executed %d (diff %d)",
+			*count, m.ICount, int64(*count)-int64(m.ICount))
+	}
+}
+
+// TestBBLAndInstructionCountersAgree: counting per instruction and per
+// block in the same run must agree, while the block counter fires far
+// fewer analysis calls (the whole point of trace granularity).
+func TestBBLAndInstructionCountersAgree(t *testing.T) {
+	w, err := wfs.NewWorkload(wfs.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := w.NewMachine()
+	e := pin.NewEngine(m)
+	bbl := attachBBLCounter(e)
+	var perIns, insCalls uint64
+	e.INSAddInstrumentFunction(func(ins *pin.INS) {
+		ins.InsertCall(func(ctx *pin.Context) {
+			perIns++
+			insCalls++
+		})
+	})
+	if err := m.Run(wfs.MaxInstr); err != nil {
+		t.Fatal(err)
+	}
+	if *bbl != perIns {
+		t.Fatalf("BBL count %d != per-instruction count %d", *bbl, perIns)
+	}
+	// Block-level instrumentation must be much cheaper: the WFS code
+	// averages several instructions per block.
+	var bblCalls uint64
+	e2run := func() {
+		m2, _ := w.NewMachine()
+		e2 := pin.NewEngine(m2)
+		e2.TRACEAddInstrumentFunction(func(tr *pin.TRACE) {
+			tr.InsertCall(func(ctx *pin.Context) { bblCalls++ })
+		})
+		if err := m2.Run(wfs.MaxInstr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e2run()
+	if bblCalls*2 >= insCalls {
+		t.Fatalf("block instrumentation not cheaper: %d block calls vs %d instruction calls",
+			bblCalls, insCalls)
+	}
+}
+
+// TestTraceComposesWithOtherTools: trace hooks must not perturb the
+// machine's results.
+func TestTraceComposesWithOtherTools(t *testing.T) {
+	w, err := wfs.NewWorkload(wfs.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Baseline.
+	m1, osys1 := w.NewMachine()
+	if err := m1.Run(wfs.MaxInstr); err != nil {
+		t.Fatal(err)
+	}
+	out1, _ := osys1.File(w.Cfg.OutputFile)
+	// Instrumented.
+	m2, osys2 := w.NewMachine()
+	e := pin.NewEngine(m2)
+	attachBBLCounter(e)
+	if err := m2.Run(wfs.MaxInstr); err != nil {
+		t.Fatal(err)
+	}
+	out2, _ := osys2.File(w.Cfg.OutputFile)
+	if m1.ICount != m2.ICount {
+		t.Fatalf("instrumentation changed the instruction count: %d vs %d", m1.ICount, m2.ICount)
+	}
+	if string(out1) != string(out2) {
+		t.Fatalf("instrumentation changed the program output")
+	}
+	_ = vm.EvPlain // keep the vm import honest if assertions shrink
+}

@@ -1,0 +1,165 @@
+// Package plot renders temporal bandwidth profiles as SVG heatmaps — a
+// faithful 2-D projection of the paper's 3-D "running time graphs"
+// (Figures 6 and 7): the x-axis is the time slice, each row is one
+// kernel's lane (the paper's z-axis), and colour intensity encodes bytes
+// per slice.  Standard library only.
+package plot
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tquad/internal/core"
+)
+
+// Options size and label the figure.
+type Options struct {
+	Title        string
+	CellW, CellH int  // pixel size of one (slice, kernel) cell
+	Reads        bool // plot reads (else writes)
+	IncludeStack bool
+	// MaxSlices downsamples the x-axis to at most this many columns
+	// (0 = no limit).
+	MaxSlices int
+}
+
+func (o *Options) setDefaults() {
+	if o.CellW == 0 {
+		o.CellW = 4
+	}
+	if o.CellH == 0 {
+		o.CellH = 18
+	}
+	if o.MaxSlices == 0 {
+		o.MaxSlices = 256
+	}
+}
+
+const (
+	labelW  = 190
+	headerH = 28
+	legendH = 22
+)
+
+// colour maps a normalised intensity [0,1] to a blue-to-red heat ramp.
+func colour(v float64) string {
+	if v <= 0 {
+		return "#f4f4f6"
+	}
+	if v > 1 {
+		v = 1
+	}
+	// Light blue -> deep red through purple.
+	r := int(40 + 215*v)
+	g := int(70 * (1 - v))
+	b := int(200 * (1 - v) * (1 - v))
+	return fmt.Sprintf("#%02x%02x%02x", r, g, b)
+}
+
+// downsample reduces a series to width buckets by max.
+func downsample(series []uint64, width int) []uint64 {
+	if width <= 0 || len(series) <= width {
+		return series
+	}
+	out := make([]uint64, width)
+	for i := range out {
+		lo := i * len(series) / width
+		hi := (i + 1) * len(series) / width
+		if hi <= lo {
+			hi = lo + 1
+		}
+		var max uint64
+		for _, v := range series[lo:hi] {
+			if v > max {
+				max = v
+			}
+		}
+		out[i] = max
+	}
+	return out
+}
+
+// Heatmap renders the named kernels' temporal series as an SVG document.
+// Each lane is normalised to its own peak, as the paper's per-kernel
+// z-axis surfaces are.
+func Heatmap(prof *core.Profile, names []string, opts Options) string {
+	opts.setDefaults()
+	// Collect series.
+	type lane struct {
+		name   string
+		series []uint64
+		peak   uint64
+	}
+	var lanes []lane
+	for _, n := range names {
+		k, ok := prof.Kernel(n)
+		if !ok {
+			continue
+		}
+		s := downsample(k.Series(prof.NumSlices, opts.Reads, opts.IncludeStack), opts.MaxSlices)
+		var peak uint64
+		for _, v := range s {
+			if v > peak {
+				peak = v
+			}
+		}
+		lanes = append(lanes, lane{name: n, series: s, peak: peak})
+	}
+	if len(lanes) == 0 {
+		return `<svg xmlns="http://www.w3.org/2000/svg" width="200" height="40"><text x="4" y="20">no data</text></svg>`
+	}
+	cols := len(lanes[0].series)
+	w := labelW + cols*opts.CellW + 10
+	h := headerH + len(lanes)*opts.CellH + legendH
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="11">`+"\n", w, h)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	fmt.Fprintf(&b, `<text x="4" y="16" font-size="13">%s</text>`+"\n", escape(opts.Title))
+	for li, ln := range lanes {
+		y := headerH + li*opts.CellH
+		fmt.Fprintf(&b, `<text x="4" y="%d">%s</text>`+"\n", y+opts.CellH-5, escape(ln.name))
+		for x, v := range ln.series {
+			if v == 0 {
+				continue // background shows through; keeps the SVG small
+			}
+			norm := float64(v) / float64(ln.peak)
+			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s"/>`+"\n",
+				labelW+x*opts.CellW, y+1, opts.CellW, opts.CellH-2, colour(norm))
+		}
+	}
+	// Legend: slice axis annotation.
+	metric := "writes"
+	if opts.Reads {
+		metric = "reads"
+	}
+	mode := "stack excluded"
+	if opts.IncludeStack {
+		mode = "stack included"
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" fill="#555">%d slices of %d instructions — %s, %s (each lane normalised to its own peak)</text>`+"\n",
+		labelW, h-6, prof.NumSlices, prof.SliceInterval, metric, mode)
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// escape is a minimal XML text escape.
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+// SortLanesByFirstActivity orders kernel names by first active slice,
+// giving the staircase look of the paper's figures.
+func SortLanesByFirstActivity(prof *core.Profile, names []string) []string {
+	out := append([]string(nil), names...)
+	first := func(n string) uint64 {
+		if k, ok := prof.Kernel(n); ok && k.ActivitySpan > 0 {
+			return k.FirstSlice
+		}
+		return ^uint64(0)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return first(out[i]) < first(out[j]) })
+	return out
+}

@@ -1,0 +1,80 @@
+package plot_test
+
+import (
+	"strings"
+	"testing"
+
+	"tquad/internal/core"
+	"tquad/internal/plot"
+)
+
+func sample() *core.Profile {
+	return &core.Profile{
+		SliceInterval: 1000,
+		NumSlices:     16,
+		IncludeStack:  true,
+		Kernels: []*core.KernelProfile{
+			{
+				Name: "early", FirstSlice: 0, LastSlice: 7, ActivitySpan: 8,
+				Points: pts(0, 8, 100),
+			},
+			{
+				Name: "late", FirstSlice: 8, LastSlice: 15, ActivitySpan: 8,
+				Points: pts(8, 16, 900),
+			},
+		},
+	}
+}
+
+func pts(lo, hi uint64, bytes uint64) []core.SlicePoint {
+	var out []core.SlicePoint
+	for s := lo; s < hi; s++ {
+		out = append(out, core.SlicePoint{Slice: s, ReadIncl: bytes, WriteIncl: bytes / 2, Instr: 500})
+	}
+	return out
+}
+
+func TestHeatmapStructure(t *testing.T) {
+	svg := plot.Heatmap(sample(), []string{"early", "late"}, plot.Options{
+		Title: "fig<6>", Reads: true, IncludeStack: true,
+	})
+	for _, want := range []string{
+		"<svg", "</svg>", "fig&lt;6&gt;", // escaped title
+		">early<", ">late<",
+		"16 slices of 1000 instructions",
+		"reads, stack included",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// Two lanes active in 8 slices each => 16 coloured cells.
+	if got := strings.Count(svg, `<rect x="`); got != 16 {
+		t.Errorf("coloured cells = %d, want 16", got)
+	}
+}
+
+func TestHeatmapEmpty(t *testing.T) {
+	svg := plot.Heatmap(&core.Profile{NumSlices: 4}, []string{"ghost"}, plot.Options{})
+	if !strings.Contains(svg, "no data") {
+		t.Errorf("empty heatmap should say so:\n%s", svg)
+	}
+}
+
+func TestHeatmapDownsamples(t *testing.T) {
+	p := &core.Profile{SliceInterval: 10, NumSlices: 4096, Kernels: []*core.KernelProfile{
+		{Name: "k", ActivitySpan: 4096, LastSlice: 4095, Points: pts(0, 4096, 8)},
+	}}
+	svg := plot.Heatmap(p, []string{"k"}, plot.Options{MaxSlices: 64, Reads: true, IncludeStack: true})
+	if got := strings.Count(svg, `<rect x="`); got != 64 {
+		t.Errorf("downsampled cells = %d, want 64", got)
+	}
+}
+
+func TestSortLanesByFirstActivity(t *testing.T) {
+	p := sample()
+	got := plot.SortLanesByFirstActivity(p, []string{"late", "early", "missing"})
+	if got[0] != "early" || got[1] != "late" || got[2] != "missing" {
+		t.Fatalf("order = %v", got)
+	}
+}

@@ -1,0 +1,337 @@
+// Package quad implements QUAD, the memory-access-pattern analyser tQUAD
+// complements (Ostadzadeh et al., ARC 2010): it tracks, via shadow
+// memory, which kernel produced every guest byte and which kernel
+// consumes it, yielding producer→consumer bindings, per-kernel IN/OUT
+// byte totals and unique-memory-address (UnMA) counts — the contents of
+// Table II — plus the Quantitative Data Usage (QDU) graph.
+//
+// The tool is written against the pin instrumentation API exactly as the
+// paper's pseudocode sketches: instruction-level instrumentation attaches
+// IncreaseRead/IncreaseWrite analysis calls (predicated, returning
+// immediately for prefetches), and routine-level instrumentation keeps
+// the internal call stack via EnterFC, with returns monitored at the
+// instruction level.
+package quad
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tquad/internal/callstack"
+	"tquad/internal/pin"
+	"tquad/internal/shadow"
+)
+
+// Options configure one QUAD run.
+type Options struct {
+	// IncludeStack counts local-stack-area accesses; when false they are
+	// discarded as early as possible (the cheap path the paper
+	// describes).
+	IncludeStack bool
+	// ExcludeLibs drops accesses made by routines outside the main
+	// image.
+	ExcludeLibs bool
+
+	// Simulated analysis-routine costs, in instruction-equivalents, used
+	// for the instrumented-run experiments (Table III, slowdown study).
+	// Zero values select the defaults.
+	CostTrace    uint64 // full shadow-memory trace of one access
+	CostSkip     uint64 // early-discarded stack access
+	CostPrefetch uint64 // immediate return on prefetch detection
+}
+
+// Default analysis costs (instruction-equivalents per access).  The trace
+// path walks shadow memory per byte and updates three structures; the
+// skip path is a bounds check.
+const (
+	DefaultCostTrace    = 30
+	DefaultCostSkip     = 3
+	DefaultCostPrefetch = 1
+)
+
+func (o *Options) setDefaults() {
+	if o.CostTrace == 0 {
+		o.CostTrace = DefaultCostTrace
+	}
+	if o.CostSkip == 0 {
+		o.CostSkip = DefaultCostSkip
+	}
+	if o.CostPrefetch == 0 {
+		o.CostPrefetch = DefaultCostPrefetch
+	}
+}
+
+// kernelData accumulates per-kernel counters.
+type kernelData struct {
+	name     string
+	inBytes  uint64
+	readSet  *shadow.AddrSet
+	writeSet *shadow.AddrSet
+}
+
+// Tool is one attached QUAD instance.
+type Tool struct {
+	opts   Options
+	engine *pin.Engine
+	stack  *callstack.Stack
+
+	owners  *shadow.Owners
+	kernels []*kernelData // index = kernel id (0 unused)
+	ids     map[string]uint16
+
+	// bindings[producer][consumer] = bytes, producer 0 meaning the byte
+	// had no tracked producer (e.g. data placed by the simulated OS).
+	bindings map[uint16]map[uint16]uint64
+}
+
+// Attach wires a QUAD tool onto the engine.  Call before running the
+// machine.
+func Attach(e *pin.Engine, opts Options) *Tool {
+	opts.setDefaults()
+	t := &Tool{
+		opts:     opts,
+		engine:   e,
+		owners:   shadow.NewOwners(),
+		kernels:  []*kernelData{nil}, // id 0 reserved
+		ids:      make(map[string]uint16),
+		bindings: make(map[uint16]map[uint16]uint64),
+	}
+	e.InitSymbols()
+	t.stack = callstack.New(func(target uint64) (string, bool, bool) {
+		rtn, ok := e.RTNFindByAddress(target)
+		if !ok {
+			return "", false, false
+		}
+		return rtn.Name(), rtn.IsInMainImage(), true
+	}, opts.ExcludeLibs)
+
+	e.INSAddInstrumentFunction(t.instruction)
+	return t
+}
+
+// kernelID interns a kernel name.
+func (t *Tool) kernelID(name string) uint16 {
+	if id, ok := t.ids[name]; ok {
+		return id
+	}
+	id := uint16(len(t.kernels))
+	t.ids[name] = id
+	t.kernels = append(t.kernels, &kernelData{
+		name:     name,
+		readSet:  shadow.NewAddrSet(),
+		writeSet: shadow.NewAddrSet(),
+	})
+	return id
+}
+
+// current resolves the kernel currently on top of the internal call
+// stack; ok is false inside excluded library regions or before main image
+// entry.
+func (t *Tool) current() (uint16, bool) {
+	fr, ok := t.stack.Current()
+	if !ok {
+		return 0, false
+	}
+	return t.kernelID(fr.Name), true
+}
+
+// instruction is the INS instrumentation routine (the paper's
+// Instruction()): it attaches the analysis calls.
+func (t *Tool) instruction(ins *pin.INS) {
+	m := t.engine.Machine()
+	switch {
+	case ins.IsCall():
+		ins.InsertCall(func(ctx *pin.Context) {
+			// The return-address push is stack traffic of the caller
+			// (it lands just below the caller's SP, so it is forced
+			// into the stack class).
+			t.write(ctx, true)
+			t.stack.OnCall(ctx.Target) // EnterFC
+		})
+	case ins.IsRet():
+		ins.InsertCall(func(ctx *pin.Context) {
+			// The return-address pop is stack traffic of the callee.
+			t.read(ctx, true)
+			t.stack.OnReturn()
+		})
+	case ins.IsMemoryRead():
+		ins.InsertPredicatedCall(func(ctx *pin.Context) {
+			if ctx.Prefetch {
+				m.ChargeOverhead(t.opts.CostPrefetch)
+				return
+			}
+			t.increaseRead(ctx)
+		})
+	case ins.IsMemoryWrite():
+		ins.InsertPredicatedCall(func(ctx *pin.Context) {
+			if ctx.Prefetch {
+				m.ChargeOverhead(t.opts.CostPrefetch)
+				return
+			}
+			t.increaseWrite(ctx)
+		})
+	}
+}
+
+// increaseRead is the IncreaseRead analysis routine.
+func (t *Tool) increaseRead(ctx *pin.Context) {
+	t.read(ctx, t.engine.Machine().IsStackAddr(ctx.Addr, ctx.SP))
+}
+
+// increaseWrite is the IncreaseWrite analysis routine.
+func (t *Tool) increaseWrite(ctx *pin.Context) {
+	t.write(ctx, t.engine.Machine().IsStackAddr(ctx.Addr, ctx.SP))
+}
+
+func (t *Tool) read(ctx *pin.Context, isStack bool) {
+	m := t.engine.Machine()
+	if !t.opts.IncludeStack && isStack {
+		m.ChargeOverhead(t.opts.CostSkip)
+		return
+	}
+	me, ok := t.current()
+	if !ok {
+		m.ChargeOverhead(t.opts.CostSkip)
+		return
+	}
+	m.ChargeOverhead(t.opts.CostTrace)
+	k := t.kernels[me]
+	k.inBytes += uint64(ctx.Size)
+	for i := 0; i < ctx.Size; i++ {
+		a := ctx.Addr + uint64(i)
+		k.readSet.Add(a)
+		prod := t.owners.Owner(a)
+		bm := t.bindings[prod]
+		if bm == nil {
+			bm = make(map[uint16]uint64)
+			t.bindings[prod] = bm
+		}
+		bm[me]++
+	}
+}
+
+func (t *Tool) write(ctx *pin.Context, isStack bool) {
+	m := t.engine.Machine()
+	if !t.opts.IncludeStack && isStack {
+		m.ChargeOverhead(t.opts.CostSkip)
+		return
+	}
+	me, ok := t.current()
+	if !ok {
+		m.ChargeOverhead(t.opts.CostSkip)
+		return
+	}
+	m.ChargeOverhead(t.opts.CostTrace)
+	k := t.kernels[me]
+	k.writeSet.AddRange(ctx.Addr, ctx.Size)
+	t.owners.SetRange(ctx.Addr, ctx.Size, me)
+}
+
+// KernelStats is one row of Table II.
+type KernelStats struct {
+	Name    string
+	In      uint64 // bytes read by the kernel
+	InUnMA  uint64 // unique addresses read
+	Out     uint64 // bytes read by anyone from locations this kernel wrote
+	OutUnMA uint64 // unique addresses written
+}
+
+// Binding is one edge of the QDU graph.
+type Binding struct {
+	Producer string // "" when the data had no tracked producer
+	Consumer string
+	Bytes    uint64
+}
+
+// Report is the outcome of one QUAD run.
+type Report struct {
+	Kernels  []KernelStats // sorted by name
+	Bindings []Binding     // sorted by descending bytes
+}
+
+// Report assembles the run's results.
+func (t *Tool) Report() *Report {
+	out := make(map[uint16]uint64) // producer -> total bytes consumed by anyone
+	var bindings []Binding
+	for prod, consumers := range t.bindings {
+		for cons, bytes := range consumers {
+			if prod != shadow.NoOwner {
+				out[prod] += bytes
+			}
+			pname := ""
+			if prod != shadow.NoOwner {
+				pname = t.kernels[prod].name
+			}
+			bindings = append(bindings, Binding{
+				Producer: pname,
+				Consumer: t.kernels[cons].name,
+				Bytes:    bytes,
+			})
+		}
+	}
+	var rows []KernelStats
+	for id := 1; id < len(t.kernels); id++ {
+		k := t.kernels[id]
+		rows = append(rows, KernelStats{
+			Name:    k.name,
+			In:      k.inBytes,
+			InUnMA:  k.readSet.Count(),
+			Out:     out[uint16(id)],
+			OutUnMA: k.writeSet.Count(),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
+	sort.Slice(bindings, func(i, j int) bool {
+		if bindings[i].Bytes != bindings[j].Bytes {
+			return bindings[i].Bytes > bindings[j].Bytes
+		}
+		if bindings[i].Producer != bindings[j].Producer {
+			return bindings[i].Producer < bindings[j].Producer
+		}
+		return bindings[i].Consumer < bindings[j].Consumer
+	})
+	return &Report{Kernels: rows, Bindings: bindings}
+}
+
+// Kernel returns the stats row for one kernel name.
+func (r *Report) Kernel(name string) (KernelStats, bool) {
+	for _, k := range r.Kernels {
+		if k.Name == name {
+			return k, true
+		}
+	}
+	return KernelStats{}, false
+}
+
+// QDUGraphDOT renders the QDU graph in Graphviz DOT form.  Edges thinner
+// than minBytes are omitted to keep the graph readable (the paper's QDU
+// graph was "not possible to include ... due to space limitations").
+func (r *Report) QDUGraphDOT(minBytes uint64) string {
+	var b strings.Builder
+	b.WriteString("digraph QDU {\n  rankdir=LR;\n  node [shape=box];\n")
+	nodes := make(map[string]bool)
+	for _, e := range r.Bindings {
+		if e.Bytes < minBytes || e.Producer == "" {
+			continue
+		}
+		nodes[e.Producer] = true
+		nodes[e.Consumer] = true
+	}
+	var names []string
+	for n := range nodes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "  %q;\n", n)
+	}
+	for _, e := range r.Bindings {
+		if e.Bytes < minBytes || e.Producer == "" {
+			continue
+		}
+		fmt.Fprintf(&b, "  %q -> %q [label=\"%d\"];\n", e.Producer, e.Consumer, e.Bytes)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

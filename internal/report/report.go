@@ -1,0 +1,168 @@
+// Package report renders experiment results as aligned text tables, CSV
+// series and ASCII intensity charts — the textual equivalents of the
+// paper's tables and 3-D running-time graphs.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends one row; cells beyond the header width are dropped.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) > len(t.header) {
+		cells = cells[:len(t.header)]
+	}
+	row := make([]string, len(t.header))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	total := len(widths) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// F formats a float for table cells.
+func F(v float64) string { return fmt.Sprintf("%.4f", v) }
+
+// F2 formats a float with two decimals.
+func F2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// U formats an unsigned counter.
+func U(v uint64) string { return fmt.Sprintf("%d", v) }
+
+// I formats an int.
+func I(v int) string { return fmt.Sprintf("%d", v) }
+
+// CSV renders rows of float series as comma-separated lines with a
+// header.
+func CSV(header []string, rows [][]float64) string {
+	var b strings.Builder
+	b.WriteString(strings.Join(header, ","))
+	b.WriteByte('\n')
+	for _, r := range rows {
+		for i, v := range r {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%g", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// sparkRunes are the intensity levels of Spark.
+var sparkRunes = []rune(" .:-=+*#%@")
+
+// Spark renders a series as an ASCII intensity strip normalised to its
+// own maximum — one z-axis lane of the paper's Figures 6/7.
+func Spark(series []uint64) string {
+	var max uint64
+	for _, v := range series {
+		if v > max {
+			max = v
+		}
+	}
+	out := make([]rune, len(series))
+	for i, v := range series {
+		if max == 0 {
+			out[i] = sparkRunes[0]
+			continue
+		}
+		lvl := int(uint64(len(sparkRunes)-1) * v / max)
+		out[i] = sparkRunes[lvl]
+	}
+	return string(out)
+}
+
+// Downsample reduces a series to width buckets (max within each bucket),
+// so long runs fit a terminal row.
+func Downsample(series []uint64, width int) []uint64 {
+	if width <= 0 || len(series) <= width {
+		return series
+	}
+	out := make([]uint64, width)
+	for i := range out {
+		lo := i * len(series) / width
+		hi := (i + 1) * len(series) / width
+		if hi <= lo {
+			hi = lo + 1
+		}
+		var max uint64
+		for _, v := range series[lo:hi] {
+			if v > max {
+				max = v
+			}
+		}
+		out[i] = max
+	}
+	return out
+}
+
+// BandwidthChart renders named series as stacked spark lanes with a
+// shared caption — the textual Figure 6/7.
+func BandwidthChart(title string, names []string, series map[string][]uint64, width int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	nameW := 0
+	for _, n := range names {
+		if len(n) > nameW {
+			nameW = len(n)
+		}
+	}
+	for _, n := range names {
+		s := Downsample(series[n], width)
+		var max uint64
+		for _, v := range series[n] {
+			if v > max {
+				max = v
+			}
+		}
+		fmt.Fprintf(&b, "%-*s |%s| peak=%d B/slice\n", nameW, n, Spark(s), max)
+	}
+	return b.String()
+}

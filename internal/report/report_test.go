@@ -1,0 +1,127 @@
+package report_test
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"tquad/internal/report"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tbl := report.NewTable("name", "value")
+	tbl.AddRow("short", "1")
+	tbl.AddRow("a-much-longer-name", "12345")
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header, rule, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// All value columns start at the same offset.
+	idx := strings.Index(lines[0], "value")
+	for _, ln := range []string{lines[2], lines[3]} {
+		if len(ln) < idx {
+			t.Fatalf("row shorter than header: %q", ln)
+		}
+	}
+	if !strings.HasPrefix(lines[1], "---") {
+		t.Fatalf("missing rule line: %q", lines[1])
+	}
+	// Excess cells are dropped, missing cells padded.
+	tbl2 := report.NewTable("a", "b")
+	tbl2.AddRow("1", "2", "3")
+	tbl2.AddRow("x")
+	if out := tbl2.String(); strings.Contains(out, "3") {
+		t.Errorf("excess cell kept:\n%s", out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if report.F(1.23456) != "1.2346" {
+		t.Errorf("F = %q", report.F(1.23456))
+	}
+	if report.F2(1.236) != "1.24" {
+		t.Errorf("F2 = %q", report.F2(1.236))
+	}
+	if report.U(42) != "42" || report.I(-3) != "-3" {
+		t.Errorf("U/I wrong")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	out := report.CSV([]string{"a", "b"}, [][]float64{{1, 2.5}, {3, 4}})
+	want := "a,b\n1,2.5\n3,4\n"
+	if out != want {
+		t.Fatalf("CSV = %q, want %q", out, want)
+	}
+}
+
+func TestSparkMonotoneInValue(t *testing.T) {
+	s := report.Spark([]uint64{0, 1, 2, 4, 8, 16, 16})
+	runes := []rune(s)
+	if len(runes) != 7 {
+		t.Fatalf("spark length %d", len(runes))
+	}
+	if runes[0] != ' ' {
+		t.Errorf("zero must render blank, got %q", runes[0])
+	}
+	if runes[5] != runes[6] {
+		t.Errorf("equal maxima must render equally")
+	}
+	// Intensity is non-decreasing with value.
+	levels := " .:-=+*#%@"
+	prev := -1
+	for i, r := range runes {
+		lvl := strings.IndexRune(levels, r)
+		if lvl < prev && i < 6 {
+			t.Errorf("intensity decreased at %d", i)
+		}
+		prev = lvl
+	}
+	// All zeros.
+	if s := report.Spark([]uint64{0, 0}); s != "  " {
+		t.Errorf("all-zero spark = %q", s)
+	}
+}
+
+// TestDownsampleMaxProperty: each bucket carries the maximum of its
+// source range, and the global maximum is preserved.
+func TestDownsampleMaxProperty(t *testing.T) {
+	f := func(vals []uint64, w8 uint8) bool {
+		width := int(w8)%32 + 1
+		out := report.Downsample(vals, width)
+		if len(vals) <= width {
+			return len(out) == len(vals)
+		}
+		if len(out) != width {
+			return false
+		}
+		var maxIn, maxOut uint64
+		for _, v := range vals {
+			if v > maxIn {
+				maxIn = v
+			}
+		}
+		for _, v := range out {
+			if v > maxOut {
+				maxOut = v
+			}
+		}
+		return maxIn == maxOut
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBandwidthChart(t *testing.T) {
+	out := report.BandwidthChart("title", []string{"k1", "longer"},
+		map[string][]uint64{"k1": {1, 2, 3}, "longer": {0, 0, 9}}, 10)
+	if !strings.Contains(out, "title") || !strings.Contains(out, "k1") || !strings.Contains(out, "peak=9") {
+		t.Fatalf("chart malformed:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("chart lines = %d", len(lines))
+	}
+}

@@ -1,0 +1,126 @@
+// Package shadow provides the shadow-memory data structures behind QUAD's
+// producer/consumer analysis: a last-writer map tracking, for every guest
+// byte, which kernel most recently produced it, and paged address sets for
+// unique-memory-address (UnMA) accounting.
+//
+// Both structures are sparse and paged (4 KiB granules mirroring the guest
+// memory layout), so the cost is proportional to the bytes the workload
+// actually touches.  An alternative map-per-address representation is kept
+// in this package for the ablation benchmark.
+package shadow
+
+// PageBits / PageSize match the guest memory page geometry.
+const (
+	PageBits = 12
+	PageSize = 1 << PageBits
+	offMask  = PageSize - 1
+)
+
+// NoOwner marks a byte that no tracked kernel has written yet.
+const NoOwner uint16 = 0
+
+// Owners maps every guest byte to the id of the kernel that last wrote
+// it.  Ids are small integers assigned by the tool (0 is reserved for
+// "unknown").
+type Owners struct {
+	pages map[uint64]*[PageSize]uint16
+}
+
+// NewOwners returns an empty last-writer map.
+func NewOwners() *Owners {
+	return &Owners{pages: make(map[uint64]*[PageSize]uint16)}
+}
+
+// SetRange records owner as the producer of [addr, addr+size).
+func (o *Owners) SetRange(addr uint64, size int, owner uint16) {
+	for i := 0; i < size; i++ {
+		a := addr + uint64(i)
+		idx := a >> PageBits
+		p := o.pages[idx]
+		if p == nil {
+			p = new([PageSize]uint16)
+			o.pages[idx] = p
+		}
+		p[a&offMask] = owner
+	}
+}
+
+// Owner returns the producer of the byte at addr.
+func (o *Owners) Owner(addr uint64) uint16 {
+	if p := o.pages[addr>>PageBits]; p != nil {
+		return p[addr&offMask]
+	}
+	return NoOwner
+}
+
+// PageCount returns the number of shadow pages materialised.
+func (o *Owners) PageCount() int { return len(o.pages) }
+
+// AddrSet is a sparse set of guest addresses with O(1) membership and an
+// incrementally maintained cardinality: the UnMA counters of the paper.
+type AddrSet struct {
+	pages map[uint64]*[PageSize / 8]byte
+	count uint64
+}
+
+// NewAddrSet returns an empty set.
+func NewAddrSet() *AddrSet {
+	return &AddrSet{pages: make(map[uint64]*[PageSize / 8]byte)}
+}
+
+// Add inserts addr, reporting whether it was newly added.
+func (s *AddrSet) Add(addr uint64) bool {
+	idx := addr >> PageBits
+	p := s.pages[idx]
+	if p == nil {
+		p = new([PageSize / 8]byte)
+		s.pages[idx] = p
+	}
+	off := addr & offMask
+	mask := byte(1) << (off & 7)
+	if p[off>>3]&mask != 0 {
+		return false
+	}
+	p[off>>3] |= mask
+	s.count++
+	return true
+}
+
+// AddRange inserts [addr, addr+size).
+func (s *AddrSet) AddRange(addr uint64, size int) {
+	for i := 0; i < size; i++ {
+		s.Add(addr + uint64(i))
+	}
+}
+
+// Contains reports set membership.
+func (s *AddrSet) Contains(addr uint64) bool {
+	p := s.pages[addr>>PageBits]
+	if p == nil {
+		return false
+	}
+	off := addr & offMask
+	return p[off>>3]&(byte(1)<<(off&7)) != 0
+}
+
+// Count returns the set cardinality (the UnMA figure).
+func (s *AddrSet) Count() uint64 { return s.count }
+
+// MapOwners is the naive map[addr]owner representation, retained for the
+// paged-vs-map ablation benchmark (BenchmarkAblation_ShadowPagedVsMap).
+type MapOwners struct {
+	m map[uint64]uint16
+}
+
+// NewMapOwners returns an empty map-based last-writer table.
+func NewMapOwners() *MapOwners { return &MapOwners{m: make(map[uint64]uint16)} }
+
+// SetRange records owner as the producer of [addr, addr+size).
+func (o *MapOwners) SetRange(addr uint64, size int, owner uint16) {
+	for i := 0; i < size; i++ {
+		o.m[addr+uint64(i)] = owner
+	}
+}
+
+// Owner returns the producer of the byte at addr.
+func (o *MapOwners) Owner(addr uint64) uint16 { return o.m[addr] }

@@ -1,0 +1,306 @@
+// Package study is the experiment harness for the paper's case study
+// (Section V): it runs the WFS workload under every profiler
+// configuration the paper evaluates and renders each table and figure.
+// The benchmark harness (bench_test.go), the command-line tools and
+// EXPERIMENTS.md are all built on this package.
+package study
+
+import (
+	"fmt"
+	"strings"
+
+	"tquad/internal/core"
+	"tquad/internal/flatprof"
+	"tquad/internal/phase"
+	"tquad/internal/pin"
+	"tquad/internal/quad"
+	"tquad/internal/report"
+	"tquad/internal/vm"
+	"tquad/internal/wfs"
+)
+
+// Study wraps a workload with result caching, so one build of the guest
+// binary serves every experiment.
+type Study struct {
+	W *wfs.Workload
+
+	flatBase *flatprof.Profile
+	nativeIC uint64
+}
+
+// New builds the workload for the given configuration.
+func New(cfg wfs.Config) (*Study, error) {
+	w, err := wfs.NewWorkload(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Study{W: w}, nil
+}
+
+func (s *Study) run(m *vm.Machine) error {
+	if err := m.Run(wfs.MaxInstr); err != nil {
+		return err
+	}
+	if m.ExitCode != 0 {
+		return fmt.Errorf("study: guest exit code %d", m.ExitCode)
+	}
+	return nil
+}
+
+// NativeICount runs the workload uninstrumented once (cached) and returns
+// its instruction count — the denominator of every slowdown figure.
+func (s *Study) NativeICount() (uint64, error) {
+	if s.nativeIC != 0 {
+		return s.nativeIC, nil
+	}
+	m, _, err := s.W.RunNative()
+	if err != nil {
+		return 0, err
+	}
+	s.nativeIC = m.ICount
+	return s.nativeIC, nil
+}
+
+// FlatProfile reproduces Table I: the gprof-style flat profile of the
+// uninstrumented application (cached for reuse as the Table III
+// baseline).
+func (s *Study) FlatProfile() (*flatprof.Profile, error) {
+	if s.flatBase != nil {
+		return s.flatBase, nil
+	}
+	m, _ := s.W.NewMachine()
+	e := pin.NewEngine(m)
+	p := flatprof.Attach(e, flatprof.Options{})
+	if err := s.run(m); err != nil {
+		return nil, err
+	}
+	s.flatBase = p.Report()
+	return s.flatBase, nil
+}
+
+// QUAD reproduces one stack mode of Table II.
+func (s *Study) QUAD(includeStack bool) (*quad.Report, *vm.Machine, error) {
+	m, _ := s.W.NewMachine()
+	e := pin.NewEngine(m)
+	t := quad.Attach(e, quad.Options{IncludeStack: includeStack})
+	if err := s.run(m); err != nil {
+		return nil, nil, err
+	}
+	return t.Report(), m, nil
+}
+
+// InstrumentedFlat reproduces Table III: the flat profile of the
+// QUAD-instrumented binary, whose analysis overhead inflates the clock in
+// proportion to each kernel's non-local memory traffic.  It returns the
+// baseline and the instrumented profiles.
+func (s *Study) InstrumentedFlat() (baseline, instrumented *flatprof.Profile, err error) {
+	baseline, err = s.FlatProfile()
+	if err != nil {
+		return nil, nil, err
+	}
+	m, _ := s.W.NewMachine()
+	e := pin.NewEngine(m)
+	// QUAD instrumentation with the paper's configuration: stack-area
+	// accesses discarded early, so only costly global accesses pay the
+	// full tracing price.
+	quad.Attach(e, quad.Options{IncludeStack: false})
+	p := flatprof.Attach(e, flatprof.Options{})
+	if err := s.run(m); err != nil {
+		return nil, nil, err
+	}
+	return baseline, p.Report(), nil
+}
+
+// TQUAD runs the temporal profiler with the given options and returns its
+// profile together with the machine (for overhead inspection).
+func (s *Study) TQUAD(opts core.Options) (*core.Profile, *vm.Machine, error) {
+	m, _ := s.W.NewMachine()
+	e := pin.NewEngine(m)
+	t := core.Attach(e, opts)
+	if err := s.run(m); err != nil {
+		return nil, nil, err
+	}
+	return t.Snapshot(), m, nil
+}
+
+// SliceForCount returns the slice interval that divides the run into
+// roughly the requested number of slices (the paper picks 1e8 for 64
+// slices, 25e6 for 255).
+func (s *Study) SliceForCount(slices uint64) (uint64, error) {
+	ic, err := s.NativeICount()
+	if err != nil {
+		return 0, err
+	}
+	iv := ic / slices
+	if iv == 0 {
+		iv = 1
+	}
+	return iv, nil
+}
+
+// Phases reproduces Table IV: a fine-sliced tQUAD run followed by phase
+// detection.
+func (s *Study) Phases(sliceInterval uint64) ([]phase.Phase, *core.Profile, error) {
+	prof, _, err := s.TQUAD(core.Options{SliceInterval: sliceInterval, IncludeStack: true})
+	if err != nil {
+		return nil, nil, err
+	}
+	// As in the paper, "we only consider the kernels previously
+	// selected and not all the functions".
+	opts := phase.Options{IncludeStack: true, Kernels: wfs.KernelNames()}
+	return phase.Detect(prof, opts), prof, nil
+}
+
+// SlowdownRow is one cell of the Section V.A overhead study.
+type SlowdownRow struct {
+	Tool          string
+	SliceInterval uint64
+	IncludeStack  bool
+	Slowdown      float64 // simulated instrumented time / native time
+}
+
+// Slowdown sweeps the tQUAD configuration grid (slice interval × stack
+// mode) and reports the simulated slowdown of each run, plus one QUAD
+// row per stack mode.
+func (s *Study) Slowdown(sliceIntervals []uint64) ([]SlowdownRow, error) {
+	native, err := s.NativeICount()
+	if err != nil {
+		return nil, err
+	}
+	var rows []SlowdownRow
+	for _, iv := range sliceIntervals {
+		for _, incl := range []bool{true, false} {
+			_, m, err := s.TQUAD(core.Options{SliceInterval: iv, IncludeStack: incl})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, SlowdownRow{
+				Tool:          "tQUAD",
+				SliceInterval: iv,
+				IncludeStack:  incl,
+				Slowdown:      float64(m.Time()) / float64(native),
+			})
+		}
+	}
+	for _, incl := range []bool{true, false} {
+		_, m, err := s.QUAD(incl)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, SlowdownRow{
+			Tool:         "QUAD",
+			IncludeStack: incl,
+			Slowdown:     float64(m.Time()) / float64(native),
+		})
+	}
+	return rows, nil
+}
+
+// --- renderers ---
+
+// RenderTableI renders the flat profile restricted to the paper's kernel
+// inventory, in profile order.
+func RenderTableI(p *flatprof.Profile) string {
+	t := report.NewTable("kernel", "%time", "self seconds", "calls", "self ms/call", "total ms/call")
+	known := make(map[string]bool)
+	for _, k := range wfs.KernelNames() {
+		known[k] = true
+	}
+	for _, r := range p.Rows {
+		if !known[r.Name] {
+			continue
+		}
+		t.AddRow(r.Name, report.F2(r.Pct), report.F(r.SelfSeconds), report.U(r.Calls),
+			report.F(r.SelfMsCall), report.F(r.TotalMsCall))
+	}
+	return t.String()
+}
+
+// RenderTableII renders the QUAD producer/consumer summary for both stack
+// modes side by side.
+func RenderTableII(excl, incl *quad.Report) string {
+	t := report.NewTable("kernel",
+		"IN(ex)", "IN UnMA(ex)", "OUT(ex)", "OUT UnMA(ex)",
+		"IN(in)", "IN UnMA(in)", "OUT(in)", "OUT UnMA(in)")
+	for _, name := range wfs.KernelNames() {
+		e, okE := excl.Kernel(name)
+		i, okI := incl.Kernel(name)
+		if !okE && !okI {
+			continue
+		}
+		t.AddRow(name,
+			report.U(e.In), report.U(e.InUnMA), report.U(e.Out), report.U(e.OutUnMA),
+			report.U(i.In), report.U(i.InUnMA), report.U(i.Out), report.U(i.OutUnMA))
+	}
+	return t.String()
+}
+
+// RenderTableIII renders the instrumented-run comparison for the paper's
+// top-ten kernels.
+func RenderTableIII(baseline, instrumented *flatprof.Profile) string {
+	t := report.NewTable("kernel", "%time", "self seconds", "rank", "trend")
+	rows := flatprof.Compare(baseline, instrumented, wfs.TopTenKernels())
+	for _, r := range rows {
+		t.AddRow(r.Name, report.F2(r.Pct), report.F2(r.Seconds), report.I(r.Rank), r.Trend.Arrow())
+	}
+	return t.String()
+}
+
+// RenderTableIV renders the detected phases with per-kernel bandwidth
+// statistics.
+func RenderTableIV(phases []phase.Phase, totalSlices uint64) string {
+	var b strings.Builder
+	for i, ph := range phases {
+		pct := 0.0
+		if totalSlices > 0 {
+			pct = 100 * float64(ph.Span()) / float64(totalSlices)
+		}
+		fmt.Fprintf(&b, "phase %d: slices %d-%d (span %d, %.2f%% of run)  aggregate MBW %.4f B/instr\n",
+			i+1, ph.Start, ph.End-1, ph.Span(), pct, ph.AggregateMBW)
+		t := report.NewTable("kernel", "activity span",
+			"avg rd B/i (in)", "avg rd B/i (ex)", "avg wr B/i (in)", "avg wr B/i (ex)",
+			"max R+W B/i (in)", "max R+W B/i (ex)")
+		for _, k := range ph.Kernels {
+			t.AddRow(k.Name, report.U(k.ActivitySpan),
+				report.F(k.Stats.AvgRead), report.F(k.StatsExcl.AvgRead),
+				report.F(k.Stats.AvgWrite), report.F(k.StatsExcl.AvgWrite),
+				report.F(k.Stats.MaxRW), report.F(k.StatsExcl.MaxRW))
+		}
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderFigure renders a Figure 6/7-style bandwidth chart for the named
+// kernels.
+func RenderFigure(title string, prof *core.Profile, names []string, reads, includeStack bool, width int) string {
+	series := make(map[string][]uint64, len(names))
+	var present []string
+	for _, n := range names {
+		k, ok := prof.Kernel(n)
+		if !ok {
+			continue
+		}
+		present = append(present, n)
+		series[n] = k.Series(prof.NumSlices, reads, includeStack)
+	}
+	return report.BandwidthChart(title, present, series, width)
+}
+
+// RenderSlowdown renders the overhead study.
+func RenderSlowdown(rows []SlowdownRow) string {
+	t := report.NewTable("tool", "slice interval", "stack", "slowdown")
+	for _, r := range rows {
+		stack := "exclude"
+		if r.IncludeStack {
+			stack = "include"
+		}
+		iv := "-"
+		if r.SliceInterval != 0 {
+			iv = report.U(r.SliceInterval)
+		}
+		t.AddRow(r.Tool, iv, stack, fmt.Sprintf("%.1fx", r.Slowdown))
+	}
+	return t.String()
+}

@@ -1,0 +1,145 @@
+package study_test
+
+import (
+	"strings"
+	"testing"
+
+	"tquad/internal/core"
+	"tquad/internal/study"
+	"tquad/internal/wfs"
+)
+
+var shared *study.Study
+
+func get(t *testing.T) *study.Study {
+	t.Helper()
+	if shared == nil {
+		s, err := study.New(wfs.Small())
+		if err != nil {
+			t.Fatal(err)
+		}
+		shared = s
+	}
+	return shared
+}
+
+func TestNativeICountCached(t *testing.T) {
+	s := get(t)
+	a, err := s.NativeICount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.NativeICount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == 0 || a != b {
+		t.Fatalf("NativeICount unstable: %d vs %d", a, b)
+	}
+}
+
+func TestSliceForCount(t *testing.T) {
+	s := get(t)
+	iv, err := s.SliceForCount(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic, _ := s.NativeICount()
+	slices := ic / iv
+	if slices < 60 || slices > 70 {
+		t.Fatalf("SliceForCount(64) yields %d slices", slices)
+	}
+}
+
+func TestRenderTableIContainsKernels(t *testing.T) {
+	s := get(t)
+	p, err := s.FlatProfile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := study.RenderTableI(p)
+	for _, k := range []string{"wav_store", "fft1d", "bitrev", "calls"} {
+		if !strings.Contains(out, k) {
+			t.Errorf("Table I missing %q", k)
+		}
+	}
+	// Library routines must not leak into the kernel table.
+	for _, lib := range []string{"memcpy", "write_all", "read_full"} {
+		if strings.Contains(out, lib) {
+			t.Errorf("Table I leaked library routine %q", lib)
+		}
+	}
+}
+
+func TestRenderTableII(t *testing.T) {
+	s := get(t)
+	excl, _, err := s.QUAD(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	incl, _, err := s.QUAD(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := study.RenderTableII(excl, incl)
+	for _, col := range []string{"IN(ex)", "OUT UnMA(in)", "AudioIo_setFrames", "zeroRealVec"} {
+		if !strings.Contains(out, col) {
+			t.Errorf("Table II missing %q", col)
+		}
+	}
+}
+
+func TestRenderTableIIIAndFigure(t *testing.T) {
+	s := get(t)
+	base, instr, err := s.InstrumentedFlat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := study.RenderTableIII(base, instr)
+	if !strings.Contains(out, "trend") || !strings.Contains(out, "AudioIo_setFrames") {
+		t.Errorf("Table III malformed:\n%s", out)
+	}
+
+	iv, _ := s.SliceForCount(64)
+	prof, _, err := s.TQUAD(core.Options{SliceInterval: iv, IncludeStack: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig := study.RenderFigure("fig", prof, wfs.TopTenKernels(), true, true, 64)
+	if !strings.Contains(fig, "wav_store") || !strings.Contains(fig, "peak=") {
+		t.Errorf("figure malformed:\n%s", fig)
+	}
+}
+
+func TestRenderTableIVAndSlowdown(t *testing.T) {
+	s := get(t)
+	phases, prof, err := s.Phases(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := study.RenderTableIV(phases, prof.NumSlices)
+	if !strings.Contains(out, "phase 1") || !strings.Contains(out, "aggregate MBW") {
+		t.Errorf("Table IV malformed:\n%s", out)
+	}
+	// Phase percentages must sum to ~100.
+	var spans uint64
+	for _, ph := range phases {
+		spans += ph.Span()
+	}
+	if spans != prof.NumSlices {
+		t.Errorf("phase spans %d != total slices %d", spans, prof.NumSlices)
+	}
+
+	ic, _ := s.NativeICount()
+	rows, err := s.Slowdown([]uint64{ic / 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 { // 1 interval x 2 stack modes + 2 QUAD rows
+		t.Fatalf("slowdown rows = %d", len(rows))
+	}
+	sd := study.RenderSlowdown(rows)
+	if !strings.Contains(sd, "tQUAD") || !strings.Contains(sd, "QUAD") || !strings.Contains(sd, "x") {
+		t.Errorf("slowdown table malformed:\n%s", sd)
+	}
+}

@@ -1,0 +1,127 @@
+package trace_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tquad/internal/core"
+	"tquad/internal/flatprof"
+	"tquad/internal/phase"
+	"tquad/internal/quad"
+	"tquad/internal/trace"
+)
+
+func sampleProfile() *core.Profile {
+	return &core.Profile{
+		SliceInterval: 5000,
+		NumSlices:     10,
+		TotalInstr:    50000,
+		IncludeStack:  true,
+		Kernels: []*core.KernelProfile{
+			{
+				Name: "k1", FirstSlice: 2, LastSlice: 7, ActivitySpan: 3,
+				Points: []core.SlicePoint{
+					{Slice: 2, ReadIncl: 100, ReadExcl: 80, WriteIncl: 50, WriteExcl: 40, Instr: 2000},
+					{Slice: 5, ReadIncl: 10, Instr: 100},
+					{Slice: 7, WriteIncl: 30, WriteExcl: 30, Instr: 900},
+				},
+				TotalReadIncl: 110, TotalReadExcl: 80, TotalWriteIncl: 80, TotalWriteExcl: 70,
+			},
+		},
+	}
+}
+
+func TestTemporalRoundTrip(t *testing.T) {
+	p := sampleProfile()
+	var buf bytes.Buffer
+	if err := trace.SaveTemporal(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := trace.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Kind != "tquad" || doc.Temporal == nil {
+		t.Fatalf("document malformed: %+v", doc)
+	}
+	got := doc.Temporal.ToTemporal()
+	if got.SliceInterval != p.SliceInterval || got.NumSlices != p.NumSlices ||
+		got.TotalInstr != p.TotalInstr || got.IncludeStack != p.IncludeStack {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if len(got.Kernels) != 1 {
+		t.Fatalf("kernels = %d", len(got.Kernels))
+	}
+	gk, pk := got.Kernels[0], p.Kernels[0]
+	if gk.Name != pk.Name || gk.ActivitySpan != pk.ActivitySpan {
+		t.Fatalf("kernel mismatch: %+v", gk)
+	}
+	// Totals are recomputed from points and must agree.
+	if gk.TotalReadIncl != pk.TotalReadIncl || gk.TotalWriteExcl != pk.TotalWriteExcl {
+		t.Fatalf("totals mismatch: %+v vs %+v", gk, pk)
+	}
+	for i := range pk.Points {
+		if gk.Points[i] != pk.Points[i] {
+			t.Fatalf("point %d differs: %+v vs %+v", i, gk.Points[i], pk.Points[i])
+		}
+	}
+}
+
+func TestQUADFlatPhasesRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	rep := &quad.Report{
+		Kernels:  []quad.KernelStats{{Name: "a", In: 10, InUnMA: 4, Out: 6, OutUnMA: 3}},
+		Bindings: []quad.Binding{{Producer: "a", Consumer: "b", Bytes: 6}},
+	}
+	if err := trace.SaveQUAD(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := trace.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.QUAD == nil || doc.QUAD.Kernels[0] != rep.Kernels[0] || doc.QUAD.Bindings[0] != rep.Bindings[0] {
+		t.Fatalf("quad roundtrip: %+v", doc.QUAD)
+	}
+
+	buf.Reset()
+	fp := &flatprof.Profile{TotalSeconds: 1.5, TotalSamples: 100,
+		Rows: []flatprof.Row{{Name: "f", Pct: 50, SelfSeconds: 0.75, Calls: 3}}}
+	if err := trace.SaveFlat(&buf, fp); err != nil {
+		t.Fatal(err)
+	}
+	doc, err = trace.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Flat == nil || doc.Flat.Rows[0] != fp.Rows[0] {
+		t.Fatalf("flat roundtrip: %+v", doc.Flat)
+	}
+
+	buf.Reset()
+	phs := []phase.Phase{{Start: 0, End: 10, AggregateMBW: 2.5,
+		Kernels: []phase.KernelActivity{{Name: "k", ActivitySpan: 10}}}}
+	if err := trace.SavePhases(&buf, phs); err != nil {
+		t.Fatal(err)
+	}
+	doc, err = trace.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Phases) != 1 || doc.Phases[0].Start != 0 || doc.Phases[0].Kernels[0].Name != "k" {
+		t.Fatalf("phases roundtrip: %+v", doc.Phases)
+	}
+}
+
+func TestLoadRejectsBadInput(t *testing.T) {
+	if _, err := trace.Load(strings.NewReader("not json")); err == nil {
+		t.Errorf("garbage accepted")
+	}
+	if _, err := trace.Load(strings.NewReader(`{"version":99,"kind":"tquad"}`)); err == nil {
+		t.Errorf("future version accepted")
+	}
+	if _, err := trace.Load(strings.NewReader(`{"version":1,"kind":"mystery"}`)); err == nil {
+		t.Errorf("unknown kind accepted")
+	}
+}

@@ -1,0 +1,113 @@
+package vm_test
+
+import (
+	"testing"
+
+	"tquad/internal/isa"
+	"tquad/internal/vm"
+)
+
+func TestEventKindStrings(t *testing.T) {
+	want := map[vm.EventKind]string{
+		vm.EvPlain:  "plain",
+		vm.EvRead:   "read",
+		vm.EvWrite:  "write",
+		vm.EvCall:   "call",
+		vm.EvReturn: "return",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), s)
+		}
+	}
+	if vm.EventKind(200).String() != "?" {
+		t.Errorf("unknown kind should render ?")
+	}
+}
+
+func TestTrapError(t *testing.T) {
+	tr := &vm.Trap{PC: 0x1000, ICount: 42, Reason: "boom"}
+	msg := tr.Error()
+	for _, want := range []string{"0x1000", "42", "boom"} {
+		if !contains(msg, want) {
+			t.Errorf("trap message %q missing %q", msg, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCallEventCarriesTarget: the call event exposes the callee entry
+// (what EnterFC consumes) and the push address just below SP.
+func TestCallEventCarriesTarget(t *testing.T) {
+	m := vm.New()
+	probe := &recordingProbe{}
+	m.SetProbe(probe)
+	base := uint64(0x1000)
+	target := base + 3*isa.InstrSize
+	load(m, base, []isa.Instr{
+		{Op: isa.OpCall, Imm: int32(target)},
+		{Op: isa.OpHalt},
+		{Op: isa.OpNop},
+		{Op: isa.OpRet}, // callee
+	})
+	run(t, m)
+	var call, ret *vm.Event
+	for i := range probe.events {
+		switch probe.events[i].Kind {
+		case vm.EvCall:
+			call = &probe.events[i]
+		case vm.EvReturn:
+			ret = &probe.events[i]
+		}
+	}
+	if call == nil || ret == nil {
+		t.Fatalf("missing call/return events")
+	}
+	if call.Target != target {
+		t.Errorf("call target %#x, want %#x", call.Target, target)
+	}
+	if call.Addr != call.SP-isa.WordSize || call.Size != isa.WordSize {
+		t.Errorf("call push addr/size = %#x/%d (sp %#x)", call.Addr, call.Size, call.SP)
+	}
+	if ret.Target != base+isa.InstrSize {
+		t.Errorf("return target %#x, want %#x", ret.Target, base+isa.InstrSize)
+	}
+	if ret.Addr != ret.SP || ret.Size != isa.WordSize {
+		t.Errorf("return pop addr/size = %#x/%d", ret.Addr, ret.Size)
+	}
+}
+
+// TestPredicatedSkippedEventDelivered: a predicated-false instruction
+// still produces an event with Executed=false (the framework, not the
+// machine, decides whether predicated analysis calls run).
+func TestPredicatedSkippedEventDelivered(t *testing.T) {
+	m := vm.New()
+	probe := &recordingProbe{}
+	m.SetProbe(probe)
+	load(m, 0x1000, []isa.Instr{
+		{Op: isa.OpSetp, Rs1: isa.RegZero},
+		{Op: isa.OpSt8, Pred: true, Rs1: 8, Rs2: 9, Imm: 0},
+		{Op: isa.OpHalt},
+	})
+	run(t, m)
+	found := false
+	for _, ev := range probe.events {
+		if ev.Kind == vm.EvWrite {
+			found = true
+			if ev.Executed {
+				t.Errorf("skipped store reported as executed")
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no event for the predicated-false store")
+	}
+}

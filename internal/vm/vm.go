@@ -1,0 +1,654 @@
+// Package vm implements the guest virtual machine: an interpreter for the
+// ISA in package isa with an instruction-count clock, a downward-growing
+// stack, and probe points for dynamic binary instrumentation.
+//
+// The split between instrumentation time and analysis time mirrors Pin:
+// the first time a PC is reached the machine asks its Probe to "compile"
+// the instruction (decide which analysis calls to attach); the resulting
+// handler is stored in a code cache keyed by PC and invoked on every
+// subsequent execution with the dynamic facts (effective address, access
+// size, stack pointer, predicate outcome).
+package vm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"tquad/internal/image"
+	"tquad/internal/isa"
+	"tquad/internal/mem"
+)
+
+// DefaultStackBase is the default top-of-stack address.  The stack grows
+// down from here.
+const DefaultStackBase = 0x7fff_0000_0000
+
+// DefaultStackSize is the default stack reservation in bytes.
+const DefaultStackSize = 8 << 20
+
+// EventKind classifies a probe event.
+type EventKind uint8
+
+const (
+	// EvPlain is a non-memory, non-control instruction.
+	EvPlain EventKind = iota
+	// EvRead is a data read from guest memory (loads and prefetches).
+	EvRead
+	// EvWrite is a data write to guest memory (stores).
+	EvWrite
+	// EvCall is a direct or indirect call; Addr/Size describe the
+	// return-address push on the stack, Target the callee entry.
+	EvCall
+	// EvReturn is a return; Addr/Size describe the return-address pop,
+	// Target the PC being returned to.
+	EvReturn
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvPlain:
+		return "plain"
+	case EvRead:
+		return "read"
+	case EvWrite:
+		return "write"
+	case EvCall:
+		return "call"
+	case EvReturn:
+		return "return"
+	}
+	return "?"
+}
+
+// Event carries the dynamic facts about one executed instruction to an
+// analysis handler.
+type Event struct {
+	Kind     EventKind
+	PC       uint64
+	Ins      isa.Instr
+	Addr     uint64 // effective address for memory events
+	Size     int    // access size in bytes for memory events
+	Target   uint64 // callee entry (EvCall) or return PC (EvReturn)
+	SP       uint64 // stack pointer before the instruction executed
+	Executed bool   // false when a predicated instruction was skipped
+}
+
+// Handler is an analysis routine attached to one static instruction.
+type Handler func(ev *Event)
+
+// Probe is the instrumentation-time interface.  Compile is invoked once
+// per static instruction, the first time its PC is executed; the returned
+// handler (may be nil) is cached and invoked at every dynamic execution.
+type Probe interface {
+	Compile(pc uint64, ins isa.Instr) Handler
+}
+
+// SyscallHandler services OpSyscall instructions.  Arguments are in
+// r1..r6; the result is returned in r1.
+type SyscallHandler interface {
+	Syscall(m *Machine, num int32) error
+}
+
+// Trap is the error type for guest faults.
+type Trap struct {
+	PC     uint64
+	ICount uint64
+	Reason string
+}
+
+func (t *Trap) Error() string {
+	return fmt.Sprintf("vm: trap at pc=%#x icount=%d: %s", t.PC, t.ICount, t.Reason)
+}
+
+// ErrFuel is returned by Run when the instruction budget is exhausted
+// before the program halts.
+var ErrFuel = errors.New("vm: instruction budget exhausted")
+
+// cacheEntry is one slot of the code cache: the decoded instruction plus
+// its attached analysis handler.
+type cacheEntry struct {
+	ins     isa.Instr
+	handler Handler
+	valid   bool
+}
+
+// Machine is the guest CPU plus memory.
+type Machine struct {
+	Regs [isa.NumRegs]uint64
+	PC   uint64
+	Pred uint64 // predicate register P
+
+	Mem    *mem.Memory
+	Images []*image.Image
+
+	// ICount counts executed guest instructions: the platform-independent
+	// clock the paper uses for all timing.
+	ICount uint64
+	// Overhead accumulates simulated analysis-routine cost charged by
+	// profilers via ChargeOverhead; total simulated time is
+	// ICount+Overhead.
+	Overhead uint64
+
+	StackBase uint64
+	StackSize uint64
+
+	Halted   bool
+	ExitCode int64
+
+	syscalls SyscallHandler
+	probe    Probe
+
+	// CacheEnabled selects the Pin-style code cache (decode+instrument
+	// once) versus decode-per-step.  On by default; the ablation
+	// benchmark flips it.
+	CacheEnabled bool
+
+	// The code cache is direct-mapped over the contiguous span of
+	// loaded code segments (instructions are 8-byte aligned, so one
+	// slot per 8 bytes); PCs outside the span fall back to a map.
+	cacheBase uint64
+	cacheEnd  uint64
+	cacheArr  []cacheEntry
+	cache     map[uint64]*cacheEntry
+	ev        Event // scratch event, reused to avoid per-step allocation
+}
+
+// New creates a machine with empty memory and default stack placement.
+func New() *Machine {
+	return &Machine{
+		Mem:          mem.New(),
+		StackBase:    DefaultStackBase,
+		StackSize:    DefaultStackSize,
+		CacheEnabled: true,
+		cache:        make(map[uint64]*cacheEntry),
+	}
+}
+
+// SetSyscallHandler installs the OS personality.
+func (m *Machine) SetSyscallHandler(h SyscallHandler) { m.syscalls = h }
+
+// SetProbe installs the instrumentation probe and invalidates the code
+// cache so every instruction is re-instrumented.
+func (m *Machine) SetProbe(p Probe) {
+	m.probe = p
+	m.flushCache()
+}
+
+// flushCache drops every cached decode.
+func (m *Machine) flushCache() {
+	m.cache = make(map[uint64]*cacheEntry)
+	m.cacheArr = nil
+	m.sizeCache()
+}
+
+// sizeCache re-derives the direct-mapped span from the loaded images.
+func (m *Machine) sizeCache() {
+	if len(m.Images) == 0 {
+		return
+	}
+	lo, hi := ^uint64(0), uint64(0)
+	for _, img := range m.Images {
+		if img.Base < lo {
+			lo = img.Base
+		}
+		if img.CodeEnd() > hi {
+			hi = img.CodeEnd()
+		}
+	}
+	// Guard against degenerate layouts (an absurdly wide span would
+	// allocate too much); 1M slots covers 8 MiB of code.
+	if slots := (hi - lo) / isa.InstrSize; slots > 0 && slots <= 1<<20 {
+		m.cacheBase = lo
+		m.cacheEnd = hi
+		m.cacheArr = make([]cacheEntry, slots)
+	}
+}
+
+// ChargeOverhead adds simulated analysis cost (in instruction-equivalents)
+// to the machine clock.  Analysis routines run outside the guest, so the
+// cost lands in the separate Overhead counter.
+func (m *Machine) ChargeOverhead(n uint64) { m.Overhead += n }
+
+// Time returns the total simulated time: guest instructions plus
+// instrumentation overhead.
+func (m *Machine) Time() uint64 { return m.ICount + m.Overhead }
+
+// LoadImage places an image's segments into guest memory and registers it
+// for PC lookups.
+func (m *Machine) LoadImage(img *image.Image) {
+	m.Mem.Write(img.Base, img.Code)
+	if len(img.Data) > 0 {
+		m.Mem.Write(img.DataBase, img.Data)
+	}
+	m.Images = append(m.Images, img)
+	m.flushCache()
+}
+
+// FindImage returns the image containing pc, if any.
+func (m *Machine) FindImage(pc uint64) (*image.Image, bool) {
+	for _, img := range m.Images {
+		if img.ContainsPC(pc) {
+			return img, true
+		}
+	}
+	return nil, false
+}
+
+// FindRoutine resolves pc to its routine and image.
+func (m *Machine) FindRoutine(pc uint64) (image.Routine, *image.Image, bool) {
+	for _, img := range m.Images {
+		if img.ContainsPC(pc) {
+			if r, ok := img.FindRoutine(pc); ok {
+				return r, img, true
+			}
+			return image.Routine{}, img, false
+		}
+	}
+	return image.Routine{}, nil, false
+}
+
+// Reset prepares the machine to start executing at entry with a fresh
+// stack and clean counters.  Loaded images and memory contents persist.
+func (m *Machine) Reset(entry uint64) {
+	for i := range m.Regs {
+		m.Regs[i] = 0
+	}
+	m.PC = entry
+	m.Pred = 0
+	m.ICount = 0
+	m.Overhead = 0
+	m.Halted = false
+	m.ExitCode = 0
+	m.Regs[isa.RegSP] = m.StackBase
+}
+
+// SP returns the current stack pointer.
+func (m *Machine) SP() uint64 { return m.Regs[isa.RegSP] }
+
+// IsStackAddr reports whether addr lies in the live local-stack area for
+// the given stack pointer: at or above SP and below the stack base.  This
+// is the classification the paper's include/exclude-stack option applies,
+// using the REG_STACK_PTR value passed to the analysis routine.
+func (m *Machine) IsStackAddr(addr, sp uint64) bool {
+	return addr >= sp && addr < m.StackBase
+}
+
+func (m *Machine) reg(i uint8) uint64 {
+	if i == isa.RegZero {
+		return 0
+	}
+	return m.Regs[i]
+}
+
+func (m *Machine) setReg(i uint8, v uint64) {
+	if i != isa.RegZero {
+		m.Regs[i] = v
+	}
+}
+
+func f64(v uint64) float64   { return math.Float64frombits(v) }
+func fbits(f float64) uint64 { return math.Float64bits(f) }
+
+func (m *Machine) trap(pc uint64, format string, args ...any) error {
+	return &Trap{PC: pc, ICount: m.ICount, Reason: fmt.Sprintf(format, args...)}
+}
+
+// entry returns the cached (and instrumented) decode of the instruction at
+// pc, decoding and instrumenting on first touch.
+func (m *Machine) entry(pc uint64) (*cacheEntry, error) {
+	var slot *cacheEntry
+	if m.CacheEnabled {
+		if m.cacheArr != nil && pc >= m.cacheBase && pc < m.cacheEnd && pc%isa.InstrSize == 0 {
+			slot = &m.cacheArr[(pc-m.cacheBase)/isa.InstrSize]
+			if slot.valid {
+				return slot, nil
+			}
+		} else if e, ok := m.cache[pc]; ok {
+			return e, nil
+		}
+	}
+	var buf [isa.InstrSize]byte
+	m.Mem.Read(pc, buf[:])
+	ins, err := isa.Decode(buf[:])
+	if err != nil {
+		return nil, m.trap(pc, "decode: %v", err)
+	}
+	e := &cacheEntry{ins: ins, valid: true}
+	if m.probe != nil {
+		e.handler = m.probe.Compile(pc, ins)
+	}
+	if m.CacheEnabled {
+		if slot != nil {
+			*slot = *e
+			return slot, nil
+		}
+		m.cache[pc] = e
+	}
+	return e, nil
+}
+
+// emit dispatches one event to the attached handler, if any.
+func (m *Machine) emit(h Handler, kind EventKind, pc uint64, ins isa.Instr, addr uint64, size int, target, sp uint64, executed bool) {
+	if h == nil {
+		return
+	}
+	m.ev = Event{Kind: kind, PC: pc, Ins: ins, Addr: addr, Size: size, Target: target, SP: sp, Executed: executed}
+	h(&m.ev)
+}
+
+// Step executes a single instruction.  It returns an error on trap; a
+// clean HALT sets m.Halted.
+func (m *Machine) Step() error {
+	pc := m.PC
+	e, err := m.entry(pc)
+	if err != nil {
+		return err
+	}
+	ins := e.ins
+	h := e.handler
+	sp := m.Regs[isa.RegSP]
+	m.ICount++
+	next := pc + isa.InstrSize
+
+	if ins.Pred && m.Pred == 0 {
+		// Predicated-false: the instruction occupies a slot in the
+		// dynamic stream but performs no architectural action.  The
+		// analysis call still fires with Executed=false so that
+		// InsertPredicatedCall semantics can be honoured by the
+		// framework (the call is suppressed there, not here).
+		m.emit(h, eventKind(ins), pc, ins, 0, 0, 0, sp, false)
+		m.PC = next
+		return nil
+	}
+
+	switch ins.Op {
+	case isa.OpNop:
+		m.emit(h, EvPlain, pc, ins, 0, 0, 0, sp, true)
+
+	case isa.OpHalt:
+		m.emit(h, EvPlain, pc, ins, 0, 0, 0, sp, true)
+		m.Halted = true
+		m.ExitCode = int64(m.reg(ins.Rs1))
+		return nil
+
+	case isa.OpLdi:
+		m.emit(h, EvPlain, pc, ins, 0, 0, 0, sp, true)
+		m.setReg(ins.Rd, uint64(int64(ins.Imm)))
+	case isa.OpLdiu:
+		m.emit(h, EvPlain, pc, ins, 0, 0, 0, sp, true)
+		m.setReg(ins.Rd, uint64(uint32(ins.Imm)))
+	case isa.OpLuhi:
+		m.emit(h, EvPlain, pc, ins, 0, 0, 0, sp, true)
+		m.setReg(ins.Rd, m.reg(ins.Rd)&0xffffffff|uint64(uint32(ins.Imm))<<32)
+	case isa.OpMov:
+		m.emit(h, EvPlain, pc, ins, 0, 0, 0, sp, true)
+		m.setReg(ins.Rd, m.reg(ins.Rs1))
+
+	case isa.OpAdd:
+		m.emit(h, EvPlain, pc, ins, 0, 0, 0, sp, true)
+		m.setReg(ins.Rd, m.reg(ins.Rs1)+m.reg(ins.Rs2))
+	case isa.OpSub:
+		m.emit(h, EvPlain, pc, ins, 0, 0, 0, sp, true)
+		m.setReg(ins.Rd, m.reg(ins.Rs1)-m.reg(ins.Rs2))
+	case isa.OpMul:
+		m.emit(h, EvPlain, pc, ins, 0, 0, 0, sp, true)
+		m.setReg(ins.Rd, m.reg(ins.Rs1)*m.reg(ins.Rs2))
+	case isa.OpDiv:
+		m.emit(h, EvPlain, pc, ins, 0, 0, 0, sp, true)
+		d := int64(m.reg(ins.Rs2))
+		if d == 0 {
+			return m.trap(pc, "integer division by zero")
+		}
+		m.setReg(ins.Rd, uint64(int64(m.reg(ins.Rs1))/d))
+	case isa.OpRem:
+		m.emit(h, EvPlain, pc, ins, 0, 0, 0, sp, true)
+		d := int64(m.reg(ins.Rs2))
+		if d == 0 {
+			return m.trap(pc, "integer remainder by zero")
+		}
+		m.setReg(ins.Rd, uint64(int64(m.reg(ins.Rs1))%d))
+	case isa.OpAnd:
+		m.emit(h, EvPlain, pc, ins, 0, 0, 0, sp, true)
+		m.setReg(ins.Rd, m.reg(ins.Rs1)&m.reg(ins.Rs2))
+	case isa.OpOr:
+		m.emit(h, EvPlain, pc, ins, 0, 0, 0, sp, true)
+		m.setReg(ins.Rd, m.reg(ins.Rs1)|m.reg(ins.Rs2))
+	case isa.OpXor:
+		m.emit(h, EvPlain, pc, ins, 0, 0, 0, sp, true)
+		m.setReg(ins.Rd, m.reg(ins.Rs1)^m.reg(ins.Rs2))
+	case isa.OpShl:
+		m.emit(h, EvPlain, pc, ins, 0, 0, 0, sp, true)
+		m.setReg(ins.Rd, m.reg(ins.Rs1)<<(m.reg(ins.Rs2)&63))
+	case isa.OpShr:
+		m.emit(h, EvPlain, pc, ins, 0, 0, 0, sp, true)
+		m.setReg(ins.Rd, m.reg(ins.Rs1)>>(m.reg(ins.Rs2)&63))
+	case isa.OpSar:
+		m.emit(h, EvPlain, pc, ins, 0, 0, 0, sp, true)
+		m.setReg(ins.Rd, uint64(int64(m.reg(ins.Rs1))>>(m.reg(ins.Rs2)&63)))
+
+	case isa.OpAddi:
+		m.emit(h, EvPlain, pc, ins, 0, 0, 0, sp, true)
+		m.setReg(ins.Rd, m.reg(ins.Rs1)+uint64(int64(ins.Imm)))
+	case isa.OpMuli:
+		m.emit(h, EvPlain, pc, ins, 0, 0, 0, sp, true)
+		m.setReg(ins.Rd, m.reg(ins.Rs1)*uint64(int64(ins.Imm)))
+	case isa.OpAndi:
+		m.emit(h, EvPlain, pc, ins, 0, 0, 0, sp, true)
+		m.setReg(ins.Rd, m.reg(ins.Rs1)&uint64(int64(ins.Imm)))
+	case isa.OpOri:
+		m.emit(h, EvPlain, pc, ins, 0, 0, 0, sp, true)
+		m.setReg(ins.Rd, m.reg(ins.Rs1)|uint64(int64(ins.Imm)))
+	case isa.OpShli:
+		m.emit(h, EvPlain, pc, ins, 0, 0, 0, sp, true)
+		m.setReg(ins.Rd, m.reg(ins.Rs1)<<(uint32(ins.Imm)&63))
+	case isa.OpShri:
+		m.emit(h, EvPlain, pc, ins, 0, 0, 0, sp, true)
+		m.setReg(ins.Rd, m.reg(ins.Rs1)>>(uint32(ins.Imm)&63))
+
+	case isa.OpSlt:
+		m.emit(h, EvPlain, pc, ins, 0, 0, 0, sp, true)
+		m.setReg(ins.Rd, b2u(int64(m.reg(ins.Rs1)) < int64(m.reg(ins.Rs2))))
+	case isa.OpSltu:
+		m.emit(h, EvPlain, pc, ins, 0, 0, 0, sp, true)
+		m.setReg(ins.Rd, b2u(m.reg(ins.Rs1) < m.reg(ins.Rs2)))
+	case isa.OpSeq:
+		m.emit(h, EvPlain, pc, ins, 0, 0, 0, sp, true)
+		m.setReg(ins.Rd, b2u(m.reg(ins.Rs1) == m.reg(ins.Rs2)))
+	case isa.OpSlti:
+		m.emit(h, EvPlain, pc, ins, 0, 0, 0, sp, true)
+		m.setReg(ins.Rd, b2u(int64(m.reg(ins.Rs1)) < int64(ins.Imm)))
+
+	case isa.OpFadd:
+		m.emit(h, EvPlain, pc, ins, 0, 0, 0, sp, true)
+		m.setReg(ins.Rd, fbits(f64(m.reg(ins.Rs1))+f64(m.reg(ins.Rs2))))
+	case isa.OpFsub:
+		m.emit(h, EvPlain, pc, ins, 0, 0, 0, sp, true)
+		m.setReg(ins.Rd, fbits(f64(m.reg(ins.Rs1))-f64(m.reg(ins.Rs2))))
+	case isa.OpFmul:
+		m.emit(h, EvPlain, pc, ins, 0, 0, 0, sp, true)
+		m.setReg(ins.Rd, fbits(f64(m.reg(ins.Rs1))*f64(m.reg(ins.Rs2))))
+	case isa.OpFdiv:
+		m.emit(h, EvPlain, pc, ins, 0, 0, 0, sp, true)
+		m.setReg(ins.Rd, fbits(f64(m.reg(ins.Rs1))/f64(m.reg(ins.Rs2))))
+	case isa.OpFneg:
+		m.emit(h, EvPlain, pc, ins, 0, 0, 0, sp, true)
+		m.setReg(ins.Rd, fbits(-f64(m.reg(ins.Rs1))))
+	case isa.OpFabs:
+		m.emit(h, EvPlain, pc, ins, 0, 0, 0, sp, true)
+		m.setReg(ins.Rd, fbits(math.Abs(f64(m.reg(ins.Rs1)))))
+	case isa.OpFsqrt:
+		m.emit(h, EvPlain, pc, ins, 0, 0, 0, sp, true)
+		m.setReg(ins.Rd, fbits(math.Sqrt(f64(m.reg(ins.Rs1)))))
+	case isa.OpFsin:
+		m.emit(h, EvPlain, pc, ins, 0, 0, 0, sp, true)
+		m.setReg(ins.Rd, fbits(math.Sin(f64(m.reg(ins.Rs1)))))
+	case isa.OpFcos:
+		m.emit(h, EvPlain, pc, ins, 0, 0, 0, sp, true)
+		m.setReg(ins.Rd, fbits(math.Cos(f64(m.reg(ins.Rs1)))))
+	case isa.OpFmin:
+		m.emit(h, EvPlain, pc, ins, 0, 0, 0, sp, true)
+		m.setReg(ins.Rd, fbits(math.Min(f64(m.reg(ins.Rs1)), f64(m.reg(ins.Rs2)))))
+	case isa.OpFmax:
+		m.emit(h, EvPlain, pc, ins, 0, 0, 0, sp, true)
+		m.setReg(ins.Rd, fbits(math.Max(f64(m.reg(ins.Rs1)), f64(m.reg(ins.Rs2)))))
+	case isa.OpFlt:
+		m.emit(h, EvPlain, pc, ins, 0, 0, 0, sp, true)
+		m.setReg(ins.Rd, b2u(f64(m.reg(ins.Rs1)) < f64(m.reg(ins.Rs2))))
+	case isa.OpFle:
+		m.emit(h, EvPlain, pc, ins, 0, 0, 0, sp, true)
+		m.setReg(ins.Rd, b2u(f64(m.reg(ins.Rs1)) <= f64(m.reg(ins.Rs2))))
+	case isa.OpFeq:
+		m.emit(h, EvPlain, pc, ins, 0, 0, 0, sp, true)
+		m.setReg(ins.Rd, b2u(f64(m.reg(ins.Rs1)) == f64(m.reg(ins.Rs2))))
+	case isa.OpI2f:
+		m.emit(h, EvPlain, pc, ins, 0, 0, 0, sp, true)
+		m.setReg(ins.Rd, fbits(float64(int64(m.reg(ins.Rs1)))))
+	case isa.OpF2i:
+		m.emit(h, EvPlain, pc, ins, 0, 0, 0, sp, true)
+		m.setReg(ins.Rd, uint64(int64(math.Trunc(f64(m.reg(ins.Rs1))))))
+
+	case isa.OpLd1, isa.OpLd2, isa.OpLd2s, isa.OpLd4, isa.OpLd4s, isa.OpLd8, isa.OpPrefetch:
+		addr := m.reg(ins.Rs1) + uint64(int64(ins.Imm))
+		size := ins.AccessSize()
+		m.emit(h, EvRead, pc, ins, addr, size, 0, sp, true)
+		if ins.Op != isa.OpPrefetch {
+			v := m.Mem.ReadUint(addr, size)
+			switch ins.Op {
+			case isa.OpLd2s:
+				v = uint64(int64(int16(v)))
+			case isa.OpLd4s:
+				v = uint64(int64(int32(v)))
+			}
+			m.setReg(ins.Rd, v)
+		}
+
+	case isa.OpSt1, isa.OpSt2, isa.OpSt4, isa.OpSt8:
+		addr := m.reg(ins.Rs1) + uint64(int64(ins.Imm))
+		size := ins.AccessSize()
+		m.emit(h, EvWrite, pc, ins, addr, size, 0, sp, true)
+		m.Mem.WriteUint(addr, m.reg(ins.Rs2), size)
+
+	case isa.OpLd16:
+		addr := m.reg(ins.Rs1) + uint64(int64(ins.Imm))
+		m.emit(h, EvRead, pc, ins, addr, 16, 0, sp, true)
+		m.setReg(ins.Rd, m.Mem.ReadUint64(addr))
+		m.setReg(ins.Rd+1, m.Mem.ReadUint64(addr+8))
+
+	case isa.OpSt16:
+		addr := m.reg(ins.Rs1) + uint64(int64(ins.Imm))
+		m.emit(h, EvWrite, pc, ins, addr, 16, 0, sp, true)
+		m.Mem.WriteUint64(addr, m.reg(ins.Rs2))
+		m.Mem.WriteUint64(addr+8, m.reg(ins.Rs2+1))
+
+	case isa.OpBeq:
+		m.emit(h, EvPlain, pc, ins, 0, 0, 0, sp, true)
+		if m.reg(ins.Rs1) == m.reg(ins.Rs2) {
+			next = branchTarget(pc, ins.Imm)
+		}
+	case isa.OpBne:
+		m.emit(h, EvPlain, pc, ins, 0, 0, 0, sp, true)
+		if m.reg(ins.Rs1) != m.reg(ins.Rs2) {
+			next = branchTarget(pc, ins.Imm)
+		}
+	case isa.OpBlt:
+		m.emit(h, EvPlain, pc, ins, 0, 0, 0, sp, true)
+		if int64(m.reg(ins.Rs1)) < int64(m.reg(ins.Rs2)) {
+			next = branchTarget(pc, ins.Imm)
+		}
+	case isa.OpBge:
+		m.emit(h, EvPlain, pc, ins, 0, 0, 0, sp, true)
+		if int64(m.reg(ins.Rs1)) >= int64(m.reg(ins.Rs2)) {
+			next = branchTarget(pc, ins.Imm)
+		}
+	case isa.OpBltu:
+		m.emit(h, EvPlain, pc, ins, 0, 0, 0, sp, true)
+		if m.reg(ins.Rs1) < m.reg(ins.Rs2) {
+			next = branchTarget(pc, ins.Imm)
+		}
+	case isa.OpJmp:
+		m.emit(h, EvPlain, pc, ins, 0, 0, 0, sp, true)
+		next = branchTarget(pc, ins.Imm)
+
+	case isa.OpCall, isa.OpCallr:
+		target := uint64(uint32(ins.Imm))
+		if ins.Op == isa.OpCallr {
+			target = m.reg(ins.Rs1)
+		}
+		newSP := sp - isa.WordSize
+		m.emit(h, EvCall, pc, ins, newSP, isa.WordSize, target, sp, true)
+		if newSP < m.StackBase-m.StackSize {
+			return m.trap(pc, "stack overflow: sp=%#x", newSP)
+		}
+		m.Regs[isa.RegSP] = newSP
+		m.Mem.WriteUint64(newSP, next)
+		next = target
+
+	case isa.OpRet:
+		retPC := m.Mem.ReadUint64(sp)
+		m.emit(h, EvReturn, pc, ins, sp, isa.WordSize, retPC, sp, true)
+		m.Regs[isa.RegSP] = sp + isa.WordSize
+		next = retPC
+
+	case isa.OpSetp:
+		m.emit(h, EvPlain, pc, ins, 0, 0, 0, sp, true)
+		m.Pred = m.reg(ins.Rs1)
+
+	case isa.OpSyscall:
+		m.emit(h, EvPlain, pc, ins, 0, 0, 0, sp, true)
+		if m.syscalls == nil {
+			return m.trap(pc, "syscall %d with no handler", ins.Imm)
+		}
+		if err := m.syscalls.Syscall(m, ins.Imm); err != nil {
+			return m.trap(pc, "syscall %d: %v", ins.Imm, err)
+		}
+
+	default:
+		return m.trap(pc, "unimplemented opcode %v", ins.Op)
+	}
+
+	m.PC = next
+	return nil
+}
+
+// eventKind classifies an instruction for a skipped (predicated-false)
+// event.
+func eventKind(ins isa.Instr) EventKind {
+	switch {
+	case ins.IsMemRead():
+		return EvRead
+	case ins.IsMemWrite():
+		return EvWrite
+	case ins.IsCall():
+		return EvCall
+	case ins.IsReturn():
+		return EvReturn
+	}
+	return EvPlain
+}
+
+func branchTarget(pc uint64, imm int32) uint64 {
+	return pc + isa.InstrSize + uint64(int64(imm))*isa.InstrSize
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Run executes until the program halts, traps, or maxInstr instructions
+// have been executed (0 means no budget).  It returns ErrFuel when the
+// budget runs out.
+func (m *Machine) Run(maxInstr uint64) error {
+	for !m.Halted {
+		if maxInstr != 0 && m.ICount >= maxInstr {
+			return ErrFuel
+		}
+		if err := m.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,415 @@
+package vm_test
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"tquad/internal/isa"
+	"tquad/internal/vm"
+)
+
+// load assembles raw instructions at the given base and resets the
+// machine there.
+func load(m *vm.Machine, base uint64, code []isa.Instr) {
+	var buf []byte
+	for _, in := range code {
+		buf = in.EncodeTo(buf)
+	}
+	m.Mem.Write(base, buf)
+	m.Reset(base)
+}
+
+// run executes until halt or failure.
+func run(t *testing.T, m *vm.Machine) {
+	t.Helper()
+	if err := m.Run(1_000_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestALUAgainstGoSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	type binop struct {
+		op isa.Op
+		f  func(a, b uint64) uint64
+	}
+	ops := []binop{
+		{isa.OpAdd, func(a, b uint64) uint64 { return a + b }},
+		{isa.OpSub, func(a, b uint64) uint64 { return a - b }},
+		{isa.OpMul, func(a, b uint64) uint64 { return a * b }},
+		{isa.OpAnd, func(a, b uint64) uint64 { return a & b }},
+		{isa.OpOr, func(a, b uint64) uint64 { return a | b }},
+		{isa.OpXor, func(a, b uint64) uint64 { return a ^ b }},
+		{isa.OpShl, func(a, b uint64) uint64 { return a << (b & 63) }},
+		{isa.OpShr, func(a, b uint64) uint64 { return a >> (b & 63) }},
+		{isa.OpSar, func(a, b uint64) uint64 { return uint64(int64(a) >> (b & 63)) }},
+		{isa.OpSlt, func(a, b uint64) uint64 {
+			if int64(a) < int64(b) {
+				return 1
+			}
+			return 0
+		}},
+		{isa.OpSltu, func(a, b uint64) uint64 {
+			if a < b {
+				return 1
+			}
+			return 0
+		}},
+		{isa.OpSeq, func(a, b uint64) uint64 {
+			if a == b {
+				return 1
+			}
+			return 0
+		}},
+	}
+	for trial := 0; trial < 200; trial++ {
+		o := ops[rng.Intn(len(ops))]
+		a, b := rng.Uint64(), rng.Uint64()
+		if rng.Intn(4) == 0 {
+			b = uint64(rng.Intn(70)) // exercise shift edge cases
+		}
+		m := vm.New()
+		load(m, 0x1000, []isa.Instr{
+			{Op: o.op, Rd: 10, Rs1: 8, Rs2: 9},
+			{Op: isa.OpHalt, Rs1: 10},
+		})
+		m.Regs[8], m.Regs[9] = a, b
+		run(t, m)
+		if got, want := uint64(m.ExitCode), o.f(a, b); got != want {
+			t.Fatalf("%v(%#x,%#x) = %#x, want %#x", o.op, a, b, got, want)
+		}
+	}
+}
+
+func TestFloatOpsAgainstGoSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	fb := math.Float64bits
+	type unop struct {
+		op isa.Op
+		f  func(a float64) float64
+	}
+	ops := []unop{
+		{isa.OpFneg, func(a float64) float64 { return -a }},
+		{isa.OpFabs, math.Abs},
+		{isa.OpFsqrt, math.Sqrt},
+		{isa.OpFsin, math.Sin},
+		{isa.OpFcos, math.Cos},
+	}
+	for trial := 0; trial < 100; trial++ {
+		o := ops[rng.Intn(len(ops))]
+		a := rng.NormFloat64() * 100
+		m := vm.New()
+		load(m, 0x1000, []isa.Instr{
+			{Op: o.op, Rd: 10, Rs1: 8},
+			{Op: isa.OpHalt, Rs1: 10},
+		})
+		m.Regs[8] = fb(a)
+		run(t, m)
+		if got, want := uint64(m.ExitCode), fb(o.f(a)); got != want {
+			t.Fatalf("%v(%g): got %#x want %#x", o.op, a, got, want)
+		}
+	}
+	// I2f / F2i.
+	m := vm.New()
+	load(m, 0x1000, []isa.Instr{
+		{Op: isa.OpI2f, Rd: 10, Rs1: 8},
+		{Op: isa.OpFadd, Rd: 10, Rs1: 10, Rs2: 9},
+		{Op: isa.OpF2i, Rd: 10, Rs1: 10},
+		{Op: isa.OpHalt, Rs1: 10},
+	})
+	m.Regs[8] = uint64(41)
+	m.Regs[9] = fb(1.75)
+	run(t, m)
+	if m.ExitCode != 42 { // trunc(41+1.75)
+		t.Fatalf("i2f/f2i chain = %d, want 42", m.ExitCode)
+	}
+}
+
+func TestZeroRegisterHardwired(t *testing.T) {
+	m := vm.New()
+	load(m, 0x1000, []isa.Instr{
+		{Op: isa.OpLdi, Rd: isa.RegZero, Imm: 77}, // write discarded
+		{Op: isa.OpAddi, Rd: 10, Rs1: isa.RegZero, Imm: 5},
+		{Op: isa.OpHalt, Rs1: 10},
+	})
+	run(t, m)
+	if m.ExitCode != 5 {
+		t.Fatalf("r0 not hard-wired to zero: got %d", m.ExitCode)
+	}
+}
+
+func TestBranchesAndLoop(t *testing.T) {
+	// sum = 0; for i = 10; i != 0; i-- { sum += i }  => 55
+	m := vm.New()
+	load(m, 0x1000, []isa.Instr{
+		{Op: isa.OpLdi, Rd: 8, Imm: 10},        // i
+		{Op: isa.OpLdi, Rd: 9, Imm: 0},         // sum
+		{Op: isa.OpAdd, Rd: 9, Rs1: 9, Rs2: 8}, // loop:
+		{Op: isa.OpAddi, Rd: 8, Rs1: 8, Imm: -1},
+		{Op: isa.OpBne, Rs1: 8, Rs2: isa.RegZero, Imm: -3},
+		{Op: isa.OpHalt, Rs1: 9},
+	})
+	run(t, m)
+	if m.ExitCode != 55 {
+		t.Fatalf("loop sum = %d, want 55", m.ExitCode)
+	}
+}
+
+func TestCallReturnStackDiscipline(t *testing.T) {
+	// main: call f; halt r10.   f: ldi r10, 7; ret
+	base := uint64(0x1000)
+	m := vm.New()
+	load(m, base, []isa.Instr{
+		{Op: isa.OpCall, Imm: int32(base + 3*isa.InstrSize)},
+		{Op: isa.OpHalt, Rs1: 10},
+		{Op: isa.OpNop},
+		{Op: isa.OpLdi, Rd: 10, Imm: 7}, // f:
+		{Op: isa.OpRet},
+	})
+	spBefore := m.SP()
+	run(t, m)
+	if m.ExitCode != 7 {
+		t.Fatalf("call/ret result = %d", m.ExitCode)
+	}
+	if m.SP() != spBefore {
+		t.Fatalf("SP not balanced: %#x vs %#x", m.SP(), spBefore)
+	}
+}
+
+func TestIndirectCall(t *testing.T) {
+	base := uint64(0x2000)
+	m := vm.New()
+	load(m, base, []isa.Instr{
+		{Op: isa.OpLdiu, Rd: 8, Imm: int32(base + 3*isa.InstrSize)},
+		{Op: isa.OpCallr, Rs1: 8},
+		{Op: isa.OpHalt, Rs1: 10},
+		{Op: isa.OpLdi, Rd: 10, Imm: 11},
+		{Op: isa.OpRet},
+	})
+	run(t, m)
+	if m.ExitCode != 11 {
+		t.Fatalf("callr result = %d", m.ExitCode)
+	}
+}
+
+func TestPredication(t *testing.T) {
+	m := vm.New()
+	load(m, 0x1000, []isa.Instr{
+		{Op: isa.OpLdi, Rd: 8, Imm: 1},
+		{Op: isa.OpLdi, Rd: 10, Imm: 0},
+		{Op: isa.OpSetp, Rs1: isa.RegZero},          // P = 0
+		{Op: isa.OpLdi, Pred: true, Rd: 10, Imm: 5}, // skipped
+		{Op: isa.OpSetp, Rs1: 8},                    // P = 1
+		{Op: isa.OpAddi, Pred: true, Rd: 10, Rs1: 10, Imm: 2},
+		{Op: isa.OpHalt, Rs1: 10},
+	})
+	run(t, m)
+	if m.ExitCode != 2 {
+		t.Fatalf("predication result = %d, want 2", m.ExitCode)
+	}
+	if m.ICount != 7 {
+		t.Fatalf("predicated-false must still count: ICount = %d, want 7", m.ICount)
+	}
+}
+
+func TestLd16St16Pair(t *testing.T) {
+	m := vm.New()
+	m.Mem.WriteUint64(0x8000, 0x1111)
+	m.Mem.WriteUint64(0x8008, 0x2222)
+	load(m, 0x1000, []isa.Instr{
+		{Op: isa.OpLdiu, Rd: 8, Imm: 0x8000},
+		{Op: isa.OpLd16, Rd: 10, Rs1: 8},           // r10, r11
+		{Op: isa.OpSt16, Rs1: 8, Rs2: 10, Imm: 64}, // copy pair to 0x8040
+		{Op: isa.OpAdd, Rd: 12, Rs1: 10, Rs2: 11},
+		{Op: isa.OpHalt, Rs1: 12},
+	})
+	run(t, m)
+	if m.ExitCode != 0x3333 {
+		t.Fatalf("ld16 pair sum = %#x", m.ExitCode)
+	}
+	if m.Mem.ReadUint64(0x8040) != 0x1111 || m.Mem.ReadUint64(0x8048) != 0x2222 {
+		t.Fatalf("st16 pair not stored")
+	}
+}
+
+func TestTraps(t *testing.T) {
+	cases := map[string][]isa.Instr{
+		"div0": {
+			{Op: isa.OpLdi, Rd: 8, Imm: 1},
+			{Op: isa.OpDiv, Rd: 9, Rs1: 8, Rs2: isa.RegZero},
+		},
+		"rem0": {
+			{Op: isa.OpLdi, Rd: 8, Imm: 1},
+			{Op: isa.OpRem, Rd: 9, Rs1: 8, Rs2: isa.RegZero},
+		},
+		"invalid-op": {
+			{Op: isa.OpJmp, Imm: 100}, // jump into zeroed memory
+		},
+	}
+	for name, code := range cases {
+		m := vm.New()
+		load(m, 0x1000, code)
+		err := m.Run(1000)
+		var trap *vm.Trap
+		if !errors.As(err, &trap) {
+			t.Errorf("%s: err = %v, want *vm.Trap", name, err)
+		}
+	}
+	// Syscall without a handler traps.
+	m := vm.New()
+	load(m, 0x1000, []isa.Instr{{Op: isa.OpSyscall, Imm: 1}})
+	if err := m.Run(10); err == nil {
+		t.Errorf("syscall without handler did not trap")
+	}
+}
+
+func TestStackOverflowTrap(t *testing.T) {
+	// Infinite recursion must hit the stack guard, not run forever.
+	base := uint64(0x1000)
+	m := vm.New()
+	m.StackSize = 1 << 12
+	load(m, base, []isa.Instr{
+		{Op: isa.OpCall, Imm: int32(base)},
+	})
+	err := m.Run(100_000)
+	var trap *vm.Trap
+	if !errors.As(err, &trap) {
+		t.Fatalf("err = %v, want stack-overflow trap", err)
+	}
+}
+
+func TestFuelExhaustion(t *testing.T) {
+	m := vm.New()
+	load(m, 0x1000, []isa.Instr{
+		{Op: isa.OpJmp, Imm: -1}, // tight infinite loop
+	})
+	if err := m.Run(5000); !errors.Is(err, vm.ErrFuel) {
+		t.Fatalf("err = %v, want ErrFuel", err)
+	}
+	if m.ICount != 5000 {
+		t.Fatalf("ICount = %d, want 5000", m.ICount)
+	}
+}
+
+// recordingProbe captures the dynamic event stream.
+type recordingProbe struct {
+	compiled int
+	events   []vm.Event
+}
+
+func (p *recordingProbe) Compile(pc uint64, ins isa.Instr) vm.Handler {
+	p.compiled++
+	return func(ev *vm.Event) {
+		p.events = append(p.events, *ev)
+	}
+}
+
+func TestProbeEventStream(t *testing.T) {
+	m := vm.New()
+	probe := &recordingProbe{}
+	m.SetProbe(probe)
+	load(m, 0x1000, []isa.Instr{
+		{Op: isa.OpLdiu, Rd: 8, Imm: 0x9000},
+		{Op: isa.OpSt4, Rs1: 8, Rs2: 9, Imm: 4},
+		{Op: isa.OpLd2, Rd: 9, Rs1: 8, Imm: 4},
+		{Op: isa.OpPrefetch, Rs1: 8},
+		{Op: isa.OpHalt},
+	})
+	run(t, m)
+	if probe.compiled != 5 {
+		t.Fatalf("compiled %d instructions, want 5", probe.compiled)
+	}
+	kinds := []vm.EventKind{vm.EvPlain, vm.EvWrite, vm.EvRead, vm.EvRead, vm.EvPlain}
+	if len(probe.events) != len(kinds) {
+		t.Fatalf("got %d events, want %d", len(probe.events), len(kinds))
+	}
+	for i, want := range kinds {
+		if probe.events[i].Kind != want {
+			t.Errorf("event %d kind = %v, want %v", i, probe.events[i].Kind, want)
+		}
+	}
+	w := probe.events[1]
+	if w.Addr != 0x9004 || w.Size != 4 {
+		t.Errorf("write event addr/size = %#x/%d", w.Addr, w.Size)
+	}
+	r := probe.events[2]
+	if r.Addr != 0x9004 || r.Size != 2 {
+		t.Errorf("read event addr/size = %#x/%d", r.Addr, r.Size)
+	}
+	if pf := probe.events[3]; !pf.Ins.IsPrefetch() || pf.Size != 8 {
+		t.Errorf("prefetch event malformed: %+v", pf)
+	}
+}
+
+func TestProbeCompileOncePerPC(t *testing.T) {
+	m := vm.New()
+	probe := &recordingProbe{}
+	m.SetProbe(probe)
+	load(m, 0x1000, []isa.Instr{
+		{Op: isa.OpLdi, Rd: 8, Imm: 100},
+		{Op: isa.OpAddi, Rd: 8, Rs1: 8, Imm: -1}, // loop body
+		{Op: isa.OpBne, Rs1: 8, Rs2: isa.RegZero, Imm: -2},
+		{Op: isa.OpHalt},
+	})
+	run(t, m)
+	if probe.compiled != 4 {
+		t.Fatalf("code cache failed: compiled %d static instructions, want 4", probe.compiled)
+	}
+	if len(probe.events) != 1+100*2+1 {
+		t.Fatalf("events = %d, want %d", len(probe.events), 1+100*2+1)
+	}
+}
+
+func TestDecodePerStepMatchesCached(t *testing.T) {
+	prog := []isa.Instr{
+		{Op: isa.OpLdi, Rd: 8, Imm: 50},
+		{Op: isa.OpAddi, Rd: 9, Rs1: 9, Imm: 3},
+		{Op: isa.OpAddi, Rd: 8, Rs1: 8, Imm: -1},
+		{Op: isa.OpBne, Rs1: 8, Rs2: isa.RegZero, Imm: -3},
+		{Op: isa.OpHalt, Rs1: 9},
+	}
+	m1 := vm.New()
+	load(m1, 0x1000, prog)
+	run(t, m1)
+	m2 := vm.New()
+	m2.CacheEnabled = false
+	load(m2, 0x1000, prog)
+	run(t, m2)
+	if m1.ExitCode != m2.ExitCode || m1.ICount != m2.ICount {
+		t.Fatalf("cache changes semantics: (%d,%d) vs (%d,%d)",
+			m1.ExitCode, m1.ICount, m2.ExitCode, m2.ICount)
+	}
+}
+
+func TestIsStackAddr(t *testing.T) {
+	m := vm.New()
+	sp := m.StackBase - 256
+	cases := []struct {
+		addr uint64
+		want bool
+	}{
+		{sp, true},
+		{sp + 128, true},
+		{m.StackBase - 1, true},
+		{m.StackBase, false},
+		{sp - 1, false},
+		{0x1000, false},
+	}
+	for _, c := range cases {
+		if got := m.IsStackAddr(c.addr, sp); got != c.want {
+			t.Errorf("IsStackAddr(%#x, sp=%#x) = %v, want %v", c.addr, sp, got, c.want)
+		}
+	}
+}
+
+func TestOverheadClock(t *testing.T) {
+	m := vm.New()
+	load(m, 0x1000, []isa.Instr{{Op: isa.OpHalt}})
+	m.ChargeOverhead(500)
+	run(t, m)
+	if m.Time() != m.ICount+500 {
+		t.Fatalf("Time() = %d, want ICount+500", m.Time())
+	}
+}

@@ -1,0 +1,938 @@
+package wfs
+
+import (
+	"math"
+
+	"tquad/internal/gos"
+	"tquad/internal/hl"
+	"tquad/internal/image"
+)
+
+// Build generates the WFS application's main image builder for the given
+// configuration.  All scenario constants are baked into the code as
+// immediates, as a compiled C build would.
+//
+// Kernel-by-kernel design notes (the memory-access *shapes* the paper
+// observes, and how this implementation produces them):
+//
+//   - wav_load reads the input file through a small reused staging buffer
+//     (large IN bytes, small IN UnMA) and writes every sample of the
+//     source array once (large OUT UnMA).
+//   - AudioIo_getFrames copies each source sample exactly once: IN bytes
+//     ≈ IN UnMA.
+//   - AudioIo_setFrames writes every interleaved output sample exactly
+//     once (OUT ≈ OUT UnMA) in a tight unrolled copy loop — the highest
+//     bytes-per-instruction kernel in the program, as in the paper.
+//   - zeroRealVec/zeroCplxVec touch-then-clear caller-provided buffers,
+//     most of which live on callers' stacks: their stack-included traffic
+//     exceeds the excluded one by orders of magnitude.
+//   - DelayLine_processChunk accumulates into a stack scratch frame
+//     before publishing to the speaker frames: stack-heavy, like the
+//     paper's ~10x inclusion ratio.
+//   - Filter_process_pre_ keeps its FIR window entirely in registers:
+//     stack-included and stack-excluded traffic are nearly identical.
+//   - wav_store re-reads the whole interleaved output from distinct
+//     addresses (huge IN UnMA), quantises with a small stack
+//     error-feedback buffer (stack traffic comparable to global) and
+//     funnels everything through one small global staging buffer (large
+//     OUT bytes, tiny OUT UnMA), active alone in the final phase.
+func Build(cfg Config) (*hl.Builder, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	b := hl.NewBuilder("hartes_wfs", image.Main)
+
+	n := int64(cfg.FrameSize)
+	fft := int64(cfg.FFTSize)
+	bits := int64(cfg.FFTBits())
+	spk := int64(cfg.Speakers)
+	frames := int64(cfg.Frames)
+	ring := int64(cfg.RingSize)
+	ringMask := ring - 1
+	totalIn := int64(cfg.TotalInputSamples())
+	totalOut := int64(cfg.TotalOutputSamples())
+	steps := (frames + int64(cfg.TrajPeriod) - 1) / int64(cfg.TrajPeriod)
+
+	// Global data segment.
+	staging := b.Global("staging", uint64(LoadChunk))
+	storeStaging := b.Global("store_staging", uint64(StoreChunk*2))
+	hdr := b.Global("hdr", 64)
+	srcData := b.Global("src_data", uint64(totalIn*8))
+	srcFrame := b.Global("src_frame", uint64(n*8))
+	inBlock := b.Global("in_block", uint64(fft*8))
+	fftBuf := b.Global("fft_buf", uint64(2*fft*8))
+	hMain := b.Global("H_main", uint64(2*fft*8))
+	smooth := b.Global("smooth", uint64(2*fft*8))
+	ringBuf := b.Global("ring", uint64(ring*8))
+	gainsTab := b.Global("gains_tab", uint64(steps*spk*2*8))
+	delaysTab := b.Global("delays_tab", uint64(steps*spk*8))
+	spkFrames := b.Global("speaker_frames", uint64(spk*n*8))
+	outData := b.Global("out_data", uint64(totalOut*8))
+	traj := b.Global("traj", 16)
+	spkPos := b.Global("spk_pos", uint64(spk*2*8))
+	preCoef := b.Global("pre_coef", uint64(PreTaps*8))
+	preState := b.Global("pre_state", uint64(PreTaps*8))
+	coefTime := b.Global("coef_time", uint64(FilterTaps*8))
+	// meters: 16 histogram bins + peak + rms + zero-crossing slots
+	// updated by wav_store's per-sample metering, and wav_load's
+	// DC/peak measurements.
+	meters := b.Global("meters", (16+4)*8)
+	// fft_bits / zero_eps: small runtime-config globals consulted by the
+	// hot helper kernels (giving them the modest non-stack traffic the
+	// paper's Table II records for them).
+	fftBits := b.Global("fft_bits", 8)
+	zeroEps := b.Global("zero_eps", 8)
+	// cfg_blob: a little config block ldint reads during initialization.
+	cfgBlob := b.GlobalData("cfg_blob", []byte{
+		byte(cfg.Speakers), byte(cfg.Speakers >> 8), byte(cfg.Speakers >> 16), byte(cfg.Speakers >> 24),
+		0, 0, 0, 0,
+	})
+
+	// ldint(ptr): load a 32-bit little-endian integer — the paper's
+	// single-call configuration reader.
+	b.Func("ldint", 1, func(f *hl.Fn) {
+		f.Ret(f.Ld4(f.Param(0), 0))
+	})
+
+	// dist2d(dx, dy): Euclidean distance (arguments and result are raw
+	// float64 bit patterns).
+	b.Func("dist2d", 2, func(f *hl.Fn) {
+		dx, dy := f.Param(0), f.Param(1)
+		f.Ret(f.Fsqrt(f.Fadd(f.Fmul(dx, dx), f.Fmul(dy, dy))))
+	})
+
+	// bitrev(x, bits): reverse the low `bits` bits of x — called once per
+	// element per FFT, the program's most-called kernel; a pure
+	// register-only helper.
+	b.Func("bitrev", 2, func(f *hl.Fn) {
+		x, nb := f.Param(0), f.Param(1)
+		r := f.Local()
+		k := f.Local()
+		f.SetI(r, 0)
+		f.ForRange(k, 0, nb, func() {
+			f.Set(r, f.Or(f.ShlI(r, 1), f.AndI(x, 1)))
+			f.Set(x, f.ShrI(x, 1))
+		})
+		f.Ret(r)
+	})
+
+	// perm(buf, n): apply the bit-reversal permutation to an interleaved
+	// complex array in place.
+	b.Func("perm", 2, func(f *hl.Fn) {
+		buf, nn := f.Param(0), f.Param(1)
+		nb := f.Local()
+		f.Set(nb, f.Ld8(f.GAddr(fftBits), 0))
+		i := f.Local()
+		ar := f.Local()
+		ai := f.Local()
+		f.ForRange(i, 0, nn, func() {
+			j := f.Call("bitrev", i, nb)
+			f.If(f.Slt(i, j), func() {
+				f.Set(ar, f.Ld8(f.Add(buf, f.ShlI(i, 4)), 0))
+				f.Set(ai, f.Ld8(f.Add(buf, f.ShlI(i, 4)), 8))
+				f.St8(f.Add(buf, f.ShlI(i, 4)), 0, f.Ld8(f.Add(buf, f.ShlI(j, 4)), 0))
+				f.St8(f.Add(buf, f.ShlI(i, 4)), 8, f.Ld8(f.Add(buf, f.ShlI(j, 4)), 8))
+				f.St8(f.Add(buf, f.ShlI(j, 4)), 0, ar)
+				f.St8(f.Add(buf, f.ShlI(j, 4)), 8, ai)
+			})
+		})
+		f.Ret0()
+	})
+
+	// fft1d(buf, n, isign): in-place radix-2 Danielson-Lanczos FFT on an
+	// interleaved complex array.  Each stage precomputes its twiddle
+	// factors into a stack-resident table that the butterfly loop reads
+	// back per butterfly — the locally-allocated scratch that gives
+	// fft1d its stack-inclusion traffic with an unchanged UnMA footprint
+	// (Table II: "the UnMAs reported in the two cases remain
+	// identical").
+	b.Func("fft1d", 3, func(f *hl.Fn) {
+		const twCap = 32 // stack twiddle-table entries
+		buf, nn, isign := f.Param(0), f.Param(1), f.Param(2)
+		twOff := f.Alloca(twCap * 16)
+		f.CallV("perm", buf, nn)
+		signf := f.Local()
+		f.Set(signf, f.I2f(isign))
+		tw := f.Local()
+		mmax := f.Local()
+		istep := f.Local()
+		m := f.Local()
+		theta := f.Local()
+		wr := f.Local()
+		wi := f.Local()
+		i := f.Local()
+		pi := f.Local()
+		pj := f.Local()
+		djr := f.Local()
+		dji := f.Local()
+		dir := f.Local()
+		dii := f.Local()
+		tr := f.Local()
+		ti := f.Local()
+		// bfly emits one butterfly at index i with the twiddle already in
+		// wr/wi, advancing i by istep.
+		bfly := func() {
+			f.Set(pi, f.Add(buf, f.ShlI(i, 4)))
+			f.Set(pj, f.Add(buf, f.ShlI(f.Add(i, mmax), 4)))
+			f.Set(djr, f.Ld8(pj, 0))
+			f.Set(dji, f.Ld8(pj, 8))
+			f.Set(dir, f.Ld8(pi, 0))
+			f.Set(dii, f.Ld8(pi, 8))
+			f.Set(tr, f.Fsub(f.Fmul(wr, djr), f.Fmul(wi, dji)))
+			f.Set(ti, f.Fadd(f.Fmul(wr, dji), f.Fmul(wi, djr)))
+			f.St8(pj, 0, f.Fsub(dir, tr))
+			f.St8(pj, 8, f.Fsub(dii, ti))
+			f.St8(pi, 0, f.Fadd(dir, tr))
+			f.St8(pi, 8, f.Fadd(dii, ti))
+			f.Set(i, f.Add(i, istep))
+		}
+		setTheta := func() {
+			f.Set(theta, f.Fdiv(f.Fmul(f.ConstF(math.Pi), f.I2f(m)), f.I2f(mmax)))
+		}
+		f.SetI(mmax, 1)
+		f.While(func() hl.Reg { return f.Slt(mmax, nn) }, func() {
+			f.Set(istep, f.ShlI(mmax, 1))
+			f.If(f.SltI(mmax, twCap+1), func() {
+				// Small stages: twiddles precomputed into the stack
+				// table and reloaded per butterfly.
+				f.Set(tw, f.FrameAddr(twOff))
+				f.SetI(m, 0)
+				f.While(func() hl.Reg { return f.Slt(m, mmax) }, func() {
+					setTheta()
+					f.St8(f.Add(tw, f.ShlI(m, 4)), 0, f.Fcos(theta))
+					f.St8(f.Add(tw, f.ShlI(m, 4)), 8, f.Fmul(f.Fsin(theta), signf))
+					f.Set(m, f.AddI(m, 1))
+				})
+				f.SetI(m, 0)
+				f.While(func() hl.Reg { return f.Slt(m, mmax) }, func() {
+					f.Set(i, m)
+					f.While(func() hl.Reg { return f.Slt(i, nn) }, func() {
+						f.Set(wr, f.Ld8(f.Add(tw, f.ShlI(m, 4)), 0))
+						f.Set(wi, f.Ld8(f.Add(tw, f.ShlI(m, 4)), 8))
+						bfly()
+					})
+					f.Set(m, f.AddI(m, 1))
+				})
+			}, func() {
+				// Large stages: too many twiddles to cache on the
+				// stack; compute each group's factor in registers.
+				f.SetI(m, 0)
+				f.While(func() hl.Reg { return f.Slt(m, mmax) }, func() {
+					setTheta()
+					f.Set(wr, f.Fcos(theta))
+					f.Set(wi, f.Fmul(f.Fsin(theta), signf))
+					f.Set(i, m)
+					f.While(func() hl.Reg { return f.Slt(i, nn) }, func() {
+						bfly()
+					})
+					f.Set(m, f.AddI(m, 1))
+				})
+			})
+			f.Set(mmax, istep)
+		})
+		f.Ret0()
+	})
+
+	// cadd(pa, pb, pdst): complex addition through memory, the per-bin
+	// helper of Filter_process.
+	b.Func("cadd", 3, func(f *hl.Fn) {
+		pa, pb, pd := f.Param(0), f.Param(1), f.Param(2)
+		re := f.Local()
+		im := f.Local()
+		f.Set(re, f.Fadd(f.Ld8(pa, 0), f.Ld8(pb, 0)))
+		f.Set(im, f.Fadd(f.Ld8(pa, 8), f.Ld8(pb, 8)))
+		f.St8(pd, 0, re)
+		f.St8(pd, 8, im)
+		f.Ret0()
+	})
+
+	// cmult(pa, pb, pdst): complex multiplication through memory.
+	b.Func("cmult", 3, func(f *hl.Fn) {
+		pa, pb, pd := f.Param(0), f.Param(1), f.Param(2)
+		ar := f.Local()
+		ai := f.Local()
+		br := f.Local()
+		bi := f.Local()
+		f.Set(ar, f.Ld8(pa, 0))
+		f.Set(ai, f.Ld8(pa, 8))
+		f.Set(br, f.Ld8(pb, 0))
+		f.Set(bi, f.Ld8(pb, 8))
+		f.St8(pd, 0, f.Fsub(f.Fmul(ar, br), f.Fmul(ai, bi)))
+		f.St8(pd, 8, f.Fadd(f.Fmul(ar, bi), f.Fmul(ai, br)))
+		f.Ret0()
+	})
+
+	// zeroRealVec(ptr, n): touch-then-clear n float64 slots.  The read
+	// before the clearing store reproduces the original kernel's
+	// behaviour of "nearly reading all the time from the local memory"
+	// when handed stack-resident buffers.
+	b.Func("zeroRealVec", 2, func(f *hl.Fn) {
+		ptr, nn := f.Param(0), f.Param(1)
+		eps := f.Local()
+		f.Set(eps, f.Ld8(f.GAddr(zeroEps), 0))
+		_ = eps
+		i := f.Local()
+		p := f.Local()
+		f.ForRange(i, 0, nn, func() {
+			f.Set(p, f.Add(ptr, f.ShlI(i, 3)))
+			f.Set(p, f.Add(p, f.AndI(f.Ld8(p, 0), 0))) // touch (read) the slot
+			f.St8(p, 0, f.Zero())
+		})
+		f.Ret0()
+	})
+
+	// zeroCplxVec(ptr, n): touch-then-clear n complex (2n float64) slots.
+	b.Func("zeroCplxVec", 2, func(f *hl.Fn) {
+		ptr, nn := f.Param(0), f.Param(1)
+		eps := f.Local()
+		f.Set(eps, f.Ld8(f.GAddr(zeroEps), 0))
+		_ = eps
+		i := f.Local()
+		lim := f.Local()
+		p := f.Local()
+		f.Set(lim, f.ShlI(nn, 1))
+		f.ForRange(i, 0, lim, func() {
+			f.Set(p, f.Add(ptr, f.ShlI(i, 3)))
+			f.Set(p, f.Add(p, f.AndI(f.Ld8(p, 0), 0)))
+			f.St8(p, 0, f.Zero())
+		})
+		f.Ret0()
+	})
+
+	// r2c(src, dst, n): expand n reals into an interleaved complex array
+	// (imaginary lanes zeroed).
+	b.Func("r2c", 3, func(f *hl.Fn) {
+		src, dst, nn := f.Param(0), f.Param(1), f.Param(2)
+		i := f.Local()
+		f.ForRange(i, 0, nn, func() {
+			f.St8(f.Add(dst, f.ShlI(i, 4)), 0, f.Ld8(f.Add(src, f.ShlI(i, 3)), 0))
+			f.St8(f.Add(dst, f.ShlI(i, 4)), 8, f.Zero())
+		})
+		f.Ret0()
+	})
+
+	// c2r(src, dst, n): gather n real lanes, scaled by 1/FFTSize (the
+	// inverse-transform normalisation).
+	b.Func("c2r", 3, func(f *hl.Fn) {
+		src, dst, nn := f.Param(0), f.Param(1), f.Param(2)
+		i := f.Local()
+		scale := f.Local()
+		f.SetF(scale, 1.0/float64(cfg.FFTSize))
+		f.ForRange(i, 0, nn, func() {
+			f.St8(f.Add(dst, f.ShlI(i, 3)), 0,
+				f.Fmul(f.Ld8(f.Add(src, f.ShlI(i, 4)), 0), scale))
+		})
+		f.Ret0()
+	})
+
+	// SecondarySource_init: place the speaker array on a line centred at
+	// the origin.
+	b.Func("SecondarySource_init", 0, func(f *hl.Fn) {
+		s := f.Local()
+		base := f.Local()
+		f.Set(base, f.GAddr(spkPos))
+		f.ForRangeI(s, 0, spk, func() {
+			x := f.Fmul(f.Fsub(f.I2f(s), f.ConstF(float64(cfg.Speakers)/2)), f.ConstF(SpeakerSpacing))
+			f.St8(f.Add(base, f.ShlI(s, 4)), 0, x)
+			f.St8(f.Add(base, f.ShlI(s, 4)), 8, f.Zero())
+		})
+		f.Ret0()
+	})
+
+	// Filter_init: build the windowed-sinc main-filter taps and the
+	// pre-emphasis coefficients.
+	b.Func("Filter_init", 0, func(f *hl.Fn) {
+		ct := f.Local()
+		f.Set(ct, f.GAddr(coefTime))
+		t := f.Local()
+		mid := int64(FilterTaps-1) / 2
+		v := f.Local()
+		f.ForRangeI(t, 0, FilterTaps, func() {
+			m := f.Local()
+			f.Set(m, f.AddI(t, -mid))
+			f.If(f.Seq(m, f.Zero()), func() {
+				f.SetF(v, 2*FilterCutoff)
+			}, func() {
+				mf := f.Local()
+				f.Set(mf, f.I2f(m))
+				arg := f.Local()
+				f.Set(arg, f.Fmul(f.ConstF(2*math.Pi*FilterCutoff*0.5), mf))
+				f.Set(v, f.Fdiv(f.Fsin(arg), f.Fmul(f.ConstF(math.Pi), mf)))
+			})
+			// Hamming window.
+			w := f.Local()
+			f.Set(w, f.Fsub(f.ConstF(0.54),
+				f.Fmul(f.ConstF(0.46),
+					f.Fcos(f.Fmul(f.ConstF(2*math.Pi/float64(FilterTaps-1)), f.I2f(t))))))
+			f.St8(f.Add(ct, f.ShlI(t, 3)), 0, f.Fmul(v, w))
+		})
+		// Pre-emphasis FIR: 1, then a decaying negative tail.
+		pc := f.Local()
+		f.Set(pc, f.GAddr(preCoef))
+		c := f.Local()
+		f.SetF(c, -0.35)
+		f.St8(pc, 0, f.ConstF(1.0))
+		f.ForRangeI(t, 1, PreTaps, func() {
+			f.St8(f.Add(pc, f.ShlI(t, 3)), 0, c)
+			f.Set(c, f.Fmul(c, f.ConstF(0.5)))
+		})
+		f.Ret0()
+	})
+
+	// ffw(which): forward-transform a filter into the frequency domain
+	// and refine it.  which=0 installs the spectrum into H_main; which=1
+	// builds the equalisation spectrum and multiplies it into H_main.
+	b.Func("ffw", 1, func(f *hl.Fn) {
+		which := f.Param(0)
+		fb := f.Local()
+		f.Set(fb, f.GAddr(fftBuf))
+		f.CallV("memset8", fb, f.Zero(), f.Const(2*fft))
+		ct := f.Local()
+		f.Set(ct, f.GAddr(coefTime))
+		t := f.Local()
+		f.ForRangeI(t, 0, FilterTaps, func() {
+			f.St8(f.Add(fb, f.ShlI(t, 4)), 0, f.Ld8(f.Add(ct, f.ShlI(t, 3)), 0))
+		})
+		f.CallV("fft1d", fb, f.Const(fft), f.Const(1))
+		// Spectral refinement: repeated in-place three-point smoothing
+		// over the bins (sequential, wrap-around).
+		p := f.Local()
+		bpos := f.Local()
+		re := f.Local()
+		im := f.Local()
+		f.ForRangeI(p, 0, FfwPasses, func() {
+			f.ForRangeI(bpos, 0, fft, func() {
+				prev := f.Local()
+				next := f.Local()
+				f.Set(prev, f.AndI(f.AddI(bpos, fft-1), fft-1))
+				f.Set(next, f.AndI(f.AddI(bpos, 1), fft-1))
+				pb := f.Local()
+				f.Set(pb, f.Add(fb, f.ShlI(bpos, 4)))
+				pp := f.Local()
+				f.Set(pp, f.Add(fb, f.ShlI(prev, 4)))
+				pn := f.Local()
+				f.Set(pn, f.Add(fb, f.ShlI(next, 4)))
+				f.Set(re, f.Fadd(f.Fmul(f.Ld8(pb, 0), f.ConstF(0.98)),
+					f.Fadd(f.Fmul(f.Ld8(pp, 0), f.ConstF(0.01)), f.Fmul(f.Ld8(pn, 0), f.ConstF(0.01)))))
+				f.Set(im, f.Fadd(f.Fmul(f.Ld8(pb, 8), f.ConstF(0.98)),
+					f.Fadd(f.Fmul(f.Ld8(pp, 8), f.ConstF(0.01)), f.Fmul(f.Ld8(pn, 8), f.ConstF(0.01)))))
+				f.St8(pb, 0, re)
+				f.St8(pb, 8, im)
+			})
+		})
+		hm := f.Local()
+		f.Set(hm, f.GAddr(hMain))
+		f.If(f.Seq(which, f.Zero()), func() {
+			f.ForRangeI(bpos, 0, fft, func() {
+				f.Set(p, f.ShlI(bpos, 4))
+				f.St8(f.Add(hm, p), 0, f.Ld8(f.Add(fb, p), 0))
+				f.St8(f.Add(hm, p), 8, f.Ld8(f.Add(fb, p), 8))
+			})
+		}, func() {
+			// H_main *= H_eq, complex, in place.
+			f.ForRangeI(bpos, 0, fft, func() {
+				f.Set(p, f.ShlI(bpos, 4))
+				hr := f.Local()
+				hi := f.Local()
+				xr := f.Local()
+				xi := f.Local()
+				f.Set(hr, f.Ld8(f.Add(hm, p), 0))
+				f.Set(hi, f.Ld8(f.Add(hm, p), 8))
+				f.Set(xr, f.Ld8(f.Add(fb, p), 0))
+				f.Set(xi, f.Ld8(f.Add(fb, p), 8))
+				f.St8(f.Add(hm, p), 0, f.Fsub(f.Fmul(hr, xr), f.Fmul(hi, xi)))
+				f.St8(f.Add(hm, p), 8, f.Fadd(f.Fmul(hr, xi), f.Fmul(hi, xr)))
+			})
+		})
+		f.Ret0()
+	})
+
+	// wav_readHeader: parse the 44-byte RIFF header staged in hdr and
+	// return the data-chunk length in bytes.
+	b.Func("wav_readHeader", 0, func(f *hl.Fn) {
+		h := f.Local()
+		f.Set(h, f.GAddr(hdr))
+		// Fields read for validation (channels, rate); values unused
+		// beyond a sanity check against zero.
+		ch := f.Local()
+		f.Set(ch, f.Ld2(h, 22))
+		f.If(f.Seq(ch, f.Zero()), func() {
+			f.Ret(f.Const(-1))
+		})
+		f.Ret(f.Ld4(h, 40))
+	})
+
+	// wav_load: read the input WAVE file through the staging buffer and
+	// expand PCM16 samples into the float64 source array.  Returns the
+	// sample count.
+	b.Func("wav_load", 0, func(f *hl.Fn) {
+		nameA, nameL := f.Str(cfg.InputFile)
+		nm := f.Local()
+		f.Set(nm, nameA)
+		fd := f.Call("open_r", nm, f.Const(nameL))
+		f.If(f.SltI(fd, 0), func() { f.Ret(f.Const(-1)) })
+		hd := f.Local()
+		f.Set(hd, f.GAddr(hdr))
+		f.CallV("read_full", fd, hd, f.Const(44))
+		dataLen := f.Call("wav_readHeader")
+		nsamp := f.Local()
+		f.Set(nsamp, f.Sar(dataLen, f.Const(1)))
+		sd := f.Local()
+		f.Set(sd, f.GAddr(srcData))
+		st := f.Local()
+		f.Set(st, f.GAddr(staging))
+		idx := f.Local()
+		f.SetI(idx, 0)
+		done := f.Local()
+		f.SetI(done, 0)
+		k := f.Local()
+		scale := f.Local()
+		f.SetF(scale, 1.0/32768.0)
+		f.While(func() hl.Reg {
+			return f.And(f.Seq(done, f.Zero()), f.Slt(idx, nsamp))
+		}, func() {
+			want := f.Call("imin", f.Const(LoadChunk), f.ShlI(f.Sub(nsamp, idx), 1))
+			got := f.Call("read_full", fd, st, want)
+			f.If(f.SltI(got, 1), func() {
+				f.SetI(done, 1)
+			}, func() {
+				f.SetI(k, 0)
+				f.While(func() hl.Reg { return f.Slt(k, got) }, func() {
+					v := f.Ld2s(f.Add(st, k), 0)
+					f.St8(f.Add(sd, f.ShlI(idx, 3)), 0, f.Fmul(f.I2f(v), scale))
+					f.Inc(k, 2)
+					f.Inc(idx, 1)
+				})
+			})
+		})
+		f.Syscall(gos.SysClose, fd)
+		// Second pass: DC-offset and peak measurement over the decoded
+		// signal (metering only, no effect on the pipeline).
+		dc := f.Local()
+		pk := f.Local()
+		f.SetF(dc, 0)
+		f.SetF(pk, 0)
+		f.SetI(k, 0)
+		f.While(func() hl.Reg { return f.Slt(k, idx) }, func() {
+			v := f.Local()
+			f.Set(v, f.Ld8(f.Add(sd, f.ShlI(k, 3)), 0))
+			f.Set(dc, f.Fadd(dc, v))
+			f.Set(pk, f.Fmax(pk, f.Fabs(v)))
+			f.Inc(k, 1)
+		})
+		mt := f.Local()
+		f.Set(mt, f.GAddr(meters))
+		f.St8(mt, 19*8, dc)
+		f.Ret(idx)
+	})
+
+	// AudioIo_getFrames(frame): stage the frame's source samples.
+	b.Func("AudioIo_getFrames", 1, func(f *hl.Fn) {
+		fr := f.Param(0)
+		src := f.Local()
+		f.Set(src, f.Add(f.GAddr(srcData), f.ShlI(f.MulI(fr, n), 3)))
+		dst := f.Local()
+		f.Set(dst, f.GAddr(srcFrame))
+		i := f.Local()
+		f.ForRangeI(i, 0, n, func() {
+			f.St8(f.Add(dst, f.ShlI(i, 3)), 0, f.Ld8(f.Add(src, f.ShlI(i, 3)), 0))
+		})
+		f.Ret0()
+	})
+
+	// PrimarySource_deriveTP(step): integrate the primary source's motion
+	// over one trajectory step (Euler substeps) and publish its position.
+	b.Func("PrimarySource_deriveTP", 1, func(f *hl.Fn) {
+		step := f.Param(0)
+		ang := f.Local()
+		f.Set(ang, f.Fmul(f.I2f(step), f.ConstF(0.12)))
+		// Euler substeps refine the angle (models trajectory
+		// interpolation work over the step's samples).
+		i := f.Local()
+		f.ForRangeI(i, 0, n*TrajSubstepFactor, func() {
+			f.Set(ang, f.Fadd(ang, f.ConstF(0.12/float64(cfg.FrameSize*TrajSubstepFactor))))
+		})
+		tr := f.Local()
+		f.Set(tr, f.GAddr(traj))
+		f.St8(tr, 0, f.Fmul(f.ConstF(SourceRadius), f.Fcos(ang)))
+		f.St8(tr, 8, f.Fadd(f.ConstF(SourceDistance),
+			f.Fmul(f.ConstF(SourceRadius*0.5), f.Fsin(ang))))
+		f.Ret0()
+	})
+
+	// calculateGainPQ(step, s): distance law gain and propagation delay
+	// for speaker s at trajectory step `step`.
+	b.Func("calculateGainPQ", 2, func(f *hl.Fn) {
+		step, s := f.Param(0), f.Param(1)
+		sp := f.Local()
+		f.Set(sp, f.Add(f.GAddr(spkPos), f.ShlI(s, 4)))
+		tr := f.Local()
+		f.Set(tr, f.GAddr(traj))
+		dx := f.Local()
+		dy := f.Local()
+		f.Set(dx, f.Fsub(f.Ld8(tr, 0), f.Ld8(sp, 0)))
+		f.Set(dy, f.Fsub(f.Ld8(tr, 8), f.Ld8(sp, 8)))
+		d := f.Call("dist2d", dx, dy)
+		g := f.Local()
+		f.Set(g, f.Fdiv(f.ConstF(GainQ), f.Fadd(f.ConstF(RefDistance), d)))
+		// Path integration: accumulate air absorption along the
+		// propagation path.
+		att := f.Local()
+		f.SetF(att, 1.0)
+		k := f.Local()
+		f.ForRangeI(k, 0, PathSteps, func() {
+			f.Set(att, f.Fmul(att, f.ConstF(0.98)))
+		})
+		f.Set(g, f.Fmul(g, f.Fadd(f.ConstF(0.75), f.Fmul(f.ConstF(0.25), att))))
+		gp := f.Local()
+		f.Set(gp, f.Add(f.GAddr(gainsTab), f.ShlI(f.Add(f.MulI(step, spk), s), 4)))
+		f.St8(gp, 0, g)
+		f.St8(gp, 8, f.Fmul(g, f.ConstF(0.5)))
+		del := f.Local()
+		f.Set(del, f.F2i(f.Fmul(d, f.ConstF(float64(cfg.SampleRate)/SoundSpeed))))
+		del2 := f.Call("imin", del, f.Const(ring-n-1))
+		dp := f.Local()
+		f.Set(dp, f.Add(f.GAddr(delaysTab), f.ShlI(f.Add(f.MulI(step, spk), s), 3)))
+		f.St8(dp, 0, del2)
+		f.Ret0()
+	})
+
+	// vsmult2d(ptr, n, scalar): scale n 2-vectors in place (applies the
+	// master volume to a gain pair).
+	b.Func("vsmult2d", 3, func(f *hl.Fn) {
+		ptr, nn, sc := f.Param(0), f.Param(1), f.Param(2)
+		i := f.Local()
+		p := f.Local()
+		f.ForRange(i, 0, nn, func() {
+			f.Set(p, f.Add(ptr, f.ShlI(i, 4)))
+			f.St8(p, 0, f.Fmul(f.Ld8(p, 0), sc))
+			f.St8(p, 8, f.Fmul(f.Ld8(p, 8), sc))
+		})
+		f.Ret0()
+	})
+
+	// Filter_process_pre_: 8-tap pre-emphasis FIR over the staged frame,
+	// window kept entirely in registers (stack-included and -excluded
+	// traffic nearly identical, as the paper observes for this kernel).
+	b.Func("Filter_process_pre_", 0, func(f *hl.Fn) {
+		sf := f.Local()
+		f.Set(sf, f.GAddr(srcFrame))
+		ps := f.Local()
+		f.Set(ps, f.GAddr(preState))
+		pc := f.Local()
+		f.Set(pc, f.GAddr(preCoef))
+		// Window x0..x7 and coefficients c0..c7 in registers.
+		x := make([]hl.Reg, PreTaps)
+		c := make([]hl.Reg, PreTaps)
+		for t := 0; t < PreTaps; t++ {
+			x[t] = f.Local()
+			c[t] = f.Local()
+		}
+		for t := 1; t < PreTaps; t++ {
+			f.Set(x[t], f.Ld8(ps, int64(t)*8))
+		}
+		for t := 0; t < PreTaps; t++ {
+			f.Set(c[t], f.Ld8(pc, int64(t)*8))
+		}
+		i := f.Local()
+		acc := f.Local()
+		f.ForRangeI(i, 0, n, func() {
+			f.Set(x[0], f.Ld8(f.Add(sf, f.ShlI(i, 3)), 0))
+			f.Set(acc, f.Fmul(c[0], x[0]))
+			for t := 1; t < PreTaps; t++ {
+				f.Set(acc, f.Fadd(acc, f.Fmul(c[t], x[t])))
+			}
+			f.St8(f.Add(sf, f.ShlI(i, 3)), 0, acc)
+			for t := PreTaps - 1; t >= 1; t-- {
+				f.Set(x[t], x[t-1])
+			}
+		})
+		for t := 1; t < PreTaps; t++ {
+			f.St8(ps, int64(t)*8, x[t])
+		}
+		f.Ret0()
+	})
+
+	// Filter_process(frame): overlap-save FFT convolution of the staged
+	// frame with H_main, with per-bin spectral smoothing through the
+	// cadd/cmult helpers, output written into the delay-line ring.
+	b.Func("Filter_process", 1, func(f *hl.Fn) {
+		fr := f.Param(0)
+		specOff := f.Alloca(uint64(2 * fft * 8))
+		sp := f.Local()
+		f.Set(sp, f.FrameAddr(specOff))
+		f.CallV("zeroCplxVec", sp, f.Const(fft))
+		i := f.Local()
+		// Second half of the overlap block is the fresh frame.
+		f.ForRangeI(i, 0, n, func() {
+			f.St8(f.Add(f.GAddr(inBlock), f.ShlI(f.AddI(i, n), 3)), 0,
+				f.Ld8(f.Add(f.GAddr(srcFrame), f.ShlI(i, 3)), 0))
+		})
+		f.CallV("r2c", f.GAddr(inBlock), f.GAddr(fftBuf), f.Const(fft))
+		f.CallV("fft1d", f.GAddr(fftBuf), f.Const(fft), f.Const(1))
+		bpos := f.Local()
+		off := f.Local()
+		f.ForRangeI(bpos, 0, fft, func() {
+			f.Set(off, f.ShlI(bpos, 4))
+			// Raw products land in the stack-resident spectrum scratch.
+			f.CallV("cmult", f.Add(f.GAddr(fftBuf), off), f.Add(f.GAddr(hMain), off), f.Add(sp, off))
+			f.CallV("cadd", f.Add(sp, off), f.Add(f.GAddr(smooth), off), f.Add(f.GAddr(fftBuf), off))
+			// Refresh the smoothing state from the raw product.
+			f.St8(f.Add(f.GAddr(smooth), off), 0, f.Fmul(f.Ld8(f.Add(sp, off), 0), f.ConstF(SmoothAlpha)))
+			f.St8(f.Add(f.GAddr(smooth), off), 8, f.Fmul(f.Ld8(f.Add(sp, off), 8), f.ConstF(SmoothAlpha)))
+		})
+		f.CallV("fft1d", f.GAddr(fftBuf), f.Const(fft), f.Const(-1))
+		// Publish the valid last N samples into the ring at this frame's
+		// write position.
+		wb := f.Local()
+		f.Set(wb, f.AndI(f.MulI(fr, n), ringMask))
+		f.CallV("c2r", f.Add(f.GAddr(fftBuf), f.Const(n*16)),
+			f.Add(f.GAddr(ringBuf), f.ShlI(wb, 3)), f.Const(n))
+		// Slide the overlap block for the next frame.
+		f.ForRangeI(i, 0, n, func() {
+			f.St8(f.Add(f.GAddr(inBlock), f.ShlI(i, 3)), 0,
+				f.Ld8(f.Add(f.GAddr(inBlock), f.ShlI(f.AddI(i, n), 3)), 0))
+		})
+		f.Ret0()
+	})
+
+	// DelayLine_processChunk(frame): for every speaker, accumulate the
+	// delayed, gain-scaled ring contents into a stack scratch frame, then
+	// publish it to the speaker frame matrix.  The MIMO delay line of the
+	// paper's phase four.
+	b.Func("DelayLine_processChunk", 1, func(f *hl.Fn) {
+		fr := f.Param(0)
+		tmpOff := f.Alloca(uint64(n * 8))
+		rb := f.Local()
+		f.Set(rb, f.GAddr(ringBuf))
+		wb := f.Local()
+		f.Set(wb, f.MulI(fr, n)) // absolute sample position of frame start
+		step := f.Local()
+		f.Set(step, f.Div(fr, f.Const(int64(cfg.TrajPeriod))))
+		s := f.Local()
+		i := f.Local()
+		g := f.Local()
+		del := f.Local()
+		ta := f.Local()
+		sfr := f.Local()
+		f.Set(sfr, f.GAddr(spkFrames))
+		f.ForRangeI(s, 0, spk, func() {
+			f.Set(ta, f.FrameAddr(tmpOff))
+			f.CallV("zeroRealVec", ta, f.Const(n))
+			f.Set(g, f.Ld8(f.Add(f.GAddr(gainsTab), f.ShlI(f.Add(f.MulI(step, spk), s), 4)), 0))
+			f.Set(del, f.Ld8(f.Add(f.GAddr(delaysTab), f.ShlI(f.Add(f.MulI(step, spk), s), 3)), 0))
+			f.ForRangeI(i, 0, n, func() {
+				idx := f.Local()
+				f.Set(idx, f.AndI(f.Sub(f.Add(wb, i), del), ringMask))
+				rp := f.Local()
+				f.Set(rp, f.Add(rb, f.ShlI(idx, 3)))
+				f.Prefetch(rp, 64)
+				tp := f.Local()
+				f.Set(tp, f.Add(ta, f.ShlI(i, 3)))
+				f.St8(tp, 0, f.Fadd(f.Ld8(tp, 0), f.Fmul(g, f.Ld8(rp, 0))))
+			})
+			f.ForRangeI(i, 0, n, func() {
+				f.St8(f.Add(sfr, f.ShlI(f.Add(f.MulI(i, spk), s), 3)), 0,
+					f.Ld8(f.Add(ta, f.ShlI(i, 3)), 0))
+			})
+		})
+		f.Ret0()
+	})
+
+	// AudioIo_setFrames(frame): copy the interleaved speaker frames into
+	// this frame's slot of the output matrix — a tight 4-way-unrolled
+	// wide-move burst writing every output address exactly once (the
+	// paper's standout bandwidth kernel, peaking far above all others).
+	b.Func("AudioIo_setFrames", 1, func(f *hl.Fn) {
+		fr := f.Param(0)
+		sp0 := f.Local()
+		f.Set(sp0, f.GAddr(spkFrames))
+		ob := f.Local()
+		// Output pointer for sample 0 of this frame.
+		f.Set(ob, f.Add(f.GAddr(outData), f.ShlI(f.MulI(f.MulI(fr, n), spk), 3)))
+		end := f.Local()
+		f.Set(end, f.AddI(sp0, n*spk*8))
+		f.While(func() hl.Reg { return f.Slt(sp0, end) }, func() {
+			f.Cpy16(ob, 0, sp0, 0)
+			f.Cpy16(ob, 16, sp0, 16)
+			f.Cpy16(ob, 32, sp0, 32)
+			f.Cpy16(ob, 48, sp0, 48)
+			f.Set(sp0, f.AddI(sp0, 64))
+			f.Set(ob, f.AddI(ob, 64))
+		})
+		f.Ret0()
+	})
+
+	// wav_writeHeader: build the output RIFF header in the hdr staging
+	// area (all sizes are compile-time constants of the scenario).
+	b.Func("wav_writeHeader", 0, func(f *hl.Fn) {
+		h := f.Local()
+		f.Set(h, f.GAddr(hdr))
+		dataLen := totalOut * 2
+		put4 := func(off int64, v int64) { f.St4(h, off, f.Const(v)) }
+		put2 := func(off int64, v int64) { f.St2(h, off, f.Const(v)) }
+		putTag := func(off int64, tag string) {
+			for k, ch := range []byte(tag) {
+				f.St1(h, off+int64(k), f.Const(int64(ch)))
+			}
+		}
+		putTag(0, "RIFF")
+		put4(4, 36+dataLen)
+		putTag(8, "WAVE")
+		putTag(12, "fmt ")
+		put4(16, 16)
+		put2(20, 1)
+		put2(22, spk)
+		put4(24, int64(cfg.SampleRate))
+		put4(28, int64(cfg.SampleRate)*spk*2)
+		put2(32, spk*2)
+		put2(34, 16)
+		putTag(36, "data")
+		put4(40, dataLen)
+		f.Ret0()
+	})
+
+	// wav_store: quantise the interleaved float64 output with
+	// error-feedback noise shaping (stack-resident error history) and
+	// stream it through the small global staging buffer to the output
+	// file — the single call that owns the final execution phase.
+	b.Func("wav_store", 0, func(f *hl.Fn) {
+		f.CallV("wav_writeHeader")
+		nameA, nameL := f.Str(cfg.OutputFile)
+		nm := f.Local()
+		f.Set(nm, nameA)
+		fd := f.Call("open_w", nm, f.Const(nameL))
+		f.CallV("write_all", fd, f.GAddr(hdr), f.Const(44))
+		errOff := f.Alloca(NoiseShapeTaps * 8)
+		ea := f.Local()
+		f.Set(ea, f.FrameAddr(errOff))
+		for t := int64(0); t < NoiseShapeTaps; t++ {
+			f.St8(ea, t*8, f.Zero())
+		}
+		od := f.Local()
+		f.Set(od, f.GAddr(outData))
+		st := f.Local()
+		f.Set(st, f.GAddr(storeStaging))
+		mt := f.Local()
+		f.Set(mt, f.GAddr(meters))
+		idx := f.Local()
+		fill := f.Local()
+		q := f.Local()
+		scaled := f.Local()
+		peak := f.Local()
+		rms := f.Local()
+		zc := f.Local()
+		lastSign := f.Local()
+		f.SetF(peak, 0)
+		f.SetF(rms, 0)
+		f.SetI(zc, 0)
+		f.SetI(lastSign, 0)
+		f.SetI(fill, 0)
+		f.ForRangeI(idx, 0, totalOut, func() {
+			v := f.Local()
+			f.Set(v, f.Ld8(f.Add(od, f.ShlI(idx, 3)), 0))
+			// Output metering: peak, RMS accumulation, zero crossings
+			// and a level histogram (global read-modify-write).
+			f.Set(peak, f.Fmax(peak, f.Fabs(v)))
+			f.Set(rms, f.Fadd(rms, f.Fmul(v, v)))
+			sign := f.Local()
+			f.Set(sign, f.Flt(v, f.Zero()))
+			f.If(f.Xor(sign, lastSign), func() {
+				f.Set(zc, f.AddI(zc, 1))
+			})
+			f.Set(lastSign, sign)
+			corr := f.Local()
+			f.Set(corr, f.Fmul(f.Fadd(f.Ld8(ea, 0), f.Ld8(ea, 8)), f.ConstF(0.25)))
+			f.Set(scaled, f.Fadd(f.Fmul(v, f.ConstF(32767.0)), corr))
+			f.If(f.Flt(scaled, f.Zero()), func() {
+				f.Set(q, f.F2i(f.Fsub(scaled, f.ConstF(0.5))))
+			}, func() {
+				f.Set(q, f.F2i(f.Fadd(scaled, f.ConstF(0.5))))
+			})
+			f.If(f.Slt(f.Const(32767), q), func() { f.SetI(q, 32767) })
+			f.If(f.Slt(q, f.Const(-32768)), func() { f.SetI(q, -32768) })
+			// Histogram bin: top 4 magnitude bits of the quantised
+			// sample, offset to 0..15.
+			bin := f.Local()
+			f.Set(bin, f.AndI(f.AddI(f.Sar(q, f.Const(12)), 8), 15))
+			hp := f.Local()
+			f.Set(hp, f.Add(mt, f.ShlI(bin, 3)))
+			f.St8(hp, 0, f.AddI(f.Ld8(hp, 0), 1))
+			// Error feedback: shift the stack history.
+			f.St8(ea, 8, f.Ld8(ea, 0))
+			f.St8(ea, 0, f.Fsub(scaled, f.I2f(q)))
+			f.St2(f.Add(st, f.ShlI(fill, 1)), 0, q)
+			f.Inc(fill, 1)
+			f.If(f.Seq(fill, f.Const(StoreChunk)), func() {
+				f.CallV("write_all", fd, st, f.Const(StoreChunk*2))
+				f.SetI(fill, 0)
+			})
+		})
+		f.If(f.Slt(f.Zero(), fill), func() {
+			f.CallV("write_all", fd, st, f.ShlI(fill, 1))
+		})
+		// Publish the meters.
+		f.St8(mt, 16*8, peak)
+		f.St8(mt, 17*8, rms)
+		f.St8(mt, 18*8, zc)
+		f.Syscall(gos.SysClose, fd)
+		f.Ret0()
+	})
+
+	// wfs_init: one-time setup — the initialization phase.
+	b.Func("wfs_init", 0, func(f *hl.Fn) {
+		cfgA := f.Local()
+		f.Set(cfgA, f.GAddr(cfgBlob))
+		nspk := f.Call("ldint", cfgA)
+		f.If(f.Seq(nspk, f.Zero()), func() { f.Ret(f.Const(-1)) })
+		f.St8(f.GAddr(fftBits), 0, f.Const(bits))
+		f.St8(f.GAddr(zeroEps), 0, f.ConstF(1e-12))
+		f.CallV("SecondarySource_init")
+		f.CallV("Filter_init")
+		f.CallV("memset8", f.GAddr(preState), f.Zero(), f.Const(PreTaps))
+		f.CallV("memset8", f.GAddr(smooth), f.Zero(), f.Const(2*fft))
+		f.CallV("memset8", f.GAddr(inBlock), f.Zero(), f.Const(fft))
+		f.CallV("ffw", f.Const(0))
+		f.CallV("ffw", f.Const(1))
+		f.Ret0()
+	})
+
+	// wave_propagation: precompute trajectory, gains and delays for every
+	// trajectory step — the paper's third phase.
+	b.Func("wave_propagation", 0, func(f *hl.Fn) {
+		step := f.Local()
+		s := f.Local()
+		f.ForRangeI(step, 0, steps, func() {
+			f.CallV("PrimarySource_deriveTP", step)
+			f.ForRangeI(s, 0, spk, func() {
+				f.CallV("calculateGainPQ", step, s)
+				f.CallV("vsmult2d",
+					f.Add(f.GAddr(gainsTab), f.ShlI(f.Add(f.MulI(step, spk), s), 4)),
+					f.Const(1), f.ConstF(MasterVolume))
+			})
+		})
+		f.Ret0()
+	})
+
+	// main: the program skeleton — init, load, propagation, the frame
+	// loop, save.
+	b.Func("main", 0, func(f *hl.Fn) {
+		rc := f.Call("wfs_init")
+		f.If(f.SltI(rc, 0), func() { f.Ret(f.Const(1)) })
+		got := f.Call("wav_load")
+		f.If(f.Slt(got, f.Const(totalIn)), func() { f.Ret(f.Const(2)) })
+		f.CallV("wave_propagation")
+		fr := f.Local()
+		f.ForRangeI(fr, 0, frames, func() {
+			f.CallV("AudioIo_getFrames", fr)
+			f.CallV("Filter_process_pre_")
+			f.CallV("Filter_process", fr)
+			f.CallV("DelayLine_processChunk", fr)
+			f.CallV("AudioIo_setFrames", fr)
+		})
+		f.CallV("wav_store")
+		f.Ret(f.Zero())
+	})
+
+	return b, nil
+}

@@ -1,0 +1,99 @@
+package wfs
+
+import (
+	"fmt"
+
+	"tquad/internal/glibc"
+	"tquad/internal/gos"
+	"tquad/internal/hl"
+	"tquad/internal/vm"
+	"tquad/internal/wav"
+)
+
+// Workload is a linked WFS program plus its deterministic input file,
+// ready to be instantiated on fresh machines any number of times (one per
+// profiling configuration).
+type Workload struct {
+	Cfg   Config
+	Prog  *hl.Program
+	Input *wav.File
+}
+
+// NewWorkload builds and links the guest program (app + libc) and
+// synthesises its input signal.
+func NewWorkload(cfg Config) (*Workload, error) {
+	app, err := Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := hl.Link(app, glibc.Builder())
+	if err != nil {
+		return nil, fmt.Errorf("wfs: link: %w", err)
+	}
+	return &Workload{
+		Cfg:   cfg,
+		Prog:  prog,
+		Input: wav.Synth(cfg.SampleRate, cfg.TotalInputSamples()),
+	}, nil
+}
+
+// NewMachine instantiates a fresh machine and OS with the program loaded
+// and the input file installed.  The machine is reset to the entry point;
+// attach instrumentation before calling Run.
+func (w *Workload) NewMachine() (*vm.Machine, *gos.OS) {
+	m := vm.New()
+	osys := gos.New()
+	osys.AddFile(w.Cfg.InputFile, wav.Encode(w.Input))
+	m.SetSyscallHandler(osys)
+	for _, img := range w.Prog.Images() {
+		m.LoadImage(img)
+	}
+	m.Reset(w.Prog.EntryPC)
+	return m, osys
+}
+
+// MaxInstr is a generous instruction budget for one run of any supported
+// configuration.
+const MaxInstr = 2_000_000_000
+
+// RunNative executes the workload uninstrumented.
+func (w *Workload) RunNative() (*vm.Machine, *gos.OS, error) {
+	m, osys := w.NewMachine()
+	if err := m.Run(MaxInstr); err != nil {
+		return m, osys, err
+	}
+	if m.ExitCode != 0 {
+		return m, osys, fmt.Errorf("wfs: guest exited with code %d", m.ExitCode)
+	}
+	return m, osys, nil
+}
+
+// Output decodes the guest's output file from the simulated file system.
+func (w *Workload) Output(osys *gos.OS) (*wav.File, error) {
+	raw, ok := osys.File(w.Cfg.OutputFile)
+	if !ok {
+		return nil, fmt.Errorf("wfs: guest produced no %s", w.Cfg.OutputFile)
+	}
+	return wav.Decode(raw)
+}
+
+// KernelNames lists the paper's kernel inventory (the main-image
+// routines the case study reports on), in Table I order.
+func KernelNames() []string {
+	return []string{
+		"wav_store", "fft1d", "DelayLine_processChunk", "bitrev",
+		"zeroRealVec", "AudioIo_setFrames", "perm", "cadd", "cmult",
+		"Filter_process", "wav_load", "Filter_process_pre_", "zeroCplxVec",
+		"r2c", "c2r", "AudioIo_getFrames", "ffw", "vsmult2d",
+		"calculateGainPQ", "PrimarySource_deriveTP", "ldint",
+	}
+}
+
+// TopTenKernels are the kernels plotted in Figure 6.
+func TopTenKernels() []string { return KernelNames()[:10] }
+
+// LastTenKernels are the kernels plotted in Figure 7.
+func LastTenKernels() []string {
+	names := KernelNames()
+	return names[len(names)-10:]
+}

@@ -1,0 +1,125 @@
+package wfs_test
+
+import (
+	"testing"
+
+	"tquad/internal/gos"
+	"tquad/internal/image"
+	"tquad/internal/vm"
+	"tquad/internal/wav"
+	"tquad/internal/wfs"
+)
+
+// TestKernelInventory: every kernel of the paper's Tables I/II exists as
+// a symbol in the main image, and the image layout is sane.
+func TestKernelInventory(t *testing.T) {
+	w, err := wfs.NewWorkload(wfs.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	main := w.Prog.Main
+	if main.Kind != image.Main {
+		t.Fatalf("main image kind = %v", main.Kind)
+	}
+	for _, name := range wfs.KernelNames() {
+		r, ok := main.Lookup(name)
+		if !ok {
+			t.Errorf("kernel %s missing from the main image symbol table", name)
+			continue
+		}
+		if !main.ContainsPC(r.Entry) || !main.ContainsPC(r.End-1) {
+			t.Errorf("kernel %s range [%#x,%#x) outside image", name, r.Entry, r.End)
+		}
+	}
+	if len(wfs.KernelNames()) != 21 {
+		t.Errorf("kernel inventory has %d names, want the paper's 21", len(wfs.KernelNames()))
+	}
+	if got := len(wfs.TopTenKernels()); got != 10 {
+		t.Errorf("top-ten list has %d entries", got)
+	}
+	if got := len(wfs.LastTenKernels()); got != 10 {
+		t.Errorf("last-ten list has %d entries", got)
+	}
+	// The program has a healthy routine population (app + helpers).
+	if n := len(main.Routines()); n < 28 {
+		t.Errorf("main image has only %d routines", n)
+	}
+	// The libc image is separate and marked as a library.
+	if len(w.Prog.Libs) != 1 || w.Prog.Libs[0].Kind != image.Library {
+		t.Fatalf("library image missing")
+	}
+}
+
+// TestWorkloadDeterminism: two machines built from the same workload
+// produce identical outputs and instruction counts.
+func TestWorkloadDeterminism(t *testing.T) {
+	w, err := wfs.NewWorkload(wfs.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() (uint64, []byte) {
+		m, osys := w.NewMachine()
+		if err := m.Run(wfs.MaxInstr); err != nil {
+			t.Fatal(err)
+		}
+		out, _ := osys.File(w.Cfg.OutputFile)
+		return m.ICount, out
+	}
+	ic1, out1 := run()
+	ic2, out2 := run()
+	if ic1 != ic2 {
+		t.Fatalf("instruction counts differ: %d vs %d", ic1, ic2)
+	}
+	if string(out1) != string(out2) {
+		t.Fatalf("outputs differ across runs")
+	}
+}
+
+// TestImageSerialisationExecutes: the marshalled binary reloads and runs
+// identically — tQUAD genuinely needs only "the binary machine code of
+// the application".
+func TestImageSerialisationExecutes(t *testing.T) {
+	w, err := wfs.NewWorkload(wfs.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serialise and reload both images.
+	var reloaded []*image.Image
+	for _, img := range w.Prog.Images() {
+		got, err := image.Unmarshal(img.Marshal())
+		if err != nil {
+			t.Fatalf("unmarshal %s: %v", img.Name, err)
+		}
+		reloaded = append(reloaded, got)
+	}
+	m := vm.New()
+	osys := gos.New()
+	osys.AddFile(w.Cfg.InputFile, wav.Encode(w.Input))
+	m.SetSyscallHandler(osys)
+	for _, img := range reloaded {
+		m.LoadImage(img)
+	}
+	m.Reset(w.Prog.EntryPC)
+	if err := m.Run(wfs.MaxInstr); err != nil {
+		t.Fatalf("reloaded binary: %v", err)
+	}
+	if m.ExitCode != 0 {
+		t.Fatalf("reloaded binary exit code %d", m.ExitCode)
+	}
+}
+
+func TestLastTenDoNotOverlapTopTen(t *testing.T) {
+	top := map[string]bool{}
+	for _, k := range wfs.TopTenKernels() {
+		top[k] = true
+	}
+	overlap := 0
+	for _, k := range wfs.LastTenKernels() {
+		if top[k] {
+			overlap++
+		}
+	}
+	if overlap != 0 {
+		t.Errorf("top/last kernel sets overlap by %d", overlap)
+	}
+}

@@ -1,0 +1,81 @@
+package wfs_test
+
+import (
+	"testing"
+
+	"tquad/internal/dsp"
+	"tquad/internal/wfs"
+)
+
+func TestConfigValidate(t *testing.T) {
+	for _, cfg := range []wfs.Config{wfs.Small(), wfs.Study()} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("config %+v invalid: %v", cfg, err)
+		}
+	}
+	bad := wfs.Small()
+	bad.FFTSize = 300
+	if err := bad.Validate(); err == nil {
+		t.Errorf("expected error for non-power-of-two FFT size")
+	}
+	bad = wfs.Small()
+	bad.RingSize = 256
+	if err := bad.Validate(); err == nil {
+		t.Errorf("expected error for tiny ring")
+	}
+}
+
+// TestGuestMatchesReference is the central correctness check of the whole
+// substrate: the WFS program compiled to guest machine code and executed
+// on the VM must produce the same PCM output as the host-side reference
+// implementation, bit for bit.
+func TestGuestMatchesReference(t *testing.T) {
+	w, err := wfs.NewWorkload(wfs.Small())
+	if err != nil {
+		t.Fatalf("workload: %v", err)
+	}
+	m, osys, err := w.RunNative()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	t.Logf("guest executed %d instructions, %d heap bytes, %d mem pages",
+		m.ICount, osys.HeapUsed(), m.Mem.PageCount())
+
+	out, err := w.Output(osys)
+	if err != nil {
+		t.Fatalf("output: %v", err)
+	}
+	if out.Channels != w.Cfg.Speakers {
+		t.Fatalf("output channels = %d, want %d", out.Channels, w.Cfg.Speakers)
+	}
+	if out.SampleRate != w.Cfg.SampleRate {
+		t.Fatalf("output rate = %d, want %d", out.SampleRate, w.Cfg.SampleRate)
+	}
+	want := dsp.Reference(w.Cfg, w.Input.Samples)
+	if len(out.Samples) != len(want) {
+		t.Fatalf("output length = %d samples, want %d", len(out.Samples), len(want))
+	}
+	mismatches := 0
+	for i := range want {
+		if out.Samples[i] != want[i] {
+			mismatches++
+			if mismatches <= 5 {
+				t.Errorf("sample %d: guest %d, reference %d", i, out.Samples[i], want[i])
+			}
+		}
+	}
+	if mismatches > 0 {
+		t.Fatalf("%d/%d samples differ from the host reference", mismatches, len(want))
+	}
+	// The output must not be silence (the pipeline actually did
+	// something).
+	nonzero := 0
+	for _, s := range out.Samples {
+		if s != 0 {
+			nonzero++
+		}
+	}
+	if nonzero < len(out.Samples)/10 {
+		t.Fatalf("output is (nearly) silent: %d/%d non-zero", nonzero, len(out.Samples))
+	}
+}
