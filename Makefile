@@ -1,0 +1,21 @@
+# Standard developer entry points; see README.md ("Development").
+GO ?= go
+
+.PHONY: build test vet race bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-hammers the observability layer (shared metrics registry + tracer).
+race:
+	$(GO) test -race ./internal/obs/...
+
+# One pass over every table/figure benchmark plus the obs on/off pair.
+bench:
+	$(GO) test -bench . -benchtime 1x

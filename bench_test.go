@@ -13,6 +13,7 @@ import (
 
 	"tquad/internal/core"
 	"tquad/internal/imgproc"
+	"tquad/internal/obs"
 	"tquad/internal/pin"
 	"tquad/internal/shadow"
 	"tquad/internal/study"
@@ -210,6 +211,40 @@ func BenchmarkNativeExecution(b *testing.B) {
 		instr = m.ICount
 	}
 	b.ReportMetric(float64(instr), "guest_instructions")
+}
+
+// BenchmarkRunObsOff / BenchmarkRunObsOn measure the observability
+// layer's cost on a full tQUAD run of the wfs study workload.  ObsOff is
+// the disabled path (nil observer: nil-receiver fast path everywhere) and
+// must show no measurable regression against the seed; ObsOn carries a
+// live registry and tracer and reports the exported metric count.
+func BenchmarkRunObsOff(b *testing.B) {
+	benchObsRun(b, nil)
+}
+
+func BenchmarkRunObsOn(b *testing.B) {
+	benchObsRun(b, obs.NewObserver())
+}
+
+func benchObsRun(b *testing.B, o *obs.Observer) {
+	s, err := study.NewObserved(wfs.Study(), o)
+	if err != nil {
+		b.Fatalf("study: %v", err)
+	}
+	iv, err := s.SliceForCount(64)
+	if err != nil {
+		b.Fatalf("slice: %v", err)
+	}
+	for i := 0; i < b.N; i++ {
+		prof, _, err := s.TQUAD(core.Options{SliceInterval: iv, IncludeStack: true})
+		if err != nil {
+			b.Fatalf("tQUAD: %v", err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(prof.TotalInstr), "guest_instructions")
+			b.ReportMetric(float64(len(o.Registry().Snapshot())), "metrics_exported")
+		}
+	}
 }
 
 // BenchmarkImgprocPipeline measures the second case-study workload (the

@@ -7,6 +7,12 @@
 //	tquad [-config small|study] [-slice N] [-stack include|exclude]
 //	      [-ignore-libs] [-metric reads|writes|both] [-kernels top|last|all]
 //	      [-width N] [-csv]
+//	      [-metrics FILE] [-trace FILE] [-journal FILE]
+//
+// -metrics writes a Prometheus text-format snapshot, -trace a
+// chrome://tracing-compatible JSON trace of the pipeline stages (open it
+// at chrome://tracing or https://ui.perfetto.dev), and -journal a JSONL
+// event journal of spans and metrics.
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"sort"
 
 	"tquad/internal/core"
+	"tquad/internal/obs"
 	"tquad/internal/pin"
 	"tquad/internal/plot"
 	"tquad/internal/report"
@@ -39,6 +46,9 @@ func main() {
 		csv        = flag.Bool("csv", false, "emit raw per-slice CSV instead of charts")
 		jsonFile   = flag.String("json", "", "also write the full profile as JSON to this file")
 		svgFile    = flag.String("svg", "", "render the bandwidth heatmap (the paper's figure) as SVG to this file")
+		metricsOut = flag.String("metrics", "", "write a Prometheus text-format metrics snapshot to this file")
+		traceOut   = flag.String("trace", "", "write a chrome://tracing JSON trace of the pipeline stages to this file")
+		journalOut = flag.String("journal", "", "write a JSONL event journal (spans + metrics) to this file")
 	)
 	flag.Parse()
 
@@ -51,10 +61,18 @@ func main() {
 		log.Fatalf("bad -stack %q", *stack)
 	}
 
-	w, err := wfs.NewWorkload(cfg)
+	// The observer stays nil (zero-cost) unless an export was requested.
+	var o *obs.Observer
+	if *metricsOut != "" || *traceOut != "" || *journalOut != "" {
+		o = obs.NewObserver()
+	}
+	run := o.Tracer().Start("run")
+
+	w, err := wfs.NewWorkloadObserved(cfg, o.Tracer())
 	if err != nil {
 		log.Fatal(err)
 	}
+	instrument := o.Tracer().Start("instrument")
 	m, _ := w.NewMachine()
 	e := pin.NewEngine(m)
 	interval := *slice
@@ -74,10 +92,41 @@ func main() {
 		IncludeStack:  includeStack,
 		ExcludeLibs:   *ignoreLibs,
 	})
+	instrument.End()
+
+	execute := o.Tracer().Start("execute")
 	if err := m.Run(wfs.MaxInstr); err != nil {
 		log.Fatalf("run: %v", err)
 	}
+	execute.SetInstr(m.ICount)
+	execute.SetBytes(m.MemStats.ReadBytes() + m.MemStats.WriteBytes())
+	execute.End()
+
+	snapshot := o.Tracer().Start("snapshot")
 	prof := tool.Snapshot()
+	snapshot.SetInstr(prof.TotalInstr)
+	snapshot.End()
+	// finish closes the run span, publishes the per-run metrics and writes
+	// the requested export files; it must run on every exit path that
+	// produced a profile.
+	finish := func(reportSpan *obs.Span) {
+		reportSpan.End()
+		run.End()
+		if o == nil {
+			return
+		}
+		m.PublishMetrics(o.Metrics)
+		e.PublishMetrics(o.Metrics)
+		tool.PublishMetrics(o.Metrics)
+		if prof.TotalInstr > 0 {
+			o.Metrics.Gauge("tquad_run_slowdown").Set(float64(m.Time()) / float64(prof.TotalInstr))
+		}
+		if err := o.WriteFiles(*metricsOut, *traceOut, *journalOut); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	reportSpan := o.Tracer().Start("report")
 	if *jsonFile != "" {
 		fh, err := os.Create(*jsonFile)
 		if err != nil {
@@ -107,6 +156,7 @@ func main() {
 
 	if *csv {
 		emitCSV(prof, names, *metric, includeStack)
+		finish(reportSpan)
 		return
 	}
 	if *metric == "reads" || *metric == "both" {
@@ -131,6 +181,16 @@ func main() {
 			report.F(st.AvgRead), report.F(st.AvgWrite), report.F(st.MaxRW))
 	}
 	fmt.Print(t.String())
+
+	// End-of-run overhead accounting — the live analogue of the paper's
+	// Table III / Section V.A breakdown.
+	fmt.Println()
+	fmt.Print(tool.Breakdown().String())
+	finish(reportSpan)
+	if o != nil {
+		fmt.Println()
+		fmt.Print("pipeline stages:\n" + study.RenderSpans(o.Spans))
+	}
 }
 
 func pickConfig(name string) (wfs.Config, error) {

@@ -5,7 +5,12 @@
 //
 // Usage:
 //
-//	wfsstudy [-config small|study]
+//	wfsstudy [-config small|study] [-metrics FILE] [-trace FILE] [-journal FILE]
+//
+// -metrics writes a Prometheus text-format snapshot of every run's
+// counters, -trace a chrome://tracing JSON timeline of the pipeline
+// stages, and -journal a JSONL event journal.  Counters accumulate over
+// the whole study (process-lifetime totals across all runs).
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 
 	"tquad/internal/cluster"
 	"tquad/internal/core"
+	"tquad/internal/obs"
 	"tquad/internal/study"
 	"tquad/internal/wfs"
 )
@@ -23,6 +29,9 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("wfsstudy: ")
 	config := flag.String("config", "study", "workload configuration: small or study")
+	metricsOut := flag.String("metrics", "", "write a Prometheus text-format metrics snapshot to this file")
+	traceOut := flag.String("trace", "", "write a chrome://tracing JSON trace of the pipeline stages to this file")
+	journalOut := flag.String("journal", "", "write a JSONL event journal (spans + metrics) to this file")
 	flag.Parse()
 
 	var cfg wfs.Config
@@ -35,7 +44,13 @@ func main() {
 		log.Fatalf("unknown config %q", *config)
 	}
 
-	s, err := study.New(cfg)
+	// The observer stays nil (zero-cost) unless an export was requested.
+	var o *obs.Observer
+	if *metricsOut != "" || *traceOut != "" || *journalOut != "" {
+		o = obs.NewObserver()
+	}
+
+	s, err := study.NewObserved(cfg, o)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -137,4 +152,14 @@ func main() {
 		fmt.Printf("cluster %d (intra %d bytes): %v\n", i+1, c.IntraBytes, c.Kernels)
 	}
 	fmt.Printf("inter-cluster communication: %d bytes\n", res.InterBytes)
+
+	if o != nil {
+		if err := o.WriteFiles(*metricsOut, *traceOut, *journalOut); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+		fmt.Println("### Observability — pipeline stages and aggregate overhead")
+		fmt.Println()
+		fmt.Print(study.RenderObsSummary(o))
+	}
 }

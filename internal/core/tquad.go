@@ -17,9 +17,11 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 
 	"tquad/internal/callstack"
+	"tquad/internal/obs"
 	"tquad/internal/pin"
 )
 
@@ -126,6 +128,13 @@ type Tool struct {
 	lastIC    uint64 // ICount at the previous attributed event
 	// Snapshots counts slice-boundary snapshot operations.
 	Snapshots uint64
+	// Per-path analysis-call counters — the measured analogue of the
+	// paper's Table III overhead breakdown.  Each path charges its own
+	// simulated cost (CostTrace/CostSkip/CostPrefetch per call,
+	// CostSnapshot per Snapshots increment).
+	TraceCalls    uint64 // full tracing path
+	SkipCalls     uint64 // early-discard path (no kernel, or stack access excluded)
+	PrefetchCalls uint64 // prefetch fast path ("return immediately")
 }
 
 // Attach wires a tQUAD tool onto the engine.  Call before running the
@@ -178,6 +187,7 @@ func (t *Tool) instruction(ins *pin.INS) {
 	case ins.IsMemoryRead():
 		ins.InsertPredicatedCall(func(ctx *pin.Context) {
 			if ctx.Prefetch && !t.opts.TracePrefetches {
+				t.PrefetchCalls++
 				m.ChargeOverhead(t.opts.CostPrefetch)
 				return
 			}
@@ -186,6 +196,7 @@ func (t *Tool) instruction(ins *pin.INS) {
 	case ins.IsMemoryWrite():
 		ins.InsertPredicatedCall(func(ctx *pin.Context) {
 			if ctx.Prefetch {
+				t.PrefetchCalls++
 				m.ChargeOverhead(t.opts.CostPrefetch)
 				return
 			}
@@ -205,14 +216,17 @@ func (t *Tool) account(ctx *pin.Context, isRead, isStack bool) {
 	t.lastIC = m.ICount
 	fr, ok := t.stack.Current()
 	if !ok {
+		t.SkipCalls++
 		m.ChargeOverhead(t.opts.CostSkip)
 		return
 	}
 	if !t.opts.IncludeStack && isStack {
+		t.SkipCalls++
 		m.ChargeOverhead(t.opts.CostSkip)
 		t.chargeInstr(fr.Name, m.ICount/t.opts.SliceInterval, delta)
 		return
 	}
+	t.TraceCalls++
 	m.ChargeOverhead(t.opts.CostTrace)
 	id := t.kernelID(fr.Name)
 	ks := t.series[id]
@@ -438,4 +452,99 @@ func (p *Profile) ActiveSet(slice uint64) []string {
 		}
 	}
 	return names
+}
+
+// OverheadBreakdown itemises the simulated analysis cost the tool charged
+// to the machine — the live, measured analogue of the paper's Table III
+// overhead breakdown (Section V.A).  Each component is calls x unit cost
+// in instruction-equivalents.
+type OverheadBreakdown struct {
+	SliceInterval uint64
+
+	TraceCalls    uint64
+	SkipCalls     uint64
+	PrefetchCalls uint64
+	Snapshots     uint64
+
+	TraceCost    uint64 // TraceCalls x CostTrace
+	SkipCost     uint64 // SkipCalls x CostSkip
+	PrefetchCost uint64 // PrefetchCalls x CostPrefetch
+	SnapshotCost uint64 // Snapshots x CostSnapshot
+}
+
+// Total returns the summed instruction-equivalent cost.  By construction
+// it equals the machine's Overhead counter when this tool is the only
+// overhead source attached.
+func (b OverheadBreakdown) Total() uint64 {
+	return b.TraceCost + b.SkipCost + b.PrefetchCost + b.SnapshotCost
+}
+
+// Breakdown returns the overhead accounting accumulated so far.
+func (t *Tool) Breakdown() OverheadBreakdown {
+	return OverheadBreakdown{
+		SliceInterval: t.opts.SliceInterval,
+		TraceCalls:    t.TraceCalls,
+		SkipCalls:     t.SkipCalls,
+		PrefetchCalls: t.PrefetchCalls,
+		Snapshots:     t.Snapshots,
+		TraceCost:     t.TraceCalls * t.opts.CostTrace,
+		SkipCost:      t.SkipCalls * t.opts.CostSkip,
+		PrefetchCost:  t.PrefetchCalls * t.opts.CostPrefetch,
+		SnapshotCost:  t.Snapshots * t.opts.CostSnapshot,
+	}
+}
+
+// SliceByteBuckets are the histogram bounds for per-slice byte totals.
+var SliceByteBuckets = []float64{1e3, 1e4, 1e5, 1e6, 1e7, 1e8}
+
+// PublishMetrics exports the tool's path counters, overhead components and
+// a per-slice traffic histogram into the registry.  A nil registry is a
+// no-op.
+func (t *Tool) PublishMetrics(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	b := t.Breakdown()
+	r.Gauge("tquad_core_slice_interval_instr").Set(float64(b.SliceInterval))
+	r.Counter(obs.Label("tquad_core_analysis_calls_total", "path", "trace")).Add(b.TraceCalls)
+	r.Counter(obs.Label("tquad_core_analysis_calls_total", "path", "skip")).Add(b.SkipCalls)
+	r.Counter(obs.Label("tquad_core_analysis_calls_total", "path", "prefetch")).Add(b.PrefetchCalls)
+	r.Counter("tquad_core_snapshots_total").Add(b.Snapshots)
+	r.Counter(obs.Label("tquad_core_overhead_instr_total", "component", "trace")).Add(b.TraceCost)
+	r.Counter(obs.Label("tquad_core_overhead_instr_total", "component", "skip")).Add(b.SkipCost)
+	r.Counter(obs.Label("tquad_core_overhead_instr_total", "component", "prefetch")).Add(b.PrefetchCost)
+	r.Counter(obs.Label("tquad_core_overhead_instr_total", "component", "snapshot")).Add(b.SnapshotCost)
+
+	// Per-slice snapshot metrics: total traffic per populated slice, and
+	// per-kernel series sizes.
+	r.Counter("tquad_core_kernels_total").Add(uint64(len(t.ids)))
+	slices := make(map[uint64]uint64)
+	for id := 1; id < len(t.series); id++ {
+		for s, pt := range t.series[id].points {
+			slices[s] += pt.ReadIncl + pt.WriteIncl
+		}
+	}
+	h := r.Histogram("tquad_core_slice_bytes", SliceByteBuckets)
+	for _, bytes := range slices {
+		h.Observe(float64(bytes))
+	}
+}
+
+// String renders the breakdown as the end-of-run overhead table.
+func (b OverheadBreakdown) String() string {
+	total := b.Total()
+	pct := func(n uint64) float64 {
+		if total == 0 {
+			return 0
+		}
+		return 100 * float64(n) / float64(total)
+	}
+	s := fmt.Sprintf("overhead breakdown (slice interval %d):\n", b.SliceInterval)
+	s += fmt.Sprintf("  %-10s %12s %16s %7s\n", "component", "calls", "cost (instr)", "share")
+	s += fmt.Sprintf("  %-10s %12d %16d %6.1f%%\n", "trace", b.TraceCalls, b.TraceCost, pct(b.TraceCost))
+	s += fmt.Sprintf("  %-10s %12d %16d %6.1f%%\n", "skip", b.SkipCalls, b.SkipCost, pct(b.SkipCost))
+	s += fmt.Sprintf("  %-10s %12d %16d %6.1f%%\n", "prefetch", b.PrefetchCalls, b.PrefetchCost, pct(b.PrefetchCost))
+	s += fmt.Sprintf("  %-10s %12d %16d %6.1f%%\n", "snapshot", b.Snapshots, b.SnapshotCost, pct(b.SnapshotCost))
+	s += fmt.Sprintf("  %-10s %12s %16d %6.1f%%\n", "total", "", total, 100.0)
+	return s
 }

@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"tquad/internal/callstack"
+	"tquad/internal/obs"
 	"tquad/internal/pin"
 )
 
@@ -31,6 +32,8 @@ type Options struct {
 	InstrPerSecond float64
 	// ExcludeLibs drops library routines from attribution.
 	ExcludeLibs bool
+	// Tracer, when non-nil, records a span for the report-assembly stage.
+	Tracer *obs.Tracer
 }
 
 // Defaults used when fields are zero.
@@ -174,7 +177,10 @@ type Profile struct {
 
 // Report assembles the flat profile.
 func (p *Profiler) Report() *Profile {
+	span := p.opts.Tracer.Start("flatprof-report")
+	defer span.End()
 	p.Finish()
+	span.SetInstr(p.engine.Machine().ICount)
 	secPerSample := float64(p.opts.SamplePeriod) / p.opts.InstrPerSecond
 	prof := &Profile{TotalSamples: p.taken}
 	prof.TotalSeconds = float64(p.taken) * secPerSample

@@ -1,0 +1,65 @@
+package obs_test
+
+import (
+	"testing"
+
+	"tquad/internal/obs"
+)
+
+// The disabled observability layer must be as close to free as a nil
+// check allows: instrumented code holds nil handles and calls methods on
+// them unconditionally.  Compare these against their *On counterparts.
+
+func BenchmarkCounterNil(b *testing.B) {
+	var r *obs.Registry
+	c := r.Counter("x")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterOn(b *testing.B) {
+	c := obs.NewRegistry().Counter("x")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramNil(b *testing.B) {
+	var r *obs.Registry
+	h := r.Histogram("x", []float64{10, 100, 1000})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i & 1023))
+	}
+}
+
+func BenchmarkHistogramOn(b *testing.B) {
+	h := obs.NewRegistry().Histogram("x", []float64{10, 100, 1000})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i & 1023))
+	}
+}
+
+func BenchmarkSpanNil(b *testing.B) {
+	var tr *obs.Tracer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := tr.Start("stage")
+		s.SetInstr(uint64(i))
+		s.End()
+	}
+}
+
+func BenchmarkSpanOn(b *testing.B) {
+	tr := obs.NewTracer()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := tr.Start("stage")
+		s.SetInstr(uint64(i))
+		s.End()
+	}
+}

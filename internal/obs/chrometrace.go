@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// chromeEvent is one entry of the chrome://tracing JSON Array/Object
+// format.  Complete events ("ph":"X") carry both timestamp and duration
+// in microseconds; metadata events ("ph":"M") name the process/thread.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    int64          `json:"ts"`
+	Dur   *int64         `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Cat   string         `json:"cat,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the Object-format envelope ({"traceEvents": [...]}),
+// which trace viewers (chrome://tracing, Perfetto) accept directly.
+type chromeTrace struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+	DisplayUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders the recorded spans as chrome://tracing JSON so
+// a run can be opened in a trace viewer.  Events are emitted in span
+// start order, so timestamps are monotonically non-decreasing.  A nil
+// tracer writes an empty (but valid) trace.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	doc := chromeTrace{
+		TraceEvents: []chromeEvent{{
+			Name: "process_name", Phase: "M", PID: 1, TID: 1,
+			Args: map[string]any{"name": "tquad"},
+		}},
+		DisplayUnit: "ms",
+	}
+	for _, r := range t.Records() {
+		dur := r.DurUS
+		args := map[string]any{"depth": r.Depth}
+		if r.Instr != 0 {
+			args["instr"] = r.Instr
+		}
+		if r.Bytes != 0 {
+			args["bytes"] = r.Bytes
+		}
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name:  r.Name,
+			Phase: "X",
+			TS:    r.StartUS,
+			Dur:   &dur,
+			PID:   1,
+			TID:   1,
+			Cat:   "pipeline",
+			Args:  args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}

@@ -1,0 +1,189 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"tquad/internal/obs"
+)
+
+// goldenRegistry builds a registry with every metric kind, including a
+// labelled counter family.
+func goldenRegistry() *obs.Registry {
+	r := obs.NewRegistry()
+	r.Counter("tquad_vm_instructions_total").Add(123456)
+	r.Counter(obs.Label("tquad_vm_mem_reads_total", "size", "4")).Add(100)
+	r.Counter(obs.Label("tquad_vm_mem_reads_total", "size", "8")).Add(200)
+	r.Gauge("tquad_run_slowdown").Set(37.2)
+	h := r.Histogram("tquad_slice_bytes", []float64{1000, 100000})
+	h.Observe(500)
+	h.Observe(50000)
+	h.Observe(5e6)
+	return r
+}
+
+// TestPrometheusGolden pins the exact text exposition output: type lines
+// per family, labelled samples, histogram buckets with le labels, _sum
+// and _count.
+func TestPrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE tquad_run_slowdown gauge
+tquad_run_slowdown 37.2
+# TYPE tquad_slice_bytes histogram
+tquad_slice_bytes_bucket{le="1000"} 1
+tquad_slice_bytes_bucket{le="100000"} 2
+tquad_slice_bytes_bucket{le="+Inf"} 3
+tquad_slice_bytes_sum 5.0505e+06
+tquad_slice_bytes_count 3
+# TYPE tquad_vm_instructions_total counter
+tquad_vm_instructions_total 123456
+# TYPE tquad_vm_mem_reads_total counter
+tquad_vm_mem_reads_total{size="4"} 100
+tquad_vm_mem_reads_total{size="8"} 200
+`
+	if got := buf.String(); got != want {
+		t.Fatalf("prometheus output mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	// Byte stability: a second export of the same state is identical.
+	var buf2 bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Fatal("prometheus output not byte-stable across exports")
+	}
+}
+
+// TestChromeTraceGolden checks the chrome://tracing JSON end to end:
+// exact serialised form for a deterministic clock, schema validity, and
+// monotonically ordered timestamps.
+func TestChromeTraceGolden(t *testing.T) {
+	tr := obs.NewTracerWithClock(fakeClock())
+	run := tr.Start("run")
+	ex := tr.Start("execute")
+	ex.SetInstr(41)
+	ex.End()
+	run.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TS    int64          `json:"ts"`
+			Dur   *int64         `json:"dur"`
+			PID   int            `json:"pid"`
+			TID   int            `json:"tid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace JSON does not parse: %v\n%s", err, buf.String())
+	}
+	if doc.DisplayUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayUnit)
+	}
+	if len(doc.TraceEvents) != 3 { // metadata + 2 spans
+		t.Fatalf("got %d events, want 3", len(doc.TraceEvents))
+	}
+	if doc.TraceEvents[0].Phase != "M" {
+		t.Fatalf("first event phase %q, want metadata", doc.TraceEvents[0].Phase)
+	}
+	lastTS := int64(-1)
+	for _, ev := range doc.TraceEvents[1:] {
+		if ev.Phase != "X" {
+			t.Fatalf("span event phase = %q, want X", ev.Phase)
+		}
+		if ev.Dur == nil || *ev.Dur < 0 {
+			t.Fatalf("span event %q missing duration", ev.Name)
+		}
+		if ev.PID != 1 || ev.TID != 1 {
+			t.Fatalf("span event %q pid/tid = %d/%d", ev.Name, ev.PID, ev.TID)
+		}
+		if ev.TS < lastTS {
+			t.Fatalf("timestamps not monotonically ordered: %d after %d", ev.TS, lastTS)
+		}
+		lastTS = ev.TS
+	}
+	// Fake clock: run starts at tick 1 (1000us), execute at tick 2
+	// (2000us) and lasts 1 tick; run ends at tick 4, so lasts 3 ticks.
+	ev := doc.TraceEvents[1]
+	if ev.Name != "run" || ev.TS != 1000 || *ev.Dur != 3000 {
+		t.Fatalf("run event = %+v", ev)
+	}
+	ev = doc.TraceEvents[2]
+	if ev.Name != "execute" || ev.TS != 2000 || *ev.Dur != 1000 {
+		t.Fatalf("execute event = %+v", ev)
+	}
+	if ev.Args["instr"] != float64(41) {
+		t.Fatalf("execute args = %v", ev.Args)
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	tr := obs.NewTracerWithClock(fakeClock())
+	s := tr.Start("execute")
+	s.SetInstr(1000)
+	s.SetBytes(8192)
+	s.End()
+	reg := obs.NewRegistry()
+	reg.Counter("a_total").Add(7)
+	reg.Gauge("b").Set(2.5)
+	// Histograms exercise the +Inf bucket bound, which must survive JSON
+	// (encoding/json rejects raw infinities).
+	reg.Histogram("c", []float64{10}).Observe(99)
+
+	var buf bytes.Buffer
+	if err := obs.WriteJournal(&buf, tr, reg); err != nil {
+		t.Fatal(err)
+	}
+	// Every line parses independently (JSONL).
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 5 { // meta + 1 span + 3 metrics
+		t.Fatalf("got %d journal lines, want 5:\n%s", len(lines), buf.String())
+	}
+	for _, ln := range lines {
+		var v map[string]any
+		if err := json.Unmarshal([]byte(ln), &v); err != nil {
+			t.Fatalf("journal line %q: %v", ln, err)
+		}
+	}
+
+	got, err := obs.ReadJournal(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Type != "meta" || got[0].Version != obs.JournalVersion {
+		t.Fatalf("meta line = %+v", got[0])
+	}
+	if got[1].Type != "span" || got[1].Span.Name != "execute" ||
+		got[1].Span.Instr != 1000 || got[1].Span.Bytes != 8192 {
+		t.Fatalf("span line = %+v", got[1].Span)
+	}
+	if got[2].Type != "metric" || got[2].Metric.Name != "a_total" || got[2].Metric.Value != 7 {
+		t.Fatalf("metric line = %+v", got[2].Metric)
+	}
+	hist := got[4].Metric
+	if hist.Name != "c" || hist.Count != 1 || hist.Sum != 99 {
+		t.Fatalf("histogram line = %+v", hist)
+	}
+	if len(hist.Buckets) != 2 || !math.IsInf(hist.Buckets[1].UpperBound, 1) || hist.Buckets[1].Count != 1 {
+		t.Fatalf("histogram buckets did not round-trip +Inf: %+v", hist.Buckets)
+	}
+
+	// Unknown version is rejected.
+	bad := strings.Replace(buf.String(), `"version":1`, `"version":99`, 1)
+	if _, err := obs.ReadJournal(strings.NewReader(bad)); err == nil {
+		t.Fatal("unknown journal version accepted")
+	}
+}

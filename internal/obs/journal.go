@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JournalVersion is the JSONL journal schema version.
+const JournalVersion = 1
+
+// JournalLine is one line of the JSONL event journal.  Exactly one of the
+// payload fields is set, selected by Type: "meta" (first line), "span"
+// (one per recorded span, in start order) or "metric" (one per metric, in
+// sorted order).
+type JournalLine struct {
+	Type    string       `json:"type"`
+	Version int          `json:"version,omitempty"`
+	Span    *SpanRecord  `json:"span,omitempty"`
+	Metric  *MetricValue `json:"metric,omitempty"`
+}
+
+// WriteJournal writes the observer's state as a JSONL event journal: a
+// meta line, then every span in start order, then every metric in sorted
+// order.  Either argument may be nil; its section is simply empty.  The
+// output is byte-stable for a given trace/metric state, so journals diff
+// cleanly between runs.
+func WriteJournal(w io.Writer, tr *Tracer, reg *Registry) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(JournalLine{Type: "meta", Version: JournalVersion}); err != nil {
+		return err
+	}
+	for _, r := range tr.Records() {
+		r := r
+		if err := enc.Encode(JournalLine{Type: "span", Span: &r}); err != nil {
+			return err
+		}
+	}
+	for _, m := range reg.Snapshot() {
+		m := m
+		if err := enc.Encode(JournalLine{Type: "metric", Metric: &m}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJournal parses a journal produced by WriteJournal, rejecting
+// unknown versions and line types.
+func ReadJournal(r io.Reader) ([]JournalLine, error) {
+	dec := json.NewDecoder(r)
+	var out []JournalLine
+	for dec.More() {
+		var ln JournalLine
+		if err := dec.Decode(&ln); err != nil {
+			return nil, fmt.Errorf("obs: journal: %w", err)
+		}
+		switch ln.Type {
+		case "meta":
+			if ln.Version != JournalVersion {
+				return nil, fmt.Errorf("obs: journal version %d (want %d)", ln.Version, JournalVersion)
+			}
+		case "span", "metric":
+		default:
+			return nil, fmt.Errorf("obs: unknown journal line type %q", ln.Type)
+		}
+		out = append(out, ln)
+	}
+	return out, nil
+}

@@ -1,0 +1,398 @@
+// Package obs is the stack's self-observability layer: a dependency-free
+// metrics registry (atomic counters, gauges and fixed-bucket histograms)
+// plus a span tracer for named, nested pipeline stages, with exporters to
+// Prometheus text format, a JSONL event journal and chrome://tracing JSON.
+//
+// The paper's own evaluation treats tool overhead as a first-class
+// measured quantity (Table III, Section V.A's 37.2x-68.95x slowdown
+// study); this package lets the reproduction observe *itself* the same
+// way: where wall-clock goes between image load, instrumentation, guest
+// execution, slice snapshotting, phase extraction and reporting, and how
+// many analysis calls of each kind fired.
+//
+// Everything is nil-receiver safe and designed for a zero-cost disabled
+// path: a nil *Registry hands out nil *Counter/*Gauge/*Histogram values
+// whose methods return after a single nil check, and a nil *Tracer hands
+// out nil *Span values the same way.  Instrumented code therefore holds
+// the handles unconditionally and never branches on "is observability
+// on"; see BenchmarkCounterNil / BenchmarkSpanNil.
+//
+// All registry mutators are safe for concurrent use; the hot-path
+// operations (Counter.Add, Gauge.Set, Histogram.Observe) are single
+// atomic updates with no locks.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on a nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64 // float64 bits
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds delta (atomic read-modify-write).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket histogram.  Bounds are upper bounds in
+// ascending order; an implicit +Inf bucket catches the rest.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1, last is +Inf
+	sum    atomic.Uint64   // float64 bits
+	count  atomic.Uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Bucket is one cumulative histogram bucket for export.
+type Bucket struct {
+	UpperBound float64 // math.Inf(1) for the last bucket
+	Count      uint64  // cumulative count of samples <= UpperBound
+}
+
+// bucketJSON is the wire form of Bucket: the upper bound travels as a
+// string because JSON has no +Inf, matching Prometheus's le="+Inf".
+type bucketJSON struct {
+	LE    string `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// MarshalJSON encodes the bucket with a string upper bound ("+Inf" for
+// the catch-all bucket).
+func (b Bucket) MarshalJSON() ([]byte, error) {
+	le := "+Inf"
+	if !math.IsInf(b.UpperBound, 1) {
+		le = strconv.FormatFloat(b.UpperBound, 'g', -1, 64)
+	}
+	return json.Marshal(bucketJSON{LE: le, Count: b.Count})
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON.
+func (b *Bucket) UnmarshalJSON(data []byte) error {
+	var v bucketJSON
+	if err := json.Unmarshal(data, &v); err != nil {
+		return err
+	}
+	if v.LE == "+Inf" {
+		b.UpperBound = math.Inf(1)
+	} else {
+		f, err := strconv.ParseFloat(v.LE, 64)
+		if err != nil {
+			return fmt.Errorf("obs: bucket bound %q: %w", v.LE, err)
+		}
+		b.UpperBound = f
+	}
+	b.Count = v.Count
+	return nil
+}
+
+// Buckets returns the cumulative bucket counts.
+func (h *Histogram) Buckets() []Bucket {
+	if h == nil {
+		return nil
+	}
+	out := make([]Bucket, len(h.bounds)+1)
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		ub := math.Inf(1)
+		if i < len(h.bounds) {
+			ub = h.bounds[i]
+		}
+		out[i] = Bucket{UpperBound: ub, Count: cum}
+	}
+	return out
+}
+
+// Registry holds named metrics.  The zero value is not usable; NewRegistry
+// allocates one.  A nil *Registry is the disabled observability layer: it
+// hands out nil metric handles whose methods are no-ops.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.  Returns
+// nil on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.  Returns nil
+// on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket upper bounds on first use (later calls ignore bounds).  Returns
+// nil on a nil registry.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.histograms[name]
+	if h == nil {
+		bs := append([]float64(nil), bounds...)
+		sort.Float64s(bs)
+		h = &Histogram{bounds: bs, counts: make([]atomic.Uint64, len(bs)+1)}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Label bakes label pairs into a metric name, Prometheus style:
+// Label("mem_refs_total", "size", "4") == `mem_refs_total{size="4"}`.
+// Pairs are emitted in the order given; callers should use a fixed order
+// so the same series maps to the same name.
+func Label(name string, kv ...string) string {
+	if len(kv) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", kv[i], kv[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// family is the metric family name: everything before the label block.
+func family(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// MetricValue is one exported metric sample.
+type MetricValue struct {
+	Name    string   `json:"name"`
+	Kind    string   `json:"kind"` // "counter", "gauge" or "histogram"
+	Value   float64  `json:"value"`
+	Count   uint64   `json:"count,omitempty"`   // histogram sample count
+	Sum     float64  `json:"sum,omitempty"`     // histogram sample sum
+	Buckets []Bucket `json:"buckets,omitempty"` // histogram cumulative buckets
+}
+
+// Snapshot returns every metric's current value, sorted by (family, name)
+// so labelled series of one family stay contiguous.  Returns nil on a nil
+// registry.
+func (r *Registry) Snapshot() []MetricValue {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]MetricValue, 0, len(r.counters)+len(r.gauges)+len(r.histograms))
+	for name, c := range r.counters {
+		out = append(out, MetricValue{Name: name, Kind: "counter", Value: float64(c.Value())})
+	}
+	for name, g := range r.gauges {
+		out = append(out, MetricValue{Name: name, Kind: "gauge", Value: g.Value()})
+	}
+	for name, h := range r.histograms {
+		out = append(out, MetricValue{
+			Name: name, Kind: "histogram",
+			Count: h.Count(), Sum: h.Sum(), Buckets: h.Buckets(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		fi, fj := family(out[i].Name), family(out[j].Name)
+		if fi != fj {
+			return fi < fj
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Observer bundles a registry and a tracer — the handle the pipeline
+// passes around.  A nil *Observer (or nil fields) disables everything.
+type Observer struct {
+	Metrics *Registry
+	Spans   *Tracer
+}
+
+// NewObserver creates an observer with a fresh registry and tracer.
+func NewObserver() *Observer {
+	return &Observer{Metrics: NewRegistry(), Spans: NewTracer()}
+}
+
+// Registry returns the metrics registry (nil when disabled).
+func (o *Observer) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics
+}
+
+// Tracer returns the span tracer (nil when disabled).
+func (o *Observer) Tracer() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.Spans
+}
+
+// WriteFiles exports the observer's state: Prometheus text to metricsPath,
+// chrome://tracing JSON to tracePath, the JSONL journal to journalPath.
+// Empty paths are skipped; a nil observer writes empty-but-valid files.
+func (o *Observer) WriteFiles(metricsPath, tracePath, journalPath string) error {
+	write := func(path string, fn func(io.Writer) error) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := write(metricsPath, func(w io.Writer) error { return o.Registry().WritePrometheus(w) }); err != nil {
+		return err
+	}
+	if err := write(tracePath, func(w io.Writer) error { return o.Tracer().WriteChromeTrace(w) }); err != nil {
+		return err
+	}
+	return write(journalPath, func(w io.Writer) error { return WriteJournal(w, o.Tracer(), o.Registry()) })
+}

@@ -1,0 +1,154 @@
+package obs_test
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"tquad/internal/obs"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := obs.NewRegistry()
+	c := r.Counter("c_total")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	if r.Counter("c_total") != c {
+		t.Fatal("counter not deduplicated by name")
+	}
+
+	g := r.Gauge("g")
+	g.Set(1.5)
+	g.Add(-0.5)
+	if got := g.Value(); got != 1.0 {
+		t.Fatalf("gauge = %g, want 1", got)
+	}
+
+	h := r.Histogram("h", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 5, 5, 50, 500} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("histogram count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 560.5 {
+		t.Fatalf("histogram sum = %g, want 560.5", h.Sum())
+	}
+	want := []uint64{1, 3, 4, 5} // cumulative: <=1, <=10, <=100, +Inf
+	for i, b := range h.Buckets() {
+		if b.Count != want[i] {
+			t.Fatalf("bucket %d = %d, want %d", i, b.Count, want[i])
+		}
+	}
+	last := h.Buckets()[3]
+	if !math.IsInf(last.UpperBound, 1) {
+		t.Fatalf("last bucket bound = %g, want +Inf", last.UpperBound)
+	}
+}
+
+// TestNilRegistry exercises the disabled fast path: a nil registry and
+// the nil handles it returns must be safe no-ops.
+func TestNilRegistry(t *testing.T) {
+	var r *obs.Registry
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(7)
+	if c.Value() != 0 {
+		t.Fatal("nil counter accumulated")
+	}
+	g := r.Gauge("y")
+	g.Set(3)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge accumulated")
+	}
+	h := r.Histogram("z", []float64{1})
+	h.Observe(5)
+	if h.Count() != 0 || h.Sum() != 0 || h.Buckets() != nil {
+		t.Fatal("nil histogram accumulated")
+	}
+	if r.Snapshot() != nil {
+		t.Fatal("nil registry snapshot not nil")
+	}
+	if err := r.WritePrometheus(discard{}); err != nil {
+		t.Fatal(err)
+	}
+
+	var o *obs.Observer
+	if o.Registry() != nil || o.Tracer() != nil {
+		t.Fatal("nil observer handed out live handles")
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+func TestLabel(t *testing.T) {
+	if got := obs.Label("refs_total", "size", "4"); got != `refs_total{size="4"}` {
+		t.Fatalf("Label = %q", got)
+	}
+	if got := obs.Label("refs_total", "size", "4", "kind", "read"); got != `refs_total{size="4",kind="read"}` {
+		t.Fatalf("Label = %q", got)
+	}
+	if got := obs.Label("plain"); got != "plain" {
+		t.Fatalf("Label = %q", got)
+	}
+}
+
+func TestSnapshotOrdering(t *testing.T) {
+	r := obs.NewRegistry()
+	// A family whose labelled samples would interleave with another
+	// family under plain string sorting ('{' > 'y' in ASCII).
+	r.Counter(obs.Label("tquad_x", "a", "1")).Inc()
+	r.Counter("tquad_xy").Inc()
+	r.Counter(obs.Label("tquad_x", "a", "0")).Inc()
+	snap := r.Snapshot()
+	var names []string
+	for _, m := range snap {
+		names = append(names, m.Name)
+	}
+	want := []string{`tquad_x{a="0"}`, `tquad_x{a="1"}`, "tquad_xy"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("snapshot order %v, want %v", names, want)
+		}
+	}
+}
+
+// TestRegistryRace hammers one registry from many goroutines; run under
+// -race (the Makefile's race target does).
+func TestRegistryRace(t *testing.T) {
+	r := obs.NewRegistry()
+	const workers = 8
+	const iters = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				r.Counter("shared_total").Inc()
+				r.Counter(obs.Label("by_worker_total", "w", string(rune('a'+w)))).Add(2)
+				r.Gauge("g").Add(1)
+				r.Histogram("h", []float64{10, 100, 1000}).Observe(float64(i))
+				if i%256 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("shared_total").Value(); got != workers*iters {
+		t.Fatalf("shared counter = %d, want %d", got, workers*iters)
+	}
+	if got := r.Gauge("g").Value(); got != workers*iters {
+		t.Fatalf("gauge = %g, want %d", got, workers*iters)
+	}
+	if got := r.Histogram("h", nil).Count(); got != workers*iters {
+		t.Fatalf("histogram count = %d, want %d", got, workers*iters)
+	}
+}

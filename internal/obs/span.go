@@ -1,0 +1,167 @@
+// Span tracing: named, nested pipeline stages with wall-clock timestamps
+// and domain attributes (guest instructions, bytes traced).  The recorded
+// spans export to chrome://tracing JSON (see chrometrace.go) and to the
+// JSONL journal (journal.go).
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Span is one recorded pipeline stage.  Spans nest: a span started while
+// another is open becomes its child.  All methods are nil-receiver safe.
+type Span struct {
+	tr     *Tracer
+	name   string
+	idx    int // position in Tracer.spans
+	parent int // index into Tracer.spans, -1 for roots
+	depth  int
+	start  time.Duration // offset from the tracer epoch
+	dur    time.Duration
+	done   bool
+	instr  uint64 // guest instructions attributed to the stage
+	bytes  uint64 // bytes traced/processed by the stage
+}
+
+// End closes the span.  Ending an already-ended span is a no-op.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	if s.done {
+		return
+	}
+	s.done = true
+	s.dur = s.tr.now().Sub(s.tr.t0) - s.start
+	// Pop the span (and anything opened after it that leaked) off the
+	// open stack.
+	for i := len(s.tr.open) - 1; i >= 0; i-- {
+		if s.tr.open[i] == s {
+			s.tr.open = s.tr.open[:i]
+			break
+		}
+	}
+}
+
+// SetInstr records the stage's guest-instruction count.
+func (s *Span) SetInstr(n uint64) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.instr = n
+	s.tr.mu.Unlock()
+}
+
+// SetBytes records the stage's byte total.
+func (s *Span) SetBytes(n uint64) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.bytes = n
+	s.tr.mu.Unlock()
+}
+
+// SpanRecord is the exported, immutable view of one span.
+type SpanRecord struct {
+	Name    string        `json:"name"`
+	Depth   int           `json:"depth"`
+	Parent  int           `json:"parent"` // index into the record list, -1 for roots
+	StartUS int64         `json:"start_us"`
+	DurUS   int64         `json:"dur_us"`
+	Instr   uint64        `json:"instr,omitempty"`
+	Bytes   uint64        `json:"bytes,omitempty"`
+	Start   time.Duration `json:"-"`
+	Dur     time.Duration `json:"-"`
+}
+
+// Tracer records spans.  A nil *Tracer is the disabled tracer: Start
+// returns a nil *Span and every Span method is a no-op.  Safe for
+// concurrent use.
+type Tracer struct {
+	mu    sync.Mutex
+	now   func() time.Time
+	t0    time.Time
+	spans []*Span
+	open  []*Span
+}
+
+// NewTracer creates a tracer on the system clock.
+func NewTracer() *Tracer { return NewTracerWithClock(time.Now) }
+
+// NewTracerWithClock creates a tracer on a custom clock (tests inject a
+// deterministic one).
+func NewTracerWithClock(now func() time.Time) *Tracer {
+	t := &Tracer{now: now}
+	t.t0 = now()
+	return t
+}
+
+// Start opens a span.  The span becomes a child of the innermost span
+// still open.  Returns nil on a nil tracer.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := &Span{
+		tr:     t,
+		name:   name,
+		idx:    len(t.spans),
+		parent: -1,
+		start:  t.now().Sub(t.t0),
+	}
+	if n := len(t.open); n > 0 {
+		parent := t.open[n-1]
+		s.depth = parent.depth + 1
+		s.parent = parent.idx
+	}
+	t.spans = append(t.spans, s)
+	t.open = append(t.open, s)
+	return s
+}
+
+// Records returns the recorded spans in start order.  Spans still open
+// get a duration up to "now".  Returns nil on a nil tracer.
+func (t *Tracer) Records() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now().Sub(t.t0)
+	out := make([]SpanRecord, len(t.spans))
+	for i, s := range t.spans {
+		dur := s.dur
+		if !s.done {
+			dur = now - s.start
+		}
+		out[i] = SpanRecord{
+			Name:    s.name,
+			Depth:   s.depth,
+			Parent:  s.parent,
+			Start:   s.start,
+			Dur:     dur,
+			StartUS: s.start.Microseconds(),
+			DurUS:   dur.Microseconds(),
+			Instr:   s.instr,
+			Bytes:   s.bytes,
+		}
+	}
+	return out
+}
+
+// Find returns the first recorded span with the given name.
+func (t *Tracer) Find(name string) (SpanRecord, bool) {
+	for _, r := range t.Records() {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return SpanRecord{}, false
+}

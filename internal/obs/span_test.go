@@ -1,0 +1,126 @@
+package obs_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"tquad/internal/obs"
+)
+
+// fakeClock returns a deterministic clock advancing 1ms per call.
+func fakeClock() func() time.Time {
+	t0 := time.Unix(1000, 0)
+	n := 0
+	return func() time.Time {
+		t := t0.Add(time.Duration(n) * time.Millisecond)
+		n++
+		return t
+	}
+}
+
+func TestSpanNesting(t *testing.T) {
+	tr := obs.NewTracerWithClock(fakeClock())
+	run := tr.Start("run") // clock tick 1 -> start 1ms
+	ex := tr.Start("execute")
+	ex.SetInstr(1000)
+	ex.SetBytes(4096)
+	ex.End()
+	rep := tr.Start("report")
+	rep.End()
+	run.End()
+
+	recs := tr.Records()
+	if len(recs) != 3 {
+		t.Fatalf("got %d spans, want 3", len(recs))
+	}
+	if recs[0].Name != "run" || recs[0].Depth != 0 || recs[0].Parent != -1 {
+		t.Fatalf("root span wrong: %+v", recs[0])
+	}
+	if recs[1].Name != "execute" || recs[1].Depth != 1 || recs[1].Parent != 0 {
+		t.Fatalf("child span wrong: %+v", recs[1])
+	}
+	if recs[2].Name != "report" || recs[2].Parent != 0 {
+		t.Fatalf("sibling span wrong: %+v", recs[2])
+	}
+	if recs[1].Instr != 1000 || recs[1].Bytes != 4096 {
+		t.Fatalf("attrs lost: %+v", recs[1])
+	}
+	// Start order is monotonic with the fake clock (1ms per event).
+	for i := 1; i < len(recs); i++ {
+		if recs[i].StartUS < recs[i-1].StartUS {
+			t.Fatalf("spans out of start order: %v then %v", recs[i-1], recs[i])
+		}
+	}
+	// The root encloses the children.
+	if recs[0].Start > recs[1].Start ||
+		recs[0].Start+recs[0].Dur < recs[2].Start+recs[2].Dur {
+		t.Fatal("root span does not enclose children")
+	}
+	if _, ok := tr.Find("execute"); !ok {
+		t.Fatal("Find missed a recorded span")
+	}
+	if _, ok := tr.Find("absent"); ok {
+		t.Fatal("Find invented a span")
+	}
+}
+
+func TestSpanDoubleEndAndOpen(t *testing.T) {
+	tr := obs.NewTracerWithClock(fakeClock())
+	a := tr.Start("a")
+	a.End()
+	a.End() // must not panic or corrupt the open stack
+	b := tr.Start("b")
+	recs := tr.Records() // b still open: duration up to "now"
+	if recs[1].DurUS <= 0 {
+		t.Fatalf("open span duration = %d, want > 0", recs[1].DurUS)
+	}
+	b.End()
+}
+
+func TestNilTracer(t *testing.T) {
+	var tr *obs.Tracer
+	s := tr.Start("x")
+	s.SetInstr(1)
+	s.SetBytes(2)
+	s.End()
+	if tr.Records() != nil {
+		t.Fatal("nil tracer recorded spans")
+	}
+	var buf writerCounter
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.n == 0 {
+		t.Fatal("nil tracer must still emit a valid empty trace")
+	}
+}
+
+type writerCounter struct{ n int }
+
+func (w *writerCounter) Write(p []byte) (int, error) { w.n += len(p); return len(p), nil }
+
+// TestTracerRace hammers one tracer from many goroutines; run under
+// -race.  Concurrent spans land on one open stack, so parentage is
+// unspecified here — the test only checks memory safety and counts.
+func TestTracerRace(t *testing.T) {
+	tr := obs.NewTracer()
+	const workers = 8
+	const iters = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				s := tr.Start("w")
+				s.SetInstr(uint64(i))
+				s.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(tr.Records()); got != workers*iters {
+		t.Fatalf("recorded %d spans, want %d", got, workers*iters)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"sort"
 
 	"tquad/internal/core"
+	"tquad/internal/obs"
 )
 
 // Options tune the detector.
@@ -45,6 +46,9 @@ type Options struct {
 	// kernels — the paper "only consider[s] the kernels previously
 	// selected and not all the functions".
 	Kernels []string
+	// Tracer, when non-nil, records spans for the detector's internal
+	// stages (smoothing, merging, materialising).
+	Tracer *obs.Tracer
 }
 
 func (o *Options) setDefaults(numSlices uint64) {
@@ -105,6 +109,10 @@ func Detect(prof *core.Profile, opts Options) []Phase {
 	}
 	opts.setDefaults(prof.NumSlices)
 
+	span := opts.Tracer.Start("phase-detect")
+	defer span.End()
+	span.SetInstr(prof.TotalInstr)
+
 	// Select the kernel universe.
 	kernels := prof.Kernels
 	if len(opts.Kernels) > 0 {
@@ -124,6 +132,7 @@ func Detect(prof *core.Profile, opts Options) []Phase {
 	}
 
 	// Dense activity matrix: kernel x slice.
+	smooth := opts.Tracer.Start("phase-smooth")
 	n := int(prof.NumSlices)
 	kcount := len(kernels)
 	active := make([][]bool, kcount)
@@ -172,8 +181,10 @@ func Detect(prof *core.Profile, opts Options) []Phase {
 		segs = append(segs, segment{start: s, end: e, bits: unionRange(active, kcount, s, e)})
 		s = e
 	}
+	smooth.End()
 
 	// Merge short segments and similar neighbours until stable.
+	merge := opts.Tracer.Start("phase-merge")
 	for changed := true; changed && len(segs) > 1; {
 		changed = false
 		// First, absorb too-short segments into the more similar
@@ -234,6 +245,8 @@ func Detect(prof *core.Profile, opts Options) []Phase {
 		}
 	}
 
+	merge.End()
+
 	// Materialise phases with per-kernel statistics.  Membership is
 	// decided by where a kernel's activity actually lives: a kernel
 	// belongs to a phase if a meaningful share (10%) of its total
@@ -241,6 +254,8 @@ func Detect(prof *core.Profile, opts Options) []Phase {
 	// kernels "activated in a short period of time outside the
 	// identified span ... with respect to the overall memory access
 	// pattern".
+	materialise := opts.Tracer.Start("phase-materialise")
+	defer materialise.End()
 	phases := make([]Phase, 0, len(segs))
 	for _, sg := range segs {
 		ph := Phase{Start: uint64(sg.start), End: uint64(sg.end)}

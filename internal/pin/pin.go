@@ -25,6 +25,7 @@ import (
 
 	"tquad/internal/image"
 	"tquad/internal/isa"
+	"tquad/internal/obs"
 	"tquad/internal/vm"
 )
 
@@ -158,6 +159,18 @@ func NewEngine(m *vm.Machine) *Engine {
 
 // Machine returns the instrumented machine.
 func (e *Engine) Machine() *vm.Machine { return e.machine }
+
+// PublishMetrics exports the engine's bookkeeping into the registry — the
+// instrumentation-cost half of the paper's Table III overhead breakdown.
+// A nil registry is a no-op.
+func (e *Engine) PublishMetrics(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	r.Counter("tquad_pin_static_instrumented_total").Add(e.Stats.StaticInstrumented)
+	r.Counter("tquad_pin_analysis_calls_total").Add(e.Stats.AnalysisCalls)
+	r.Counter("tquad_pin_suppressed_calls_total").Add(e.Stats.SuppressedCalls)
+}
 
 // InitSymbols makes routine symbol information available to the tools
 // (Pin's PIN_InitSymbols: "must be called to access functions by name").

@@ -5,6 +5,7 @@ package report
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -144,8 +145,16 @@ func Downsample(series []uint64, width int) []uint64 {
 }
 
 // BandwidthChart renders named series as stacked spark lanes with a
-// shared caption — the textual Figure 6/7.
+// shared caption — the textual Figure 6/7.  Lanes appear in names order;
+// a nil names falls back to sorted map keys so output never depends on
+// map iteration order.
 func BandwidthChart(title string, names []string, series map[string][]uint64, width int) string {
+	if names == nil {
+		for n := range series {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s\n", title)
 	nameW := 0

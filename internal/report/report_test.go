@@ -125,3 +125,20 @@ func TestBandwidthChart(t *testing.T) {
 		t.Fatalf("chart lines = %d", len(lines))
 	}
 }
+
+// TestBandwidthChartNilNamesDeterministic: with no explicit lane order the
+// chart must fall back to sorted keys, never map iteration order.
+func TestBandwidthChartNilNamesDeterministic(t *testing.T) {
+	series := map[string][]uint64{
+		"zeta": {1}, "alpha": {2}, "mid": {3}, "beta": {4}, "omega": {5},
+	}
+	first := report.BandwidthChart("t", nil, series, 10)
+	for i := 0; i < 20; i++ {
+		if got := report.BandwidthChart("t", nil, series, 10); got != first {
+			t.Fatalf("chart output varies across renders:\n%s\nvs\n%s", first, got)
+		}
+	}
+	if strings.Index(first, "alpha") > strings.Index(first, "zeta") {
+		t.Fatalf("lanes not sorted:\n%s", first)
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"tquad/internal/core"
 	"tquad/internal/flatprof"
+	"tquad/internal/obs"
 	"tquad/internal/phase"
 	"tquad/internal/pin"
 	"tquad/internal/quad"
@@ -24,26 +25,43 @@ import (
 type Study struct {
 	W *wfs.Workload
 
+	// Obs collects metrics and pipeline spans across every experiment the
+	// study runs.  Nil (or an Observer with nil components) disables the
+	// corresponding collection at effectively zero cost.
+	Obs *obs.Observer
+
 	flatBase *flatprof.Profile
 	nativeIC uint64
 }
 
 // New builds the workload for the given configuration.
 func New(cfg wfs.Config) (*Study, error) {
-	w, err := wfs.NewWorkload(cfg)
+	return NewObserved(cfg, nil)
+}
+
+// NewObserved is New with an observer attached: workload construction is
+// traced, and every subsequent run publishes its metrics and spans into
+// the observer.
+func NewObserved(cfg wfs.Config, o *obs.Observer) (*Study, error) {
+	w, err := wfs.NewWorkloadObserved(cfg, o.Tracer())
 	if err != nil {
 		return nil, err
 	}
-	return &Study{W: w}, nil
+	return &Study{W: w, Obs: o}, nil
 }
 
 func (s *Study) run(m *vm.Machine) error {
+	span := s.Obs.Tracer().Start("execute")
+	defer span.End()
 	if err := m.Run(wfs.MaxInstr); err != nil {
 		return err
 	}
+	span.SetInstr(m.ICount)
+	span.SetBytes(m.MemStats.ReadBytes() + m.MemStats.WriteBytes())
 	if m.ExitCode != 0 {
 		return fmt.Errorf("study: guest exit code %d", m.ExitCode)
 	}
+	m.PublishMetrics(s.Obs.Registry())
 	return nil
 }
 
@@ -70,10 +88,11 @@ func (s *Study) FlatProfile() (*flatprof.Profile, error) {
 	}
 	m, _ := s.W.NewMachine()
 	e := pin.NewEngine(m)
-	p := flatprof.Attach(e, flatprof.Options{})
+	p := flatprof.Attach(e, flatprof.Options{Tracer: s.Obs.Tracer()})
 	if err := s.run(m); err != nil {
 		return nil, err
 	}
+	e.PublishMetrics(s.Obs.Registry())
 	s.flatBase = p.Report()
 	return s.flatBase, nil
 }
@@ -104,10 +123,11 @@ func (s *Study) InstrumentedFlat() (baseline, instrumented *flatprof.Profile, er
 	// accesses discarded early, so only costly global accesses pay the
 	// full tracing price.
 	quad.Attach(e, quad.Options{IncludeStack: false})
-	p := flatprof.Attach(e, flatprof.Options{})
+	p := flatprof.Attach(e, flatprof.Options{Tracer: s.Obs.Tracer()})
 	if err := s.run(m); err != nil {
 		return nil, nil, err
 	}
+	e.PublishMetrics(s.Obs.Registry())
 	return baseline, p.Report(), nil
 }
 
@@ -120,7 +140,23 @@ func (s *Study) TQUAD(opts core.Options) (*core.Profile, *vm.Machine, error) {
 	if err := s.run(m); err != nil {
 		return nil, nil, err
 	}
-	return t.Snapshot(), m, nil
+	e.PublishMetrics(s.Obs.Registry())
+	t.PublishMetrics(s.Obs.Registry())
+	span := s.Obs.Tracer().Start("snapshot")
+	prof := t.Snapshot()
+	span.SetInstr(prof.TotalInstr)
+	span.SetBytes(profileBytes(prof))
+	span.End()
+	return prof, m, nil
+}
+
+// profileBytes sums a profile's total traffic (stack included).
+func profileBytes(p *core.Profile) uint64 {
+	var n uint64
+	for _, k := range p.Kernels {
+		n += k.TotalReadIncl + k.TotalWriteIncl
+	}
+	return n
 }
 
 // SliceForCount returns the slice interval that divides the run into
@@ -147,7 +183,7 @@ func (s *Study) Phases(sliceInterval uint64) ([]phase.Phase, *core.Profile, erro
 	}
 	// As in the paper, "we only consider the kernels previously
 	// selected and not all the functions".
-	opts := phase.Options{IncludeStack: true, Kernels: wfs.KernelNames()}
+	opts := phase.Options{IncludeStack: true, Kernels: wfs.KernelNames(), Tracer: s.Obs.Tracer()}
 	return phase.Detect(prof, opts), prof, nil
 }
 
@@ -286,6 +322,83 @@ func RenderFigure(title string, prof *core.Profile, names []string, reads, inclu
 		series[n] = k.Series(prof.NumSlices, reads, includeStack)
 	}
 	return report.BandwidthChart(title, present, series, width)
+}
+
+// RenderSpans renders the recorded pipeline spans as an indented table —
+// the textual counterpart of the chrome://tracing view.
+func RenderSpans(tr *obs.Tracer) string {
+	records := tr.Records()
+	if len(records) == 0 {
+		return ""
+	}
+	t := report.NewTable("stage", "start ms", "dur ms", "instr", "bytes")
+	for _, r := range records {
+		instr, bytes := "-", "-"
+		if r.Instr != 0 {
+			instr = report.U(r.Instr)
+		}
+		if r.Bytes != 0 {
+			bytes = report.U(r.Bytes)
+		}
+		t.AddRow(strings.Repeat("  ", r.Depth)+r.Name,
+			fmt.Sprintf("%.3f", float64(r.StartUS)/1000),
+			fmt.Sprintf("%.3f", float64(r.DurUS)/1000),
+			instr, bytes)
+	}
+	return t.String()
+}
+
+// RenderOverheadTotals renders the aggregate analysis-overhead accounting
+// accumulated in the registry across every tQUAD run — the live analogue
+// of Table III / Section V.A.  Returns "" when nothing was recorded.
+func RenderOverheadTotals(reg *obs.Registry) string {
+	if reg == nil {
+		return ""
+	}
+	type comp struct{ name, calls, cost string }
+	comps := []comp{
+		{"trace", obs.Label("tquad_core_analysis_calls_total", "path", "trace"),
+			obs.Label("tquad_core_overhead_instr_total", "component", "trace")},
+		{"skip", obs.Label("tquad_core_analysis_calls_total", "path", "skip"),
+			obs.Label("tquad_core_overhead_instr_total", "component", "skip")},
+		{"prefetch", obs.Label("tquad_core_analysis_calls_total", "path", "prefetch"),
+			obs.Label("tquad_core_overhead_instr_total", "component", "prefetch")},
+		{"snapshot", "tquad_core_snapshots_total",
+			obs.Label("tquad_core_overhead_instr_total", "component", "snapshot")},
+	}
+	var total uint64
+	for _, c := range comps {
+		total += reg.Counter(c.cost).Value()
+	}
+	if total == 0 {
+		return ""
+	}
+	t := report.NewTable("component", "calls", "cost (instr)", "share")
+	for _, c := range comps {
+		cost := reg.Counter(c.cost).Value()
+		t.AddRow(c.name, report.U(reg.Counter(c.calls).Value()), report.U(cost),
+			fmt.Sprintf("%.1f%%", 100*float64(cost)/float64(total)))
+	}
+	t.AddRow("total", "", report.U(total), "100.0%")
+	return t.String()
+}
+
+// RenderObsSummary renders the end-of-run observability summary: the
+// pipeline span table and the aggregate overhead accounting.
+func RenderObsSummary(o *obs.Observer) string {
+	var b strings.Builder
+	if spans := RenderSpans(o.Tracer()); spans != "" {
+		b.WriteString("pipeline stages:\n")
+		b.WriteString(spans)
+	}
+	if totals := RenderOverheadTotals(o.Registry()); totals != "" {
+		if b.Len() > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString("aggregate analysis overhead (all runs):\n")
+		b.WriteString(totals)
+	}
+	return b.String()
 }
 
 // RenderSlowdown renders the overhead study.

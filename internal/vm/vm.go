@@ -14,10 +14,12 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/bits"
 
 	"tquad/internal/image"
 	"tquad/internal/isa"
 	"tquad/internal/mem"
+	"tquad/internal/obs"
 )
 
 // DefaultStackBase is the default top-of-stack address.  The stack grows
@@ -129,6 +131,9 @@ type Machine struct {
 	// profilers via ChargeOverhead; total simulated time is
 	// ICount+Overhead.
 	Overhead uint64
+	// MemStats counts dynamic memory references by access size and
+	// prefetches skipped — the machine's per-run observability counters.
+	MemStats MemStats
 
 	StackBase uint64
 	StackSize uint64
@@ -214,6 +219,65 @@ func (m *Machine) ChargeOverhead(n uint64) { m.Overhead += n }
 // instrumentation overhead.
 func (m *Machine) Time() uint64 { return m.ICount + m.Overhead }
 
+// MemSizeClasses are the access sizes the ISA supports, indexing the
+// MemStats per-size arrays.
+var MemSizeClasses = [5]int{1, 2, 4, 8, 16}
+
+// MemStats counts the machine's dynamic memory-reference activity: ops by
+// access size (separately for reads and writes) and prefetch instructions
+// taken through the skipped-load fast path.  Plain counters updated
+// inline by Step, so they are valid whether or not observability is on.
+type MemStats struct {
+	ReadOps    [5]uint64 // by size class 1, 2, 4, 8, 16 bytes
+	WriteOps   [5]uint64
+	Prefetches uint64
+}
+
+// sizeClass maps an access size (1, 2, 4, 8, 16) to its array index.
+func sizeClass(size int) int { return bits.TrailingZeros8(uint8(size)) }
+
+// ReadBytes returns the total bytes read (prefetches excluded).
+func (s *MemStats) ReadBytes() uint64 {
+	var n uint64
+	for i, ops := range s.ReadOps {
+		n += ops << i
+	}
+	return n
+}
+
+// WriteBytes returns the total bytes written.
+func (s *MemStats) WriteBytes() uint64 {
+	var n uint64
+	for i, ops := range s.WriteOps {
+		n += ops << i
+	}
+	return n
+}
+
+// PublishMetrics exports the machine's per-run counters into the
+// registry (guest instructions retired, memory refs by size, prefetches
+// skipped, simulated overhead).  Call once, after the run; a nil registry
+// is a no-op.
+func (m *Machine) PublishMetrics(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	r.Counter("tquad_vm_instructions_total").Add(m.ICount)
+	r.Counter("tquad_vm_overhead_instr_total").Add(m.Overhead)
+	r.Counter("tquad_vm_prefetch_skipped_total").Add(m.MemStats.Prefetches)
+	r.Counter("tquad_vm_mem_read_bytes_total").Add(m.MemStats.ReadBytes())
+	r.Counter("tquad_vm_mem_write_bytes_total").Add(m.MemStats.WriteBytes())
+	for i, size := range MemSizeClasses {
+		label := fmt.Sprintf("%d", size)
+		if n := m.MemStats.ReadOps[i]; n > 0 {
+			r.Counter(obs.Label("tquad_vm_mem_reads_total", "size", label)).Add(n)
+		}
+		if n := m.MemStats.WriteOps[i]; n > 0 {
+			r.Counter(obs.Label("tquad_vm_mem_writes_total", "size", label)).Add(n)
+		}
+	}
+}
+
 // LoadImage places an image's segments into guest memory and registers it
 // for PC lookups.
 func (m *Machine) LoadImage(img *image.Image) {
@@ -258,6 +322,7 @@ func (m *Machine) Reset(entry uint64) {
 	m.Pred = 0
 	m.ICount = 0
 	m.Overhead = 0
+	m.MemStats = MemStats{}
 	m.Halted = false
 	m.ExitCode = 0
 	m.Regs[isa.RegSP] = m.StackBase
@@ -512,7 +577,10 @@ func (m *Machine) Step() error {
 		addr := m.reg(ins.Rs1) + uint64(int64(ins.Imm))
 		size := ins.AccessSize()
 		m.emit(h, EvRead, pc, ins, addr, size, 0, sp, true)
-		if ins.Op != isa.OpPrefetch {
+		if ins.Op == isa.OpPrefetch {
+			m.MemStats.Prefetches++
+		} else {
+			m.MemStats.ReadOps[sizeClass(size)]++
 			v := m.Mem.ReadUint(addr, size)
 			switch ins.Op {
 			case isa.OpLd2s:
@@ -527,17 +595,20 @@ func (m *Machine) Step() error {
 		addr := m.reg(ins.Rs1) + uint64(int64(ins.Imm))
 		size := ins.AccessSize()
 		m.emit(h, EvWrite, pc, ins, addr, size, 0, sp, true)
+		m.MemStats.WriteOps[sizeClass(size)]++
 		m.Mem.WriteUint(addr, m.reg(ins.Rs2), size)
 
 	case isa.OpLd16:
 		addr := m.reg(ins.Rs1) + uint64(int64(ins.Imm))
 		m.emit(h, EvRead, pc, ins, addr, 16, 0, sp, true)
+		m.MemStats.ReadOps[sizeClass(16)]++
 		m.setReg(ins.Rd, m.Mem.ReadUint64(addr))
 		m.setReg(ins.Rd+1, m.Mem.ReadUint64(addr+8))
 
 	case isa.OpSt16:
 		addr := m.reg(ins.Rs1) + uint64(int64(ins.Imm))
 		m.emit(h, EvWrite, pc, ins, addr, 16, 0, sp, true)
+		m.MemStats.WriteOps[sizeClass(16)]++
 		m.Mem.WriteUint64(addr, m.reg(ins.Rs2))
 		m.Mem.WriteUint64(addr+8, m.reg(ins.Rs2+1))
 

@@ -6,6 +6,7 @@ import (
 	"tquad/internal/glibc"
 	"tquad/internal/gos"
 	"tquad/internal/hl"
+	"tquad/internal/obs"
 	"tquad/internal/vm"
 	"tquad/internal/wav"
 )
@@ -22,18 +23,36 @@ type Workload struct {
 // NewWorkload builds and links the guest program (app + libc) and
 // synthesises its input signal.
 func NewWorkload(cfg Config) (*Workload, error) {
+	return NewWorkloadObserved(cfg, nil)
+}
+
+// NewWorkloadObserved is NewWorkload with pipeline tracing: the build is
+// recorded as a "load" span with "assemble", "link" and "synth-input"
+// children.  A nil tracer disables tracing.
+func NewWorkloadObserved(cfg Config, tr *obs.Tracer) (*Workload, error) {
+	load := tr.Start("load")
+	defer load.End()
+
+	asm := tr.Start("assemble")
 	app, err := Build(cfg)
+	asm.End()
 	if err != nil {
 		return nil, err
 	}
+	link := tr.Start("link")
 	prog, err := hl.Link(app, glibc.Builder())
+	link.End()
 	if err != nil {
 		return nil, fmt.Errorf("wfs: link: %w", err)
 	}
+	synth := tr.Start("synth-input")
+	input := wav.Synth(cfg.SampleRate, cfg.TotalInputSamples())
+	synth.SetBytes(uint64(len(wav.Encode(input))))
+	synth.End()
 	return &Workload{
 		Cfg:   cfg,
 		Prog:  prog,
-		Input: wav.Synth(cfg.SampleRate, cfg.TotalInputSamples()),
+		Input: input,
 	}, nil
 }
 
