@@ -1,7 +1,7 @@
 # Standard developer entry points; see README.md ("Development").
 GO ?= go
 
-.PHONY: build test vet race bench
+.PHONY: build test vet race bench bench-json
 
 build:
 	$(GO) build ./...
@@ -12,10 +12,15 @@ test:
 vet:
 	$(GO) vet ./...
 
-# Race-hammers the observability layer (shared metrics registry + tracer).
+# Race-hammers the observability layer (shared metrics registry + tracer)
+# and the parallel experiment scheduler (a full concurrent study sweep).
 race:
-	$(GO) test -race ./internal/obs/...
+	$(GO) test -race ./internal/obs/... ./internal/study/...
 
 # One pass over every table/figure benchmark plus the obs on/off pair.
 bench:
 	$(GO) test -bench . -benchtime 1x
+
+# Same pass, recorded as a dated machine-readable log (go test -json).
+bench-json:
+	$(GO) test -bench . -benchtime 1x -json > BENCH_$(shell date +%Y-%m-%d).json

@@ -8,6 +8,7 @@
 package repro_test
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -195,6 +196,70 @@ func BenchmarkSlowdown_BySlice(b *testing.B) {
 			b.ReportMetric(min, "slowdown_min_x")
 			b.ReportMetric(max, "slowdown_max_x")
 		}
+	}
+}
+
+// BenchmarkStudyParallel measures the parallel experiment scheduler on
+// the Section V.A sweep at increasing parallelism.  Every sub-benchmark
+// executes the identical configuration grid on a fresh scheduler (no
+// memoisation carry-over between iterations); on a multi-core runner the
+// wall-clock per sweep drops as jobs rises, and the rendered rows are
+// byte-identical at every level (asserted by the tests in
+// internal/study).
+func BenchmarkStudyParallel(b *testing.B) {
+	s := benchStudy(b)
+	native, err := s.NativeICount()
+	if err != nil {
+		b.Fatalf("native: %v", err)
+	}
+	ivs := []uint64{native / 64, native / 16}
+	for _, jobs := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rows, err := s.SlowdownParallel(ivs, jobs)
+				if err != nil {
+					b.Fatalf("sweep: %v", err)
+				}
+				if i == 0 {
+					b.ReportMetric(float64(len(rows)), "rows")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSliceAccum is the accumulator ablation: a full tQUAD run of
+// the case-study workload with the dense append-only slice series
+// against the original map-per-kernel accumulator
+// (Options.UseMapAccum).  Both produce identical profiles (asserted in
+// internal/core); the dense path drops the per-event map lookup and the
+// per-event slice division.
+func BenchmarkSliceAccum(b *testing.B) {
+	s := benchStudy(b)
+	for _, useMap := range []bool{false, true} {
+		name := "dense"
+		if useMap {
+			name = "map"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m, _ := s.W.NewMachine()
+				e := pin.NewEngine(m)
+				tool := core.Attach(e, core.Options{
+					SliceInterval: 5000,
+					IncludeStack:  true,
+					UseMapAccum:   useMap,
+				})
+				if err := m.Run(wfs.MaxInstr); err != nil {
+					b.Fatalf("run: %v", err)
+				}
+				if i == 0 {
+					prof := tool.Snapshot()
+					b.ReportMetric(float64(prof.TotalInstr), "guest_instructions")
+					b.ReportMetric(float64(prof.NumSlices), "slices")
+				}
+			}
+		})
 	}
 }
 

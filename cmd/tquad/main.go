@@ -4,10 +4,19 @@
 //
 // Usage:
 //
-//	tquad [-config small|study] [-slice N] [-stack include|exclude]
-//	      [-ignore-libs] [-metric reads|writes|both] [-kernels top|last|all]
+//	tquad [-config small|study] [-slice N[,N...]] [-jobs N]
+//	      [-stack include|exclude] [-ignore-libs]
+//	      [-metric reads|writes|both] [-kernels top|last|all]
 //	      [-width N] [-csv]
 //	      [-metrics FILE] [-trace FILE] [-journal FILE]
+//
+// -slice accepts a comma-separated list of intervals; more than one
+// interval runs the whole sweep through the parallel experiment
+// scheduler (bounded by -jobs, default GOMAXPROCS) and prints each
+// run's charts and statistics in interval order.  If any run fails the
+// command reports every failure and exits non-zero.  The export flags
+// (-csv, -json, -svg, -metrics, -trace, -journal) apply to
+// single-interval runs only.
 //
 // -metrics writes a Prometheus text-format snapshot, -trace a
 // chrome://tracing-compatible JSON trace of the pipeline stages (open it
@@ -21,6 +30,8 @@ import (
 	"log"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 
 	"tquad/internal/core"
 	"tquad/internal/obs"
@@ -37,7 +48,8 @@ func main() {
 	log.SetPrefix("tquad: ")
 	var (
 		config     = flag.String("config", "small", "workload configuration: small or study")
-		slice      = flag.Uint64("slice", 0, "time slice interval in instructions (0 = ~64 slices)")
+		slice      = flag.String("slice", "0", "time slice interval(s) in instructions, comma-separated (0 = ~64 slices); more than one runs a parallel sweep")
+		jobs       = flag.Int("jobs", 0, "maximum concurrently executing runs in a -slice sweep (0 = GOMAXPROCS)")
 		stack      = flag.String("stack", "include", "stack-area accesses: include or exclude")
 		ignoreLibs = flag.Bool("ignore-libs", false, "exclude OS/library routine bandwidth")
 		metric     = flag.String("metric", "reads", "plotted metric: reads, writes or both")
@@ -60,6 +72,20 @@ func main() {
 	if *stack != "include" && *stack != "exclude" {
 		log.Fatalf("bad -stack %q", *stack)
 	}
+	intervals, err := parseSlices(*slice)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if len(intervals) > 1 {
+		if *csv || *jsonFile != "" || *svgFile != "" || *metricsOut != "" || *traceOut != "" || *journalOut != "" {
+			log.Fatal("-csv, -json, -svg, -metrics, -trace and -journal apply to single-interval runs only")
+		}
+		if err := runSweep(cfg, intervals, includeStack, *ignoreLibs, *jobs, *metric, *kernels, *width); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	// The observer stays nil (zero-cost) unless an export was requested.
 	var o *obs.Observer
@@ -75,7 +101,7 @@ func main() {
 	instrument := o.Tracer().Start("instrument")
 	m, _ := w.NewMachine()
 	e := pin.NewEngine(m)
-	interval := *slice
+	interval := intervals[0]
 	if interval == 0 {
 		// Dry-sizing: aim for ~64 slices like the paper's Figure 6.
 		s, err := study.New(cfg)
@@ -159,16 +185,109 @@ func main() {
 		finish(reportSpan)
 		return
 	}
-	if *metric == "reads" || *metric == "both" {
-		fmt.Print(study.RenderFigure("reads (bytes per slice)", prof, names, true, includeStack, *width))
-		fmt.Println()
-	}
-	if *metric == "writes" || *metric == "both" {
-		fmt.Print(study.RenderFigure("writes (bytes per slice)", prof, names, false, includeStack, *width))
-		fmt.Println()
-	}
+	printCharts(prof, names, *metric, includeStack, *width)
+	fmt.Print(summaryTable(prof, names, includeStack))
 
-	// Summary statistics (Table IV's per-kernel columns).
+	// End-of-run overhead accounting — the live analogue of the paper's
+	// Table III / Section V.A breakdown.
+	fmt.Println()
+	fmt.Print(tool.Breakdown().String())
+	finish(reportSpan)
+	if o != nil {
+		fmt.Println()
+		fmt.Print("pipeline stages:\n" + study.RenderSpans(o.Spans))
+	}
+}
+
+// runSweep executes one tQUAD run per interval through the parallel
+// scheduler and prints each run's output in interval order.
+func runSweep(cfg wfs.Config, intervals []uint64, includeStack, ignoreLibs bool, jobs int, metric, kernels string, width int) error {
+	s, err := study.New(cfg)
+	if err != nil {
+		return err
+	}
+	sch := study.NewScheduler(s, jobs)
+	resolved := make([]uint64, len(intervals))
+	for i, iv := range intervals {
+		if iv == 0 {
+			if iv, err = sch.SliceForCount(64); err != nil {
+				return err
+			}
+		}
+		resolved[i] = iv
+	}
+	pend := make([]*study.Pending, len(resolved))
+	for i, iv := range resolved {
+		pend[i] = sch.Submit(study.RunConfig{
+			Kind:          study.RunTQUAD,
+			SliceInterval: iv,
+			IncludeStack:  includeStack,
+			ExcludeLibs:   ignoreLibs,
+		})
+	}
+	// Drain the sweep before printing: any failure means a non-zero exit
+	// with no partial output.
+	if errs := sch.Flush(); len(errs) > 0 {
+		for _, e := range errs {
+			log.Print(e)
+		}
+		return fmt.Errorf("%d of %d runs failed", len(errs), len(resolved))
+	}
+	for i, p := range pend {
+		res, err := p.Wait()
+		if err != nil {
+			return err
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		prof := res.Temporal
+		fmt.Printf("tQUAD: %d instructions, %d slices of %d instructions, slowdown %.1fx\n\n",
+			prof.TotalInstr, prof.NumSlices, prof.SliceInterval,
+			float64(res.Time)/float64(prof.TotalInstr))
+		names := kernelSet(kernels, prof)
+		printCharts(prof, names, metric, includeStack, width)
+		fmt.Print(summaryTable(prof, names, includeStack))
+		fmt.Println()
+		fmt.Print(res.Breakdown.String())
+	}
+	return nil
+}
+
+// parseSlices parses the -slice flag: a comma-separated list of
+// non-negative interval values.
+func parseSlices(s string) ([]uint64, error) {
+	var out []uint64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		iv, err := strconv.ParseUint(part, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -slice value %q", part)
+		}
+		out = append(out, iv)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("bad -slice %q: no intervals", s)
+	}
+	return out, nil
+}
+
+func printCharts(prof *core.Profile, names []string, metric string, includeStack bool, width int) {
+	if metric == "reads" || metric == "both" {
+		fmt.Print(study.RenderFigure("reads (bytes per slice)", prof, names, true, includeStack, width))
+		fmt.Println()
+	}
+	if metric == "writes" || metric == "both" {
+		fmt.Print(study.RenderFigure("writes (bytes per slice)", prof, names, false, includeStack, width))
+		fmt.Println()
+	}
+}
+
+// summaryTable renders the per-kernel statistics (Table IV's columns).
+func summaryTable(prof *core.Profile, names []string, includeStack bool) string {
 	t := report.NewTable("kernel", "first", "last", "activity span",
 		"avg rd B/i", "avg wr B/i", "max R+W B/i")
 	for _, n := range names {
@@ -180,17 +299,7 @@ func main() {
 		t.AddRow(n, report.U(k.FirstSlice), report.U(k.LastSlice), report.U(k.ActivitySpan),
 			report.F(st.AvgRead), report.F(st.AvgWrite), report.F(st.MaxRW))
 	}
-	fmt.Print(t.String())
-
-	// End-of-run overhead accounting — the live analogue of the paper's
-	// Table III / Section V.A breakdown.
-	fmt.Println()
-	fmt.Print(tool.Breakdown().String())
-	finish(reportSpan)
-	if o != nil {
-		fmt.Println()
-		fmt.Print("pipeline stages:\n" + study.RenderSpans(o.Spans))
-	}
+	return t.String()
 }
 
 func pickConfig(name string) (wfs.Config, error) {

@@ -5,7 +5,15 @@
 //
 // Usage:
 //
-//	wfsstudy [-config small|study] [-metrics FILE] [-trace FILE] [-journal FILE]
+//	wfsstudy [-config small|study] [-jobs N] [-metrics FILE] [-trace FILE] [-journal FILE]
+//
+// Every experiment in the sweep is submitted to the parallel scheduler
+// up front and executes concurrently, bounded by -jobs (default
+// GOMAXPROCS); configurations shared between tables and figures execute
+// the guest once.  Rendering happens only after the whole sweep has
+// drained — if any experiment fails, each failure is reported and the
+// command exits non-zero without printing partial tables.  Output is
+// byte-identical for every -jobs value.
 //
 // -metrics writes a Prometheus text-format snapshot of every run's
 // counters, -trace a chrome://tracing JSON timeline of the pipeline
@@ -19,7 +27,6 @@ import (
 	"log"
 
 	"tquad/internal/cluster"
-	"tquad/internal/core"
 	"tquad/internal/obs"
 	"tquad/internal/study"
 	"tquad/internal/wfs"
@@ -29,123 +36,152 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("wfsstudy: ")
 	config := flag.String("config", "study", "workload configuration: small or study")
+	jobs := flag.Int("jobs", 0, "maximum concurrently executing experiments (0 = GOMAXPROCS)")
 	metricsOut := flag.String("metrics", "", "write a Prometheus text-format metrics snapshot to this file")
 	traceOut := flag.String("trace", "", "write a chrome://tracing JSON trace of the pipeline stages to this file")
 	journalOut := flag.String("journal", "", "write a JSONL event journal (spans + metrics) to this file")
 	flag.Parse()
 
+	if err := run(*config, *jobs, *metricsOut, *traceOut, *journalOut); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(config string, jobs int, metricsOut, traceOut, journalOut string) error {
 	var cfg wfs.Config
-	switch *config {
+	switch config {
 	case "small":
 		cfg = wfs.Small()
 	case "study":
 		cfg = wfs.Study()
 	default:
-		log.Fatalf("unknown config %q", *config)
+		return fmt.Errorf("unknown config %q", config)
 	}
 
 	// The observer stays nil (zero-cost) unless an export was requested.
 	var o *obs.Observer
-	if *metricsOut != "" || *traceOut != "" || *journalOut != "" {
+	if metricsOut != "" || traceOut != "" || journalOut != "" {
 		o = obs.NewObserver()
 	}
 
 	s, err := study.NewObserved(cfg, o)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	native, err := s.NativeICount()
+	sch := study.NewScheduler(s, jobs)
+
+	// Slice sizing needs the native instruction count, so that run goes
+	// first; everything after is submitted up front and runs concurrently.
+	native, err := sch.NativeICount()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("## Case study: hArtes-wfs-like workload (%s configuration)\n\n", *config)
+	iv64, err := sch.SliceForCount(64)
+	if err != nil {
+		return err
+	}
+	iv256, err := sch.SliceForCount(256)
+	if err != nil {
+		return err
+	}
+
+	pFlat := sch.Submit(study.RunConfig{Kind: study.RunFlat})
+	pQuadEx := sch.Submit(study.RunConfig{Kind: study.RunQUAD, IncludeStack: false})
+	pQuadIn := sch.Submit(study.RunConfig{Kind: study.RunQUAD, IncludeStack: true})
+	pInstr := sch.Submit(study.RunConfig{Kind: study.RunInstrFlat})
+	pFig6 := sch.Submit(study.RunConfig{Kind: study.RunTQUAD, SliceInterval: iv64, IncludeStack: true})
+	pFig7 := sch.Submit(study.RunConfig{Kind: study.RunTQUAD, SliceInterval: iv256, IncludeStack: true})
+	pPhases := sch.Submit(study.RunConfig{Kind: study.RunTQUAD, SliceInterval: 5000, IncludeStack: true})
+
+	// The slowdown grid shares the scheduler, so any of its
+	// configurations that coincide with a figure's reuse that run.
+	rows, rowsErr := sch.Slowdown([]uint64{native / 2000, native / 64, native / 16})
+
+	// Drain the whole sweep before rendering anything: a failed
+	// experiment means a non-zero exit with no partial tables.
+	if errs := sch.Flush(); len(errs) > 0 {
+		for _, e := range errs {
+			log.Print(e)
+		}
+		return fmt.Errorf("%d experiment(s) failed; no tables rendered", len(errs))
+	}
+	if rowsErr != nil {
+		return rowsErr
+	}
+
+	// The sweep is complete; every Wait below returns instantly.
+	flatRes, err := pFlat.Wait()
+	if err != nil {
+		return err
+	}
+	quadExRes, err := pQuadEx.Wait()
+	if err != nil {
+		return err
+	}
+	quadInRes, err := pQuadIn.Wait()
+	if err != nil {
+		return err
+	}
+	instrRes, err := pInstr.Wait()
+	if err != nil {
+		return err
+	}
+	fig6Res, err := pFig6.Wait()
+	if err != nil {
+		return err
+	}
+	fig7Res, err := pFig7.Wait()
+	if err != nil {
+		return err
+	}
+	phasesRes, err := pPhases.Wait()
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("## Case study: hArtes-wfs-like workload (%s configuration)\n\n", config)
 	fmt.Printf("1 primary source, %d secondary sources (speakers), %d frames of %d samples, %d-point FFT.\n",
 		cfg.Speakers, cfg.Frames, cfg.FrameSize, cfg.FFTSize)
 	fmt.Printf("Native execution: %d guest instructions.\n\n", native)
 
-	// Table I.
-	flat, err := s.FlatProfile()
-	if err != nil {
-		log.Fatal(err)
-	}
 	fmt.Println("### Table I — flat profile (gprof analogue)")
 	fmt.Println()
-	fmt.Println(study.RenderTableI(flat))
+	fmt.Println(study.RenderTableI(flatRes.Flat))
 
-	// Table II.
-	excl, _, err := s.QUAD(false)
-	if err != nil {
-		log.Fatal(err)
-	}
-	incl, _, err := s.QUAD(true)
-	if err != nil {
-		log.Fatal(err)
-	}
 	fmt.Println("### Table II — QUAD producer/consumer summary")
 	fmt.Println()
-	fmt.Println(study.RenderTableII(excl, incl))
+	fmt.Println(study.RenderTableII(quadExRes.Quad, quadInRes.Quad))
 
-	// Table III.
-	base, instr, err := s.InstrumentedFlat()
-	if err != nil {
-		log.Fatal(err)
-	}
 	fmt.Println("### Table III — flat profile of the QUAD-instrumented run")
 	fmt.Println()
-	fmt.Println(study.RenderTableIII(base, instr))
+	fmt.Println(study.RenderTableIII(flatRes.Flat, instrRes.Flat))
 
-	// Figure 6.
-	iv64, err := s.SliceForCount(64)
-	if err != nil {
-		log.Fatal(err)
-	}
-	prof6, m6, err := s.TQUAD(core.Options{SliceInterval: iv64, IncludeStack: true})
-	if err != nil {
-		log.Fatal(err)
-	}
 	fmt.Printf("### Figure 6 — reads, stack included, %d slices (slowdown %.1fx)\n\n",
-		prof6.NumSlices, float64(m6.Time())/float64(prof6.TotalInstr))
+		fig6Res.Temporal.NumSlices, float64(fig6Res.Time)/float64(fig6Res.Temporal.TotalInstr))
 	fmt.Println("```")
-	fmt.Print(study.RenderFigure("bytes per slice", prof6, wfs.TopTenKernels(), true, true, 64))
-	fmt.Println("```")
-	fmt.Println()
-
-	// Figure 7.
-	iv256, err := s.SliceForCount(256)
-	if err != nil {
-		log.Fatal(err)
-	}
-	prof7, _, err := s.TQUAD(core.Options{SliceInterval: iv256, IncludeStack: true})
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("### Figure 7 — writes, stack excluded, %d slices\n\n", prof7.NumSlices)
-	fmt.Println("```")
-	fmt.Print(study.RenderFigure("bytes per slice", prof7, wfs.LastTenKernels(), false, false, 128))
+	fmt.Print(study.RenderFigure("bytes per slice", fig6Res.Temporal, wfs.TopTenKernels(), true, true, 64))
 	fmt.Println("```")
 	fmt.Println()
 
-	// Table IV.
-	phases, prof, err := s.Phases(5000)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("### Table IV — %d phases over %d slices of 5000 instructions\n\n", len(phases), prof.NumSlices)
+	fmt.Printf("### Figure 7 — writes, stack excluded, %d slices\n\n", fig7Res.Temporal.NumSlices)
 	fmt.Println("```")
-	fmt.Print(study.RenderTableIV(phases, prof.NumSlices))
+	fmt.Print(study.RenderFigure("bytes per slice", fig7Res.Temporal, wfs.LastTenKernels(), false, false, 128))
+	fmt.Println("```")
+	fmt.Println()
+
+	phases := s.PhasesFromProfile(phasesRes.Temporal)
+	fmt.Printf("### Table IV — %d phases over %d slices of 5000 instructions\n\n",
+		len(phases), phasesRes.Temporal.NumSlices)
+	fmt.Println("```")
+	fmt.Print(study.RenderTableIV(phases, phasesRes.Temporal.NumSlices))
 	fmt.Println("```")
 
-	// Slowdown.
-	rows, err := s.Slowdown([]uint64{native / 2000, native / 64, native / 16})
-	if err != nil {
-		log.Fatal(err)
-	}
 	fmt.Println("### Section V.A — instrumentation slowdown (simulated)")
 	fmt.Println()
 	fmt.Println(study.RenderSlowdown(rows))
 
 	// Task clustering (the paper's stated consumer of these results).
-	res := cluster.Build(prof, incl, cluster.Options{TargetClusters: 5, IncludeStack: true})
+	res := cluster.Build(phasesRes.Temporal, quadInRes.Quad, cluster.Options{TargetClusters: 5, IncludeStack: true})
 	fmt.Println("### Outlook — kernel clustering for task partitioning")
 	fmt.Println()
 	for i, c := range res.Clusters {
@@ -154,12 +190,13 @@ func main() {
 	fmt.Printf("inter-cluster communication: %d bytes\n", res.InterBytes)
 
 	if o != nil {
-		if err := o.WriteFiles(*metricsOut, *traceOut, *journalOut); err != nil {
-			log.Fatal(err)
+		if err := o.WriteFiles(metricsOut, traceOut, journalOut); err != nil {
+			return err
 		}
 		fmt.Println()
 		fmt.Println("### Observability — pipeline stages and aggregate overhead")
 		fmt.Println()
 		fmt.Print(study.RenderObsSummary(o))
 	}
+	return nil
 }

@@ -1,0 +1,168 @@
+package core_test
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"tquad/internal/core"
+	"tquad/internal/pin"
+	"tquad/internal/vm"
+)
+
+// runBoth executes the streamer guest twice with identical options —
+// once on the dense append-only accumulator and once on the map-based
+// reference (Options.UseMapAccum) — and returns both snapshots.
+func runBoth(t *testing.T, opts core.Options) (dense, ref *core.Profile, denseTool, refTool *core.Tool, denseM, refM *vm.Machine) {
+	t.Helper()
+	run := func(useMap bool) (*core.Profile, *core.Tool, *vm.Machine) {
+		o := opts
+		o.UseMapAccum = useMap
+		m := buildStreamer(t)
+		e := pin.NewEngine(m)
+		tool := core.Attach(e, o)
+		if err := m.Run(10_000_000); err != nil {
+			t.Fatal(err)
+		}
+		return tool.Snapshot(), tool, m
+	}
+	dense, denseTool, denseM = run(false)
+	ref, refTool, refM = run(true)
+	return
+}
+
+// TestDenseMatchesMapAccum is the golden equivalence test: across slice
+// intervals (including 1, where every traced event lands exactly on a
+// slice boundary) and both stack modes, the dense accumulator must
+// produce a profile identical to the original map-based one, charge the
+// same simulated overhead and count the same snapshots.
+func TestDenseMatchesMapAccum(t *testing.T) {
+	for _, interval := range []uint64{1, 100, 250, 256, 400, 499, 500, 10_000} {
+		for _, incl := range []bool{true, false} {
+			t.Run(fmt.Sprintf("iv%d_stack%v", interval, incl), func(t *testing.T) {
+				opts := core.Options{SliceInterval: interval, IncludeStack: incl}
+				dense, ref, dt, rt, dm, rm := runBoth(t, opts)
+				if !reflect.DeepEqual(dense, ref) {
+					t.Errorf("dense and map profiles differ")
+					if len(dense.Kernels) != len(ref.Kernels) {
+						t.Fatalf("kernel counts: dense %d, map %d", len(dense.Kernels), len(ref.Kernels))
+					}
+					for i := range dense.Kernels {
+						if !reflect.DeepEqual(dense.Kernels[i], ref.Kernels[i]) {
+							t.Errorf("kernel %s differs:\ndense %+v\nmap   %+v",
+								dense.Kernels[i].Name, dense.Kernels[i], ref.Kernels[i])
+						}
+					}
+				}
+				if db, rb := dt.Breakdown(), rt.Breakdown(); db != rb {
+					t.Errorf("overhead breakdowns differ:\ndense %+v\nmap   %+v", db, rb)
+				}
+				if dm.Overhead != rm.Overhead {
+					t.Errorf("machine overhead: dense %d, map %d", dm.Overhead, rm.Overhead)
+				}
+			})
+		}
+	}
+}
+
+// TestEveryEventOnSliceBoundary pins the boundary-crossing path: with a
+// slice interval of one instruction, every traced event sits exactly on
+// a slice boundary, so each one must rotate the accumulator and charge
+// exactly one snapshot.
+func TestEveryEventOnSliceBoundary(t *testing.T) {
+	m := buildStreamer(t)
+	e := pin.NewEngine(m)
+	tool := core.Attach(e, core.Options{SliceInterval: 1, IncludeStack: true})
+	if err := m.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	prof := tool.Snapshot()
+	if tool.Snapshots != tool.TraceCalls {
+		t.Errorf("interval 1: snapshots %d != trace calls %d (every event is a boundary)",
+			tool.Snapshots, tool.TraceCalls)
+	}
+	// One-instruction slices: no point can accumulate more than one
+	// event's traffic, and slice indices must stay within the run.
+	for _, k := range prof.Kernels {
+		for _, p := range k.Points {
+			if p.Slice >= prof.NumSlices {
+				t.Fatalf("%s: point slice %d beyond run (%d slices)", k.Name, p.Slice, prof.NumSlices)
+			}
+		}
+	}
+}
+
+// TestNonContiguousSlicePoints asserts the dense series stays sorted and
+// strictly increasing for a kernel that is active in non-contiguous
+// slices (the streamer's burst kernel runs three times with idle gaps).
+func TestNonContiguousSlicePoints(t *testing.T) {
+	prof, _, _ := runTQUAD(t, core.Options{SliceInterval: 400, IncludeStack: false})
+	burst, ok := prof.Kernel("burst")
+	if !ok {
+		t.Fatal("burst missing")
+	}
+	if len(burst.Points) < 2 {
+		t.Fatalf("burst has %d points, want several", len(burst.Points))
+	}
+	gap := false
+	for i := 1; i < len(burst.Points); i++ {
+		prev, cur := burst.Points[i-1].Slice, burst.Points[i].Slice
+		if cur <= prev {
+			t.Fatalf("points not strictly increasing: slice %d after %d", cur, prev)
+		}
+		if cur > prev+1 {
+			gap = true
+		}
+	}
+	if !gap {
+		t.Error("burst occupies contiguous slices; expected idle gaps between bursts")
+	}
+}
+
+// TestEmptyFinalSlice stops the guest mid-way through the compute-only
+// idle kernel (instruction budget exhaustion), so the run's final slice
+// carries instruction time but no byte traffic.  The snapshot must still
+// cover that slice, report no kernel as active in it, and agree with the
+// map-based reference.
+func TestEmptyFinalSlice(t *testing.T) {
+	const interval, budget = 500, 10_000
+	run := func(useMap bool) (*core.Profile, *vm.Machine) {
+		m := buildStreamer(t)
+		e := pin.NewEngine(m)
+		tool := core.Attach(e, core.Options{SliceInterval: interval, IncludeStack: false, UseMapAccum: useMap})
+		if err := m.Run(budget); !errors.Is(err, vm.ErrFuel) {
+			t.Fatalf("err = %v, want ErrFuel", err)
+		}
+		return tool.Snapshot(), m
+	}
+	dense, dm := run(false)
+	ref, _ := run(true)
+	if !reflect.DeepEqual(dense, ref) {
+		t.Errorf("dense and map profiles differ on truncated run")
+	}
+	if dm.ICount != budget {
+		t.Fatalf("ICount = %d, want %d", dm.ICount, budget)
+	}
+	wantSlices := uint64(budget / interval)
+	if dense.NumSlices != wantSlices {
+		t.Fatalf("NumSlices = %d, want %d", dense.NumSlices, wantSlices)
+	}
+	last := dense.NumSlices - 1
+	if active := dense.ActiveSet(last); len(active) != 0 {
+		t.Errorf("final slice %d has active kernels %v; idle loop writes only stack", last, active)
+	}
+	// Dense expansion must still produce a full-length, zero-tailed
+	// series for the burst kernel.
+	burst, ok := dense.Kernel("burst")
+	if !ok {
+		t.Fatal("burst missing")
+	}
+	series := burst.Series(dense.NumSlices, false, false)
+	if uint64(len(series)) != dense.NumSlices {
+		t.Fatalf("series length %d, want %d", len(series), dense.NumSlices)
+	}
+	if series[last] != 0 {
+		t.Errorf("burst traffic %d in the empty final slice", series[last])
+	}
+}

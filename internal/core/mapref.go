@@ -1,0 +1,84 @@
+// The original map-based slice accumulator, kept as the reference
+// implementation behind Options.UseMapAccum: one map[uint64]*SlicePoint
+// lookup per traced memory event.  The equivalence tests assert that the
+// dense append-only accumulator produces byte-identical profiles, and
+// BenchmarkSliceAccum measures what the map lookup used to cost on the
+// tracing hot path.
+package core
+
+import "sort"
+
+// mapSeries is one kernel's temporal data keyed by slice index.
+type mapSeries struct {
+	name   string
+	points map[uint64]*SlicePoint
+}
+
+// mapAccum accumulates every kernel's series through per-slice map
+// lookups.
+type mapAccum struct {
+	ids    map[string]uint16
+	series []*mapSeries
+}
+
+func newMapAccum() *mapAccum {
+	return &mapAccum{
+		ids:    make(map[string]uint16),
+		series: []*mapSeries{nil}, // id 0 reserved
+	}
+}
+
+func (a *mapAccum) id(name string) uint16 {
+	if id, ok := a.ids[name]; ok {
+		return id
+	}
+	id := uint16(len(a.series))
+	a.ids[name] = id
+	a.series = append(a.series, &mapSeries{name: name, points: make(map[uint64]*SlicePoint)})
+	return id
+}
+
+// add charges delta instructions and size bytes to the kernel's slice
+// accumulator.  A size of zero is the instruction-time-only path
+// (chargeInstr) and leaves the byte counters untouched.
+func (a *mapAccum) add(name string, slice, delta, size uint64, isRead, isStack bool) {
+	ks := a.series[a.id(name)]
+	pt := ks.points[slice]
+	if pt == nil {
+		pt = &SlicePoint{Slice: slice}
+		ks.points[slice] = pt
+	}
+	pt.Instr += delta
+	if size == 0 {
+		return
+	}
+	if isRead {
+		pt.ReadIncl += size
+		if !isStack {
+			pt.ReadExcl += size
+		}
+	} else {
+		pt.WriteIncl += size
+		if !isStack {
+			pt.WriteExcl += size
+		}
+	}
+}
+
+// kernels materialises the per-kernel profiles (points sorted by slice,
+// kernels by name).
+func (a *mapAccum) kernels() []*KernelProfile {
+	var out []*KernelProfile
+	for id := 1; id < len(a.series); id++ {
+		ks := a.series[id]
+		kp := &KernelProfile{Name: ks.name}
+		for _, pt := range ks.points {
+			kp.Points = append(kp.Points, *pt)
+		}
+		sort.Slice(kp.Points, func(i, j int) bool { return kp.Points[i].Slice < kp.Points[j].Slice })
+		kp.finish()
+		out = append(out, kp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -46,6 +46,13 @@ type Options struct {
 	// reads.  Exists for the ablation benchmark; the paper's tool never
 	// does this.
 	TracePrefetches bool
+	// UseMapAccum selects the original map-per-kernel slice accumulator
+	// (one map[uint64]*SlicePoint lookup per traced event) instead of
+	// the dense append-only series.  Exists as the reference
+	// implementation for the equivalence tests and the
+	// BenchmarkSliceAccum ablation; profiles from both paths are
+	// identical.
+	UseMapAccum bool
 
 	// Simulated analysis costs (instruction-equivalents); zero selects
 	// the defaults.
@@ -110,10 +117,27 @@ func (p SlicePoint) Total(includeStack bool) uint64 {
 	return p.ReadExcl + p.WriteExcl
 }
 
-// kernelSeries accumulates one kernel's temporal data during the run.
+// kernelSeries accumulates one kernel's temporal data during the run as
+// an append-only dense series.  Slice indices derive from the monotonic
+// instruction clock, so points arrive in non-decreasing slice order and
+// the series is sorted by construction; cur caches a pointer to the last
+// appended point so the common case — same kernel, same slice — is a
+// single pointer compare instead of a map lookup.
 type kernelSeries struct {
 	name   string
-	points map[uint64]*SlicePoint
+	points []SlicePoint
+	cur    *SlicePoint // &points[len(points)-1], nil until the first point
+}
+
+// at returns the accumulator point for the given slice, appending a new
+// one when the kernel enters a slice it has not touched yet.
+func (ks *kernelSeries) at(slice uint64) *SlicePoint {
+	if pt := ks.cur; pt != nil && pt.Slice == slice {
+		return pt
+	}
+	ks.points = append(ks.points, SlicePoint{Slice: slice})
+	ks.cur = &ks.points[len(ks.points)-1]
+	return ks.cur
 }
 
 // Tool is one attached tQUAD instance.
@@ -122,10 +146,17 @@ type Tool struct {
 	engine *pin.Engine
 	stack  *callstack.Stack
 
-	series    []*kernelSeries
-	ids       map[string]uint16
-	lastSlice uint64
-	lastIC    uint64 // ICount at the previous attributed event
+	series []*kernelSeries
+	ids    map[string]uint16
+	ref    *mapAccum // non-nil only with Options.UseMapAccum
+	// curSlice is the slice the instruction clock currently lies in and
+	// sliceEnd its exclusive upper bound in instructions: the per-event
+	// slice-boundary check is one compare against sliceEnd, and the
+	// division that names the new slice is paid only at the boundary
+	// (inside rotate, the snapshot tick), not per traced event.
+	curSlice uint64
+	sliceEnd uint64
+	lastIC   uint64 // ICount at the previous attributed event
 	// Snapshots counts slice-boundary snapshot operations.
 	Snapshots uint64
 	// Per-path analysis-call counters — the measured analogue of the
@@ -142,10 +173,14 @@ type Tool struct {
 func Attach(e *pin.Engine, opts Options) *Tool {
 	opts.setDefaults()
 	t := &Tool{
-		opts:   opts,
-		engine: e,
-		series: []*kernelSeries{nil}, // id 0 reserved
-		ids:    make(map[string]uint16),
+		opts:     opts,
+		engine:   e,
+		series:   []*kernelSeries{nil}, // id 0 reserved
+		ids:      make(map[string]uint16),
+		sliceEnd: opts.SliceInterval,
+	}
+	if opts.UseMapAccum {
+		t.ref = newMapAccum()
 	}
 	e.InitSymbols()
 	t.stack = callstack.New(func(target uint64) (string, bool, bool) {
@@ -165,8 +200,16 @@ func (t *Tool) kernelID(name string) uint16 {
 	}
 	id := uint16(len(t.series))
 	t.ids[name] = id
-	t.series = append(t.series, &kernelSeries{name: name, points: make(map[uint64]*SlicePoint)})
+	t.series = append(t.series, &kernelSeries{name: name})
 	return id
+}
+
+// numKernels returns the number of kernels observed so far.
+func (t *Tool) numKernels() uint64 {
+	if t.ref != nil {
+		return uint64(len(t.ref.ids))
+	}
+	return uint64(len(t.ids))
 }
 
 // instruction is the Instruction() instrumentation routine: it sets up
@@ -205,6 +248,17 @@ func (t *Tool) instruction(ins *pin.INS) {
 	}
 }
 
+// rotate is the snapshot tick: it advances the current slice to the one
+// containing ic, charging the snapshot-management cost once per observed
+// boundary crossing (rotating the bandwidth usage data list).  The only
+// division on the tracing path lives here.
+func (t *Tool) rotate(ic uint64) {
+	t.curSlice = ic / t.opts.SliceInterval
+	t.sliceEnd = (t.curSlice + 1) * t.opts.SliceInterval
+	t.engine.Machine().ChargeOverhead(t.opts.CostSnapshot)
+	t.Snapshots++
+}
+
 // account is the IncreaseRead/IncreaseWrite analysis body: it charges the
 // current kernel's slice accumulator.
 func (t *Tool) account(ctx *pin.Context, isRead, isStack bool) {
@@ -223,28 +277,30 @@ func (t *Tool) account(ctx *pin.Context, isRead, isStack bool) {
 	if !t.opts.IncludeStack && isStack {
 		t.SkipCalls++
 		m.ChargeOverhead(t.opts.CostSkip)
-		t.chargeInstr(fr.Name, m.ICount/t.opts.SliceInterval, delta)
+		// The early-discard path attributes time but performs no
+		// snapshot management (the paper charges that to the tracing
+		// path), so the slice is named without rotating.
+		slice := t.curSlice
+		if m.ICount >= t.sliceEnd {
+			slice = m.ICount / t.opts.SliceInterval
+		}
+		t.chargeInstr(fr.Name, slice, delta)
 		return
 	}
 	t.TraceCalls++
 	m.ChargeOverhead(t.opts.CostTrace)
-	id := t.kernelID(fr.Name)
-	ks := t.series[id]
-	slice := m.ICount / t.opts.SliceInterval
-	if slice != t.lastSlice {
-		// Slice boundary: snapshot management (rotating the bandwidth
-		// usage data list), the slice-dependent part of the overhead.
-		m.ChargeOverhead(t.opts.CostSnapshot)
-		t.Snapshots++
-		t.lastSlice = slice
+	if m.ICount >= t.sliceEnd {
+		// Slice boundary: snapshot management, the slice-dependent part
+		// of the overhead.
+		t.rotate(m.ICount)
 	}
-	pt := ks.points[slice]
-	if pt == nil {
-		pt = &SlicePoint{Slice: slice}
-		ks.points[slice] = pt
-	}
-	pt.Instr += delta
 	size := uint64(ctx.Size)
+	if t.ref != nil {
+		t.ref.add(fr.Name, t.curSlice, delta, size, isRead, isStack)
+		return
+	}
+	pt := t.series[t.kernelID(fr.Name)].at(t.curSlice)
+	pt.Instr += delta
 	if isRead {
 		pt.ReadIncl += size
 		if !isStack {
@@ -264,14 +320,11 @@ func (t *Tool) chargeInstr(name string, slice, delta uint64) {
 	if delta == 0 {
 		return
 	}
-	id := t.kernelID(name)
-	ks := t.series[id]
-	pt := ks.points[slice]
-	if pt == nil {
-		pt = &SlicePoint{Slice: slice}
-		ks.points[slice] = pt
+	if t.ref != nil {
+		t.ref.add(name, slice, delta, 0, false, true)
+		return
 	}
-	pt.Instr += delta
+	t.series[t.kernelID(name)].at(slice).Instr += delta
 }
 
 // KernelProfile is the finished temporal record of one kernel.
@@ -395,42 +448,55 @@ type Profile struct {
 	Kernels       []*KernelProfile
 }
 
+// finish derives the kernel's totals and activity figures from its
+// (sorted) point series.
+func (kp *KernelProfile) finish() {
+	first := true
+	for _, pt := range kp.Points {
+		kp.TotalReadIncl += pt.ReadIncl
+		kp.TotalReadExcl += pt.ReadExcl
+		kp.TotalWriteIncl += pt.WriteIncl
+		kp.TotalWriteExcl += pt.WriteExcl
+		if pt.hasTraffic() {
+			if first {
+				kp.FirstSlice = pt.Slice
+				first = false
+			}
+			kp.LastSlice = pt.Slice
+			kp.ActivitySpan++
+		}
+	}
+}
+
+// assemble materialises the per-kernel profiles, sorted by name.
+func (t *Tool) assemble() []*KernelProfile {
+	if t.ref != nil {
+		return t.ref.kernels()
+	}
+	var out []*KernelProfile
+	for id := 1; id < len(t.series); id++ {
+		ks := t.series[id]
+		// The dense series is sorted by construction (the slice index
+		// derives from the monotonic instruction clock).
+		kp := &KernelProfile{Name: ks.name, Points: append([]SlicePoint(nil), ks.points...)}
+		kp.finish()
+		out = append(out, kp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
 // Snapshot assembles the profile accumulated so far (normally called
 // after the machine halts).
 func (t *Tool) Snapshot() *Profile {
 	ic := t.engine.Machine().ICount
-	p := &Profile{
+	return &Profile{
 		SliceInterval: t.opts.SliceInterval,
 		NumSlices:     (ic + t.opts.SliceInterval - 1) / t.opts.SliceInterval,
 		TotalInstr:    ic,
 		IncludeStack:  t.opts.IncludeStack,
+		Kernels:       t.assemble(),
 	}
-	for id := 1; id < len(t.series); id++ {
-		ks := t.series[id]
-		kp := &KernelProfile{Name: ks.name}
-		for _, pt := range ks.points {
-			kp.Points = append(kp.Points, *pt)
-		}
-		sort.Slice(kp.Points, func(i, j int) bool { return kp.Points[i].Slice < kp.Points[j].Slice })
-		first := true
-		for _, pt := range kp.Points {
-			kp.TotalReadIncl += pt.ReadIncl
-			kp.TotalReadExcl += pt.ReadExcl
-			kp.TotalWriteIncl += pt.WriteIncl
-			kp.TotalWriteExcl += pt.WriteExcl
-			if pt.hasTraffic() {
-				if first {
-					kp.FirstSlice = pt.Slice
-					first = false
-				}
-				kp.LastSlice = pt.Slice
-				kp.ActivitySpan++
-			}
-		}
-		p.Kernels = append(p.Kernels, kp)
-	}
-	sort.Slice(p.Kernels, func(i, j int) bool { return p.Kernels[i].Name < p.Kernels[j].Name })
-	return p
 }
 
 // Kernel returns the profile of the named kernel.
@@ -517,11 +583,11 @@ func (t *Tool) PublishMetrics(r *obs.Registry) {
 
 	// Per-slice snapshot metrics: total traffic per populated slice, and
 	// per-kernel series sizes.
-	r.Counter("tquad_core_kernels_total").Add(uint64(len(t.ids)))
+	r.Counter("tquad_core_kernels_total").Add(t.numKernels())
 	slices := make(map[uint64]uint64)
-	for id := 1; id < len(t.series); id++ {
-		for s, pt := range t.series[id].points {
-			slices[s] += pt.ReadIncl + pt.WriteIncl
+	for _, kp := range t.assemble() {
+		for _, pt := range kp.Points {
+			slices[pt.Slice] += pt.ReadIncl + pt.WriteIncl
 		}
 	}
 	h := r.Histogram("tquad_core_slice_bytes", SliceByteBuckets)

@@ -1,0 +1,409 @@
+// The parallel experiment scheduler: the paper's evaluation is a sweep
+// (one flat profile, one QUAD run per stack mode, and tQUAD at many
+// slice intervals over the same WFS binary), and every run is
+// independent — each gets its own vm.Machine instantiated from the
+// shared, immutable Workload.  The scheduler executes submitted runs in
+// a worker pool bounded by a jobs limit (default GOMAXPROCS), memoises
+// results in a cache keyed by the full run configuration so figures and
+// tables that share a configuration execute the guest once, and folds
+// each run's private observability (registry + spans) into the study's
+// observer in config-key order so the merged output is deterministic
+// regardless of run completion order.
+//
+// Machine-independence audit (what makes the fan-out safe): a Machine
+// and everything it reaches (mem.Memory, gos.OS, pin.Engine, the
+// attached tools and their callstacks) is created per run and confined
+// to that run's goroutine; the only state shared between runs is the
+// Workload's linked program and synthesised input, both immutable after
+// construction (image.Image is never mutated post-link, wav.Encode is
+// pure), plus this scheduler's memo map and the per-run registries,
+// which are lock-protected.  The Study's serial methods and their
+// caches are NOT used by scheduler runs.
+package study
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"tquad/internal/core"
+	"tquad/internal/flatprof"
+	"tquad/internal/obs"
+	"tquad/internal/phase"
+	"tquad/internal/pin"
+	"tquad/internal/quad"
+	"tquad/internal/wfs"
+)
+
+// RunKind selects which profiler configuration a run executes.
+type RunKind uint8
+
+const (
+	// RunNative executes the guest uninstrumented (the slowdown
+	// baseline and the slice-sizing denominator).
+	RunNative RunKind = iota
+	// RunFlat produces the gprof-style flat profile (Table I).
+	RunFlat
+	// RunQUAD runs the QUAD producer/consumer tracker (Table II).
+	RunQUAD
+	// RunInstrFlat runs the flat profiler on the QUAD-instrumented
+	// binary (Table III's instrumented column).
+	RunInstrFlat
+	// RunTQUAD runs the temporal profiler (Figures 6/7, Table IV, the
+	// slowdown sweep).
+	RunTQUAD
+)
+
+func (k RunKind) String() string {
+	switch k {
+	case RunNative:
+		return "native"
+	case RunFlat:
+		return "flat"
+	case RunQUAD:
+		return "quad"
+	case RunInstrFlat:
+		return "instrflat"
+	case RunTQUAD:
+		return "tquad"
+	}
+	return fmt.Sprintf("kind%d", uint8(k))
+}
+
+// RunConfig is the full configuration of one instrumented run — the
+// memoisation key.  Two submissions with equal RunConfigs share a single
+// guest execution.
+type RunConfig struct {
+	Kind            RunKind
+	SliceInterval   uint64 // tQUAD only
+	IncludeStack    bool   // QUAD and tQUAD
+	ExcludeLibs     bool   // tQUAD only
+	TracePrefetches bool   // tQUAD only
+}
+
+// Key renders the canonical cache key: every field that influences the
+// run appears, in a fixed order, so equal configurations collide and the
+// merged observability ordering is stable.
+func (c RunConfig) Key() string {
+	switch c.Kind {
+	case RunNative, RunFlat, RunInstrFlat:
+		return c.Kind.String()
+	case RunQUAD:
+		return fmt.Sprintf("quad/stack=%s", stackWord(c.IncludeStack))
+	default:
+		return fmt.Sprintf("tquad/slice=%d/stack=%s/libs=%s/prefetch=%s",
+			c.SliceInterval, stackWord(c.IncludeStack),
+			word(c.ExcludeLibs, "main", "all"), word(c.TracePrefetches, "traced", "fast"))
+	}
+}
+
+func stackWord(include bool) string { return word(include, "include", "exclude") }
+
+func word(b bool, t, f string) string {
+	if b {
+		return t
+	}
+	return f
+}
+
+// RunResult is the outcome of one executed configuration.  Only the
+// fields matching the Kind are populated.
+type RunResult struct {
+	Config RunConfig
+	Key    string
+
+	ICount   uint64 // guest instructions executed
+	Overhead uint64 // simulated analysis overhead charged
+	Time     uint64 // ICount + Overhead (the simulated clock)
+
+	Flat      *flatprof.Profile      // RunFlat, RunInstrFlat
+	Quad      *quad.Report           // RunQUAD
+	Temporal  *core.Profile          // RunTQUAD
+	Breakdown core.OverheadBreakdown // RunTQUAD
+
+	// Registry and Spans hold the run's private observability, recorded
+	// into per-run sinks so concurrent runs never contend; Scheduler.Flush
+	// merges them into the study's observer.  Nil when observability is
+	// disabled.
+	Registry *obs.Registry
+	Spans    []obs.SpanRecord
+}
+
+// Pending is a handle to a submitted (possibly shared) run.
+type Pending struct {
+	key  string
+	done chan struct{}
+	res  *RunResult
+	err  error
+}
+
+// Wait blocks until the run completes and returns its result.  Multiple
+// goroutines may Wait on the same Pending.
+func (p *Pending) Wait() (*RunResult, error) {
+	<-p.done
+	return p.res, p.err
+}
+
+// Scheduler executes run configurations on a bounded worker pool with
+// config-keyed memoisation.  Safe for concurrent use.
+type Scheduler struct {
+	study *Study
+	jobs  int
+	sem   chan struct{}
+
+	mu     sync.Mutex
+	memo   map[string]*Pending
+	merged map[string]bool // keys already folded into the study observer
+}
+
+// NewScheduler creates a scheduler over the study's workload.  jobs
+// bounds the number of concurrently executing guests; values <= 0 select
+// GOMAXPROCS.
+func NewScheduler(s *Study, jobs int) *Scheduler {
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	return &Scheduler{
+		study:  s,
+		jobs:   jobs,
+		sem:    make(chan struct{}, jobs),
+		memo:   make(map[string]*Pending),
+		merged: make(map[string]bool),
+	}
+}
+
+// Jobs returns the scheduler's concurrency bound.
+func (sc *Scheduler) Jobs() int { return sc.jobs }
+
+// Submit schedules the configuration for execution and returns a handle
+// to its (possibly already running or finished) result.  Submissions
+// with a configuration seen before — by this scheduler — reuse the
+// earlier run.
+func (sc *Scheduler) Submit(cfg RunConfig) *Pending {
+	key := cfg.Key()
+	sc.mu.Lock()
+	if p, ok := sc.memo[key]; ok {
+		sc.mu.Unlock()
+		return p
+	}
+	p := &Pending{key: key, done: make(chan struct{})}
+	sc.memo[key] = p
+	sc.mu.Unlock()
+	go func() {
+		sc.sem <- struct{}{}
+		defer func() { <-sc.sem }()
+		p.res, p.err = sc.study.executeConfig(cfg)
+		close(p.done)
+	}()
+	return p
+}
+
+// Run submits the configuration and waits for its result.
+func (sc *Scheduler) Run(cfg RunConfig) (*RunResult, error) {
+	return sc.Submit(cfg).Wait()
+}
+
+// NativeICount returns the uninstrumented instruction count via a
+// (memoised) native run.
+func (sc *Scheduler) NativeICount() (uint64, error) {
+	res, err := sc.Run(RunConfig{Kind: RunNative})
+	if err != nil {
+		return 0, err
+	}
+	return res.ICount, nil
+}
+
+// SliceForCount returns the slice interval dividing the run into roughly
+// the requested number of slices (scheduler analogue of
+// Study.SliceForCount).
+func (sc *Scheduler) SliceForCount(slices uint64) (uint64, error) {
+	ic, err := sc.NativeICount()
+	if err != nil {
+		return 0, err
+	}
+	iv := ic / slices
+	if iv == 0 {
+		iv = 1
+	}
+	return iv, nil
+}
+
+// Flush waits for every submitted run and folds each run's private
+// observability into the study's observer, in config-key order, exactly
+// once per run.  It returns the failed runs' errors, also in config-key
+// order (empty when the whole sweep succeeded).
+func (sc *Scheduler) Flush() []error {
+	sc.mu.Lock()
+	keys := make([]string, 0, len(sc.memo))
+	for key := range sc.memo {
+		keys = append(keys, key)
+	}
+	sc.mu.Unlock()
+	sort.Strings(keys)
+
+	var errs []error
+	for _, key := range keys {
+		sc.mu.Lock()
+		p := sc.memo[key]
+		sc.mu.Unlock()
+		res, err := p.Wait()
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		sc.mu.Lock()
+		seen := sc.merged[key]
+		sc.merged[key] = true
+		sc.mu.Unlock()
+		if seen || res.Registry == nil {
+			continue
+		}
+		sc.study.Obs.Registry().Merge(res.Registry)
+		sc.study.Obs.Tracer().Adopt(key, res.Spans)
+	}
+	return errs
+}
+
+// Slowdown reproduces the Section V.A sweep through the scheduler: the
+// whole configuration grid (slice interval × stack mode, plus one QUAD
+// row per stack mode) is submitted up front and executes concurrently up
+// to the jobs bound; rows come back in sweep order regardless of run
+// completion order, byte-identical to the serial Study.Slowdown.
+func (sc *Scheduler) Slowdown(sliceIntervals []uint64) ([]SlowdownRow, error) {
+	native, err := sc.NativeICount()
+	if err != nil {
+		return nil, err
+	}
+	type sub struct {
+		row SlowdownRow
+		p   *Pending
+	}
+	var subs []sub
+	for _, iv := range sliceIntervals {
+		for _, incl := range []bool{true, false} {
+			subs = append(subs, sub{
+				row: SlowdownRow{Tool: "tQUAD", SliceInterval: iv, IncludeStack: incl},
+				p:   sc.Submit(RunConfig{Kind: RunTQUAD, SliceInterval: iv, IncludeStack: incl}),
+			})
+		}
+	}
+	for _, incl := range []bool{true, false} {
+		subs = append(subs, sub{
+			row: SlowdownRow{Tool: "QUAD", IncludeStack: incl},
+			p:   sc.Submit(RunConfig{Kind: RunQUAD, IncludeStack: incl}),
+		})
+	}
+	rows := make([]SlowdownRow, 0, len(subs))
+	for _, u := range subs {
+		res, err := u.p.Wait()
+		if err != nil {
+			return nil, err
+		}
+		u.row.Slowdown = float64(res.Time) / float64(native)
+		rows = append(rows, u.row)
+	}
+	sc.Flush()
+	return rows, nil
+}
+
+// SlowdownParallel is Study.Slowdown executed on a fresh scheduler with
+// the given parallelism.  Output is byte-identical to the serial sweep.
+func (s *Study) SlowdownParallel(sliceIntervals []uint64, jobs int) ([]SlowdownRow, error) {
+	return NewScheduler(s, jobs).Slowdown(sliceIntervals)
+}
+
+// PhasesFromProfile runs Table IV phase detection over an
+// already-computed fine-sliced tQUAD profile (the scheduler path, where
+// the profile comes from a RunResult).
+func (s *Study) PhasesFromProfile(prof *core.Profile) []phase.Phase {
+	opts := phase.Options{IncludeStack: true, Kernels: wfs.KernelNames(), Tracer: s.Obs.Tracer()}
+	return phase.Detect(prof, opts)
+}
+
+// executeConfig performs one run on a fresh machine with per-run
+// observability sinks.  It never touches the Study's serial caches, so
+// any number of executeConfig calls may be in flight at once.
+func (s *Study) executeConfig(cfg RunConfig) (*RunResult, error) {
+	var ro *obs.Observer
+	if s.Obs != nil {
+		ro = obs.NewObserver()
+	}
+	res := &RunResult{Config: cfg, Key: cfg.Key()}
+	run := ro.Tracer().Start("run")
+	m, _ := s.W.NewMachine()
+
+	var (
+		e     *pin.Engine
+		flatP *flatprof.Profiler
+		quadT *quad.Tool
+		coreT *core.Tool
+	)
+	instrument := ro.Tracer().Start("instrument")
+	if cfg.Kind != RunNative {
+		e = pin.NewEngine(m)
+	}
+	switch cfg.Kind {
+	case RunNative:
+	case RunFlat:
+		flatP = flatprof.Attach(e, flatprof.Options{Tracer: ro.Tracer()})
+	case RunQUAD:
+		quadT = quad.Attach(e, quad.Options{IncludeStack: cfg.IncludeStack})
+	case RunInstrFlat:
+		// The paper's configuration: QUAD with stack accesses discarded
+		// early, profiled by the flat profiler (Table III).
+		quad.Attach(e, quad.Options{IncludeStack: false})
+		flatP = flatprof.Attach(e, flatprof.Options{Tracer: ro.Tracer()})
+	case RunTQUAD:
+		coreT = core.Attach(e, core.Options{
+			SliceInterval:   cfg.SliceInterval,
+			IncludeStack:    cfg.IncludeStack,
+			ExcludeLibs:     cfg.ExcludeLibs,
+			TracePrefetches: cfg.TracePrefetches,
+		})
+	default:
+		instrument.End()
+		run.End()
+		return nil, fmt.Errorf("study: unknown run kind %d", cfg.Kind)
+	}
+	instrument.End()
+
+	execute := ro.Tracer().Start("execute")
+	err := m.Run(wfs.MaxInstr)
+	execute.SetInstr(m.ICount)
+	execute.SetBytes(m.MemStats.ReadBytes() + m.MemStats.WriteBytes())
+	execute.End()
+	if err == nil && m.ExitCode != 0 {
+		err = fmt.Errorf("guest exit code %d", m.ExitCode)
+	}
+	if err != nil {
+		run.End()
+		return nil, fmt.Errorf("study: run %s: %w", res.Key, err)
+	}
+
+	res.ICount, res.Overhead, res.Time = m.ICount, m.Overhead, m.Time()
+	m.PublishMetrics(ro.Registry())
+	if e != nil {
+		e.PublishMetrics(ro.Registry())
+	}
+	switch cfg.Kind {
+	case RunFlat, RunInstrFlat:
+		res.Flat = flatP.Report()
+	case RunQUAD:
+		res.Quad = quadT.Report()
+	case RunTQUAD:
+		coreT.PublishMetrics(ro.Registry())
+		snap := ro.Tracer().Start("snapshot")
+		res.Temporal = coreT.Snapshot()
+		snap.SetInstr(res.Temporal.TotalInstr)
+		snap.SetBytes(profileBytes(res.Temporal))
+		snap.End()
+		res.Breakdown = coreT.Breakdown()
+	}
+	run.End()
+	if ro != nil {
+		res.Registry = ro.Metrics
+		res.Spans = ro.Spans.Records()
+	}
+	return res, nil
+}

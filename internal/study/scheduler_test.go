@@ -1,0 +1,183 @@
+package study_test
+
+import (
+	"strings"
+	"testing"
+
+	"tquad/internal/obs"
+	"tquad/internal/study"
+	"tquad/internal/wfs"
+)
+
+func newStudy(t *testing.T, o *obs.Observer) *study.Study {
+	t.Helper()
+	s, err := study.NewObserved(wfs.Small(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestSlowdownParallelMatchesSerial is the determinism gate: the serial
+// sweep and the scheduler sweep at every parallelism level must render
+// byte-identical slowdown tables.
+func TestSlowdownParallelMatchesSerial(t *testing.T) {
+	s := newStudy(t, nil)
+	native, err := s.NativeICount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ivs := []uint64{native / 64, native / 16}
+
+	serialRows, err := s.Slowdown(ivs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := study.RenderSlowdown(serialRows)
+
+	for _, jobs := range []int{1, 4} {
+		rows, err := s.SlowdownParallel(ivs, jobs)
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		if got := study.RenderSlowdown(rows); got != serial {
+			t.Errorf("jobs=%d table differs from serial:\n%s\nvs\n%s", jobs, got, serial)
+		}
+	}
+}
+
+// TestSchedulerMemoisation asserts that equal configurations share one
+// guest execution and unequal ones do not.
+func TestSchedulerMemoisation(t *testing.T) {
+	sch := study.NewScheduler(newStudy(t, nil), 2)
+	cfg := study.RunConfig{Kind: study.RunTQUAD, SliceInterval: 100_000, IncludeStack: true}
+	p1 := sch.Submit(cfg)
+	p2 := sch.Submit(cfg)
+	if p1 != p2 {
+		t.Error("identical configs did not share a run")
+	}
+	other := cfg
+	other.IncludeStack = false
+	if sch.Submit(other) == p1 {
+		t.Error("different configs shared a run")
+	}
+	r1, err := p1.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := p2.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Error("shared run returned distinct results")
+	}
+	if errs := sch.Flush(); len(errs) != 0 {
+		t.Fatalf("flush errors: %v", errs)
+	}
+}
+
+// TestSchedulerMergedRegistryDeterministic runs the same sweep at two
+// parallelism levels with per-run observability and requires the merged
+// Prometheus snapshots to be byte-identical: registry merging happens in
+// config-key order, never completion order.
+func TestSchedulerMergedRegistryDeterministic(t *testing.T) {
+	snapshot := func(jobs int) string {
+		o := obs.NewObserver()
+		s := newStudy(t, o)
+		native, err := s.NativeICount()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.SlowdownParallel([]uint64{native / 64}, jobs); err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := o.Metrics.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	if a, b := snapshot(1), snapshot(4); a != b {
+		t.Errorf("merged registry depends on parallelism:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestSchedulerFullSweepParallel drives every run kind through one
+// scheduler at jobs=4 with observability attached — the sweep `make
+// race` executes under the race detector.
+func TestSchedulerFullSweepParallel(t *testing.T) {
+	o := obs.NewObserver()
+	s := newStudy(t, o)
+	sch := study.NewScheduler(s, 4)
+	native, err := sch.NativeICount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	configs := []study.RunConfig{
+		{Kind: study.RunFlat},
+		{Kind: study.RunQUAD, IncludeStack: false},
+		{Kind: study.RunQUAD, IncludeStack: true},
+		{Kind: study.RunInstrFlat},
+		{Kind: study.RunTQUAD, SliceInterval: native / 64, IncludeStack: true},
+		{Kind: study.RunTQUAD, SliceInterval: native / 16, IncludeStack: false},
+		{Kind: study.RunTQUAD, SliceInterval: 5000, IncludeStack: true},
+	}
+	pend := make([]*study.Pending, len(configs))
+	for i, cfg := range configs {
+		pend[i] = sch.Submit(cfg)
+	}
+	if errs := sch.Flush(); len(errs) != 0 {
+		t.Fatalf("sweep errors: %v", errs)
+	}
+	for i, p := range pend {
+		res, err := p.Wait()
+		if err != nil {
+			t.Fatalf("config %d: %v", i, err)
+		}
+		switch configs[i].Kind {
+		case study.RunFlat, study.RunInstrFlat:
+			if res.Flat == nil {
+				t.Errorf("%s: missing flat profile", res.Key)
+			}
+		case study.RunQUAD:
+			if res.Quad == nil {
+				t.Errorf("%s: missing QUAD report", res.Key)
+			}
+		case study.RunTQUAD:
+			if res.Temporal == nil || res.Temporal.TotalInstr == 0 {
+				t.Errorf("%s: missing temporal profile", res.Key)
+			}
+		}
+		if res.Registry == nil {
+			t.Errorf("%s: missing per-run registry", res.Key)
+		}
+	}
+	// The merged trace must contain one adopted root per run key.
+	recs := o.Spans.Records()
+	roots := make(map[string]int)
+	for _, r := range recs {
+		if r.Depth == 0 {
+			roots[r.Name]++
+		}
+	}
+	for _, cfg := range configs {
+		if roots[cfg.Key()] != 1 {
+			t.Errorf("adopted roots for %s = %d, want 1", cfg.Key(), roots[cfg.Key()])
+		}
+	}
+}
+
+// TestSchedulerReportsFailures asserts a failing run surfaces through
+// both Wait and Flush (the CLIs turn this into a non-zero exit).
+func TestSchedulerReportsFailures(t *testing.T) {
+	sch := study.NewScheduler(newStudy(t, nil), 2)
+	bad := study.RunConfig{Kind: study.RunKind(99)}
+	if _, err := sch.Run(bad); err == nil {
+		t.Fatal("unknown run kind did not error")
+	}
+	errs := sch.Flush()
+	if len(errs) != 1 {
+		t.Fatalf("flush errors = %v, want exactly one", errs)
+	}
+}

@@ -116,6 +116,14 @@ type cacheEntry struct {
 }
 
 // Machine is the guest CPU plus memory.
+//
+// Concurrency contract: a Machine and everything reachable from it (its
+// Memory, code cache, probe/engine, and syscall handler) is confined to
+// one goroutine; none of it is synchronised.  Distinct Machines are
+// fully independent and may run concurrently — the only state they share
+// is the loaded image.Image set, which is immutable after construction
+// (LoadImage copies segment bytes into the machine's own memory).  The
+// parallel experiment scheduler (internal/study) relies on this.
 type Machine struct {
 	Regs [isa.NumRegs]uint64
 	PC   uint64
