@@ -1,7 +1,7 @@
 # Standard developer entry points; see README.md ("Development").
 GO ?= go
 
-.PHONY: build test vet race bench bench-json
+.PHONY: build test vet race fuzz bench bench-json
 
 build:
 	$(GO) build ./...
@@ -12,10 +12,17 @@ test:
 vet:
 	$(GO) vet ./...
 
-# Race-hammers the observability layer (shared metrics registry + tracer)
-# and the parallel experiment scheduler (a full concurrent study sweep).
+# Race-hammers the observability layer (shared metrics registry + tracer),
+# the parallel experiment scheduler (a full concurrent study sweep) and the
+# event-trace recorder/replayer it drives.
 race:
-	$(GO) test -race ./internal/obs/... ./internal/study/...
+	$(GO) test -race ./internal/obs/... ./internal/study/... ./internal/etrace/...
+
+# Short fuzzing budgets for the binary-format parsers: the event-trace
+# decoder and the JSON profile envelope.  Neither may panic on any input.
+fuzz:
+	$(GO) test -run xxx -fuzz FuzzReplay -fuzztime 10s ./internal/etrace
+	$(GO) test -run xxx -fuzz FuzzLoad -fuzztime 10s ./internal/trace
 
 # One pass over every table/figure benchmark plus the obs on/off pair.
 bench:

@@ -473,3 +473,39 @@ func BenchmarkAblation_Granularity(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkSweepReplay is the record-once/replay-many headline: a
+// five-configuration sweep through the scheduler costs exactly one guest
+// execution — every analysis replays the recorded event trace.  The
+// guest_execs metric is asserted, not just reported.
+func BenchmarkSweepReplay(b *testing.B) {
+	s := benchStudy(b)
+	native, err := s.NativeICount()
+	if err != nil {
+		b.Fatalf("native: %v", err)
+	}
+	configs := []study.RunConfig{
+		{Kind: study.RunFlat},
+		{Kind: study.RunQUAD, IncludeStack: true},
+		{Kind: study.RunTQUAD, SliceInterval: native / 64, IncludeStack: true},
+		{Kind: study.RunTQUAD, SliceInterval: native / 16, IncludeStack: true},
+		{Kind: study.RunTQUAD, SliceInterval: native / 16, IncludeStack: false},
+	}
+	var execs uint64
+	for i := 0; i < b.N; i++ {
+		sch := study.NewScheduler(s, 4)
+		for _, cfg := range configs {
+			sch.Submit(cfg)
+		}
+		if errs := sch.Flush(); len(errs) > 0 {
+			b.Fatalf("sweep: %v", errs)
+		}
+		execs = sch.GuestExecutions()
+		if execs != 1 {
+			b.Fatalf("sweep of %d configs used %d guest executions, want 1", len(configs), execs)
+		}
+		sch.Close()
+	}
+	b.ReportMetric(float64(len(configs)), "configs")
+	b.ReportMetric(float64(execs), "guest_execs")
+}

@@ -2,12 +2,13 @@
 // layout and instruction-level disassembly — the "objdump" of the
 // simulated toolchain.  It can also save the built images to disk and
 // re-inspect them, demonstrating that the profilers need nothing but the
-// binary machine code.
+// binary machine code, and summarise recorded event traces (-etrace).
 //
 // Usage:
 //
 //	tqdump [-app wfs|imgproc] [-config small|study] [-func NAME]
 //	       [-save DIR] [-load FILE...]
+//	tqdump -etrace FILE
 package main
 
 import (
@@ -18,9 +19,11 @@ import (
 	"path/filepath"
 
 	"tquad/internal/cfg"
+	"tquad/internal/etrace"
 	"tquad/internal/image"
 	"tquad/internal/imgproc"
 	"tquad/internal/isa"
+	"tquad/internal/pin"
 	"tquad/internal/wfs"
 )
 
@@ -28,13 +31,21 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tqdump: ")
 	var (
-		app     = flag.String("app", "wfs", "application to build: wfs or imgproc")
-		config  = flag.String("config", "small", "wfs configuration: small or study")
-		fnName  = flag.String("func", "", "disassemble this routine (default: symbols only)")
-		cfgDump = flag.Bool("cfg", false, "with -func: dump the routine's control-flow graph as DOT")
-		saveDir = flag.String("save", "", "write the built images to this directory as .tqi files")
+		app        = flag.String("app", "wfs", "application to build: wfs or imgproc")
+		config     = flag.String("config", "small", "wfs configuration: small or study")
+		fnName     = flag.String("func", "", "disassemble this routine (default: symbols only)")
+		cfgDump    = flag.Bool("cfg", false, "with -func: dump the routine's control-flow graph as DOT")
+		saveDir    = flag.String("save", "", "write the built images to this directory as .tqi files")
+		etracePath = flag.String("etrace", "", "summarise this recorded event trace instead of dumping images")
 	)
 	flag.Parse()
+
+	if *etracePath != "" {
+		if err := dumpTrace(*etracePath); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	var images []*image.Image
 	if args := flag.Args(); len(args) > 0 {
@@ -70,6 +81,45 @@ func main() {
 	for _, img := range images {
 		dumpImage(img, *fnName, *cfgDump)
 	}
+}
+
+// dumpTrace summarises a recorded event trace: header, routine table,
+// record counts and the recorded final machine state.
+func dumpTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	info, err := etrace.Stat(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	fmt.Printf("event trace %s: format v%d, workload %q, stack base %#x\n",
+		path, info.Version, info.Workload, info.StackBase)
+	fmt.Printf("routines (%d):\n", len(info.Routines))
+	for _, r := range info.Routines {
+		kind := "lib "
+		if r.Main {
+			kind = "main"
+		}
+		fmt.Printf("  %#08x  %s  %-28s %5d instructions\n",
+			r.Entry, kind, r.Name, (r.End-r.Entry)/isa.InstrSize)
+	}
+	fmt.Printf("records: %d static, %d reads, %d writes, %d calls, %d returns (%d skipped), %d block defs, %d blocks, %d chunks\n",
+		info.Statics, info.Reads, info.Writes, info.Calls, info.Returns,
+		info.Skipped, info.BlockDefs, info.Blocks, info.Chunks)
+	if !info.Complete {
+		fmt.Println("final state: MISSING (truncated trace, no end record)")
+		return nil
+	}
+	halted := "halted"
+	if !info.Halted {
+		halted = "stopped"
+	}
+	fmt.Printf("final state: %d instructions, pc %#x, exit code %d, %s\n",
+		info.FinalICount, info.FinalPC, info.ExitCode, halted)
+	return nil
 }
 
 func buildImages(app, config string) []*image.Image {
@@ -116,7 +166,13 @@ func dumpImage(img *image.Image, fnName string, cfgDump bool) {
 	if !ok {
 		return // not in this image
 	}
-	code := img.Code[r.Entry-img.Base : r.End-img.Base]
+	code, valid := pin.RoutineCode(img, r)
+	if !valid {
+		// A hand-edited or corrupted .tqi can claim a routine span outside
+		// the code segment; report it instead of slicing out of bounds.
+		log.Fatalf("%s: symbol table entry %s [%#x,%#x) lies outside the code segment",
+			img.Name, r.Name, r.Entry, r.End)
+	}
 	if cfgDump {
 		g, err := cfg.Build(code, r.Entry)
 		if err != nil {

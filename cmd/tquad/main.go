@@ -8,15 +8,22 @@
 //	      [-stack include|exclude] [-ignore-libs]
 //	      [-metric reads|writes|both] [-kernels top|last|all]
 //	      [-width N] [-csv]
+//	      [-record FILE] [-replay FILE]
 //	      [-metrics FILE] [-trace FILE] [-journal FILE]
 //
-// -slice accepts a comma-separated list of intervals; more than one
-// interval runs the whole sweep through the parallel experiment
-// scheduler (bounded by -jobs, default GOMAXPROCS) and prints each
-// run's charts and statistics in interval order.  If any run fails the
-// command reports every failure and exits non-zero.  The export flags
-// (-csv, -json, -svg, -metrics, -trace, -journal) apply to
-// single-interval runs only.
+// -slice accepts a comma-separated list of intervals (duplicates are
+// collapsed); more than one interval runs the whole sweep through the
+// parallel experiment scheduler (bounded by -jobs, default GOMAXPROCS)
+// and prints each run's charts and statistics in interval order.  If
+// any run fails the command reports every failure and exits non-zero.
+// The export flags (-csv, -json, -svg, -metrics, -trace, -journal)
+// apply to single-interval runs only.
+//
+// -record additionally captures the guest's dynamic event stream into a
+// compact binary trace during a single-interval live run; -replay then
+// profiles that trace — at any slice interval, any number of times —
+// without executing the guest again.  Inspect recorded traces with
+// tqdump -etrace.
 //
 // -metrics writes a Prometheus text-format snapshot, -trace a
 // chrome://tracing-compatible JSON trace of the pipeline stages (open it
@@ -25,8 +32,10 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"sort"
@@ -34,6 +43,7 @@ import (
 	"strings"
 
 	"tquad/internal/core"
+	"tquad/internal/etrace"
 	"tquad/internal/obs"
 	"tquad/internal/pin"
 	"tquad/internal/plot"
@@ -61,6 +71,8 @@ func main() {
 		metricsOut = flag.String("metrics", "", "write a Prometheus text-format metrics snapshot to this file")
 		traceOut   = flag.String("trace", "", "write a chrome://tracing JSON trace of the pipeline stages to this file")
 		journalOut = flag.String("journal", "", "write a JSONL event journal (spans + metrics) to this file")
+		recordOut  = flag.String("record", "", "record the guest event stream to this file (single-interval live run)")
+		replayIn   = flag.String("replay", "", "replay a recorded event stream instead of executing the guest")
 	)
 	flag.Parse()
 
@@ -72,6 +84,12 @@ func main() {
 	if *stack != "include" && *stack != "exclude" {
 		log.Fatalf("bad -stack %q", *stack)
 	}
+	if *jobs < 0 {
+		log.Fatalf("bad -jobs %d: must be >= 0", *jobs)
+	}
+	if *recordOut != "" && *replayIn != "" {
+		log.Fatal("-record and -replay are mutually exclusive")
+	}
 	intervals, err := parseSlices(*slice)
 	if err != nil {
 		log.Fatal(err)
@@ -81,6 +99,34 @@ func main() {
 		if *csv || *jsonFile != "" || *svgFile != "" || *metricsOut != "" || *traceOut != "" || *journalOut != "" {
 			log.Fatal("-csv, -json, -svg, -metrics, -trace and -journal apply to single-interval runs only")
 		}
+		if *recordOut != "" {
+			log.Fatal("-record applies to single-interval runs only")
+		}
+	}
+
+	if *replayIn != "" {
+		err := runReplay(*replayIn, &replayOpts{
+			intervals:    intervals,
+			includeStack: includeStack,
+			ignoreLibs:   *ignoreLibs,
+			stack:        *stack,
+			metric:       *metric,
+			kernels:      *kernels,
+			width:        *width,
+			csv:          *csv,
+			jsonFile:     *jsonFile,
+			svgFile:      *svgFile,
+			metricsOut:   *metricsOut,
+			traceOut:     *traceOut,
+			journalOut:   *journalOut,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	if len(intervals) > 1 {
 		if err := runSweep(cfg, intervals, includeStack, *ignoreLibs, *jobs, *metric, *kernels, *width); err != nil {
 			log.Fatal(err)
 		}
@@ -118,6 +164,22 @@ func main() {
 		IncludeStack:  includeStack,
 		ExcludeLibs:   *ignoreLibs,
 	})
+	var (
+		recFile *os.File
+		recBuf  *bufio.Writer
+		rec     *etrace.Recorder
+	)
+	if *recordOut != "" {
+		recFile, err = os.Create(*recordOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		recBuf = bufio.NewWriterSize(recFile, 1<<16)
+		rec, err = etrace.Record(e, recBuf, etrace.RecordOptions{Workload: "wfs/" + *config})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
 	instrument.End()
 
 	execute := o.Tracer().Start("execute")
@@ -127,6 +189,19 @@ func main() {
 	execute.SetInstr(m.ICount)
 	execute.SetBytes(m.MemStats.ReadBytes() + m.MemStats.WriteBytes())
 	execute.End()
+	if rec != nil {
+		err := rec.Finish()
+		if err == nil {
+			err = recBuf.Flush()
+		}
+		if cerr := recFile.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			log.Fatalf("record: %v", err)
+		}
+		fmt.Printf("event trace written to %s\n", *recordOut)
+	}
 
 	snapshot := o.Tracer().Start("snapshot")
 	prof := tool.Snapshot()
@@ -199,6 +274,148 @@ func main() {
 	}
 }
 
+// replayOpts carries the output configuration of a -replay invocation.
+type replayOpts struct {
+	intervals    []uint64
+	includeStack bool
+	ignoreLibs   bool
+	stack        string
+	metric       string
+	kernels      string
+	width        int
+	csv          bool
+	jsonFile     string
+	svgFile      string
+	metricsOut   string
+	traceOut     string
+	journalOut   string
+}
+
+// runReplay profiles a recorded event trace at each requested interval,
+// sequentially — replays are cheap enough that a scheduler would be
+// overkill, and they share no state.
+func runReplay(path string, o *replayOpts) error {
+	for i, iv := range o.intervals {
+		if i > 0 {
+			fmt.Println()
+		}
+		if err := replayOne(path, iv, o); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replayOne replays the trace once through the tQUAD tool, mirroring the
+// live single-run path's output (charts, statistics, exports).
+func replayOne(path string, interval uint64, o *replayOpts) error {
+	var ob *obs.Observer
+	if o.metricsOut != "" || o.traceOut != "" || o.journalOut != "" {
+		ob = obs.NewObserver()
+	}
+	run := ob.Tracer().Start("run")
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if interval == 0 {
+		// Dry-sizing from the recording itself: no guest run needed, the
+		// trailer already has the total instruction count.
+		info, err := etrace.Stat(f)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if !info.Complete {
+			return fmt.Errorf("%s: incomplete trace (no end record)", path)
+		}
+		if interval = info.FinalICount / 64; interval == 0 {
+			interval = 1
+		}
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			return err
+		}
+	}
+
+	instrument := ob.Tracer().Start("instrument")
+	rp, err := etrace.NewReplayer(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	tool := core.Attach(rp, core.Options{
+		SliceInterval: interval,
+		IncludeStack:  o.includeStack,
+		ExcludeLibs:   o.ignoreLibs,
+	})
+	instrument.End()
+
+	replay := ob.Tracer().Start("replay")
+	if err := rp.Replay(); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	replay.SetInstr(rp.ICount())
+	rb, wb := rp.Traffic()
+	replay.SetBytes(rb + wb)
+	replay.End()
+	if rp.ExitCode() != 0 {
+		return fmt.Errorf("%s: recorded guest exit code %d", path, rp.ExitCode())
+	}
+
+	snapshot := ob.Tracer().Start("snapshot")
+	prof := tool.Snapshot()
+	snapshot.SetInstr(prof.TotalInstr)
+	snapshot.End()
+
+	reportSpan := ob.Tracer().Start("report")
+	if o.jsonFile != "" {
+		fh, err := os.Create(o.jsonFile)
+		if err != nil {
+			return err
+		}
+		if err := trace.SaveTemporal(fh, prof); err != nil {
+			return err
+		}
+		fh.Close()
+	}
+	names := kernelSet(o.kernels, prof)
+	if o.svgFile != "" {
+		svg := plot.Heatmap(prof, plot.SortLanesByFirstActivity(prof, names), plot.Options{
+			Title:        fmt.Sprintf("tQUAD %s bandwidth (%s)", o.metric, o.stack+" stack"),
+			Reads:        o.metric != "writes",
+			IncludeStack: o.includeStack,
+		})
+		if err := os.WriteFile(o.svgFile, []byte(svg), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("heatmap written to %s\n", o.svgFile)
+	}
+	fmt.Printf("tQUAD (replay of %s): %d instructions, %d slices of %d instructions, slowdown %.1fx\n\n",
+		path, prof.TotalInstr, prof.NumSlices, prof.SliceInterval,
+		float64(rp.Time())/float64(prof.TotalInstr))
+
+	if o.csv {
+		emitCSV(prof, names, o.metric, o.includeStack)
+	} else {
+		printCharts(prof, names, o.metric, o.includeStack, o.width)
+		fmt.Print(summaryTable(prof, names, o.includeStack))
+		fmt.Println()
+		fmt.Print(tool.Breakdown().String())
+	}
+	reportSpan.End()
+	run.End()
+	if ob != nil {
+		rp.PublishMetrics(ob.Metrics)
+		tool.PublishMetrics(ob.Metrics)
+		if prof.TotalInstr > 0 {
+			ob.Metrics.Gauge("tquad_run_slowdown").Set(float64(rp.Time()) / float64(prof.TotalInstr))
+		}
+		if err := ob.WriteFiles(o.metricsOut, o.traceOut, o.journalOut); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // runSweep executes one tQUAD run per interval through the parallel
 // scheduler and prints each run's output in interval order.
 func runSweep(cfg wfs.Config, intervals []uint64, includeStack, ignoreLibs bool, jobs int, metric, kernels string, width int) error {
@@ -207,6 +424,7 @@ func runSweep(cfg wfs.Config, intervals []uint64, includeStack, ignoreLibs bool,
 		return err
 	}
 	sch := study.NewScheduler(s, jobs)
+	defer sch.Close()
 	resolved := make([]uint64, len(intervals))
 	for i, iv := range intervals {
 		if iv == 0 {
@@ -255,22 +473,27 @@ func runSweep(cfg wfs.Config, intervals []uint64, includeStack, ignoreLibs bool,
 }
 
 // parseSlices parses the -slice flag: a comma-separated list of
-// non-negative interval values.
+// non-negative interval values.  Empty elements (from "1,,2", a leading
+// or trailing comma, or an empty flag) are rejected rather than silently
+// dropped, and duplicate intervals collapse to the first occurrence so a
+// sweep never runs — or prints — the same configuration twice.
 func parseSlices(s string) ([]uint64, error) {
 	var out []uint64
+	seen := make(map[uint64]bool)
 	for _, part := range strings.Split(s, ",") {
 		part = strings.TrimSpace(part)
 		if part == "" {
-			continue
+			return nil, fmt.Errorf("bad -slice %q: empty element", s)
 		}
 		iv, err := strconv.ParseUint(part, 10, 64)
 		if err != nil {
 			return nil, fmt.Errorf("bad -slice value %q", part)
 		}
+		if seen[iv] {
+			continue
+		}
+		seen[iv] = true
 		out = append(out, iv)
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("bad -slice %q: no intervals", s)
 	}
 	return out, nil
 }

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseSlices(t *testing.T) {
+	good := []struct {
+		in   string
+		want []uint64
+	}{
+		{"0", []uint64{0}},
+		{"5000", []uint64{5000}},
+		{"100,200,300", []uint64{100, 200, 300}},
+		{" 100 , 200 ", []uint64{100, 200}},
+		// Duplicates collapse, keeping the first occurrence's position.
+		{"200,100,200,100", []uint64{200, 100}},
+		{"7,7,7", []uint64{7}},
+	}
+	for _, c := range good {
+		got, err := parseSlices(c.in)
+		if err != nil {
+			t.Errorf("parseSlices(%q): %v", c.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("parseSlices(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+
+	bad := []string{
+		"",       // strings.Split yields one empty element
+		",",      // two empty elements
+		"100,",   // trailing comma
+		",100",   // leading comma
+		"1,,2",   // empty element in the middle
+		"  ",     // whitespace-only element
+		"abc",    // not a number
+		"100,-5", // negative
+		"1e3",    // no float syntax
+	}
+	for _, in := range bad {
+		if got, err := parseSlices(in); err == nil {
+			t.Errorf("parseSlices(%q) = %v, want error", in, got)
+		}
+	}
+}

@@ -42,6 +42,9 @@ func main() {
 	journalOut := flag.String("journal", "", "write a JSONL event journal (spans + metrics) to this file")
 	flag.Parse()
 
+	if *jobs < 0 {
+		log.Fatalf("bad -jobs %d: must be >= 0", *jobs)
+	}
 	if err := run(*config, *jobs, *metricsOut, *traceOut, *journalOut); err != nil {
 		log.Fatal(err)
 	}
@@ -69,6 +72,7 @@ func run(config string, jobs int, metricsOut, traceOut, journalOut string) error
 		return err
 	}
 	sch := study.NewScheduler(s, jobs)
+	defer sch.Close()
 
 	// Slice sizing needs the native instruction count, so that run goes
 	// first; everything after is submitted up front and runs concurrently.

@@ -142,9 +142,9 @@ func (ks *kernelSeries) at(slice uint64) *SlicePoint {
 
 // Tool is one attached tQUAD instance.
 type Tool struct {
-	opts   Options
-	engine *pin.Engine
-	stack  *callstack.Stack
+	opts  Options
+	host  pin.Host
+	stack *callstack.Stack
 
 	series []*kernelSeries
 	ids    map[string]uint16
@@ -168,13 +168,13 @@ type Tool struct {
 	PrefetchCalls uint64 // prefetch fast path ("return immediately")
 }
 
-// Attach wires a tQUAD tool onto the engine.  Call before running the
-// machine.
-func Attach(e *pin.Engine, opts Options) *Tool {
+// Attach wires a tQUAD tool onto the host — a live pin.Engine or a
+// trace replayer.  Call before running the machine (or the replay).
+func Attach(h pin.Host, opts Options) *Tool {
 	opts.setDefaults()
 	t := &Tool{
 		opts:     opts,
-		engine:   e,
+		host:     h,
 		series:   []*kernelSeries{nil}, // id 0 reserved
 		ids:      make(map[string]uint16),
 		sliceEnd: opts.SliceInterval,
@@ -182,15 +182,15 @@ func Attach(e *pin.Engine, opts Options) *Tool {
 	if opts.UseMapAccum {
 		t.ref = newMapAccum()
 	}
-	e.InitSymbols()
+	h.InitSymbols()
 	t.stack = callstack.New(func(target uint64) (string, bool, bool) {
-		rtn, ok := e.RTNFindByAddress(target)
+		rtn, ok := h.RTNFindByAddress(target)
 		if !ok {
 			return "", false, false
 		}
 		return rtn.Name(), rtn.IsInMainImage(), true
 	}, opts.ExcludeLibs)
-	e.INSAddInstrumentFunction(t.instruction)
+	h.INSAddInstrumentFunction(t.instruction)
 	return t
 }
 
@@ -215,7 +215,7 @@ func (t *Tool) numKernels() uint64 {
 // instruction is the Instruction() instrumentation routine: it sets up
 // the analysis calls for memory references, calls and returns.
 func (t *Tool) instruction(ins *pin.INS) {
-	m := t.engine.Machine()
+	h := t.host
 	switch {
 	case ins.IsCall():
 		ins.InsertCall(func(ctx *pin.Context) {
@@ -231,19 +231,19 @@ func (t *Tool) instruction(ins *pin.INS) {
 		ins.InsertPredicatedCall(func(ctx *pin.Context) {
 			if ctx.Prefetch && !t.opts.TracePrefetches {
 				t.PrefetchCalls++
-				m.ChargeOverhead(t.opts.CostPrefetch)
+				h.ChargeOverhead(t.opts.CostPrefetch)
 				return
 			}
-			t.account(ctx, true, m.IsStackAddr(ctx.Addr, ctx.SP))
+			t.account(ctx, true, h.IsStackAddr(ctx.Addr, ctx.SP))
 		})
 	case ins.IsMemoryWrite():
 		ins.InsertPredicatedCall(func(ctx *pin.Context) {
 			if ctx.Prefetch {
 				t.PrefetchCalls++
-				m.ChargeOverhead(t.opts.CostPrefetch)
+				h.ChargeOverhead(t.opts.CostPrefetch)
 				return
 			}
-			t.account(ctx, false, m.IsStackAddr(ctx.Addr, ctx.SP))
+			t.account(ctx, false, h.IsStackAddr(ctx.Addr, ctx.SP))
 		})
 	}
 }
@@ -255,44 +255,44 @@ func (t *Tool) instruction(ins *pin.INS) {
 func (t *Tool) rotate(ic uint64) {
 	t.curSlice = ic / t.opts.SliceInterval
 	t.sliceEnd = (t.curSlice + 1) * t.opts.SliceInterval
-	t.engine.Machine().ChargeOverhead(t.opts.CostSnapshot)
+	t.host.ChargeOverhead(t.opts.CostSnapshot)
 	t.Snapshots++
 }
 
 // account is the IncreaseRead/IncreaseWrite analysis body: it charges the
 // current kernel's slice accumulator.
 func (t *Tool) account(ctx *pin.Context, isRead, isStack bool) {
-	m := t.engine.Machine()
+	ic := t.host.ICount()
 	// Instructions executed since the previous event all belong to the
 	// current kernel (calls and returns are themselves events, so the
 	// kernel cannot have changed in between).
-	delta := m.ICount - t.lastIC
-	t.lastIC = m.ICount
+	delta := ic - t.lastIC
+	t.lastIC = ic
 	fr, ok := t.stack.Current()
 	if !ok {
 		t.SkipCalls++
-		m.ChargeOverhead(t.opts.CostSkip)
+		t.host.ChargeOverhead(t.opts.CostSkip)
 		return
 	}
 	if !t.opts.IncludeStack && isStack {
 		t.SkipCalls++
-		m.ChargeOverhead(t.opts.CostSkip)
+		t.host.ChargeOverhead(t.opts.CostSkip)
 		// The early-discard path attributes time but performs no
 		// snapshot management (the paper charges that to the tracing
 		// path), so the slice is named without rotating.
 		slice := t.curSlice
-		if m.ICount >= t.sliceEnd {
-			slice = m.ICount / t.opts.SliceInterval
+		if ic >= t.sliceEnd {
+			slice = ic / t.opts.SliceInterval
 		}
 		t.chargeInstr(fr.Name, slice, delta)
 		return
 	}
 	t.TraceCalls++
-	m.ChargeOverhead(t.opts.CostTrace)
-	if m.ICount >= t.sliceEnd {
+	t.host.ChargeOverhead(t.opts.CostTrace)
+	if ic >= t.sliceEnd {
 		// Slice boundary: snapshot management, the slice-dependent part
 		// of the overhead.
-		t.rotate(m.ICount)
+		t.rotate(ic)
 	}
 	size := uint64(ctx.Size)
 	if t.ref != nil {
@@ -489,7 +489,7 @@ func (t *Tool) assemble() []*KernelProfile {
 // Snapshot assembles the profile accumulated so far (normally called
 // after the machine halts).
 func (t *Tool) Snapshot() *Profile {
-	ic := t.engine.Machine().ICount
+	ic := t.host.ICount()
 	return &Profile{
 		SliceInterval: t.opts.SliceInterval,
 		NumSlices:     (ic + t.opts.SliceInterval - 1) / t.opts.SliceInterval,

@@ -1,0 +1,589 @@
+package etrace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"tquad/internal/image"
+	"tquad/internal/isa"
+	"tquad/internal/obs"
+	"tquad/internal/pin"
+	"tquad/internal/vm"
+)
+
+// decoder streams records out of a chunked trace.  It never trusts the
+// input: every length is capped, every varint checked, and a chunk that
+// ends mid-record is an error, so arbitrary bytes produce a clean error
+// instead of a panic or an unbounded allocation (FuzzReplay's contract).
+type decoder struct {
+	r     *bufio.Reader
+	chunk []byte
+	off   int
+
+	chunks int
+	ended  bool
+
+	prevIC, prevPC, prevAddr, prevSP, prevTarget uint64
+}
+
+// record is one decoded trace record; fields are populated per kind.
+type record struct {
+	kind     byte
+	executed bool
+	size     int
+
+	ic, pc, addr, sp, target uint64
+
+	instr isa.Instr // recStatic
+
+	start  uint64 // recBlockDef
+	ninstr int    // recBlockDef
+	id     uint64 // recBlock
+
+	exitCode int64 // recEnd
+	halted   bool  // recEnd
+}
+
+func newDecoder(r io.Reader) *decoder {
+	return &decoder{r: bufio.NewReaderSize(r, 64<<10)}
+}
+
+// readHeader parses and validates the preamble.
+func (d *decoder) readHeader() (header, error) {
+	var hdr header
+	pre := make([]byte, len(magic)+1)
+	if _, err := io.ReadFull(d.r, pre); err != nil {
+		return hdr, fmt.Errorf("etrace: short header: %w", err)
+	}
+	if string(pre[:len(magic)]) != magic {
+		return hdr, fmt.Errorf("etrace: bad magic %q", pre[:len(magic)])
+	}
+	if pre[len(magic)] != Version {
+		return hdr, fmt.Errorf("etrace: unsupported version %d (want %d)", pre[len(magic)], Version)
+	}
+	var err error
+	if hdr.stackBase, err = binary.ReadUvarint(d.r); err != nil {
+		return hdr, fmt.Errorf("etrace: header stack base: %w", err)
+	}
+	if hdr.workload, err = d.readString(maxNameLen); err != nil {
+		return hdr, fmt.Errorf("etrace: header workload: %w", err)
+	}
+	n, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		return hdr, fmt.Errorf("etrace: header routine count: %w", err)
+	}
+	if n > maxRoutines {
+		return hdr, fmt.Errorf("etrace: routine count %d exceeds cap", n)
+	}
+	hdr.routines = make([]Routine, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var rt Routine
+		if rt.Name, err = d.readString(maxNameLen); err != nil {
+			return hdr, fmt.Errorf("etrace: routine %d name: %w", i, err)
+		}
+		if rt.Entry, err = binary.ReadUvarint(d.r); err != nil {
+			return hdr, fmt.Errorf("etrace: routine %d entry: %w", i, err)
+		}
+		if rt.End, err = binary.ReadUvarint(d.r); err != nil {
+			return hdr, fmt.Errorf("etrace: routine %d end: %w", i, err)
+		}
+		flags, err := d.r.ReadByte()
+		if err != nil {
+			return hdr, fmt.Errorf("etrace: routine %d flags: %w", i, err)
+		}
+		if rt.End <= rt.Entry {
+			return hdr, fmt.Errorf("etrace: routine %q has empty range [%#x,%#x)", rt.Name, rt.Entry, rt.End)
+		}
+		rt.Main = flags&1 != 0
+		hdr.routines = append(hdr.routines, rt)
+	}
+	if !sort.SliceIsSorted(hdr.routines, func(i, j int) bool {
+		return hdr.routines[i].Entry < hdr.routines[j].Entry
+	}) {
+		return hdr, errors.New("etrace: routine table not sorted by entry")
+	}
+	return hdr, nil
+}
+
+func (d *decoder) readString(cap uint64) (string, error) {
+	n, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		return "", err
+	}
+	if n > cap {
+		return "", fmt.Errorf("string length %d exceeds cap", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(d.r, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// errTruncated marks a stream that stops before its end record.
+var errTruncated = errors.New("etrace: truncated trace (no end record)")
+
+// next returns the next record.  After the end record it returns io.EOF;
+// a stream that runs dry without one fails with errTruncated.
+func (d *decoder) next() (record, error) {
+	var rec record
+	if d.ended {
+		return rec, io.EOF
+	}
+	for d.off == len(d.chunk) {
+		n, err := binary.ReadUvarint(d.r)
+		if err != nil {
+			if err == io.EOF {
+				return rec, errTruncated
+			}
+			return rec, fmt.Errorf("etrace: chunk length: %w", err)
+		}
+		if n == 0 || n > maxChunkLen {
+			return rec, fmt.Errorf("etrace: bad chunk length %d", n)
+		}
+		if uint64(cap(d.chunk)) < n {
+			d.chunk = make([]byte, n)
+		}
+		d.chunk = d.chunk[:n]
+		if _, err := io.ReadFull(d.r, d.chunk); err != nil {
+			return rec, fmt.Errorf("etrace: short chunk: %w", err)
+		}
+		d.off = 0
+		d.chunks++
+		d.prevIC, d.prevPC, d.prevAddr, d.prevSP, d.prevTarget = 0, 0, 0, 0, 0
+	}
+
+	tag := d.chunk[d.off]
+	d.off++
+	rec.kind = tag & 0x07
+	rec.executed = tag&flagSkipped == 0
+	var err error
+	if rec.size, err = sizeFromBits(tag >> sizeShift); err != nil {
+		return rec, err
+	}
+
+	switch rec.kind {
+	case recRead, recWrite, recCall, recReturn:
+		var icd uint64
+		if icd, err = d.uvarint(); err != nil {
+			return rec, err
+		}
+		rec.ic = d.prevIC + icd
+		d.prevIC = rec.ic
+		if rec.pc, err = d.delta(&d.prevPC); err != nil {
+			return rec, err
+		}
+		if rec.addr, err = d.delta(&d.prevAddr); err != nil {
+			return rec, err
+		}
+		if rec.sp, err = d.delta(&d.prevSP); err != nil {
+			return rec, err
+		}
+		if rec.kind == recCall || rec.kind == recReturn {
+			if rec.target, err = d.delta(&d.prevTarget); err != nil {
+				return rec, err
+			}
+		}
+
+	case recStatic:
+		if tag != recStatic {
+			return rec, fmt.Errorf("etrace: malformed static tag %#x", tag)
+		}
+		if rec.pc, err = d.uvarint(); err != nil {
+			return rec, err
+		}
+		if d.off+isa.InstrSize > len(d.chunk) {
+			return rec, errors.New("etrace: truncated static record")
+		}
+		if rec.instr, err = isa.Decode(d.chunk[d.off : d.off+isa.InstrSize]); err != nil {
+			return rec, fmt.Errorf("etrace: static record at %#x: %w", rec.pc, err)
+		}
+		d.off += isa.InstrSize
+
+	case recBlockDef:
+		if tag != recBlockDef {
+			return rec, fmt.Errorf("etrace: malformed block-def tag %#x", tag)
+		}
+		if rec.start, err = d.uvarint(); err != nil {
+			return rec, err
+		}
+		n, err := d.uvarint()
+		if err != nil {
+			return rec, err
+		}
+		if n == 0 || n > maxBlockInstrs {
+			return rec, fmt.Errorf("etrace: bad block length %d", n)
+		}
+		rec.ninstr = int(n)
+
+	case recBlock:
+		if tag != recBlock {
+			return rec, fmt.Errorf("etrace: malformed block tag %#x", tag)
+		}
+		var icd uint64
+		if icd, err = d.uvarint(); err != nil {
+			return rec, err
+		}
+		rec.ic = d.prevIC + icd
+		d.prevIC = rec.ic
+		if rec.id, err = d.uvarint(); err != nil {
+			return rec, err
+		}
+
+	case recEnd:
+		if tag != recEnd {
+			return rec, fmt.Errorf("etrace: malformed end tag %#x", tag)
+		}
+		if rec.ic, err = d.uvarint(); err != nil {
+			return rec, err
+		}
+		if rec.pc, err = d.uvarint(); err != nil {
+			return rec, err
+		}
+		var exit uint64
+		if exit, err = d.uvarint(); err != nil {
+			return rec, err
+		}
+		rec.exitCode = unzigzag(exit)
+		if d.off >= len(d.chunk) {
+			return rec, errors.New("etrace: truncated end record")
+		}
+		rec.halted = d.chunk[d.off]&1 != 0
+		d.off++
+		if d.off != len(d.chunk) {
+			return rec, errors.New("etrace: trailing bytes after end record")
+		}
+		if _, err := d.r.ReadByte(); err != io.EOF {
+			return rec, errors.New("etrace: data after final chunk")
+		}
+		d.ended = true
+
+	default:
+		return rec, fmt.Errorf("etrace: unknown record tag %#x", tag)
+	}
+	return rec, nil
+}
+
+func (d *decoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.chunk[d.off:])
+	if n <= 0 {
+		return 0, errors.New("etrace: truncated or malformed varint")
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *decoder) delta(prev *uint64) (uint64, error) {
+	u, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	v := *prev + uint64(unzigzag(u))
+	*prev = v
+	return v, nil
+}
+
+// site is one compiled static instruction during replay.
+type site struct {
+	instr isa.Instr
+	ins   *pin.INS // nil when no analysis calls were attached
+}
+
+// Replayer drives profiling tools from a recorded event trace.  It
+// implements pin.Host: the tools' Attach functions run against it
+// unchanged, their instrumentation callbacks fire when static records
+// stream in (the code-cache fill), and their analysis routines fire per
+// dynamic record — no vm.Machine is ever constructed.
+type Replayer struct {
+	d   *decoder
+	hdr header
+
+	mainImg *image.Image
+	libImg  *image.Image
+
+	insCallbacks  []pin.InstrumentFunc
+	symbolsInited bool
+
+	sites   map[uint64]*site
+	blocks  []blockDef
+	blockFn func(start uint64, ninstr int, ic uint64)
+
+	ic       uint64
+	overhead uint64
+	pc       uint64
+	memStats vm.MemStats
+	exitCode int64
+	halted   bool
+	done     bool
+
+	// Stats mirrors pin.Engine.Stats for the replayed run.
+	Stats struct {
+		StaticInstrumented uint64
+		AnalysisCalls      uint64
+		SuppressedCalls    uint64
+	}
+}
+
+type blockDef struct {
+	start  uint64
+	ninstr int
+}
+
+var _ pin.Host = (*Replayer)(nil)
+
+// NewReplayer reads the trace header and prepares a replay.  Attach
+// tools, then call Replay.
+func NewReplayer(r io.Reader) (*Replayer, error) {
+	d := newDecoder(r)
+	hdr, err := d.readHeader()
+	if err != nil {
+		return nil, err
+	}
+	return &Replayer{
+		d:   d,
+		hdr: hdr,
+		// Placeholder images: routine resolution during replay needs only
+		// the main-versus-library distinction, carried per routine in the
+		// header.
+		mainImg: &image.Image{Kind: image.Main},
+		libImg:  &image.Image{Kind: image.Library},
+		sites:   make(map[uint64]*site),
+	}, nil
+}
+
+// Workload returns the header's workload label.
+func (r *Replayer) Workload() string { return r.hdr.workload }
+
+// StackBase returns the recorded top-of-stack address.
+func (r *Replayer) StackBase() uint64 { return r.hdr.stackBase }
+
+// InitSymbols implements pin.Host.
+func (r *Replayer) InitSymbols() { r.symbolsInited = true }
+
+// INSAddInstrumentFunction implements pin.Host.
+func (r *Replayer) INSAddInstrumentFunction(fn pin.InstrumentFunc) {
+	r.insCallbacks = append(r.insCallbacks, fn)
+}
+
+// RTNFindByAddress implements pin.Host over the interned routine table.
+func (r *Replayer) RTNFindByAddress(pc uint64) (*pin.RTN, bool) {
+	rts := r.hdr.routines
+	i := sort.Search(len(rts), func(i int) bool { return rts[i].End > pc })
+	if i == len(rts) || pc < rts[i].Entry {
+		return nil, false
+	}
+	rt := rts[i]
+	img := r.libImg
+	if rt.Main {
+		img = r.mainImg
+	}
+	rtn := &pin.RTN{
+		Routine: image.Routine{Name: rt.Name, Entry: rt.Entry, End: rt.End},
+		Image:   img,
+	}
+	if !r.symbolsInited {
+		rtn.Routine.Name = fmt.Sprintf("sub_%x", rt.Entry)
+	}
+	return rtn, true
+}
+
+// ICount implements pin.Host: guest instructions replayed so far.
+func (r *Replayer) ICount() uint64 { return r.ic }
+
+// Time implements pin.Host: replayed instructions plus charged overhead.
+func (r *Replayer) Time() uint64 { return r.ic + r.overhead }
+
+// CurrentPC implements pin.Host: the pc of the latest replayed event
+// (after Replay, the recorded final pc).
+func (r *Replayer) CurrentPC() uint64 { return r.pc }
+
+// ChargeOverhead implements pin.Host.
+func (r *Replayer) ChargeOverhead(n uint64) { r.overhead += n }
+
+// IsStackAddr implements pin.Host using the recorded stack base.
+func (r *Replayer) IsStackAddr(addr, sp uint64) bool {
+	return addr >= sp && addr < r.hdr.stackBase
+}
+
+// Overhead returns the total analysis cost charged during replay.
+func (r *Replayer) Overhead() uint64 { return r.overhead }
+
+// ExitCode returns the recorded guest exit code (valid after Replay).
+func (r *Replayer) ExitCode() int64 { return r.exitCode }
+
+// Halted reports whether the recorded run halted cleanly.
+func (r *Replayer) Halted() bool { return r.halted }
+
+// MemStats returns the replayed memory-reference counters; they match
+// the recording machine's own MemStats.
+func (r *Replayer) MemStats() vm.MemStats { return r.memStats }
+
+// Traffic returns total bytes read and written (prefetches excluded).
+func (r *Replayer) Traffic() (readBytes, writeBytes uint64) {
+	return r.memStats.ReadBytes(), r.memStats.WriteBytes()
+}
+
+// OnBlock registers a callback for basic-block execution records (traces
+// recorded with RecordOptions.Blocks).
+func (r *Replayer) OnBlock(fn func(start uint64, ninstr int, ic uint64)) { r.blockFn = fn }
+
+// Replay streams the trace, compiling static records through the
+// registered instrumentation callbacks and dispatching dynamic records
+// to the attached analysis routines.  It may be called once.
+func (r *Replayer) Replay() error {
+	if r.done {
+		return errors.New("etrace: trace already replayed")
+	}
+	r.done = true
+	for {
+		rec, err := r.d.next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		switch rec.kind {
+		case recStatic:
+			if _, dup := r.sites[rec.pc]; dup {
+				return fmt.Errorf("etrace: duplicate static record for pc %#x", rec.pc)
+			}
+			st := &site{instr: rec.instr}
+			ins := &pin.INS{PC: rec.pc, Instr: rec.instr}
+			for _, cb := range r.insCallbacks {
+				cb(ins)
+			}
+			if ins.HasCalls() {
+				st.ins = ins
+				r.Stats.StaticInstrumented++
+			}
+			r.sites[rec.pc] = st
+
+		case recRead, recWrite, recCall, recReturn:
+			st, ok := r.sites[rec.pc]
+			if !ok {
+				return fmt.Errorf("etrace: event at pc %#x with no static record", rec.pc)
+			}
+			r.ic = rec.ic
+			r.pc = rec.pc
+			if rec.executed {
+				r.countAccess(rec, st)
+			}
+			if st.ins == nil {
+				continue
+			}
+			ctx := pin.Context{
+				PC:       rec.pc,
+				Addr:     rec.addr,
+				Size:     rec.size,
+				SP:       rec.sp,
+				Target:   rec.target,
+				Prefetch: st.instr.IsPrefetch(),
+				Kind:     eventKind(rec.kind),
+				Executed: rec.executed,
+			}
+			fired, suppressed := st.ins.Dispatch(&ctx)
+			r.Stats.AnalysisCalls += fired
+			r.Stats.SuppressedCalls += suppressed
+
+		case recBlockDef:
+			if len(r.blocks) >= maxBlockDefs {
+				return errors.New("etrace: block definition count exceeds cap")
+			}
+			r.blocks = append(r.blocks, blockDef{start: rec.start, ninstr: rec.ninstr})
+
+		case recBlock:
+			if rec.id >= uint64(len(r.blocks)) {
+				return fmt.Errorf("etrace: block event with undefined id %d", rec.id)
+			}
+			r.ic = rec.ic
+			if r.blockFn != nil {
+				b := r.blocks[rec.id]
+				r.blockFn(b.start, b.ninstr, rec.ic)
+			}
+
+		case recEnd:
+			if rec.ic < r.ic {
+				return fmt.Errorf("etrace: end record rewinds the clock (%d < %d)", rec.ic, r.ic)
+			}
+			r.ic = rec.ic
+			r.pc = rec.pc
+			r.exitCode = rec.exitCode
+			r.halted = rec.halted
+		}
+	}
+}
+
+// countAccess replicates the machine's MemStats accounting for one
+// executed event (loads and stores only; the vm does not count the
+// implicit stack traffic of calls and returns).
+func (r *Replayer) countAccess(rec record, st *site) {
+	switch rec.kind {
+	case recRead:
+		if st.instr.IsPrefetch() {
+			r.memStats.Prefetches++
+		} else if cls := classOf(rec.size); cls >= 0 {
+			r.memStats.ReadOps[cls]++
+		}
+	case recWrite:
+		if cls := classOf(rec.size); cls >= 0 {
+			r.memStats.WriteOps[cls]++
+		}
+	}
+}
+
+func classOf(size int) int {
+	for i, s := range vm.MemSizeClasses {
+		if s == size {
+			return i
+		}
+	}
+	return -1
+}
+
+func eventKind(kind byte) vm.EventKind {
+	switch kind {
+	case recWrite:
+		return vm.EvWrite
+	case recCall:
+		return vm.EvCall
+	case recReturn:
+		return vm.EvReturn
+	}
+	return vm.EvRead
+}
+
+// PublishMetrics exports the replayed run's counters under the same
+// metric names a live run publishes (vm.Machine.PublishMetrics plus
+// pin.Engine.PublishMetrics), so merged registries are comparable across
+// live and replayed sweeps.  The pin family is published only when
+// instrumentation was attached, matching a live native run's registry.
+// A nil registry is a no-op.
+func (r *Replayer) PublishMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("tquad_vm_instructions_total").Add(r.ic)
+	reg.Counter("tquad_vm_overhead_instr_total").Add(r.overhead)
+	reg.Counter("tquad_vm_prefetch_skipped_total").Add(r.memStats.Prefetches)
+	reg.Counter("tquad_vm_mem_read_bytes_total").Add(r.memStats.ReadBytes())
+	reg.Counter("tquad_vm_mem_write_bytes_total").Add(r.memStats.WriteBytes())
+	for i, size := range vm.MemSizeClasses {
+		label := fmt.Sprintf("%d", size)
+		if n := r.memStats.ReadOps[i]; n > 0 {
+			reg.Counter(obs.Label("tquad_vm_mem_reads_total", "size", label)).Add(n)
+		}
+		if n := r.memStats.WriteOps[i]; n > 0 {
+			reg.Counter(obs.Label("tquad_vm_mem_writes_total", "size", label)).Add(n)
+		}
+	}
+	if len(r.insCallbacks) > 0 {
+		reg.Counter("tquad_pin_static_instrumented_total").Add(r.Stats.StaticInstrumented)
+		reg.Counter("tquad_pin_analysis_calls_total").Add(r.Stats.AnalysisCalls)
+		reg.Counter("tquad_pin_suppressed_calls_total").Add(r.Stats.SuppressedCalls)
+	}
+}

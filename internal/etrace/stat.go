@@ -1,0 +1,85 @@
+package etrace
+
+import "io"
+
+// Info summarises one trace file without replaying it through any tools
+// (the tqdump inspector's view).
+type Info struct {
+	Version   int
+	Workload  string
+	StackBase uint64
+	Routines  []Routine
+
+	Chunks    int
+	Statics   uint64
+	Reads     uint64
+	Writes    uint64
+	Calls     uint64
+	Returns   uint64
+	Skipped   uint64 // predicated events that did not execute
+	BlockDefs uint64
+	Blocks    uint64
+
+	// Final state from the end record; valid only when Complete.
+	Complete    bool
+	FinalICount uint64
+	FinalPC     uint64
+	ExitCode    int64
+	Halted      bool
+}
+
+// Stat scans a trace and returns its summary.  A trace that decodes
+// cleanly but stops before its end record is reported with Complete
+// false rather than as an error, so partial recordings stay inspectable.
+func Stat(rd io.Reader) (*Info, error) {
+	d := newDecoder(rd)
+	hdr, err := d.readHeader()
+	if err != nil {
+		return nil, err
+	}
+	info := &Info{
+		Version:   Version,
+		Workload:  hdr.workload,
+		StackBase: hdr.stackBase,
+		Routines:  hdr.routines,
+	}
+	for {
+		rec, err := d.next()
+		if err == io.EOF {
+			info.Chunks = d.chunks
+			return info, nil
+		}
+		if err == errTruncated {
+			info.Chunks = d.chunks
+			return info, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch rec.kind {
+		case recStatic:
+			info.Statics++
+		case recRead:
+			info.Reads++
+		case recWrite:
+			info.Writes++
+		case recCall:
+			info.Calls++
+		case recReturn:
+			info.Returns++
+		case recBlockDef:
+			info.BlockDefs++
+		case recBlock:
+			info.Blocks++
+		case recEnd:
+			info.Complete = true
+			info.FinalICount = rec.ic
+			info.FinalPC = rec.pc
+			info.ExitCode = rec.exitCode
+			info.Halted = rec.halted
+		}
+		if rec.kind != recStatic && rec.kind != recBlockDef && !rec.executed {
+			info.Skipped++
+		}
+	}
+}

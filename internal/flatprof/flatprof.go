@@ -59,33 +59,33 @@ type counters struct {
 
 // Profiler is one attached flat profiler.
 type Profiler struct {
-	opts   Options
-	engine *pin.Engine
-	stack  *callstack.Stack
+	opts  Options
+	host  pin.Host
+	stack *callstack.Stack
 
 	taken uint64 // samples settled so far
 	funcs map[string]*counters
 }
 
-// Attach wires the profiler onto the engine.  Call before running; call
-// Finish after the machine halts.
-func Attach(e *pin.Engine, opts Options) *Profiler {
+// Attach wires the profiler onto the host — a live pin.Engine or a trace
+// replayer.  Call before running; call Finish after the machine halts.
+func Attach(h pin.Host, opts Options) *Profiler {
 	opts.setDefaults()
 	p := &Profiler{
-		opts:   opts,
-		engine: e,
-		funcs:  make(map[string]*counters),
+		opts:  opts,
+		host:  h,
+		funcs: make(map[string]*counters),
 	}
-	e.InitSymbols()
+	h.InitSymbols()
 	p.stack = callstack.New(func(target uint64) (string, bool, bool) {
-		rtn, ok := e.RTNFindByAddress(target)
+		rtn, ok := h.RTNFindByAddress(target)
 		if !ok {
 			return "", false, false
 		}
 		return rtn.Name(), rtn.IsInMainImage(), true
 	}, opts.ExcludeLibs)
 
-	e.INSAddInstrumentFunction(func(ins *pin.INS) {
+	h.INSAddInstrumentFunction(func(ins *pin.INS) {
 		switch {
 		case ins.IsCall():
 			ins.InsertCall(func(ctx *pin.Context) {
@@ -118,7 +118,7 @@ func (p *Profiler) fn(name string) *counters {
 // routine containing pc (self time) and to every routine on the stack
 // (cumulative time).
 func (p *Profiler) settle(pc uint64) {
-	due := p.engine.Machine().Time() / p.opts.SamplePeriod
+	due := p.host.Time() / p.opts.SamplePeriod
 	if due <= p.taken {
 		return
 	}
@@ -126,7 +126,7 @@ func (p *Profiler) settle(pc uint64) {
 	p.taken = due
 
 	var cur string
-	if rtn, ok := p.engine.RTNFindByAddress(pc); ok {
+	if rtn, ok := p.host.RTNFindByAddress(pc); ok {
 		if p.opts.ExcludeLibs && !rtn.IsInMainImage() {
 			cur = ""
 		} else {
@@ -154,7 +154,7 @@ func (p *Profiler) settle(pc uint64) {
 
 // Finish settles outstanding samples after the machine halts.
 func (p *Profiler) Finish() {
-	p.settle(p.engine.Machine().PC)
+	p.settle(p.host.CurrentPC())
 }
 
 // Row is one line of the flat profile.
@@ -180,7 +180,7 @@ func (p *Profiler) Report() *Profile {
 	span := p.opts.Tracer.Start("flatprof-report")
 	defer span.End()
 	p.Finish()
-	span.SetInstr(p.engine.Machine().ICount)
+	span.SetInstr(p.host.ICount())
 	secPerSample := float64(p.opts.SamplePeriod) / p.opts.InstrPerSecond
 	prof := &Profile{TotalSamples: p.taken}
 	prof.TotalSeconds = float64(p.taken) * secPerSample

@@ -73,6 +73,10 @@ type Context struct {
 	Target   uint64
 	Prefetch bool
 	Kind     vm.EventKind
+	// Executed is false when a predicated instruction was skipped; the
+	// event still reaches InsertCall analyses (and is recorded by event
+	// tracers) so that predicated suppression can be reproduced exactly.
+	Executed bool
 }
 
 type analysisCall struct {
@@ -93,6 +97,26 @@ func (ins *INS) InsertCall(fn AnalysisFunc) {
 // is predicated true").
 func (ins *INS) InsertPredicatedCall(fn AnalysisFunc) {
 	ins.calls = append(ins.calls, analysisCall{fn: fn, predicated: true})
+}
+
+// HasCalls reports whether any analysis routine is attached.
+func (ins *INS) HasCalls() bool { return len(ins.calls) > 0 }
+
+// Dispatch invokes the attached analysis routines for one dynamic event,
+// honouring predicated suppression exactly like the engine's fused
+// handler.  It returns the number of calls fired and suppressed — the
+// entry point trace replayers use to drive compiled instrumentation
+// without a machine.
+func (ins *INS) Dispatch(ctx *Context) (fired, suppressed uint64) {
+	for _, c := range ins.calls {
+		if c.predicated && !ctx.Executed {
+			suppressed++
+			continue
+		}
+		fired++
+		c.fn(ctx)
+	}
+	return fired, suppressed
 }
 
 // RTN is the instrumentation-time view of one routine.
@@ -122,6 +146,32 @@ type InstrumentFunc func(ins *INS)
 // RTNInstrumentFunc is a per-routine instrumentation callback, invoked the
 // first time any instruction of the routine is reached.
 type RTNInstrumentFunc func(rtn *RTN)
+
+// Host is the event source a tool attaches to: everything the profiling
+// tools (core, quad, flatprof) need from the instrumentation framework,
+// abstracted from where the dynamic events come from.  *Engine implements
+// it over a live vm.Machine; etrace.Replayer implements it over a
+// recorded event trace, which is what lets a sweep replay one recording
+// per configuration instead of re-executing the guest.
+type Host interface {
+	// InitSymbols makes routine names available (Pin's PIN_InitSymbols).
+	InitSymbols()
+	// INSAddInstrumentFunction registers per-instruction instrumentation.
+	INSAddInstrumentFunction(fn InstrumentFunc)
+	// RTNFindByAddress resolves an address to its routine.
+	RTNFindByAddress(pc uint64) (*RTN, bool)
+	// ICount returns the guest instructions executed so far.
+	ICount() uint64
+	// Time returns the simulated clock: ICount plus charged overhead.
+	Time() uint64
+	// CurrentPC returns the current guest program counter.
+	CurrentPC() uint64
+	// ChargeOverhead adds simulated analysis cost to the clock.
+	ChargeOverhead(n uint64)
+	// IsStackAddr reports whether addr lies in the live stack area given
+	// the current stack pointer.
+	IsStackAddr(addr, sp uint64) bool
+}
 
 // Engine couples a machine with registered tools.  It implements
 // vm.Probe.
@@ -157,8 +207,25 @@ func NewEngine(m *vm.Machine) *Engine {
 	return e
 }
 
+var _ Host = (*Engine)(nil)
+
 // Machine returns the instrumented machine.
 func (e *Engine) Machine() *vm.Machine { return e.machine }
+
+// ICount returns the machine's executed-instruction count.
+func (e *Engine) ICount() uint64 { return e.machine.ICount }
+
+// Time returns the machine's simulated clock (ICount + Overhead).
+func (e *Engine) Time() uint64 { return e.machine.Time() }
+
+// CurrentPC returns the machine's program counter.
+func (e *Engine) CurrentPC() uint64 { return e.machine.PC }
+
+// ChargeOverhead forwards simulated analysis cost to the machine.
+func (e *Engine) ChargeOverhead(n uint64) { e.machine.ChargeOverhead(n) }
+
+// IsStackAddr reports whether addr lies in the machine's live stack area.
+func (e *Engine) IsStackAddr(addr, sp uint64) bool { return e.machine.IsStackAddr(addr, sp) }
 
 // PublishMetrics exports the engine's bookkeeping into the registry — the
 // instrumentation-cost half of the paper's Table III overhead breakdown.
@@ -255,6 +322,7 @@ func (e *Engine) Compile(pc uint64, instr isa.Instr) vm.Handler {
 			Target:   ev.Target,
 			Prefetch: prefetch,
 			Kind:     ev.Kind,
+			Executed: ev.Executed,
 		}
 		for _, fn := range headCalls {
 			e.Stats.AnalysisCalls++
@@ -265,7 +333,7 @@ func (e *Engine) Compile(pc uint64, instr isa.Instr) vm.Handler {
 			fn(&ctx)
 		}
 		for _, c := range calls {
-			if c.predicated && !ev.Executed {
+			if c.predicated && !ctx.Executed {
 				e.Stats.SuppressedCalls++
 				continue
 			}

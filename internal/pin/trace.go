@@ -52,21 +52,38 @@ func (e *Engine) traceCompile(pc uint64) []AnalysisFunc {
 	r, img, ok := e.machine.FindRoutine(pc)
 	if ok && !e.tracedRoutines[r.Entry] {
 		e.tracedRoutines[r.Entry] = true
-		code := img.Code[r.Entry-img.Base : r.End-img.Base]
-		if g, err := cfg.Build(code, r.Entry); err == nil {
-			for _, start := range g.Starts() {
-				tr := &TRACE{Block: g.Blocks[start], Routine: r}
-				if !e.symbolsInited {
-					tr.Routine.Name = ""
-				}
-				for _, cb := range e.traceCallbacks {
-					cb(tr)
-				}
-				if len(tr.headCalls) > 0 {
-					e.blockHeads[start] = tr.headCalls
+		if code, valid := RoutineCode(img, r); valid {
+			if g, err := cfg.Build(code, r.Entry); err == nil {
+				for _, start := range g.Starts() {
+					tr := &TRACE{Block: g.Blocks[start], Routine: r}
+					if !e.symbolsInited {
+						tr.Routine.Name = ""
+					}
+					for _, cb := range e.traceCallbacks {
+						cb(tr)
+					}
+					if len(tr.headCalls) > 0 {
+						e.blockHeads[start] = tr.headCalls
+					}
 				}
 			}
 		}
 	}
 	return e.blockHeads[pc]
+}
+
+// RoutineCode returns the code bytes of a routine, validating the symbol
+// table's claimed range against the image's actual code segment.  A
+// corrupted (or hostile) symbol table can claim a span outside the
+// segment; callers must degrade to uninstrumented execution in that case
+// instead of slicing out of bounds.
+func RoutineCode(img *image.Image, r image.Routine) (code []byte, valid bool) {
+	if img == nil || r.Entry < img.Base || r.End < r.Entry {
+		return nil, false
+	}
+	start, end := r.Entry-img.Base, r.End-img.Base
+	if end > uint64(len(img.Code)) {
+		return nil, false
+	}
+	return img.Code[start:end], true
 }

@@ -3,6 +3,7 @@ package pin_test
 import (
 	"testing"
 
+	"tquad/internal/image"
 	"tquad/internal/pin"
 	"tquad/internal/vm"
 	"tquad/internal/wfs"
@@ -115,4 +116,73 @@ func TestTraceComposesWithOtherTools(t *testing.T) {
 		t.Fatalf("instrumentation changed the program output")
 	}
 	_ = vm.EvPlain // keep the vm import honest if assertions shrink
+}
+
+// TestRoutineCodeRejectsCorruptRanges: a symbol table whose claimed
+// routine span lies outside the code segment (a truncated or hostile
+// image) must be reported invalid, not sliced out of bounds.
+func TestRoutineCodeRejectsCorruptRanges(t *testing.T) {
+	w, err := wfs.NewWorkload(wfs.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := w.Prog.Main
+	rts := img.Routines()
+	r := rts[len(rts)-1]
+
+	if code, valid := pin.RoutineCode(img, r); !valid {
+		t.Fatal("intact routine reported invalid")
+	} else if want := r.End - r.Entry; uint64(len(code)) != want {
+		t.Fatalf("routine code length %d, want %d", len(code), want)
+	}
+	if _, valid := pin.RoutineCode(nil, r); valid {
+		t.Error("nil image reported valid")
+	}
+	if _, valid := pin.RoutineCode(img, image.Routine{Name: "low", Entry: img.Base - 8, End: img.Base}); valid && img.Base >= 8 {
+		t.Error("routine below the code base reported valid")
+	}
+	if _, valid := pin.RoutineCode(img, image.Routine{Name: "inverted", Entry: r.End, End: r.Entry}); valid {
+		t.Error("inverted routine range reported valid")
+	}
+	over := image.Routine{Name: "over", Entry: r.Entry, End: img.Base + uint64(len(img.Code)) + 8}
+	if _, valid := pin.RoutineCode(img, over); valid {
+		t.Error("routine past the code segment reported valid")
+	}
+}
+
+// TestTraceInstrumentationSurvivesTruncatedImage: trace-granularity
+// instrumentation consults the symbol table to slice out routine code;
+// when the code segment has been truncated underneath the table (a
+// corrupted binary), instrumentation must degrade to uninstrumented
+// execution for the damaged routines instead of panicking.
+func TestTraceInstrumentationSurvivesTruncatedImage(t *testing.T) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("truncated image caused a panic: %v", r)
+		}
+	}()
+	w, err := wfs.NewWorkload(wfs.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := w.Prog.Main.Marshal()
+	img, err := image.Unmarshal(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the code segment mid-routine: the symbol table now claims
+	// spans past the end of Code.
+	img.Code = img.Code[:len(img.Code)-4*8]
+
+	m := vm.New()
+	m.LoadImage(img)
+	for _, lib := range w.Prog.Libs {
+		m.LoadImage(lib)
+	}
+	m.Reset(w.Prog.EntryPC)
+	e := pin.NewEngine(m)
+	attachBBLCounter(e)
+	// The guest reads its missing input and eventually traps or exits;
+	// either way the run must end without a panic.
+	_ = m.Run(10_000_000)
 }

@@ -72,9 +72,9 @@ type kernelData struct {
 
 // Tool is one attached QUAD instance.
 type Tool struct {
-	opts   Options
-	engine *pin.Engine
-	stack  *callstack.Stack
+	opts  Options
+	host  pin.Host
+	stack *callstack.Stack
 
 	owners  *shadow.Owners
 	kernels []*kernelData // index = kernel id (0 unused)
@@ -85,28 +85,28 @@ type Tool struct {
 	bindings map[uint16]map[uint16]uint64
 }
 
-// Attach wires a QUAD tool onto the engine.  Call before running the
-// machine.
-func Attach(e *pin.Engine, opts Options) *Tool {
+// Attach wires a QUAD tool onto the host — a live pin.Engine or a trace
+// replayer.  Call before running the machine (or the replay).
+func Attach(h pin.Host, opts Options) *Tool {
 	opts.setDefaults()
 	t := &Tool{
 		opts:     opts,
-		engine:   e,
+		host:     h,
 		owners:   shadow.NewOwners(),
 		kernels:  []*kernelData{nil}, // id 0 reserved
 		ids:      make(map[string]uint16),
 		bindings: make(map[uint16]map[uint16]uint64),
 	}
-	e.InitSymbols()
+	h.InitSymbols()
 	t.stack = callstack.New(func(target uint64) (string, bool, bool) {
-		rtn, ok := e.RTNFindByAddress(target)
+		rtn, ok := h.RTNFindByAddress(target)
 		if !ok {
 			return "", false, false
 		}
 		return rtn.Name(), rtn.IsInMainImage(), true
 	}, opts.ExcludeLibs)
 
-	e.INSAddInstrumentFunction(t.instruction)
+	h.INSAddInstrumentFunction(t.instruction)
 	return t
 }
 
@@ -139,7 +139,7 @@ func (t *Tool) current() (uint16, bool) {
 // instruction is the INS instrumentation routine (the paper's
 // Instruction()): it attaches the analysis calls.
 func (t *Tool) instruction(ins *pin.INS) {
-	m := t.engine.Machine()
+	h := t.host
 	switch {
 	case ins.IsCall():
 		ins.InsertCall(func(ctx *pin.Context) {
@@ -158,7 +158,7 @@ func (t *Tool) instruction(ins *pin.INS) {
 	case ins.IsMemoryRead():
 		ins.InsertPredicatedCall(func(ctx *pin.Context) {
 			if ctx.Prefetch {
-				m.ChargeOverhead(t.opts.CostPrefetch)
+				h.ChargeOverhead(t.opts.CostPrefetch)
 				return
 			}
 			t.increaseRead(ctx)
@@ -166,7 +166,7 @@ func (t *Tool) instruction(ins *pin.INS) {
 	case ins.IsMemoryWrite():
 		ins.InsertPredicatedCall(func(ctx *pin.Context) {
 			if ctx.Prefetch {
-				m.ChargeOverhead(t.opts.CostPrefetch)
+				h.ChargeOverhead(t.opts.CostPrefetch)
 				return
 			}
 			t.increaseWrite(ctx)
@@ -176,26 +176,26 @@ func (t *Tool) instruction(ins *pin.INS) {
 
 // increaseRead is the IncreaseRead analysis routine.
 func (t *Tool) increaseRead(ctx *pin.Context) {
-	t.read(ctx, t.engine.Machine().IsStackAddr(ctx.Addr, ctx.SP))
+	t.read(ctx, t.host.IsStackAddr(ctx.Addr, ctx.SP))
 }
 
 // increaseWrite is the IncreaseWrite analysis routine.
 func (t *Tool) increaseWrite(ctx *pin.Context) {
-	t.write(ctx, t.engine.Machine().IsStackAddr(ctx.Addr, ctx.SP))
+	t.write(ctx, t.host.IsStackAddr(ctx.Addr, ctx.SP))
 }
 
 func (t *Tool) read(ctx *pin.Context, isStack bool) {
-	m := t.engine.Machine()
+	h := t.host
 	if !t.opts.IncludeStack && isStack {
-		m.ChargeOverhead(t.opts.CostSkip)
+		h.ChargeOverhead(t.opts.CostSkip)
 		return
 	}
 	me, ok := t.current()
 	if !ok {
-		m.ChargeOverhead(t.opts.CostSkip)
+		h.ChargeOverhead(t.opts.CostSkip)
 		return
 	}
-	m.ChargeOverhead(t.opts.CostTrace)
+	h.ChargeOverhead(t.opts.CostTrace)
 	k := t.kernels[me]
 	k.inBytes += uint64(ctx.Size)
 	for i := 0; i < ctx.Size; i++ {
@@ -212,17 +212,17 @@ func (t *Tool) read(ctx *pin.Context, isStack bool) {
 }
 
 func (t *Tool) write(ctx *pin.Context, isStack bool) {
-	m := t.engine.Machine()
+	h := t.host
 	if !t.opts.IncludeStack && isStack {
-		m.ChargeOverhead(t.opts.CostSkip)
+		h.ChargeOverhead(t.opts.CostSkip)
 		return
 	}
 	me, ok := t.current()
 	if !ok {
-		m.ChargeOverhead(t.opts.CostSkip)
+		h.ChargeOverhead(t.opts.CostSkip)
 		return
 	}
-	m.ChargeOverhead(t.opts.CostTrace)
+	h.ChargeOverhead(t.opts.CostTrace)
 	k := t.kernels[me]
 	k.writeSet.AddRange(ctx.Addr, ctx.Size)
 	t.owners.SetRange(ctx.Addr, ctx.Size, me)

@@ -1,0 +1,240 @@
+// Record-once/replay-many execution for the scheduler: every profiling
+// configuration observes the same dynamic event stream (analysis
+// routines never perturb the guest), so a sweep needs one recorded guest
+// execution per execution-equivalence group and one cheap replay per
+// configuration.  This file holds the recording plumbing and the shared
+// attach/collect helpers that keep the live and replayed paths running
+// the exact same tool code.
+package study
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+
+	"tquad/internal/core"
+	"tquad/internal/etrace"
+	"tquad/internal/flatprof"
+	"tquad/internal/obs"
+	"tquad/internal/pin"
+	"tquad/internal/quad"
+	"tquad/internal/wfs"
+)
+
+// ExecKey is the execution-equivalence key: submissions whose guest
+// executions are indistinguishable share one recording.  Instrumentation
+// is purely observational (analysis cost lands in the separate overhead
+// counter and tools never write guest state), so every run kind —
+// including the native baseline — replays the same event stream and the
+// key is a constant.
+func (c RunConfig) ExecKey() string { return "guest" }
+
+// known reports whether k is a defined run kind.
+func (k RunKind) known() bool {
+	switch k {
+	case RunNative, RunFlat, RunQUAD, RunInstrFlat, RunTQUAD:
+		return true
+	}
+	return false
+}
+
+// recording is one in-flight or finished guest recording, shared by all
+// configurations in its execution-equivalence group.
+type recording struct {
+	done  chan struct{}
+	path  string // temp file holding the trace; removed by Close
+	reg   *obs.Registry
+	spans []obs.SpanRecord
+	err   error
+}
+
+// recordingLocked returns the group's recording, starting it on first
+// use.  Callers hold sc.mu.  The goroutine takes a worker slot itself;
+// configurations wait on rec.done before acquiring theirs, so the
+// record-then-replay chain cannot deadlock even at jobs=1.
+func (sc *Scheduler) recordingLocked(key string) *recording {
+	if rec, ok := sc.recs[key]; ok {
+		return rec
+	}
+	rec := &recording{done: make(chan struct{})}
+	sc.recs[key] = rec
+	go func() {
+		defer close(rec.done)
+		sc.sem <- struct{}{}
+		defer func() { <-sc.sem }()
+		f, err := os.CreateTemp("", "tquad-etrace-*.bin")
+		if err != nil {
+			rec.err = err
+			return
+		}
+		rec.path = f.Name()
+		bw := bufio.NewWriterSize(f, 1<<16)
+		sc.guestExecs.Add(1)
+		reg, spans, err := sc.study.recordGuest(bw)
+		if err == nil {
+			err = bw.Flush()
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		rec.reg, rec.spans, rec.err = reg, spans, err
+	}()
+	return rec
+}
+
+// recordGuest executes the guest once with only the event-trace recorder
+// attached, writing the trace to w.  It returns the recording run's
+// private observability (merged by Flush under a "record/" root so trace
+// output distinguishes the recording from the replays that consume it).
+func (s *Study) recordGuest(w io.Writer) (*obs.Registry, []obs.SpanRecord, error) {
+	var ro *obs.Observer
+	if s.Obs != nil {
+		ro = obs.NewObserver()
+	}
+	run := ro.Tracer().Start("record")
+	m, _ := s.W.NewMachine()
+
+	instrument := ro.Tracer().Start("instrument")
+	e := pin.NewEngine(m)
+	cfg := s.W.Cfg
+	rec, err := etrace.Record(e, w, etrace.RecordOptions{
+		Workload: fmt.Sprintf("wfs frames=%d fft=%d speakers=%d", cfg.Frames, cfg.FFTSize, cfg.Speakers),
+	})
+	instrument.End()
+	if err != nil {
+		run.End()
+		return nil, nil, err
+	}
+
+	execute := ro.Tracer().Start("execute")
+	err = m.Run(wfs.MaxInstr)
+	execute.SetInstr(m.ICount)
+	execute.SetBytes(m.MemStats.ReadBytes() + m.MemStats.WriteBytes())
+	execute.End()
+	if err == nil && m.ExitCode != 0 {
+		err = fmt.Errorf("guest exit code %d", m.ExitCode)
+	}
+	if err == nil {
+		err = rec.Finish()
+	}
+	run.End()
+	if err != nil {
+		return nil, nil, err
+	}
+	m.PublishMetrics(ro.Registry())
+	e.PublishMetrics(ro.Registry())
+	if ro == nil {
+		return nil, nil, nil
+	}
+	return ro.Metrics, ro.Spans.Records(), nil
+}
+
+// replayConfig produces one configuration's result by replaying the
+// recorded trace at path through the configuration's tools.  It mirrors
+// executeConfig span for span, with a "replay" span where the live path
+// has "execute".
+func (s *Study) replayConfig(cfg RunConfig, path string) (*RunResult, error) {
+	var ro *obs.Observer
+	if s.Obs != nil {
+		ro = obs.NewObserver()
+	}
+	res := &RunResult{Config: cfg, Key: cfg.Key()}
+	run := ro.Tracer().Start("run")
+	f, err := os.Open(path)
+	if err != nil {
+		run.End()
+		return nil, fmt.Errorf("study: run %s: %w", res.Key, err)
+	}
+	defer f.Close()
+
+	instrument := ro.Tracer().Start("instrument")
+	rp, err := etrace.NewReplayer(f)
+	var ts *toolset
+	if err == nil {
+		ts, err = attachTools(rp, cfg, ro.Tracer())
+	}
+	instrument.End()
+	if err != nil {
+		run.End()
+		return nil, fmt.Errorf("study: run %s: %w", res.Key, err)
+	}
+
+	replay := ro.Tracer().Start("replay")
+	err = rp.Replay()
+	replay.SetInstr(rp.ICount())
+	rb, wb := rp.Traffic()
+	replay.SetBytes(rb + wb)
+	replay.End()
+	if err == nil && rp.ExitCode() != 0 {
+		err = fmt.Errorf("guest exit code %d", rp.ExitCode())
+	}
+	if err != nil {
+		run.End()
+		return nil, fmt.Errorf("study: run %s: %w", res.Key, err)
+	}
+
+	res.ICount, res.Overhead, res.Time = rp.ICount(), rp.Overhead(), rp.Time()
+	rp.PublishMetrics(ro.Registry())
+	ts.collect(cfg, res, ro)
+	run.End()
+	if ro != nil {
+		res.Registry = ro.Metrics
+		res.Spans = ro.Spans.Records()
+	}
+	return res, nil
+}
+
+// toolset holds whichever tools a configuration attaches; live and
+// replayed runs build it through the same attachTools call so the two
+// paths cannot drift.
+type toolset struct {
+	flat *flatprof.Profiler
+	quad *quad.Tool
+	core *core.Tool
+}
+
+// attachTools attaches the configuration's tools to the event source.
+func attachTools(h pin.Host, cfg RunConfig, tr *obs.Tracer) (*toolset, error) {
+	ts := &toolset{}
+	switch cfg.Kind {
+	case RunNative:
+	case RunFlat:
+		ts.flat = flatprof.Attach(h, flatprof.Options{Tracer: tr})
+	case RunQUAD:
+		ts.quad = quad.Attach(h, quad.Options{IncludeStack: cfg.IncludeStack})
+	case RunInstrFlat:
+		// The paper's configuration: QUAD with stack accesses discarded
+		// early, profiled by the flat profiler (Table III).
+		quad.Attach(h, quad.Options{IncludeStack: false})
+		ts.flat = flatprof.Attach(h, flatprof.Options{Tracer: tr})
+	case RunTQUAD:
+		ts.core = core.Attach(h, core.Options{
+			SliceInterval:   cfg.SliceInterval,
+			IncludeStack:    cfg.IncludeStack,
+			ExcludeLibs:     cfg.ExcludeLibs,
+			TracePrefetches: cfg.TracePrefetches,
+		})
+	default:
+		return nil, fmt.Errorf("study: unknown run kind %d", cfg.Kind)
+	}
+	return ts, nil
+}
+
+// collect extracts the configuration's reports into the result.
+func (ts *toolset) collect(cfg RunConfig, res *RunResult, ro *obs.Observer) {
+	switch cfg.Kind {
+	case RunFlat, RunInstrFlat:
+		res.Flat = ts.flat.Report()
+	case RunQUAD:
+		res.Quad = ts.quad.Report()
+	case RunTQUAD:
+		ts.core.PublishMetrics(ro.Registry())
+		snap := ro.Tracer().Start("snapshot")
+		res.Temporal = ts.core.Snapshot()
+		snap.SetInstr(res.Temporal.TotalInstr)
+		snap.SetBytes(profileBytes(res.Temporal))
+		snap.End()
+		res.Breakdown = ts.core.Breakdown()
+	}
+}

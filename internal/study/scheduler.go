@@ -23,9 +23,11 @@ package study
 
 import (
 	"fmt"
+	"os"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"tquad/internal/core"
 	"tquad/internal/flatprof"
@@ -152,9 +154,18 @@ type Scheduler struct {
 	jobs  int
 	sem   chan struct{}
 
-	mu     sync.Mutex
-	memo   map[string]*Pending
-	merged map[string]bool // keys already folded into the study observer
+	// replay selects record-once/replay-many execution (the default):
+	// one guest execution per execution-equivalence group, recorded as
+	// an event trace, then one cheap replay per configuration.  Disable
+	// with SetReplay(false) to execute every configuration live.
+	replay     bool
+	guestExecs atomic.Uint64
+
+	mu        sync.Mutex
+	memo      map[string]*Pending
+	recs      map[string]*recording // execution-equivalence key -> recording
+	merged    map[string]bool       // keys already folded into the study observer
+	recMerged map[string]bool       // recordings already folded in
 }
 
 // NewScheduler creates a scheduler over the study's workload.  jobs
@@ -165,16 +176,60 @@ func NewScheduler(s *Study, jobs int) *Scheduler {
 		jobs = runtime.GOMAXPROCS(0)
 	}
 	return &Scheduler{
-		study:  s,
-		jobs:   jobs,
-		sem:    make(chan struct{}, jobs),
-		memo:   make(map[string]*Pending),
-		merged: make(map[string]bool),
+		study:     s,
+		jobs:      jobs,
+		sem:       make(chan struct{}, jobs),
+		replay:    true,
+		memo:      make(map[string]*Pending),
+		recs:      make(map[string]*recording),
+		merged:    make(map[string]bool),
+		recMerged: make(map[string]bool),
 	}
 }
 
 // Jobs returns the scheduler's concurrency bound.
 func (sc *Scheduler) Jobs() int { return sc.jobs }
+
+// SetReplay switches between record-once/replay-many execution (the
+// default) and live execution of every configuration.  Call it before
+// the first Submit; already-submitted runs keep the mode they started
+// under.
+func (sc *Scheduler) SetReplay(on bool) {
+	sc.mu.Lock()
+	sc.replay = on
+	sc.mu.Unlock()
+}
+
+// GuestExecutions returns how many guest executions the scheduler has
+// started — in replay mode, the number of recordings rather than the
+// number of submitted configurations.
+func (sc *Scheduler) GuestExecutions() uint64 { return sc.guestExecs.Load() }
+
+// Close waits for all submitted work and removes the recorded trace
+// files.  Call it when the sweep is done; the memoised results stay
+// valid.
+func (sc *Scheduler) Close() {
+	sc.mu.Lock()
+	pend := make([]*Pending, 0, len(sc.memo))
+	for _, p := range sc.memo {
+		pend = append(pend, p)
+	}
+	recs := make([]*recording, 0, len(sc.recs))
+	for _, r := range sc.recs {
+		recs = append(recs, r)
+	}
+	sc.mu.Unlock()
+	for _, p := range pend {
+		<-p.done
+	}
+	for _, r := range recs {
+		<-r.done
+		if r.path != "" {
+			os.Remove(r.path)
+			r.path = ""
+		}
+	}
+}
 
 // Submit schedules the configuration for execution and returns a handle
 // to its (possibly already running or finished) result.  Submissions
@@ -189,12 +244,38 @@ func (sc *Scheduler) Submit(cfg RunConfig) *Pending {
 	}
 	p := &Pending{key: key, done: make(chan struct{})}
 	sc.memo[key] = p
+	replay := sc.replay && cfg.Kind.known()
+	var rec *recording
+	if replay {
+		rec = sc.recordingLocked(cfg.ExecKey())
+	}
+	invalid := sc.replay && !cfg.Kind.known()
 	sc.mu.Unlock()
 	go func() {
-		sc.sem <- struct{}{}
-		defer func() { <-sc.sem }()
-		p.res, p.err = sc.study.executeConfig(cfg)
-		close(p.done)
+		defer close(p.done)
+		switch {
+		case invalid:
+			// Reject before recording anything: an unknown kind must not
+			// cost (or wait for) a guest execution, and its failure must
+			// surface for every duplicate submission of the same key.
+			p.err = fmt.Errorf("study: unknown run kind %d", cfg.Kind)
+		case replay:
+			<-rec.done
+			if rec.err != nil {
+				p.err = fmt.Errorf("study: run %s: record: %w", key, rec.err)
+				return
+			}
+			sc.sem <- struct{}{}
+			defer func() { <-sc.sem }()
+			p.res, p.err = sc.study.replayConfig(cfg, rec.path)
+		default:
+			sc.sem <- struct{}{}
+			defer func() { <-sc.sem }()
+			if cfg.Kind.known() {
+				sc.guestExecs.Add(1)
+			}
+			p.res, p.err = sc.study.executeConfig(cfg)
+		}
 	}()
 	return p
 }
@@ -239,8 +320,33 @@ func (sc *Scheduler) Flush() []error {
 	for key := range sc.memo {
 		keys = append(keys, key)
 	}
+	recKeys := make([]string, 0, len(sc.recs))
+	for key := range sc.recs {
+		recKeys = append(recKeys, key)
+	}
 	sc.mu.Unlock()
 	sort.Strings(keys)
+	sort.Strings(recKeys)
+
+	// Recordings merge first, under a "record/" root, so the trace output
+	// shows each guest execution ahead of the replays it feeds.  A failed
+	// recording is not reported here: its error reaches every dependent
+	// configuration's Pending below.
+	for _, key := range recKeys {
+		sc.mu.Lock()
+		rec := sc.recs[key]
+		sc.mu.Unlock()
+		<-rec.done
+		sc.mu.Lock()
+		seen := sc.recMerged[key]
+		sc.recMerged[key] = true
+		sc.mu.Unlock()
+		if seen || rec.err != nil || rec.reg == nil {
+			continue
+		}
+		sc.study.Obs.Registry().Merge(rec.reg)
+		sc.study.Obs.Tracer().Adopt("record/"+key, rec.spans)
+	}
 
 	var errs []error
 	for _, key := range keys {
@@ -310,7 +416,9 @@ func (sc *Scheduler) Slowdown(sliceIntervals []uint64) ([]SlowdownRow, error) {
 // SlowdownParallel is Study.Slowdown executed on a fresh scheduler with
 // the given parallelism.  Output is byte-identical to the serial sweep.
 func (s *Study) SlowdownParallel(sliceIntervals []uint64, jobs int) ([]SlowdownRow, error) {
-	return NewScheduler(s, jobs).Slowdown(sliceIntervals)
+	sch := NewScheduler(s, jobs)
+	defer sch.Close()
+	return sch.Slowdown(sliceIntervals)
 }
 
 // PhasesFromProfile runs Table IV phase detection over an
@@ -333,43 +441,24 @@ func (s *Study) executeConfig(cfg RunConfig) (*RunResult, error) {
 	run := ro.Tracer().Start("run")
 	m, _ := s.W.NewMachine()
 
-	var (
-		e     *pin.Engine
-		flatP *flatprof.Profiler
-		quadT *quad.Tool
-		coreT *core.Tool
-	)
+	var e *pin.Engine
 	instrument := ro.Tracer().Start("instrument")
 	if cfg.Kind != RunNative {
 		e = pin.NewEngine(m)
 	}
-	switch cfg.Kind {
-	case RunNative:
-	case RunFlat:
-		flatP = flatprof.Attach(e, flatprof.Options{Tracer: ro.Tracer()})
-	case RunQUAD:
-		quadT = quad.Attach(e, quad.Options{IncludeStack: cfg.IncludeStack})
-	case RunInstrFlat:
-		// The paper's configuration: QUAD with stack accesses discarded
-		// early, profiled by the flat profiler (Table III).
-		quad.Attach(e, quad.Options{IncludeStack: false})
-		flatP = flatprof.Attach(e, flatprof.Options{Tracer: ro.Tracer()})
-	case RunTQUAD:
-		coreT = core.Attach(e, core.Options{
-			SliceInterval:   cfg.SliceInterval,
-			IncludeStack:    cfg.IncludeStack,
-			ExcludeLibs:     cfg.ExcludeLibs,
-			TracePrefetches: cfg.TracePrefetches,
-		})
-	default:
-		instrument.End()
-		run.End()
-		return nil, fmt.Errorf("study: unknown run kind %d", cfg.Kind)
+	var host pin.Host
+	if e != nil {
+		host = e
 	}
+	ts, err := attachTools(host, cfg, ro.Tracer())
 	instrument.End()
+	if err != nil {
+		run.End()
+		return nil, err
+	}
 
 	execute := ro.Tracer().Start("execute")
-	err := m.Run(wfs.MaxInstr)
+	err = m.Run(wfs.MaxInstr)
 	execute.SetInstr(m.ICount)
 	execute.SetBytes(m.MemStats.ReadBytes() + m.MemStats.WriteBytes())
 	execute.End()
@@ -386,20 +475,7 @@ func (s *Study) executeConfig(cfg RunConfig) (*RunResult, error) {
 	if e != nil {
 		e.PublishMetrics(ro.Registry())
 	}
-	switch cfg.Kind {
-	case RunFlat, RunInstrFlat:
-		res.Flat = flatP.Report()
-	case RunQUAD:
-		res.Quad = quadT.Report()
-	case RunTQUAD:
-		coreT.PublishMetrics(ro.Registry())
-		snap := ro.Tracer().Start("snapshot")
-		res.Temporal = coreT.Snapshot()
-		snap.SetInstr(res.Temporal.TotalInstr)
-		snap.SetBytes(profileBytes(res.Temporal))
-		snap.End()
-		res.Breakdown = coreT.Breakdown()
-	}
+	ts.collect(cfg, res, ro)
 	run.End()
 	if ro != nil {
 		res.Registry = ro.Metrics

@@ -6,6 +6,7 @@ import (
 
 	"tquad/internal/obs"
 	"tquad/internal/study"
+	"tquad/internal/trace"
 	"tquad/internal/wfs"
 )
 
@@ -179,5 +180,122 @@ func TestSchedulerReportsFailures(t *testing.T) {
 	errs := sch.Flush()
 	if len(errs) != 1 {
 		t.Fatalf("flush errors = %v, want exactly one", errs)
+	}
+}
+
+// TestSchedulerDuplicateFailedSubmissions (regression): resubmitting a
+// configuration whose run failed must surface the failure again — the
+// memo cache shares results, and an error is a result, so a duplicate
+// submission must never look like a silent success.
+func TestSchedulerDuplicateFailedSubmissions(t *testing.T) {
+	sch := study.NewScheduler(newStudy(t, nil), 2)
+	defer sch.Close()
+	bad := study.RunConfig{Kind: study.RunKind(99)}
+	p1 := sch.Submit(bad)
+	if _, err := p1.Wait(); err == nil {
+		t.Fatal("unknown run kind did not error")
+	}
+	p2 := sch.Submit(bad)
+	if p1 != p2 {
+		t.Error("duplicate submission did not share the failed run")
+	}
+	if _, err := p2.Wait(); err == nil {
+		t.Fatal("duplicate submission of a failed config reported success")
+	}
+	if _, err := sch.Run(bad); err == nil {
+		t.Fatal("third submission of a failed config reported success")
+	}
+	// Flush reports the failure once per distinct key, not per submission.
+	if errs := sch.Flush(); len(errs) != 1 {
+		t.Fatalf("flush errors = %v, want exactly one", errs)
+	}
+	// An invalid kind must not have cost a guest execution or recording.
+	if n := sch.GuestExecutions(); n != 0 {
+		t.Errorf("invalid config triggered %d guest executions", n)
+	}
+}
+
+// TestSchedulerReplayMatchesLive: the same configuration run in replay
+// mode (the default) and live mode must produce byte-identical profiles
+// and identical clocks.
+func TestSchedulerReplayMatchesLive(t *testing.T) {
+	s := newStudy(t, nil)
+	cfg := study.RunConfig{Kind: study.RunTQUAD, SliceInterval: 20_000, IncludeStack: true}
+
+	replaySch := study.NewScheduler(s, 2)
+	defer replaySch.Close()
+	repRes, err := replaySch.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := replaySch.GuestExecutions(); n != 1 {
+		t.Errorf("replay-mode run used %d guest executions, want 1 recording", n)
+	}
+
+	liveSch := study.NewScheduler(s, 2)
+	liveSch.SetReplay(false)
+	defer liveSch.Close()
+	liveRes, err := liveSch.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := liveSch.GuestExecutions(); n != 1 {
+		t.Errorf("live-mode run used %d guest executions, want 1", n)
+	}
+
+	var a, b strings.Builder
+	if err := trace.SaveTemporal(&a, repRes.Temporal); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.SaveTemporal(&b, liveRes.Temporal); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("replayed profile differs from live profile")
+	}
+	if repRes.Time != liveRes.Time || repRes.ICount != liveRes.ICount || repRes.Overhead != liveRes.Overhead {
+		t.Errorf("replayed clock (ic=%d ov=%d t=%d) differs from live (ic=%d ov=%d t=%d)",
+			repRes.ICount, repRes.Overhead, repRes.Time,
+			liveRes.ICount, liveRes.Overhead, liveRes.Time)
+	}
+}
+
+// TestSchedulerSweepRecordsOnce: a full mixed sweep shares a single
+// recorded guest execution across every configuration, and the merged
+// trace distinguishes the recording from the replays.
+func TestSchedulerSweepRecordsOnce(t *testing.T) {
+	o := obs.NewObserver()
+	s := newStudy(t, o)
+	sch := study.NewScheduler(s, 4)
+	defer sch.Close()
+	configs := []study.RunConfig{
+		{Kind: study.RunNative},
+		{Kind: study.RunFlat},
+		{Kind: study.RunQUAD, IncludeStack: true},
+		{Kind: study.RunTQUAD, SliceInterval: 10_000, IncludeStack: true},
+		{Kind: study.RunTQUAD, SliceInterval: 40_000, IncludeStack: false},
+	}
+	for _, cfg := range configs {
+		sch.Submit(cfg)
+	}
+	if errs := sch.Flush(); len(errs) != 0 {
+		t.Fatalf("sweep errors: %v", errs)
+	}
+	if n := sch.GuestExecutions(); n != 1 {
+		t.Errorf("sweep of %d configs used %d guest executions, want 1", len(configs), n)
+	}
+	roots := make(map[string]int)
+	for _, r := range o.Spans.Records() {
+		if r.Depth == 0 {
+			roots[r.Name]++
+		}
+	}
+	if roots["record/guest"] != 1 {
+		t.Errorf("adopted recording roots = %d, want 1", roots["record/guest"])
+	}
+	for _, cfg := range configs {
+		if roots[cfg.Key()] != 1 {
+			t.Errorf("adopted roots for %s = %d, want 1", cfg.Key(), roots[cfg.Key()])
+		}
 	}
 }

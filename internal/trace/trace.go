@@ -139,7 +139,12 @@ func save(w io.Writer, doc Document) error {
 	return enc.Encode(doc)
 }
 
-// Load parses any document produced by the Save functions.
+// Load parses any document produced by the Save functions.  The payload
+// must be consistent with the declared kind: the matching field present
+// (a "phases" document may legitimately hold zero phases) and every
+// other payload absent, so a corrupted or hand-assembled document with
+// missing, mismatched or ambiguous payloads is rejected instead of one
+// being picked silently.
 func Load(r io.Reader) (*Document, error) {
 	var doc Document
 	if err := json.NewDecoder(r).Decode(&doc); err != nil {
@@ -148,10 +153,27 @@ func Load(r io.Reader) (*Document, error) {
 	if doc.Version != Version {
 		return nil, fmt.Errorf("trace: unsupported version %d (want %d)", doc.Version, Version)
 	}
-	switch doc.Kind {
-	case "tquad", "quad", "flat", "phases":
-	default:
+	payloads := map[string]bool{
+		"tquad":  doc.Temporal != nil,
+		"quad":   doc.QUAD != nil,
+		"flat":   doc.Flat != nil,
+		"phases": doc.Phases != nil,
+	}
+	if _, ok := payloads[doc.Kind]; !ok {
 		return nil, fmt.Errorf("trace: unknown document kind %q", doc.Kind)
+	}
+	for kind, present := range payloads {
+		if kind == doc.Kind {
+			// The phases payload round-trips empty tables as null
+			// (omitempty), so its absence is not corruption.
+			if !present && kind != "phases" {
+				return nil, fmt.Errorf("trace: %s document has no %s payload", doc.Kind, doc.Kind)
+			}
+			continue
+		}
+		if present {
+			return nil, fmt.Errorf("trace: %s document carries a stray %s payload", doc.Kind, kind)
+		}
 	}
 	return &doc, nil
 }

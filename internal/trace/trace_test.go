@@ -125,3 +125,67 @@ func TestLoadRejectsBadInput(t *testing.T) {
 		t.Errorf("unknown kind accepted")
 	}
 }
+
+// TestLoadValidatesPayloads: the declared kind must match the payload
+// actually present — a document missing its payload, or smuggling extra
+// ones, is corruption and must be rejected rather than half-loaded.
+func TestLoadValidatesPayloads(t *testing.T) {
+	bad := []struct{ name, doc string }{
+		{"missing tquad payload", `{"version":1,"kind":"tquad"}`},
+		{"missing quad payload", `{"version":1,"kind":"quad"}`},
+		{"missing flat payload", `{"version":1,"kind":"flat"}`},
+		{"mismatched payload", `{"version":1,"kind":"tquad","quad":{}}`},
+		{"ambiguous payloads", `{"version":1,"kind":"quad","quad":{},"flat":{}}`},
+		{"stray payload on phases", `{"version":1,"kind":"phases","quad":{}}`},
+	}
+	for _, c := range bad {
+		if _, err := trace.Load(strings.NewReader(c.doc)); err == nil {
+			t.Errorf("%s accepted", c.name)
+		}
+	}
+	// An empty phase table serialises without a payload field (omitempty);
+	// that document is legitimate.
+	doc, err := trace.Load(strings.NewReader(`{"version":1,"kind":"phases"}`))
+	if err != nil {
+		t.Fatalf("empty phases document rejected: %v", err)
+	}
+	if doc.Kind != "phases" || len(doc.Phases) != 0 {
+		t.Fatalf("empty phases document loaded as %+v", doc)
+	}
+}
+
+// TestLoadTruncated: every truncation of a valid document must error,
+// never succeed with partial data or panic.
+func TestLoadTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := trace.SaveTemporal(&buf, sampleProfile()); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.String()
+	for _, frac := range []int{2, 4, 10} {
+		cut := whole[:len(whole)/frac]
+		if _, err := trace.Load(strings.NewReader(cut)); err == nil {
+			t.Errorf("document truncated to 1/%d loaded successfully", frac)
+		}
+	}
+}
+
+// FuzzLoad hammers the envelope parser: any byte soup must produce a
+// document or an error, never a panic, and a returned document must have
+// passed kind/payload validation.
+func FuzzLoad(f *testing.F) {
+	var buf bytes.Buffer
+	if err := trace.SaveTemporal(&buf, sampleProfile()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`{"version":1,"kind":"phases"}`)
+	f.Add(`{"version":1,"kind":"quad","quad":{}}`)
+	f.Add("not json")
+	f.Fuzz(func(t *testing.T, s string) {
+		doc, err := trace.Load(strings.NewReader(s))
+		if err == nil && doc == nil {
+			t.Fatal("nil document with nil error")
+		}
+	})
+}
