@@ -1,13 +1,18 @@
 # Standard developer entry points; see README.md ("Development").
 GO ?= go
 
-.PHONY: build test vet race fuzz bench bench-json
+# Every test invocation carries an explicit -timeout: a hung test (the
+# exact failure mode the supervision layer exists to catch) should kill
+# the run loudly, not stall CI at the default 10 minutes per package.
+TEST_TIMEOUT ?= 300s
+
+.PHONY: build test vet race chaos fuzz bench bench-json
 
 build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -timeout $(TEST_TIMEOUT) ./...
 
 vet:
 	$(GO) vet ./...
@@ -16,7 +21,15 @@ vet:
 # the parallel experiment scheduler (a full concurrent study sweep) and the
 # event-trace recorder/replayer it drives.
 race:
-	$(GO) test -race ./internal/obs/... ./internal/study/... ./internal/etrace/...
+	$(GO) test -race -timeout $(TEST_TIMEOUT) ./internal/obs/... ./internal/study/... ./internal/etrace/...
+
+# The chaos suite: drives full scheduler sweeps through the deterministic
+# fault injector (internal/chaos) under the race detector — worker panics,
+# hangs, trace I/O faults, guest traps, mid-sweep cancellation and
+# checkpoint resume must all degrade gracefully.
+chaos:
+	$(GO) test -race -timeout $(TEST_TIMEOUT) -run 'TestChaos' -v .
+	$(GO) test -race -timeout $(TEST_TIMEOUT) ./internal/chaos/...
 
 # Short fuzzing budgets for the binary-format parsers: the event-trace
 # decoder and the JSON profile envelope.  Neither may panic on any input.

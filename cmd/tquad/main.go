@@ -5,6 +5,7 @@
 // Usage:
 //
 //	tquad [-config small|study] [-slice N[,N...]] [-jobs N]
+//	      [-timeout D] [-max-icount N] [-retries N] [-resume DIR]
 //	      [-stack include|exclude] [-ignore-libs]
 //	      [-metric reads|writes|both] [-kernels top|last|all]
 //	      [-width N] [-csv]
@@ -18,6 +19,14 @@
 // any run fails the command reports every failure and exits non-zero.
 // The export flags (-csv, -json, -svg, -metrics, -trace, -journal)
 // apply to single-interval runs only.
+//
+// Execution is supervised: SIGINT/SIGTERM (and the -timeout deadline)
+// stop the guest at its next basic block and exit cleanly, removing any
+// partially written -record file or sweep temp traces.  -max-icount
+// overrides the guest instruction budget.  -retries re-runs transiently
+// failed sweep runs with deterministic backoff and -resume DIR journals
+// completed sweep runs (and the recorded trace) into DIR so a rerun
+// skips completed guest work; both apply to multi-interval sweeps only.
 //
 // -record additionally captures the guest's dynamic event stream into a
 // compact binary trace during a single-interval live run; -replay then
@@ -33,14 +42,17 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"tquad/internal/core"
 	"tquad/internal/etrace"
@@ -73,6 +85,10 @@ func main() {
 		journalOut = flag.String("journal", "", "write a JSONL event journal (spans + metrics) to this file")
 		recordOut  = flag.String("record", "", "record the guest event stream to this file (single-interval live run)")
 		replayIn   = flag.String("replay", "", "replay a recorded event stream instead of executing the guest")
+		timeout    = flag.Duration("timeout", 0, "wall-clock deadline for the whole invocation (0 = none)")
+		maxICount  = flag.Uint64("max-icount", 0, "guest instruction budget per run (0 = default)")
+		retries    = flag.Int("retries", 0, "sweep only: retries per run after transient failures")
+		resume     = flag.String("resume", "", "sweep only: checkpoint journal directory for resumable sweeps")
 	)
 	flag.Parse()
 
@@ -86,6 +102,9 @@ func main() {
 	}
 	if *jobs < 0 {
 		log.Fatalf("bad -jobs %d: must be >= 0", *jobs)
+	}
+	if *retries < 0 {
+		log.Fatalf("bad -retries %d: must be >= 0", *retries)
 	}
 	if *recordOut != "" && *replayIn != "" {
 		log.Fatal("-record and -replay are mutually exclusive")
@@ -102,10 +121,27 @@ func main() {
 		if *recordOut != "" {
 			log.Fatal("-record applies to single-interval runs only")
 		}
+	} else if *retries != 0 || *resume != "" {
+		log.Fatal("-retries and -resume apply to multi-interval sweeps only")
+	}
+
+	// SIGINT/SIGTERM (and -timeout) cancel the run context: the guest
+	// stops at its next basic block, partial outputs are removed, and
+	// the process exits non-zero instead of dying mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	budget := *maxICount
+	if budget == 0 {
+		budget = wfs.MaxInstr
 	}
 
 	if *replayIn != "" {
-		err := runReplay(*replayIn, &replayOpts{
+		err := runReplay(ctx, *replayIn, &replayOpts{
 			intervals:    intervals,
 			includeStack: includeStack,
 			ignoreLibs:   *ignoreLibs,
@@ -127,7 +163,8 @@ func main() {
 	}
 
 	if len(intervals) > 1 {
-		if err := runSweep(cfg, intervals, includeStack, *ignoreLibs, *jobs, *metric, *kernels, *width); err != nil {
+		sup := supervision{ctx: ctx, retries: *retries, resume: *resume, budget: budget}
+		if err := runSweep(cfg, intervals, includeStack, *ignoreLibs, *jobs, *metric, *kernels, *width, sup); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -183,7 +220,13 @@ func main() {
 	instrument.End()
 
 	execute := o.Tracer().Start("execute")
-	if err := m.Run(wfs.MaxInstr); err != nil {
+	if err := m.RunContext(ctx, budget); err != nil {
+		// A cancelled or failed run must not leave a partial trace file
+		// behind masquerading as a recording.
+		if recFile != nil {
+			recFile.Close()
+			os.Remove(*recordOut)
+		}
 		log.Fatalf("run: %v", err)
 	}
 	execute.SetInstr(m.ICount)
@@ -294,12 +337,12 @@ type replayOpts struct {
 // runReplay profiles a recorded event trace at each requested interval,
 // sequentially — replays are cheap enough that a scheduler would be
 // overkill, and they share no state.
-func runReplay(path string, o *replayOpts) error {
+func runReplay(ctx context.Context, path string, o *replayOpts) error {
 	for i, iv := range o.intervals {
 		if i > 0 {
 			fmt.Println()
 		}
-		if err := replayOne(path, iv, o); err != nil {
+		if err := replayOne(ctx, path, iv, o); err != nil {
 			return err
 		}
 	}
@@ -308,7 +351,7 @@ func runReplay(path string, o *replayOpts) error {
 
 // replayOne replays the trace once through the tQUAD tool, mirroring the
 // live single-run path's output (charts, statistics, exports).
-func replayOne(path string, interval uint64, o *replayOpts) error {
+func replayOne(ctx context.Context, path string, interval uint64, o *replayOpts) error {
 	var ob *obs.Observer
 	if o.metricsOut != "" || o.traceOut != "" || o.journalOut != "" {
 		ob = obs.NewObserver()
@@ -350,7 +393,7 @@ func replayOne(path string, interval uint64, o *replayOpts) error {
 	instrument.End()
 
 	replay := ob.Tracer().Start("replay")
-	if err := rp.Replay(); err != nil {
+	if err := rp.ReplayContext(ctx); err != nil {
 		return fmt.Errorf("%s: %w", path, err)
 	}
 	replay.SetInstr(rp.ICount())
@@ -416,15 +459,37 @@ func replayOne(path string, interval uint64, o *replayOpts) error {
 	return nil
 }
 
+// supervision bundles the sweep's resilience settings.
+type supervision struct {
+	ctx     context.Context
+	retries int
+	resume  string
+	budget  uint64
+}
+
 // runSweep executes one tQUAD run per interval through the parallel
 // scheduler and prints each run's output in interval order.
-func runSweep(cfg wfs.Config, intervals []uint64, includeStack, ignoreLibs bool, jobs int, metric, kernels string, width int) error {
+func runSweep(cfg wfs.Config, intervals []uint64, includeStack, ignoreLibs bool, jobs int, metric, kernels string, width int, sup supervision) error {
 	s, err := study.New(cfg)
 	if err != nil {
 		return err
 	}
 	sch := study.NewScheduler(s, jobs)
 	defer sch.Close()
+	sch.SetContext(sup.ctx)
+	sch.SetRetries(sup.retries)
+	sch.SetMaxInstr(sup.budget)
+	if sup.resume != "" {
+		ck, err := study.OpenCheckpoint(sup.resume)
+		if err != nil {
+			return err
+		}
+		defer ck.Close()
+		sch.SetCheckpoint(ck)
+		if done := len(ck.Completed()); done > 0 {
+			log.Printf("resuming: %d run(s) already completed in %s", done, sup.resume)
+		}
+	}
 	resolved := make([]uint64, len(intervals))
 	for i, iv := range intervals {
 		if iv == 0 {

@@ -5,7 +5,9 @@
 //
 // Usage:
 //
-//	wfsstudy [-config small|study] [-jobs N] [-metrics FILE] [-trace FILE] [-journal FILE]
+//	wfsstudy [-config small|study] [-jobs N] [-timeout D] [-run-timeout D]
+//	         [-max-icount N] [-retries N] [-resume DIR]
+//	         [-metrics FILE] [-trace FILE] [-journal FILE]
 //
 // Every experiment in the sweep is submitted to the parallel scheduler
 // up front and executes concurrently, bounded by -jobs (default
@@ -15,6 +17,16 @@
 // command exits non-zero without printing partial tables.  Output is
 // byte-identical for every -jobs value.
 //
+// The sweep is supervised: SIGINT/SIGTERM (and the -timeout deadline)
+// cancel it cleanly — in-flight guests stop at their next basic block,
+// temp traces are removed, and the checkpoint journal (if -resume is
+// set) is flushed so a rerun continues where this one stopped.
+// -run-timeout bounds one experiment's wall-clock time, -max-icount its
+// guest instruction budget, and -retries re-runs transiently failed
+// attempts with deterministic backoff.  -resume DIR journals completed
+// experiments and the recorded guest trace into DIR; rerunning with the
+// same DIR re-executes zero completed guest work.
+//
 // -metrics writes a Prometheus text-format snapshot of every run's
 // counters, -trace a chrome://tracing JSON timeline of the pipeline
 // stages, and -journal a JSONL event journal.  Counters accumulate over
@@ -22,9 +34,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"tquad/internal/cluster"
 	"tquad/internal/obs"
@@ -32,25 +49,52 @@ import (
 	"tquad/internal/wfs"
 )
 
+// options collects the sweep's supervision and export settings.
+type options struct {
+	jobs       int
+	timeout    time.Duration
+	runTimeout time.Duration
+	maxICount  uint64
+	retries    int
+	resume     string
+	metricsOut string
+	traceOut   string
+	journalOut string
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("wfsstudy: ")
+	var opt options
 	config := flag.String("config", "study", "workload configuration: small or study")
-	jobs := flag.Int("jobs", 0, "maximum concurrently executing experiments (0 = GOMAXPROCS)")
-	metricsOut := flag.String("metrics", "", "write a Prometheus text-format metrics snapshot to this file")
-	traceOut := flag.String("trace", "", "write a chrome://tracing JSON trace of the pipeline stages to this file")
-	journalOut := flag.String("journal", "", "write a JSONL event journal (spans + metrics) to this file")
+	flag.IntVar(&opt.jobs, "jobs", 0, "maximum concurrently executing experiments (0 = GOMAXPROCS)")
+	flag.DurationVar(&opt.timeout, "timeout", 0, "whole-sweep deadline (0 = none)")
+	flag.DurationVar(&opt.runTimeout, "run-timeout", 0, "per-experiment wall-clock bound (0 = none)")
+	flag.Uint64Var(&opt.maxICount, "max-icount", 0, "per-experiment guest instruction budget (0 = default)")
+	flag.IntVar(&opt.retries, "retries", 0, "retries per experiment after transient failures")
+	flag.StringVar(&opt.resume, "resume", "", "checkpoint journal directory: journal completed experiments and resume from them on rerun")
+	flag.StringVar(&opt.metricsOut, "metrics", "", "write a Prometheus text-format metrics snapshot to this file")
+	flag.StringVar(&opt.traceOut, "trace", "", "write a chrome://tracing JSON trace of the pipeline stages to this file")
+	flag.StringVar(&opt.journalOut, "journal", "", "write a JSONL event journal (spans + metrics) to this file")
 	flag.Parse()
 
-	if *jobs < 0 {
-		log.Fatalf("bad -jobs %d: must be >= 0", *jobs)
+	if opt.jobs < 0 {
+		log.Fatalf("bad -jobs %d: must be >= 0", opt.jobs)
 	}
-	if err := run(*config, *jobs, *metricsOut, *traceOut, *journalOut); err != nil {
+	if opt.retries < 0 {
+		log.Fatalf("bad -retries %d: must be >= 0", opt.retries)
+	}
+	// SIGINT/SIGTERM cancel the sweep context; the deferred scheduler
+	// and checkpoint shutdown inside run then clean temp traces and
+	// flush the journal before the process exits.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *config, opt); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(config string, jobs int, metricsOut, traceOut, journalOut string) error {
+func run(ctx context.Context, config string, opt options) error {
 	var cfg wfs.Config
 	switch config {
 	case "small":
@@ -60,10 +104,15 @@ func run(config string, jobs int, metricsOut, traceOut, journalOut string) error
 	default:
 		return fmt.Errorf("unknown config %q", config)
 	}
+	if opt.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opt.timeout)
+		defer cancel()
+	}
 
 	// The observer stays nil (zero-cost) unless an export was requested.
 	var o *obs.Observer
-	if metricsOut != "" || traceOut != "" || journalOut != "" {
+	if opt.metricsOut != "" || opt.traceOut != "" || opt.journalOut != "" {
 		o = obs.NewObserver()
 	}
 
@@ -71,8 +120,23 @@ func run(config string, jobs int, metricsOut, traceOut, journalOut string) error
 	if err != nil {
 		return err
 	}
-	sch := study.NewScheduler(s, jobs)
+	sch := study.NewScheduler(s, opt.jobs)
 	defer sch.Close()
+	sch.SetContext(ctx)
+	sch.SetRetries(opt.retries)
+	sch.SetRunTimeout(opt.runTimeout)
+	sch.SetMaxInstr(opt.maxICount)
+	if opt.resume != "" {
+		ck, err := study.OpenCheckpoint(opt.resume)
+		if err != nil {
+			return err
+		}
+		defer ck.Close()
+		sch.SetCheckpoint(ck)
+		if done := len(ck.Completed()); done > 0 {
+			log.Printf("resuming: %d experiment(s) already completed in %s", done, opt.resume)
+		}
+	}
 
 	// Slice sizing needs the native instruction count, so that run goes
 	// first; everything after is submitted up front and runs concurrently.
@@ -194,7 +258,7 @@ func run(config string, jobs int, metricsOut, traceOut, journalOut string) error
 	fmt.Printf("inter-cluster communication: %d bytes\n", res.InterBytes)
 
 	if o != nil {
-		if err := o.WriteFiles(metricsOut, traceOut, journalOut); err != nil {
+		if err := o.WriteFiles(opt.metricsOut, opt.traceOut, opt.journalOut); err != nil {
 			return err
 		}
 		fmt.Println()

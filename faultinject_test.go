@@ -1,17 +1,31 @@
 // Fault-injection tests: the toolchain must degrade into clean traps —
 // never panics, never silent corruption — when fed damaged binaries or
-// hostile configurations.
+// hostile configurations.  The TestChaos* suite at the bottom drives the
+// experiment scheduler through the deterministic fault injector
+// (internal/chaos) and asserts graceful degradation: failed
+// configurations are reported precisely, survivors render byte-identical
+// to a fault-free sweep, interrupted sweeps leak no temp files, and a
+// checkpointed sweep resumes with zero repeated guest executions.
 package repro_test
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"sync"
 	"testing"
+	"time"
 
+	"tquad/internal/chaos"
 	"tquad/internal/core"
 	"tquad/internal/gos"
 	"tquad/internal/image"
 	"tquad/internal/pin"
+	"tquad/internal/study"
 	"tquad/internal/vm"
 	"tquad/internal/wav"
 	"tquad/internal/wfs"
@@ -137,5 +151,330 @@ func TestTinyStackTraps(t *testing.T) {
 	var trap *vm.Trap
 	if !errors.As(err, &trap) {
 		t.Fatalf("err = %v, want stack-overflow trap", err)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Scheduler-level chaos suite (run in isolation via `make chaos`).
+// ---------------------------------------------------------------------
+
+var chaosWorkload struct {
+	once sync.Once
+	s    *study.Study
+	err  error
+}
+
+// chaosStudy builds the WFS workload once and shares it across the
+// chaos tests: the workload is immutable after construction, and every
+// scheduler instantiates its own machines from it.
+func chaosStudy(t *testing.T) *study.Study {
+	t.Helper()
+	chaosWorkload.once.Do(func() {
+		chaosWorkload.s, chaosWorkload.err = study.New(wfs.Small())
+	})
+	if chaosWorkload.err != nil {
+		t.Fatal(chaosWorkload.err)
+	}
+	return chaosWorkload.s
+}
+
+// chaosConfigs is the sweep the chaos scenarios run: one config per run
+// kind, plus a second tQUAD slice width.
+func chaosConfigs() []study.RunConfig {
+	return []study.RunConfig{
+		{Kind: study.RunNative},
+		{Kind: study.RunFlat},
+		{Kind: study.RunQUAD, IncludeStack: true},
+		{Kind: study.RunTQUAD, SliceInterval: 200_000, IncludeStack: true},
+		{Kind: study.RunTQUAD, SliceInterval: 800_000},
+	}
+}
+
+// renderResult digests one run's full observable outcome — counters plus
+// the per-kernel profile totals — so two runs can be compared for
+// byte-identity.
+func renderResult(res *study.RunResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s icount=%d overhead=%d time=%d\n", res.Key, res.ICount, res.Overhead, res.Time)
+	if res.Flat != nil {
+		fmt.Fprintf(&b, "  flat rows=%d\n", len(res.Flat.Rows))
+	}
+	if res.Quad != nil {
+		fmt.Fprintf(&b, "  quad bindings=%d\n", len(res.Quad.Bindings))
+	}
+	if res.Temporal != nil {
+		fmt.Fprintf(&b, "  tquad slices=%d instr=%d\n", res.Temporal.NumSlices, res.Temporal.TotalInstr)
+		for _, kp := range res.Temporal.Kernels {
+			fmt.Fprintf(&b, "  kernel %s span=%d ri=%d re=%d wi=%d we=%d\n",
+				kp.Name, kp.ActivitySpan, kp.TotalReadIncl, kp.TotalReadExcl, kp.TotalWriteIncl, kp.TotalWriteExcl)
+		}
+	}
+	return b.String()
+}
+
+// chaosBaseline runs the sweep fault-free once and caches each config's
+// rendered result.
+var chaosBaseline struct {
+	once sync.Once
+	res  map[string]string
+}
+
+func baselineResults(t *testing.T) map[string]string {
+	t.Helper()
+	chaosBaseline.once.Do(func() {
+		sch := study.NewScheduler(chaosStudy(t), 2)
+		defer sch.Close()
+		out := make(map[string]string)
+		for _, cfg := range chaosConfigs() {
+			res, err := sch.Run(cfg)
+			if err != nil {
+				t.Fatalf("baseline %s: %v", cfg.Key(), err)
+			}
+			out[res.Key] = renderResult(res)
+		}
+		chaosBaseline.res = out
+	})
+	return chaosBaseline.res
+}
+
+// TestChaosSupervision is the table-driven core of the suite: each
+// scenario injects one fault class and asserts that exactly the planned
+// configurations fail while every survivor renders byte-identical to
+// the fault-free baseline.
+func TestChaosSupervision(t *testing.T) {
+	quadKey := (study.RunConfig{Kind: study.RunQUAD, IncludeStack: true}).Key()
+	scenarios := []struct {
+		name       string
+		plan       chaos.Plan
+		retries    int
+		runTimeout time.Duration
+		wantFailed []string // keys that must fail; all others must survive
+	}{
+		{
+			name:       "worker panic isolated",
+			plan:       chaos.Plan{PanicConfigs: []string{"flat"}},
+			wantFailed: []string{"flat"},
+		},
+		{
+			name:       "hung worker hits run timeout",
+			plan:       chaos.Plan{HangConfigs: []string{quadKey}},
+			runTimeout: 5 * time.Second,
+			wantFailed: []string{quadKey},
+		},
+		{
+			name:    "transient failures retried to success",
+			plan:    chaos.Plan{FailConfigs: map[string]int{"native": 2, "flat": 1}},
+			retries: 3,
+		},
+		{
+			name:    "record I/O fault retried to success",
+			plan:    chaos.Plan{RecordFailures: 2, RecordFailAfter: 4096},
+			retries: 3,
+		},
+		{
+			name:       "retries exhausted reports failure",
+			plan:       chaos.Plan{FailConfigs: map[string]int{"native": 5}},
+			retries:    1,
+			wantFailed: []string{"native"},
+		},
+	}
+	baseline := baselineResults(t)
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			sch := study.NewScheduler(chaosStudy(t), 2)
+			defer sch.Close()
+			sch.SetHooks(chaos.New(sc.plan).Hooks())
+			sch.SetRetries(sc.retries)
+			sch.SetBackoff(time.Millisecond, 4*time.Millisecond)
+			if sc.runTimeout > 0 {
+				// Prime the shared recording before arming the per-run
+				// timeout: the timeout under test targets the hung worker,
+				// not the (deliberately long) guest recording.  Policy is
+				// snapshotted per submission, so this is race-free.
+				if _, err := sch.Run(chaosConfigs()[0]); err != nil {
+					t.Fatalf("priming run: %v", err)
+				}
+				sch.SetRunTimeout(sc.runTimeout)
+			}
+
+			var failed []string
+			for _, cfg := range chaosConfigs() {
+				res, err := sch.Run(cfg)
+				key := cfg.Key()
+				if err != nil {
+					failed = append(failed, key)
+					continue
+				}
+				if got := renderResult(res); got != baseline[key] {
+					t.Errorf("survivor %s differs from fault-free baseline:\n%s\nvs\n%s", key, got, baseline[key])
+				}
+			}
+			sort.Strings(failed)
+			want := append([]string(nil), sc.wantFailed...)
+			sort.Strings(want)
+			if fmt.Sprint(failed) != fmt.Sprint(want) {
+				t.Errorf("failed configs = %v, want %v", failed, want)
+			}
+			if errs := sch.Flush(); len(errs) != len(want) {
+				t.Errorf("Flush reported %d errors (%v), want %d", len(errs), errs, len(want))
+			}
+		})
+	}
+}
+
+// TestChaosPanicErrorCarriesStack: a recovered worker panic surfaces as
+// a *study.PanicError with the panicking goroutine's stack attached.
+func TestChaosPanicErrorCarriesStack(t *testing.T) {
+	sch := study.NewScheduler(chaosStudy(t), 2)
+	defer sch.Close()
+	sch.SetHooks(chaos.New(chaos.Plan{PanicConfigs: []string{"native"}}).Hooks())
+	_, err := sch.Run(study.RunConfig{Kind: study.RunNative})
+	var pe *study.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *study.PanicError", err)
+	}
+	if !strings.Contains(string(pe.Stack), "goroutine") {
+		t.Error("panic error carries no stack trace")
+	}
+}
+
+// TestChaosGuestTrapFailsSweep: a deterministic guest trap at
+// instruction N kills the shared recording permanently — every config
+// fails, nothing retries (the guest is deterministic), and the injected
+// fault is identifiable in every reported error.
+func TestChaosGuestTrapFailsSweep(t *testing.T) {
+	sch := study.NewScheduler(chaosStudy(t), 2)
+	defer sch.Close()
+	sch.SetHooks(chaos.New(chaos.Plan{TrapAt: 100_000}).Hooks())
+	sch.SetRetries(3)
+	sch.SetBackoff(time.Millisecond, 4*time.Millisecond)
+	for _, cfg := range chaosConfigs() {
+		if _, err := sch.Run(cfg); !errors.Is(err, chaos.ErrInjected) {
+			t.Errorf("%s: err = %v, want injected trap", cfg.Key(), err)
+		}
+	}
+	if n := sch.GuestExecutions(); n != 1 {
+		t.Errorf("guest executed %d times, want 1 (permanent faults must not retry)", n)
+	}
+}
+
+// TestChaosTruncatedReplay: a torn trace stream fails every replay
+// cleanly — no panics, errors for all configs.
+func TestChaosTruncatedReplay(t *testing.T) {
+	sch := study.NewScheduler(chaosStudy(t), 2)
+	defer sch.Close()
+	sch.SetHooks(chaos.New(chaos.Plan{ReplayTruncate: 64}).Hooks())
+	for _, cfg := range chaosConfigs() {
+		if _, err := sch.Run(cfg); err == nil {
+			t.Errorf("%s succeeded on a truncated trace", cfg.Key())
+		}
+	}
+}
+
+// TestChaosMidSweepCancellation: cancelling the sweep context mid-record
+// fails every pending config with a cancellation error and leaves zero
+// temp files behind — the interrupted recording is removed immediately,
+// not at Close.
+func TestChaosMidSweepCancellation(t *testing.T) {
+	tmp := t.TempDir()
+	t.Setenv("TMPDIR", tmp)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	sch := study.NewScheduler(chaosStudy(t), 2)
+	sch.SetContext(ctx)
+	// Deterministic mid-record cancellation: the recording's own machine
+	// pulls the plug once the guest is demonstrably mid-flight.
+	sch.SetHooks(study.Hooks{
+		Machine: func(_ context.Context, m *vm.Machine) {
+			m.Watchdog = func(m *vm.Machine) error {
+				if m.ICount >= 200_000 {
+					cancel()
+				}
+				return nil
+			}
+		},
+	})
+	for _, cfg := range chaosConfigs() {
+		_, err := sch.Run(cfg)
+		if err == nil {
+			t.Fatalf("%s succeeded under cancellation", cfg.Key())
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want a context.Canceled chain", cfg.Key(), err)
+		}
+	}
+	sch.Close()
+
+	ents, err := os.ReadDir(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		t.Errorf("leaked temp file after cancelled sweep: %s", e.Name())
+	}
+}
+
+// TestChaosCheckpointResume: a checkpointed sweep, "killed" and rerun
+// against the same journal from a fresh scheduler, re-executes zero
+// guest instructions — recordings come from the persisted trace, and
+// completed configs are journalled — while producing byte-identical
+// results.
+func TestChaosCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	baseline := baselineResults(t)
+	cfgs := chaosConfigs()
+
+	// First invocation: completes only part of the sweep before the
+	// process "dies" (we simply stop submitting).
+	ck1, err := study.OpenCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch1 := study.NewScheduler(chaosStudy(t), 2)
+	sch1.SetCheckpoint(ck1)
+	for _, cfg := range cfgs[:2] {
+		if _, err := sch1.Run(cfg); err != nil {
+			t.Fatalf("first sweep %s: %v", cfg.Key(), err)
+		}
+	}
+	sch1.Close()
+	if err := ck1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := sch1.GuestExecutions(); n != 1 {
+		t.Fatalf("first sweep executed the guest %d times, want 1", n)
+	}
+
+	// Second invocation: fresh scheduler, same journal, full sweep.  The
+	// two completed configs are already journalled, the recording is
+	// served from the persisted trace, and the guest never runs again.
+	ck2, err := study.OpenCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck2.Close()
+	for _, cfg := range cfgs[:2] {
+		if !ck2.Done(cfg.Key()) {
+			t.Errorf("resumed journal missing completed config %s", cfg.Key())
+		}
+	}
+	sch2 := study.NewScheduler(chaosStudy(t), 2)
+	defer sch2.Close()
+	sch2.SetCheckpoint(ck2)
+	for _, cfg := range cfgs {
+		res, err := sch2.Run(cfg)
+		if err != nil {
+			t.Fatalf("resumed sweep %s: %v", cfg.Key(), err)
+		}
+		if got := renderResult(res); got != baseline[cfg.Key()] {
+			t.Errorf("resumed %s differs from baseline:\n%s\nvs\n%s", cfg.Key(), got, baseline[cfg.Key()])
+		}
+	}
+	if n := sch2.GuestExecutions(); n != 0 {
+		t.Errorf("resumed sweep executed the guest %d times, want 0", n)
+	}
+	if got := len(ck2.Completed()); got != len(cfgs) {
+		t.Errorf("journal holds %d completed configs, want %d", got, len(cfgs))
 	}
 }

@@ -1,0 +1,224 @@
+// Package chaos is a deterministic, seed-driven fault injector for the
+// experiment scheduler.  It attaches to the supervision seams exposed
+// by internal/study (study.Hooks) and to the vm watchdog, and injects
+// faults at three layers:
+//
+//   - vm: trap the live guest at a fixed instruction count (TrapAt);
+//   - trace I/O: fail the recording's trace writer after a byte budget
+//     (RecordFailures/RecordFailAfter), slow it down (WriteDelay), or
+//     truncate the replay stream (ReplayTruncate);
+//   - scheduler: panic inside a worker (PanicConfigs), hang until the
+//     run deadline (HangConfigs), or fail leading attempts transiently
+//     (FailConfigs and the seed-driven FailRate).
+//
+// Every decision is a pure function of the Plan — set membership,
+// countdown counters consumed in retry order, or an FNV hash of
+// (Seed, scope, attempt) — never of wall-clock time or scheduling
+// order, so a chaos run is exactly reproducible: same plan, same
+// faults, same survivors.  The chaos test suite at the repository root
+// (TestChaos*) is the consumer, asserting that sweeps degrade
+// gracefully under every one of these faults.
+//
+// The dependency points one way: chaos imports study, study never
+// imports chaos.
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"tquad/internal/study"
+	"tquad/internal/vm"
+)
+
+// ErrInjected is the root of every chaos-injected failure; tests match
+// it with errors.Is to distinguish injected faults from real ones.
+var ErrInjected = errors.New("chaos: injected fault")
+
+// Plan declares which faults an Injector delivers.  The zero value
+// injects nothing.
+type Plan struct {
+	// Seed drives the hash behind FailRate decisions.  Two injectors
+	// with equal plans (including Seed) make identical decisions.
+	Seed int64
+
+	// PanicConfigs lists run keys whose worker panics before executing
+	// (scheduler panic-isolation seam).
+	PanicConfigs []string
+	// HangConfigs lists run keys whose worker blocks until its context
+	// is done (per-run timeout seam).
+	HangConfigs []string
+	// FailConfigs maps run keys to how many leading attempts fail with
+	// a transient error (retry-then-succeed seam).
+	FailConfigs map[string]int
+	// FailRate injects a transient failure into any (run key, attempt)
+	// whose seeded hash falls below the rate; 0 disables, 1 fails every
+	// attempt.  Decisions are order-independent.
+	FailRate float64
+
+	// TrapAt makes every live guest trap once it reaches this
+	// instruction count (vm watchdog seam); 0 disables.
+	TrapAt uint64
+
+	// RecordFailures is how many leading record attempts get a trace
+	// writer that fails after RecordFailAfter bytes (trace I/O seam).
+	RecordFailures int
+	// RecordFailAfter is the failing writer's byte budget.
+	RecordFailAfter int64
+	// WriteDelay slows every trace write by this much (slow I/O seam).
+	WriteDelay time.Duration
+	// ReplayTruncate caps every replay's trace stream at this many
+	// bytes, simulating a torn trace file; 0 disables.
+	ReplayTruncate int64
+}
+
+// Injector delivers a Plan through study.Hooks.  Safe for concurrent
+// use by scheduler workers.
+type Injector struct {
+	plan        Plan
+	panics      map[string]bool
+	hangs       map[string]bool
+	recordFails atomic.Int64
+}
+
+// New builds an injector for the plan.
+func New(plan Plan) *Injector {
+	in := &Injector{
+		plan:   plan,
+		panics: make(map[string]bool, len(plan.PanicConfigs)),
+		hangs:  make(map[string]bool, len(plan.HangConfigs)),
+	}
+	for _, k := range plan.PanicConfigs {
+		in.panics[k] = true
+	}
+	for _, k := range plan.HangConfigs {
+		in.hangs[k] = true
+	}
+	in.recordFails.Store(int64(plan.RecordFailures))
+	return in
+}
+
+// Hooks returns the scheduler hook set delivering this injector's plan.
+func (in *Injector) Hooks() study.Hooks {
+	return study.Hooks{
+		BeforeRun:    in.beforeRun,
+		BeforeRecord: in.beforeRecord,
+		RecordWriter: in.recordWriter,
+		ReplayReader: in.replayReader,
+		Machine:      in.machine,
+	}
+}
+
+func (in *Injector) beforeRun(ctx context.Context, cfg study.RunConfig, attempt int) error {
+	key := cfg.Key()
+	if in.panics[key] {
+		panic(fmt.Sprintf("chaos: injected panic in %s", key))
+	}
+	if in.hangs[key] {
+		// A hung worker: block until the supervisor gives up on us.
+		<-ctx.Done()
+		return ctx.Err()
+	}
+	if attempt < in.plan.FailConfigs[key] {
+		return study.MarkTransient(fmt.Errorf("%w: %s attempt %d", ErrInjected, key, attempt))
+	}
+	if in.WouldFail(key, attempt) {
+		return study.MarkTransient(fmt.Errorf("%w: seeded failure %s attempt %d", ErrInjected, key, attempt))
+	}
+	return nil
+}
+
+func (in *Injector) beforeRecord(ctx context.Context, execKey string, attempt int) error {
+	key := "record/" + execKey
+	if in.panics[key] {
+		panic(fmt.Sprintf("chaos: injected panic in %s", key))
+	}
+	if in.hangs[key] {
+		<-ctx.Done()
+		return ctx.Err()
+	}
+	return nil
+}
+
+// WouldFail reports the seeded FailRate decision for one attempt: a
+// pure hash of (Seed, key, attempt), independent of scheduling order.
+func (in *Injector) WouldFail(key string, attempt int) bool {
+	if in.plan.FailRate <= 0 {
+		return false
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d/%s/%d", in.plan.Seed, key, attempt)
+	roll := float64(h.Sum64()>>11) / float64(uint64(1)<<53)
+	return roll < in.plan.FailRate
+}
+
+func (in *Injector) machine(ctx context.Context, m *vm.Machine) {
+	if in.plan.TrapAt == 0 {
+		return
+	}
+	at := in.plan.TrapAt
+	m.Watchdog = func(m *vm.Machine) error {
+		if m.ICount >= at {
+			return fmt.Errorf("%w: guest trapped at icount %d", ErrInjected, m.ICount)
+		}
+		return nil
+	}
+}
+
+func (in *Injector) recordWriter(w io.Writer) io.Writer {
+	if in.plan.WriteDelay > 0 {
+		w = &slowWriter{w: w, delay: in.plan.WriteDelay}
+	}
+	if in.recordFails.Add(-1) >= 0 {
+		// This attempt is in the failure budget: its writer dies after
+		// RecordFailAfter bytes, leaving a truncated temp trace behind
+		// for the scheduler to clean up.
+		return &flakyWriter{w: w, remaining: in.plan.RecordFailAfter}
+	}
+	return w
+}
+
+func (in *Injector) replayReader(r io.Reader) io.Reader {
+	if in.plan.ReplayTruncate > 0 {
+		return io.LimitReader(r, in.plan.ReplayTruncate)
+	}
+	return r
+}
+
+// flakyWriter fails permanently once its byte budget is spent.
+type flakyWriter struct {
+	w         io.Writer
+	remaining int64
+	failed    bool
+}
+
+func (fw *flakyWriter) Write(p []byte) (int, error) {
+	if fw.failed || fw.remaining <= 0 {
+		fw.failed = true
+		return 0, fmt.Errorf("%w: trace write fault", ErrInjected)
+	}
+	if int64(len(p)) > fw.remaining {
+		n, _ := fw.w.Write(p[:fw.remaining])
+		fw.failed = true
+		fw.remaining = 0
+		return n, fmt.Errorf("%w: trace write fault", ErrInjected)
+	}
+	fw.remaining -= int64(len(p))
+	return fw.w.Write(p)
+}
+
+// slowWriter sleeps before every write — a disk with terrible latency.
+type slowWriter struct {
+	w     io.Writer
+	delay time.Duration
+}
+
+func (sw *slowWriter) Write(p []byte) (int, error) {
+	time.Sleep(sw.delay)
+	return sw.w.Write(p)
+}

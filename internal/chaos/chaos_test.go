@@ -1,0 +1,140 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"testing"
+
+	"tquad/internal/study"
+	"tquad/internal/vm"
+)
+
+// TestSeededDecisionsDeterministic: the FailRate roll is a pure function
+// of (seed, key, attempt) — two injectors with the same plan agree on
+// every decision, and a different seed diverges somewhere.
+func TestSeededDecisionsDeterministic(t *testing.T) {
+	keys := []string{"native", "flat", "quad/stack=include", "tquad/slice=1000/stack=include/libs=all/prefetch=fast"}
+	a := New(Plan{Seed: 1, FailRate: 0.5})
+	b := New(Plan{Seed: 1, FailRate: 0.5})
+	c := New(Plan{Seed: 2, FailRate: 0.5})
+	diverged := false
+	for _, k := range keys {
+		for attempt := 0; attempt < 16; attempt++ {
+			if a.WouldFail(k, attempt) != b.WouldFail(k, attempt) {
+				t.Fatalf("same seed diverged at (%s, %d)", k, attempt)
+			}
+			if a.WouldFail(k, attempt) != c.WouldFail(k, attempt) {
+				diverged = true
+			}
+		}
+	}
+	if !diverged {
+		t.Error("seeds 1 and 2 made identical decisions everywhere")
+	}
+}
+
+// TestFailRateBounds: rate 0 never fails, rate 1 always fails.
+func TestFailRateBounds(t *testing.T) {
+	never := New(Plan{Seed: 7})
+	always := New(Plan{Seed: 7, FailRate: 1})
+	for attempt := 0; attempt < 8; attempt++ {
+		if never.WouldFail("k", attempt) {
+			t.Fatal("FailRate 0 injected a failure")
+		}
+		if !always.WouldFail("k", attempt) {
+			t.Fatal("FailRate 1 skipped a failure")
+		}
+	}
+}
+
+// TestBeforeRunAttemptBudget: FailConfigs fails exactly the leading
+// attempts, transiently, and then lets the run through.
+func TestBeforeRunAttemptBudget(t *testing.T) {
+	in := New(Plan{FailConfigs: map[string]int{"native": 2}})
+	hooks := in.Hooks()
+	cfg := study.RunConfig{Kind: study.RunNative}
+	for attempt := 0; attempt < 4; attempt++ {
+		err := hooks.BeforeRun(context.Background(), cfg, attempt)
+		if attempt < 2 {
+			if !errors.Is(err, ErrInjected) || !study.IsTransient(err) {
+				t.Fatalf("attempt %d: err = %v, want transient injected fault", attempt, err)
+			}
+		} else if err != nil {
+			t.Fatalf("attempt %d: err = %v, want success", attempt, err)
+		}
+	}
+}
+
+// TestFlakyWriterBudget: the writer delivers exactly its byte budget,
+// then fails permanently; the recordWriter hook consumes one failure
+// from the plan's budget per attempt.
+func TestFlakyWriterBudget(t *testing.T) {
+	in := New(Plan{RecordFailures: 1, RecordFailAfter: 10})
+	var buf bytes.Buffer
+	w := in.Hooks().RecordWriter(&buf)
+	if _, err := w.Write(make([]byte, 8)); err != nil {
+		t.Fatalf("write within budget failed: %v", err)
+	}
+	if n, err := w.Write(make([]byte, 8)); !errors.Is(err, ErrInjected) || n != 2 {
+		t.Fatalf("budget-crossing write: n=%d err=%v, want n=2 injected fault", n, err)
+	}
+	if _, err := w.Write([]byte{0}); !errors.Is(err, ErrInjected) {
+		t.Fatal("writer recovered after failing")
+	}
+	if buf.Len() != 10 {
+		t.Fatalf("wrote %d bytes through, want exactly the 10-byte budget", buf.Len())
+	}
+	// Budget of one failing attempt is spent: the next attempt's writer
+	// is the raw destination.
+	if w2 := in.Hooks().RecordWriter(&buf); w2 != io.Writer(&buf) {
+		t.Error("second record attempt still got a flaky writer")
+	}
+}
+
+// TestReplayTruncate: the replay reader is capped at the plan's budget.
+func TestReplayTruncate(t *testing.T) {
+	in := New(Plan{ReplayTruncate: 4})
+	r := in.Hooks().ReplayReader(bytes.NewReader(make([]byte, 100)))
+	b, err := io.ReadAll(r)
+	if err != nil || len(b) != 4 {
+		t.Fatalf("read %d bytes (err=%v), want 4", len(b), err)
+	}
+}
+
+// TestWatchdogTrap: the machine hook installs a watchdog that trips at
+// the planned instruction count.
+func TestWatchdogTrap(t *testing.T) {
+	in := New(Plan{TrapAt: 100})
+	m := vm.New()
+	in.Hooks().Machine(context.Background(), m)
+	if m.Watchdog == nil {
+		t.Fatal("no watchdog installed")
+	}
+	if err := m.Watchdog(m); err != nil {
+		t.Fatalf("watchdog fired at icount 0: %v", err)
+	}
+	m.ICount = 100
+	if err := m.Watchdog(m); !errors.Is(err, ErrInjected) {
+		t.Fatalf("watchdog at icount 100: %v, want injected fault", err)
+	}
+	// TrapAt 0 installs nothing.
+	m2 := vm.New()
+	New(Plan{}).Hooks().Machine(context.Background(), m2)
+	if m2.Watchdog != nil {
+		t.Error("zero plan installed a watchdog")
+	}
+}
+
+// TestHangHonoursContext: a hang releases as soon as the run context is
+// cancelled, returning its error.
+func TestHangHonoursContext(t *testing.T) {
+	in := New(Plan{HangConfigs: []string{"native"}})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := in.Hooks().BeforeRun(ctx, study.RunConfig{Kind: study.RunNative}, 0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("hang returned %v, want context.Canceled", err)
+	}
+}

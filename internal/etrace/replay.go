@@ -2,6 +2,7 @@ package etrace
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -434,12 +435,35 @@ func (r *Replayer) OnBlock(fn func(start uint64, ninstr int, ic uint64)) { r.blo
 // Replay streams the trace, compiling static records through the
 // registered instrumentation callbacks and dispatching dynamic records
 // to the attached analysis routines.  It may be called once.
-func (r *Replayer) Replay() error {
+func (r *Replayer) Replay() error { return r.ReplayContext(context.Background()) }
+
+// cancelCheckStride is how many replayed records go between context
+// polls — frequent enough that a cancelled sweep stops its replays
+// within microseconds, rare enough to stay off the per-record hot path.
+const cancelCheckStride = 1 << 14
+
+// ReplayContext is Replay under a context: a cancelled or expired
+// context stops the replay with a *vm.CancelError carrying the replayed
+// instruction count at the interruption point, mirroring how a live
+// machine surfaces cancellation.  A context without a Done channel costs
+// nothing.
+func (r *Replayer) ReplayContext(ctx context.Context) error {
 	if r.done {
 		return errors.New("etrace: trace already replayed")
 	}
 	r.done = true
+	done := ctx.Done()
+	var n uint64
 	for {
+		if done != nil {
+			if n++; n%cancelCheckStride == 0 {
+				select {
+				case <-done:
+					return &vm.CancelError{PC: r.pc, ICount: r.ic, Cause: ctx.Err()}
+				default:
+				}
+			}
+		}
 		rec, err := r.d.next()
 		if err == io.EOF {
 			return nil

@@ -103,41 +103,67 @@ func (m *Memory) Write(addr uint64, src []byte) {
 	}
 }
 
+// AccessSizeError reports a typed access with an unsupported width.  It
+// is an error value rather than a panic so that a corrupt access size —
+// however it arises — degrades into a per-run failure (the VM converts
+// it into a Trap) instead of killing the whole process.  Contrast the
+// internal/hl builder, which panics on duplicate symbols and bad
+// arities: those are programmer errors at guest-construction time,
+// before any run starts, and have no run to fail.
+type AccessSizeError struct {
+	Size int
+}
+
+func (e *AccessSizeError) Error() string {
+	return fmt.Sprintf("mem: bad access size %d", e.Size)
+}
+
 // ReadUint reads a little-endian unsigned integer of the given byte size
 // (1, 2, 4 or 8) at addr.
-func (m *Memory) ReadUint(addr uint64, size int) uint64 {
+func (m *Memory) ReadUint(addr uint64, size int) (uint64, error) {
 	var buf [8]byte
-	m.Read(addr, buf[:size])
+	switch size {
+	case 1, 2, 4, 8:
+		m.Read(addr, buf[:size])
+	default:
+		return 0, &AccessSizeError{Size: size}
+	}
 	switch size {
 	case 1:
-		return uint64(buf[0])
+		return uint64(buf[0]), nil
 	case 2:
-		return uint64(binary.LittleEndian.Uint16(buf[:2]))
+		return uint64(binary.LittleEndian.Uint16(buf[:2])), nil
 	case 4:
-		return uint64(binary.LittleEndian.Uint32(buf[:4]))
-	case 8:
-		return binary.LittleEndian.Uint64(buf[:8])
+		return uint64(binary.LittleEndian.Uint32(buf[:4])), nil
 	}
-	panic(fmt.Sprintf("mem: bad access size %d", size))
+	return binary.LittleEndian.Uint64(buf[:8]), nil
 }
 
 // WriteUint stores the low `size` bytes of v at addr, little-endian.
-func (m *Memory) WriteUint(addr uint64, v uint64, size int) {
+func (m *Memory) WriteUint(addr uint64, v uint64, size int) error {
 	var buf [8]byte
 	binary.LittleEndian.PutUint64(buf[:], v)
 	switch size {
 	case 1, 2, 4, 8:
 		m.Write(addr, buf[:size])
-	default:
-		panic(fmt.Sprintf("mem: bad access size %d", size))
+		return nil
 	}
+	return &AccessSizeError{Size: size}
 }
 
 // ReadUint64 reads an 8-byte little-endian word at addr.
-func (m *Memory) ReadUint64(addr uint64) uint64 { return m.ReadUint(addr, 8) }
+func (m *Memory) ReadUint64(addr uint64) uint64 {
+	var buf [8]byte
+	m.Read(addr, buf[:])
+	return binary.LittleEndian.Uint64(buf[:])
+}
 
 // WriteUint64 stores an 8-byte little-endian word at addr.
-func (m *Memory) WriteUint64(addr uint64, v uint64) { m.WriteUint(addr, v, 8) }
+func (m *Memory) WriteUint64(addr uint64, v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	m.Write(addr, buf[:])
+}
 
 // Zero clears n bytes starting at addr.  Pages entirely inside the range
 // that are not yet materialised stay unmaterialised.

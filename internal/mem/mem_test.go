@@ -2,6 +2,7 @@ package mem_test
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -51,7 +52,9 @@ func TestAgainstReferenceMap(t *testing.T) {
 			v := rng.Uint64()
 			size := []int{1, 2, 4, 8}[rng.Intn(4)]
 			_ = n
-			m.WriteUint(addr, v, size)
+			if err := m.WriteUint(addr, v, size); err != nil {
+				t.Fatalf("WriteUint(%#x, %d): %v", addr, size, err)
+			}
 			for k := 0; k < size; k++ {
 				ref[addr+uint64(k)] = byte(v >> (8 * k))
 			}
@@ -89,8 +92,13 @@ func TestUintWidths(t *testing.T) {
 	const v = uint64(0x1122334455667788)
 	for _, size := range []int{1, 2, 4, 8} {
 		addr := uint64(size * 100)
-		m.WriteUint(addr, v, size)
-		got := m.ReadUint(addr, size)
+		if err := m.WriteUint(addr, v, size); err != nil {
+			t.Fatalf("WriteUint size %d: %v", size, err)
+		}
+		got, err := m.ReadUint(addr, size)
+		if err != nil {
+			t.Fatalf("ReadUint size %d: %v", size, err)
+		}
 		want := v
 		if size < 8 {
 			want = v & (1<<(8*size) - 1)
@@ -171,5 +179,27 @@ func TestZeroValueUsable(t *testing.T) {
 	m.SetByte(123, 7)
 	if m.ByteAt(123) != 7 {
 		t.Fatalf("zero-value Memory unusable")
+	}
+}
+
+// TestBadAccessSizeIsError: unsupported widths surface as typed errors,
+// never panics, and leave memory untouched.
+func TestBadAccessSizeIsError(t *testing.T) {
+	m := mem.New()
+	for _, size := range []int{0, 3, 5, 7, 16, -1} {
+		if _, err := m.ReadUint(0, size); err == nil {
+			t.Errorf("ReadUint size %d: expected error", size)
+		} else {
+			var ase *mem.AccessSizeError
+			if !errors.As(err, &ase) || ase.Size != size {
+				t.Errorf("ReadUint size %d: err = %v, want AccessSizeError", size, err)
+			}
+		}
+		if err := m.WriteUint(0, 0xff, size); err == nil {
+			t.Errorf("WriteUint size %d: expected error", size)
+		}
+	}
+	if m.PageCount() != 0 {
+		t.Errorf("failed accesses materialised %d pages", m.PageCount())
 	}
 }

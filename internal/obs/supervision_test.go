@@ -1,0 +1,40 @@
+package obs_test
+
+import (
+	"strings"
+	"testing"
+
+	"tquad/internal/obs"
+)
+
+func TestSupervisionCounters(t *testing.T) {
+	// Nil registry: every counter is a nil no-op.
+	sup := obs.SupervisionCounters(nil)
+	sup.Retries.Inc()
+	sup.Panics.Inc()
+	if sup.Cancels.Value() != 0 {
+		t.Fatal("nil supervision counters must read zero")
+	}
+
+	r := obs.NewRegistry()
+	sup = obs.SupervisionCounters(r)
+	sup.Retries.Add(3)
+	sup.Panics.Inc()
+	sup.CheckpointHits.Inc()
+	if got := r.Counter(obs.MetricSchedRetries).Value(); got != 3 {
+		t.Errorf("retries = %d, want 3", got)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		obs.MetricSchedRetries + " 3",
+		obs.MetricSchedPanics + " 1",
+		obs.MetricSchedCheckpointHits + " 1",
+	} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("prometheus snapshot missing %q", want)
+		}
+	}
+}

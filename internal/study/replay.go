@@ -9,9 +9,11 @@ package study
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"os"
+	"runtime/debug"
 
 	"tquad/internal/core"
 	"tquad/internal/etrace"
@@ -42,52 +44,151 @@ func (k RunKind) known() bool {
 // recording is one in-flight or finished guest recording, shared by all
 // configurations in its execution-equivalence group.
 type recording struct {
-	done  chan struct{}
-	path  string // temp file holding the trace; removed by Close
-	reg   *obs.Registry
-	spans []obs.SpanRecord
-	err   error
+	done      chan struct{}
+	path      string // trace file; a temp file unless persisted
+	persisted bool   // path lives in a checkpoint journal; Close keeps it
+	reg       *obs.Registry
+	spans     []obs.SpanRecord
+	err       error
 }
 
 // recordingLocked returns the group's recording, starting it on first
-// use.  Callers hold sc.mu.  The goroutine takes a worker slot itself;
-// configurations wait on rec.done before acquiring theirs, so the
-// record-then-replay chain cannot deadlock even at jobs=1.
+// use.  Callers hold sc.mu.  The goroutine takes a worker slot itself
+// (inside recordOnce); configurations wait on rec.done before acquiring
+// theirs, so the record-then-replay chain cannot deadlock even at
+// jobs=1.
 func (sc *Scheduler) recordingLocked(key string) *recording {
 	if rec, ok := sc.recs[key]; ok {
 		return rec
 	}
 	rec := &recording{done: make(chan struct{})}
 	sc.recs[key] = rec
-	go func() {
-		defer close(rec.done)
-		sc.sem <- struct{}{}
-		defer func() { <-sc.sem }()
-		f, err := os.CreateTemp("", "tquad-etrace-*.bin")
-		if err != nil {
-			rec.err = err
+	go sc.record(sc.policyLocked(), key, rec)
+	return rec
+}
+
+// record drives one recording under the supervision policy: checkpoint
+// fast path, then attempts with panic recovery and transient retry on a
+// schedule seeded from "record/<key>", persisting the finished trace
+// into the checkpoint journal when one is attached.
+func (sc *Scheduler) record(pol policy, key string, rec *recording) {
+	defer close(rec.done)
+	ctx := pol.ctx
+	if pol.ckpt != nil {
+		if path, ok := pol.ckpt.trace(key); ok {
+			// A previous sweep already recorded this group: replay from the
+			// persisted trace, executing the guest zero times.
+			rec.path, rec.persisted = path, true
+			sc.sup.CheckpointHits.Inc()
 			return
 		}
-		rec.path = f.Name()
-		bw := bufio.NewWriterSize(f, 1<<16)
-		sc.guestExecs.Add(1)
-		reg, spans, err := sc.study.recordGuest(bw)
-		if err == nil {
-			err = bw.Flush()
+	}
+	sched := backoffSchedule("record/"+key, pol.retries, pol.base, pol.cap)
+	for attempt := 0; ; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			sc.sup.Cancels.Inc()
+			rec.err = cerr
+			return
 		}
-		if cerr := f.Close(); err == nil {
-			err = cerr
+		rec.err = sc.recordOnce(pol, key, attempt, rec)
+		if rec.err == nil {
+			if pol.ckpt != nil {
+				if path, err := pol.ckpt.saveTrace(key, rec.path); err == nil {
+					rec.path, rec.persisted = path, true
+					sc.sup.CheckpointSaves.Inc()
+				}
+			}
+			return
 		}
-		rec.reg, rec.spans, rec.err = reg, spans, err
+		if attempt >= pol.retries || !IsTransient(rec.err) {
+			break
+		}
+		sc.sup.Retries.Inc()
+		if !sleepCtx(ctx, sched[attempt]) {
+			break
+		}
+	}
+	if IsCancelled(rec.err) && ctx.Err() != nil {
+		sc.sup.Cancels.Inc()
+	} else {
+		sc.sup.Failures.Inc()
+	}
+}
+
+// recordOnce performs one recording attempt.  On any failure —
+// including cancellation, a worker panic, or an I/O fault — the partial
+// temp trace is removed here, immediately, rather than lingering until
+// Close: a sweep interrupted mid-record leaks no files even if the
+// process exits right after the context is cancelled.
+func (sc *Scheduler) recordOnce(pol policy, key string, attempt int, rec *recording) (err error) {
+	ctx := pol.ctx
+	select {
+	case sc.sem <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	defer func() { <-sc.sem }()
+	defer func() {
+		if r := recover(); r != nil {
+			sc.sup.Panics.Inc()
+			err = &PanicError{Key: "record/" + key, Value: r, Stack: debug.Stack()}
+		}
+		if err != nil && rec.path != "" {
+			os.Remove(rec.path)
+			rec.path = ""
+		}
 	}()
-	return rec
+	actx := ctx
+	if pol.runTimeout > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, pol.runTimeout)
+		defer cancel()
+	}
+	if hook := pol.hooks.BeforeRecord; hook != nil {
+		if herr := hook(actx, key, attempt); herr != nil {
+			return herr
+		}
+	}
+	f, err := os.CreateTemp("", "tquad-etrace-*.bin")
+	if err != nil {
+		return MarkTransient(err)
+	}
+	rec.path = f.Name()
+	var out io.Writer = f
+	if pol.hooks.RecordWriter != nil {
+		out = pol.hooks.RecordWriter(f)
+	}
+	bw := bufio.NewWriterSize(out, 1<<16)
+	sc.guestExecs.Add(1)
+	reg, spans, err := sc.study.recordGuest(bw, runOptions{ctx: actx, maxInstr: pol.maxInstr, hooks: pol.hooks})
+	if err == nil {
+		if ferr := bw.Flush(); ferr != nil {
+			err = MarkTransient(ferr)
+		}
+	}
+	if cerr := f.Close(); err == nil && cerr != nil {
+		err = MarkTransient(cerr)
+	}
+	if err != nil {
+		return err
+	}
+	rec.reg, rec.spans = reg, spans
+	return nil
 }
 
 // recordGuest executes the guest once with only the event-trace recorder
 // attached, writing the trace to w.  It returns the recording run's
 // private observability (merged by Flush under a "record/" root so trace
 // output distinguishes the recording from the replays that consume it).
-func (s *Study) recordGuest(w io.Writer) (*obs.Registry, []obs.SpanRecord, error) {
+// Trace-write failures are host I/O, not guest behaviour, so they come
+// back marked transient; guest failures stay permanent.
+func (s *Study) recordGuest(w io.Writer, opt runOptions) (*obs.Registry, []obs.SpanRecord, error) {
+	if opt.ctx == nil {
+		opt.ctx = context.Background()
+	}
+	if opt.maxInstr == 0 {
+		opt.maxInstr = wfs.MaxInstr
+	}
 	var ro *obs.Observer
 	if s.Obs != nil {
 		ro = obs.NewObserver()
@@ -104,11 +205,14 @@ func (s *Study) recordGuest(w io.Writer) (*obs.Registry, []obs.SpanRecord, error
 	instrument.End()
 	if err != nil {
 		run.End()
-		return nil, nil, err
+		return nil, nil, MarkTransient(err)
+	}
+	if opt.hooks.Machine != nil {
+		opt.hooks.Machine(opt.ctx, m)
 	}
 
 	execute := ro.Tracer().Start("execute")
-	err = m.Run(wfs.MaxInstr)
+	err = m.RunContext(opt.ctx, opt.maxInstr)
 	execute.SetInstr(m.ICount)
 	execute.SetBytes(m.MemStats.ReadBytes() + m.MemStats.WriteBytes())
 	execute.End()
@@ -116,7 +220,9 @@ func (s *Study) recordGuest(w io.Writer) (*obs.Registry, []obs.SpanRecord, error
 		err = fmt.Errorf("guest exit code %d", m.ExitCode)
 	}
 	if err == nil {
-		err = rec.Finish()
+		if ferr := rec.Finish(); ferr != nil {
+			err = MarkTransient(ferr)
+		}
 	}
 	run.End()
 	if err != nil {
@@ -133,8 +239,13 @@ func (s *Study) recordGuest(w io.Writer) (*obs.Registry, []obs.SpanRecord, error
 // replayConfig produces one configuration's result by replaying the
 // recorded trace at path through the configuration's tools.  It mirrors
 // executeConfig span for span, with a "replay" span where the live path
-// has "execute".
-func (s *Study) replayConfig(cfg RunConfig, path string) (*RunResult, error) {
+// has "execute".  A missing or unreadable trace file is host I/O and
+// reported transient; decode and guest-state failures are permanent.
+func (s *Study) replayConfig(cfg RunConfig, path string, opt runOptions) (*RunResult, error) {
+	ctx := opt.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	var ro *obs.Observer
 	if s.Obs != nil {
 		ro = obs.NewObserver()
@@ -144,12 +255,16 @@ func (s *Study) replayConfig(cfg RunConfig, path string) (*RunResult, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		run.End()
-		return nil, fmt.Errorf("study: run %s: %w", res.Key, err)
+		return nil, fmt.Errorf("study: run %s: %w", res.Key, MarkTransient(err))
 	}
 	defer f.Close()
+	var in io.Reader = f
+	if opt.hooks.ReplayReader != nil {
+		in = opt.hooks.ReplayReader(f)
+	}
 
 	instrument := ro.Tracer().Start("instrument")
-	rp, err := etrace.NewReplayer(f)
+	rp, err := etrace.NewReplayer(in)
 	var ts *toolset
 	if err == nil {
 		ts, err = attachTools(rp, cfg, ro.Tracer())
@@ -161,7 +276,7 @@ func (s *Study) replayConfig(cfg RunConfig, path string) (*RunResult, error) {
 	}
 
 	replay := ro.Tracer().Start("replay")
-	err = rp.Replay()
+	err = rp.ReplayContext(ctx)
 	replay.SetInstr(rp.ICount())
 	rb, wb := rp.Traffic()
 	replay.SetBytes(rb + wb)

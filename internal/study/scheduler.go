@@ -22,12 +22,14 @@
 package study
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"tquad/internal/core"
 	"tquad/internal/flatprof"
@@ -161,6 +163,19 @@ type Scheduler struct {
 	replay     bool
 	guestExecs atomic.Uint64
 
+	// Supervision policy (see supervise.go).  Configured before the
+	// first Submit; defaults are a background context, no retries, no
+	// per-run timeout, and the wfs instruction budget.
+	ctx         context.Context
+	retries     int
+	backoffBase time.Duration
+	backoffCap  time.Duration
+	runTimeout  time.Duration
+	maxInstr    uint64
+	hooks       Hooks
+	ckpt        *Checkpoint
+	sup         obs.Supervision
+
 	mu        sync.Mutex
 	memo      map[string]*Pending
 	recs      map[string]*recording // execution-equivalence key -> recording
@@ -175,20 +190,101 @@ func NewScheduler(s *Study, jobs int) *Scheduler {
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
 	}
+	var reg *obs.Registry
+	if s != nil && s.Obs != nil {
+		reg = s.Obs.Registry()
+	}
 	return &Scheduler{
-		study:     s,
-		jobs:      jobs,
-		sem:       make(chan struct{}, jobs),
-		replay:    true,
-		memo:      make(map[string]*Pending),
-		recs:      make(map[string]*recording),
-		merged:    make(map[string]bool),
-		recMerged: make(map[string]bool),
+		study:       s,
+		jobs:        jobs,
+		sem:         make(chan struct{}, jobs),
+		replay:      true,
+		ctx:         context.Background(),
+		backoffBase: 100 * time.Millisecond,
+		backoffCap:  5 * time.Second,
+		maxInstr:    wfs.MaxInstr,
+		sup:         obs.SupervisionCounters(reg),
+		memo:        make(map[string]*Pending),
+		recs:        make(map[string]*recording),
+		merged:      make(map[string]bool),
+		recMerged:   make(map[string]bool),
 	}
 }
 
 // Jobs returns the scheduler's concurrency bound.
 func (sc *Scheduler) Jobs() int { return sc.jobs }
+
+// SetContext installs the sweep-wide context: cancelling it abandons
+// queued runs, stops in-flight guests at their next block boundary, and
+// makes every affected Pending fail with a cancellation error.  Call
+// before the first Submit.
+func (sc *Scheduler) SetContext(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	sc.mu.Lock()
+	sc.ctx = ctx
+	sc.mu.Unlock()
+}
+
+// SetRetries sets how many times a transiently failed run attempt is
+// re-executed (default 0: fail fast).  Permanent guest failures and
+// cancellations are never retried.
+func (sc *Scheduler) SetRetries(n int) {
+	sc.mu.Lock()
+	if n < 0 {
+		n = 0
+	}
+	sc.retries = n
+	sc.mu.Unlock()
+}
+
+// SetBackoff overrides the retry backoff's base and cap.  Jitter stays
+// deterministic per run key.
+func (sc *Scheduler) SetBackoff(base, cap time.Duration) {
+	sc.mu.Lock()
+	sc.backoffBase, sc.backoffCap = base, cap
+	sc.mu.Unlock()
+}
+
+// SetRunTimeout bounds each run attempt's wall-clock time (0: none).
+// A timed-out attempt fails permanently — the guest is deterministic,
+// so a hang would only repeat.
+func (sc *Scheduler) SetRunTimeout(d time.Duration) {
+	sc.mu.Lock()
+	sc.runTimeout = d
+	sc.mu.Unlock()
+}
+
+// SetMaxInstr overrides the per-run guest instruction budget (values
+// <= 0 restore the wfs default).
+func (sc *Scheduler) SetMaxInstr(n uint64) {
+	sc.mu.Lock()
+	if n == 0 {
+		n = wfs.MaxInstr
+	}
+	sc.maxInstr = n
+	sc.mu.Unlock()
+}
+
+// SetHooks installs the supervision/fault-injection hooks.  Call before
+// the first Submit.
+func (sc *Scheduler) SetHooks(h Hooks) {
+	sc.mu.Lock()
+	sc.hooks = h
+	sc.mu.Unlock()
+}
+
+// SetCheckpoint attaches an open checkpoint journal: completed runs are
+// journalled as they finish, finished recordings are persisted into the
+// journal directory, and on resume both are served from it — a resumed
+// sweep performs zero new guest executions for completed work.  Call
+// before the first Submit.  The scheduler does not close the journal.
+func (sc *Scheduler) SetCheckpoint(c *Checkpoint) {
+	sc.mu.Lock()
+	sc.ckpt = c
+	sc.mu.Unlock()
+}
 
 // SetReplay switches between record-once/replay-many execution (the
 // default) and live execution of every configuration.  Call it before
@@ -206,8 +302,9 @@ func (sc *Scheduler) SetReplay(on bool) {
 func (sc *Scheduler) GuestExecutions() uint64 { return sc.guestExecs.Load() }
 
 // Close waits for all submitted work and removes the recorded trace
-// files.  Call it when the sweep is done; the memoised results stay
-// valid.
+// temp files.  Traces persisted into a checkpoint journal are kept —
+// they belong to the journal, not the scheduler.  Call it when the
+// sweep is done; the memoised results stay valid.
 func (sc *Scheduler) Close() {
 	sc.mu.Lock()
 	pend := make([]*Pending, 0, len(sc.memo))
@@ -224,7 +321,7 @@ func (sc *Scheduler) Close() {
 	}
 	for _, r := range recs {
 		<-r.done
-		if r.path != "" {
+		if r.path != "" && !r.persisted {
 			os.Remove(r.path)
 			r.path = ""
 		}
@@ -244,6 +341,7 @@ func (sc *Scheduler) Submit(cfg RunConfig) *Pending {
 	}
 	p := &Pending{key: key, done: make(chan struct{})}
 	sc.memo[key] = p
+	pol := sc.policyLocked()
 	replay := sc.replay && cfg.Kind.known()
 	var rec *recording
 	if replay {
@@ -259,22 +357,29 @@ func (sc *Scheduler) Submit(cfg RunConfig) *Pending {
 			// cost (or wait for) a guest execution, and its failure must
 			// surface for every duplicate submission of the same key.
 			p.err = fmt.Errorf("study: unknown run kind %d", cfg.Kind)
+			return
 		case replay:
 			<-rec.done
 			if rec.err != nil {
 				p.err = fmt.Errorf("study: run %s: record: %w", key, rec.err)
 				return
 			}
-			sc.sem <- struct{}{}
-			defer func() { <-sc.sem }()
-			p.res, p.err = sc.study.replayConfig(cfg, rec.path)
+			p.res, p.err = sc.supervised(pol, key, cfg, func(actx context.Context, attempt int) (*RunResult, error) {
+				return sc.study.replayConfig(cfg, rec.path, runOptions{ctx: actx, hooks: pol.hooks})
+			})
 		default:
-			sc.sem <- struct{}{}
-			defer func() { <-sc.sem }()
-			if cfg.Kind.known() {
-				sc.guestExecs.Add(1)
-			}
-			p.res, p.err = sc.study.executeConfig(cfg)
+			p.res, p.err = sc.supervised(pol, key, cfg, func(actx context.Context, attempt int) (*RunResult, error) {
+				if cfg.Kind.known() {
+					sc.guestExecs.Add(1)
+				}
+				return sc.study.executeConfig(cfg, runOptions{ctx: actx, maxInstr: pol.maxInstr, hooks: pol.hooks})
+			})
+		}
+		if p.err == nil && pol.ckpt != nil {
+			pol.ckpt.markDone(doneEntry{
+				Key: key, Kind: cfg.Kind.String(),
+				ICount: p.res.ICount, Time: p.res.Time,
+			})
 		}
 	}()
 	return p
@@ -432,7 +537,13 @@ func (s *Study) PhasesFromProfile(prof *core.Profile) []phase.Phase {
 // executeConfig performs one run on a fresh machine with per-run
 // observability sinks.  It never touches the Study's serial caches, so
 // any number of executeConfig calls may be in flight at once.
-func (s *Study) executeConfig(cfg RunConfig) (*RunResult, error) {
+func (s *Study) executeConfig(cfg RunConfig, opt runOptions) (*RunResult, error) {
+	if opt.ctx == nil {
+		opt.ctx = context.Background()
+	}
+	if opt.maxInstr == 0 {
+		opt.maxInstr = wfs.MaxInstr
+	}
 	var ro *obs.Observer
 	if s.Obs != nil {
 		ro = obs.NewObserver()
@@ -456,9 +567,12 @@ func (s *Study) executeConfig(cfg RunConfig) (*RunResult, error) {
 		run.End()
 		return nil, err
 	}
+	if opt.hooks.Machine != nil {
+		opt.hooks.Machine(opt.ctx, m)
+	}
 
 	execute := ro.Tracer().Start("execute")
-	err = m.Run(wfs.MaxInstr)
+	err = m.RunContext(opt.ctx, opt.maxInstr)
 	execute.SetInstr(m.ICount)
 	execute.SetBytes(m.MemStats.ReadBytes() + m.MemStats.WriteBytes())
 	execute.End()

@@ -1,0 +1,257 @@
+// Run supervision for the experiment scheduler: the error taxonomy
+// (cancelled / transient / permanent), worker panic recovery, and the
+// deterministic retry policy.  The paper's evaluation is a long
+// multi-configuration sweep; this file is what lets a single hung
+// guest, crashed worker or flaky host write degrade into one reported
+// per-config failure instead of losing the whole run.
+//
+// Error taxonomy.  Every run failure falls in exactly one class:
+//
+//   - cancelled: the host decided to stop (context cancellation, sweep
+//     deadline, per-run timeout).  Never retried — the sweep is either
+//     shutting down or the run is considered hung, and the guest is
+//     deterministic so a hang would simply repeat.
+//   - transient: a host-side failure outside the guest (temp-file
+//     creation, trace-write I/O) or anything explicitly marked with
+//     MarkTransient (the chaos injector's lever).  Retried up to the
+//     scheduler's budget with capped exponential backoff whose jitter
+//     is seeded from the run key, so retry schedules are reproducible.
+//   - permanent: everything else — guest traps, non-zero exit codes,
+//     fuel exhaustion, worker panics.  The guest is deterministic, so
+//     re-executing would reproduce the failure; it is reported once.
+package study
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand"
+	"runtime/debug"
+	"time"
+
+	"tquad/internal/vm"
+)
+
+// PanicError is a worker panic recovered by the scheduler, converted
+// into a per-configuration failure.  The recovered value and the
+// worker's stack ride along so the crash is diagnosable from the sweep
+// report alone.
+type PanicError struct {
+	Key   string // the run (or recording) the worker was executing
+	Value any    // the recovered panic value
+	Stack []byte // the panicking goroutine's stack
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("study: run %s: worker panic: %v\n%s", e.Key, e.Value, e.Stack)
+}
+
+// TransientError marks a failure worth retrying.  Unwrap exposes the
+// cause.
+type TransientError struct {
+	Err error
+}
+
+func (e *TransientError) Error() string { return e.Err.Error() }
+func (e *TransientError) Unwrap() error { return e.Err }
+
+// MarkTransient wraps err so the scheduler's retry policy applies to it.
+// A nil err stays nil.
+func MarkTransient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &TransientError{Err: err}
+}
+
+// IsTransient reports whether err is classified transient (retryable).
+// Cancellation always wins over a transient mark.
+func IsTransient(err error) bool {
+	if err == nil || IsCancelled(err) {
+		return false
+	}
+	var te *TransientError
+	return errors.As(err, &te)
+}
+
+// IsCancelled reports whether err is (or wraps) a host-side
+// cancellation: a vm.CancelError, context.Canceled, or
+// context.DeadlineExceeded.
+func IsCancelled(err error) bool {
+	return vm.IsCancel(err) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded)
+}
+
+// Hooks are the scheduler's supervision seams: optional callbacks
+// invoked at well-defined points of a run's lifecycle.  Production
+// sweeps leave them nil; the deterministic fault injector
+// (internal/chaos) attaches here, and the chaos suite is the contract
+// that sweeps degrade gracefully whatever these do — including panic.
+type Hooks struct {
+	// BeforeRun fires in the worker goroutine before a configuration
+	// executes or replays (attempt counts from 0).  Returning an error
+	// fails the attempt; panicking exercises panic isolation.
+	BeforeRun func(ctx context.Context, cfg RunConfig, attempt int) error
+	// BeforeRecord fires before a guest recording attempt.
+	BeforeRecord func(ctx context.Context, execKey string, attempt int) error
+	// RecordWriter wraps the recording's trace writer (I/O fault seam).
+	RecordWriter func(w io.Writer) io.Writer
+	// ReplayReader wraps a replay's trace reader (I/O fault seam).
+	ReplayReader func(r io.Reader) io.Reader
+	// Machine fires on every freshly configured live machine before it
+	// runs; ctx is the attempt's context (vm fault seam — e.g. install
+	// a vm.Machine.Watchdog that traps at instruction N).
+	Machine func(ctx context.Context, m *vm.Machine)
+}
+
+// runOptions carries the supervision state of one run attempt into the
+// study's execute/record/replay paths.
+type runOptions struct {
+	ctx      context.Context
+	maxInstr uint64
+	hooks    Hooks
+}
+
+// policy is a submission-time snapshot of the scheduler's supervision
+// settings: each submitted run (and each recording) is governed by the
+// policy in force when it was submitted, so reconfiguring the scheduler
+// between submissions is safe and never races with in-flight work.
+type policy struct {
+	ctx        context.Context
+	retries    int
+	base, cap  time.Duration
+	runTimeout time.Duration
+	maxInstr   uint64
+	hooks      Hooks
+	ckpt       *Checkpoint
+}
+
+// policyLocked snapshots the current policy.  Callers hold sc.mu.
+func (sc *Scheduler) policyLocked() policy {
+	return policy{
+		ctx:        sc.ctx,
+		retries:    sc.retries,
+		base:       sc.backoffBase,
+		cap:        sc.backoffCap,
+		runTimeout: sc.runTimeout,
+		maxInstr:   sc.maxInstr,
+		hooks:      sc.hooks,
+		ckpt:       sc.ckpt,
+	}
+}
+
+// backoffSchedule precomputes the retry sleeps for a run key: capped
+// exponential backoff with jitter drawn from a PRNG seeded by the key,
+// so two sweeps over the same configuration space retry on identical
+// schedules.
+func backoffSchedule(key string, retries int, base, max time.Duration) []time.Duration {
+	if retries <= 0 {
+		return nil
+	}
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if max < base {
+		max = base
+	}
+	h := fnv.New64a()
+	io.WriteString(h, key)
+	rng := rand.New(rand.NewSource(int64(h.Sum64())))
+	out := make([]time.Duration, retries)
+	d := base
+	for i := range out {
+		if d > max {
+			d = max
+		}
+		// Equal-jitter: half fixed, half uniform — bounded below so
+		// retries are never immediate, bounded above by the cap.
+		out[i] = d/2 + time.Duration(rng.Int63n(int64(d/2)+1))
+		d *= 2
+	}
+	return out
+}
+
+// sleepCtx sleeps for d unless the context ends first; it reports
+// whether the full sleep completed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// supervised runs one configuration's attempt loop: bounded-concurrency
+// acquisition, panic recovery, transient retry on the key's
+// deterministic backoff schedule, and cancellation accounting.
+func (sc *Scheduler) supervised(pol policy, key string, cfg RunConfig, fn func(ctx context.Context, attempt int) (*RunResult, error)) (*RunResult, error) {
+	ctx := pol.ctx
+	sched := backoffSchedule(key, pol.retries, pol.base, pol.cap)
+	var err error
+	for attempt := 0; ; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			sc.sup.Cancels.Inc()
+			return nil, fmt.Errorf("study: run %s: %w", key, cerr)
+		}
+		var res *RunResult
+		res, err = sc.attempt(pol, key, cfg, attempt, fn)
+		if err == nil {
+			return res, nil
+		}
+		if attempt >= pol.retries || !IsTransient(err) {
+			break
+		}
+		sc.sup.Retries.Inc()
+		if !sleepCtx(ctx, sched[attempt]) {
+			break
+		}
+	}
+	if IsCancelled(err) && ctx.Err() != nil {
+		sc.sup.Cancels.Inc()
+	} else {
+		sc.sup.Failures.Inc()
+	}
+	return nil, err
+}
+
+// attempt performs one supervised execution attempt: it takes a worker
+// slot (abandoning the wait if the sweep is cancelled), applies the
+// per-run timeout, fires the BeforeRun hook, and converts a panic
+// anywhere below into a *PanicError.
+func (sc *Scheduler) attempt(pol policy, key string, cfg RunConfig, attempt int, fn func(ctx context.Context, attempt int) (*RunResult, error)) (res *RunResult, err error) {
+	ctx := pol.ctx
+	select {
+	case sc.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, fmt.Errorf("study: run %s: %w", key, ctx.Err())
+	}
+	defer func() { <-sc.sem }()
+	defer func() {
+		if r := recover(); r != nil {
+			sc.sup.Panics.Inc()
+			res = nil
+			err = &PanicError{Key: key, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	actx := ctx
+	if pol.runTimeout > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, pol.runTimeout)
+		defer cancel()
+	}
+	if hook := pol.hooks.BeforeRun; hook != nil {
+		if herr := hook(actx, cfg, attempt); herr != nil {
+			return nil, fmt.Errorf("study: run %s: %w", key, herr)
+		}
+	}
+	return fn(actx, attempt)
+}

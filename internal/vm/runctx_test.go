@@ -1,0 +1,124 @@
+package vm_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"tquad/internal/isa"
+	"tquad/internal/vm"
+)
+
+// loop assembles an infinite counting loop (addi r1; jmp -1): one-block
+// control flow, so the cancellation check fires every other instruction.
+func loopMachine() *vm.Machine {
+	m := vm.New()
+	load(m, 0x1000, []isa.Instr{
+		{Op: isa.OpAddi, Rd: 1, Rs1: 1, Imm: 1},
+		{Op: isa.OpJmp, Imm: -2},
+	})
+	return m
+}
+
+func TestRunContextCancel(t *testing.T) {
+	m := loopMachine()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	err := m.RunContext(ctx, 0)
+	var ce *vm.CancelError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *vm.CancelError", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("cancel error does not unwrap to context.Canceled: %v", err)
+	}
+	if !vm.IsCancel(err) {
+		t.Errorf("IsCancel(%v) = false", err)
+	}
+	if ce.ICount == 0 || ce.ICount != m.ICount {
+		t.Errorf("cancel point icount=%d machine=%d", ce.ICount, m.ICount)
+	}
+}
+
+func TestRunContextDeadline(t *testing.T) {
+	m := loopMachine()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	err := m.RunContext(ctx, 0)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+}
+
+func TestRunContextPreCancelled(t *testing.T) {
+	m := loopMachine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := m.RunContext(ctx, 0)
+	if !vm.IsCancel(err) {
+		t.Fatalf("err = %v, want cancellation", err)
+	}
+	if m.ICount != 0 {
+		t.Errorf("pre-cancelled run executed %d instructions", m.ICount)
+	}
+}
+
+func TestRunContextBudgetStillWins(t *testing.T) {
+	m := loopMachine()
+	if err := m.RunContext(context.Background(), 1000); !errors.Is(err, vm.ErrFuel) {
+		t.Fatalf("err = %v, want ErrFuel", err)
+	}
+}
+
+// TestWatchdogTrapAtInstruction: a watchdog can stop a run
+// deterministically at (block-boundary granularity of) an instruction
+// count — the chaos injector's vm seam.
+func TestWatchdogTrapAtInstruction(t *testing.T) {
+	m := loopMachine()
+	injected := errors.New("injected fault")
+	const at = 5000
+	m.Watchdog = func(m *vm.Machine) error {
+		if m.ICount >= at {
+			return injected
+		}
+		return nil
+	}
+	err := m.RunContext(context.Background(), 0)
+	if !errors.Is(err, injected) {
+		t.Fatalf("err = %v, want injected fault", err)
+	}
+	// Block boundaries come every 2 instructions here, so the stop point
+	// is within one block of the target.
+	if m.ICount < at || m.ICount > at+2 {
+		t.Errorf("stopped at icount %d, want ~%d", m.ICount, at)
+	}
+}
+
+// TestRunContextCleanHalt: a supervised run of a halting program
+// completes normally even with a live context and watchdog attached.
+func TestRunContextCleanHalt(t *testing.T) {
+	m := vm.New()
+	load(m, 0x1000, []isa.Instr{
+		{Op: isa.OpLdi, Rd: 1, Imm: 7},
+		{Op: isa.OpJmp, Imm: 1}, // skips the nop: forces a boundary check
+		{Op: isa.OpNop},
+		{Op: isa.OpHalt, Rs1: 0},
+	})
+	var polls int
+	m.Watchdog = func(*vm.Machine) error { polls++; return nil }
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := m.RunContext(ctx, 0); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !m.Halted {
+		t.Fatal("machine did not halt")
+	}
+	if polls == 0 {
+		t.Error("watchdog never polled despite a taken branch")
+	}
+}

@@ -11,6 +11,7 @@
 package vm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -107,6 +108,30 @@ func (t *Trap) Error() string {
 // before the program halts.
 var ErrFuel = errors.New("vm: instruction budget exhausted")
 
+// CancelError is returned by RunContext when a run is stopped by its
+// context (cancellation or deadline) or by the watchdog rather than by a
+// guest fault.  It is deliberately distinct from Trap: a trap is the
+// guest's fault and deterministic, a cancellation is the host's decision
+// and says nothing about the guest.  Unwrap exposes the cause, so
+// errors.Is(err, context.Canceled) / context.DeadlineExceeded work.
+type CancelError struct {
+	PC     uint64
+	ICount uint64
+	Cause  error
+}
+
+func (e *CancelError) Error() string {
+	return fmt.Sprintf("vm: run cancelled at pc=%#x icount=%d: %v", e.PC, e.ICount, e.Cause)
+}
+
+func (e *CancelError) Unwrap() error { return e.Cause }
+
+// IsCancel reports whether err is (or wraps) a run cancellation.
+func IsCancel(err error) bool {
+	var ce *CancelError
+	return errors.As(err, &ce)
+}
+
 // cacheEntry is one slot of the code cache: the decoded instruction plus
 // its attached analysis handler.
 type cacheEntry struct {
@@ -156,6 +181,14 @@ type Machine struct {
 	// once) versus decode-per-step.  On by default; the ablation
 	// benchmark flips it.
 	CacheEnabled bool
+
+	// Watchdog, if set, is polled by RunContext at basic-block
+	// boundaries (after every taken control transfer), alongside the
+	// context check.  A non-nil return aborts the run with that error.
+	// It is the supervision seam for instruction-budget policies beyond
+	// the plain fuel cap and for deterministic fault injection
+	// (internal/chaos traps or hangs a run at instruction N through it).
+	Watchdog func(m *Machine) error
 
 	// The code cache is direct-mapped over the contiguous span of
 	// loaded code segments (instructions are 8-byte aligned, so one
@@ -589,7 +622,10 @@ func (m *Machine) Step() error {
 			m.MemStats.Prefetches++
 		} else {
 			m.MemStats.ReadOps[sizeClass(size)]++
-			v := m.Mem.ReadUint(addr, size)
+			v, err := m.Mem.ReadUint(addr, size)
+			if err != nil {
+				return m.trap(pc, "load: %v", err)
+			}
 			switch ins.Op {
 			case isa.OpLd2s:
 				v = uint64(int64(int16(v)))
@@ -604,7 +640,9 @@ func (m *Machine) Step() error {
 		size := ins.AccessSize()
 		m.emit(h, EvWrite, pc, ins, addr, size, 0, sp, true)
 		m.MemStats.WriteOps[sizeClass(size)]++
-		m.Mem.WriteUint(addr, m.reg(ins.Rs2), size)
+		if err := m.Mem.WriteUint(addr, m.reg(ins.Rs2), size); err != nil {
+			return m.trap(pc, "store: %v", err)
+		}
 
 	case isa.OpLd16:
 		addr := m.reg(ins.Rs1) + uint64(int64(ins.Imm))
@@ -721,12 +759,55 @@ func b2u(b bool) uint64 {
 // have been executed (0 means no budget).  It returns ErrFuel when the
 // budget runs out.
 func (m *Machine) Run(maxInstr uint64) error {
+	return m.RunContext(context.Background(), maxInstr)
+}
+
+// RunContext is Run with supervision: the context and the machine's
+// Watchdog are checked at basic-block boundaries — after every taken
+// control transfer, not per instruction, so the straight-line hot path
+// pays nothing — and a cancelled or expired context stops the run with a
+// *CancelError carrying the interruption point.  A context without a
+// Done channel and a nil Watchdog take the unsupervised fast loop,
+// identical to the pre-supervision Run.
+func (m *Machine) RunContext(ctx context.Context, maxInstr uint64) error {
+	done := ctx.Done()
+	if done == nil && m.Watchdog == nil {
+		for !m.Halted {
+			if maxInstr != 0 && m.ICount >= maxInstr {
+				return ErrFuel
+			}
+			if err := m.Step(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return &CancelError{PC: m.PC, ICount: m.ICount, Cause: err}
+	}
 	for !m.Halted {
 		if maxInstr != 0 && m.ICount >= maxInstr {
 			return ErrFuel
 		}
+		pc := m.PC
 		if err := m.Step(); err != nil {
 			return err
+		}
+		if m.Halted || m.PC == pc+isa.InstrSize {
+			// Straight-line flow: still inside the basic block.
+			continue
+		}
+		if done != nil {
+			select {
+			case <-done:
+				return &CancelError{PC: m.PC, ICount: m.ICount, Cause: ctx.Err()}
+			default:
+			}
+		}
+		if m.Watchdog != nil {
+			if err := m.Watchdog(m); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
