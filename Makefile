@@ -18,10 +18,11 @@ vet:
 	$(GO) vet ./...
 
 # Race-hammers the observability layer (shared metrics registry + tracer),
-# the parallel experiment scheduler (a full concurrent study sweep) and the
-# event-trace recorder/replayer it drives.
+# the parallel experiment scheduler (a full concurrent study sweep, cache
+# sweeps included), the event-trace recorder/replayer it drives and the
+# memory-hierarchy simulator attached across worker threads.
 race:
-	$(GO) test -race -timeout $(TEST_TIMEOUT) ./internal/obs/... ./internal/study/... ./internal/etrace/...
+	$(GO) test -race -timeout $(TEST_TIMEOUT) ./internal/obs/... ./internal/study/... ./internal/etrace/... ./internal/memsim/...
 
 # The chaos suite: drives full scheduler sweeps through the deterministic
 # fault injector (internal/chaos) under the race detector — worker panics,
@@ -31,16 +32,21 @@ chaos:
 	$(GO) test -race -timeout $(TEST_TIMEOUT) -run 'TestChaos' -v .
 	$(GO) test -race -timeout $(TEST_TIMEOUT) ./internal/chaos/...
 
-# Short fuzzing budgets for the binary-format parsers: the event-trace
-# decoder and the JSON profile envelope.  Neither may panic on any input.
+# Short fuzzing budgets for the text/binary-format parsers: the
+# event-trace decoder, the JSON profile envelope and the cache-geometry
+# grammar.  None may panic on any input.
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzReplay -fuzztime 10s ./internal/etrace
 	$(GO) test -run xxx -fuzz FuzzLoad -fuzztime 10s ./internal/trace
+	$(GO) test -run xxx -fuzz FuzzCacheConfig -fuzztime 10s ./internal/memsim
 
-# One pass over every table/figure benchmark plus the obs on/off pair.
+# One pass over every table/figure benchmark, the obs on/off pair, the
+# cache-geometry sweep and the simulator hot path.
 bench:
 	$(GO) test -bench . -benchtime 1x
+	$(GO) test -bench BenchmarkMemSim -benchtime 1x ./internal/memsim
 
 # Same pass, recorded as a dated machine-readable log (go test -json).
 bench-json:
 	$(GO) test -bench . -benchtime 1x -json > BENCH_$(shell date +%Y-%m-%d).json
+	$(GO) test -bench BenchmarkMemSim -benchtime 1x -json ./internal/memsim >> BENCH_$(shell date +%Y-%m-%d).json

@@ -509,3 +509,54 @@ func BenchmarkSweepReplay(b *testing.B) {
 	b.ReportMetric(float64(len(configs)), "configs")
 	b.ReportMetric(float64(execs), "guest_execs")
 }
+
+// BenchmarkSweepCache measures the memory-hierarchy study: four cache
+// geometries simulated off a single recorded guest execution.  Reports
+// the off-chip traffic of the smallest and largest hierarchy (the spread
+// the sweep exists to expose) and asserts the one-execution guarantee.
+func BenchmarkSweepCache(b *testing.B) {
+	s := benchStudy(b)
+	native, err := s.NativeICount()
+	if err != nil {
+		b.Fatalf("native: %v", err)
+	}
+	caches := []string{
+		"l1=8k/2/64",
+		"l1=32k/8/64,l2=256k/8/64",
+		"l1=32k/8/64,l2=256k/8/64,llc=2m/16/64",
+		"l1=64k/8/64,l2=512k/8/64,llc=8m/16/64",
+	}
+	var first, last *study.RunResult
+	for i := 0; i < b.N; i++ {
+		sch := study.NewScheduler(s, 4)
+		pend := make([]*study.Pending, len(caches))
+		for j, c := range caches {
+			pend[j] = sch.Submit(study.RunConfig{
+				Kind: study.RunTQUAD, SliceInterval: native / 64,
+				IncludeStack: true, Cache: c,
+			})
+		}
+		if errs := sch.Flush(); len(errs) > 0 {
+			b.Fatalf("sweep: %v", errs)
+		}
+		for j, p := range pend {
+			res, err := p.Wait()
+			if err != nil {
+				b.Fatalf("cache %s: %v", caches[j], err)
+			}
+			if j == 0 {
+				first = res
+			}
+			if j == len(caches)-1 {
+				last = res
+			}
+		}
+		if execs := sch.GuestExecutions(); execs != 1 {
+			b.Fatalf("sweep of %d hierarchies used %d guest executions, want 1", len(caches), execs)
+		}
+		sch.Close()
+	}
+	b.ReportMetric(float64(len(caches)), "hierarchies")
+	b.ReportMetric(float64(first.Mem.OffChipBytes()), "offchip_small_bytes")
+	b.ReportMetric(float64(last.Mem.OffChipBytes()), "offchip_large_bytes")
+}

@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	tquad [-config small|study] [-slice N[,N...]] [-jobs N]
+//	tquad [-config small|study] [-slice N[,N...]] [-cache SPEC[;SPEC...]]
+//	      [-jobs N]
 //	      [-timeout D] [-max-icount N] [-retries N] [-resume DIR]
 //	      [-stack include|exclude] [-ignore-libs]
 //	      [-metric reads|writes|both] [-kernels top|last|all]
@@ -18,7 +19,17 @@
 // and prints each run's charts and statistics in interval order.  If
 // any run fails the command reports every failure and exits non-zero.
 // The export flags (-csv, -json, -svg, -metrics, -trace, -journal)
-// apply to single-interval runs only.
+// apply to single runs only.
+//
+// -cache additionally simulates a memory hierarchy (set-associative LRU
+// caches with write-back/write-allocate plus a DRAM open-row model) over
+// the same access stream, e.g. -cache l1=32k/8/64,l2=256k/8/64,llc=8m/16/64
+// (per level: capacity/ways/line-size; k/m/g suffixes allowed).  The run
+// gains a per-kernel hit-rate/off-chip table, an off-chip bytes-per-slice
+// chart and a hierarchy digest.  A semicolon-separated list of
+// hierarchies sweeps cache geometries: all of them — crossed with every
+// -slice interval — are profiled off a single recorded guest execution
+// and a closing comparison table ranks the geometries.
 //
 // Execution is supervised: SIGINT/SIGTERM (and the -timeout deadline)
 // stop the guest at its next basic block and exit cleanly, removing any
@@ -51,11 +62,12 @@ import (
 	"os/signal"
 	"sort"
 	"strconv"
-	"strings"
 	"syscall"
 
+	"tquad/internal/cliutil"
 	"tquad/internal/core"
 	"tquad/internal/etrace"
+	"tquad/internal/memsim"
 	"tquad/internal/obs"
 	"tquad/internal/pin"
 	"tquad/internal/plot"
@@ -71,6 +83,7 @@ func main() {
 	var (
 		config     = flag.String("config", "small", "workload configuration: small or study")
 		slice      = flag.String("slice", "0", "time slice interval(s) in instructions, comma-separated (0 = ~64 slices); more than one runs a parallel sweep")
+		cache      = flag.String("cache", "", "simulate a cache hierarchy, e.g. l1=32k/8/64,l2=256k/8/64,llc=8m/16/64; semicolon-separated list sweeps hierarchies off one recorded execution")
 		jobs       = flag.Int("jobs", 0, "maximum concurrently executing runs in a -slice sweep (0 = GOMAXPROCS)")
 		stack      = flag.String("stack", "include", "stack-area accesses: include or exclude")
 		ignoreLibs = flag.Bool("ignore-libs", false, "exclude OS/library routine bandwidth")
@@ -113,16 +126,23 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	caches, err := parseCaches(*cache)
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	if len(intervals) > 1 {
+	// A sweep is any invocation with more than one run: several slice
+	// intervals, several cache hierarchies, or both (the cross product).
+	sweep := len(intervals) > 1 || len(caches) > 1
+	if sweep {
 		if *csv || *jsonFile != "" || *svgFile != "" || *metricsOut != "" || *traceOut != "" || *journalOut != "" {
-			log.Fatal("-csv, -json, -svg, -metrics, -trace and -journal apply to single-interval runs only")
+			log.Fatal("-csv, -json, -svg, -metrics, -trace and -journal apply to single runs only")
 		}
 		if *recordOut != "" {
-			log.Fatal("-record applies to single-interval runs only")
+			log.Fatal("-record applies to single runs only")
 		}
 	} else if *retries != 0 || *resume != "" {
-		log.Fatal("-retries and -resume apply to multi-interval sweeps only")
+		log.Fatal("-retries and -resume apply to sweeps only")
 	}
 
 	// SIGINT/SIGTERM (and -timeout) cancel the run context: the guest
@@ -143,6 +163,7 @@ func main() {
 	if *replayIn != "" {
 		err := runReplay(ctx, *replayIn, &replayOpts{
 			intervals:    intervals,
+			caches:       caches,
 			includeStack: includeStack,
 			ignoreLibs:   *ignoreLibs,
 			stack:        *stack,
@@ -162,9 +183,9 @@ func main() {
 		return
 	}
 
-	if len(intervals) > 1 {
+	if sweep {
 		sup := supervision{ctx: ctx, retries: *retries, resume: *resume, budget: budget}
-		if err := runSweep(cfg, intervals, includeStack, *ignoreLibs, *jobs, *metric, *kernels, *width, sup); err != nil {
+		if err := runSweep(cfg, intervals, caches, includeStack, *ignoreLibs, *jobs, *metric, *kernels, *width, sup); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -201,6 +222,17 @@ func main() {
 		IncludeStack:  includeStack,
 		ExcludeLibs:   *ignoreLibs,
 	})
+	var memTool *memsim.Tool
+	if len(caches) == 1 {
+		memTool, err = memsim.Attach(e, memsim.Options{
+			Config:        caches[0],
+			SliceInterval: interval,
+			ExcludeLibs:   *ignoreLibs,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
 	var (
 		recFile *os.File
 		recBuf  *bufio.Writer
@@ -262,6 +294,9 @@ func main() {
 		m.PublishMetrics(o.Metrics)
 		e.PublishMetrics(o.Metrics)
 		tool.PublishMetrics(o.Metrics)
+		if memTool != nil {
+			memTool.PublishMetrics(o.Metrics)
+		}
 		if prof.TotalInstr > 0 {
 			o.Metrics.Gauge("tquad_run_slowdown").Set(float64(m.Time()) / float64(prof.TotalInstr))
 		}
@@ -305,6 +340,9 @@ func main() {
 	}
 	printCharts(prof, names, *metric, includeStack, *width)
 	fmt.Print(summaryTable(prof, names, includeStack))
+	if memTool != nil {
+		printMemSection(memTool.Snapshot(), names, *width)
+	}
 
 	// End-of-run overhead accounting — the live analogue of the paper's
 	// Table III / Section V.A breakdown.
@@ -320,6 +358,7 @@ func main() {
 // replayOpts carries the output configuration of a -replay invocation.
 type replayOpts struct {
 	intervals    []uint64
+	caches       []memsim.Config
 	includeStack bool
 	ignoreLibs   bool
 	stack        string
@@ -334,16 +373,28 @@ type replayOpts struct {
 	journalOut   string
 }
 
-// runReplay profiles a recorded event trace at each requested interval,
-// sequentially — replays are cheap enough that a scheduler would be
-// overkill, and they share no state.
+// runReplay profiles a recorded event trace at each requested interval
+// (crossed with each requested cache hierarchy), sequentially — replays
+// are cheap enough that a scheduler would be overkill, and they share no
+// state.
 func runReplay(ctx context.Context, path string, o *replayOpts) error {
-	for i, iv := range o.intervals {
-		if i > 0 {
-			fmt.Println()
+	mcs := []*memsim.Config{nil}
+	if len(o.caches) > 0 {
+		mcs = mcs[:0]
+		for i := range o.caches {
+			mcs = append(mcs, &o.caches[i])
 		}
-		if err := replayOne(ctx, path, iv, o); err != nil {
-			return err
+	}
+	first := true
+	for _, iv := range o.intervals {
+		for _, mc := range mcs {
+			if !first {
+				fmt.Println()
+			}
+			first = false
+			if err := replayOne(ctx, path, iv, mc, o); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -351,7 +402,7 @@ func runReplay(ctx context.Context, path string, o *replayOpts) error {
 
 // replayOne replays the trace once through the tQUAD tool, mirroring the
 // live single-run path's output (charts, statistics, exports).
-func replayOne(ctx context.Context, path string, interval uint64, o *replayOpts) error {
+func replayOne(ctx context.Context, path string, interval uint64, mc *memsim.Config, o *replayOpts) error {
 	var ob *obs.Observer
 	if o.metricsOut != "" || o.traceOut != "" || o.journalOut != "" {
 		ob = obs.NewObserver()
@@ -390,6 +441,17 @@ func replayOne(ctx context.Context, path string, interval uint64, o *replayOpts)
 		IncludeStack:  o.includeStack,
 		ExcludeLibs:   o.ignoreLibs,
 	})
+	var memTool *memsim.Tool
+	if mc != nil {
+		memTool, err = memsim.Attach(rp, memsim.Options{
+			Config:        *mc,
+			SliceInterval: interval,
+			ExcludeLibs:   o.ignoreLibs,
+		})
+		if err != nil {
+			return err
+		}
+	}
 	instrument.End()
 
 	replay := ob.Tracer().Start("replay")
@@ -441,6 +503,9 @@ func replayOne(ctx context.Context, path string, interval uint64, o *replayOpts)
 	} else {
 		printCharts(prof, names, o.metric, o.includeStack, o.width)
 		fmt.Print(summaryTable(prof, names, o.includeStack))
+		if memTool != nil {
+			printMemSection(memTool.Snapshot(), names, o.width)
+		}
 		fmt.Println()
 		fmt.Print(tool.Breakdown().String())
 	}
@@ -449,6 +514,9 @@ func replayOne(ctx context.Context, path string, interval uint64, o *replayOpts)
 	if ob != nil {
 		rp.PublishMetrics(ob.Metrics)
 		tool.PublishMetrics(ob.Metrics)
+		if memTool != nil {
+			memTool.PublishMetrics(ob.Metrics)
+		}
 		if prof.TotalInstr > 0 {
 			ob.Metrics.Gauge("tquad_run_slowdown").Set(float64(rp.Time()) / float64(prof.TotalInstr))
 		}
@@ -467,9 +535,11 @@ type supervision struct {
 	budget  uint64
 }
 
-// runSweep executes one tQUAD run per interval through the parallel
-// scheduler and prints each run's output in interval order.
-func runSweep(cfg wfs.Config, intervals []uint64, includeStack, ignoreLibs bool, jobs int, metric, kernels string, width int, sup supervision) error {
+// runSweep executes one tQUAD run per interval×hierarchy combination
+// through the parallel scheduler and prints each run's output in sweep
+// order.  In replay mode (the scheduler default) the whole sweep shares
+// one recorded guest execution, however many hierarchies it compares.
+func runSweep(cfg wfs.Config, intervals []uint64, caches []memsim.Config, includeStack, ignoreLibs bool, jobs int, metric, kernels string, width int, sup supervision) error {
 	s, err := study.New(cfg)
 	if err != nil {
 		return err
@@ -499,14 +569,24 @@ func runSweep(cfg wfs.Config, intervals []uint64, includeStack, ignoreLibs bool,
 		}
 		resolved[i] = iv
 	}
-	pend := make([]*study.Pending, len(resolved))
-	for i, iv := range resolved {
-		pend[i] = sch.Submit(study.RunConfig{
-			Kind:          study.RunTQUAD,
-			SliceInterval: iv,
-			IncludeStack:  includeStack,
-			ExcludeLibs:   ignoreLibs,
-		})
+	cacheKeys := []string{""}
+	if len(caches) > 0 {
+		cacheKeys = cacheKeys[:0]
+		for _, c := range caches {
+			cacheKeys = append(cacheKeys, c.Key())
+		}
+	}
+	pend := make([]*study.Pending, 0, len(resolved)*len(cacheKeys))
+	for _, iv := range resolved {
+		for _, ck := range cacheKeys {
+			pend = append(pend, sch.Submit(study.RunConfig{
+				Kind:          study.RunTQUAD,
+				SliceInterval: iv,
+				IncludeStack:  includeStack,
+				ExcludeLibs:   ignoreLibs,
+				Cache:         ck,
+			}))
+		}
 	}
 	// Drain the sweep before printing: any failure means a non-zero exit
 	// with no partial output.
@@ -514,8 +594,9 @@ func runSweep(cfg wfs.Config, intervals []uint64, includeStack, ignoreLibs bool,
 		for _, e := range errs {
 			log.Print(e)
 		}
-		return fmt.Errorf("%d of %d runs failed", len(errs), len(resolved))
+		return fmt.Errorf("%d of %d runs failed", len(errs), len(pend))
 	}
+	memProfs := make(map[uint64][]*memsim.Profile, len(resolved))
 	for i, p := range pend {
 		res, err := p.Wait()
 		if err != nil {
@@ -531,10 +612,58 @@ func runSweep(cfg wfs.Config, intervals []uint64, includeStack, ignoreLibs bool,
 		names := kernelSet(kernels, prof)
 		printCharts(prof, names, metric, includeStack, width)
 		fmt.Print(summaryTable(prof, names, includeStack))
+		if res.Mem != nil {
+			printMemSection(res.Mem, names, width)
+			memProfs[prof.SliceInterval] = append(memProfs[prof.SliceInterval], res.Mem)
+		}
 		fmt.Println()
 		fmt.Print(res.Breakdown.String())
 	}
+	// With several hierarchies in play, close with the side-by-side
+	// geometry comparison, one table per slice interval in sweep order.
+	if len(caches) > 1 {
+		for _, iv := range resolved {
+			fmt.Printf("\ncache sweep comparison (slice %d):\n", iv)
+			fmt.Print(study.RenderCacheSweep(memProfs[iv]))
+		}
+	}
 	return nil
+}
+
+// printMemSection prints the memory-hierarchy results for one run: the
+// off-chip (miss-bandwidth) chart, the per-kernel hit-rate/off-chip
+// columns, and the hierarchy digest.
+func printMemSection(mp *memsim.Profile, names []string, width int) {
+	fmt.Println()
+	fmt.Print(study.RenderMemFigure("off-chip (bytes per slice)", mp, names, width))
+	fmt.Println()
+	fmt.Print(memSummaryTable(mp, names))
+	fmt.Println()
+	fmt.Print(mp.String())
+}
+
+// memSummaryTable renders the new per-kernel report columns: hit rate
+// per simulated level and the kernel's effective off-chip traffic.
+func memSummaryTable(mp *memsim.Profile, names []string) string {
+	cols := []string{"kernel"}
+	for _, lv := range mp.Levels {
+		cols = append(cols, lv.Name+" hit%")
+	}
+	cols = append(cols, "fill bytes", "wb bytes", "off-chip bytes")
+	t := report.NewTable(cols...)
+	for _, n := range names {
+		k, ok := mp.Kernel(n)
+		if !ok {
+			continue
+		}
+		row := []string{n}
+		for i := range mp.Levels {
+			row = append(row, report.F2(100*k.HitRate(i)))
+		}
+		row = append(row, report.U(k.Total.FillBytes), report.U(k.Total.WBBytes), report.U(k.OffChip()))
+		t.AddRow(row...)
+	}
+	return t.String()
 }
 
 // parseSlices parses the -slice flag: a comma-separated list of
@@ -543,24 +672,27 @@ func runSweep(cfg wfs.Config, intervals []uint64, includeStack, ignoreLibs bool,
 // dropped, and duplicate intervals collapse to the first occurrence so a
 // sweep never runs — or prints — the same configuration twice.
 func parseSlices(s string) ([]uint64, error) {
-	var out []uint64
-	seen := make(map[uint64]bool)
-	for _, part := range strings.Split(s, ",") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			return nil, fmt.Errorf("bad -slice %q: empty element", s)
-		}
-		iv, err := strconv.ParseUint(part, 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("bad -slice value %q", part)
-		}
-		if seen[iv] {
-			continue
-		}
-		seen[iv] = true
-		out = append(out, iv)
+	return cliutil.ParseList("-slice", s, ",",
+		func(part string) (uint64, error) {
+			iv, err := strconv.ParseUint(part, 10, 64)
+			if err != nil {
+				return 0, fmt.Errorf("not a non-negative integer")
+			}
+			return iv, nil
+		},
+		func(iv uint64) string { return strconv.FormatUint(iv, 10) })
+}
+
+// parseCaches parses the -cache flag: a semicolon-separated list of
+// hierarchy descriptions (levels within one hierarchy are
+// comma-separated, so the list separator must differ).  Hierarchies that
+// canonicalise to the same geometry collapse to one run.  An empty flag
+// leaves the simulator detached.
+func parseCaches(s string) ([]memsim.Config, error) {
+	if s == "" {
+		return nil, nil
 	}
-	return out, nil
+	return cliutil.ParseList("-cache", s, ";", memsim.ParseConfig, memsim.Config.Key)
 }
 
 func printCharts(prof *core.Profile, names []string, metric string, includeStack bool, width int) {

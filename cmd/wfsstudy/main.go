@@ -5,9 +5,17 @@
 //
 // Usage:
 //
-//	wfsstudy [-config small|study] [-jobs N] [-timeout D] [-run-timeout D]
+//	wfsstudy [-config small|study] [-cache SPEC[;SPEC...]] [-jobs N]
+//	         [-timeout D] [-run-timeout D]
 //	         [-max-icount N] [-retries N] [-resume DIR]
 //	         [-metrics FILE] [-trace FILE] [-journal FILE]
+//
+// -cache adds the memory-hierarchy study: each semicolon-separated
+// hierarchy (e.g. l1=32k/8/64,l2=256k/8/64,llc=8m/16/64) is simulated
+// over the Figure 6 run — all of them replayed off the sweep's single
+// recorded guest execution — and compared in an off-chip bandwidth
+// table, with an off-chip variant of the Figure 6 chart and a per-phase
+// off-chip column companion to Table IV for the first hierarchy.
 //
 // Every experiment in the sweep is submitted to the parallel scheduler
 // up front and executes concurrently, bounded by -jobs (default
@@ -43,7 +51,9 @@ import (
 	"syscall"
 	"time"
 
+	"tquad/internal/cliutil"
 	"tquad/internal/cluster"
+	"tquad/internal/memsim"
 	"tquad/internal/obs"
 	"tquad/internal/study"
 	"tquad/internal/wfs"
@@ -51,6 +61,7 @@ import (
 
 // options collects the sweep's supervision and export settings.
 type options struct {
+	caches     []memsim.Config
 	jobs       int
 	timeout    time.Duration
 	runTimeout time.Duration
@@ -67,6 +78,7 @@ func main() {
 	log.SetPrefix("wfsstudy: ")
 	var opt options
 	config := flag.String("config", "study", "workload configuration: small or study")
+	cache := flag.String("cache", "", "simulate cache hierarchies over the Figure 6 run, e.g. l1=32k/8/64,l2=256k/8/64; semicolon-separated list sweeps geometries")
 	flag.IntVar(&opt.jobs, "jobs", 0, "maximum concurrently executing experiments (0 = GOMAXPROCS)")
 	flag.DurationVar(&opt.timeout, "timeout", 0, "whole-sweep deadline (0 = none)")
 	flag.DurationVar(&opt.runTimeout, "run-timeout", 0, "per-experiment wall-clock bound (0 = none)")
@@ -83,6 +95,13 @@ func main() {
 	}
 	if opt.retries < 0 {
 		log.Fatalf("bad -retries %d: must be >= 0", opt.retries)
+	}
+	if *cache != "" {
+		var err error
+		opt.caches, err = cliutil.ParseList("-cache", *cache, ";", memsim.ParseConfig, memsim.Config.Key)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 	// SIGINT/SIGTERM cancel the sweep context; the deferred scheduler
 	// and checkpoint shutdown inside run then clean temp traces and
@@ -161,6 +180,23 @@ func run(ctx context.Context, config string, opt options) error {
 	pFig7 := sch.Submit(study.RunConfig{Kind: study.RunTQUAD, SliceInterval: iv256, IncludeStack: true})
 	pPhases := sch.Submit(study.RunConfig{Kind: study.RunTQUAD, SliceInterval: 5000, IncludeStack: true})
 
+	// The memory-hierarchy study: every requested geometry simulated over
+	// the Figure 6 run, plus the first geometry at the phase interval for
+	// the Table IV off-chip column.  In replay mode these all feed off the
+	// sweep's one recorded guest execution.
+	pCaches := make([]*study.Pending, len(opt.caches))
+	for i, mc := range opt.caches {
+		pCaches[i] = sch.Submit(study.RunConfig{
+			Kind: study.RunTQUAD, SliceInterval: iv64, IncludeStack: true, Cache: mc.Key(),
+		})
+	}
+	var pPhaseCache *study.Pending
+	if len(opt.caches) > 0 {
+		pPhaseCache = sch.Submit(study.RunConfig{
+			Kind: study.RunTQUAD, SliceInterval: 5000, IncludeStack: true, Cache: opt.caches[0].Key(),
+		})
+	}
+
 	// The slowdown grid shares the scheduler, so any of its
 	// configurations that coincide with a figure's reuse that run.
 	rows, rowsErr := sch.Slowdown([]uint64{native / 2000, native / 64, native / 16})
@@ -206,6 +242,22 @@ func run(ctx context.Context, config string, opt options) error {
 	if err != nil {
 		return err
 	}
+	memProfs := make([]*memsim.Profile, len(pCaches))
+	for i, p := range pCaches {
+		res, err := p.Wait()
+		if err != nil {
+			return err
+		}
+		memProfs[i] = res.Mem
+	}
+	var phaseMem *memsim.Profile
+	if pPhaseCache != nil {
+		res, err := pPhaseCache.Wait()
+		if err != nil {
+			return err
+		}
+		phaseMem = res.Mem
+	}
 
 	fmt.Printf("## Case study: hArtes-wfs-like workload (%s configuration)\n\n", config)
 	fmt.Printf("1 primary source, %d secondary sources (speakers), %d frames of %d samples, %d-point FFT.\n",
@@ -243,6 +295,22 @@ func run(ctx context.Context, config string, opt options) error {
 	fmt.Println("```")
 	fmt.Print(study.RenderTableIV(phases, phasesRes.Temporal.NumSlices))
 	fmt.Println("```")
+
+	if len(memProfs) > 0 {
+		fmt.Println("### Memory hierarchy — effective off-chip bandwidth (simulated)")
+		fmt.Println()
+		fmt.Println(study.RenderCacheSweep(memProfs))
+		fmt.Printf("#### Off-chip bytes per slice, %s\n\n", memProfs[0].Config.Key())
+		fmt.Println("```")
+		fmt.Print(study.RenderMemFigure("off-chip bytes per slice", memProfs[0], wfs.TopTenKernels(), 64))
+		fmt.Println("```")
+		fmt.Println()
+		fmt.Println("#### Table IV companion — per-phase off-chip traffic")
+		fmt.Println()
+		fmt.Println("```")
+		fmt.Print(study.RenderPhaseOffChip(phases, phaseMem))
+		fmt.Println("```")
+	}
 
 	fmt.Println("### Section V.A — instrumentation slowdown (simulated)")
 	fmt.Println()

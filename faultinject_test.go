@@ -179,7 +179,8 @@ func chaosStudy(t *testing.T) *study.Study {
 }
 
 // chaosConfigs is the sweep the chaos scenarios run: one config per run
-// kind, plus a second tQUAD slice width.
+// kind, a second tQUAD slice width, and a tQUAD run with the memory
+// hierarchy attached (so replay faults also hit the memsim path).
 func chaosConfigs() []study.RunConfig {
 	return []study.RunConfig{
 		{Kind: study.RunNative},
@@ -187,6 +188,8 @@ func chaosConfigs() []study.RunConfig {
 		{Kind: study.RunQUAD, IncludeStack: true},
 		{Kind: study.RunTQUAD, SliceInterval: 200_000, IncludeStack: true},
 		{Kind: study.RunTQUAD, SliceInterval: 800_000},
+		{Kind: study.RunTQUAD, SliceInterval: 200_000, IncludeStack: true,
+			Cache: "l1=1k/2/64,l2=8k/4/64"},
 	}
 }
 
@@ -207,6 +210,14 @@ func renderResult(res *study.RunResult) string {
 		for _, kp := range res.Temporal.Kernels {
 			fmt.Fprintf(&b, "  kernel %s span=%d ri=%d re=%d wi=%d we=%d\n",
 				kp.Name, kp.ActivitySpan, kp.TotalReadIncl, kp.TotalReadExcl, kp.TotalWriteIncl, kp.TotalWriteExcl)
+		}
+	}
+	if res.Mem != nil {
+		fmt.Fprintf(&b, "  memsim %s accesses=%d offchip=%d memcost=%d\n",
+			res.Mem.Config.Key(), res.Mem.Accesses, res.Mem.OffChipBytes(), res.Mem.MemCost)
+		for _, kp := range res.Mem.Kernels {
+			fmt.Fprintf(&b, "  memkernel %s offchip=%d hits0=%d misses0=%d\n",
+				kp.Name, kp.OffChip(), kp.Total.Hits[0], kp.Total.Misses[0])
 		}
 	}
 	return b.String()

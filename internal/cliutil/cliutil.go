@@ -1,0 +1,41 @@
+// Package cliutil holds the small flag-parsing helpers shared by the
+// command-line tools.  The sweep flags (-slice, -cache) all accept a
+// separator-delimited list of values; the splitting, trimming,
+// empty-element rejection and order-preserving deduplication grew ad hoc
+// per command, so the one canonical implementation lives here.
+package cliutil
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseList splits s on sep, trims surrounding whitespace from each
+// element, parses every element with parse, and collapses duplicates —
+// two elements are duplicates when key reports the same canonical string
+// — keeping the first occurrence's position.  Empty elements (a leading,
+// trailing or doubled separator, a whitespace-only element, or an empty
+// s) are rejected rather than silently dropped: a sweep must never
+// quietly run fewer configurations than the user typed.  flagName only
+// decorates error messages (e.g. "-slice").
+func ParseList[T any](flagName, s, sep string, parse func(string) (T, error), key func(T) string) ([]T, error) {
+	var out []T
+	seen := make(map[string]bool)
+	for _, part := range strings.Split(s, sep) {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("bad %s %q: empty element", flagName, s)
+		}
+		v, err := parse(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad %s value %q: %w", flagName, part, err)
+		}
+		k := key(v)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,241 @@
+package memsim
+
+import (
+	"fmt"
+	"math/bits"
+	"strconv"
+	"strings"
+)
+
+// MaxLevels is the deepest hierarchy the simulator models (L1, L2, LLC).
+const MaxLevels = 3
+
+// levelNames are the accepted level labels, in hierarchy order.
+var levelNames = [MaxLevels]string{"l1", "l2", "llc"}
+
+// Geometry caps.  They bound both the parser (hostile CLI input must not
+// allocate unbounded state) and the packed set arrays.
+const (
+	minLineSize = 8    // at least the widest guest access
+	maxLineSize = 1024 // a line larger than this is not a cache
+	maxWays     = 64   // bounds the LRU probe loop
+	maxLines    = 1 << 22
+	maxSizeWord = 1 << 40 // parse-time cap on the size operand
+)
+
+// LevelConfig is the geometry of one cache level.
+type LevelConfig struct {
+	Name     string // "l1", "l2" or "llc"
+	Size     uint64 // capacity in bytes
+	Ways     int    // associativity
+	LineSize int    // line size in bytes; identical across levels
+}
+
+// Sets returns the number of sets (Size / (Ways*LineSize)); the
+// validator guarantees it is a non-zero power of two.
+func (lc LevelConfig) Sets() uint64 {
+	return lc.Size / (uint64(lc.Ways) * uint64(lc.LineSize))
+}
+
+// DRAMConfig is the off-chip model: a single open-row buffer (row hits
+// are cheap, row conflicts pay a precharge+activate) and flat per-line
+// fill/write-back transfer costs, all in instruction-equivalent units.
+// It claims nothing about banks, channels, scheduling or refresh — see
+// DESIGN.md.
+type DRAMConfig struct {
+	RowSize       uint64 // row-buffer span in bytes (power of two)
+	FillCost      uint64 // per line fetched from DRAM
+	WritebackCost uint64 // per dirty line written back to DRAM
+	RowHitCost    uint64 // per access landing in the open row
+	RowMissCost   uint64 // per access that opens a new row
+}
+
+// Default DRAM model parameters.
+const (
+	DefaultRowSize       = 2048
+	DefaultFillCost      = 100
+	DefaultWritebackCost = 100
+	DefaultRowHitCost    = 30
+	DefaultRowMissCost   = 120
+)
+
+// Config is one full memory-hierarchy configuration.
+type Config struct {
+	Levels []LevelConfig // hierarchy order: L1 first; 1 to MaxLevels entries
+	DRAM   DRAMConfig
+}
+
+// LineSize returns the (shared) cache line size in bytes.
+func (c Config) LineSize() int { return c.Levels[0].LineSize }
+
+// Key renders the canonical configuration string: every level as
+// name=size/ways/line with the size in plain bytes.  Equal
+// configurations render equal keys, so Key doubles as the sweep
+// deduplication key and the RunConfig cache key.
+func (c Config) Key() string {
+	parts := make([]string, len(c.Levels))
+	for i, lv := range c.Levels {
+		parts[i] = fmt.Sprintf("%s=%d/%d/%d", lv.Name, lv.Size, lv.Ways, lv.LineSize)
+	}
+	return strings.Join(parts, ",")
+}
+
+// String returns the canonical key.
+func (c Config) String() string { return c.Key() }
+
+// setDefaults fills the zero DRAM fields.
+func (c *Config) setDefaults() {
+	if c.DRAM.RowSize == 0 {
+		c.DRAM.RowSize = DefaultRowSize
+	}
+	if c.DRAM.FillCost == 0 {
+		c.DRAM.FillCost = DefaultFillCost
+	}
+	if c.DRAM.WritebackCost == 0 {
+		c.DRAM.WritebackCost = DefaultWritebackCost
+	}
+	if c.DRAM.RowHitCost == 0 {
+		c.DRAM.RowHitCost = DefaultRowHitCost
+	}
+	if c.DRAM.RowMissCost == 0 {
+		c.DRAM.RowMissCost = DefaultRowMissCost
+	}
+}
+
+// Validate checks the whole hierarchy: level names in order, every
+// geometry well-formed (power-of-two sets, bounded ways/lines), one
+// shared line size, capacities non-decreasing outward, and a
+// power-of-two DRAM row no smaller than the line.
+func (c *Config) Validate() error {
+	if len(c.Levels) == 0 {
+		return fmt.Errorf("memsim: no cache levels")
+	}
+	if len(c.Levels) > MaxLevels {
+		return fmt.Errorf("memsim: %d levels exceeds max %d", len(c.Levels), MaxLevels)
+	}
+	c.setDefaults()
+	for i, lv := range c.Levels {
+		if lv.Name != levelNames[i] {
+			return fmt.Errorf("memsim: level %d is %q, want %q (levels must appear in l1,l2,llc order)", i, lv.Name, levelNames[i])
+		}
+		if err := validateLevel(lv); err != nil {
+			return err
+		}
+		if lv.LineSize != c.Levels[0].LineSize {
+			return fmt.Errorf("memsim: %s line size %d differs from l1 line size %d", lv.Name, lv.LineSize, c.Levels[0].LineSize)
+		}
+		if i > 0 && lv.Size < c.Levels[i-1].Size {
+			return fmt.Errorf("memsim: %s capacity %d smaller than %s capacity %d", lv.Name, lv.Size, c.Levels[i-1].Name, c.Levels[i-1].Size)
+		}
+	}
+	d := c.DRAM
+	if d.RowSize < uint64(c.LineSize()) || bits.OnesCount64(d.RowSize) != 1 {
+		return fmt.Errorf("memsim: DRAM row size %d must be a power of two >= line size %d", d.RowSize, c.LineSize())
+	}
+	return nil
+}
+
+func validateLevel(lv LevelConfig) error {
+	if lv.LineSize < minLineSize || lv.LineSize > maxLineSize || bits.OnesCount(uint(lv.LineSize)) != 1 {
+		return fmt.Errorf("memsim: %s line size %d must be a power of two in [%d,%d]", lv.Name, lv.LineSize, minLineSize, maxLineSize)
+	}
+	if lv.Ways < 1 || lv.Ways > maxWays {
+		return fmt.Errorf("memsim: %s associativity %d must be in [1,%d]", lv.Name, lv.Ways, maxWays)
+	}
+	waysLine := uint64(lv.Ways) * uint64(lv.LineSize)
+	if lv.Size == 0 || lv.Size%waysLine != 0 {
+		return fmt.Errorf("memsim: %s size %d is not a multiple of ways*line = %d", lv.Name, lv.Size, waysLine)
+	}
+	sets := lv.Size / waysLine
+	if bits.OnesCount64(sets) != 1 {
+		return fmt.Errorf("memsim: %s has %d sets, want a non-zero power of two", lv.Name, sets)
+	}
+	if lines := lv.Size / uint64(lv.LineSize); lines > maxLines {
+		return fmt.Errorf("memsim: %s holds %d lines, exceeding the cap %d", lv.Name, lines, maxLines)
+	}
+	return nil
+}
+
+// ParseConfig parses one hierarchy description of the form
+//
+//	l1=SIZE/WAYS/LINE[,l2=SIZE/WAYS/LINE[,llc=SIZE/WAYS/LINE]]
+//
+// where SIZE accepts k/m/g suffixes (powers of 1024, case-insensitive).
+// Examples: "l1=32k/8/64", "l1=32k/8/64,l2=256k/8/64,llc=8m/16/64".
+// The returned configuration is validated; malformed or hostile input
+// (zero or non-power-of-two sets, mismatched line sizes, overflowing
+// sizes) errors cleanly.
+func ParseConfig(s string) (Config, error) {
+	var c Config
+	if strings.TrimSpace(s) == "" {
+		return c, fmt.Errorf("memsim: empty cache config")
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		name, spec, ok := strings.Cut(part, "=")
+		if !ok {
+			return c, fmt.Errorf("memsim: bad level %q (want name=size/ways/line)", part)
+		}
+		name = strings.ToLower(strings.TrimSpace(name))
+		fields := strings.Split(spec, "/")
+		if len(fields) != 3 {
+			return c, fmt.Errorf("memsim: bad level %q (want name=size/ways/line)", part)
+		}
+		size, err := parseSize(strings.TrimSpace(fields[0]))
+		if err != nil {
+			return c, fmt.Errorf("memsim: level %s size: %w", name, err)
+		}
+		ways, err := strconv.ParseUint(strings.TrimSpace(fields[1]), 10, 16)
+		if err != nil {
+			return c, fmt.Errorf("memsim: level %s ways %q", name, fields[1])
+		}
+		line, err := strconv.ParseUint(strings.TrimSpace(fields[2]), 10, 16)
+		if err != nil {
+			return c, fmt.Errorf("memsim: level %s line size %q", name, fields[2])
+		}
+		c.Levels = append(c.Levels, LevelConfig{
+			Name: name, Size: size, Ways: int(ways), LineSize: int(line),
+		})
+	}
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}
+
+// parseSize parses a byte count with an optional k/m/g suffix, guarding
+// against overflow.
+func parseSize(s string) (uint64, error) {
+	if s == "" {
+		return 0, fmt.Errorf("empty size")
+	}
+	mult := uint64(1)
+	switch s[len(s)-1] {
+	case 'k', 'K':
+		mult, s = 1<<10, s[:len(s)-1]
+	case 'm', 'M':
+		mult, s = 1<<20, s[:len(s)-1]
+	case 'g', 'G':
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	n, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	if n > maxSizeWord/mult {
+		return 0, fmt.Errorf("size %s%s overflows", s, suffixOf(mult))
+	}
+	return n * mult, nil
+}
+
+func suffixOf(mult uint64) string {
+	switch mult {
+	case 1 << 10:
+		return "k"
+	case 1 << 20:
+		return "m"
+	case 1 << 30:
+		return "g"
+	}
+	return ""
+}

@@ -1,0 +1,262 @@
+package memsim_test
+
+// Machine-driven tests: the simulator attached to a live vm.Machine via
+// pin.Engine, checking hierarchy invariants, locality sensitivity and
+// run-to-run determinism on a guest with known access behaviour.
+
+import (
+	"reflect"
+	"testing"
+
+	"tquad/internal/glibc"
+	"tquad/internal/gos"
+	"tquad/internal/hl"
+	"tquad/internal/image"
+	"tquad/internal/memsim"
+	"tquad/internal/obs"
+	"tquad/internal/pin"
+	"tquad/internal/vm"
+)
+
+// buildWalker links a guest with two kernels: "stream" scans a large
+// buffer (poor temporal locality), "spin" re-reads one word (perfect
+// locality after the first touch).
+func buildWalker(t testing.TB) *vm.Machine {
+	t.Helper()
+	b := hl.NewBuilder("t", image.Main)
+	g := b.Global("buf", 4096*8)
+	b.Func("stream", 0, func(f *hl.Fn) {
+		p := f.Local()
+		f.Set(p, f.GAddr(g))
+		i := f.Local()
+		acc := f.Local()
+		f.SetI(acc, 0)
+		f.ForRangeI(i, 0, 4096, func() {
+			f.Set(acc, f.Add(acc, f.Ld8(f.Add(p, f.ShlI(i, 3)), 0)))
+			f.St8(f.Add(p, f.ShlI(i, 3)), 0, acc)
+		})
+		f.Ret(acc)
+	})
+	b.Func("spin", 0, func(f *hl.Fn) {
+		p := f.Local()
+		f.Set(p, f.GAddr(g))
+		acc := f.Local()
+		f.SetI(acc, 0)
+		i := f.Local()
+		f.ForRangeI(i, 0, 1000, func() {
+			f.Set(acc, f.Add(acc, f.Ld8(p, 0)))
+		})
+		f.Ret(acc)
+	})
+	b.Func("main", 0, func(f *hl.Fn) {
+		k := f.Local()
+		f.ForRangeI(k, 0, 3, func() {
+			f.CallV("stream")
+			f.CallV("spin")
+		})
+		f.Ret0()
+	})
+	prog, err := hl.Link(b, glibc.Builder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := vm.New()
+	m.SetSyscallHandler(gos.New())
+	for _, img := range prog.Images() {
+		m.LoadImage(img)
+	}
+	m.Reset(prog.EntryPC)
+	return m
+}
+
+func runSim(t testing.TB, cache string, opts memsim.Options) *memsim.Profile {
+	t.Helper()
+	cfg, err := memsim.ParseConfig(cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Config = cfg
+	m := buildWalker(t)
+	e := pin.NewEngine(m)
+	tool, err := memsim.Attach(e, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	return tool.Snapshot()
+}
+
+// TestHierarchyInvariants: demand at each level equals misses of the
+// level above; DRAM fills equal last-level misses; per-kernel slice
+// sums reconcile with the global level counters.
+func TestHierarchyInvariants(t *testing.T) {
+	prof := runSim(t, "l1=1k/2/64,l2=8k/4/64,llc=64k/8/64", memsim.Options{SliceInterval: 2000})
+
+	var perKernel memsim.SlicePoint
+	for _, k := range prof.Kernels {
+		for _, p := range k.Points {
+			perKernel.Accesses += p.Accesses
+			for i := range p.Hits {
+				perKernel.Hits[i] += p.Hits[i]
+				perKernel.Misses[i] += p.Misses[i]
+			}
+			perKernel.FillBytes += p.FillBytes
+			perKernel.WBBytes += p.WBBytes
+		}
+	}
+	for i, lv := range prof.Levels {
+		if perKernel.Hits[i] != lv.Hits || perKernel.Misses[i] != lv.Misses {
+			t.Errorf("%s: kernel sums (%d,%d) != level counters (%d,%d)",
+				lv.Name, perKernel.Hits[i], perKernel.Misses[i], lv.Hits, lv.Misses)
+		}
+	}
+	if got := perKernel.Hits[0] + perKernel.Misses[0]; got != perKernel.Accesses {
+		t.Errorf("l1 demand %d != line accesses %d", got, perKernel.Accesses)
+	}
+	for i := 1; i < len(prof.Levels); i++ {
+		demand := prof.Levels[i].Hits + prof.Levels[i].Misses
+		if demand != prof.Levels[i-1].Misses {
+			t.Errorf("%s demand %d != %s misses %d",
+				prof.Levels[i].Name, demand, prof.Levels[i-1].Name, prof.Levels[i-1].Misses)
+		}
+	}
+	last := prof.Levels[len(prof.Levels)-1]
+	if prof.DRAM.Fills != last.Misses {
+		t.Errorf("DRAM fills %d != %s misses %d", prof.DRAM.Fills, last.Name, last.Misses)
+	}
+	line := uint64(prof.Config.LineSize())
+	if want := (prof.DRAM.Fills + prof.DRAM.Writebacks) * line; prof.OffChipBytes() != want {
+		t.Errorf("off-chip bytes %d != (fills+wb)*line %d", prof.OffChipBytes(), want)
+	}
+	if perKernel.FillBytes != prof.DRAM.Fills*line || perKernel.WBBytes != prof.DRAM.Writebacks*line {
+		t.Errorf("per-kernel fill/wb bytes (%d,%d) != DRAM (%d,%d)",
+			perKernel.FillBytes, perKernel.WBBytes, prof.DRAM.Fills*line, prof.DRAM.Writebacks*line)
+	}
+	if prof.DRAM.RowHits+prof.DRAM.RowMisses != prof.DRAM.Fills+prof.DRAM.Writebacks {
+		t.Errorf("row decisions %d != DRAM transfers %d",
+			prof.DRAM.RowHits+prof.DRAM.RowMisses, prof.DRAM.Fills+prof.DRAM.Writebacks)
+	}
+}
+
+// TestLocalityContrast: the streaming kernel must miss far more than the
+// spinning kernel, and a hierarchy big enough to hold the whole buffer
+// must cut off-chip traffic versus a tiny one.
+func TestLocalityContrast(t *testing.T) {
+	prof := runSim(t, "l1=1k/2/64,l2=8k/4/64", memsim.Options{SliceInterval: 2000})
+	stream, ok := prof.Kernel("stream")
+	if !ok {
+		t.Fatal("stream kernel missing")
+	}
+	spin, ok := prof.Kernel("spin")
+	if !ok {
+		t.Fatal("spin kernel missing")
+	}
+	if hr := spin.HitRate(0); hr < 0.99 {
+		t.Errorf("spin l1 hit rate %.3f, want ~1 (single hot word)", hr)
+	}
+	if stream.HitRate(0) >= spin.HitRate(0) {
+		t.Errorf("stream hit rate %.3f not below spin's %.3f", stream.HitRate(0), spin.HitRate(0))
+	}
+	if stream.OffChip() == 0 {
+		t.Error("streaming 32 KiB through a 8 KiB hierarchy produced no off-chip traffic")
+	}
+
+	big := runSim(t, "l1=32k/8/64,l2=256k/8/64", memsim.Options{SliceInterval: 2000})
+	if big.OffChipBytes() >= prof.OffChipBytes() {
+		t.Errorf("bigger hierarchy off-chip %d not below smaller's %d",
+			big.OffChipBytes(), prof.OffChipBytes())
+	}
+	// The buffer fits in the big L1, so steady-state passes (2 and 3 of
+	// stream) hit: fills bounded near one cold pass of the working set.
+	bigStream, _ := big.Kernel("stream")
+	if bigStream.Total.Misses[0] > 2*4096*8/64 {
+		t.Errorf("resident working set still missing: %d l1 misses", bigStream.Total.Misses[0])
+	}
+}
+
+// TestWritebackTraffic: stream stores to every word, so a hierarchy too
+// small to retain the buffer must write dirty lines back to DRAM.
+func TestWritebackTraffic(t *testing.T) {
+	prof := runSim(t, "l1=1k/2/64", memsim.Options{SliceInterval: 2000})
+	if prof.DRAM.Writebacks == 0 {
+		t.Fatal("no DRAM write-backs despite streaming stores through a 1 KiB cache")
+	}
+	stream, _ := prof.Kernel("stream")
+	if stream == nil || stream.Total.WBBytes == 0 {
+		t.Fatal("write-back bytes not attributed to the storing kernel")
+	}
+}
+
+// TestDeterminism: identical runs produce deeply equal profiles —
+// the property the byte-identical sweep goldens rest on.
+func TestDeterminism(t *testing.T) {
+	a := runSim(t, "l1=1k/2/64,l2=8k/4/64", memsim.Options{SliceInterval: 1000})
+	b := runSim(t, "l1=1k/2/64,l2=8k/4/64", memsim.Options{SliceInterval: 1000})
+	if !reflect.DeepEqual(a, b) {
+		t.Error("identical runs produced different profiles")
+	}
+}
+
+// TestOffChipSeries: the dense series covers every slice and sums to the
+// kernel total; RangeOffChip over the full range matches too.
+func TestOffChipSeries(t *testing.T) {
+	prof := runSim(t, "l1=1k/2/64", memsim.Options{SliceInterval: 2000})
+	stream, _ := prof.Kernel("stream")
+	series := stream.OffChipSeries(prof.NumSlices)
+	if uint64(len(series)) != prof.NumSlices {
+		t.Fatalf("series length %d, want %d", len(series), prof.NumSlices)
+	}
+	var sum uint64
+	for _, v := range series {
+		sum += v
+	}
+	if sum != stream.OffChip() {
+		t.Errorf("series sum %d != kernel off-chip %d", sum, stream.OffChip())
+	}
+	if got := stream.RangeOffChip(0, prof.NumSlices); got != stream.OffChip() {
+		t.Errorf("RangeOffChip full span %d != %d", got, stream.OffChip())
+	}
+}
+
+// TestExcludeLibsAttribution: under ExcludeLibs, library accesses fold
+// into "(outside)" but the cache totals (physical traffic) are unchanged.
+func TestExcludeLibsAttribution(t *testing.T) {
+	incl := runSim(t, "l1=1k/2/64", memsim.Options{SliceInterval: 2000})
+	excl := runSim(t, "l1=1k/2/64", memsim.Options{SliceInterval: 2000, ExcludeLibs: true})
+	if incl.Levels[0] != excl.Levels[0] || incl.DRAM != excl.DRAM {
+		t.Error("attribution policy changed physical cache traffic")
+	}
+}
+
+func TestPublishMetrics(t *testing.T) {
+	cfg, err := memsim.ParseConfig("l1=1k/2/64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := buildWalker(t)
+	e := pin.NewEngine(m)
+	tool, err := memsim.Attach(e, memsim.Options{Config: cfg, SliceInterval: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	tool.PublishMetrics(reg)
+	prof := tool.Snapshot()
+	want := map[string]uint64{
+		obs.Label("tquad_memsim_hits_total", "level", "l1"):   prof.Levels[0].Hits,
+		obs.Label("tquad_memsim_misses_total", "level", "l1"): prof.Levels[0].Misses,
+		"tquad_memsim_dram_fills_total":                       prof.DRAM.Fills,
+		"tquad_memsim_offchip_bytes_total":                    prof.OffChipBytes(),
+		"tquad_memsim_accesses_total":                         prof.Accesses,
+	}
+	for name, v := range want {
+		if got := reg.Counter(name).Value(); got != v {
+			t.Errorf("%s = %d, want %d", name, got, v)
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"tquad/internal/core"
 	"tquad/internal/etrace"
 	"tquad/internal/flatprof"
+	"tquad/internal/memsim"
 	"tquad/internal/obs"
 	"tquad/internal/pin"
 	"tquad/internal/quad"
@@ -307,6 +308,7 @@ type toolset struct {
 	flat *flatprof.Profiler
 	quad *quad.Tool
 	core *core.Tool
+	mem  *memsim.Tool
 }
 
 // attachTools attaches the configuration's tools to the event source.
@@ -330,6 +332,22 @@ func attachTools(h pin.Host, cfg RunConfig, tr *obs.Tracer) (*toolset, error) {
 			ExcludeLibs:     cfg.ExcludeLibs,
 			TracePrefetches: cfg.TracePrefetches,
 		})
+		if cfg.Cache != "" {
+			mc, err := memsim.ParseConfig(cfg.Cache)
+			if err != nil {
+				return nil, fmt.Errorf("study: cache config: %w", err)
+			}
+			// The simulator slices on the same interval as the profiler so
+			// the two per-kernel series line up column for column.
+			ts.mem, err = memsim.Attach(h, memsim.Options{
+				Config:        mc,
+				SliceInterval: cfg.SliceInterval,
+				ExcludeLibs:   cfg.ExcludeLibs,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("study: cache config: %w", err)
+			}
+		}
 	default:
 		return nil, fmt.Errorf("study: unknown run kind %d", cfg.Kind)
 	}
@@ -351,5 +369,9 @@ func (ts *toolset) collect(cfg RunConfig, res *RunResult, ro *obs.Observer) {
 		snap.SetBytes(profileBytes(res.Temporal))
 		snap.End()
 		res.Breakdown = ts.core.Breakdown()
+		if ts.mem != nil {
+			ts.mem.PublishMetrics(ro.Registry())
+			res.Mem = ts.mem.Snapshot()
+		}
 	}
 }

@@ -33,6 +33,7 @@ import (
 
 	"tquad/internal/core"
 	"tquad/internal/flatprof"
+	"tquad/internal/memsim"
 	"tquad/internal/obs"
 	"tquad/internal/phase"
 	"tquad/internal/pin"
@@ -84,6 +85,12 @@ type RunConfig struct {
 	IncludeStack    bool   // QUAD and tQUAD
 	ExcludeLibs     bool   // tQUAD only
 	TracePrefetches bool   // tQUAD only
+	// Cache, when non-empty, additionally attaches the memory-hierarchy
+	// simulator with this geometry (a memsim.ParseConfig string; use the
+	// canonical Key() form so equal hierarchies memoise together).
+	// tQUAD only.  Empty leaves memsim detached and the run byte-for-byte
+	// identical to a pre-memsim run.
+	Cache string
 }
 
 // Key renders the canonical cache key: every field that influences the
@@ -96,9 +103,15 @@ func (c RunConfig) Key() string {
 	case RunQUAD:
 		return fmt.Sprintf("quad/stack=%s", stackWord(c.IncludeStack))
 	default:
-		return fmt.Sprintf("tquad/slice=%d/stack=%s/libs=%s/prefetch=%s",
+		key := fmt.Sprintf("tquad/slice=%d/stack=%s/libs=%s/prefetch=%s",
 			c.SliceInterval, stackWord(c.IncludeStack),
 			word(c.ExcludeLibs, "main", "all"), word(c.TracePrefetches, "traced", "fast"))
+		// The cache component appears only when set, so pre-memsim keys —
+		// and everything ordered by them — are unchanged.
+		if c.Cache != "" {
+			key += "/cache=" + c.Cache
+		}
+		return key
 	}
 }
 
@@ -125,6 +138,7 @@ type RunResult struct {
 	Quad      *quad.Report           // RunQUAD
 	Temporal  *core.Profile          // RunTQUAD
 	Breakdown core.OverheadBreakdown // RunTQUAD
+	Mem       *memsim.Profile        // RunTQUAD with Cache set
 
 	// Registry and Spans hold the run's private observability, recorded
 	// into per-run sinks so concurrent runs never contend; Scheduler.Flush

@@ -11,6 +11,7 @@ import (
 
 	"tquad/internal/core"
 	"tquad/internal/flatprof"
+	"tquad/internal/memsim"
 	"tquad/internal/obs"
 	"tquad/internal/phase"
 	"tquad/internal/pin"
@@ -322,6 +323,75 @@ func RenderFigure(title string, prof *core.Profile, names []string, reads, inclu
 		series[n] = k.Series(prof.NumSlices, reads, includeStack)
 	}
 	return report.BandwidthChart(title, present, series, width)
+}
+
+// RenderCacheSweep renders the cache-geometry comparison: one row per
+// simulated hierarchy, in submission order, with per-level hit rates and
+// the effective off-chip traffic the demand bytes turned into.
+func RenderCacheSweep(profs []*memsim.Profile) string {
+	t := report.NewTable("config", "l1 hit%", "l2 hit%", "llc hit%",
+		"off-chip bytes", "off-chip B/instr", "row hit%")
+	for _, p := range profs {
+		cols := []string{p.Config.Key()}
+		for i := 0; i < memsim.MaxLevels; i++ {
+			if i < len(p.Levels) {
+				cols = append(cols, report.F2(100*p.Levels[i].HitRate()))
+			} else {
+				cols = append(cols, "-")
+			}
+		}
+		bpi := 0.0
+		if p.TotalInstr > 0 {
+			bpi = float64(p.OffChipBytes()) / float64(p.TotalInstr)
+		}
+		cols = append(cols, report.U(p.OffChipBytes()), report.F(bpi),
+			report.F2(100*p.DRAM.RowHitRate()))
+		t.AddRow(cols...)
+	}
+	return t.String()
+}
+
+// RenderMemFigure renders the miss-bandwidth variant of the Figure 6/7
+// charts: per-slice effective off-chip bytes per kernel, replacing the
+// demand-byte series RenderFigure plots.
+func RenderMemFigure(title string, mp *memsim.Profile, names []string, width int) string {
+	series := make(map[string][]uint64, len(names))
+	var present []string
+	for _, n := range names {
+		k, ok := mp.Kernel(n)
+		if !ok {
+			continue
+		}
+		present = append(present, n)
+		series[n] = k.OffChipSeries(mp.NumSlices)
+	}
+	return report.BandwidthChart(title, present, series, width)
+}
+
+// RenderPhaseOffChip renders the Table IV companion column: for each
+// detected phase, every phase kernel's effective off-chip traffic under
+// the simulated hierarchy.  The memsim profile must use the same slice
+// interval as the profile the phases were detected on.
+func RenderPhaseOffChip(phases []phase.Phase, mp *memsim.Profile) string {
+	var b strings.Builder
+	for i, ph := range phases {
+		t := report.NewTable("kernel", "off-chip bytes", "off-chip B/slice")
+		for _, k := range ph.Kernels {
+			kp, ok := mp.Kernel(k.Name)
+			if !ok {
+				continue
+			}
+			off := kp.RangeOffChip(ph.Start, ph.End)
+			perSlice := 0.0
+			if ph.Span() > 0 {
+				perSlice = float64(off) / float64(ph.Span())
+			}
+			t.AddRow(k.Name, report.U(off), report.F(perSlice))
+		}
+		fmt.Fprintf(&b, "phase %d off-chip (slices %d-%d, %s):\n%s",
+			i+1, ph.Start, ph.End-1, mp.Config.Key(), t.String())
+	}
+	return b.String()
 }
 
 // RenderSpans renders the recorded pipeline spans as an indented table —
