@@ -6,7 +6,7 @@ GO ?= go
 # the run loudly, not stall CI at the default 10 minutes per package.
 TEST_TIMEOUT ?= 300s
 
-.PHONY: build test vet race chaos fuzz bench bench-json
+.PHONY: build test vet race chaos fuzz bench bench-json verify
 
 build:
 	$(GO) build ./...
@@ -47,6 +47,18 @@ bench:
 	$(GO) test -bench BenchmarkMemSim -benchtime 1x ./internal/memsim
 
 # Same pass, recorded as a dated machine-readable log (go test -json).
+# The date is evaluated once (a := variable) so a run straddling
+# midnight cannot split the log across two files, and both passes write
+# through a single compound redirect so the file is either the complete
+# two-pass log or (on failure) removed — never an interleaved or
+# truncated JSON stream.
+BENCH_DATE := $(shell date +%Y-%m-%d)
+BENCH_LOG  := BENCH_$(BENCH_DATE).json
 bench-json:
-	$(GO) test -bench . -benchtime 1x -json > BENCH_$(shell date +%Y-%m-%d).json
-	$(GO) test -bench BenchmarkMemSim -benchtime 1x -json ./internal/memsim >> BENCH_$(shell date +%Y-%m-%d).json
+	{ $(GO) test -bench . -benchtime 1x -json && \
+	  $(GO) test -bench BenchmarkMemSim -benchtime 1x -json ./internal/memsim; } > $(BENCH_LOG) \
+	  || { rm -f $(BENCH_LOG); exit 1; }
+
+# One-shot pre-merge gate: build, vet, the full test suite, and the
+# race-detector pass over the concurrency-heavy packages.
+verify: build vet test race

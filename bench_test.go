@@ -8,13 +8,16 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"tquad/internal/core"
 	"tquad/internal/imgproc"
 	"tquad/internal/obs"
+	"tquad/internal/obs/live"
 	"tquad/internal/pin"
 	"tquad/internal/shadow"
 	"tquad/internal/study"
@@ -309,6 +312,75 @@ func benchObsRun(b *testing.B, o *obs.Observer) {
 			b.ReportMetric(float64(prof.TotalInstr), "guest_instructions")
 			b.ReportMetric(float64(len(o.Registry().Snapshot())), "metrics_exported")
 		}
+	}
+}
+
+// BenchmarkRunServeOff / BenchmarkRunServeOn measure the live telemetry
+// layer's cost on a scheduler-driven live (non-replay) tQUAD run.
+// ServeOn carries the whole -serve stack — run tracker, event bus,
+// stall detector, HTTP server with one subscribed event-stream consumer
+// — while ServeOff is the shipped default (nil sink, watchdog never
+// installed).  The heartbeat stride bounds event volume to a handful
+// per run, so the pair must stay within a few percent of each other.
+func BenchmarkRunServeOff(b *testing.B) { benchServeRun(b, false) }
+
+func BenchmarkRunServeOn(b *testing.B) { benchServeRun(b, true) }
+
+func benchServeRun(b *testing.B, serveOn bool) {
+	s := benchStudy(b)
+	// Both arms run under a cancellable context, exactly like the CLIs
+	// (whose runs always carry SIGINT supervision): the comparison then
+	// isolates the telemetry layer, not the supervised-loop entry that
+	// signal handling already pays for.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := study.RunConfig{Kind: study.RunTQUAD, SliceInterval: 200_000, IncludeStack: true}
+	for i := 0; i < b.N; i++ {
+		// A fresh scheduler per iteration: memoisation would otherwise
+		// serve every run after the first from cache.
+		sch := study.NewScheduler(s, 1)
+		sch.SetContext(ctx)
+		sch.SetReplay(false) // execute live: the watchdog heartbeat path
+		if serveOn {
+			o := obs.NewObserver()
+			tracker := live.NewTracker(live.TrackerOptions{
+				Registry:    o.Registry(),
+				StallWindow: time.Second,
+			})
+			srv, err := live.Serve("127.0.0.1:0", live.Options{Registry: o.Registry(), Tracker: tracker})
+			if err != nil {
+				b.Fatalf("serve: %v", err)
+			}
+			sub := tracker.Bus().Subscribe()
+			drained := make(chan struct{})
+			go func() {
+				defer close(drained)
+				for range sub.Events() {
+				}
+			}()
+			sch.SetEvents(tracker)
+			res, err := sch.Run(cfg)
+			if err != nil {
+				b.Fatalf("run: %v", err)
+			}
+			if i == 0 {
+				b.ReportMetric(float64(res.ICount), "guest_instructions")
+			}
+			sch.Close()
+			sub.Close()
+			<-drained
+			tracker.Close()
+			srv.Close()
+			continue
+		}
+		res, err := sch.Run(cfg)
+		if err != nil {
+			b.Fatalf("run: %v", err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.ICount), "guest_instructions")
+		}
+		sch.Close()
 	}
 }
 

@@ -12,6 +12,7 @@
 //	      [-width N] [-csv]
 //	      [-record FILE] [-replay FILE]
 //	      [-metrics FILE] [-trace FILE] [-journal FILE]
+//	      [-serve ADDR] [-stall-window D]
 //
 // -slice accepts a comma-separated list of intervals (duplicates are
 // collapsed); more than one interval runs the whole sweep through the
@@ -49,6 +50,17 @@
 // chrome://tracing-compatible JSON trace of the pipeline stages (open it
 // at chrome://tracing or https://ui.perfetto.dev), and -journal a JSONL
 // event journal of spans and metrics.
+//
+// -serve starts an embedded telemetry server for the duration of the
+// invocation (live runs and sweeps; not -replay): GET / is a live
+// progress page with per-run progress bars and a bandwidth chart of
+// completed runs, /metrics the Prometheus registry, /events a
+// Server-Sent Events stream of run lifecycle events (append
+// ?format=jsonl for plain JSONL), and /debug/pprof/ the Go profiler.
+// -stall-window flags a run as stalled — a `stalled` event plus the
+// tquad_sched_stalled_total counter — after that long without a
+// heartbeat.  With -serve unset none of this machinery is built and the
+// execution hot path is untouched.
 package main
 
 import (
@@ -63,17 +75,20 @@ import (
 	"sort"
 	"strconv"
 	"syscall"
+	"time"
 
 	"tquad/internal/cliutil"
 	"tquad/internal/core"
 	"tquad/internal/etrace"
 	"tquad/internal/memsim"
 	"tquad/internal/obs"
+	"tquad/internal/obs/live"
 	"tquad/internal/pin"
 	"tquad/internal/plot"
 	"tquad/internal/report"
 	"tquad/internal/study"
 	"tquad/internal/trace"
+	"tquad/internal/vm"
 	"tquad/internal/wfs"
 )
 
@@ -102,6 +117,8 @@ func main() {
 		maxICount  = flag.Uint64("max-icount", 0, "guest instruction budget per run (0 = default)")
 		retries    = flag.Int("retries", 0, "sweep only: retries per run after transient failures")
 		resume     = flag.String("resume", "", "sweep only: checkpoint journal directory for resumable sweeps")
+		serveAddr  = flag.String("serve", "", "serve live telemetry (progress page, /metrics, /events, pprof) on this address, e.g. :8080")
+		stallWin   = flag.Duration("stall-window", 10*time.Second, "with -serve: flag a run as stalled after this long without a heartbeat (0 = never)")
 	)
 	flag.Parse()
 
@@ -121,6 +138,17 @@ func main() {
 	}
 	if *recordOut != "" && *replayIn != "" {
 		log.Fatal("-record and -replay are mutually exclusive")
+	}
+	if *serveAddr != "" && *replayIn != "" {
+		log.Fatal("-serve applies to live runs and sweeps only, not -replay")
+	}
+	// Every output path is probed before any guest work: a typo'd export
+	// flag fails in milliseconds, not after the run.
+	if err := cliutil.EnsureWritableAll(
+		"-json", *jsonFile, "-svg", *svgFile, "-metrics", *metricsOut,
+		"-trace", *traceOut, "-journal", *journalOut, "-record", *recordOut,
+	); err != nil {
+		log.Fatal(err)
 	}
 	intervals, err := parseSlices(*slice)
 	if err != nil {
@@ -160,6 +188,32 @@ func main() {
 		budget = wfs.MaxInstr
 	}
 
+	// The live telemetry server, its run tracker and the shared metrics
+	// registry exist only under -serve; everywhere else the sink stays
+	// nil and the hot path runs exactly as before.
+	var (
+		liveObs *obs.Observer
+		tracker *live.Tracker
+		chart   *live.ChartData
+	)
+	if *serveAddr != "" {
+		liveObs = obs.NewObserver()
+		chart = live.NewChartData("effective bandwidth of completed runs", "B/instr")
+		tracker = live.NewTracker(live.TrackerOptions{Registry: liveObs.Registry(), StallWindow: *stallWin})
+		defer tracker.Close()
+		srv, err := live.Serve(*serveAddr, live.Options{
+			Registry: liveObs.Registry(),
+			Tracker:  tracker,
+			Chart:    chart.SVG,
+			Title:    "tquad " + *config,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		log.Printf("live telemetry at %s", srv.URL())
+	}
+
 	if *replayIn != "" {
 		err := runReplay(ctx, *replayIn, &replayOpts{
 			intervals:    intervals,
@@ -184,16 +238,20 @@ func main() {
 	}
 
 	if sweep {
-		sup := supervision{ctx: ctx, retries: *retries, resume: *resume, budget: budget}
+		sup := supervision{
+			ctx: ctx, retries: *retries, resume: *resume, budget: budget,
+			obs: liveObs, events: tracker, chart: chart,
+		}
 		if err := runSweep(cfg, intervals, caches, includeStack, *ignoreLibs, *jobs, *metric, *kernels, *width, sup); err != nil {
 			log.Fatal(err)
 		}
 		return
 	}
 
-	// The observer stays nil (zero-cost) unless an export was requested.
-	var o *obs.Observer
-	if *metricsOut != "" || *traceOut != "" || *journalOut != "" {
+	// The observer stays nil (zero-cost) unless an export was requested
+	// or the telemetry server needs a registry to publish into.
+	o := liveObs
+	if o == nil && (*metricsOut != "" || *traceOut != "" || *journalOut != "") {
 		o = obs.NewObserver()
 	}
 	run := o.Tracer().Start("run")
@@ -251,6 +309,23 @@ func main() {
 	}
 	instrument.End()
 
+	// Under -serve the single run reports the same lifecycle the sweep
+	// scheduler would: queued/started up front, block-boundary heartbeats
+	// while the guest executes, succeeded/failed at the end.
+	const runKey = "run"
+	if tracker != nil {
+		tracker.Publish(obs.Event{Type: obs.EventQueued, Key: runKey})
+		tracker.Publish(obs.Event{Type: obs.EventStarted, Key: runKey, Attempt: 1})
+		var lastBeat uint64
+		m.PushWatchdog(func(m *vm.Machine) error {
+			if m.ICount-lastBeat >= study.DefaultHeartbeatStride {
+				lastBeat = m.ICount
+				tracker.Publish(obs.Event{Type: obs.EventHeartbeat, Key: runKey, ICount: m.ICount, Budget: budget})
+			}
+			return nil
+		})
+	}
+
 	execute := o.Tracer().Start("execute")
 	if err := m.RunContext(ctx, budget); err != nil {
 		// A cancelled or failed run must not leave a partial trace file
@@ -258,6 +333,9 @@ func main() {
 		if recFile != nil {
 			recFile.Close()
 			os.Remove(*recordOut)
+		}
+		if tracker != nil {
+			tracker.Publish(obs.Event{Type: obs.EventFailed, Key: runKey, Attempt: 1, Err: err.Error()})
 		}
 		log.Fatalf("run: %v", err)
 	}
@@ -282,6 +360,10 @@ func main() {
 	prof := tool.Snapshot()
 	snapshot.SetInstr(prof.TotalInstr)
 	snapshot.End()
+	if tracker != nil {
+		tracker.Publish(obs.Event{Type: obs.EventSucceeded, Key: runKey, ICount: m.ICount})
+		chart.Add(runKey, study.EffectiveBandwidth(prof))
+	}
 	// finish closes the run span, publishes the per-run metrics and writes
 	// the requested export files; it must run on every exit path that
 	// produced a profile.
@@ -527,12 +609,19 @@ func replayOne(ctx context.Context, path string, interval uint64, mc *memsim.Con
 	return nil
 }
 
-// supervision bundles the sweep's resilience settings.
+// supervision bundles the sweep's resilience and telemetry settings.
 type supervision struct {
 	ctx     context.Context
 	retries int
 	resume  string
 	budget  uint64
+
+	// Live telemetry (all nil unless -serve): the observer whose registry
+	// the server exposes, the tracker receiving lifecycle events, and the
+	// chart accumulating completed-run bandwidth.
+	obs    *obs.Observer
+	events *live.Tracker
+	chart  *live.ChartData
 }
 
 // runSweep executes one tQUAD run per interval×hierarchy combination
@@ -540,7 +629,7 @@ type supervision struct {
 // order.  In replay mode (the scheduler default) the whole sweep shares
 // one recorded guest execution, however many hierarchies it compares.
 func runSweep(cfg wfs.Config, intervals []uint64, caches []memsim.Config, includeStack, ignoreLibs bool, jobs int, metric, kernels string, width int, sup supervision) error {
-	s, err := study.New(cfg)
+	s, err := study.NewObserved(cfg, sup.obs)
 	if err != nil {
 		return err
 	}
@@ -549,6 +638,9 @@ func runSweep(cfg wfs.Config, intervals []uint64, caches []memsim.Config, includ
 	sch.SetContext(sup.ctx)
 	sch.SetRetries(sup.retries)
 	sch.SetMaxInstr(sup.budget)
+	if sup.events != nil {
+		sch.SetEvents(sup.events)
+	}
 	if sup.resume != "" {
 		ck, err := study.OpenCheckpoint(sup.resume)
 		if err != nil {
@@ -602,6 +694,7 @@ func runSweep(cfg wfs.Config, intervals []uint64, caches []memsim.Config, includ
 		if err != nil {
 			return err
 		}
+		sup.chart.Add(res.Key, study.EffectiveBandwidth(res.Temporal))
 		if i > 0 {
 			fmt.Println()
 		}

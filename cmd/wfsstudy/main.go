@@ -9,6 +9,7 @@
 //	         [-timeout D] [-run-timeout D]
 //	         [-max-icount N] [-retries N] [-resume DIR]
 //	         [-metrics FILE] [-trace FILE] [-journal FILE]
+//	         [-serve ADDR] [-stall-window D]
 //
 // -cache adds the memory-hierarchy study: each semicolon-separated
 // hierarchy (e.g. l1=32k/8/64,l2=256k/8/64,llc=8m/16/64) is simulated
@@ -39,6 +40,15 @@
 // counters, -trace a chrome://tracing JSON timeline of the pipeline
 // stages, and -journal a JSONL event journal.  Counters accumulate over
 // the whole study (process-lifetime totals across all runs).
+//
+// -serve starts an embedded telemetry server for the duration of the
+// sweep: GET / is a live progress page (per-experiment progress bars,
+// rates, ETAs and a bandwidth chart of completed runs), /metrics the
+// live Prometheus registry, /events a Server-Sent Events stream of
+// experiment lifecycle events (?format=jsonl for plain JSONL), and
+// /debug/pprof/ the Go profiler.  -stall-window flags experiments that
+// stop heartbeating.  With -serve unset none of this machinery exists
+// and output is byte-identical to previous releases.
 package main
 
 import (
@@ -55,6 +65,7 @@ import (
 	"tquad/internal/cluster"
 	"tquad/internal/memsim"
 	"tquad/internal/obs"
+	"tquad/internal/obs/live"
 	"tquad/internal/study"
 	"tquad/internal/wfs"
 )
@@ -71,6 +82,8 @@ type options struct {
 	metricsOut string
 	traceOut   string
 	journalOut string
+	serveAddr  string
+	stallWin   time.Duration
 }
 
 func main() {
@@ -88,6 +101,8 @@ func main() {
 	flag.StringVar(&opt.metricsOut, "metrics", "", "write a Prometheus text-format metrics snapshot to this file")
 	flag.StringVar(&opt.traceOut, "trace", "", "write a chrome://tracing JSON trace of the pipeline stages to this file")
 	flag.StringVar(&opt.journalOut, "journal", "", "write a JSONL event journal (spans + metrics) to this file")
+	flag.StringVar(&opt.serveAddr, "serve", "", "serve live telemetry (progress page, /metrics, /events, pprof) on this address, e.g. :8080")
+	flag.DurationVar(&opt.stallWin, "stall-window", 10*time.Second, "with -serve: flag an experiment as stalled after this long without a heartbeat (0 = never)")
 	flag.Parse()
 
 	if opt.jobs < 0 {
@@ -102,6 +117,13 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+	}
+	// Probe every output path before hours of sweep work can be wasted
+	// on a typo'd export flag.
+	if err := cliutil.EnsureWritableAll(
+		"-metrics", opt.metricsOut, "-trace", opt.traceOut, "-journal", opt.journalOut,
+	); err != nil {
+		log.Fatal(err)
 	}
 	// SIGINT/SIGTERM cancel the sweep context; the deferred scheduler
 	// and checkpoint shutdown inside run then clean temp traces and
@@ -129,10 +151,35 @@ func run(ctx context.Context, config string, opt options) error {
 		defer cancel()
 	}
 
-	// The observer stays nil (zero-cost) unless an export was requested.
+	// The observer stays nil (zero-cost) unless an export was requested
+	// or the telemetry server needs a live registry to expose.
 	var o *obs.Observer
-	if opt.metricsOut != "" || opt.traceOut != "" || opt.journalOut != "" {
+	if opt.metricsOut != "" || opt.traceOut != "" || opt.journalOut != "" || opt.serveAddr != "" {
 		o = obs.NewObserver()
+	}
+
+	// Under -serve every scheduler lifecycle event flows through the run
+	// tracker into the SSE bus, and the progress page charts completed
+	// runs' effective bandwidth as the sweep drains.
+	var (
+		tracker *live.Tracker
+		chart   *live.ChartData
+	)
+	if opt.serveAddr != "" {
+		chart = live.NewChartData("effective bandwidth of completed runs", "B/instr")
+		tracker = live.NewTracker(live.TrackerOptions{Registry: o.Registry(), StallWindow: opt.stallWin})
+		defer tracker.Close()
+		srv, err := live.Serve(opt.serveAddr, live.Options{
+			Registry: o.Registry(),
+			Tracker:  tracker,
+			Chart:    chart.SVG,
+			Title:    "wfsstudy " + config,
+		})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		log.Printf("live telemetry at %s", srv.URL())
 	}
 
 	s, err := study.NewObserved(cfg, o)
@@ -145,6 +192,9 @@ func run(ctx context.Context, config string, opt options) error {
 	sch.SetRetries(opt.retries)
 	sch.SetRunTimeout(opt.runTimeout)
 	sch.SetMaxInstr(opt.maxICount)
+	if tracker != nil {
+		sch.SetEvents(tracker)
+	}
 	if opt.resume != "" {
 		ck, err := study.OpenCheckpoint(opt.resume)
 		if err != nil {
@@ -242,6 +292,11 @@ func run(ctx context.Context, config string, opt options) error {
 	if err != nil {
 		return err
 	}
+	// The temporal runs feed the live bandwidth chart (no-ops when
+	// -serve is unset and chart is nil).
+	for _, res := range []*study.RunResult{fig6Res, fig7Res, phasesRes} {
+		chart.Add(res.Key, study.EffectiveBandwidth(res.Temporal))
+	}
 	memProfs := make([]*memsim.Profile, len(pCaches))
 	for i, p := range pCaches {
 		res, err := p.Wait()
@@ -249,6 +304,7 @@ func run(ctx context.Context, config string, opt options) error {
 			return err
 		}
 		memProfs[i] = res.Mem
+		chart.Add(res.Key, study.EffectiveBandwidth(res.Temporal))
 	}
 	var phaseMem *memsim.Profile
 	if pPhaseCache != nil {

@@ -24,6 +24,8 @@ import (
 	"tquad/internal/core"
 	"tquad/internal/gos"
 	"tquad/internal/image"
+	"tquad/internal/obs"
+	"tquad/internal/obs/live"
 	"tquad/internal/pin"
 	"tquad/internal/study"
 	"tquad/internal/vm"
@@ -330,6 +332,139 @@ func TestChaosSupervision(t *testing.T) {
 				t.Errorf("Flush reported %d errors (%v), want %d", len(errs), errs, len(want))
 			}
 		})
+	}
+}
+
+// observedChaosScheduler builds a fresh observed study and scheduler so
+// each scenario reads supervision counters from a private registry —
+// the shared chaosStudy has no observer, so its scheduler's counters
+// are no-ops.
+func observedChaosScheduler(t *testing.T) (*study.Scheduler, *obs.Observer) {
+	t.Helper()
+	o := obs.NewObserver()
+	s, err := study.NewObserved(wfs.Small(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch := study.NewScheduler(s, 2)
+	t.Cleanup(func() { sch.Close() })
+	return sch, o
+}
+
+// TestChaosSupervisionCountersRetries: the retry counter must equal the
+// number of injected transient failures exactly — three faults, three
+// retries, zero reported failures.
+func TestChaosSupervisionCountersRetries(t *testing.T) {
+	sch, o := observedChaosScheduler(t)
+	sch.SetHooks(chaos.New(chaos.Plan{FailConfigs: map[string]int{"native": 2, "flat": 1}}).Hooks())
+	sch.SetRetries(3)
+	sch.SetBackoff(time.Millisecond, 4*time.Millisecond)
+	for _, cfg := range []study.RunConfig{{Kind: study.RunNative}, {Kind: study.RunFlat}} {
+		if _, err := sch.Run(cfg); err != nil {
+			t.Fatalf("%s: %v", cfg.Key(), err)
+		}
+	}
+	reg := o.Registry()
+	if got := reg.Counter(obs.MetricSchedRetries).Value(); got != 3 {
+		t.Errorf("%s = %d, want 3 (the injected fault count)", obs.MetricSchedRetries, got)
+	}
+	if got := reg.Counter(obs.MetricSchedFailures).Value(); got != 0 {
+		t.Errorf("%s = %d, want 0 (every transient was retried to success)", obs.MetricSchedFailures, got)
+	}
+	if got := reg.Counter(obs.MetricSchedPanics).Value(); got != 0 {
+		t.Errorf("%s = %d, want 0", obs.MetricSchedPanics, got)
+	}
+}
+
+// TestChaosSupervisionCountersPanic: one injected worker panic must
+// count once as a panic and once as a failed run.
+func TestChaosSupervisionCountersPanic(t *testing.T) {
+	sch, o := observedChaosScheduler(t)
+	sch.SetHooks(chaos.New(chaos.Plan{PanicConfigs: []string{"flat"}}).Hooks())
+	if _, err := sch.Run(study.RunConfig{Kind: study.RunFlat}); err == nil {
+		t.Fatal("panicking run succeeded")
+	}
+	reg := o.Registry()
+	if got := reg.Counter(obs.MetricSchedPanics).Value(); got != 1 {
+		t.Errorf("%s = %d, want 1", obs.MetricSchedPanics, got)
+	}
+	if got := reg.Counter(obs.MetricSchedFailures).Value(); got != 1 {
+		t.Errorf("%s = %d, want 1", obs.MetricSchedFailures, got)
+	}
+}
+
+// TestChaosSupervisionCountersTimeout: a hung run killed by the per-run
+// timeout is a permanent failure — one failure, zero retries.
+func TestChaosSupervisionCountersTimeout(t *testing.T) {
+	quad := study.RunConfig{Kind: study.RunQUAD, IncludeStack: true}
+	sch, o := observedChaosScheduler(t)
+	sch.SetHooks(chaos.New(chaos.Plan{HangConfigs: []string{quad.Key()}}).Hooks())
+	sch.SetRetries(2)
+	sch.SetBackoff(time.Millisecond, 4*time.Millisecond)
+	// Prime the shared recording before arming the per-run timeout: the
+	// timeout under test targets the hung worker, not the recording.
+	if _, err := sch.Run(study.RunConfig{Kind: study.RunNative}); err != nil {
+		t.Fatalf("priming run: %v", err)
+	}
+	sch.SetRunTimeout(500 * time.Millisecond)
+	if _, err := sch.Run(quad); err == nil {
+		t.Fatal("hung run succeeded")
+	}
+	reg := o.Registry()
+	if got := reg.Counter(obs.MetricSchedFailures).Value(); got != 1 {
+		t.Errorf("%s = %d, want 1", obs.MetricSchedFailures, got)
+	}
+	if got := reg.Counter(obs.MetricSchedRetries).Value(); got != 0 {
+		t.Errorf("%s = %d, want 0 (timeouts must not retry)", obs.MetricSchedRetries, got)
+	}
+}
+
+// TestChaosStallDetection is the live-observability acceptance path: a
+// hung run must be flagged as stalled — a `stalled` event on the bus
+// plus a tquad_sched_stalled_total increment — while the run is still
+// in flight, well before its run timeout kills it.
+func TestChaosStallDetection(t *testing.T) {
+	quad := study.RunConfig{Kind: study.RunQUAD, IncludeStack: true}
+	sch, o := observedChaosScheduler(t)
+	tracker := live.NewTracker(live.TrackerOptions{
+		Registry:    o.Registry(),
+		StallWindow: 100 * time.Millisecond,
+	})
+	defer tracker.Close()
+	sch.SetEvents(tracker)
+	sch.SetHooks(chaos.New(chaos.Plan{HangConfigs: []string{quad.Key()}}).Hooks())
+
+	// Prime the shared recording, then arm a timeout comfortably longer
+	// than the stall window: the stalled flag must win the race.
+	if _, err := sch.Run(study.RunConfig{Kind: study.RunNative}); err != nil {
+		t.Fatalf("priming run: %v", err)
+	}
+	sch.SetRunTimeout(2 * time.Second)
+
+	sub := tracker.Bus().Subscribe()
+	defer sub.Close()
+	errc := make(chan error, 1)
+	go func() {
+		_, err := sch.Run(quad)
+		errc <- err
+	}()
+
+	deadline := time.After(1500 * time.Millisecond)
+	for stalled := false; !stalled; {
+		select {
+		case ev := <-sub.Events():
+			stalled = ev.Type == obs.EventStalled && ev.Key == quad.Key()
+		case err := <-errc:
+			t.Fatalf("run finished (err=%v) before a stalled event appeared", err)
+		case <-deadline:
+			t.Fatal("no stalled event within 1.5s (window 100ms)")
+		}
+	}
+	if got := o.Registry().Counter(obs.MetricSchedStalled).Value(); got == 0 {
+		t.Errorf("stalled event seen but %s = 0", obs.MetricSchedStalled)
+	}
+	if err := <-errc; err == nil {
+		t.Fatal("hung run reported success")
 	}
 }
 

@@ -7,6 +7,7 @@ package cliutil
 
 import (
 	"fmt"
+	"os"
 	"strings"
 )
 
@@ -38,4 +39,33 @@ func ParseList[T any](flagName, s, sep string, parse func(string) (T, error), ke
 		out = append(out, v)
 	}
 	return out, nil
+}
+
+// EnsureWritable verifies, before a run starts, that an output path can
+// actually be created — so a typo'd -metrics/-svg/-json path fails in
+// milliseconds instead of after hours of sweep execution.  It opens the
+// file for writing (creating it if absent, preserving existing content)
+// and closes it again; the run's real export later truncates or rewrites
+// it.  An empty path means "output disabled" and is accepted.  flagName
+// decorates the error (e.g. "-metrics").
+func EnsureWritable(flagName, path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("%s %s: %w", flagName, path, err)
+	}
+	return f.Close()
+}
+
+// EnsureWritableAll validates several flag/path pairs (given as
+// alternating flagName, path strings) and reports the first failure.
+func EnsureWritableAll(pairs ...string) error {
+	for i := 0; i+1 < len(pairs); i += 2 {
+		if err := EnsureWritable(pairs[i], pairs[i+1]); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -3,6 +3,8 @@ package cliutil_test
 import (
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"reflect"
 	"strconv"
 	"strings"
@@ -101,5 +103,65 @@ func TestParseListDedupByKey(t *testing.T) {
 	}
 	if fmt.Sprint(same) != "[16]" {
 		t.Errorf("canonical dedup failed: %v", same)
+	}
+}
+
+func TestEnsureWritable(t *testing.T) {
+	dir := t.TempDir()
+
+	// Empty path: output disabled, always fine.
+	if err := cliutil.EnsureWritable("-metrics", ""); err != nil {
+		t.Errorf("empty path rejected: %v", err)
+	}
+
+	// Creatable file in an existing directory.
+	ok := filepath.Join(dir, "out.prom")
+	if err := cliutil.EnsureWritable("-metrics", ok); err != nil {
+		t.Errorf("writable path rejected: %v", err)
+	}
+	if _, err := os.Stat(ok); err != nil {
+		t.Errorf("probe did not create the file: %v", err)
+	}
+
+	// Existing content is preserved, not truncated, by the probe.
+	pre := filepath.Join(dir, "existing.json")
+	if err := os.WriteFile(pre, []byte("keep me"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cliutil.EnsureWritable("-json", pre); err != nil {
+		t.Errorf("existing file rejected: %v", err)
+	}
+	if got, _ := os.ReadFile(pre); string(got) != "keep me" {
+		t.Errorf("probe truncated existing file to %q", got)
+	}
+
+	// Nonexistent parent directory fails fast and names the flag.
+	bad := filepath.Join(dir, "no", "such", "dir", "x.svg")
+	err := cliutil.EnsureWritable("-svg", bad)
+	if err == nil {
+		t.Fatal("nonexistent directory accepted")
+	}
+	if !strings.Contains(err.Error(), "-svg") {
+		t.Errorf("error %q does not name the flag", err)
+	}
+
+	// A directory path is not a writable file.
+	if err := cliutil.EnsureWritable("-trace", dir); err == nil {
+		t.Error("directory path accepted as output file")
+	}
+}
+
+func TestEnsureWritableAll(t *testing.T) {
+	dir := t.TempDir()
+	err := cliutil.EnsureWritableAll(
+		"-metrics", filepath.Join(dir, "m.prom"),
+		"-journal", "",
+		"-svg", filepath.Join(dir, "missing", "f.svg"),
+	)
+	if err == nil || !strings.Contains(err.Error(), "-svg") {
+		t.Fatalf("err = %v, want -svg failure", err)
+	}
+	if err := cliutil.EnsureWritableAll("-a", filepath.Join(dir, "a"), "-b", ""); err != nil {
+		t.Fatalf("all-writable set rejected: %v", err)
 	}
 }

@@ -84,6 +84,30 @@ func replayer(t *testing.T, rec *recorded) *etrace.Replayer {
 	return rp
 }
 
+// TestReplayOnProgress: a registered progress callback receives a
+// monotonic stream of replayed instruction counts even with no
+// cancellable context attached — the live dashboard's replay heartbeat.
+func TestReplayOnProgress(t *testing.T) {
+	rec := record(t)
+	rp := replayer(t, rec)
+	var beats []uint64
+	rp.OnProgress(func(ic uint64) { beats = append(beats, ic) })
+	if err := rp.Replay(); err != nil {
+		t.Fatal(err)
+	}
+	if len(beats) == 0 {
+		t.Fatal("progress callback never fired")
+	}
+	for i := 1; i < len(beats); i++ {
+		if beats[i] < beats[i-1] {
+			t.Fatalf("progress went backwards: %d then %d", beats[i-1], beats[i])
+		}
+	}
+	if last := beats[len(beats)-1]; last > rec.icount {
+		t.Errorf("progress %d exceeds recorded icount %d", last, rec.icount)
+	}
+}
+
 // TestReplayReproducesFinalState: the replayed machine state (counters,
 // exit status, memory statistics) must equal the live run's.
 func TestReplayReproducesFinalState(t *testing.T) {

@@ -309,9 +309,10 @@ type Replayer struct {
 	insCallbacks  []pin.InstrumentFunc
 	symbolsInited bool
 
-	sites   map[uint64]*site
-	blocks  []blockDef
-	blockFn func(start uint64, ninstr int, ic uint64)
+	sites    map[uint64]*site
+	blocks   []blockDef
+	blockFn  func(start uint64, ninstr int, ic uint64)
+	progress func(ic uint64)
 
 	ic       uint64
 	overhead uint64
@@ -432,6 +433,13 @@ func (r *Replayer) Traffic() (readBytes, writeBytes uint64) {
 // recorded with RecordOptions.Blocks).
 func (r *Replayer) OnBlock(fn func(start uint64, ninstr int, ic uint64)) { r.blockFn = fn }
 
+// OnProgress registers a heartbeat callback invoked with the replayed
+// instruction count every cancelCheckStride records — the same stride
+// (and the same loop position) as the context poll, so progress costs
+// nothing on the per-record hot path and nothing at all when no callback
+// is registered.
+func (r *Replayer) OnProgress(fn func(ic uint64)) { r.progress = fn }
+
 // Replay streams the trace, compiling static records through the
 // registered instrumentation callbacks and dispatching dynamic records
 // to the attached analysis routines.  It may be called once.
@@ -455,12 +463,17 @@ func (r *Replayer) ReplayContext(ctx context.Context) error {
 	done := ctx.Done()
 	var n uint64
 	for {
-		if done != nil {
+		if done != nil || r.progress != nil {
 			if n++; n%cancelCheckStride == 0 {
-				select {
-				case <-done:
-					return &vm.CancelError{PC: r.pc, ICount: r.ic, Cause: ctx.Err()}
-				default:
+				if done != nil {
+					select {
+					case <-done:
+						return &vm.CancelError{PC: r.pc, ICount: r.ic, Cause: ctx.Err()}
+					default:
+					}
+				}
+				if r.progress != nil {
+					r.progress(r.ic)
 				}
 			}
 		}

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBusPublishSubscribe(t *testing.T) {
+	b := NewBus(8)
+	sub := b.Subscribe()
+	defer sub.Close()
+
+	b.Publish(Event{Type: EventQueued, Key: "k1"})
+	b.Publish(Event{Type: EventStarted, Key: "k1", Attempt: 1})
+
+	ev := <-sub.Events()
+	if ev.Type != EventQueued || ev.Key != "k1" || ev.Seq != 1 {
+		t.Fatalf("first event = %+v", ev)
+	}
+	if ev.Time.IsZero() {
+		t.Fatal("bus did not stamp event time")
+	}
+	ev = <-sub.Events()
+	if ev.Type != EventStarted || ev.Seq != 2 || ev.Attempt != 1 {
+		t.Fatalf("second event = %+v", ev)
+	}
+	if got := b.Seq(); got != 2 {
+		t.Fatalf("Seq() = %d, want 2", got)
+	}
+}
+
+func TestBusPreservesExplicitTime(t *testing.T) {
+	b := NewBus(1)
+	sub := b.Subscribe()
+	defer sub.Close()
+	stamp := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	b.Publish(Event{Type: EventHeartbeat, Key: "k", Time: stamp})
+	if ev := <-sub.Events(); !ev.Time.Equal(stamp) {
+		t.Fatalf("time overwritten: %v", ev.Time)
+	}
+}
+
+func TestBusNonBlockingDrop(t *testing.T) {
+	b := NewBus(2)
+	sub := b.Subscribe()
+	defer sub.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 10; i++ {
+			b.Publish(Event{Type: EventHeartbeat, Key: "k"})
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Publish blocked on a full subscriber")
+	}
+	if d := b.Dropped(); d != 8 {
+		t.Fatalf("Dropped() = %d, want 8", d)
+	}
+	// The two buffered events are still deliverable.
+	if ev := <-sub.Events(); ev.Seq != 1 {
+		t.Fatalf("buffered event seq = %d, want 1", ev.Seq)
+	}
+}
+
+func TestBusSubscriberIsolation(t *testing.T) {
+	b := NewBus(1)
+	slow := b.Subscribe()
+	fast := b.Subscribe()
+	defer slow.Close()
+	defer fast.Close()
+
+	b.Publish(Event{Type: EventQueued, Key: "a"})
+	<-fast.Events() // fast drains; slow does not
+	b.Publish(Event{Type: EventQueued, Key: "b"})
+
+	if ev := <-fast.Events(); ev.Key != "b" {
+		t.Fatalf("fast subscriber missed event: %+v", ev)
+	}
+	if d := b.Dropped(); d != 1 {
+		t.Fatalf("Dropped() = %d, want 1 (slow subscriber only)", d)
+	}
+}
+
+func TestBusCloseStopsDelivery(t *testing.T) {
+	b := NewBus(4)
+	sub := b.Subscribe()
+	b.Publish(Event{Type: EventQueued, Key: "k"})
+	sub.Close()
+	sub.Close() // idempotent
+	b.Publish(Event{Type: EventFailed, Key: "k"})
+
+	var got []Event
+	for ev := range sub.Events() {
+		got = append(got, ev)
+	}
+	if len(got) != 1 || got[0].Type != EventQueued {
+		t.Fatalf("events after close = %+v", got)
+	}
+}
+
+func TestBusNilSafe(t *testing.T) {
+	var b *Bus
+	b.Publish(Event{Type: EventQueued})
+	if b.Subscribe() != nil {
+		t.Fatal("nil bus Subscribe should return nil")
+	}
+	if b.Dropped() != 0 || b.Seq() != 0 {
+		t.Fatal("nil bus counters should be zero")
+	}
+	var s *Subscription
+	s.Close()
+	if s.Events() != nil {
+		t.Fatal("nil subscription Events should be nil")
+	}
+}
+
+func TestBusConcurrentPublish(t *testing.T) {
+	b := NewBus(4096)
+	sub := b.Subscribe()
+	defer sub.Close()
+
+	const workers, per = 8, 100
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				b.Publish(Event{Type: EventHeartbeat, Key: "k"})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := b.Seq(); got != workers*per {
+		t.Fatalf("Seq() = %d, want %d", got, workers*per)
+	}
+	seen := make(map[uint64]bool)
+	for i := 0; i < workers*per; i++ {
+		ev := <-sub.Events()
+		if seen[ev.Seq] {
+			t.Fatalf("duplicate seq %d", ev.Seq)
+		}
+		seen[ev.Seq] = true
+	}
+}
+
+func TestEventJSONOmitsEmpty(t *testing.T) {
+	raw, err := json.Marshal(Event{Seq: 1, Type: EventQueued, Key: "k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(raw)
+	for _, field := range []string{"attempt", "icount", "budget", "rate", "eta_s", "error"} {
+		if strings.Contains(s, field) {
+			t.Fatalf("empty field %q serialized: %s", field, s)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package live
+
+import (
+	"sync"
+
+	"tquad/internal/plot"
+)
+
+// ChartData is a concurrency-safe collector of completed-run bandwidth
+// samples feeding the progress page's chart: the sweep loop appends a
+// sample as each run finishes, and Options.Chart renders the current
+// set per page view.
+type ChartData struct {
+	title string
+	unit  string
+
+	mu   sync.Mutex
+	bars []plot.Bar
+}
+
+// NewChartData creates a collector whose chart carries the given title
+// and value unit (e.g. "bytes/kinstr").
+func NewChartData(title, unit string) *ChartData {
+	return &ChartData{title: title, unit: unit}
+}
+
+// Add appends one completed run's sample.  Nil-safe, so callers can
+// hold a ChartData unconditionally and only allocate one when serving.
+func (c *ChartData) Add(label string, value float64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.bars = append(c.bars, plot.Bar{Label: label, Value: value})
+	c.mu.Unlock()
+}
+
+// SVG renders the chart of everything collected so far.
+func (c *ChartData) SVG() string {
+	if c == nil {
+		return ""
+	}
+	c.mu.Lock()
+	bars := append([]plot.Bar(nil), c.bars...)
+	c.mu.Unlock()
+	return plot.Bars(c.title, c.unit, bars)
+}

@@ -1,0 +1,317 @@
+// Package live is the embedded telemetry surface: a progress model that
+// turns the scheduler's raw lifecycle events into per-run state (icount
+// versus budget, rate, ETA, stall detection) and an HTTP server that
+// exposes it — live Prometheus metrics, an SSE/JSONL event stream,
+// pprof, and a server-rendered progress page — while a sweep runs.
+//
+// The package sits strictly downstream of the hot path: the scheduler
+// publishes into the Tracker (an obs.EventSink), the Tracker updates its
+// state under its own lock and forwards enriched events to a bounded
+// obs.Bus, and HTTP handlers only ever read snapshots or drain bus
+// subscriptions.  Nothing here can block or slow a run; a stalled
+// scraper just drops events.
+package live
+
+import (
+	"sync"
+	"time"
+
+	"tquad/internal/obs"
+)
+
+// Run states derived from lifecycle events.
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateRetrying  = "retrying"
+	StateSucceeded = "succeeded"
+	StateFailed    = "failed"
+)
+
+// Live metric names, published into the tracker's registry so /metrics
+// reflects sweep progress mid-run.
+const (
+	// MetricLiveHeartbeats counts heartbeat events observed.
+	MetricLiveHeartbeats = "tquad_live_heartbeats_total"
+	// MetricLiveEvents counts all lifecycle events observed.
+	MetricLiveEvents = "tquad_live_events_total"
+	// MetricLiveRuns is a per-state gauge family: tquad_live_runs{state=...}.
+	MetricLiveRuns = "tquad_live_runs"
+)
+
+// RunState is the tracked condition of one run (or guest recording).
+type RunState struct {
+	Key     string `json:"key"`
+	State   string `json:"state"`
+	Attempt int    `json:"attempt,omitempty"`
+	Retries int    `json:"retries,omitempty"`
+
+	ICount     uint64  `json:"icount,omitempty"`
+	Budget     uint64  `json:"budget,omitempty"`
+	Rate       float64 `json:"rate,omitempty"`  // instructions/second
+	ETASeconds float64 `json:"eta_s,omitempty"` // projected seconds to completion
+
+	Started      time.Time `json:"started,omitempty"`
+	LastBeat     time.Time `json:"last_beat,omitempty"`
+	Stalled      bool      `json:"stalled,omitempty"`
+	Checkpointed bool      `json:"checkpointed,omitempty"`
+	Err          string    `json:"error,omitempty"`
+}
+
+// Progress returns completion in [0,1], or -1 when the budget is
+// unknown.
+func (r RunState) Progress() float64 {
+	if r.State == StateSucceeded {
+		return 1
+	}
+	if r.Budget == 0 {
+		return -1
+	}
+	p := float64(r.ICount) / float64(r.Budget)
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// TrackerOptions configures a Tracker.
+type TrackerOptions struct {
+	// Registry receives the live metrics (stall counter, event counters,
+	// per-state run gauges).  Nil disables them.
+	Registry *obs.Registry
+	// StallWindow is how long a running run may go without a heartbeat
+	// before the detector flags it (zero or negative disables the
+	// detector).
+	StallWindow time.Duration
+	// BusBuffer is the per-subscriber event buffer depth (<= 0 selects
+	// obs.DefaultBusBuffer).
+	BusBuffer int
+
+	// now overrides the stall detector's clock in tests.
+	now func() time.Time
+}
+
+// Tracker is the live progress model.  It implements obs.EventSink:
+// install it with Scheduler.SetEvents, and it folds every lifecycle
+// event into per-run state, enriches heartbeats with rate and ETA,
+// detects stalls, and forwards everything to its bounded Bus for
+// streaming.  Safe for concurrent use.
+type Tracker struct {
+	bus    *obs.Bus
+	window time.Duration
+	now    func() time.Time
+
+	stalledTotal *obs.Counter
+	beatsTotal   *obs.Counter
+	eventsTotal  *obs.Counter
+	reg          *obs.Registry
+
+	mu    sync.Mutex
+	runs  map[string]*RunState
+	order []string
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewTracker creates a tracker and starts its stall detector (when the
+// window is positive).  Close releases it.
+func NewTracker(o TrackerOptions) *Tracker {
+	t := &Tracker{
+		bus:          obs.NewBus(o.BusBuffer),
+		window:       o.StallWindow,
+		now:          o.now,
+		stalledTotal: o.Registry.Counter(obs.MetricSchedStalled),
+		beatsTotal:   o.Registry.Counter(MetricLiveHeartbeats),
+		eventsTotal:  o.Registry.Counter(MetricLiveEvents),
+		reg:          o.Registry,
+		runs:         make(map[string]*RunState),
+		stop:         make(chan struct{}),
+	}
+	if t.now == nil {
+		t.now = time.Now
+	}
+	if t.window > 0 {
+		t.wg.Add(1)
+		go t.detect()
+	}
+	return t
+}
+
+// Bus returns the tracker's event bus (subscribe here for the enriched
+// stream).
+func (t *Tracker) Bus() *obs.Bus { return t.bus }
+
+// StallWindow returns the configured stall window (0 when disabled).
+func (t *Tracker) StallWindow() time.Duration { return t.window }
+
+// Close stops the stall detector.  The bus and snapshots stay readable.
+func (t *Tracker) Close() {
+	select {
+	case <-t.stop:
+	default:
+		close(t.stop)
+	}
+	t.wg.Wait()
+}
+
+// Publish implements obs.EventSink: fold the event into the run's state,
+// enrich heartbeats with rate/ETA, and forward to the bus.  State is
+// updated before forwarding, so a reader that joins late and replays the
+// snapshot never sees the model behind its own stream.
+func (t *Tracker) Publish(ev obs.Event) {
+	if ev.Time.IsZero() {
+		ev.Time = t.now()
+	}
+	t.eventsTotal.Inc()
+
+	t.mu.Lock()
+	r := t.runs[ev.Key]
+	if r == nil {
+		r = &RunState{Key: ev.Key, State: StateQueued}
+		t.runs[ev.Key] = r
+		t.order = append(t.order, ev.Key)
+	}
+	switch ev.Type {
+	case obs.EventQueued:
+		r.State = StateQueued
+	case obs.EventStarted:
+		r.State = StateRunning
+		r.Attempt = ev.Attempt
+		r.Started = ev.Time
+		// An attempt that produces no heartbeat at all — a hang before the
+		// first block boundary included — stalls relative to its start.
+		r.LastBeat = ev.Time
+		r.Stalled = false
+		r.ICount, r.Rate, r.ETASeconds = 0, 0, 0
+	case obs.EventHeartbeat:
+		t.beatsTotal.Inc()
+		r.ICount = ev.ICount
+		if ev.Budget > 0 {
+			r.Budget = ev.Budget
+		}
+		if el := ev.Time.Sub(r.Started).Seconds(); el > 0 && ev.ICount > 0 {
+			r.Rate = float64(ev.ICount) / el
+			if r.Budget > ev.ICount && r.Rate > 0 {
+				r.ETASeconds = float64(r.Budget-ev.ICount) / r.Rate
+			} else {
+				r.ETASeconds = 0
+			}
+		}
+		r.LastBeat = ev.Time
+		r.Stalled = false
+		// Enrich the outgoing event so stream consumers get rate and ETA
+		// without keeping their own per-run history.
+		ev.Rate = r.Rate
+		ev.ETASeconds = r.ETASeconds
+		if ev.Budget == 0 {
+			ev.Budget = r.Budget
+		}
+	case obs.EventRetry:
+		r.State = StateRetrying
+		r.Retries++
+		r.Err = ev.Err
+	case obs.EventCheckpointed:
+		r.Checkpointed = true
+	case obs.EventSucceeded:
+		r.State = StateSucceeded
+		if ev.ICount > 0 {
+			r.ICount = ev.ICount
+			if r.Budget == 0 || r.ICount < r.Budget {
+				// The run finished under (or without) budget: the final
+				// icount is the true denominator, so the page shows 100%.
+				r.Budget = r.ICount
+			}
+		}
+		r.Stalled = false
+		r.ETASeconds = 0
+	case obs.EventFailed:
+		r.State = StateFailed
+		r.Err = ev.Err
+		r.ETASeconds = 0
+	case obs.EventStalled:
+		r.Stalled = true
+	}
+	t.publishGaugesLocked()
+	t.mu.Unlock()
+
+	t.bus.Publish(ev)
+}
+
+// publishGaugesLocked refreshes the per-state run gauges.  Callers hold
+// t.mu.
+func (t *Tracker) publishGaugesLocked() {
+	if t.reg == nil {
+		return
+	}
+	counts := map[string]int{
+		StateQueued: 0, StateRunning: 0, StateRetrying: 0,
+		StateSucceeded: 0, StateFailed: 0,
+	}
+	for _, r := range t.runs {
+		counts[r.State]++
+	}
+	for state, n := range counts {
+		t.reg.Gauge(obs.Label(MetricLiveRuns, "state", state)).Set(float64(n))
+	}
+}
+
+// Snapshot returns every tracked run in first-seen order.
+func (t *Tracker) Snapshot() []RunState {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]RunState, 0, len(t.order))
+	for _, key := range t.order {
+		out = append(out, *t.runs[key])
+	}
+	return out
+}
+
+// detect is the stall detector loop: every quarter-window (clamped to
+// [10ms, 1s]) it flags running runs whose last heartbeat is older than
+// the window — once per stall, with the flag cleared by the next
+// heartbeat or attempt — incrementing the stall metric and emitting a
+// stalled event for each.
+func (t *Tracker) detect() {
+	defer t.wg.Done()
+	tick := t.window / 4
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	if tick > time.Second {
+		tick = time.Second
+	}
+	tk := time.NewTicker(tick)
+	defer tk.Stop()
+	for {
+		select {
+		case <-t.stop:
+			return
+		case <-tk.C:
+			t.sweep()
+		}
+	}
+}
+
+// sweep performs one stall-detection pass.
+func (t *Tracker) sweep() {
+	now := t.now()
+	var stalled []obs.Event
+	t.mu.Lock()
+	for _, key := range t.order {
+		r := t.runs[key]
+		if r.State != StateRunning || r.Stalled || now.Sub(r.LastBeat) <= t.window {
+			continue
+		}
+		r.Stalled = true
+		t.stalledTotal.Inc()
+		stalled = append(stalled, obs.Event{
+			Type: obs.EventStalled, Key: key, Time: now,
+			ICount: r.ICount, Budget: r.Budget, Attempt: r.Attempt,
+		})
+	}
+	t.mu.Unlock()
+	for _, ev := range stalled {
+		t.bus.Publish(ev)
+	}
+}

@@ -25,6 +25,9 @@ const (
 	// MetricSchedCheckpointSaves counts recordings persisted into a
 	// checkpoint journal.
 	MetricSchedCheckpointSaves = "tquad_sched_checkpoint_saves_total"
+	// MetricSchedStalled counts runs flagged by the live stall detector:
+	// started but heartbeat-silent for longer than the stall window.
+	MetricSchedStalled = "tquad_sched_stalled_total"
 )
 
 // Supervision bundles the supervision counters resolved against one

@@ -1,0 +1,62 @@
+// Horizontal bar charts: the live progress page's view of completed
+// runs' effective memory bandwidth.  Same rendering philosophy as the
+// heatmap — standard library only, self-contained SVG, byte-stable for
+// a given input.
+package plot
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Bar is one labelled sample in a bar chart.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// barGeometry mirrors the heatmap's layout constants.
+const (
+	barH      = 20
+	barMaxW   = 420
+	barValueW = 110
+)
+
+// Bars renders a horizontal bar chart, one row per sample in the order
+// given, scaled to the largest value.  unit annotates the values (e.g.
+// "bytes/kinstr").  An empty input renders a small "no data" SVG, like
+// Heatmap does.
+func Bars(title, unit string, bars []Bar) string {
+	if len(bars) == 0 {
+		return `<svg xmlns="http://www.w3.org/2000/svg" width="200" height="40"><text x="4" y="20">no data</text></svg>`
+	}
+	var max float64
+	for _, b := range bars {
+		if b.Value > max {
+			max = b.Value
+		}
+	}
+	w := labelW + barMaxW + barValueW
+	h := headerH + len(bars)*barH + 8
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="11">`+"\n", w, h)
+	fmt.Fprintf(&sb, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	fmt.Fprintf(&sb, `<text x="4" y="16" font-size="13">%s</text>`+"\n", escape(title))
+	for i, b := range bars {
+		y := headerH + i*barH
+		fmt.Fprintf(&sb, `<text x="4" y="%d">%s</text>`+"\n", y+barH-6, escape(b.Label))
+		bw := 0
+		if max > 0 {
+			bw = int(float64(barMaxW) * b.Value / max)
+		}
+		if bw > 0 {
+			fmt.Fprintf(&sb, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s"/>`+"\n",
+				labelW, y+2, bw, barH-6, colour(0.35+0.65*b.Value/max))
+		}
+		fmt.Fprintf(&sb, `<text x="%d" y="%d" fill="#555">%.4g %s</text>`+"\n",
+			labelW+bw+6, y+barH-6, b.Value, escape(unit))
+	}
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}

@@ -71,6 +71,32 @@ func TestHeatmapDownsamples(t *testing.T) {
 	}
 }
 
+func TestBars(t *testing.T) {
+	svg := plot.Bars("bw <chart>", "B/instr", []plot.Bar{
+		{Label: "run/a", Value: 2.5},
+		{Label: "run/<b>", Value: 5},
+	})
+	for _, want := range []string{
+		"<svg", "</svg>", "bw &lt;chart&gt;", // escaped title
+		">run/a<", "run/&lt;b&gt;", // escaped labels
+		"2.5 B/instr", "5 B/instr",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("bars SVG missing %q", want)
+		}
+	}
+	// Two bars; the larger value owns the full-width bar.
+	if got := strings.Count(svg, `<rect x="`); got != 2 {
+		t.Errorf("bars = %d, want 2", got)
+	}
+}
+
+func TestBarsEmpty(t *testing.T) {
+	if svg := plot.Bars("t", "u", nil); !strings.Contains(svg, "no data") {
+		t.Errorf("empty bars should say so:\n%s", svg)
+	}
+}
+
 func TestSortLanesByFirstActivity(t *testing.T) {
 	p := sample()
 	got := plot.SortLanesByFirstActivity(p, []string{"late", "early", "missing"})

@@ -1,0 +1,18 @@
+package study
+
+import "tquad/internal/core"
+
+// EffectiveBandwidth reduces a temporal profile to one number — average
+// memory traffic in bytes per instruction (reads + writes, stack
+// included) — for displays that chart completed runs side by side, like
+// the live progress page's bandwidth chart.
+func EffectiveBandwidth(prof *core.Profile) float64 {
+	if prof == nil || prof.TotalInstr == 0 {
+		return 0
+	}
+	var total uint64
+	for _, k := range prof.Kernels {
+		total += k.TotalReadIncl + k.TotalWriteIncl
+	}
+	return float64(total) / float64(prof.TotalInstr)
+}

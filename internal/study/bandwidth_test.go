@@ -1,0 +1,49 @@
+package study_test
+
+import (
+	"testing"
+
+	"tquad/internal/core"
+	"tquad/internal/study"
+)
+
+func TestEffectiveBandwidth(t *testing.T) {
+	if got := study.EffectiveBandwidth(nil); got != 0 {
+		t.Errorf("nil profile = %v, want 0", got)
+	}
+	if got := study.EffectiveBandwidth(&core.Profile{}); got != 0 {
+		t.Errorf("empty profile = %v, want 0", got)
+	}
+	prof := &core.Profile{
+		TotalInstr: 1000,
+		Kernels: []*core.KernelProfile{
+			{Name: "a", TotalReadIncl: 300, TotalWriteIncl: 100},
+			{Name: "b", TotalReadIncl: 500, TotalWriteIncl: 100},
+		},
+	}
+	if got := study.EffectiveBandwidth(prof); got != 1.0 {
+		t.Errorf("bandwidth = %v, want 1.0 B/instr (1000 bytes / 1000 instr)", got)
+	}
+}
+
+// TestEffectiveBandwidthFromRun: the helper applied to a real run is
+// positive and consistent with the profile's own totals.
+func TestEffectiveBandwidthFromRun(t *testing.T) {
+	sch := study.NewScheduler(newStudy(t, nil), 2)
+	defer sch.Close()
+	res, err := sch.Run(study.RunConfig{Kind: study.RunTQUAD, SliceInterval: 400_000, IncludeStack: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw := study.EffectiveBandwidth(res.Temporal)
+	if bw <= 0 {
+		t.Fatalf("bandwidth = %v, want > 0", bw)
+	}
+	var total uint64
+	for _, k := range res.Temporal.Kernels {
+		total += k.TotalReadIncl + k.TotalWriteIncl
+	}
+	if want := float64(total) / float64(res.Temporal.TotalInstr); bw != want {
+		t.Errorf("bandwidth = %v, want %v", bw, want)
+	}
+}

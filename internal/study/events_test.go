@@ -1,0 +1,184 @@
+package study_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"tquad/internal/obs"
+	"tquad/internal/study"
+	"tquad/internal/wfs"
+)
+
+// collector is a trivial obs.EventSink recording everything published.
+type collector struct {
+	mu  sync.Mutex
+	evs []obs.Event
+}
+
+func (c *collector) Publish(ev obs.Event) {
+	c.mu.Lock()
+	c.evs = append(c.evs, ev)
+	c.mu.Unlock()
+}
+
+func (c *collector) events() []obs.Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]obs.Event(nil), c.evs...)
+}
+
+// byKey splits collected events into per-key type sequences.
+func (c *collector) byKey() map[string][]string {
+	out := make(map[string][]string)
+	for _, ev := range c.events() {
+		out[ev.Key] = append(out[ev.Key], ev.Type)
+	}
+	return out
+}
+
+// TestSchedulerEventLifecycle: a successful replayed run emits queued →
+// started → heartbeats → succeeded for both the shared guest recording
+// and the configuration itself, with heartbeats carrying monotonic
+// progress against a budget.
+func TestSchedulerEventLifecycle(t *testing.T) {
+	sink := &collector{}
+	sch := study.NewScheduler(newStudy(t, nil), 2)
+	defer sch.Close()
+	sch.SetEvents(sink)
+	sch.SetHeartbeatStride(100_000)
+
+	cfg := study.RunConfig{Kind: study.RunTQUAD, SliceInterval: 200_000, IncludeStack: true}
+	res, err := sch.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seqs := sink.byKey()
+	for _, key := range []string{"record/guest", cfg.Key()} {
+		seq := seqs[key]
+		if len(seq) < 3 {
+			t.Fatalf("%s: too few events: %v", key, seq)
+		}
+		if seq[0] != obs.EventQueued || seq[1] != obs.EventStarted {
+			t.Errorf("%s: sequence starts %v, want queued, started", key, seq[:2])
+		}
+		if seq[len(seq)-1] != obs.EventSucceeded {
+			t.Errorf("%s: sequence ends %q, want succeeded", key, seq[len(seq)-1])
+		}
+		beats := 0
+		for _, typ := range seq {
+			if typ == obs.EventHeartbeat {
+				beats++
+			}
+		}
+		if beats == 0 {
+			t.Errorf("%s: no heartbeats in %v", key, seq)
+		}
+	}
+
+	// Heartbeats progress monotonically and stay within budget; the
+	// recording's budget is the instruction cap, the replay's is the
+	// recorded total.
+	var lastIC uint64
+	for _, ev := range sink.events() {
+		if ev.Type != obs.EventHeartbeat || ev.Key != cfg.Key() {
+			continue
+		}
+		if ev.ICount < lastIC {
+			t.Fatalf("heartbeat went backwards: %d then %d", lastIC, ev.ICount)
+		}
+		lastIC = ev.ICount
+		if ev.Budget != res.ICount {
+			t.Errorf("replay heartbeat budget = %d, want recorded icount %d", ev.Budget, res.ICount)
+		}
+	}
+	if lastIC == 0 {
+		t.Error("replay heartbeats carried no progress")
+	}
+}
+
+// TestSchedulerEventsRetryAndFail: transient failures emit retry events
+// with the attempt number, and exhausted retries end in a failed event
+// whose error matches what the caller sees.
+func TestSchedulerEventsRetryAndFail(t *testing.T) {
+	sink := &collector{}
+	sch := study.NewScheduler(newStudy(t, nil), 2)
+	defer sch.Close()
+	sch.SetEvents(sink)
+	sch.SetRetries(1)
+	sch.SetBackoff(time.Millisecond, 2*time.Millisecond)
+	sch.SetHooks(study.Hooks{
+		BeforeRun: func(_ context.Context, cfg study.RunConfig, attempt int) error {
+			return study.MarkTransient(errInjected)
+		},
+	})
+
+	cfg := study.RunConfig{Kind: study.RunNative}
+	_, err := sch.Run(cfg)
+	if err == nil {
+		t.Fatal("run succeeded despite always-failing hook")
+	}
+	seq := sink.byKey()[cfg.Key()]
+	want := []string{obs.EventQueued, obs.EventStarted, obs.EventRetry, obs.EventStarted, obs.EventFailed}
+	if len(seq) != len(want) {
+		t.Fatalf("sequence = %v, want %v", seq, want)
+	}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("sequence = %v, want %v", seq, want)
+		}
+	}
+	for _, ev := range sink.events() {
+		if ev.Type == obs.EventRetry && ev.Attempt != 1 {
+			t.Errorf("retry event attempt = %d, want 1", ev.Attempt)
+		}
+		if ev.Type == obs.EventFailed && ev.Key == cfg.Key() && ev.Err != err.Error() {
+			t.Errorf("failed event error %q, caller saw %q", ev.Err, err)
+		}
+	}
+}
+
+var errInjected = errors.New("injected transient failure")
+
+// TestSchedulerEventsDisabledByDefault: with no sink attached the
+// scheduler publishes nothing and a full run still succeeds — the
+// zero-overhead-off contract at the API level.
+func TestSchedulerEventsDisabledByDefault(t *testing.T) {
+	sch := study.NewScheduler(newStudy(t, nil), 2)
+	defer sch.Close()
+	if _, err := sch.Run(study.RunConfig{Kind: study.RunNative}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSchedulerEventsLiveExecution: with replay disabled, heartbeats
+// come from the vm's block-boundary watchdog and the budget is the
+// instruction cap.
+func TestSchedulerEventsLiveExecution(t *testing.T) {
+	sink := &collector{}
+	sch := study.NewScheduler(newStudy(t, nil), 2)
+	defer sch.Close()
+	sch.SetReplay(false)
+	sch.SetEvents(sink)
+	sch.SetHeartbeatStride(100_000)
+
+	cfg := study.RunConfig{Kind: study.RunFlat}
+	if _, err := sch.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	beats := 0
+	for _, ev := range sink.events() {
+		if ev.Type == obs.EventHeartbeat && ev.Key == cfg.Key() {
+			beats++
+			if ev.Budget != wfs.MaxInstr {
+				t.Fatalf("live heartbeat budget = %d, want %d", ev.Budget, wfs.MaxInstr)
+			}
+		}
+	}
+	if beats == 0 {
+		t.Error("live execution produced no heartbeats")
+	}
+}

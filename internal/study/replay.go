@@ -22,6 +22,7 @@ import (
 	"tquad/internal/obs"
 	"tquad/internal/pin"
 	"tquad/internal/quad"
+	"tquad/internal/vm"
 	"tquad/internal/wfs"
 )
 
@@ -48,6 +49,7 @@ type recording struct {
 	done      chan struct{}
 	path      string // trace file; a temp file unless persisted
 	persisted bool   // path lives in a checkpoint journal; Close keeps it
+	icount    uint64 // recorded guest instruction total (replay budget)
 	reg       *obs.Registry
 	spans     []obs.SpanRecord
 	err       error
@@ -74,21 +76,27 @@ func (sc *Scheduler) recordingLocked(key string) *recording {
 // into the checkpoint journal when one is attached.
 func (sc *Scheduler) record(pol policy, key string, rec *recording) {
 	defer close(rec.done)
+	evKey := "record/" + key
+	pol.emit(obs.Event{Type: obs.EventQueued, Key: evKey})
 	ctx := pol.ctx
 	if pol.ckpt != nil {
 		if path, ok := pol.ckpt.trace(key); ok {
 			// A previous sweep already recorded this group: replay from the
 			// persisted trace, executing the guest zero times.
 			rec.path, rec.persisted = path, true
+			rec.icount = statTraceICount(pol, path)
 			sc.sup.CheckpointHits.Inc()
+			pol.emit(obs.Event{Type: obs.EventCheckpointed, Key: evKey, ICount: rec.icount})
+			pol.emit(obs.Event{Type: obs.EventSucceeded, Key: evKey, ICount: rec.icount})
 			return
 		}
 	}
-	sched := backoffSchedule("record/"+key, pol.retries, pol.base, pol.cap)
+	sched := backoffSchedule(evKey, pol.retries, pol.base, pol.cap)
 	for attempt := 0; ; attempt++ {
 		if cerr := ctx.Err(); cerr != nil {
 			sc.sup.Cancels.Inc()
 			rec.err = cerr
+			pol.emit(obs.Event{Type: obs.EventFailed, Key: evKey, Err: cerr.Error()})
 			return
 		}
 		rec.err = sc.recordOnce(pol, key, attempt, rec)
@@ -97,14 +105,17 @@ func (sc *Scheduler) record(pol policy, key string, rec *recording) {
 				if path, err := pol.ckpt.saveTrace(key, rec.path); err == nil {
 					rec.path, rec.persisted = path, true
 					sc.sup.CheckpointSaves.Inc()
+					pol.emit(obs.Event{Type: obs.EventCheckpointed, Key: evKey, ICount: rec.icount})
 				}
 			}
+			pol.emit(obs.Event{Type: obs.EventSucceeded, Key: evKey, ICount: rec.icount})
 			return
 		}
 		if attempt >= pol.retries || !IsTransient(rec.err) {
 			break
 		}
 		sc.sup.Retries.Inc()
+		pol.emit(obs.Event{Type: obs.EventRetry, Key: evKey, Attempt: attempt + 1, Err: rec.err.Error()})
 		if !sleepCtx(ctx, sched[attempt]) {
 			break
 		}
@@ -114,6 +125,27 @@ func (sc *Scheduler) record(pol policy, key string, rec *recording) {
 	} else {
 		sc.sup.Failures.Inc()
 	}
+	pol.emit(obs.Event{Type: obs.EventFailed, Key: evKey, Err: rec.err.Error()})
+}
+
+// statTraceICount reads a checkpointed trace's recorded instruction
+// total — the budget the live dashboard shows replays progressing
+// against.  Only paid when events are on; any failure just yields an
+// unknown (zero) budget.
+func statTraceICount(pol policy, path string) uint64 {
+	if pol.events == nil {
+		return 0
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	info, err := etrace.Stat(f)
+	if err != nil {
+		return 0
+	}
+	return info.FinalICount
 }
 
 // recordOnce performs one recording attempt.  On any failure —
@@ -145,6 +177,7 @@ func (sc *Scheduler) recordOnce(pol policy, key string, attempt int, rec *record
 		actx, cancel = context.WithTimeout(ctx, pol.runTimeout)
 		defer cancel()
 	}
+	pol.emit(obs.Event{Type: obs.EventStarted, Key: "record/" + key, Attempt: attempt + 1})
 	if hook := pol.hooks.BeforeRecord; hook != nil {
 		if herr := hook(actx, key, attempt); herr != nil {
 			return herr
@@ -161,7 +194,10 @@ func (sc *Scheduler) recordOnce(pol policy, key string, attempt int, rec *record
 	}
 	bw := bufio.NewWriterSize(out, 1<<16)
 	sc.guestExecs.Add(1)
-	reg, spans, err := sc.study.recordGuest(bw, runOptions{ctx: actx, maxInstr: pol.maxInstr, hooks: pol.hooks})
+	reg, spans, icount, err := sc.study.recordGuest(bw, runOptions{
+		ctx: actx, maxInstr: pol.maxInstr, hooks: pol.hooks,
+		beat: pol.beatFunc("record/"+key, pol.maxInstr),
+	})
 	if err == nil {
 		if ferr := bw.Flush(); ferr != nil {
 			err = MarkTransient(ferr)
@@ -173,17 +209,19 @@ func (sc *Scheduler) recordOnce(pol policy, key string, attempt int, rec *record
 	if err != nil {
 		return err
 	}
-	rec.reg, rec.spans = reg, spans
+	rec.reg, rec.spans, rec.icount = reg, spans, icount
 	return nil
 }
 
 // recordGuest executes the guest once with only the event-trace recorder
 // attached, writing the trace to w.  It returns the recording run's
 // private observability (merged by Flush under a "record/" root so trace
-// output distinguishes the recording from the replays that consume it).
-// Trace-write failures are host I/O, not guest behaviour, so they come
-// back marked transient; guest failures stay permanent.
-func (s *Study) recordGuest(w io.Writer, opt runOptions) (*obs.Registry, []obs.SpanRecord, error) {
+// output distinguishes the recording from the replays that consume it)
+// and the executed instruction total, which becomes the replays' budget
+// on the live dashboard.  Trace-write failures are host I/O, not guest
+// behaviour, so they come back marked transient; guest failures stay
+// permanent.
+func (s *Study) recordGuest(w io.Writer, opt runOptions) (*obs.Registry, []obs.SpanRecord, uint64, error) {
 	if opt.ctx == nil {
 		opt.ctx = context.Background()
 	}
@@ -206,10 +244,13 @@ func (s *Study) recordGuest(w io.Writer, opt runOptions) (*obs.Registry, []obs.S
 	instrument.End()
 	if err != nil {
 		run.End()
-		return nil, nil, MarkTransient(err)
+		return nil, nil, 0, MarkTransient(err)
 	}
 	if opt.hooks.Machine != nil {
 		opt.hooks.Machine(opt.ctx, m)
+	}
+	if beat := opt.beat; beat != nil {
+		m.PushWatchdog(func(m *vm.Machine) error { beat(m.ICount); return nil })
 	}
 
 	execute := ro.Tracer().Start("execute")
@@ -227,14 +268,14 @@ func (s *Study) recordGuest(w io.Writer, opt runOptions) (*obs.Registry, []obs.S
 	}
 	run.End()
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
 	m.PublishMetrics(ro.Registry())
 	e.PublishMetrics(ro.Registry())
 	if ro == nil {
-		return nil, nil, nil
+		return nil, nil, m.ICount, nil
 	}
-	return ro.Metrics, ro.Spans.Records(), nil
+	return ro.Metrics, ro.Spans.Records(), m.ICount, nil
 }
 
 // replayConfig produces one configuration's result by replaying the
@@ -274,6 +315,9 @@ func (s *Study) replayConfig(cfg RunConfig, path string, opt runOptions) (*RunRe
 	if err != nil {
 		run.End()
 		return nil, fmt.Errorf("study: run %s: %w", res.Key, err)
+	}
+	if opt.beat != nil {
+		rp.OnProgress(opt.beat)
 	}
 
 	replay := ro.Tracer().Start("replay")

@@ -38,6 +38,7 @@ import (
 	"tquad/internal/phase"
 	"tquad/internal/pin"
 	"tquad/internal/quad"
+	"tquad/internal/vm"
 	"tquad/internal/wfs"
 )
 
@@ -189,6 +190,8 @@ type Scheduler struct {
 	hooks       Hooks
 	ckpt        *Checkpoint
 	sup         obs.Supervision
+	events      obs.EventSink
+	beatEvery   uint64
 
 	mu        sync.Mutex
 	memo      map[string]*Pending
@@ -289,6 +292,27 @@ func (sc *Scheduler) SetHooks(h Hooks) {
 	sc.mu.Unlock()
 }
 
+// SetEvents attaches a lifecycle event sink: every subsequently
+// submitted run and recording emits queued/started/heartbeat/retry/
+// checkpointed/succeeded/failed events to it (see internal/obs).  A nil
+// sink — the default — disables events entirely: the hot paths stay
+// byte-identical to an event-free scheduler.  Call before the first
+// Submit.
+func (sc *Scheduler) SetEvents(sink obs.EventSink) {
+	sc.mu.Lock()
+	sc.events = sink
+	sc.mu.Unlock()
+}
+
+// SetHeartbeatStride sets how many guest instructions elapse between
+// heartbeat events (0 restores DefaultHeartbeatStride).  Only meaningful
+// with an event sink attached.
+func (sc *Scheduler) SetHeartbeatStride(n uint64) {
+	sc.mu.Lock()
+	sc.beatEvery = n
+	sc.mu.Unlock()
+}
+
 // SetCheckpoint attaches an open checkpoint journal: completed runs are
 // journalled as they finish, finished recordings are persisted into the
 // journal directory, and on resume both are served from it — a resumed
@@ -363,6 +387,7 @@ func (sc *Scheduler) Submit(cfg RunConfig) *Pending {
 	}
 	invalid := sc.replay && !cfg.Kind.known()
 	sc.mu.Unlock()
+	pol.emit(obs.Event{Type: obs.EventQueued, Key: key})
 	go func() {
 		defer close(p.done)
 		switch {
@@ -371,29 +396,40 @@ func (sc *Scheduler) Submit(cfg RunConfig) *Pending {
 			// cost (or wait for) a guest execution, and its failure must
 			// surface for every duplicate submission of the same key.
 			p.err = fmt.Errorf("study: unknown run kind %d", cfg.Kind)
-			return
 		case replay:
 			<-rec.done
 			if rec.err != nil {
 				p.err = fmt.Errorf("study: run %s: record: %w", key, rec.err)
-				return
+				break
 			}
 			p.res, p.err = sc.supervised(pol, key, cfg, func(actx context.Context, attempt int) (*RunResult, error) {
-				return sc.study.replayConfig(cfg, rec.path, runOptions{ctx: actx, hooks: pol.hooks})
+				return sc.study.replayConfig(cfg, rec.path, runOptions{
+					ctx: actx, hooks: pol.hooks,
+					beat: pol.beatFunc(key, rec.icount),
+				})
 			})
 		default:
 			p.res, p.err = sc.supervised(pol, key, cfg, func(actx context.Context, attempt int) (*RunResult, error) {
 				if cfg.Kind.known() {
 					sc.guestExecs.Add(1)
 				}
-				return sc.study.executeConfig(cfg, runOptions{ctx: actx, maxInstr: pol.maxInstr, hooks: pol.hooks})
+				return sc.study.executeConfig(cfg, runOptions{
+					ctx: actx, maxInstr: pol.maxInstr, hooks: pol.hooks,
+					beat: pol.beatFunc(key, pol.maxInstr),
+				})
 			})
 		}
-		if p.err == nil && pol.ckpt != nil {
+		if p.err != nil {
+			pol.emit(obs.Event{Type: obs.EventFailed, Key: key, Err: p.err.Error()})
+			return
+		}
+		pol.emit(obs.Event{Type: obs.EventSucceeded, Key: key, ICount: p.res.ICount})
+		if pol.ckpt != nil {
 			pol.ckpt.markDone(doneEntry{
 				Key: key, Kind: cfg.Kind.String(),
 				ICount: p.res.ICount, Time: p.res.Time,
 			})
+			pol.emit(obs.Event{Type: obs.EventCheckpointed, Key: key, ICount: p.res.ICount})
 		}
 	}()
 	return p
@@ -583,6 +619,12 @@ func (s *Study) executeConfig(cfg RunConfig, opt runOptions) (*RunResult, error)
 	}
 	if opt.hooks.Machine != nil {
 		opt.hooks.Machine(opt.ctx, m)
+	}
+	if beat := opt.beat; beat != nil {
+		// Heartbeats ride the block-boundary watchdog, so with no beat
+		// (and no other supervision) the vm keeps its unsupervised fast
+		// loop and the run stays byte-identical to an unobserved one.
+		m.PushWatchdog(func(m *vm.Machine) error { beat(m.ICount); return nil })
 	}
 
 	execute := ro.Tracer().Start("execute")

@@ -31,6 +31,7 @@ import (
 	"runtime/debug"
 	"time"
 
+	"tquad/internal/obs"
 	"tquad/internal/vm"
 )
 
@@ -113,6 +114,11 @@ type runOptions struct {
 	ctx      context.Context
 	maxInstr uint64
 	hooks    Hooks
+	// beat, when non-nil, receives periodic guest progress (instructions
+	// executed or replayed so far).  Live runs drive it from the vm's
+	// block-boundary watchdog, replays from the trace decoder's stride
+	// poll; nil — the default — leaves both hot paths untouched.
+	beat func(ic uint64)
 }
 
 // policy is a submission-time snapshot of the scheduler's supervision
@@ -127,6 +133,8 @@ type policy struct {
 	maxInstr   uint64
 	hooks      Hooks
 	ckpt       *Checkpoint
+	events     obs.EventSink
+	beatEvery  uint64
 }
 
 // policyLocked snapshots the current policy.  Callers hold sc.mu.
@@ -140,8 +148,55 @@ func (sc *Scheduler) policyLocked() policy {
 		maxInstr:   sc.maxInstr,
 		hooks:      sc.hooks,
 		ckpt:       sc.ckpt,
+		events:     sc.events,
+		beatEvery:  sc.beatEvery,
 	}
 }
+
+// emit publishes one lifecycle event when an event sink is attached.
+// With no sink (the default) this is a nil-interface check and nothing
+// else — the supervision paths stay event-free.
+func (pol policy) emit(ev obs.Event) {
+	if pol.events == nil {
+		return
+	}
+	pol.events.Publish(ev)
+}
+
+// beatFunc builds the heartbeat callback for one run: it throttles raw
+// progress samples to one event per beatEvery guest instructions and
+// publishes them with the run's identity and budget attached.  Returns
+// nil — meaning "leave the hot path alone" — when no sink is attached.
+// The returned closure is driven from a single goroutine (the run's
+// execution loop), so the throttle needs no synchronisation.
+func (pol policy) beatFunc(key string, budget uint64) func(ic uint64) {
+	if pol.events == nil {
+		return nil
+	}
+	stride := pol.beatEvery
+	if stride == 0 {
+		stride = DefaultHeartbeatStride
+	}
+	var last uint64
+	first := true
+	return func(ic uint64) {
+		if !first && ic-last < stride {
+			return
+		}
+		first = false
+		last = ic
+		pol.events.Publish(obs.Event{
+			Type: obs.EventHeartbeat, Key: key,
+			ICount: ic, Budget: budget,
+		})
+	}
+}
+
+// DefaultHeartbeatStride is how many guest instructions elapse between
+// heartbeat events when SetHeartbeatStride has not overridden it.  At
+// the vm's typical throughput this is several beats per second — dense
+// enough for live rate/ETA display, sparse enough to be free.
+const DefaultHeartbeatStride = 1 << 20
 
 // backoffSchedule precomputes the retry sleeps for a run key: capped
 // exponential backoff with jitter drawn from a PRNG seeded by the key,
@@ -211,6 +266,7 @@ func (sc *Scheduler) supervised(pol policy, key string, cfg RunConfig, fn func(c
 			break
 		}
 		sc.sup.Retries.Inc()
+		pol.emit(obs.Event{Type: obs.EventRetry, Key: key, Attempt: attempt + 1, Err: err.Error()})
 		if !sleepCtx(ctx, sched[attempt]) {
 			break
 		}
@@ -248,6 +304,7 @@ func (sc *Scheduler) attempt(pol policy, key string, cfg RunConfig, attempt int,
 		actx, cancel = context.WithTimeout(ctx, pol.runTimeout)
 		defer cancel()
 	}
+	pol.emit(obs.Event{Type: obs.EventStarted, Key: key, Attempt: attempt + 1})
 	if hook := pol.hooks.BeforeRun; hook != nil {
 		if herr := hook(actx, cfg, attempt); herr != nil {
 			return nil, fmt.Errorf("study: run %s: %w", key, herr)

@@ -98,6 +98,55 @@ func TestWatchdogTrapAtInstruction(t *testing.T) {
 	}
 }
 
+// TestPushWatchdogChains: PushWatchdog composes supervisors — the
+// pushed function runs first at every boundary, the previous watchdog
+// still runs, and an error from either stops the run.
+func TestPushWatchdogChains(t *testing.T) {
+	m := loopMachine()
+	var order []string
+	stop := errors.New("stop")
+	m.Watchdog = func(m *vm.Machine) error {
+		order = append(order, "base")
+		if len(order) >= 4 {
+			return stop
+		}
+		return nil
+	}
+	m.PushWatchdog(func(m *vm.Machine) error {
+		order = append(order, "pushed")
+		return nil
+	})
+	m.PushWatchdog(nil) // no-op
+	if err := m.RunContext(context.Background(), 0); !errors.Is(err, stop) {
+		t.Fatalf("err = %v, want stop", err)
+	}
+	want := []string{"pushed", "base", "pushed", "base"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestPushWatchdogOntoEmptyChain: pushing onto a machine with no
+// watchdog just installs the function.
+func TestPushWatchdogOntoEmptyChain(t *testing.T) {
+	m := loopMachine()
+	fired := errors.New("fired")
+	m.PushWatchdog(func(m *vm.Machine) error {
+		if m.ICount >= 100 {
+			return fired
+		}
+		return nil
+	})
+	if err := m.RunContext(context.Background(), 0); !errors.Is(err, fired) {
+		t.Fatalf("err = %v, want fired", err)
+	}
+}
+
 // TestRunContextCleanHalt: a supervised run of a halting program
 // completes normally even with a live context and watchdog attached.
 func TestRunContextCleanHalt(t *testing.T) {

@@ -762,6 +762,28 @@ func (m *Machine) Run(maxInstr uint64) error {
 	return m.RunContext(context.Background(), maxInstr)
 }
 
+// PushWatchdog composes fn onto the machine's watchdog chain: fn runs
+// first at every block boundary, then whatever watchdog was already
+// installed.  It lets independent supervisors — a fault injector's trap,
+// a progress heartbeat — stack without knowing about each other.  A nil
+// fn leaves the chain unchanged.
+func (m *Machine) PushWatchdog(fn func(m *Machine) error) {
+	if fn == nil {
+		return
+	}
+	prev := m.Watchdog
+	if prev == nil {
+		m.Watchdog = fn
+		return
+	}
+	m.Watchdog = func(m *Machine) error {
+		if err := fn(m); err != nil {
+			return err
+		}
+		return prev(m)
+	}
+}
+
 // RunContext is Run with supervision: the context and the machine's
 // Watchdog are checked at basic-block boundaries — after every taken
 // control transfer, not per instruction, so the straight-line hot path
