@@ -6,7 +6,7 @@ GO ?= go
 # the run loudly, not stall CI at the default 10 minutes per package.
 TEST_TIMEOUT ?= 300s
 
-.PHONY: build test vet race chaos fuzz bench bench-json verify
+.PHONY: build test vet race chaos fuzz bench bench-json bench-compare verify
 
 build:
 	$(GO) build ./...
@@ -19,10 +19,13 @@ vet:
 
 # Race-hammers the observability layer (shared metrics registry + tracer),
 # the parallel experiment scheduler (a full concurrent study sweep, cache
-# sweeps included), the event-trace recorder/replayer it drives and the
-# memory-hierarchy simulator attached across worker threads.
+# sweeps included), the event-trace recorder/replayer it drives, the
+# memory-hierarchy simulator attached across worker threads, the block
+# execution engine (per-machine caches on concurrent sweep workers) and
+# the cache-bearing block-engine kill/cancel/resume sweep at the root.
 race:
-	$(GO) test -race -timeout $(TEST_TIMEOUT) ./internal/obs/... ./internal/study/... ./internal/etrace/... ./internal/memsim/...
+	$(GO) test -race -timeout $(TEST_TIMEOUT) ./internal/obs/... ./internal/study/... ./internal/etrace/... ./internal/memsim/... ./internal/vm/...
+	$(GO) test -race -timeout $(TEST_TIMEOUT) -run 'TestChaosBlockEngine|TestChaosMidSweepCancellation' .
 
 # The chaos suite: drives full scheduler sweeps through the deterministic
 # fault injector (internal/chaos) under the race detector — worker panics,
@@ -51,13 +54,21 @@ bench:
 # midnight cannot split the log across two files, and both passes write
 # through a single compound redirect so the file is either the complete
 # two-pass log or (on failure) removed — never an interleaved or
-# truncated JSON stream.
+# truncated JSON stream.  Same-day reruns never clobber an earlier log:
+# they write BENCH_<date>.2.json, .3.json, … which cmd/benchcmp orders
+# after the base file.
 BENCH_DATE := $(shell date +%Y-%m-%d)
-BENCH_LOG  := BENCH_$(BENCH_DATE).json
 bench-json:
+	@f=BENCH_$(BENCH_DATE).json; n=2; \
+	while [ -e $$f ]; do f=BENCH_$(BENCH_DATE).$$n.json; n=$$((n+1)); done; \
+	echo "writing $$f"; \
 	{ $(GO) test -bench . -benchtime 1x -json && \
-	  $(GO) test -bench BenchmarkMemSim -benchtime 1x -json ./internal/memsim; } > $(BENCH_LOG) \
-	  || { rm -f $(BENCH_LOG); exit 1; }
+	  $(GO) test -bench BenchmarkMemSim -benchtime 1x -json ./internal/memsim; } > $$f \
+	  || { rm -f $$f; exit 1; }
+
+# Per-benchmark deltas between the two newest BENCH_*.json logs.
+bench-compare:
+	$(GO) run ./cmd/benchcmp
 
 # One-shot pre-merge gate: build, vet, the full test suite, and the
 # race-detector pass over the concurrency-heavy packages.

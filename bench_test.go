@@ -303,6 +303,10 @@ func benchObsRun(b *testing.B, o *obs.Observer) {
 	if err != nil {
 		b.Fatalf("slice: %v", err)
 	}
+	// Workload build and native calibration (SliceForCount runs the
+	// uninstrumented workload once) are setup, not the instrumented run
+	// under measurement — exclude them so 1x logs compare run cost.
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		prof, _, err := s.TQUAD(core.Options{SliceInterval: iv, IncludeStack: true})
 		if err != nil {

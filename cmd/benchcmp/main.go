@@ -1,0 +1,216 @@
+// Command benchcmp compares two dated benchmark logs produced by `make
+// bench-json` (go test -json streams) and prints per-benchmark deltas.
+//
+// With no arguments it picks the two newest BENCH_*.json files in the
+// current directory — same-day reruns are written as BENCH_<date>.2.json,
+// BENCH_<date>.3.json, … and order after the base file — so the common
+// workflow is simply:
+//
+//	make bench-json   # before the change
+//	make bench-json   # after the change
+//	make bench-compare
+//
+// Two explicit paths (old first, new second) compare any pair of logs.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"tquad/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchcmp: ")
+	var oldPath, newPath string
+	switch len(os.Args) {
+	case 1:
+		var err error
+		oldPath, newPath, err = newestPair(".")
+		if err != nil {
+			log.Fatal(err)
+		}
+	case 3:
+		oldPath, newPath = os.Args[1], os.Args[2]
+	default:
+		log.Fatal("usage: benchcmp [old.json new.json]")
+	}
+	oldRes, err := parseBenchLog(oldPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	newRes, err := parseBenchLog(newPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("old: %s\nnew: %s\n\n", oldPath, newPath)
+	fmt.Print(renderComparison(oldRes, newRes))
+}
+
+// benchKey orders BENCH_<date>[.rev].json filenames: by date, then by
+// the numeric rerun revision (the bare file is revision 1).
+type benchKey struct {
+	date string
+	rev  int
+}
+
+var benchName = regexp.MustCompile(`^BENCH_(\d{4}-\d{2}-\d{2})(?:\.(\d+))?\.json$`)
+
+func parseBenchName(name string) (benchKey, bool) {
+	m := benchName.FindStringSubmatch(name)
+	if m == nil {
+		return benchKey{}, false
+	}
+	k := benchKey{date: m[1], rev: 1}
+	if m[2] != "" {
+		k.rev, _ = strconv.Atoi(m[2])
+	}
+	return k, true
+}
+
+// newestPair returns the two newest benchmark logs in dir (older first).
+func newestPair(dir string) (oldPath, newPath string, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", "", err
+	}
+	type dated struct {
+		key  benchKey
+		name string
+	}
+	var logs []dated
+	for _, e := range entries {
+		if k, ok := parseBenchName(e.Name()); ok {
+			logs = append(logs, dated{key: k, name: e.Name()})
+		}
+	}
+	if len(logs) < 2 {
+		return "", "", fmt.Errorf("need at least two BENCH_*.json files in %s, found %d", dir, len(logs))
+	}
+	sort.Slice(logs, func(i, j int) bool {
+		if logs[i].key.date != logs[j].key.date {
+			return logs[i].key.date < logs[j].key.date
+		}
+		return logs[i].key.rev < logs[j].key.rev
+	})
+	n := len(logs)
+	return filepath.Join(dir, logs[n-2].name), filepath.Join(dir, logs[n-1].name), nil
+}
+
+// benchLine matches one benchmark result in the reassembled test output:
+// name, iteration count, ns/op.  Extra per-benchmark metrics after ns/op
+// are ignored.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op`)
+
+// parseBenchLog extracts benchmark name → ns/op from a go test -json
+// stream.  Output events split long lines across several JSON records,
+// so the output is reassembled per package before scanning.
+func parseBenchLog(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	type event struct {
+		Action  string
+		Package string
+		Output  string
+	}
+	outputs := make(map[string]*strings.Builder)
+	var order []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		b := outputs[ev.Package]
+		if b == nil {
+			b = &strings.Builder{}
+			outputs[ev.Package] = b
+			order = append(order, ev.Package)
+		}
+		b.WriteString(ev.Output)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	results := make(map[string]float64)
+	for _, pkg := range order {
+		for _, line := range strings.Split(outputs[pkg].String(), "\n") {
+			if m := benchLine.FindStringSubmatch(line); m != nil {
+				ns, err := strconv.ParseFloat(m[3], 64)
+				if err == nil {
+					results[m[1]] = ns
+				}
+			}
+		}
+	}
+	if len(results) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark results found", path)
+	}
+	return results, nil
+}
+
+// renderComparison renders the per-benchmark delta table in the shared
+// report idiom.  Benchmarks present in only one log are listed with a
+// dash; speedup is old/new (higher is better).
+func renderComparison(oldRes, newRes map[string]float64) string {
+	names := make(map[string]bool)
+	for n := range oldRes {
+		names[n] = true
+	}
+	for n := range newRes {
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	t := report.NewTable("benchmark", "old", "new", "delta", "speedup")
+	for _, n := range sorted {
+		o, haveOld := oldRes[n]
+		v, haveNew := newRes[n]
+		switch {
+		case !haveOld:
+			t.AddRow(n, "-", fmtSec(v), "-", "-")
+		case !haveNew:
+			t.AddRow(n, fmtSec(o), "-", "-", "-")
+		default:
+			t.AddRow(n, fmtSec(o), fmtSec(v),
+				fmt.Sprintf("%+.1f%%", 100*(v-o)/o),
+				fmt.Sprintf("%.2fx", o/v))
+		}
+	}
+	return t.String()
+}
+
+func fmtSec(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.3fs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.1fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", ns/1e3)
+	}
+	return fmt.Sprintf("%.0fns", ns)
+}

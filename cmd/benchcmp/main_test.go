@@ -1,0 +1,100 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchNameOrdersSameDayReruns(t *testing.T) {
+	cases := []struct {
+		name string
+		ok   bool
+		date string
+		rev  int
+	}{
+		{"BENCH_2026-08-08.json", true, "2026-08-08", 1},
+		{"BENCH_2026-08-08.2.json", true, "2026-08-08", 2},
+		{"BENCH_2026-08-08.10.json", true, "2026-08-08", 10},
+		{"BENCH_2026-08-09.json", true, "2026-08-09", 1},
+		{"BENCH_notes.json", false, "", 0},
+		{"bench_2026-08-08.json", false, "", 0},
+	}
+	for _, c := range cases {
+		k, ok := parseBenchName(c.name)
+		if ok != c.ok {
+			t.Fatalf("%s: ok=%v, want %v", c.name, ok, c.ok)
+		}
+		if ok && (k.date != c.date || k.rev != c.rev) {
+			t.Fatalf("%s: key=%+v, want {%s %d}", c.name, k, c.date, c.rev)
+		}
+	}
+}
+
+// writeLog writes a minimal go test -json stream with one benchmark
+// whose result line is split across two output events — the shape real
+// logs have for wide result lines.
+func writeLog(t *testing.T, dir, name string, ns string) {
+	t.Helper()
+	lines := []string{
+		`{"Action":"start","Package":"tquad"}`,
+		`{"Action":"output","Package":"tquad","Output":"BenchmarkRunObsOff\n"}`,
+		`{"Action":"output","Package":"tquad","Output":"BenchmarkRunObsOff \t"}`,
+		`{"Action":"output","Package":"tquad","Output":"       1\t` + ns + ` ns/op\n"}`,
+		`{"Action":"pass","Package":"tquad"}`,
+	}
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewestPairPicksLatestRevisions(t *testing.T) {
+	dir := t.TempDir()
+	writeLog(t, dir, "BENCH_2026-08-07.json", "7000000000")
+	writeLog(t, dir, "BENCH_2026-08-08.json", "5000000000")
+	writeLog(t, dir, "BENCH_2026-08-08.2.json", "1000000000")
+	oldPath, newPath, err := newestPair(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(oldPath) != "BENCH_2026-08-08.json" || filepath.Base(newPath) != "BENCH_2026-08-08.2.json" {
+		t.Fatalf("picked (%s, %s), want same-day base then rerun", oldPath, newPath)
+	}
+}
+
+func TestCompareEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	writeLog(t, dir, "BENCH_2026-08-08.json", "5000000000")
+	writeLog(t, dir, "BENCH_2026-08-08.2.json", "1000000000")
+	oldPath, newPath, err := newestPair(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldRes, err := parseBenchLog(oldPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newRes, err := parseBenchLog(newPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oldRes["BenchmarkRunObsOff"] != 5e9 || newRes["BenchmarkRunObsOff"] != 1e9 {
+		t.Fatalf("parsed ns/op: old=%v new=%v", oldRes, newRes)
+	}
+	out := renderComparison(oldRes, newRes)
+	if !strings.Contains(out, "BenchmarkRunObsOff") || !strings.Contains(out, "5.00x") || !strings.Contains(out, "-80.0%") {
+		t.Fatalf("comparison table missing expected cells:\n%s", out)
+	}
+}
+
+func TestParseBenchLogRejectsEmpty(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_2026-08-08.json")
+	if err := os.WriteFile(path, []byte(`{"Action":"start","Package":"tquad"}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parseBenchLog(path); err == nil {
+		t.Fatal("expected error for a log with no benchmark results")
+	}
+}

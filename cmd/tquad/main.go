@@ -117,6 +117,7 @@ func main() {
 		maxICount  = flag.Uint64("max-icount", 0, "guest instruction budget per run (0 = default)")
 		retries    = flag.Int("retries", 0, "sweep only: retries per run after transient failures")
 		resume     = flag.String("resume", "", "sweep only: checkpoint journal directory for resumable sweeps")
+		engine     = flag.String("engine", "block", "execution engine: block (pre-decoded basic blocks) or step (reference interpreter)")
 		serveAddr  = flag.String("serve", "", "serve live telemetry (progress page, /metrics, /events, pprof) on this address, e.g. :8080")
 		stallWin   = flag.Duration("stall-window", 10*time.Second, "with -serve: flag a run as stalled after this long without a heartbeat (0 = never)")
 	)
@@ -136,6 +137,10 @@ func main() {
 	if *retries < 0 {
 		log.Fatalf("bad -retries %d: must be >= 0", *retries)
 	}
+	if *engine != "block" && *engine != "step" {
+		log.Fatalf("bad -engine %q: must be block or step", *engine)
+	}
+	interpret := *engine == "step"
 	if *recordOut != "" && *replayIn != "" {
 		log.Fatal("-record and -replay are mutually exclusive")
 	}
@@ -240,7 +245,8 @@ func main() {
 	if sweep {
 		sup := supervision{
 			ctx: ctx, retries: *retries, resume: *resume, budget: budget,
-			obs: liveObs, events: tracker, chart: chart,
+			interpret: interpret,
+			obs:       liveObs, events: tracker, chart: chart,
 		}
 		if err := runSweep(cfg, intervals, caches, includeStack, *ignoreLibs, *jobs, *metric, *kernels, *width, sup); err != nil {
 			log.Fatal(err)
@@ -260,6 +266,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	w.Interpret = interpret
 	instrument := o.Tracer().Start("instrument")
 	m, _ := w.NewMachine()
 	e := pin.NewEngine(m)
@@ -434,6 +441,10 @@ func main() {
 	if o != nil {
 		fmt.Println()
 		fmt.Print("pipeline stages:\n" + study.RenderSpans(o.Spans))
+		if blocks := study.RenderBlockEngine(o.Metrics); blocks != "" {
+			fmt.Println()
+			fmt.Print("block execution engine:\n" + blocks)
+		}
 	}
 }
 
@@ -611,10 +622,11 @@ func replayOne(ctx context.Context, path string, interval uint64, mc *memsim.Con
 
 // supervision bundles the sweep's resilience and telemetry settings.
 type supervision struct {
-	ctx     context.Context
-	retries int
-	resume  string
-	budget  uint64
+	ctx       context.Context
+	retries   int
+	resume    string
+	budget    uint64
+	interpret bool // run guests on the reference interpreter (-engine=step)
 
 	// Live telemetry (all nil unless -serve): the observer whose registry
 	// the server exposes, the tracker receiving lifecycle events, and the
@@ -633,6 +645,7 @@ func runSweep(cfg wfs.Config, intervals []uint64, caches []memsim.Config, includ
 	if err != nil {
 		return err
 	}
+	s.W.Interpret = sup.interpret
 	sch := study.NewScheduler(s, jobs)
 	defer sch.Close()
 	sch.SetContext(sup.ctx)

@@ -84,6 +84,7 @@ type options struct {
 	journalOut string
 	serveAddr  string
 	stallWin   time.Duration
+	engine     string
 }
 
 func main() {
@@ -101,6 +102,7 @@ func main() {
 	flag.StringVar(&opt.metricsOut, "metrics", "", "write a Prometheus text-format metrics snapshot to this file")
 	flag.StringVar(&opt.traceOut, "trace", "", "write a chrome://tracing JSON trace of the pipeline stages to this file")
 	flag.StringVar(&opt.journalOut, "journal", "", "write a JSONL event journal (spans + metrics) to this file")
+	flag.StringVar(&opt.engine, "engine", "block", "execution engine: block (pre-decoded basic blocks) or step (reference interpreter)")
 	flag.StringVar(&opt.serveAddr, "serve", "", "serve live telemetry (progress page, /metrics, /events, pprof) on this address, e.g. :8080")
 	flag.DurationVar(&opt.stallWin, "stall-window", 10*time.Second, "with -serve: flag an experiment as stalled after this long without a heartbeat (0 = never)")
 	flag.Parse()
@@ -110,6 +112,9 @@ func main() {
 	}
 	if opt.retries < 0 {
 		log.Fatalf("bad -retries %d: must be >= 0", opt.retries)
+	}
+	if opt.engine != "block" && opt.engine != "step" {
+		log.Fatalf("bad -engine %q: must be block or step", opt.engine)
 	}
 	if *cache != "" {
 		var err error
@@ -186,6 +191,7 @@ func run(ctx context.Context, config string, opt options) error {
 	if err != nil {
 		return err
 	}
+	s.W.Interpret = opt.engine == "step"
 	sch := study.NewScheduler(s, opt.jobs)
 	defer sch.Close()
 	sch.SetContext(ctx)

@@ -624,3 +624,142 @@ func TestChaosCheckpointResume(t *testing.T) {
 		t.Errorf("journal holds %d completed configs, want %d", got, len(cfgs))
 	}
 }
+
+// TestChaosBlockEngineParity: the cache-bearing sweep forced onto the
+// reference interpreter renders byte-identical to the default
+// (block-engine) baseline — engine choice must never leak into any
+// profile, simulator report, or counter a sweep produces.
+func TestChaosBlockEngineParity(t *testing.T) {
+	baseline := baselineResults(t)
+	sch := study.NewScheduler(chaosStudy(t), 2)
+	defer sch.Close()
+	interpreted := 0
+	sch.SetHooks(study.Hooks{
+		Machine: func(_ context.Context, m *vm.Machine) {
+			m.BlockEngine = false
+			interpreted++
+		},
+	})
+	for _, cfg := range chaosConfigs() {
+		res, err := sch.Run(cfg)
+		if err != nil {
+			t.Fatalf("%s on interpreter: %v", cfg.Key(), err)
+		}
+		if got := renderResult(res); got != baseline[cfg.Key()] {
+			t.Errorf("interpreter %s differs from block-engine baseline:\n%s\nvs\n%s",
+				cfg.Key(), got, baseline[cfg.Key()])
+		}
+	}
+	if interpreted == 0 {
+		t.Fatal("machine hook never ran: sweep did not execute a guest")
+	}
+}
+
+// TestChaosBlockEngineKillResume: a cache-bearing checkpointed sweep
+// running on the block engine — with sealed blocks warm in the recording
+// machine — is "killed" (cancelled mid-record) on its first invocation;
+// the rerun completes the whole sweep, a third invocation replays it
+// with zero guest executions, and none of the three invocations leaves
+// a temp file behind.
+func TestChaosBlockEngineKillResume(t *testing.T) {
+	tmp := t.TempDir()
+	t.Setenv("TMPDIR", tmp)
+	baseline := baselineResults(t)
+	dir := t.TempDir()
+	cfgs := chaosConfigs()
+
+	// Pass 1: the recording run is cancelled while a block-engine
+	// machine is demonstrably mid-flight (the watchdog only fires at
+	// block boundaries, so a firing proves compiled blocks are
+	// executing).
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ck1, err := study.OpenCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch1 := study.NewScheduler(chaosStudy(t), 2)
+	sch1.SetContext(ctx)
+	sch1.SetCheckpoint(ck1)
+	fired := false
+	sch1.SetHooks(study.Hooks{
+		Machine: func(_ context.Context, m *vm.Machine) {
+			if !m.BlockEngine {
+				t.Error("sweep machine not on the block engine")
+			}
+			m.Watchdog = func(m *vm.Machine) error {
+				if m.ICount >= 200_000 {
+					fired = true
+					cancel()
+				}
+				return nil
+			}
+		},
+	})
+	if _, err := sch1.Run(cfgs[3]); !errors.Is(err, context.Canceled) {
+		t.Fatalf("killed recording run: err = %v, want context.Canceled", err)
+	}
+	if !fired {
+		t.Fatal("watchdog never fired: no compiled blocks executed before the kill")
+	}
+	sch1.Close()
+	if err := ck1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pass 2: fresh scheduler, same journal; the aborted recording was
+	// not journalled, so the sweep re-records once and completes.
+	ck2, err := study.OpenCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch2 := study.NewScheduler(chaosStudy(t), 2)
+	sch2.SetCheckpoint(ck2)
+	for _, cfg := range cfgs {
+		res, err := sch2.Run(cfg)
+		if err != nil {
+			t.Fatalf("resumed sweep %s: %v", cfg.Key(), err)
+		}
+		if got := renderResult(res); got != baseline[cfg.Key()] {
+			t.Errorf("resumed %s differs from baseline:\n%s\nvs\n%s", cfg.Key(), got, baseline[cfg.Key()])
+		}
+	}
+	if n := sch2.GuestExecutions(); n != 1 {
+		t.Errorf("resumed sweep executed the guest %d times, want 1 (the re-recording)", n)
+	}
+	sch2.Close()
+	if err := ck2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pass 3: everything journalled; the sweep replays without running
+	// the guest at all.
+	ck3, err := study.OpenCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck3.Close()
+	sch3 := study.NewScheduler(chaosStudy(t), 2)
+	defer sch3.Close()
+	sch3.SetCheckpoint(ck3)
+	for _, cfg := range cfgs {
+		res, err := sch3.Run(cfg)
+		if err != nil {
+			t.Fatalf("replayed sweep %s: %v", cfg.Key(), err)
+		}
+		if got := renderResult(res); got != baseline[cfg.Key()] {
+			t.Errorf("replayed %s differs from baseline:\n%s\nvs\n%s", cfg.Key(), got, baseline[cfg.Key()])
+		}
+	}
+	if n := sch3.GuestExecutions(); n != 0 {
+		t.Errorf("replayed sweep executed the guest %d times, want 0", n)
+	}
+
+	ents, err := os.ReadDir(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		t.Errorf("leaked temp file after kill-and-resume sweep: %s", e.Name())
+	}
+}

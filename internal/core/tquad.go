@@ -148,7 +148,15 @@ type Tool struct {
 
 	series []*kernelSeries
 	ids    map[string]uint16
-	ref    *mapAccum // non-nil only with Options.UseMapAccum
+	// One-entry memo over ids: consecutive events overwhelmingly belong
+	// to the same kernel (the name string is the same frame's, so the
+	// comparison is usually a pointer-equal fast path), turning the
+	// per-event string-map lookup into a compare.  lastName is "" until
+	// the first lookup; "" is never a kernel name (anonymous routines
+	// get sub_%x names).
+	lastName string
+	lastID   uint16
+	ref      *mapAccum // non-nil only with Options.UseMapAccum
 	// curSlice is the slice the instruction clock currently lies in and
 	// sliceEnd its exclusive upper bound in instructions: the per-event
 	// slice-boundary check is one compare against sliceEnd, and the
@@ -195,12 +203,16 @@ func Attach(h pin.Host, opts Options) *Tool {
 }
 
 func (t *Tool) kernelID(name string) uint16 {
-	if id, ok := t.ids[name]; ok {
-		return id
+	if name == t.lastName && name != "" {
+		return t.lastID
 	}
-	id := uint16(len(t.series))
-	t.ids[name] = id
-	t.series = append(t.series, &kernelSeries{name: name})
+	id, ok := t.ids[name]
+	if !ok {
+		id = uint16(len(t.series))
+		t.ids[name] = id
+		t.series = append(t.series, &kernelSeries{name: name})
+	}
+	t.lastName, t.lastID = name, id
 	return id
 }
 

@@ -383,3 +383,45 @@ func FuzzReplay(f *testing.F) {
 		_, _ = etrace.Stat(bytes.NewReader(b))
 	})
 }
+
+// TestRecordByteIdentityAcrossEngines pins the block engine's trace
+// contract: recording the same workload through the pre-decoded block
+// engine and through the reference stepper must produce byte-identical
+// trace files — same static records in the same compile order, same
+// events with the same instruction counts.
+func TestRecordByteIdentityAcrossEngines(t *testing.T) {
+	capture := func(blockEngine bool) []byte {
+		w := workload(t)
+		m, _ := w.NewMachine()
+		m.BlockEngine = blockEngine
+		e := pin.NewEngine(m)
+		var buf bytes.Buffer
+		rec, err := etrace.Record(e, &buf, etrace.RecordOptions{Workload: "wfs/small", Blocks: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Run(wfs.MaxInstr); err != nil {
+			t.Fatal(err)
+		}
+		if err := rec.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	ref := capture(false)
+	got := capture(true)
+	if !bytes.Equal(ref, got) {
+		n := len(ref)
+		if len(got) < n {
+			n = len(got)
+		}
+		at := n
+		for i := 0; i < n; i++ {
+			if ref[i] != got[i] {
+				at = i
+				break
+			}
+		}
+		t.Fatalf("trace bytes diverge: step=%d bytes, block=%d bytes, first difference at offset %d", len(ref), len(got), at)
+	}
+}

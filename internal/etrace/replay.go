@@ -461,6 +461,12 @@ func (r *Replayer) ReplayContext(ctx context.Context) error {
 	}
 	r.done = true
 	done := ctx.Done()
+	// Scratch event for analysis dispatch: pin.Context carries its
+	// dynamic facts behind an embedded *vm.Event, so the replayer keeps
+	// one event alive across the whole stream instead of allocating per
+	// record.
+	var ev vm.Event
+	ectx := pin.Context{Event: &ev}
 	var n uint64
 	for {
 		if done != nil || r.progress != nil {
@@ -513,17 +519,17 @@ func (r *Replayer) ReplayContext(ctx context.Context) error {
 			if st.ins == nil {
 				continue
 			}
-			ctx := pin.Context{
+			ev = vm.Event{
+				Kind:     eventKind(rec.kind),
 				PC:       rec.pc,
 				Addr:     rec.addr,
 				Size:     rec.size,
-				SP:       rec.sp,
 				Target:   rec.target,
-				Prefetch: st.instr.IsPrefetch(),
-				Kind:     eventKind(rec.kind),
+				SP:       rec.sp,
 				Executed: rec.executed,
 			}
-			fired, suppressed := st.ins.Dispatch(&ctx)
+			ectx.Prefetch = st.instr.IsPrefetch()
+			fired, suppressed := st.ins.Dispatch(&ectx)
 			r.Stats.AnalysisCalls += fired
 			r.Stats.SuppressedCalls += suppressed
 

@@ -24,6 +24,23 @@ const offMask = PageSize - 1
 // single-threaded like the instrumented guest in the paper.
 type Memory struct {
 	pages map[uint64]*[PageSize]byte
+
+	// Direct-mapped translation cache for the typed-access fast path:
+	// the pages most recently touched by LoadLE/StoreLE, indexed by the
+	// low bits of the page number.  Guest access streams interleave a
+	// handful of pages (stack, a few array panels), so a small
+	// direct-mapped array turns the per-access map lookup into an index
+	// and a compare.  Pages are never freed or replaced once
+	// materialised (Zero clears bytes but keeps the page), so a cached
+	// pointer can never go stale.
+	tlb [tlbSize]tlbEntry
+}
+
+const tlbSize = 64 // power of two
+
+type tlbEntry struct {
+	idx  uint64
+	page *[PageSize]byte
 }
 
 // New returns an empty memory.
@@ -163,6 +180,92 @@ func (m *Memory) WriteUint64(addr uint64, v uint64) {
 	var buf [8]byte
 	binary.LittleEndian.PutUint64(buf[:], v)
 	m.Write(addr, buf[:])
+}
+
+// lookupPage returns the page containing addr without allocating,
+// refreshing the translation cache on a page-table hit.
+func (m *Memory) lookupPage(addr uint64) *[PageSize]byte {
+	idx := addr >> PageBits
+	e := &m.tlb[idx&(tlbSize-1)]
+	if e.page != nil && e.idx == idx {
+		return e.page
+	}
+	p := m.pages[idx]
+	if p != nil {
+		e.idx, e.page = idx, p
+	}
+	return p
+}
+
+// touchPage returns the page containing addr, materialising it if needed,
+// and refreshes the translation cache.
+func (m *Memory) touchPage(addr uint64) *[PageSize]byte {
+	idx := addr >> PageBits
+	e := &m.tlb[idx&(tlbSize-1)]
+	if e.page != nil && e.idx == idx {
+		return e.page
+	}
+	p := m.page(addr)
+	e.idx, e.page = idx, p
+	return p
+}
+
+// LoadLE reads a little-endian unsigned integer of size 1, 2, 4 or 8
+// bytes at addr.  It is the allocation-free fast path behind ReadUint for
+// callers that guarantee a valid size (the VM's decoded memory ops);
+// untouched memory reads as zero, exactly like Read.
+func (m *Memory) LoadLE(addr uint64, size int) uint64 {
+	off := addr & offMask
+	if off+uint64(size) <= PageSize {
+		p := m.lookupPage(addr)
+		if p == nil {
+			return 0
+		}
+		switch size {
+		case 1:
+			return uint64(p[off])
+		case 2:
+			return uint64(binary.LittleEndian.Uint16(p[off:]))
+		case 4:
+			return uint64(binary.LittleEndian.Uint32(p[off:]))
+		case 8:
+			return binary.LittleEndian.Uint64(p[off:])
+		}
+	}
+	v, _ := m.ReadUint(addr, size)
+	return v
+}
+
+// StoreLE stores the low `size` bytes of v at addr, little-endian — the
+// fast path behind WriteUint for callers with a known-valid size.
+func (m *Memory) StoreLE(addr uint64, v uint64, size int) {
+	off := addr & offMask
+	if off+uint64(size) <= PageSize {
+		p := m.touchPage(addr)
+		switch size {
+		case 1:
+			p[off] = byte(v)
+		case 2:
+			binary.LittleEndian.PutUint16(p[off:], uint16(v))
+		case 4:
+			binary.LittleEndian.PutUint32(p[off:], uint32(v))
+		case 8:
+			binary.LittleEndian.PutUint64(p[off:], v)
+		}
+		return
+	}
+	m.WriteUint(addr, v, size)
+}
+
+// Load64 reads an 8-byte little-endian word at addr (ReadUint64, minus
+// the intermediate buffer when the access stays within one page).
+func (m *Memory) Load64(addr uint64) uint64 {
+	return m.LoadLE(addr, 8)
+}
+
+// Store64 stores an 8-byte little-endian word at addr.
+func (m *Memory) Store64(addr uint64, v uint64) {
+	m.StoreLE(addr, v, 8)
 }
 
 // Zero clears n bytes starting at addr.  Pages entirely inside the range

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"tquad/internal/pin"
+	"tquad/internal/vm"
 )
 
 // fakeHost is the minimal pin.Host: a settable instruction counter and
@@ -42,9 +43,15 @@ func tiny(t testing.TB) (*Tool, *fakeHost) {
 	return tool, h
 }
 
+// mctx builds a standalone analysis context for driving Tool.access
+// directly: outside a VM the test owns the event behind the context.
+func mctx(addr uint64, size int) *pin.Context {
+	return &pin.Context{Event: &vm.Event{Addr: addr, Size: size}}
+}
+
 func TestLevelLRUEviction(t *testing.T) {
 	tool, _ := tiny(t)
-	rd := func(la uint64) { tool.access(&pin.Context{Addr: la << 6, Size: 8}, false) }
+	rd := func(la uint64) { tool.access(mctx(la << 6, 8), false) }
 
 	// Lines 0, 2, 4 map to set 0 (even line addresses, setMask=1).
 	rd(0) // miss, fill
@@ -68,8 +75,8 @@ func TestLevelLRUEviction(t *testing.T) {
 
 func TestWritebackOnDirtyEviction(t *testing.T) {
 	tool, _ := tiny(t)
-	wr := func(la uint64) { tool.access(&pin.Context{Addr: la << 6, Size: 8}, true) }
-	rd := func(la uint64) { tool.access(&pin.Context{Addr: la << 6, Size: 8}, false) }
+	wr := func(la uint64) { tool.access(mctx(la << 6, 8), true) }
+	rd := func(la uint64) { tool.access(mctx(la << 6, 8), false) }
 
 	wr(0)       // fill + dirty
 	rd(2)       // fill clean — set 0 {2, 0}
@@ -100,7 +107,7 @@ func TestWritebackAbsorbedByOuterLevel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wr := func(la uint64) { tool.access(&pin.Context{Addr: la << 6, Size: 8}, true) }
+	wr := func(la uint64) { tool.access(mctx(la << 6, 8), true) }
 	wr(0) // L1+L2 fill, L1 dirty
 	wr(1) // evicts dirty line 0 from L1; L2 holds it -> absorbed
 	if tool.dram.Writebacks != 0 {
@@ -121,7 +128,7 @@ func TestWritebackAbsorbedByOuterLevel(t *testing.T) {
 func TestStraddlingAccessTouchesTwoLines(t *testing.T) {
 	tool, _ := tiny(t)
 	// 8 bytes starting 4 bytes before a line boundary.
-	tool.access(&pin.Context{Addr: 64 - 4, Size: 8}, false)
+	tool.access(mctx(64 - 4, 8), false)
 	lv := &tool.levels[0]
 	if lv.Hits+lv.Misses != 2 {
 		t.Errorf("line accesses=%d, want 2 for a straddling access", lv.Hits+lv.Misses)
@@ -130,7 +137,9 @@ func TestStraddlingAccessTouchesTwoLines(t *testing.T) {
 
 func TestPrefetchSkipped(t *testing.T) {
 	tool, h := tiny(t)
-	tool.access(&pin.Context{Addr: 0, Size: 8, Prefetch: true}, false)
+	ctx := mctx(0, 8)
+	ctx.Prefetch = true
+	tool.access(ctx, false)
 	if tool.PrefetchSkips != 1 || tool.Accesses != 0 {
 		t.Errorf("prefetch not skipped: skips=%d accesses=%d", tool.PrefetchSkips, tool.Accesses)
 	}
@@ -144,8 +153,8 @@ func TestPrefetchSkipped(t *testing.T) {
 
 func TestOverheadCharged(t *testing.T) {
 	tool, h := tiny(t)
-	tool.access(&pin.Context{Addr: 0, Size: 8}, false)
-	tool.access(&pin.Context{Addr: 0, Size: 8}, false)
+	tool.access(mctx(0, 8), false)
+	tool.access(mctx(0, 8), false)
 	if want := 2 * tool.opts.CostAccess; h.overhead != want {
 		t.Errorf("overhead=%d, want %d", h.overhead, want)
 	}
@@ -159,12 +168,12 @@ func TestRowBufferHits(t *testing.T) {
 	tool, _ := tiny(t)
 	// Consecutive lines share a 2048B row (32 lines/row): the second
 	// fill must be a row hit; a line 64 rows away must be a row miss.
-	tool.access(&pin.Context{Addr: 0, Size: 8}, false)
-	tool.access(&pin.Context{Addr: 64, Size: 8}, false)
+	tool.access(mctx(0, 8), false)
+	tool.access(mctx(64, 8), false)
 	if tool.dram.RowHits != 1 {
 		t.Errorf("row hits=%d, want 1", tool.dram.RowHits)
 	}
-	tool.access(&pin.Context{Addr: 64 * 2048, Size: 8}, false)
+	tool.access(mctx(64 * 2048, 8), false)
 	if tool.dram.RowMisses != 2 {
 		t.Errorf("row misses=%d, want 2 (first touch + far row)", tool.dram.RowMisses)
 	}
@@ -179,9 +188,9 @@ func TestSliceRotation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tool.access(&pin.Context{Addr: 0, Size: 8}, false)
+	tool.access(mctx(0, 8), false)
 	h.ic = 250 // jump two slices
-	tool.access(&pin.Context{Addr: 0, Size: 8}, false)
+	tool.access(mctx(0, 8), false)
 	prof := tool.Snapshot()
 	k, ok := prof.Kernel(Outside)
 	if !ok {
@@ -199,7 +208,7 @@ func TestSliceRotation(t *testing.T) {
 // slice, warm series — must not allocate.
 func TestAccessAllocFree(t *testing.T) {
 	tool, _ := tiny(t)
-	ctx := &pin.Context{Addr: 0, Size: 8}
+	ctx := mctx(0, 8)
 	tool.access(ctx, true) // warm: series + point exist
 	var la uint64
 	avg := testing.AllocsPerRun(1000, func() {
@@ -224,7 +233,7 @@ func BenchmarkMemSim(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	ctx := &pin.Context{Size: 8}
+	ctx := mctx(0, 8)
 	// A strided walk over 1 MiB: hits in LLC, misses in L1/L2 often
 	// enough to exercise fill and write-back paths.
 	var addr uint64

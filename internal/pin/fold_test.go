@@ -1,0 +1,130 @@
+package pin_test
+
+import (
+	"testing"
+
+	"tquad/internal/pin"
+)
+
+// foldTrace is everything a tool observes during one run: the sequence
+// of analysis-routine firings (with the context fields tools actually
+// read) plus the engine's accounting.
+type foldTrace struct {
+	seq                []foldCall
+	analysisCalls      uint64
+	suppressedCalls    uint64
+	staticInstrumented uint64
+	blocksFolded       uint64
+	foldedCalls        uint64
+}
+
+type foldCall struct {
+	kind     string // "head", "entry", "pred", "always"
+	pc       uint64
+	addr     uint64
+	executed bool
+	icount   uint64
+}
+
+// runFolded runs the standard test guest under full instrumentation —
+// routine entries, trace heads, per-instruction predicated and
+// unconditional calls — with the block engine on or off, and returns
+// the observed trace.  With folding, statically-known calls skip the
+// per-event bookkeeping and are retired in bulk per block; everything a
+// tool can observe must nonetheless be identical.
+func runFolded(t *testing.T, blockEngine bool) foldTrace {
+	t.Helper()
+	m := buildGuest(t)
+	m.BlockEngine = blockEngine
+	e := pin.NewEngine(m)
+	e.InitSymbols()
+	var tr foldTrace
+	rec := func(kind string) pin.AnalysisFunc {
+		return func(ctx *pin.Context) {
+			tr.seq = append(tr.seq, foldCall{
+				kind: kind, pc: ctx.PC, addr: ctx.Addr,
+				executed: ctx.Executed, icount: e.ICount(),
+			})
+		}
+	}
+	e.RTNAddInstrumentFunction(func(rtn *pin.RTN) {
+		rtn.InsertEntryCall(rec("entry"))
+	})
+	e.TRACEAddInstrumentFunction(func(trace *pin.TRACE) {
+		trace.InsertCall(rec("head"))
+	})
+	e.INSAddInstrumentFunction(func(ins *pin.INS) {
+		if ins.IsMemoryRead() || ins.IsMemoryWrite() {
+			ins.InsertPredicatedCall(rec("pred"))
+		}
+		// Unconditional calls on predicated instructions are the corner
+		// case: they fire (and are counted) even when the predicate is
+		// false.
+		if ins.Instr.Pred {
+			ins.InsertCall(rec("always"))
+		}
+	})
+	if err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	tr.analysisCalls = e.Stats.AnalysisCalls
+	tr.suppressedCalls = e.Stats.SuppressedCalls
+	tr.staticInstrumented = e.Stats.StaticInstrumented
+	tr.blocksFolded = e.Stats.BlocksFolded
+	tr.foldedCalls = e.Stats.FoldedCalls
+	return tr
+}
+
+// TestFoldStatsEquivalence pins the folding contract: the block engine
+// with instrumentation folding reports the exact same AnalysisCalls and
+// SuppressedCalls totals as the per-event interpreter path, and every
+// analysis routine fires in the same order with the same context.
+func TestFoldStatsEquivalence(t *testing.T) {
+	ref := runFolded(t, false)
+	got := runFolded(t, true)
+
+	if ref.analysisCalls != got.analysisCalls {
+		t.Errorf("AnalysisCalls: step=%d block=%d", ref.analysisCalls, got.analysisCalls)
+	}
+	if ref.suppressedCalls != got.suppressedCalls {
+		t.Errorf("SuppressedCalls: step=%d block=%d", ref.suppressedCalls, got.suppressedCalls)
+	}
+	if ref.staticInstrumented != got.staticInstrumented {
+		t.Errorf("StaticInstrumented: step=%d block=%d", ref.staticInstrumented, got.staticInstrumented)
+	}
+	if got.blocksFolded == 0 {
+		t.Errorf("block engine folded no blocks: %+v", got)
+	}
+	if got.foldedCalls == 0 {
+		t.Errorf("no calls were folded: %+v", got)
+	}
+	if ref.foldedCalls != 0 || ref.blocksFolded != 0 {
+		t.Errorf("interpreter path reported folding: folded=%d blocks=%d", ref.foldedCalls, ref.blocksFolded)
+	}
+
+	if len(ref.seq) != len(got.seq) {
+		t.Fatalf("analysis call count: step=%d block=%d", len(ref.seq), len(got.seq))
+	}
+	for i := range ref.seq {
+		if ref.seq[i] != got.seq[i] {
+			t.Fatalf("analysis call %d diverges:\n step=%+v\nblock=%+v", i, ref.seq[i], got.seq[i])
+		}
+	}
+
+	// Sanity: the run must actually exercise the corner cases the fold
+	// has to get right — suppressed predicated calls and unconditional
+	// calls firing with Executed=false.
+	if ref.suppressedCalls == 0 {
+		t.Errorf("guest exercised no predicate suppression")
+	}
+	sawUnexecuted := false
+	for _, c := range ref.seq {
+		if c.kind == "always" && !c.executed {
+			sawUnexecuted = true
+			break
+		}
+	}
+	if !sawUnexecuted {
+		t.Errorf("guest exercised no unconditional call on a false predicate")
+	}
+}

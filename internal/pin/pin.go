@@ -66,17 +66,18 @@ type AnalysisFunc func(ctx *Context)
 // IARG_* values of Pin (instruction pointer, effective address, access
 // size, stack-pointer register, prefetch flag, branch target).
 type Context struct {
-	PC       uint64
-	Addr     uint64
-	Size     int
-	SP       uint64
-	Target   uint64
+	// Event carries the dynamic facts of the instrumented event straight
+	// from the VM — PC, Addr, Size, SP, Target, Kind and Executed all
+	// resolve through it (Executed is false when a predicated
+	// instruction was skipped; the event still reaches InsertCall
+	// analyses, and is recorded by event tracers, so that predicated
+	// suppression can be reproduced exactly).  It is embedded as a
+	// pointer so that routing an event into analysis costs two word
+	// stores, not a second full copy of the record; the pointee is the
+	// machine's scratch event and is only valid for the duration of the
+	// analysis call.
+	*vm.Event
 	Prefetch bool
-	Kind     vm.EventKind
-	// Executed is false when a predicated instruction was skipped; the
-	// event still reaches InsertCall analyses (and is recorded by event
-	// tracers) so that predicated suppression can be reproduced exactly.
-	Executed bool
 }
 
 type analysisCall struct {
@@ -187,13 +188,37 @@ type Engine struct {
 	tracedRoutines map[uint64]bool           // routines whose CFG has been instrumented
 	blockHeads     map[uint64][]AnalysisFunc // block head pc -> trace analysis calls
 
+	// records retains the outcome of Compile per pc so that CompileBlock
+	// can re-fold the same analysis calls into block form without
+	// re-running the instrumentation callbacks (which have first-touch
+	// side effects: routine/trace instrumentation, static trace records).
+	records map[uint64]*insRecord
+
+	// ctx is the scratch analysis context, reused across events.  The
+	// engine and its machine are confined to one goroutine and analysis
+	// routines must not retain the context, so one scratch value
+	// suffices; it removes a heap allocation per dynamic event.
+	ctx Context
+
 	// Stats mirrors Pin's internal bookkeeping and feeds the
 	// instrumentation-overhead experiments.
 	Stats struct {
 		StaticInstrumented uint64 // static instructions instrumented
 		AnalysisCalls      uint64 // dynamic analysis-routine invocations
 		SuppressedCalls    uint64 // predicated calls suppressed
+		BlocksFolded       uint64 // blocks folded via CompileBlock
+		FoldedCalls        uint64 // analysis calls accounted per-block instead of per-call
 	}
+}
+
+// insRecord is the retained outcome of compiling one static instruction:
+// everything needed to rebuild its dispatch in folded (per-block) form.
+type insRecord struct {
+	head     []AnalysisFunc // trace/BBL head calls
+	entry    []AnalysisFunc // routine entry calls
+	calls    []analysisCall
+	prefetch bool
+	pred     bool // instruction is predicated: Executed is dynamic
 }
 
 // NewEngine attaches a new instrumentation engine to the machine.  The
@@ -237,6 +262,9 @@ func (e *Engine) PublishMetrics(r *obs.Registry) {
 	r.Counter("tquad_pin_static_instrumented_total").Add(e.Stats.StaticInstrumented)
 	r.Counter("tquad_pin_analysis_calls_total").Add(e.Stats.AnalysisCalls)
 	r.Counter("tquad_pin_suppressed_calls_total").Add(e.Stats.SuppressedCalls)
+	r.Counter("tquad_pin_blocks_folded_total").Add(e.Stats.BlocksFolded)
+	r.Counter("tquad_pin_folded_calls_total").Add(e.Stats.FoldedCalls)
+	r.Counter("tquad_pin_dispatched_calls_total").Add(e.Stats.AnalysisCalls - e.Stats.FoldedCalls)
 }
 
 // InitSymbols makes routine symbol information available to the tools
@@ -311,34 +339,124 @@ func (e *Engine) Compile(pc uint64, instr isa.Instr) vm.Handler {
 	}
 	e.Stats.StaticInstrumented++
 
-	calls := ins.calls
-	prefetch := instr.IsPrefetch()
+	rec := &insRecord{
+		head:     headCalls,
+		entry:    entryCalls,
+		calls:    ins.calls,
+		prefetch: instr.IsPrefetch(),
+		pred:     instr.Pred,
+	}
+	if e.records == nil {
+		e.records = make(map[uint64]*insRecord)
+	}
+	e.records[pc] = rec
 	return func(ev *vm.Event) {
-		ctx := Context{
-			PC:       ev.PC,
-			Addr:     ev.Addr,
-			Size:     ev.Size,
-			SP:       ev.SP,
-			Target:   ev.Target,
-			Prefetch: prefetch,
-			Kind:     ev.Kind,
-			Executed: ev.Executed,
-		}
-		for _, fn := range headCalls {
+		ctx := e.fill(ev, rec.prefetch)
+		for _, fn := range rec.head {
 			e.Stats.AnalysisCalls++
-			fn(&ctx)
+			fn(ctx)
 		}
-		for _, fn := range entryCalls {
+		for _, fn := range rec.entry {
 			e.Stats.AnalysisCalls++
-			fn(&ctx)
+			fn(ctx)
 		}
-		for _, c := range calls {
+		for _, c := range rec.calls {
 			if c.predicated && !ctx.Executed {
 				e.Stats.SuppressedCalls++
 				continue
 			}
 			e.Stats.AnalysisCalls++
-			c.fn(&ctx)
+			c.fn(ctx)
 		}
 	}
 }
+
+// fill loads the dynamic facts of one event into the engine's scratch
+// analysis context.
+func (e *Engine) fill(ev *vm.Event, prefetch bool) *Context {
+	e.ctx.Event = ev
+	e.ctx.Prefetch = prefetch
+	return &e.ctx
+}
+
+// CompileBlock implements vm.BlockProbe: when the machine seals a basic
+// block it re-folds each slot's analysis dispatch so that the statically
+// known bookkeeping — which calls fire whenever the slot's event fires —
+// is collapsed into one per-block count applied by the retire hook,
+// leaving per-event work only where the facts are dynamic (effective
+// addresses, predicate outcomes).  The analysis routines themselves run
+// exactly as before, in the same order with the same context values;
+// only the per-call accounting moves from the event path to the block
+// boundary.
+func (e *Engine) CompileBlock(start uint64, ins []isa.Instr, handlers []vm.Handler) ([]vm.Handler, []uint32, func(folded uint64)) {
+	slots := make([]vm.Handler, len(ins))
+	nstat := make([]uint32, len(ins))
+	for i := range ins {
+		rec := e.records[start+uint64(i)*isa.InstrSize]
+		if rec == nil {
+			continue
+		}
+		slots[i], nstat[i] = e.foldSlot(rec)
+	}
+	e.Stats.BlocksFolded++
+	return slots, nstat, func(folded uint64) {
+		e.Stats.AnalysisCalls += folded
+		e.Stats.FoldedCalls += folded
+	}
+}
+
+// foldSlot builds the folded dispatch for one instrumented slot: the
+// handler invokes the analysis routines without per-call accounting for
+// the statically-fired ones (returned as the static count), while
+// predicated calls on predicated instructions — the only dynamically
+// suppressed case — keep their per-event bookkeeping.
+func (e *Engine) foldSlot(rec *insRecord) (vm.Handler, uint32) {
+	nstat := uint32(len(rec.head) + len(rec.entry))
+	if !rec.pred {
+		// The instruction always executes, so every call fires on every
+		// event: the whole dispatch is statically known.
+		nstat += uint32(len(rec.calls))
+		return func(ev *vm.Event) {
+			ctx := e.fill(ev, rec.prefetch)
+			for _, fn := range rec.head {
+				fn(ctx)
+			}
+			for _, fn := range rec.entry {
+				fn(ctx)
+			}
+			for _, c := range rec.calls {
+				c.fn(ctx)
+			}
+		}, nstat
+	}
+	// Predicated instruction: non-predicated calls still fire on every
+	// event (they see Executed=false and decide for themselves), so they
+	// are statically known too; only IPOINT-predicated calls need the
+	// per-event executed check and its dynamic bookkeeping.
+	for _, c := range rec.calls {
+		if !c.predicated {
+			nstat++
+		}
+	}
+	return func(ev *vm.Event) {
+		ctx := e.fill(ev, rec.prefetch)
+		for _, fn := range rec.head {
+			fn(ctx)
+		}
+		for _, fn := range rec.entry {
+			fn(ctx)
+		}
+		for _, c := range rec.calls {
+			if c.predicated {
+				if !ctx.Executed {
+					e.Stats.SuppressedCalls++
+					continue
+				}
+				e.Stats.AnalysisCalls++
+			}
+			c.fn(ctx)
+		}
+	}, nstat
+}
+
+var _ vm.BlockProbe = (*Engine)(nil)

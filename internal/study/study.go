@@ -453,6 +453,43 @@ func RenderOverheadTotals(reg *obs.Registry) string {
 	return t.String()
 }
 
+// RenderBlockEngine renders the block-execution-engine counters
+// accumulated across every run in the registry: compile/seal activity,
+// cache effectiveness, and how much of the instrumentation dispatch the
+// per-block folding absorbed.  Returns "" when the block engine never
+// ran (interpreter-only sessions).
+func RenderBlockEngine(reg *obs.Registry) string {
+	if reg == nil {
+		return ""
+	}
+	entries := reg.Counter("tquad_vm_block_entries_total").Value()
+	if entries == 0 {
+		return ""
+	}
+	compiled := reg.Counter("tquad_vm_blocks_compiled_total").Value()
+	fast := reg.Counter("tquad_vm_block_fast_runs_total").Value()
+	folded := reg.Counter("tquad_pin_folded_calls_total").Value()
+	dispatched := reg.Counter("tquad_pin_dispatched_calls_total").Value()
+	pct := func(part, whole uint64) string {
+		if whole == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.1f%%", 100*float64(part)/float64(whole))
+	}
+	t := report.NewTable("block engine", "count", "share")
+	t.AddRow("blocks compiled", report.U(compiled), "")
+	t.AddRow("blocks sealed", report.U(reg.Counter("tquad_vm_blocks_sealed_total").Value()), "")
+	t.AddRow("block entries", report.U(entries), "")
+	t.AddRow("cache hits", report.U(entries-compiled), pct(entries-compiled, entries))
+	t.AddRow("fast-path runs", report.U(fast), pct(fast, entries))
+	t.AddRow("warm-up (step) runs", report.U(reg.Counter("tquad_vm_block_step_runs_total").Value()), "")
+	t.AddRow("cache invalidations", report.U(reg.Counter("tquad_vm_block_invalidations_total").Value()), "")
+	t.AddRow("blocks folded (pin)", report.U(reg.Counter("tquad_pin_blocks_folded_total").Value()), "")
+	t.AddRow("analysis calls folded", report.U(folded), pct(folded, folded+dispatched))
+	t.AddRow("analysis calls dispatched", report.U(dispatched), pct(dispatched, folded+dispatched))
+	return t.String()
+}
+
 // RenderObsSummary renders the end-of-run observability summary: the
 // pipeline span table and the aggregate overhead accounting.
 func RenderObsSummary(o *obs.Observer) string {
@@ -467,6 +504,13 @@ func RenderObsSummary(o *obs.Observer) string {
 		}
 		b.WriteString("aggregate analysis overhead (all runs):\n")
 		b.WriteString(totals)
+	}
+	if blocks := RenderBlockEngine(o.Registry()); blocks != "" {
+		if b.Len() > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString("block execution engine (all runs):\n")
+		b.WriteString(blocks)
 	}
 	return b.String()
 }

@@ -182,6 +182,17 @@ type Machine struct {
 	// benchmark flips it.
 	CacheEnabled bool
 
+	// BlockEngine selects the pre-decoded basic-block execution engine
+	// for Run/RunContext (see block.go).  On by default; requires the
+	// code cache (warming executes through it), so disabling
+	// CacheEnabled also disables the block engine.  Step is unaffected
+	// either way and remains the reference interpreter.
+	BlockEngine bool
+
+	// BlockStats counts block-engine activity (compiles, sealed blocks,
+	// cache hits, fast-path runs); see PublishBlockMetrics.
+	BlockStats BlockStats
+
 	// Watchdog, if set, is polled by RunContext at basic-block
 	// boundaries (after every taken control transfer), alongside the
 	// context check.  A non-nil return aborts the run with that error.
@@ -198,6 +209,13 @@ type Machine struct {
 	cacheArr  []cacheEntry
 	cache     map[uint64]*cacheEntry
 	ev        Event // scratch event, reused to avoid per-step allocation
+
+	// The block cache mirrors the code cache's layout: direct-mapped
+	// over the loaded code span, map fallback for PCs outside it.
+	// Invalidated whenever the code cache is (LoadImage, SetProbe) and
+	// on Reset.
+	blockArr []*block
+	blockMap map[uint64]*block
 }
 
 // New creates a machine with empty memory and default stack placement.
@@ -207,6 +225,7 @@ func New() *Machine {
 		StackBase:    DefaultStackBase,
 		StackSize:    DefaultStackSize,
 		CacheEnabled: true,
+		BlockEngine:  true,
 		cache:        make(map[uint64]*cacheEntry),
 	}
 }
@@ -221,11 +240,14 @@ func (m *Machine) SetProbe(p Probe) {
 	m.flushCache()
 }
 
-// flushCache drops every cached decode.
+// flushCache drops every cached decode, and with it every compiled
+// block (blocks hold harvested handlers, so they can never outlive the
+// code cache they were harvested from).
 func (m *Machine) flushCache() {
 	m.cache = make(map[uint64]*cacheEntry)
 	m.cacheArr = nil
 	m.sizeCache()
+	m.flushBlocks()
 }
 
 // sizeCache re-derives the direct-mapped span from the loaded images.
@@ -317,6 +339,9 @@ func (m *Machine) PublishMetrics(r *obs.Registry) {
 			r.Counter(obs.Label("tquad_vm_mem_writes_total", "size", label)).Add(n)
 		}
 	}
+	if m.BlockStats.Entries > 0 {
+		m.PublishBlockMetrics(r)
+	}
 }
 
 // LoadImage places an image's segments into guest memory and registers it
@@ -367,6 +392,10 @@ func (m *Machine) Reset(entry uint64) {
 	m.Halted = false
 	m.ExitCode = 0
 	m.Regs[isa.RegSP] = m.StackBase
+	// A reset conventionally precedes running different guest code that
+	// was written over the old (tests and REPL-style drivers reuse one
+	// machine this way), so compiled blocks must not survive it.
+	m.flushBlocks()
 }
 
 // SP returns the current stack pointer.
@@ -792,6 +821,9 @@ func (m *Machine) PushWatchdog(fn func(m *Machine) error) {
 // Done channel and a nil Watchdog take the unsupervised fast loop,
 // identical to the pre-supervision Run.
 func (m *Machine) RunContext(ctx context.Context, maxInstr uint64) error {
+	if m.BlockEngine && m.CacheEnabled {
+		return m.runBlocks(ctx, maxInstr)
+	}
 	done := ctx.Done()
 	if done == nil && m.Watchdog == nil {
 		for !m.Halted {

@@ -18,6 +18,11 @@ type Workload struct {
 	Cfg   Config
 	Prog  *hl.Program
 	Input *wav.File
+
+	// Interpret forces every machine instantiated from this workload to
+	// use the reference instruction-at-a-time interpreter instead of the
+	// pre-decoded block engine — the CLIs' -engine=step ablation switch.
+	Interpret bool
 }
 
 // NewWorkload builds and links the guest program (app + libc) and
@@ -61,6 +66,9 @@ func NewWorkloadObserved(cfg Config, tr *obs.Tracer) (*Workload, error) {
 // attach instrumentation before calling Run.
 func (w *Workload) NewMachine() (*vm.Machine, *gos.OS) {
 	m := vm.New()
+	if w.Interpret {
+		m.BlockEngine = false
+	}
 	osys := gos.New()
 	osys.AddFile(w.Cfg.InputFile, wav.Encode(w.Input))
 	m.SetSyscallHandler(osys)
