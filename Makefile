@@ -36,10 +36,12 @@ chaos:
 	$(GO) test -race -timeout $(TEST_TIMEOUT) ./internal/chaos/...
 
 # Short fuzzing budgets for the text/binary-format parsers: the
-# event-trace decoder, the JSON profile envelope and the cache-geometry
-# grammar.  None may panic on any input.
+# event-trace decoder, the indexed parallel replay pipeline, the JSON
+# profile envelope and the cache-geometry grammar.  None may panic on
+# any input.
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzReplay -fuzztime 10s ./internal/etrace
+	$(GO) test -run xxx -fuzz FuzzIndex -fuzztime 10s ./internal/etrace
 	$(GO) test -run xxx -fuzz FuzzLoad -fuzztime 10s ./internal/trace
 	$(GO) test -run xxx -fuzz FuzzCacheConfig -fuzztime 10s ./internal/memsim
 

@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"path/filepath"
@@ -91,33 +92,45 @@ func dumpTrace(path string) error {
 		return err
 	}
 	defer f.Close()
-	info, err := etrace.Stat(f)
+	return dumpTraceReader(os.Stdout, path, f)
+}
+
+// dumpTraceReader is dumpTrace over any reader.  It streams: the trace
+// is summarised in one bounded-memory pass, never buffered whole, so
+// multi-gigabyte recordings and non-seekable sources (pipes) both work.
+func dumpTraceReader(w io.Writer, name string, r io.Reader) error {
+	info, err := etrace.Stat(r)
 	if err != nil {
-		return fmt.Errorf("%s: %w", path, err)
+		return fmt.Errorf("%s: %w", name, err)
 	}
-	fmt.Printf("event trace %s: format v%d, workload %q, stack base %#x\n",
-		path, info.Version, info.Workload, info.StackBase)
-	fmt.Printf("routines (%d):\n", len(info.Routines))
-	for _, r := range info.Routines {
+	fmt.Fprintf(w, "event trace %s: format v%d, workload %q, stack base %#x\n",
+		name, info.Version, info.Workload, info.StackBase)
+	fmt.Fprintf(w, "routines (%d):\n", len(info.Routines))
+	for _, rt := range info.Routines {
 		kind := "lib "
-		if r.Main {
+		if rt.Main {
 			kind = "main"
 		}
-		fmt.Printf("  %#08x  %s  %-28s %5d instructions\n",
-			r.Entry, kind, r.Name, (r.End-r.Entry)/isa.InstrSize)
+		fmt.Fprintf(w, "  %#08x  %s  %-28s %5d instructions\n",
+			rt.Entry, kind, rt.Name, (rt.End-rt.Entry)/isa.InstrSize)
 	}
-	fmt.Printf("records: %d static, %d reads, %d writes, %d calls, %d returns (%d skipped), %d block defs, %d blocks, %d chunks\n",
+	fmt.Fprintf(w, "records: %d static, %d reads, %d writes, %d calls, %d returns (%d skipped), %d block defs, %d blocks, %d chunks\n",
 		info.Statics, info.Reads, info.Writes, info.Calls, info.Returns,
 		info.Skipped, info.BlockDefs, info.Blocks, info.Chunks)
+	if info.Indexed {
+		fmt.Fprintf(w, "index: footer with %d chunk entries\n", info.IndexChunks)
+	} else {
+		fmt.Fprintln(w, "index: none (v1 trace; parallel replay scans chunk frames)")
+	}
 	if !info.Complete {
-		fmt.Println("final state: MISSING (truncated trace, no end record)")
+		fmt.Fprintln(w, "final state: MISSING (truncated trace, no end record)")
 		return nil
 	}
 	halted := "halted"
 	if !info.Halted {
 		halted = "stopped"
 	}
-	fmt.Printf("final state: %d instructions, pc %#x, exit code %d, %s\n",
+	fmt.Fprintf(w, "final state: %d instructions, pc %#x, exit code %d, %s\n",
 		info.FinalICount, info.FinalPC, info.ExitCode, halted)
 	return nil
 }

@@ -84,3 +84,34 @@ func TestGoldenCacheSweepDeterministic(t *testing.T) {
 		t.Error("cache sweep output missing the comparison table")
 	}
 }
+
+// TestGoldenRecordReplayParallel: -record then -replay must print the
+// same charts and statistics as the live run, and the indexed parallel
+// replay (-replay-jobs > 1) must be byte-identical to the sequential
+// one — at single-worker, multi-worker and GOMAXPROCS settings, with
+// both stack policies.
+func TestGoldenRecordReplayParallel(t *testing.T) {
+	trace := t.TempDir() + "/small.etrace"
+	runSelf(t, "-config", "small", "-slice", "200000", "-record", trace)
+	for _, stack := range []string{"include", "exclude"} {
+		want := runSelf(t, "-replay", trace, "-slice", "200000", "-stack", stack, "-replay-jobs", "1")
+		for _, jobs := range []string{"2", "4", "0"} {
+			got := runSelf(t, "-replay", trace, "-slice", "200000", "-stack", stack, "-replay-jobs", jobs)
+			if got != want {
+				t.Errorf("-stack %s -replay-jobs %s output differs from sequential replay:\n--- got ---\n%s--- want ---\n%s",
+					stack, jobs, got, want)
+			}
+		}
+	}
+}
+
+// TestGoldenSweepReplayJobs: a cache sweep's batched replays decode in
+// parallel without changing a byte of output.
+func TestGoldenSweepReplayJobs(t *testing.T) {
+	const caches = "l1=1k/2/64;l1=4k/4/64,l2=32k/8/64"
+	want := runSelf(t, "-config", "small", "-slice", "200000", "-cache", caches, "-replay-jobs", "1")
+	got := runSelf(t, "-config", "small", "-slice", "200000", "-cache", caches, "-replay-jobs", "4")
+	if got != want {
+		t.Errorf("sweep output depends on -replay-jobs:\n--- jobs=1 ---\n%s--- jobs=4 ---\n%s", want, got)
+	}
+}

@@ -113,6 +113,7 @@ func main() {
 		journalOut = flag.String("journal", "", "write a JSONL event journal (spans + metrics) to this file")
 		recordOut  = flag.String("record", "", "record the guest event stream to this file (single-interval live run)")
 		replayIn   = flag.String("replay", "", "replay a recorded event stream instead of executing the guest")
+		replayJobs = flag.Int("replay-jobs", 1, "trace-decode workers for -replay and sweep replays: 1 = sequential, 0 = GOMAXPROCS")
 		timeout    = flag.Duration("timeout", 0, "wall-clock deadline for the whole invocation (0 = none)")
 		maxICount  = flag.Uint64("max-icount", 0, "guest instruction budget per run (0 = default)")
 		retries    = flag.Int("retries", 0, "sweep only: retries per run after transient failures")
@@ -133,6 +134,9 @@ func main() {
 	}
 	if *jobs < 0 {
 		log.Fatalf("bad -jobs %d: must be >= 0", *jobs)
+	}
+	if *replayJobs < 0 {
+		log.Fatalf("bad -replay-jobs %d: must be >= 0", *replayJobs)
 	}
 	if *retries < 0 {
 		log.Fatalf("bad -retries %d: must be >= 0", *retries)
@@ -223,6 +227,7 @@ func main() {
 		err := runReplay(ctx, *replayIn, &replayOpts{
 			intervals:    intervals,
 			caches:       caches,
+			jobs:         *replayJobs,
 			includeStack: includeStack,
 			ignoreLibs:   *ignoreLibs,
 			stack:        *stack,
@@ -245,8 +250,8 @@ func main() {
 	if sweep {
 		sup := supervision{
 			ctx: ctx, retries: *retries, resume: *resume, budget: budget,
-			interpret: interpret,
-			obs:       liveObs, events: tracker, chart: chart,
+			interpret: interpret, replayJobs: *replayJobs,
+			obs: liveObs, events: tracker, chart: chart,
 		}
 		if err := runSweep(cfg, intervals, caches, includeStack, *ignoreLibs, *jobs, *metric, *kernels, *width, sup); err != nil {
 			log.Fatal(err)
@@ -452,6 +457,7 @@ func main() {
 type replayOpts struct {
 	intervals    []uint64
 	caches       []memsim.Config
+	jobs         int // decode workers; 1 = sequential Replayer
 	includeStack bool
 	ignoreLibs   bool
 	stack        string
@@ -525,18 +531,35 @@ func replayOne(ctx context.Context, path string, interval uint64, mc *memsim.Con
 	}
 
 	instrument := ob.Tracer().Start("instrument")
-	rp, err := etrace.NewReplayer(f)
-	if err != nil {
-		return fmt.Errorf("%s: %w", path, err)
+	// Sequential and indexed-parallel replay share the Consumer host; the
+	// driver only differs in how it walks the chunks.
+	var host *etrace.Consumer
+	var driver interface{ ReplayContext(context.Context) error }
+	if o.jobs == 1 {
+		rp, err := etrace.NewReplayer(f)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		host, driver = rp.Consumer, rp
+	} else {
+		fi, err := f.Stat()
+		if err != nil {
+			return err
+		}
+		pr, err := etrace.NewParallelReplayer(f, fi.Size(), etrace.ParallelOptions{Jobs: o.jobs})
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		host, driver = pr.NewConsumer(), pr
 	}
-	tool := core.Attach(rp, core.Options{
+	tool := core.Attach(host, core.Options{
 		SliceInterval: interval,
 		IncludeStack:  o.includeStack,
 		ExcludeLibs:   o.ignoreLibs,
 	})
 	var memTool *memsim.Tool
 	if mc != nil {
-		memTool, err = memsim.Attach(rp, memsim.Options{
+		memTool, err = memsim.Attach(host, memsim.Options{
 			Config:        *mc,
 			SliceInterval: interval,
 			ExcludeLibs:   o.ignoreLibs,
@@ -548,15 +571,15 @@ func replayOne(ctx context.Context, path string, interval uint64, mc *memsim.Con
 	instrument.End()
 
 	replay := ob.Tracer().Start("replay")
-	if err := rp.ReplayContext(ctx); err != nil {
+	if err := driver.ReplayContext(ctx); err != nil {
 		return fmt.Errorf("%s: %w", path, err)
 	}
-	replay.SetInstr(rp.ICount())
-	rb, wb := rp.Traffic()
+	replay.SetInstr(host.ICount())
+	rb, wb := host.Traffic()
 	replay.SetBytes(rb + wb)
 	replay.End()
-	if rp.ExitCode() != 0 {
-		return fmt.Errorf("%s: recorded guest exit code %d", path, rp.ExitCode())
+	if host.ExitCode() != 0 {
+		return fmt.Errorf("%s: recorded guest exit code %d", path, host.ExitCode())
 	}
 
 	snapshot := ob.Tracer().Start("snapshot")
@@ -589,7 +612,7 @@ func replayOne(ctx context.Context, path string, interval uint64, mc *memsim.Con
 	}
 	fmt.Printf("tQUAD (replay of %s): %d instructions, %d slices of %d instructions, slowdown %.1fx\n\n",
 		path, prof.TotalInstr, prof.NumSlices, prof.SliceInterval,
-		float64(rp.Time())/float64(prof.TotalInstr))
+		float64(host.Time())/float64(prof.TotalInstr))
 
 	if o.csv {
 		emitCSV(prof, names, o.metric, o.includeStack)
@@ -605,13 +628,13 @@ func replayOne(ctx context.Context, path string, interval uint64, mc *memsim.Con
 	reportSpan.End()
 	run.End()
 	if ob != nil {
-		rp.PublishMetrics(ob.Metrics)
+		host.PublishMetrics(ob.Metrics)
 		tool.PublishMetrics(ob.Metrics)
 		if memTool != nil {
 			memTool.PublishMetrics(ob.Metrics)
 		}
 		if prof.TotalInstr > 0 {
-			ob.Metrics.Gauge("tquad_run_slowdown").Set(float64(rp.Time()) / float64(prof.TotalInstr))
+			ob.Metrics.Gauge("tquad_run_slowdown").Set(float64(host.Time()) / float64(prof.TotalInstr))
 		}
 		if err := ob.WriteFiles(o.metricsOut, o.traceOut, o.journalOut); err != nil {
 			return err
@@ -626,7 +649,8 @@ type supervision struct {
 	retries   int
 	resume    string
 	budget    uint64
-	interpret bool // run guests on the reference interpreter (-engine=step)
+	interpret  bool // run guests on the reference interpreter (-engine=step)
+	replayJobs int  // decode workers for batched sweep replays
 
 	// Live telemetry (all nil unless -serve): the observer whose registry
 	// the server exposes, the tracker receiving lifecycle events, and the
@@ -651,6 +675,7 @@ func runSweep(cfg wfs.Config, intervals []uint64, caches []memsim.Config, includ
 	sch.SetContext(sup.ctx)
 	sch.SetRetries(sup.retries)
 	sch.SetMaxInstr(sup.budget)
+	sch.SetReplayJobs(sup.replayJobs)
 	if sup.events != nil {
 		sch.SetEvents(sup.events)
 	}

@@ -21,6 +21,16 @@
 //	                        sorted by entry (interned once, replacing
 //	                        per-event symbol resolution)
 //	chunk*                  length-prefixed record blocks
+//	index footer            optional per-chunk index appended after the
+//	                        final chunk (see index.go): "TQIX" payload
+//	                        listing every chunk's byte offset, size,
+//	                        record/event counts and instruction-count
+//	                        span, closed by an 8-byte trailer (LE32
+//	                        payload length + "TQIX") so a seekable
+//	                        reader discovers it from the end of the
+//	                        file.  Traces recorded before the footer
+//	                        existed decode unchanged; indexed readers
+//	                        rebuild their index by a frame scan.
 //
 // Each chunk is a length-prefixed block of records, and every delta chain
 // resets at a chunk boundary, so a replayer streams the file chunk by
@@ -67,6 +77,19 @@ const (
 	maxRoutines    = 1 << 20
 	maxBlockDefs   = 1 << 22
 	maxBlockInstrs = 1 << 20
+
+	// Index-footer format (see index.go).
+	indexMagic   = "TQIX"
+	indexVersion = 1
+	// trailerLen is the fixed-size footer tail: LE32 payload length plus
+	// the magic, the last eight bytes of an indexed trace.
+	trailerLen = 8
+	// maxIndexEntries caps the chunk count a footer may claim; combined
+	// with chunkTarget it admits traces far past the terabyte mark.
+	maxIndexEntries = 1 << 22
+	// maxFooterLen bounds how much trailing data the streaming decoder
+	// will buffer while validating a footer.
+	maxFooterLen = 1 << 26
 )
 
 // Record kinds (low three bits of the tag byte).

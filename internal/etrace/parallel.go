@@ -1,0 +1,426 @@
+package etrace
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"tquad/internal/vm"
+)
+
+// ParallelOptions configure a ParallelReplayer.
+type ParallelOptions struct {
+	// Jobs is the decode worker count; 0 means GOMAXPROCS, 1 decodes
+	// inline with no worker pool.
+	Jobs int
+}
+
+// ParallelReplayer replays one recorded trace through any number of
+// consumers in a single pass, decoding chunks concurrently.
+//
+// The division of labour: chunk *decode* (varint parsing, delta
+// reconstruction) parallelises freely because every delta chain resets
+// at a chunk boundary; decoded chunks are re-sequenced into file order
+// and fanned out to the consumers, each applying the stream on its own
+// goroutine.  Every consumer therefore observes exactly the record
+// sequence a sequential Replayer would deliver — parallel replay is
+// byte-identical by construction, asserted by the golden and
+// differential tests — while N tool stacks profile one decode pass
+// concurrently instead of replaying the trace N times.
+//
+// Memory stays bounded: the ordered-promise window holds at most ~2x
+// the worker count of decoded chunks, each recycled through a pool once
+// every consumer is done with it.
+type ParallelReplayer struct {
+	ra    io.ReaderAt
+	hdr   header
+	index *Index
+	jobs  int
+
+	consumers []*Consumer
+	progress  func(ic uint64)
+	done      bool
+}
+
+// NewParallelReplayer opens a recorded trace for indexed replay.  The
+// trace's index footer is used when present; footer-less v1 traces get
+// an index rebuilt by a chunk-frame scan.  A footer that is present but
+// malformed is an error (fail closed), never silently rescanned.
+func NewParallelReplayer(ra io.ReaderAt, size int64, opts ParallelOptions) (*ParallelReplayer, error) {
+	cr := &countingReader{r: io.NewSectionReader(ra, 0, size)}
+	d := newDecoder(cr)
+	hdr, err := d.readHeader()
+	if err != nil {
+		return nil, err
+	}
+	headerEnd := cr.n - int64(d.r.Buffered())
+	idx, err := ReadIndex(ra, size)
+	if err != nil {
+		return nil, err
+	}
+	if idx == nil {
+		if idx, err = ScanIndex(ra, headerEnd, size); err != nil {
+			return nil, err
+		}
+	}
+	if len(idx.Chunks) == 0 {
+		return nil, errTruncated
+	}
+	if idx.Chunks[0].Offset != headerEnd {
+		return nil, fmt.Errorf("etrace: index starts at %d, chunks at %d", idx.Chunks[0].Offset, headerEnd)
+	}
+	jobs := opts.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	return &ParallelReplayer{ra: ra, hdr: hdr, index: idx, jobs: jobs}, nil
+}
+
+// countingReader tracks how many bytes have been read — how the header's
+// end offset is recovered from the streaming parse.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// Index returns the chunk index the replay will follow.
+func (p *ParallelReplayer) Index() *Index { return p.index }
+
+// Workload returns the header's workload label.
+func (p *ParallelReplayer) Workload() string { return p.hdr.workload }
+
+// StackBase returns the recorded top-of-stack address.
+func (p *ParallelReplayer) StackBase() uint64 { return p.hdr.stackBase }
+
+// NewConsumer adds one pin.Host to the fan-out and returns it.  Attach a
+// tool stack to each consumer, then call Replay once.
+func (p *ParallelReplayer) NewConsumer() *Consumer {
+	c := newConsumer(p.hdr)
+	p.consumers = append(p.consumers, c)
+	return c
+}
+
+// OnProgress registers a heartbeat callback invoked with the replayed
+// instruction count (of the first consumer) every cancelCheckStride
+// records, mirroring Replayer.OnProgress.
+func (p *ParallelReplayer) OnProgress(fn func(ic uint64)) { p.progress = fn }
+
+// Replay runs the single decode pass, feeding every record to every
+// consumer in file order.  It may be called once.
+func (p *ParallelReplayer) Replay() error { return p.ReplayContext(context.Background()) }
+
+// decodedChunk is one chunk's decode result: its records, or the error
+// that stopped the decode (with the records parsed before it).  The
+// slice pointer carries pool ownership.
+type decodedChunk struct {
+	recs *[]record
+	err  error
+}
+
+// recPool recycles per-chunk record slices across the replay window.
+var recPool = sync.Pool{New: func() any { return new([]record) }}
+
+// framePool recycles chunk frame buffers (length prefix + payload).
+var framePool = sync.Pool{New: func() any { return new([]byte) }}
+
+// chunkShare is one decoded chunk in flight to several consumers; the
+// last consumer to finish returns the records to the pool.
+type chunkShare struct {
+	recs *[]record
+	refs atomic.Int32
+}
+
+func (s *chunkShare) release() {
+	if s.refs.Add(-1) == 0 {
+		recPool.Put(s.recs)
+	}
+}
+
+// ReplayContext is Replay under a context, with Replayer's cancellation
+// contract: a cancelled context stops the replay with a *vm.CancelError
+// carrying the (first consumer's) instruction count at the interruption
+// point.
+func (p *ParallelReplayer) ReplayContext(ctx context.Context) error {
+	if p.done {
+		return errors.New("etrace: trace already replayed")
+	}
+	p.done = true
+	if len(p.consumers) == 0 {
+		p.NewConsumer()
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Decode side: an ordered stream of decoded chunks.
+	out := make(chan decodedChunk, p.jobs)
+	if p.jobs <= 1 {
+		go p.produceSequential(cctx, out)
+	} else {
+		go p.produceParallel(cctx, out)
+	}
+
+	// Apply side: one goroutine per consumer, each walking the shared
+	// record stream in order.  The first consumer doubles as the
+	// progress heartbeat source.
+	errs := make([]error, len(p.consumers))
+	chans := make([]chan *chunkShare, len(p.consumers))
+	var wg sync.WaitGroup
+	for i := range p.consumers {
+		ch := make(chan *chunkShare, 2)
+		chans[i] = ch
+		wg.Add(1)
+		go func(i int, c *Consumer, ch <-chan *chunkShare) {
+			defer wg.Done()
+			errs[i] = p.applyLoop(ctx, cancel, c, i == 0, ch)
+		}(i, p.consumers[i], ch)
+	}
+
+	// Coordinator: fan each ordered chunk out to every consumer.  A
+	// chunk that decoded with an error still fans out first — consumers
+	// must apply the records preceding the failure, matching where a
+	// sequential replay stops.
+	var decodeErr error
+	dispatched := 0
+fanout:
+	for d := range out {
+		share := &chunkShare{recs: d.recs}
+		share.refs.Store(int32(len(chans)))
+		for _, ch := range chans {
+			select {
+			case ch <- share:
+			case <-cctx.Done():
+				share.release() // stand in for the consumers not reached
+				break fanout
+			}
+		}
+		dispatched++
+		if d.err != nil {
+			decodeErr = d.err
+			break
+		}
+	}
+	for _, ch := range chans {
+		close(ch)
+	}
+	wg.Wait()
+	cancel()
+	// Drain any chunks the producer emitted after the fan-out stopped.
+	for d := range out {
+		recPool.Put(d.recs)
+	}
+
+	// Error precedence: a consumer's stream-order failure, then the
+	// decode failure, then cancellation.  (With several consumers the
+	// first failing index is reported; pass-level callers treat any
+	// failure as failing the whole pass.)
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	if decodeErr != nil {
+		return decodeErr
+	}
+	if dispatched != len(p.index.Chunks) {
+		c := p.consumers[0]
+		return &vm.CancelError{PC: c.pc, ICount: c.ic, Cause: context.Cause(cctx)}
+	}
+	return nil
+}
+
+// applyLoop drives one consumer over the ordered chunk stream; the lead
+// consumer also fires the progress heartbeat.  Cancellation is polled
+// once per chunk, not per record: a chunk is bounded (maxChunkLen) and
+// applies in microseconds, so chunk granularity keeps the hot loop free
+// of per-record bookkeeping without hurting responsiveness.
+func (p *ParallelReplayer) applyLoop(ctx context.Context, cancel context.CancelFunc, c *Consumer, lead bool, ch <-chan *chunkShare) error {
+	done := ctx.Done()
+	progress := p.progress
+	if !lead {
+		progress = nil
+	}
+	var failed error
+	for share := range ch {
+		if failed == nil {
+			select {
+			case <-done:
+				failed = &vm.CancelError{PC: c.pc, ICount: c.ic, Cause: ctx.Err()}
+			default:
+			}
+			if failed == nil {
+				recs := *share.recs
+				for i := range recs {
+					if err := c.apply(&recs[i]); err != nil {
+						failed = err
+						break
+					}
+				}
+				if failed == nil && progress != nil {
+					progress(c.ic)
+				}
+			}
+			if failed != nil {
+				cancel() // stop the producer and the other consumers
+			}
+		}
+		share.release()
+	}
+	return failed
+}
+
+// produceSequential decodes chunks inline, in order — the jobs<=1 path.
+func (p *ParallelReplayer) produceSequential(ctx context.Context, out chan<- decodedChunk) {
+	defer close(out)
+	last := len(p.index.Chunks) - 1
+	for i, ref := range p.index.Chunks {
+		buf := recPool.Get().(*[]record)
+		var err error
+		*buf, err = p.decodeChunk(ref, i == last, (*buf)[:0])
+		select {
+		case out <- decodedChunk{recs: buf, err: err}:
+		case <-ctx.Done():
+			recPool.Put(buf)
+			return
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// produceParallel decodes chunks across a worker pool, re-sequencing via
+// an ordered promise queue: the feeder emits one promise per chunk in
+// file order, workers fulfil promises as they finish, and the forwarding
+// loop drains promises in emission order — so the output stream is in
+// file order no matter how decode completion interleaves.
+func (p *ParallelReplayer) produceParallel(ctx context.Context, out chan<- decodedChunk) {
+	defer close(out)
+	ictx, icancel := context.WithCancel(ctx)
+	defer icancel()
+
+	type job struct {
+		ref     ChunkRef
+		last    bool
+		promise chan decodedChunk
+	}
+	// The promise queue bounds memory: at most ~2*jobs decoded chunks
+	// exist before the forwarding loop drains one.
+	promises := make(chan chan decodedChunk, p.jobs*2)
+	work := make(chan job)
+
+	go func() {
+		defer close(promises)
+		defer close(work)
+		last := len(p.index.Chunks) - 1
+		for i, ref := range p.index.Chunks {
+			// Buffered so a worker never blocks fulfilling it.
+			promise := make(chan decodedChunk, 1)
+			select {
+			case promises <- promise:
+			case <-ictx.Done():
+				return
+			}
+			select {
+			case work <- job{ref: ref, last: i == last, promise: promise}:
+			case <-ictx.Done():
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < p.jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range work {
+				buf := recPool.Get().(*[]record)
+				var err error
+				*buf, err = p.decodeChunk(j.ref, j.last, (*buf)[:0])
+				j.promise <- decodedChunk{recs: buf, err: err}
+				if err != nil {
+					icancel() // later chunks are unreachable; stop decoding
+				}
+			}
+		}()
+	}
+	defer wg.Wait()
+
+	for promise := range promises {
+		var d decodedChunk
+		select {
+		case d = <-promise:
+		case <-ctx.Done():
+			return
+		}
+		select {
+		case out <- d:
+		case <-ctx.Done():
+			recPool.Put(d.recs)
+			return
+		}
+		if d.err != nil {
+			return
+		}
+	}
+}
+
+// decodeChunk reads and decodes one chunk identified by its index entry,
+// appending its records to recs.  The index is never trusted over the
+// bytes: the chunk's own length prefix must agree with the entry, an end
+// record may close only the final chunk, and a footer entry's record
+// count must match what actually decoded.
+func (p *ParallelReplayer) decodeChunk(ref ChunkRef, last bool, recs []record) ([]record, error) {
+	frameBuf := framePool.Get().(*[]byte)
+	defer framePool.Put(frameBuf)
+	frame := *frameBuf
+	need := int(ref.frameLen())
+	if cap(frame) < need {
+		frame = make([]byte, need)
+		*frameBuf = frame
+	}
+	frame = frame[:need]
+	if _, err := p.ra.ReadAt(frame, ref.Offset); err != nil {
+		return recs, fmt.Errorf("etrace: read chunk at %d: %w", ref.Offset, err)
+	}
+	size, n := binary.Uvarint(frame)
+	if n <= 0 || int64(size) != ref.Size || n != uvarintLen(size) {
+		return recs, errors.New("etrace: index disagrees with chunk boundaries")
+	}
+	var cp chunkParser
+	cp.reset(frame[n:])
+	for !cp.done() {
+		// Parse into the appended slot: pooled slices carry stale
+		// records, and parseRecord only writes kind-relevant fields, so
+		// the slot must be zeroed — but appending a zero value and
+		// decoding in place still saves a per-record struct copy.
+		recs = append(recs, record{})
+		rec := &recs[len(recs)-1]
+		if err := cp.parseRecord(rec); err != nil {
+			return recs, err
+		}
+		if rec.kind == recEnd && !last {
+			return recs, errors.New("etrace: data after final chunk (end record mid-trace)")
+		}
+	}
+	if p.index.FromFooter && ref.Records != uint64(len(recs)) {
+		return recs, fmt.Errorf("etrace: index lists %d records, chunk decoded %d", ref.Records, len(recs))
+	}
+	if last {
+		if len(recs) == 0 || recs[len(recs)-1].kind != recEnd {
+			return recs, errTruncated
+		}
+	}
+	return recs, nil
+}

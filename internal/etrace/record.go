@@ -32,6 +32,15 @@ type writer struct {
 
 	// Delta-chain state, reset at every chunk boundary.
 	prevIC, prevPC, prevAddr, prevSP, prevTarget uint64
+
+	// Index accounting: one ChunkRef per sealed chunk, written as the
+	// footer by end().
+	off          int64 // file offset of the next chunk's length prefix
+	index        []ChunkRef
+	chunkRecords uint64
+	chunkEvents  uint64
+	chunkStartIC uint64
+	lastIC       uint64
 }
 
 func newWriter(out io.Writer, hdr header) *writer {
@@ -57,6 +66,7 @@ func newWriter(out io.Writer, hdr header) *writer {
 	if _, err := out.Write(b); err != nil {
 		w.err = err
 	}
+	w.off = int64(len(b))
 	return w
 }
 
@@ -64,11 +74,20 @@ func (w *writer) resetDeltas() {
 	w.prevIC, w.prevPC, w.prevAddr, w.prevSP, w.prevTarget = 0, 0, 0, 0, 0
 }
 
-// flush seals the current chunk: length prefix, payload, fresh deltas.
+// flush seals the current chunk: length prefix, payload, fresh deltas —
+// and records the chunk's index entry.
 func (w *writer) flush() {
 	if w.err != nil || len(w.buf) == 0 {
 		return
 	}
+	w.index = append(w.index, ChunkRef{
+		Offset:  w.off,
+		Size:    int64(len(w.buf)),
+		Records: w.chunkRecords,
+		Events:  w.chunkEvents,
+		StartIC: w.chunkStartIC,
+		EndIC:   w.lastIC,
+	})
 	var hdr [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(hdr[:], uint64(len(w.buf)))
 	if _, err := w.out.Write(hdr[:n]); err != nil {
@@ -79,7 +98,10 @@ func (w *writer) flush() {
 		w.err = err
 		return
 	}
+	w.off += int64(n) + int64(len(w.buf))
 	w.buf = w.buf[:0]
+	w.chunkRecords, w.chunkEvents = 0, 0
+	w.chunkStartIC = w.lastIC
 	w.resetDeltas()
 }
 
@@ -108,6 +130,9 @@ func (w *writer) event(kind byte, ic uint64, ctx *pin.Context) {
 	w.buf = append(w.buf, tag)
 	w.buf = binary.AppendUvarint(w.buf, ic-w.prevIC)
 	w.prevIC = ic
+	w.chunkRecords++
+	w.chunkEvents++
+	w.lastIC = ic
 	w.delta(ctx.PC, &w.prevPC)
 	w.delta(ctx.Addr, &w.prevAddr)
 	w.delta(ctx.SP, &w.prevSP)
@@ -128,6 +153,7 @@ func (w *writer) static(pc uint64, instr isa.Instr) {
 	w.buf = append(w.buf, recStatic)
 	w.buf = binary.AppendUvarint(w.buf, pc)
 	w.buf = instr.EncodeTo(w.buf)
+	w.chunkRecords++
 	if len(w.buf) >= chunkTarget {
 		w.flush()
 	}
@@ -141,6 +167,7 @@ func (w *writer) blockDef(start uint64, ninstr int) {
 	w.buf = append(w.buf, recBlockDef)
 	w.buf = binary.AppendUvarint(w.buf, start)
 	w.buf = binary.AppendUvarint(w.buf, uint64(ninstr))
+	w.chunkRecords++
 	if len(w.buf) >= chunkTarget {
 		w.flush()
 	}
@@ -155,12 +182,15 @@ func (w *writer) block(ic uint64, id uint64) {
 	w.buf = binary.AppendUvarint(w.buf, ic-w.prevIC)
 	w.prevIC = ic
 	w.buf = binary.AppendUvarint(w.buf, id)
+	w.chunkRecords++
+	w.lastIC = ic
 	if len(w.buf) >= chunkTarget {
 		w.flush()
 	}
 }
 
-// end appends the trailer record and seals the final chunk.
+// end appends the trailer record, seals the final chunk, and writes the
+// index footer.
 func (w *writer) end(ic, pc uint64, exitCode int64, halted bool) error {
 	if w.err == nil {
 		w.buf = append(w.buf, recEnd)
@@ -172,8 +202,15 @@ func (w *writer) end(ic, pc uint64, exitCode int64, halted bool) error {
 			flags = 1
 		}
 		w.buf = append(w.buf, flags)
+		w.chunkRecords++
+		w.lastIC = ic
 	}
 	w.flush()
+	if w.err == nil {
+		if _, err := w.out.Write(appendFooter(nil, w.index)); err != nil {
+			w.err = err
+		}
+	}
 	return w.err
 }
 

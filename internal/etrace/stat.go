@@ -10,6 +10,11 @@ type Info struct {
 	StackBase uint64
 	Routines  []Routine
 
+	// Indexed reports whether the trace carried an index footer;
+	// IndexChunks is the footer's chunk-entry count when it did.
+	Indexed     bool
+	IndexChunks int
+
 	Chunks    int
 	Statics   uint64
 	Reads     uint64
@@ -45,12 +50,12 @@ func Stat(rd io.Reader) (*Info, error) {
 	}
 	for {
 		rec, err := d.next()
-		if err == io.EOF {
+		if err == io.EOF || err == errTruncated {
 			info.Chunks = d.chunks
-			return info, nil
-		}
-		if err == errTruncated {
-			info.Chunks = d.chunks
+			if d.footer != nil {
+				info.Indexed = true
+				info.IndexChunks = len(d.footer.Chunks)
+			}
 			return info, nil
 		}
 		if err != nil {
@@ -78,8 +83,14 @@ func Stat(rd io.Reader) (*Info, error) {
 			info.ExitCode = rec.exitCode
 			info.Halted = rec.halted
 		}
-		if rec.kind != recStatic && rec.kind != recBlockDef && !rec.executed {
-			info.Skipped++
+		// Only executable event kinds carry the skipped flag; a hostile
+		// tag smuggling it onto an end or block record must not inflate
+		// the tally.
+		switch rec.kind {
+		case recRead, recWrite, recCall, recReturn:
+			if !rec.executed {
+				info.Skipped++
+			}
 		}
 	}
 }

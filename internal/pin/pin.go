@@ -148,6 +148,19 @@ type InstrumentFunc func(ins *INS)
 // first time any instruction of the routine is reached.
 type RTNInstrumentFunc func(rtn *RTN)
 
+// Stats mirrors Pin's internal bookkeeping and feeds the
+// instrumentation-overhead experiments.  It is shared by every event
+// source that drives analysis routines — the live Engine and the trace
+// replayers in internal/etrace — so replayed runs report the same
+// counters a live run would.
+type Stats struct {
+	StaticInstrumented uint64 // static instructions instrumented
+	AnalysisCalls      uint64 // dynamic analysis-routine invocations
+	SuppressedCalls    uint64 // predicated calls suppressed
+	BlocksFolded       uint64 // blocks folded via CompileBlock
+	FoldedCalls        uint64 // analysis calls accounted per-block instead of per-call
+}
+
 // Host is the event source a tool attaches to: everything the profiling
 // tools (core, quad, flatprof) need from the instrumentation framework,
 // abstracted from where the dynamic events come from.  *Engine implements
@@ -200,15 +213,8 @@ type Engine struct {
 	// suffices; it removes a heap allocation per dynamic event.
 	ctx Context
 
-	// Stats mirrors Pin's internal bookkeeping and feeds the
-	// instrumentation-overhead experiments.
-	Stats struct {
-		StaticInstrumented uint64 // static instructions instrumented
-		AnalysisCalls      uint64 // dynamic analysis-routine invocations
-		SuppressedCalls    uint64 // predicated calls suppressed
-		BlocksFolded       uint64 // blocks folded via CompileBlock
-		FoldedCalls        uint64 // analysis calls accounted per-block instead of per-call
-	}
+	// Stats is the engine's instrumentation bookkeeping.
+	Stats Stats
 }
 
 // insRecord is the retained outcome of compiling one static instruction:

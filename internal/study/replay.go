@@ -53,6 +53,12 @@ type recording struct {
 	reg       *obs.Registry
 	spans     []obs.SpanRecord
 	err       error
+
+	// Batched-replay state, guarded by the scheduler's mu: members
+	// submitted while a coordinator is live join its next pass instead of
+	// replaying individually (see Scheduler.batchReplays).
+	batch    []*batchMember
+	batching bool
 }
 
 // recordingLocked returns the group's recording, starting it on first
@@ -343,6 +349,113 @@ func (s *Study) replayConfig(cfg RunConfig, path string, opt runOptions) (*RunRe
 		res.Spans = ro.Spans.Records()
 	}
 	return res, nil
+}
+
+// groupRun is one member of a batched replay pass: a configuration plus
+// its heartbeat callback.
+type groupRun struct {
+	Cfg  RunConfig
+	Beat func(ic uint64)
+}
+
+// replayGroup produces every member configuration's result from ONE
+// decode pass over the recorded trace at path, via an
+// etrace.ParallelReplayer fanning the record stream out to one consumer
+// per member.  It mirrors replayConfig span for span — each member gets
+// its own observer, "run"/"instrument"/"replay" spans and private
+// registry — so batched results are indistinguishable from individually
+// replayed ones.  Any failure fails the whole pass; the scheduler falls
+// back to individual supervised replays, which reproduce the exact
+// per-member error.
+func (s *Study) replayGroup(runs []groupRun, path string, jobs int, ctx context.Context) ([]*RunResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, MarkTransient(err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, MarkTransient(err)
+	}
+	pr, err := etrace.NewParallelReplayer(f, fi.Size(), etrace.ParallelOptions{Jobs: jobs})
+	if err != nil {
+		return nil, err
+	}
+
+	type member struct {
+		ro     *obs.Observer
+		res    *RunResult
+		run    *obs.Span
+		replay *obs.Span
+		host   *etrace.Consumer
+		ts     *toolset
+	}
+	members := make([]*member, len(runs))
+	var beats []func(uint64)
+	for i, r := range runs {
+		var ro *obs.Observer
+		if s.Obs != nil {
+			ro = obs.NewObserver()
+		}
+		m := &member{ro: ro, res: &RunResult{Config: r.Cfg, Key: r.Cfg.Key()}}
+		m.run = ro.Tracer().Start("run")
+		instrument := ro.Tracer().Start("instrument")
+		m.host = pr.NewConsumer()
+		m.ts, err = attachTools(m.host, r.Cfg, ro.Tracer())
+		instrument.End()
+		if err != nil {
+			m.run.End()
+			return nil, fmt.Errorf("study: run %s: %w", m.res.Key, err)
+		}
+		if r.Beat != nil {
+			beats = append(beats, r.Beat)
+		}
+		members[i] = m
+	}
+	if len(beats) > 0 {
+		pr.OnProgress(func(ic uint64) {
+			for _, b := range beats {
+				b(ic)
+			}
+		})
+	}
+
+	for _, m := range members {
+		m.replay = m.ro.Tracer().Start("replay")
+	}
+	err = pr.ReplayContext(ctx)
+	for _, m := range members {
+		m.replay.SetInstr(m.host.ICount())
+		rb, wb := m.host.Traffic()
+		m.replay.SetBytes(rb + wb)
+		m.replay.End()
+	}
+	if err != nil {
+		for _, m := range members {
+			m.run.End()
+		}
+		return nil, err
+	}
+
+	results := make([]*RunResult, len(members))
+	for i, m := range members {
+		if m.host.ExitCode() != 0 {
+			return nil, fmt.Errorf("study: run %s: guest exit code %d", m.res.Key, m.host.ExitCode())
+		}
+		m.res.ICount, m.res.Overhead, m.res.Time = m.host.ICount(), m.host.Overhead(), m.host.Time()
+		m.host.PublishMetrics(m.ro.Registry())
+		m.ts.collect(runs[i].Cfg, m.res, m.ro)
+		m.run.End()
+		if m.ro != nil {
+			m.res.Registry = m.ro.Metrics
+			m.res.Spans = m.ro.Spans.Records()
+		}
+		results[i] = m.res
+	}
+	return results, nil
 }
 
 // toolset holds whichever tools a configuration attaches; live and

@@ -178,6 +178,14 @@ type Scheduler struct {
 	replay     bool
 	guestExecs atomic.Uint64
 
+	// replayJobs is the decode worker count handed to batched replay
+	// passes (0: decode inline).  decodePasses counts how many times a
+	// trace was decoded to serve replays — the batched analogue of
+	// GuestExecutions: a sweep of N configurations over one recording
+	// should cost one pass, not N.
+	replayJobs   int
+	decodePasses atomic.Uint64
+
 	// Supervision policy (see supervise.go).  Configured before the
 	// first Submit; defaults are a background context, no retries, no
 	// per-run timeout, and the wfs instruction budget.
@@ -339,6 +347,23 @@ func (sc *Scheduler) SetReplay(on bool) {
 // number of submitted configurations.
 func (sc *Scheduler) GuestExecutions() uint64 { return sc.guestExecs.Load() }
 
+// SetReplayJobs sets how many decode workers a batched replay pass uses
+// (0, the default, decodes inline on the dispatching goroutine).  Call
+// before the first Submit.
+func (sc *Scheduler) SetReplayJobs(n int) {
+	sc.mu.Lock()
+	if n < 0 {
+		n = 0
+	}
+	sc.replayJobs = n
+	sc.mu.Unlock()
+}
+
+// DecodePasses returns how many decode passes over recorded traces the
+// scheduler has performed — with batching, one per recording per drain
+// rather than one per submitted configuration.
+func (sc *Scheduler) DecodePasses() uint64 { return sc.decodePasses.Load() }
+
 // Close waits for all submitted work and removes the recorded trace
 // temp files.  Traces persisted into a checkpoint journal are kept —
 // they belong to the journal, not the scheduler.  Call it when the
@@ -381,34 +406,42 @@ func (sc *Scheduler) Submit(cfg RunConfig) *Pending {
 	sc.memo[key] = p
 	pol := sc.policyLocked()
 	replay := sc.replay && cfg.Kind.known()
+	// Batched replays share one decode pass; the per-run hook seams
+	// (BeforeRun, ReplayReader) force the individual path, where their
+	// faults land on exactly one configuration.
+	batch := replay && pol.hooks.BeforeRun == nil && pol.hooks.ReplayReader == nil
 	var rec *recording
 	if replay {
 		rec = sc.recordingLocked(cfg.ExecKey())
+	}
+	if batch {
+		rec.batch = append(rec.batch, &batchMember{p: p, cfg: cfg, key: key, pol: pol})
+		batch = !rec.batching // whether to start the coordinator
+		rec.batching = true
+		sc.mu.Unlock()
+		pol.emit(obs.Event{Type: obs.EventQueued, Key: key})
+		if batch {
+			go sc.batchReplays(rec)
+		}
+		return p
 	}
 	invalid := sc.replay && !cfg.Kind.known()
 	sc.mu.Unlock()
 	pol.emit(obs.Event{Type: obs.EventQueued, Key: key})
 	go func() {
-		defer close(p.done)
 		switch {
 		case invalid:
 			// Reject before recording anything: an unknown kind must not
 			// cost (or wait for) a guest execution, and its failure must
 			// surface for every duplicate submission of the same key.
 			p.err = fmt.Errorf("study: unknown run kind %d", cfg.Kind)
+			pol.emit(obs.Event{Type: obs.EventFailed, Key: key, Err: p.err.Error()})
+			close(p.done)
 		case replay:
 			<-rec.done
-			if rec.err != nil {
-				p.err = fmt.Errorf("study: run %s: record: %w", key, rec.err)
-				break
-			}
-			p.res, p.err = sc.supervised(pol, key, cfg, func(actx context.Context, attempt int) (*RunResult, error) {
-				return sc.study.replayConfig(cfg, rec.path, runOptions{
-					ctx: actx, hooks: pol.hooks,
-					beat: pol.beatFunc(key, rec.icount),
-				})
-			})
+			sc.replayMember(rec, &batchMember{p: p, cfg: cfg, key: key, pol: pol})
 		default:
+			defer close(p.done)
 			p.res, p.err = sc.supervised(pol, key, cfg, func(actx context.Context, attempt int) (*RunResult, error) {
 				if cfg.Kind.known() {
 					sc.guestExecs.Add(1)
@@ -418,21 +451,149 @@ func (sc *Scheduler) Submit(cfg RunConfig) *Pending {
 					beat: pol.beatFunc(key, pol.maxInstr),
 				})
 			})
-		}
-		if p.err != nil {
-			pol.emit(obs.Event{Type: obs.EventFailed, Key: key, Err: p.err.Error()})
-			return
-		}
-		pol.emit(obs.Event{Type: obs.EventSucceeded, Key: key, ICount: p.res.ICount})
-		if pol.ckpt != nil {
-			pol.ckpt.markDone(doneEntry{
-				Key: key, Kind: cfg.Kind.String(),
-				ICount: p.res.ICount, Time: p.res.Time,
-			})
-			pol.emit(obs.Event{Type: obs.EventCheckpointed, Key: key, ICount: p.res.ICount})
+			if p.err != nil {
+				pol.emit(obs.Event{Type: obs.EventFailed, Key: key, Err: p.err.Error()})
+				return
+			}
+			sc.finishMember(&batchMember{p: p, cfg: cfg, key: key, pol: pol})
 		}
 	}()
 	return p
+}
+
+// batchMember is one submitted configuration waiting on (or served by) a
+// batched replay pass, with the policy snapshot from its submission.
+type batchMember struct {
+	p   *Pending
+	cfg RunConfig
+	key string
+	pol policy
+}
+
+// batchReplays is the per-recording batch coordinator: once the
+// recording lands it drains the member queue in passes — each pass one
+// decode of the trace fanned out to every drained member — until no new
+// submissions arrived, then retires.  A later Submit starts a fresh
+// coordinator (the recording is done by then, so its pass starts
+// immediately).
+func (sc *Scheduler) batchReplays(rec *recording) {
+	<-rec.done
+	for {
+		sc.mu.Lock()
+		members := rec.batch
+		rec.batch = nil
+		if len(members) == 0 {
+			rec.batching = false
+			sc.mu.Unlock()
+			return
+		}
+		sc.mu.Unlock()
+		sc.replayBatch(rec, members)
+	}
+}
+
+// replayBatch serves one drained member set: a failed recording fails
+// every member; otherwise one batched pass is attempted, and if the
+// whole pass fails each member falls back to its own fully supervised
+// individual replay — reproducing exactly the error, retry and event
+// behaviour an unbatched scheduler would have shown.
+func (sc *Scheduler) replayBatch(rec *recording, members []*batchMember) {
+	if rec.err == nil {
+		if results, err := sc.tryBatch(rec, members); err == nil {
+			for i, m := range members {
+				m.p.res = results[i]
+				sc.finishMember(m)
+				close(m.p.done)
+			}
+			return
+		}
+	}
+	var wg sync.WaitGroup
+	for _, m := range members {
+		wg.Add(1)
+		go func(m *batchMember) {
+			defer wg.Done()
+			sc.replayMember(rec, m)
+		}(m)
+	}
+	wg.Wait()
+}
+
+// tryBatch performs one batched replay pass over the recording for all
+// members: one worker slot, one panic scope, one per-run timeout, one
+// decode of the trace.  Supervision here is pass-granular; per-member
+// supervision (retries, precise error attribution) lives in the
+// individual fallback.
+func (sc *Scheduler) tryBatch(rec *recording, members []*batchMember) (results []*RunResult, err error) {
+	pol := members[0].pol
+	ctx := pol.ctx
+	select {
+	case sc.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	defer func() { <-sc.sem }()
+	defer func() {
+		if r := recover(); r != nil {
+			sc.sup.Panics.Inc()
+			results = nil
+			err = fmt.Errorf("batched replay panic: %v", r)
+		}
+	}()
+	actx := ctx
+	if pol.runTimeout > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, pol.runTimeout)
+		defer cancel()
+	}
+	runs := make([]groupRun, len(members))
+	for i, m := range members {
+		m.pol.emit(obs.Event{Type: obs.EventStarted, Key: m.key, Attempt: 1})
+		runs[i] = groupRun{Cfg: m.cfg, Beat: m.pol.beatFunc(m.key, rec.icount)}
+	}
+	sc.mu.Lock()
+	jobs := sc.replayJobs
+	sc.mu.Unlock()
+	sc.decodePasses.Add(1)
+	return sc.study.replayGroup(runs, rec.path, jobs, actx)
+}
+
+// replayMember runs one configuration's individual supervised replay —
+// the non-batched path, also the batch-failure fallback.  It closes the
+// member's Pending and emits its terminal events.
+func (sc *Scheduler) replayMember(rec *recording, m *batchMember) {
+	defer close(m.p.done)
+	if rec.err != nil {
+		m.p.err = fmt.Errorf("study: run %s: record: %w", m.key, rec.err)
+		m.pol.emit(obs.Event{Type: obs.EventFailed, Key: m.key, Err: m.p.err.Error()})
+		return
+	}
+	m.p.res, m.p.err = sc.supervised(m.pol, m.key, m.cfg, func(actx context.Context, attempt int) (*RunResult, error) {
+		sc.decodePasses.Add(1)
+		return sc.study.replayConfig(m.cfg, rec.path, runOptions{
+			ctx: actx, hooks: m.pol.hooks,
+			beat: m.pol.beatFunc(m.key, rec.icount),
+		})
+	})
+	if m.p.err != nil {
+		m.pol.emit(obs.Event{Type: obs.EventFailed, Key: m.key, Err: m.p.err.Error()})
+		return
+	}
+	sc.finishMember(m)
+}
+
+// finishMember emits the success-side lifecycle events and checkpoints
+// one completed member (shared by the live, individual-replay and
+// batched paths).
+func (sc *Scheduler) finishMember(m *batchMember) {
+	m.pol.emit(obs.Event{Type: obs.EventSucceeded, Key: m.key, ICount: m.p.res.ICount})
+	if m.pol.ckpt != nil {
+		m.pol.ckpt.markDone(doneEntry{
+			Key: m.key, Kind: m.cfg.Kind.String(),
+			ICount: m.p.res.ICount, Time: m.p.res.Time,
+		})
+		m.pol.emit(obs.Event{Type: obs.EventCheckpointed, Key: m.key, ICount: m.p.res.ICount})
+	}
 }
 
 // Run submits the configuration and waits for its result.

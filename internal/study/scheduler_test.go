@@ -1,6 +1,7 @@
 package study_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -297,5 +298,50 @@ func TestSchedulerSweepRecordsOnce(t *testing.T) {
 		if roots[cfg.Key()] != 1 {
 			t.Errorf("adopted roots for %s = %d, want 1", cfg.Key(), roots[cfg.Key()])
 		}
+	}
+}
+
+// TestSchedulerSweepDecodesOnce: the batched fan-out contract.  A sweep
+// of N replayed configs over one recorded execution must cost exactly
+// one trace decode pass — every consumer rides the same record stream.
+func TestSchedulerSweepDecodesOnce(t *testing.T) {
+	s := newStudy(t, nil)
+	sch := study.NewScheduler(s, 4)
+	defer sch.Close()
+	sch.SetReplayJobs(2)
+	// Hold the recording until every config is queued, so no submission
+	// can miss the batch and trigger a second pass.
+	submitted := make(chan struct{})
+	sch.SetHooks(study.Hooks{
+		BeforeRecord: func(ctx context.Context, execKey string, attempt int) error {
+			<-submitted
+			return nil
+		},
+	})
+	configs := []study.RunConfig{
+		{Kind: study.RunFlat},
+		{Kind: study.RunQUAD, IncludeStack: true},
+		{Kind: study.RunTQUAD, SliceInterval: 10_000, IncludeStack: true},
+		{Kind: study.RunTQUAD, SliceInterval: 40_000, IncludeStack: false},
+		{Kind: study.RunTQUAD, SliceInterval: 20_000, IncludeStack: true, Cache: "l1=1k/2/64,l2=8k/4/64"},
+	}
+	pend := make([]*study.Pending, len(configs))
+	for i, cfg := range configs {
+		pend[i] = sch.Submit(cfg)
+	}
+	close(submitted)
+	if errs := sch.Flush(); len(errs) != 0 {
+		t.Fatalf("sweep errors: %v", errs)
+	}
+	for i, p := range pend {
+		if _, err := p.Wait(); err != nil {
+			t.Fatalf("config %d: %v", i, err)
+		}
+	}
+	if n := sch.GuestExecutions(); n != 1 {
+		t.Errorf("guest executions = %d, want 1", n)
+	}
+	if n := sch.DecodePasses(); n != 1 {
+		t.Errorf("sweep of %d replayed configs used %d decode passes, want 1", len(configs), n)
 	}
 }

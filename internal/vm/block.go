@@ -94,6 +94,7 @@ type bop struct {
 	pred    bool
 	kind    EventKind // event kind (also used for predicated-false events)
 	ev      Event     // pre-filled event template: Kind/PC/Ins/Size/Executed=true
+	evSkip  *Event    // predicated-false template (Size=0, Executed=false); nil unless pred
 }
 
 // block is one dynamic basic block: the instructions from its entry PC up
@@ -222,13 +223,21 @@ func compileOp(pc uint64, ins isa.Instr) bop {
 		op.cls = uint8(sizeClass(ins.AccessSize()))
 	}
 	// The event template carries everything known at compile time; the
-	// execution loop copies it into the machine's scratch event and
-	// patches only the dynamic fields (address, SP, target, predicate
-	// outcome), instead of reassembling the whole event per dispatch.
+	// execution loop dispatches the template in place, patching only the
+	// dynamic fields (address, SP, target) per execution instead of
+	// reassembling — or even copying — the whole event per dispatch.
+	// That is sound because handlers neither retain nor mutate the event
+	// pointer (the same contract the interpreter's scratch event relies
+	// on).  Predicated instructions get a second template for the
+	// not-executed outcome, so the executed template's Size/Executed
+	// never need rewriting.
 	op.ev = Event{Kind: op.kind, PC: pc, Ins: ins, Size: int(op.size), Executed: true}
 	switch ins.Op {
 	case isa.OpCall, isa.OpCallr, isa.OpRet:
 		op.ev.Size = isa.WordSize
+	}
+	if ins.Pred {
+		op.evSkip = &Event{Kind: op.kind, PC: pc, Ins: ins}
 	}
 	return op
 }
@@ -400,11 +409,8 @@ func (m *Machine) execBlock(b *block, maxInstr uint64) (taken bool, err error) {
 
 		if op.pred && m.Pred == 0 {
 			if op.handler != nil {
-				m.ev = op.ev
-				m.ev.Size = 0
-				m.ev.SP = regs[isa.RegSP]
-				m.ev.Executed = false
-				op.handler(&m.ev)
+				op.evSkip.SP = regs[isa.RegSP]
+				op.handler(op.evSkip)
 			}
 			continue
 		}
@@ -412,16 +418,14 @@ func (m *Machine) execBlock(b *block, maxInstr uint64) (taken bool, err error) {
 		switch op.op {
 		case isa.OpNop:
 			if op.handler != nil {
-				m.ev = op.ev
-				m.ev.SP = regs[isa.RegSP]
-				op.handler(&m.ev)
+				op.ev.SP = regs[isa.RegSP]
+				op.handler(&op.ev)
 			}
 
 		case isa.OpHalt:
 			if op.handler != nil {
-				m.ev = op.ev
-				m.ev.SP = regs[isa.RegSP]
-				op.handler(&m.ev)
+				op.ev.SP = regs[isa.RegSP]
+				op.handler(&op.ev)
 			}
 			m.Halted = true
 			m.ExitCode = int64(regs[op.rs1])
@@ -431,27 +435,24 @@ func (m *Machine) execBlock(b *block, maxInstr uint64) (taken bool, err error) {
 
 		case isa.OpLdi, isa.OpLdiu:
 			if op.handler != nil {
-				m.ev = op.ev
-				m.ev.SP = regs[isa.RegSP]
-				op.handler(&m.ev)
+				op.ev.SP = regs[isa.RegSP]
+				op.handler(&op.ev)
 			}
 			if op.rd != 0 {
 				regs[op.rd] = op.imm
 			}
 		case isa.OpLuhi:
 			if op.handler != nil {
-				m.ev = op.ev
-				m.ev.SP = regs[isa.RegSP]
-				op.handler(&m.ev)
+				op.ev.SP = regs[isa.RegSP]
+				op.handler(&op.ev)
 			}
 			if op.rd != 0 {
 				regs[op.rd] = regs[op.rd]&0xffffffff | op.imm
 			}
 		case isa.OpMov:
 			if op.handler != nil {
-				m.ev = op.ev
-				m.ev.SP = regs[isa.RegSP]
-				op.handler(&m.ev)
+				op.ev.SP = regs[isa.RegSP]
+				op.handler(&op.ev)
 			}
 			if op.rd != 0 {
 				regs[op.rd] = regs[op.rs1]
@@ -459,36 +460,32 @@ func (m *Machine) execBlock(b *block, maxInstr uint64) (taken bool, err error) {
 
 		case isa.OpAdd:
 			if op.handler != nil {
-				m.ev = op.ev
-				m.ev.SP = regs[isa.RegSP]
-				op.handler(&m.ev)
+				op.ev.SP = regs[isa.RegSP]
+				op.handler(&op.ev)
 			}
 			if op.rd != 0 {
 				regs[op.rd] = regs[op.rs1] + regs[op.rs2]
 			}
 		case isa.OpSub:
 			if op.handler != nil {
-				m.ev = op.ev
-				m.ev.SP = regs[isa.RegSP]
-				op.handler(&m.ev)
+				op.ev.SP = regs[isa.RegSP]
+				op.handler(&op.ev)
 			}
 			if op.rd != 0 {
 				regs[op.rd] = regs[op.rs1] - regs[op.rs2]
 			}
 		case isa.OpMul:
 			if op.handler != nil {
-				m.ev = op.ev
-				m.ev.SP = regs[isa.RegSP]
-				op.handler(&m.ev)
+				op.ev.SP = regs[isa.RegSP]
+				op.handler(&op.ev)
 			}
 			if op.rd != 0 {
 				regs[op.rd] = regs[op.rs1] * regs[op.rs2]
 			}
 		case isa.OpDiv:
 			if op.handler != nil {
-				m.ev = op.ev
-				m.ev.SP = regs[isa.RegSP]
-				op.handler(&m.ev)
+				op.ev.SP = regs[isa.RegSP]
+				op.handler(&op.ev)
 			}
 			d := int64(regs[op.rs2])
 			if d == 0 {
@@ -501,9 +498,8 @@ func (m *Machine) execBlock(b *block, maxInstr uint64) (taken bool, err error) {
 			}
 		case isa.OpRem:
 			if op.handler != nil {
-				m.ev = op.ev
-				m.ev.SP = regs[isa.RegSP]
-				op.handler(&m.ev)
+				op.ev.SP = regs[isa.RegSP]
+				op.handler(&op.ev)
 			}
 			d := int64(regs[op.rs2])
 			if d == 0 {
@@ -516,54 +512,48 @@ func (m *Machine) execBlock(b *block, maxInstr uint64) (taken bool, err error) {
 			}
 		case isa.OpAnd:
 			if op.handler != nil {
-				m.ev = op.ev
-				m.ev.SP = regs[isa.RegSP]
-				op.handler(&m.ev)
+				op.ev.SP = regs[isa.RegSP]
+				op.handler(&op.ev)
 			}
 			if op.rd != 0 {
 				regs[op.rd] = regs[op.rs1] & regs[op.rs2]
 			}
 		case isa.OpOr:
 			if op.handler != nil {
-				m.ev = op.ev
-				m.ev.SP = regs[isa.RegSP]
-				op.handler(&m.ev)
+				op.ev.SP = regs[isa.RegSP]
+				op.handler(&op.ev)
 			}
 			if op.rd != 0 {
 				regs[op.rd] = regs[op.rs1] | regs[op.rs2]
 			}
 		case isa.OpXor:
 			if op.handler != nil {
-				m.ev = op.ev
-				m.ev.SP = regs[isa.RegSP]
-				op.handler(&m.ev)
+				op.ev.SP = regs[isa.RegSP]
+				op.handler(&op.ev)
 			}
 			if op.rd != 0 {
 				regs[op.rd] = regs[op.rs1] ^ regs[op.rs2]
 			}
 		case isa.OpShl:
 			if op.handler != nil {
-				m.ev = op.ev
-				m.ev.SP = regs[isa.RegSP]
-				op.handler(&m.ev)
+				op.ev.SP = regs[isa.RegSP]
+				op.handler(&op.ev)
 			}
 			if op.rd != 0 {
 				regs[op.rd] = regs[op.rs1] << (regs[op.rs2] & 63)
 			}
 		case isa.OpShr:
 			if op.handler != nil {
-				m.ev = op.ev
-				m.ev.SP = regs[isa.RegSP]
-				op.handler(&m.ev)
+				op.ev.SP = regs[isa.RegSP]
+				op.handler(&op.ev)
 			}
 			if op.rd != 0 {
 				regs[op.rd] = regs[op.rs1] >> (regs[op.rs2] & 63)
 			}
 		case isa.OpSar:
 			if op.handler != nil {
-				m.ev = op.ev
-				m.ev.SP = regs[isa.RegSP]
-				op.handler(&m.ev)
+				op.ev.SP = regs[isa.RegSP]
+				op.handler(&op.ev)
 			}
 			if op.rd != 0 {
 				regs[op.rd] = uint64(int64(regs[op.rs1]) >> (regs[op.rs2] & 63))
@@ -571,54 +561,48 @@ func (m *Machine) execBlock(b *block, maxInstr uint64) (taken bool, err error) {
 
 		case isa.OpAddi:
 			if op.handler != nil {
-				m.ev = op.ev
-				m.ev.SP = regs[isa.RegSP]
-				op.handler(&m.ev)
+				op.ev.SP = regs[isa.RegSP]
+				op.handler(&op.ev)
 			}
 			if op.rd != 0 {
 				regs[op.rd] = regs[op.rs1] + op.imm
 			}
 		case isa.OpMuli:
 			if op.handler != nil {
-				m.ev = op.ev
-				m.ev.SP = regs[isa.RegSP]
-				op.handler(&m.ev)
+				op.ev.SP = regs[isa.RegSP]
+				op.handler(&op.ev)
 			}
 			if op.rd != 0 {
 				regs[op.rd] = regs[op.rs1] * op.imm
 			}
 		case isa.OpAndi:
 			if op.handler != nil {
-				m.ev = op.ev
-				m.ev.SP = regs[isa.RegSP]
-				op.handler(&m.ev)
+				op.ev.SP = regs[isa.RegSP]
+				op.handler(&op.ev)
 			}
 			if op.rd != 0 {
 				regs[op.rd] = regs[op.rs1] & op.imm
 			}
 		case isa.OpOri:
 			if op.handler != nil {
-				m.ev = op.ev
-				m.ev.SP = regs[isa.RegSP]
-				op.handler(&m.ev)
+				op.ev.SP = regs[isa.RegSP]
+				op.handler(&op.ev)
 			}
 			if op.rd != 0 {
 				regs[op.rd] = regs[op.rs1] | op.imm
 			}
 		case isa.OpShli:
 			if op.handler != nil {
-				m.ev = op.ev
-				m.ev.SP = regs[isa.RegSP]
-				op.handler(&m.ev)
+				op.ev.SP = regs[isa.RegSP]
+				op.handler(&op.ev)
 			}
 			if op.rd != 0 {
 				regs[op.rd] = regs[op.rs1] << op.imm
 			}
 		case isa.OpShri:
 			if op.handler != nil {
-				m.ev = op.ev
-				m.ev.SP = regs[isa.RegSP]
-				op.handler(&m.ev)
+				op.ev.SP = regs[isa.RegSP]
+				op.handler(&op.ev)
 			}
 			if op.rd != 0 {
 				regs[op.rd] = regs[op.rs1] >> op.imm
@@ -626,36 +610,32 @@ func (m *Machine) execBlock(b *block, maxInstr uint64) (taken bool, err error) {
 
 		case isa.OpSlt:
 			if op.handler != nil {
-				m.ev = op.ev
-				m.ev.SP = regs[isa.RegSP]
-				op.handler(&m.ev)
+				op.ev.SP = regs[isa.RegSP]
+				op.handler(&op.ev)
 			}
 			if op.rd != 0 {
 				regs[op.rd] = b2u(int64(regs[op.rs1]) < int64(regs[op.rs2]))
 			}
 		case isa.OpSltu:
 			if op.handler != nil {
-				m.ev = op.ev
-				m.ev.SP = regs[isa.RegSP]
-				op.handler(&m.ev)
+				op.ev.SP = regs[isa.RegSP]
+				op.handler(&op.ev)
 			}
 			if op.rd != 0 {
 				regs[op.rd] = b2u(regs[op.rs1] < regs[op.rs2])
 			}
 		case isa.OpSeq:
 			if op.handler != nil {
-				m.ev = op.ev
-				m.ev.SP = regs[isa.RegSP]
-				op.handler(&m.ev)
+				op.ev.SP = regs[isa.RegSP]
+				op.handler(&op.ev)
 			}
 			if op.rd != 0 {
 				regs[op.rd] = b2u(regs[op.rs1] == regs[op.rs2])
 			}
 		case isa.OpSlti:
 			if op.handler != nil {
-				m.ev = op.ev
-				m.ev.SP = regs[isa.RegSP]
-				op.handler(&m.ev)
+				op.ev.SP = regs[isa.RegSP]
+				op.handler(&op.ev)
 			}
 			if op.rd != 0 {
 				regs[op.rd] = b2u(int64(regs[op.rs1]) < int64(op.imm))
@@ -665,9 +645,8 @@ func (m *Machine) execBlock(b *block, maxInstr uint64) (taken bool, err error) {
 			isa.OpFabs, isa.OpFsqrt, isa.OpFsin, isa.OpFcos, isa.OpFmin,
 			isa.OpFmax, isa.OpFlt, isa.OpFle, isa.OpFeq, isa.OpI2f, isa.OpF2i:
 			if op.handler != nil {
-				m.ev = op.ev
-				m.ev.SP = regs[isa.RegSP]
-				op.handler(&m.ev)
+				op.ev.SP = regs[isa.RegSP]
+				op.handler(&op.ev)
 			}
 			if op.rd != 0 {
 				regs[op.rd] = fpOp(op.op, regs[op.rs1], regs[op.rs2])
@@ -676,10 +655,9 @@ func (m *Machine) execBlock(b *block, maxInstr uint64) (taken bool, err error) {
 		case isa.OpLd1, isa.OpLd2, isa.OpLd4, isa.OpLd8:
 			addr := regs[op.rs1] + op.imm
 			if op.handler != nil {
-				m.ev = op.ev
-				m.ev.Addr = addr
-				m.ev.SP = regs[isa.RegSP]
-				op.handler(&m.ev)
+				op.ev.Addr = addr
+				op.ev.SP = regs[isa.RegSP]
+				op.handler(&op.ev)
 			}
 			m.MemStats.ReadOps[op.cls]++
 			v := m.Mem.LoadLE(addr, int(op.size))
@@ -689,10 +667,9 @@ func (m *Machine) execBlock(b *block, maxInstr uint64) (taken bool, err error) {
 		case isa.OpLd2s:
 			addr := regs[op.rs1] + op.imm
 			if op.handler != nil {
-				m.ev = op.ev
-				m.ev.Addr = addr
-				m.ev.SP = regs[isa.RegSP]
-				op.handler(&m.ev)
+				op.ev.Addr = addr
+				op.ev.SP = regs[isa.RegSP]
+				op.handler(&op.ev)
 			}
 			m.MemStats.ReadOps[1]++
 			v := uint64(int64(int16(m.Mem.LoadLE(addr, 2))))
@@ -702,10 +679,9 @@ func (m *Machine) execBlock(b *block, maxInstr uint64) (taken bool, err error) {
 		case isa.OpLd4s:
 			addr := regs[op.rs1] + op.imm
 			if op.handler != nil {
-				m.ev = op.ev
-				m.ev.Addr = addr
-				m.ev.SP = regs[isa.RegSP]
-				op.handler(&m.ev)
+				op.ev.Addr = addr
+				op.ev.SP = regs[isa.RegSP]
+				op.handler(&op.ev)
 			}
 			m.MemStats.ReadOps[2]++
 			v := uint64(int64(int32(m.Mem.LoadLE(addr, 4))))
@@ -715,20 +691,18 @@ func (m *Machine) execBlock(b *block, maxInstr uint64) (taken bool, err error) {
 		case isa.OpPrefetch:
 			addr := regs[op.rs1] + op.imm
 			if op.handler != nil {
-				m.ev = op.ev
-				m.ev.Addr = addr
-				m.ev.SP = regs[isa.RegSP]
-				op.handler(&m.ev)
+				op.ev.Addr = addr
+				op.ev.SP = regs[isa.RegSP]
+				op.handler(&op.ev)
 			}
 			m.MemStats.Prefetches++
 
 		case isa.OpSt1, isa.OpSt2, isa.OpSt4, isa.OpSt8:
 			addr := regs[op.rs1] + op.imm
 			if op.handler != nil {
-				m.ev = op.ev
-				m.ev.Addr = addr
-				m.ev.SP = regs[isa.RegSP]
-				op.handler(&m.ev)
+				op.ev.Addr = addr
+				op.ev.SP = regs[isa.RegSP]
+				op.handler(&op.ev)
 			}
 			m.MemStats.WriteOps[op.cls]++
 			m.Mem.StoreLE(addr, regs[op.rs2], int(op.size))
@@ -736,10 +710,9 @@ func (m *Machine) execBlock(b *block, maxInstr uint64) (taken bool, err error) {
 		case isa.OpLd16:
 			addr := regs[op.rs1] + op.imm
 			if op.handler != nil {
-				m.ev = op.ev
-				m.ev.Addr = addr
-				m.ev.SP = regs[isa.RegSP]
-				op.handler(&m.ev)
+				op.ev.Addr = addr
+				op.ev.SP = regs[isa.RegSP]
+				op.handler(&op.ev)
 			}
 			m.MemStats.ReadOps[4]++
 			lo, hi := m.Mem.Load64(addr), m.Mem.Load64(addr+8)
@@ -751,10 +724,9 @@ func (m *Machine) execBlock(b *block, maxInstr uint64) (taken bool, err error) {
 		case isa.OpSt16:
 			addr := regs[op.rs1] + op.imm
 			if op.handler != nil {
-				m.ev = op.ev
-				m.ev.Addr = addr
-				m.ev.SP = regs[isa.RegSP]
-				op.handler(&m.ev)
+				op.ev.Addr = addr
+				op.ev.SP = regs[isa.RegSP]
+				op.handler(&op.ev)
 			}
 			m.MemStats.WriteOps[4]++
 			m.Mem.Store64(addr, regs[op.rs2])
@@ -762,9 +734,8 @@ func (m *Machine) execBlock(b *block, maxInstr uint64) (taken bool, err error) {
 
 		case isa.OpBeq:
 			if op.handler != nil {
-				m.ev = op.ev
-				m.ev.SP = regs[isa.RegSP]
-				op.handler(&m.ev)
+				op.ev.SP = regs[isa.RegSP]
+				op.handler(&op.ev)
 			}
 			if regs[op.rs1] == regs[op.rs2] {
 				m.PC = op.imm
@@ -773,9 +744,8 @@ func (m *Machine) execBlock(b *block, maxInstr uint64) (taken bool, err error) {
 			}
 		case isa.OpBne:
 			if op.handler != nil {
-				m.ev = op.ev
-				m.ev.SP = regs[isa.RegSP]
-				op.handler(&m.ev)
+				op.ev.SP = regs[isa.RegSP]
+				op.handler(&op.ev)
 			}
 			if regs[op.rs1] != regs[op.rs2] {
 				m.PC = op.imm
@@ -784,9 +754,8 @@ func (m *Machine) execBlock(b *block, maxInstr uint64) (taken bool, err error) {
 			}
 		case isa.OpBlt:
 			if op.handler != nil {
-				m.ev = op.ev
-				m.ev.SP = regs[isa.RegSP]
-				op.handler(&m.ev)
+				op.ev.SP = regs[isa.RegSP]
+				op.handler(&op.ev)
 			}
 			if int64(regs[op.rs1]) < int64(regs[op.rs2]) {
 				m.PC = op.imm
@@ -795,9 +764,8 @@ func (m *Machine) execBlock(b *block, maxInstr uint64) (taken bool, err error) {
 			}
 		case isa.OpBge:
 			if op.handler != nil {
-				m.ev = op.ev
-				m.ev.SP = regs[isa.RegSP]
-				op.handler(&m.ev)
+				op.ev.SP = regs[isa.RegSP]
+				op.handler(&op.ev)
 			}
 			if int64(regs[op.rs1]) >= int64(regs[op.rs2]) {
 				m.PC = op.imm
@@ -806,9 +774,8 @@ func (m *Machine) execBlock(b *block, maxInstr uint64) (taken bool, err error) {
 			}
 		case isa.OpBltu:
 			if op.handler != nil {
-				m.ev = op.ev
-				m.ev.SP = regs[isa.RegSP]
-				op.handler(&m.ev)
+				op.ev.SP = regs[isa.RegSP]
+				op.handler(&op.ev)
 			}
 			if regs[op.rs1] < regs[op.rs2] {
 				m.PC = op.imm
@@ -817,9 +784,8 @@ func (m *Machine) execBlock(b *block, maxInstr uint64) (taken bool, err error) {
 			}
 		case isa.OpJmp:
 			if op.handler != nil {
-				m.ev = op.ev
-				m.ev.SP = regs[isa.RegSP]
-				op.handler(&m.ev)
+				op.ev.SP = regs[isa.RegSP]
+				op.handler(&op.ev)
 			}
 			m.PC = op.imm
 			b.retireFull()
@@ -833,11 +799,10 @@ func (m *Machine) execBlock(b *block, maxInstr uint64) (taken bool, err error) {
 			sp := regs[isa.RegSP]
 			newSP := sp - isa.WordSize
 			if op.handler != nil {
-				m.ev = op.ev
-				m.ev.Addr = newSP
-				m.ev.Target = target
-				m.ev.SP = sp
-				op.handler(&m.ev)
+				op.ev.Addr = newSP
+				op.ev.Target = target
+				op.ev.SP = sp
+				op.handler(&op.ev)
 			}
 			if newSP < m.StackBase-m.StackSize {
 				m.PC = op.pc
@@ -854,11 +819,10 @@ func (m *Machine) execBlock(b *block, maxInstr uint64) (taken bool, err error) {
 			sp := regs[isa.RegSP]
 			retPC := m.Mem.Load64(sp)
 			if op.handler != nil {
-				m.ev = op.ev
-				m.ev.Addr = sp
-				m.ev.Target = retPC
-				m.ev.SP = sp
-				op.handler(&m.ev)
+				op.ev.Addr = sp
+				op.ev.Target = retPC
+				op.ev.SP = sp
+				op.handler(&op.ev)
 			}
 			regs[isa.RegSP] = sp + isa.WordSize
 			m.PC = retPC
@@ -867,17 +831,15 @@ func (m *Machine) execBlock(b *block, maxInstr uint64) (taken bool, err error) {
 
 		case isa.OpSetp:
 			if op.handler != nil {
-				m.ev = op.ev
-				m.ev.SP = regs[isa.RegSP]
-				op.handler(&m.ev)
+				op.ev.SP = regs[isa.RegSP]
+				op.handler(&op.ev)
 			}
 			m.Pred = regs[op.rs1]
 
 		case isa.OpSyscall:
 			if op.handler != nil {
-				m.ev = op.ev
-				m.ev.SP = regs[isa.RegSP]
-				op.handler(&m.ev)
+				op.ev.SP = regs[isa.RegSP]
+				op.handler(&op.ev)
 			}
 			if m.syscalls == nil {
 				m.PC = op.pc
