@@ -6,7 +6,7 @@ GO ?= go
 # the run loudly, not stall CI at the default 10 minutes per package.
 TEST_TIMEOUT ?= 300s
 
-.PHONY: build test vet race chaos fuzz bench bench-json bench-compare verify
+.PHONY: build test vet race chaos corrupt fuzz bench bench-json bench-compare verify
 
 build:
 	$(GO) build ./...
@@ -29,18 +29,28 @@ race:
 
 # The chaos suite: drives full scheduler sweeps through the deterministic
 # fault injector (internal/chaos) under the race detector — worker panics,
-# hangs, trace I/O faults, guest traps, mid-sweep cancellation and
-# checkpoint resume must all degrade gracefully.
+# hangs, trace I/O faults, disk corruption (bit flips, torn tails,
+# ENOSPC), guest traps, mid-sweep cancellation and checkpoint resume must
+# all degrade gracefully.
 chaos:
 	$(GO) test -race -timeout $(TEST_TIMEOUT) -run 'TestChaos' -v .
 	$(GO) test -race -timeout $(TEST_TIMEOUT) ./internal/chaos/...
 
+# The trace-integrity gate: the etrace corruption matrix (every fault
+# class × every replay mode — detected or byte-identical, never silent
+# divergence), the format-generation compat suite, and the end-to-end
+# rerecord-on-corrupt scheduler scenarios.
+corrupt:
+	$(GO) test -timeout $(TEST_TIMEOUT) -run 'TestCorruptionMatrix|TestSalvageAccounting|TestFormatGenerations|TestStatReportsGenerations' -v ./internal/etrace
+	$(GO) test -timeout $(TEST_TIMEOUT) -run 'TestChaosCorrupt|TestChaosENOSPC|TestChaosTornTail' -v .
+
 # Short fuzzing budgets for the text/binary-format parsers: the
-# event-trace decoder, the indexed parallel replay pipeline, the JSON
-# profile envelope and the cache-geometry grammar.  None may panic on
-# any input.
+# event-trace decoder, the salvage replay paths, the indexed parallel
+# replay pipeline, the JSON profile envelope and the cache-geometry
+# grammar.  None may panic on any input.
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzReplay -fuzztime 10s ./internal/etrace
+	$(GO) test -run xxx -fuzz FuzzSalvage -fuzztime 10s ./internal/etrace
 	$(GO) test -run xxx -fuzz FuzzIndex -fuzztime 10s ./internal/etrace
 	$(GO) test -run xxx -fuzz FuzzLoad -fuzztime 10s ./internal/trace
 	$(GO) test -run xxx -fuzz FuzzCacheConfig -fuzztime 10s ./internal/memsim
@@ -72,6 +82,7 @@ bench-json:
 bench-compare:
 	$(GO) run ./cmd/benchcmp
 
-# One-shot pre-merge gate: build, vet, the full test suite, and the
-# race-detector pass over the concurrency-heavy packages.
-verify: build vet test race
+# One-shot pre-merge gate: build, vet, the full test suite, the
+# race-detector pass over the concurrency-heavy packages, and the
+# trace-integrity gate.
+verify: build vet test race corrupt

@@ -8,7 +8,14 @@
 //
 //	tqdump [-app wfs|imgproc] [-config small|study] [-func NAME]
 //	       [-save DIR] [-load FILE...]
-//	tqdump -etrace FILE
+//	tqdump -etrace FILE [-salvage]
+//
+// With -etrace, the trace is verified end to end (header checksum, every
+// chunk's CRC32C, the index footer) and a per-chunk health report is
+// printed when damage is found.  -salvage additionally replays around the
+// damage and reports exactly what was lost.  Exit status triages stored
+// traces for scripts: 0 the trace is intact, 3 it is damaged but
+// salvageable (header and framing are usable), 4 it is unreadable.
 package main
 
 import (
@@ -38,14 +45,16 @@ func main() {
 		cfgDump    = flag.Bool("cfg", false, "with -func: dump the routine's control-flow graph as DOT")
 		saveDir    = flag.String("save", "", "write the built images to this directory as .tqi files")
 		etracePath = flag.String("etrace", "", "summarise this recorded event trace instead of dumping images")
+		salvage    = flag.Bool("salvage", false, "with -etrace: replay around damaged chunks and report the gap")
 	)
 	flag.Parse()
 
 	if *etracePath != "" {
-		if err := dumpTrace(*etracePath); err != nil {
+		code, err := dumpTrace(*etracePath, *salvage)
+		if err != nil {
 			log.Fatal(err)
 		}
-		return
+		os.Exit(code)
 	}
 
 	var images []*image.Image
@@ -84,15 +93,123 @@ func main() {
 	}
 }
 
-// dumpTrace summarises a recorded event trace: header, routine table,
-// record counts and the recorded final machine state.
-func dumpTrace(path string) error {
+// Exit codes of -etrace mode, stable for scripted triage of stored
+// traces.  1 remains the generic usage/fatal exit (log.Fatal).
+const (
+	exitTraceOK          = 0 // trace verified intact
+	exitTraceSalvageable = 3 // damaged, but header and framing are usable
+	exitTraceUnreadable  = 4 // header unreadable; nothing can be trusted
+)
+
+// dumpTrace verifies a recorded event trace and summarises it: header,
+// routine table, record counts, the recorded final machine state, and —
+// when damage is found — a per-chunk health report and (with -salvage)
+// the salvage replay's loss accounting.  The int is the process exit
+// code; the error covers host-side failures (the file itself unreadable).
+func dumpTrace(path string, salvage bool) (int, error) {
 	f, err := os.Open(path)
+	if err != nil {
+		return 1, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return 1, err
+	}
+	health, err := etrace.Verify(f, st.Size())
+	if err != nil {
+		fmt.Printf("event trace %s: UNREADABLE: %v\n", path, err)
+		return exitTraceUnreadable, nil
+	}
+	if !health.Damaged() {
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			return 1, err
+		}
+		if err := dumpTraceReader(os.Stdout, path, f); err != nil {
+			return 1, err
+		}
+		integrity := "no checksums (v1 format)"
+		if health.Checksummed {
+			integrity = fmt.Sprintf("header, %d chunks and index footer verified (CRC32C)", len(health.Chunks))
+		}
+		fmt.Printf("integrity: ok, %s\n", integrity)
+		return exitTraceOK, nil
+	}
+	dumpHealth(os.Stdout, path, health)
+	if salvage {
+		if err := dumpSalvage(os.Stdout, f, st.Size()); err != nil {
+			fmt.Printf("salvage: FAILED: %v\n", err)
+		}
+	} else {
+		fmt.Println("rerun with -salvage to replay around the damage")
+	}
+	return exitTraceSalvageable, nil
+}
+
+// dumpHealth renders the per-chunk health report: every chunk when the
+// trace is small, damaged chunks only when it is not.
+func dumpHealth(w io.Writer, path string, h *Health) {
+	fmt.Fprintf(w, "event trace %s: DAMAGED (format v%d)\n", path, h.Version)
+	if h.IndexErr != "" {
+		fmt.Fprintf(w, "index footer: BROKEN (%s); chunk table rebuilt by frame scan\n", h.IndexErr)
+	} else if h.Indexed {
+		fmt.Fprintf(w, "index footer: ok, %d chunk entries\n", len(h.Chunks))
+	} else {
+		fmt.Fprintln(w, "index footer: none; chunk table rebuilt by frame scan")
+	}
+	const fullTableMax = 32
+	full := len(h.Chunks) <= fullTableMax
+	for i, c := range h.Chunks {
+		if !full && c.Err == "" {
+			continue
+		}
+		status := "ok"
+		if c.Err != "" {
+			status = "BAD: " + c.Err
+		}
+		extent := ""
+		if c.Ref.Records > 0 {
+			extent = fmt.Sprintf(", %d records, ic [%d,%d]", c.Ref.Records, c.Ref.StartIC, c.Ref.EndIC)
+		}
+		fmt.Fprintf(w, "  chunk %4d  [%#x +%d]%s  %s\n", i, c.Ref.Offset, c.Ref.Size, extent, status)
+	}
+	if !full {
+		fmt.Fprintf(w, "  (%d healthy chunks not listed)\n", len(h.Chunks)-h.Bad)
+	}
+	if h.LostTailBytes > 0 {
+		fmt.Fprintf(w, "torn tail: %d trailing bytes unreachable past the last sound frame\n", h.LostTailBytes)
+	}
+	if !h.Complete {
+		fmt.Fprintln(w, "final state: MISSING (end record damaged or lost)")
+	}
+	fmt.Fprintf(w, "chunks: %d total, %d damaged\n", len(h.Chunks), h.Bad)
+}
+
+// Health is re-exported locally for dumpHealth's signature brevity.
+type Health = etrace.Health
+
+// dumpSalvage replays the damaged trace in salvage mode (no tools
+// attached — the point is the loss accounting) and prints what survived.
+func dumpSalvage(w io.Writer, ra io.ReaderAt, size int64) error {
+	p, err := etrace.NewParallelReplayer(ra, size, etrace.ParallelOptions{Jobs: 1, Salvage: true})
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	return dumpTraceReader(os.Stdout, path, f)
+	c := p.NewConsumer()
+	if err := p.Replay(); err != nil {
+		return err
+	}
+	rep := c.SalvageReport()
+	fmt.Fprintf(w, "salvage: %s\n", rep)
+	if rep.Complete {
+		halted := "halted"
+		if !c.Halted() {
+			halted = "stopped"
+		}
+		fmt.Fprintf(w, "final state: %d instructions, pc %#x, exit code %d, %s\n",
+			c.ICount(), c.CurrentPC(), c.ExitCode(), halted)
+	}
+	return nil
 }
 
 // dumpTraceReader is dumpTrace over any reader.  It streams: the trace
@@ -120,7 +237,7 @@ func dumpTraceReader(w io.Writer, name string, r io.Reader) error {
 	if info.Indexed {
 		fmt.Fprintf(w, "index: footer with %d chunk entries\n", info.IndexChunks)
 	} else {
-		fmt.Fprintln(w, "index: none (v1 trace; parallel replay scans chunk frames)")
+		fmt.Fprintln(w, "index: none (footer absent; parallel replay scans chunk frames)")
 	}
 	if !info.Complete {
 		fmt.Fprintln(w, "final state: MISSING (truncated trace, no end record)")

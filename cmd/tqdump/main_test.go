@@ -71,7 +71,7 @@ func TestDumpTraceStreams(t *testing.T) {
 	}
 	dump := out.String()
 	for _, want := range []string{
-		"event trace stream.etrace: format v1",
+		"event trace stream.etrace: format v2",
 		"routines (",
 		"index: footer with",
 		"final state:",

@@ -10,7 +10,7 @@
 //	      [-stack include|exclude] [-ignore-libs]
 //	      [-metric reads|writes|both] [-kernels top|last|all]
 //	      [-width N] [-csv]
-//	      [-record FILE] [-replay FILE]
+//	      [-record FILE] [-replay FILE [-salvage]]
 //	      [-metrics FILE] [-trace FILE] [-journal FILE]
 //	      [-serve ADDR] [-stall-window D]
 //
@@ -41,10 +41,13 @@
 // skips completed guest work; both apply to multi-interval sweeps only.
 //
 // -record additionally captures the guest's dynamic event stream into a
-// compact binary trace during a single-interval live run; -replay then
-// profiles that trace — at any slice interval, any number of times —
-// without executing the guest again.  Inspect recorded traces with
-// tqdump -etrace.
+// compact binary trace during a single-interval live run (flushed and
+// fsynced before the success message prints); -replay then profiles
+// that trace — at any slice interval, any number of times — without
+// executing the guest again.  Replays verify the trace's checksums and
+// fail on damage; -salvage instead replays around damaged chunks and
+// reports exactly what was lost.  Inspect recorded traces with tqdump
+// -etrace.
 //
 // -metrics writes a Prometheus text-format snapshot, -trace a
 // chrome://tracing-compatible JSON trace of the pipeline stages (open it
@@ -113,6 +116,7 @@ func main() {
 		journalOut = flag.String("journal", "", "write a JSONL event journal (spans + metrics) to this file")
 		recordOut  = flag.String("record", "", "record the guest event stream to this file (single-interval live run)")
 		replayIn   = flag.String("replay", "", "replay a recorded event stream instead of executing the guest")
+		salvage    = flag.Bool("salvage", false, "with -replay: replay around damaged chunks and report the gap")
 		replayJobs = flag.Int("replay-jobs", 1, "trace-decode workers for -replay and sweep replays: 1 = sequential, 0 = GOMAXPROCS")
 		timeout    = flag.Duration("timeout", 0, "wall-clock deadline for the whole invocation (0 = none)")
 		maxICount  = flag.Uint64("max-icount", 0, "guest instruction budget per run (0 = default)")
@@ -147,6 +151,9 @@ func main() {
 	interpret := *engine == "step"
 	if *recordOut != "" && *replayIn != "" {
 		log.Fatal("-record and -replay are mutually exclusive")
+	}
+	if *salvage && *replayIn == "" {
+		log.Fatal("-salvage applies to -replay only")
 	}
 	if *serveAddr != "" && *replayIn != "" {
 		log.Fatal("-serve applies to live runs and sweeps only, not -replay")
@@ -228,6 +235,7 @@ func main() {
 			intervals:    intervals,
 			caches:       caches,
 			jobs:         *replayJobs,
+			salvage:      *salvage,
 			includeStack: includeStack,
 			ignoreLibs:   *ignoreLibs,
 			stack:        *stack,
@@ -355,14 +363,21 @@ func main() {
 	execute.SetBytes(m.MemStats.ReadBytes() + m.MemStats.WriteBytes())
 	execute.End()
 	if rec != nil {
+		// Finish, flush, fsync, close — every error surfaced.  The fsync
+		// means the success message below is a durability statement: once
+		// printed, the trace survives a host crash.
 		err := rec.Finish()
 		if err == nil {
 			err = recBuf.Flush()
+		}
+		if err == nil {
+			err = recFile.Sync()
 		}
 		if cerr := recFile.Close(); err == nil {
 			err = cerr
 		}
 		if err != nil {
+			os.Remove(*recordOut)
 			log.Fatalf("record: %v", err)
 		}
 		fmt.Printf("event trace written to %s\n", *recordOut)
@@ -457,7 +472,8 @@ func main() {
 type replayOpts struct {
 	intervals    []uint64
 	caches       []memsim.Config
-	jobs         int // decode workers; 1 = sequential Replayer
+	jobs         int  // decode workers; 1 = sequential Replayer
+	salvage      bool // replay around damaged chunks instead of failing
 	includeStack bool
 	ignoreLibs   bool
 	stack        string
@@ -516,10 +532,15 @@ func replayOne(ctx context.Context, path string, interval uint64, mc *memsim.Con
 		// Dry-sizing from the recording itself: no guest run needed, the
 		// trailer already has the total instruction count.
 		info, err := etrace.Stat(f)
-		if err != nil {
-			return fmt.Errorf("%s: %w", path, err)
-		}
-		if !info.Complete {
+		if err != nil || !info.Complete {
+			// Dry-sizing needs the trailer's instruction total, which a
+			// damaged trace may not have even in salvage mode.
+			if o.salvage {
+				return fmt.Errorf("%s: cannot size slices from a damaged trace; pass an explicit -slice", path)
+			}
+			if err != nil {
+				return fmt.Errorf("%s: %w", path, err)
+			}
 			return fmt.Errorf("%s: incomplete trace (no end record)", path)
 		}
 		if interval = info.FinalICount / 64; interval == 0 {
@@ -536,7 +557,12 @@ func replayOne(ctx context.Context, path string, interval uint64, mc *memsim.Con
 	var host *etrace.Consumer
 	var driver interface{ ReplayContext(context.Context) error }
 	if o.jobs == 1 {
-		rp, err := etrace.NewReplayer(f)
+		var rp *etrace.Replayer
+		if o.salvage {
+			rp, err = etrace.NewSalvageReplayer(f)
+		} else {
+			rp, err = etrace.NewReplayer(f)
+		}
 		if err != nil {
 			return fmt.Errorf("%s: %w", path, err)
 		}
@@ -546,7 +572,7 @@ func replayOne(ctx context.Context, path string, interval uint64, mc *memsim.Con
 		if err != nil {
 			return err
 		}
-		pr, err := etrace.NewParallelReplayer(f, fi.Size(), etrace.ParallelOptions{Jobs: o.jobs})
+		pr, err := etrace.NewParallelReplayer(f, fi.Size(), etrace.ParallelOptions{Jobs: o.jobs, Salvage: o.salvage})
 		if err != nil {
 			return fmt.Errorf("%s: %w", path, err)
 		}
@@ -578,6 +604,9 @@ func replayOne(ctx context.Context, path string, interval uint64, mc *memsim.Con
 	rb, wb := host.Traffic()
 	replay.SetBytes(rb + wb)
 	replay.End()
+	if rep := host.SalvageReport(); rep != nil && rep.Damaged() {
+		fmt.Printf("salvage: %s\n", rep)
+	}
 	if host.ExitCode() != 0 {
 		return fmt.Errorf("%s: recorded guest exit code %d", path, host.ExitCode())
 	}

@@ -1,0 +1,128 @@
+// Disk-corruption chaos suite: the scheduler records a guest trace
+// through a fault injector that silently damages the bytes on their way
+// to disk (bit flips, torn tails) or fails them honestly (ENOSPC), and
+// every scenario asserts the integrity contract end to end — corruption
+// is detected at replay, re-recorded exactly once, and the sweep's
+// results stay byte-identical to a fault-free baseline; unrecoverable
+// faults fail fast with the real cause in the error chain.  Run in
+// isolation via `make corrupt` (folded into `make verify`).
+package repro_test
+
+import (
+	"errors"
+	"syscall"
+	"testing"
+	"time"
+
+	"tquad/internal/chaos"
+	"tquad/internal/etrace"
+	"tquad/internal/obs"
+	"tquad/internal/study"
+)
+
+// TestChaosCorruptTraceRerecord: seeded bit flips damage the first
+// recording silently — the recorder sees every write succeed.  Replay
+// must detect the damage, re-execute the guest exactly once (the second
+// recording is clean: RecordCorruptions budget of 1), and deliver every
+// config byte-identical to the fault-free baseline.
+func TestChaosCorruptTraceRerecord(t *testing.T) {
+	baseline := baselineResults(t)
+	sch, o := observedChaosScheduler(t)
+	sch.SetHooks(chaos.New(chaos.Plan{
+		RecordFlipOffsets: chaos.BitFlips(31337, 3, 4096),
+		RecordCorruptions: 1,
+	}).Hooks())
+	for _, cfg := range chaosConfigs() {
+		res, err := sch.Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Key(), err)
+		}
+		if got := renderResult(res); got != baseline[cfg.Key()] {
+			t.Errorf("%s differs from fault-free baseline after rerecord:\n%s\nvs\n%s",
+				cfg.Key(), got, baseline[cfg.Key()])
+		}
+	}
+	if n := sch.GuestExecutions(); n != 2 {
+		t.Errorf("guest executed %d times, want 2 (original + one re-recording)", n)
+	}
+	if got := o.Registry().Counter(obs.MetricSchedRerecords).Value(); got != 1 {
+		t.Errorf("%s = %d, want 1", obs.MetricSchedRerecords, got)
+	}
+}
+
+// TestChaosCorruptTraceRerecordBudget: when every recording attempt is
+// corrupted, the one-re-execution budget caps the damage — the sweep
+// fails with the corruption identified, rather than re-running the
+// guest forever.
+func TestChaosCorruptTraceRerecordBudget(t *testing.T) {
+	sch := study.NewScheduler(chaosStudy(t), 2)
+	defer sch.Close()
+	sch.SetHooks(chaos.New(chaos.Plan{
+		RecordFlipOffsets: chaos.BitFlips(31337, 3, 4096),
+		// RecordCorruptions 0: every attempt, including the re-recording.
+	}).Hooks())
+	for _, cfg := range chaosConfigs() {
+		_, err := sch.Run(cfg)
+		if err == nil {
+			t.Fatalf("%s succeeded on a trace corrupted every attempt", cfg.Key())
+		}
+		if !etrace.IsCorrupt(err) {
+			t.Errorf("%s: err = %v, want a corruption-classified chain", cfg.Key(), err)
+		}
+	}
+	if n := sch.GuestExecutions(); n != 2 {
+		t.Errorf("guest executed %d times, want 2 (the budget is one re-recording)", n)
+	}
+}
+
+// TestChaosENOSPCPermanent: a disk that fills mid-recording is a
+// permanent host condition — the sweep fails fast with ENOSPC in every
+// error chain, burning zero retries and zero extra guest executions.
+func TestChaosENOSPCPermanent(t *testing.T) {
+	sch, o := observedChaosScheduler(t)
+	sch.SetHooks(chaos.New(chaos.Plan{RecordENOSPCAfter: 4096}).Hooks())
+	sch.SetRetries(3)
+	sch.SetBackoff(time.Millisecond, 4*time.Millisecond)
+	for _, cfg := range chaosConfigs() {
+		_, err := sch.Run(cfg)
+		if err == nil {
+			t.Fatalf("%s succeeded on a full disk", cfg.Key())
+		}
+		if !errors.Is(err, syscall.ENOSPC) {
+			t.Errorf("%s: err = %v, want ENOSPC in the chain", cfg.Key(), err)
+		}
+	}
+	if n := sch.GuestExecutions(); n != 1 {
+		t.Errorf("guest executed %d times, want 1 (ENOSPC must not retry)", n)
+	}
+	if got := o.Registry().Counter(obs.MetricSchedRetries).Value(); got != 0 {
+		t.Errorf("%s = %d, want 0 (permanent faults burn no retries)", obs.MetricSchedRetries, got)
+	}
+}
+
+// TestChaosTornTailRecording: the crash-consistency shape — writes past
+// an offset report success but never land, so the recording "succeeds"
+// with a truncated file.  Replay must detect the tear and the rerecord
+// path (clean on the second attempt) must restore baseline results.
+func TestChaosTornTailRecording(t *testing.T) {
+	baseline := baselineResults(t)
+	sch := study.NewScheduler(chaosStudy(t), 2)
+	defer sch.Close()
+	sch.SetHooks(chaos.New(chaos.Plan{
+		RecordTornTail:    8192,
+		RecordCorruptions: 1,
+	}).Hooks())
+	for _, cfg := range chaosConfigs() {
+		res, err := sch.Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Key(), err)
+		}
+		if got := renderResult(res); got != baseline[cfg.Key()] {
+			t.Errorf("%s differs from fault-free baseline after torn-tail rerecord:\n%s\nvs\n%s",
+				cfg.Key(), got, baseline[cfg.Key()])
+		}
+	}
+	if n := sch.GuestExecutions(); n != 2 {
+		t.Errorf("guest executed %d times, want 2 (original + one re-recording)", n)
+	}
+}

@@ -7,6 +7,11 @@
 //   - trace I/O: fail the recording's trace writer after a byte budget
 //     (RecordFailures/RecordFailAfter), slow it down (WriteDelay), or
 //     truncate the replay stream (ReplayTruncate);
+//   - disk faults: silently corrupt the recorded trace bytes — seeded
+//     bit flips (RecordFlipOffsets, BitFlips), a torn tail where writes
+//     past an offset report success but never land (RecordTornTail), or
+//     a disk that fills mid-write (RecordENOSPCAfter) — the integrity
+//     seam: recording succeeds, and detection must happen at replay;
 //   - scheduler: panic inside a worker (PanicConfigs), hang until the
 //     run deadline (HangConfigs), or fail leading attempts transiently
 //     (FailConfigs and the seed-driven FailRate).
@@ -30,6 +35,7 @@ import (
 	"hash/fnv"
 	"io"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"tquad/internal/study"
@@ -75,6 +81,21 @@ type Plan struct {
 	// ReplayTruncate caps every replay's trace stream at this many
 	// bytes, simulating a torn trace file; 0 disables.
 	ReplayTruncate int64
+
+	// RecordFlipOffsets lists trace-stream byte offsets whose low bits
+	// are flipped on the way to disk — silent corruption the recording
+	// cannot see (use BitFlips for seeded offsets).
+	RecordFlipOffsets []int64
+	// RecordTornTail, when > 0, makes every trace write past this stream
+	// offset report success without landing: the crash-consistency shape
+	// of a kill between write-back and fsync.
+	RecordTornTail int64
+	// RecordENOSPCAfter, when > 0, fails trace writes past this stream
+	// offset with ENOSPC — the disk filled mid-recording.
+	RecordENOSPCAfter int64
+	// RecordCorruptions caps how many leading record attempts get the
+	// disk faults above; 0 corrupts every attempt.
+	RecordCorruptions int
 }
 
 // Injector delivers a Plan through study.Hooks.  Safe for concurrent
@@ -84,6 +105,7 @@ type Injector struct {
 	panics      map[string]bool
 	hangs       map[string]bool
 	recordFails atomic.Int64
+	corruptions atomic.Int64
 }
 
 // New builds an injector for the plan.
@@ -100,6 +122,7 @@ func New(plan Plan) *Injector {
 		in.hangs[k] = true
 	}
 	in.recordFails.Store(int64(plan.RecordFailures))
+	in.corruptions.Store(int64(plan.RecordCorruptions))
 	return in
 }
 
@@ -174,6 +197,14 @@ func (in *Injector) recordWriter(w io.Writer) io.Writer {
 	if in.plan.WriteDelay > 0 {
 		w = &slowWriter{w: w, delay: in.plan.WriteDelay}
 	}
+	if in.corruptsRecord() {
+		w = &corruptWriter{
+			w:           w,
+			flips:       in.plan.RecordFlipOffsets,
+			torn:        in.plan.RecordTornTail,
+			enospcAfter: in.plan.RecordENOSPCAfter,
+		}
+	}
 	if in.recordFails.Add(-1) >= 0 {
 		// This attempt is in the failure budget: its writer dies after
 		// RecordFailAfter bytes, leaving a truncated temp trace behind
@@ -188,6 +219,92 @@ func (in *Injector) replayReader(r io.Reader) io.Reader {
 		return io.LimitReader(r, in.plan.ReplayTruncate)
 	}
 	return r
+}
+
+// corruptsRecord decides whether this record attempt's writer gets the
+// plan's disk faults: no fault fields means never, a zero budget means
+// every attempt, a positive budget is consumed in attempt order.
+func (in *Injector) corruptsRecord() bool {
+	p := in.plan
+	if len(p.RecordFlipOffsets) == 0 && p.RecordTornTail == 0 && p.RecordENOSPCAfter == 0 {
+		return false
+	}
+	if p.RecordCorruptions <= 0 {
+		return true
+	}
+	return in.corruptions.Add(-1) >= 0
+}
+
+// BitFlips derives n deterministic flip offsets in [0, size) from the
+// seed — the corruption analogue of WouldFail: two plans with equal
+// (seed, n, size) damage identical bytes.
+func BitFlips(seed int64, n int, size int64) []int64 {
+	if n <= 0 || size <= 0 {
+		return nil
+	}
+	out := make([]int64, 0, n)
+	h := fnv.New64a()
+	for i := 0; len(out) < n; i++ {
+		h.Reset()
+		fmt.Fprintf(h, "%d/flip/%d", seed, i)
+		out = append(out, int64(h.Sum64()%uint64(size)))
+	}
+	return out
+}
+
+// corruptWriter damages the trace stream on the way to disk while the
+// recording believes everything succeeded (except ENOSPC, which is an
+// honest write error).  It tracks the absolute stream offset so faults
+// land at plan-fixed byte positions regardless of write sizing.
+type corruptWriter struct {
+	w           io.Writer
+	off         int64
+	flips       []int64
+	torn        int64
+	enospcAfter int64
+}
+
+func (cw *corruptWriter) Write(p []byte) (int, error) {
+	if cw.enospcAfter > 0 && cw.off+int64(len(p)) > cw.enospcAfter {
+		// The disk fills mid-write: the prefix lands, the errno is real.
+		keep := cw.enospcAfter - cw.off
+		if keep < 0 {
+			keep = 0
+		}
+		n := 0
+		if keep > 0 {
+			n, _ = cw.w.Write(p[:keep])
+		}
+		cw.off += int64(n)
+		return n, fmt.Errorf("%w: %w", ErrInjected, syscall.ENOSPC)
+	}
+	buf := p
+	for _, f := range cw.flips {
+		if f >= cw.off && f < cw.off+int64(len(p)) {
+			if &buf[0] == &p[0] {
+				buf = append([]byte(nil), p...)
+			}
+			buf[f-cw.off] ^= 1 << uint(f&7)
+		}
+	}
+	keep := int64(len(buf))
+	if cw.torn > 0 {
+		// Bytes past the tear report success but never land — the write
+		// went to a cache that was lost before write-back.
+		if cw.off >= cw.torn {
+			keep = 0
+		} else if cw.off+keep > cw.torn {
+			keep = cw.torn - cw.off
+		}
+	}
+	if keep > 0 {
+		if n, err := cw.w.Write(buf[:keep]); err != nil {
+			cw.off += int64(n)
+			return n, err
+		}
+	}
+	cw.off += int64(len(p))
+	return len(p), nil
 }
 
 // flakyWriter fails permanently once its byte budget is spent.

@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"io"
+	"syscall"
 	"testing"
 
 	"tquad/internal/study"
@@ -90,6 +91,137 @@ func TestFlakyWriterBudget(t *testing.T) {
 	// is the raw destination.
 	if w2 := in.Hooks().RecordWriter(&buf); w2 != io.Writer(&buf) {
 		t.Error("second record attempt still got a flaky writer")
+	}
+}
+
+// TestBitFlipsDeterministic: same (seed, n, size) means same offsets,
+// all in range; a different seed diverges.
+func TestBitFlipsDeterministic(t *testing.T) {
+	a := BitFlips(3, 8, 1000)
+	b := BitFlips(3, 8, 1000)
+	c := BitFlips(4, 8, 1000)
+	if len(a) != 8 {
+		t.Fatalf("got %d offsets, want 8", len(a))
+	}
+	diverged := false
+	for i := range a {
+		if a[i] < 0 || a[i] >= 1000 {
+			t.Fatalf("offset %d out of [0,1000)", a[i])
+		}
+		if a[i] != b[i] {
+			t.Fatal("same seed diverged")
+		}
+		if a[i] != c[i] {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Error("seeds 3 and 4 chose identical offsets everywhere")
+	}
+	if BitFlips(1, 0, 100) != nil || BitFlips(1, 4, 0) != nil {
+		t.Error("degenerate BitFlips should be nil")
+	}
+}
+
+// TestCorruptWriterFlips: flips land at their absolute stream offsets
+// regardless of write sizing, the writer reports full success, and the
+// caller's buffer is never mutated.
+func TestCorruptWriterFlips(t *testing.T) {
+	src := bytes.Repeat([]byte{0xAA}, 64)
+	for _, chunk := range []int{64, 7, 1} {
+		var buf bytes.Buffer
+		cw := &corruptWriter{w: &buf, flips: []int64{0, 13, 63}}
+		for off := 0; off < len(src); off += chunk {
+			end := off + chunk
+			if end > len(src) {
+				end = len(src)
+			}
+			n, err := cw.Write(src[off:end])
+			if err != nil || n != end-off {
+				t.Fatalf("chunk=%d: write: n=%d err=%v", chunk, n, err)
+			}
+		}
+		got := buf.Bytes()
+		for _, f := range []int64{0, 13, 63} {
+			want := src[f] ^ (1 << uint(f&7))
+			if got[f] != want {
+				t.Errorf("chunk=%d: offset %d = %#x, want flipped %#x", chunk, f, got[f], want)
+			}
+		}
+		diff := 0
+		for i := range got {
+			if got[i] != src[i] {
+				diff++
+			}
+		}
+		if diff != 3 {
+			t.Errorf("chunk=%d: %d bytes differ, want exactly the 3 flips", chunk, diff)
+		}
+		if !bytes.Equal(src, bytes.Repeat([]byte{0xAA}, 64)) {
+			t.Fatalf("chunk=%d: caller's buffer was mutated", chunk)
+		}
+	}
+}
+
+// TestCorruptWriterTornTail: writes past the tear report success but
+// never land — and the writer keeps "succeeding" forever after.
+func TestCorruptWriterTornTail(t *testing.T) {
+	var buf bytes.Buffer
+	cw := &corruptWriter{w: &buf, torn: 10}
+	if n, err := cw.Write(make([]byte, 8)); err != nil || n != 8 {
+		t.Fatalf("pre-tear write: n=%d err=%v", n, err)
+	}
+	if n, err := cw.Write(make([]byte, 8)); err != nil || n != 8 {
+		t.Fatalf("tear-crossing write must still report success: n=%d err=%v", n, err)
+	}
+	if n, err := cw.Write(make([]byte, 8)); err != nil || n != 8 {
+		t.Fatalf("post-tear write must still report success: n=%d err=%v", n, err)
+	}
+	if buf.Len() != 10 {
+		t.Fatalf("%d bytes landed, want exactly the 10 before the tear", buf.Len())
+	}
+}
+
+// TestCorruptWriterENOSPC: the boundary write delivers its prefix and
+// fails with a real ENOSPC errno under the injected wrapper.
+func TestCorruptWriterENOSPC(t *testing.T) {
+	var buf bytes.Buffer
+	cw := &corruptWriter{w: &buf, enospcAfter: 10}
+	if _, err := cw.Write(make([]byte, 8)); err != nil {
+		t.Fatalf("write within space: %v", err)
+	}
+	n, err := cw.Write(make([]byte, 8))
+	if n != 2 || !errors.Is(err, ErrInjected) || !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("boundary write: n=%d err=%v, want n=2 injected ENOSPC", n, err)
+	}
+	if _, err := cw.Write([]byte{0}); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("the disk stays full: %v", err)
+	}
+	if buf.Len() != 10 {
+		t.Fatalf("%d bytes landed, want 10", buf.Len())
+	}
+}
+
+// TestCorruptionBudget: RecordCorruptions caps how many record attempts
+// get a corrupting writer; zero means every attempt (when faults are
+// configured) and a fault-free plan never corrupts.
+func TestCorruptionBudget(t *testing.T) {
+	var buf bytes.Buffer
+	in := New(Plan{RecordFlipOffsets: []int64{1}, RecordCorruptions: 1})
+	if _, ok := in.Hooks().RecordWriter(&buf).(*corruptWriter); !ok {
+		t.Fatal("first attempt did not get a corrupting writer")
+	}
+	if w := in.Hooks().RecordWriter(&buf); w != io.Writer(&buf) {
+		t.Fatal("second attempt still got a corrupting writer")
+	}
+	every := New(Plan{RecordTornTail: 5})
+	for i := 0; i < 3; i++ {
+		if _, ok := every.Hooks().RecordWriter(&buf).(*corruptWriter); !ok {
+			t.Fatalf("attempt %d: zero budget should corrupt every attempt", i)
+		}
+	}
+	if w := New(Plan{}).Hooks().RecordWriter(&buf); w != io.Writer(&buf) {
+		t.Fatal("fault-free plan wrapped the writer")
 	}
 }
 

@@ -20,7 +20,12 @@
 //	routine table           entry/end/name/main-image flag per routine,
 //	                        sorted by entry (interned once, replacing
 //	                        per-event symbol resolution)
-//	chunk*                  length-prefixed record blocks
+//	header CRC32C           version >= 2: little-endian checksum over
+//	                        every preceding header byte
+//	chunk*                  length-prefixed record blocks; version >= 2
+//	                        payloads end in a CRC32C over the preceding
+//	                        payload bytes (inside the length prefix, so
+//	                        chunk framing is version-independent)
 //	index footer            optional per-chunk index appended after the
 //	                        final chunk (see index.go): "TQIX" payload
 //	                        listing every chunk's byte offset, size,
@@ -56,14 +61,26 @@ package etrace
 
 import (
 	"fmt"
+	"hash/crc32"
 
 	"tquad/internal/vm"
 )
 
 // Format constants.
 const (
-	// Version is the trace format version this package reads and writes.
-	Version = 1
+	// Version is the trace format version this package writes.  Version 2
+	// adds integrity checksums: a CRC32C over the header appended after
+	// the routine table, a CRC32C as the last four bytes of every chunk
+	// payload (inside the length prefix, so chunk framing and ScanIndex
+	// are unchanged), and a CRC32C over the index-footer payload.  The
+	// reader accepts versions 1 and 2.
+	Version = 2
+
+	// versionPlain is the original checksum-less format revision.
+	versionPlain = 1
+
+	// crcLen is the byte width of every embedded CRC32C checksum.
+	crcLen = 4
 
 	magic = "TQET"
 
@@ -78,9 +95,11 @@ const (
 	maxBlockDefs   = 1 << 22
 	maxBlockInstrs = 1 << 20
 
-	// Index-footer format (see index.go).
-	indexMagic   = "TQIX"
-	indexVersion = 1
+	// Index-footer format (see index.go).  indexVersionCRC payloads end
+	// in a CRC32C over the preceding payload bytes.
+	indexMagic      = "TQIX"
+	indexVersion    = 1
+	indexVersionCRC = 2
 	// trailerLen is the fixed-size footer tail: LE32 payload length plus
 	// the magic, the last eight bytes of an indexed trace.
 	trailerLen = 8
@@ -121,10 +140,15 @@ type Routine struct {
 
 // header is the decoded trace preamble.
 type header struct {
+	version   byte
 	stackBase uint64
 	workload  string
 	routines  []Routine // sorted by entry
 }
+
+// castagnoli is the CRC32C polynomial table; hash/crc32 dispatches to the
+// hardware instruction where available.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // sizeBits maps an access size to its tag encoding (class index + 1).
 func sizeBits(size int) (byte, error) {

@@ -27,6 +27,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 )
@@ -67,11 +68,13 @@ func uvarintLen(v uint64) int {
 	return n
 }
 
-// appendFooter serialises the index footer (payload + trailer) onto b.
-func appendFooter(b []byte, chunks []ChunkRef) []byte {
+// appendFooter serialises the index footer (payload + trailer) onto b at
+// the given index-format version.  indexVersionCRC payloads end in a
+// CRC32C over every preceding payload byte.
+func appendFooter(b []byte, chunks []ChunkRef, ver byte) []byte {
 	start := len(b)
 	b = append(b, indexMagic...)
-	b = append(b, indexVersion)
+	b = append(b, ver)
 	b = binary.AppendUvarint(b, uint64(len(chunks)))
 	for _, c := range chunks {
 		b = binary.AppendUvarint(b, uint64(c.Offset))
@@ -80,6 +83,9 @@ func appendFooter(b []byte, chunks []ChunkRef) []byte {
 		b = binary.AppendUvarint(b, c.Events)
 		b = binary.AppendUvarint(b, c.StartIC)
 		b = binary.AppendUvarint(b, c.EndIC)
+	}
+	if ver >= indexVersionCRC {
+		b = binary.LittleEndian.AppendUint32(b, crc32.Checksum(b[start:], castagnoli))
 	}
 	var trailer [trailerLen]byte
 	binary.LittleEndian.PutUint32(trailer[:4], uint32(len(b)-start))
@@ -108,8 +114,19 @@ func parseFooter(b []byte) ([]ChunkRef, error) {
 	if string(p[:len(indexMagic)]) != indexMagic {
 		return nil, errors.New("index footer payload magic missing")
 	}
-	if p[len(indexMagic)] != indexVersion {
-		return nil, fmt.Errorf("unsupported index version %d", p[len(indexMagic)])
+	ver := p[len(indexMagic)]
+	if ver != indexVersion && ver != indexVersionCRC {
+		return nil, fmt.Errorf("unsupported index version %d", ver)
+	}
+	if ver >= indexVersionCRC {
+		if len(p) < len(indexMagic)+1+1+crcLen {
+			return nil, errors.New("truncated index footer")
+		}
+		body, sum := p[:len(p)-crcLen], p[len(p)-crcLen:]
+		if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(sum) {
+			return nil, errors.New("index footer checksum mismatch")
+		}
+		p = body
 	}
 	p = p[len(indexMagic)+1:]
 	n, sz := binary.Uvarint(p)

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/binary"
+	"hash/crc32"
 	"strings"
 	"testing"
 
@@ -74,13 +75,13 @@ func TestReadIndexFailsClosed(t *testing.T) {
 	// ending exactly at the footer ([1, 1+1+98) with a 1-byte prefix).
 	base := []ChunkRef{{Offset: 1, Size: 98, Records: 5, Events: 3, StartIC: 1, EndIC: 9}}
 	blob := func(chunks []ChunkRef, mutate func([]byte) []byte) []byte {
-		b := append(make([]byte, 100), appendFooter(nil, chunks)...)
+		b := append(make([]byte, 100), appendFooter(nil, chunks, indexVersion)...)
 		if mutate != nil {
 			b = mutate(b)
 		}
 		return b
 	}
-	if idx, err := ReadIndex(bytes.NewReader(blob(base, nil)), 100+int64(len(appendFooter(nil, base)))); err != nil || idx == nil {
+	if idx, err := ReadIndex(bytes.NewReader(blob(base, nil)), 100+int64(len(appendFooter(nil, base, indexVersion)))); err != nil || idx == nil {
 		t.Fatalf("baseline footer did not parse: %v", err)
 	}
 
@@ -100,7 +101,14 @@ func TestReadIndexFailsClosed(t *testing.T) {
 		}),
 		"future index version": blob(base, func(b []byte) []byte {
 			start := len(b) - trailerLen - int64ToInt(int64(binary.LittleEndian.Uint32(b[len(b)-trailerLen:])))
-			b[start+len(indexMagic)] = indexVersion + 1
+			b[start+len(indexMagic)] = indexVersionCRC + 1
+			return b
+		}),
+		"crc version without checksum": blob(base, func(b []byte) []byte {
+			// Claiming the checksummed revision on a v1-shaped payload must
+			// fail the checksum, never parse the entry bytes as a CRC.
+			start := len(b) - trailerLen - int64ToInt(int64(binary.LittleEndian.Uint32(b[len(b)-trailerLen:])))
+			b[start+len(indexMagic)] = indexVersionCRC
 			return b
 		}),
 		"zero entries":       blob(nil, nil),
@@ -166,7 +174,7 @@ func TestParallelRejectsTamperedIndex(t *testing.T) {
 		}
 		return idx
 	}
-	hdr := header{stackBase: 0x40000, workload: "synth"}
+	hdr := header{version: Version, stackBase: 0x40000, workload: "synth"}
 	tampers := map[string]func(*Index){
 		"offset shifted":    func(idx *Index) { idx.Chunks[1].Offset++ },
 		"size inflated":     func(idx *Index) { idx.Chunks[2].Size++ },
@@ -199,10 +207,14 @@ func TestStatHostileSkipFlag(t *testing.T) {
 		b = binary.AppendUvarint(b, uint64(len("hostile")))  // workload
 		b = append(b, "hostile"...)
 		b = binary.AppendUvarint(b, 0) // no routines
+		b = binary.LittleEndian.AppendUint32(b, crc32.Checksum(b, castagnoli))
 		return b
 	}
 	chunked := func(payload []byte) []byte {
 		b := mkHeader()
+		// A valid checksum over the hostile payload, so decode reaches the
+		// tag validation under test instead of stopping at the CRC.
+		payload = binary.LittleEndian.AppendUint32(payload, crc32.Checksum(payload, castagnoli))
 		b = binary.AppendUvarint(b, uint64(len(payload)))
 		return append(b, payload...)
 	}

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"runtime"
 	"sync"
@@ -18,6 +19,13 @@ type ParallelOptions struct {
 	// Jobs is the decode worker count; 0 means GOMAXPROCS, 1 decodes
 	// inline with no worker pool.
 	Jobs int
+
+	// Salvage switches the replay from fail-closed to fail-soft: damaged
+	// chunks are skipped precisely (the index locates every healthy chunk
+	// even past framing damage, and delta chains reset per chunk so loss
+	// never cascades) and the gap is tallied in each consumer's
+	// SalvageReport.  Header damage remains fatal.
+	Salvage bool
 }
 
 // ParallelReplayer replays one recorded trace through any number of
@@ -42,6 +50,12 @@ type ParallelReplayer struct {
 	index *Index
 	jobs  int
 
+	// salvage-mode state: report collects the decode-side (chunk-level)
+	// damage tally on the coordinator goroutine; consumers get it merged
+	// into their own reports after the apply goroutines finish.
+	salvage bool
+	report  *SalvageReport
+
 	consumers []*Consumer
 	progress  func(ic uint64)
 	done      bool
@@ -56,29 +70,51 @@ func NewParallelReplayer(ra io.ReaderAt, size int64, opts ParallelOptions) (*Par
 	d := newDecoder(cr)
 	hdr, err := d.readHeader()
 	if err != nil {
-		return nil, err
+		return nil, corrupt(err) // header damage: unreadable, not salvageable
 	}
 	headerEnd := cr.n - int64(d.r.Buffered())
+	report := new(SalvageReport)
 	idx, err := ReadIndex(ra, size)
 	if err != nil {
-		return nil, err
+		if !opts.Salvage {
+			return nil, corrupt(err)
+		}
+		// Footer present but broken: salvage rebuilds the chunk table by
+		// a frame scan, which stops cleanly at framing damage.
+		report.FooterDamaged = true
+		idx = nil
 	}
 	if idx == nil {
-		if idx, err = ScanIndex(ra, headerEnd, size); err != nil {
-			return nil, err
+		if opts.Salvage {
+			var lost int64
+			idx, lost = salvageScanIndex(ra, headerEnd, size)
+			if lost > 0 {
+				report.TornTail = true
+			}
+			if hdr.version >= 2 && !report.FooterDamaged {
+				// A checksummed trace always carries a footer; a missing
+				// one means the tail (footer included) was lost.
+				report.FooterDamaged = true
+			}
+		} else if idx, err = ScanIndex(ra, headerEnd, size); err != nil {
+			return nil, corrupt(err)
 		}
 	}
 	if len(idx.Chunks) == 0 {
-		return nil, errTruncated
+		return nil, corrupt(errTruncated)
 	}
 	if idx.Chunks[0].Offset != headerEnd {
-		return nil, fmt.Errorf("etrace: index starts at %d, chunks at %d", idx.Chunks[0].Offset, headerEnd)
+		return nil, corrupt(fmt.Errorf("etrace: index starts at %d, chunks at %d", idx.Chunks[0].Offset, headerEnd))
 	}
 	jobs := opts.Jobs
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
 	}
-	return &ParallelReplayer{ra: ra, hdr: hdr, index: idx, jobs: jobs}, nil
+	p := &ParallelReplayer{ra: ra, hdr: hdr, index: idx, jobs: jobs, salvage: opts.Salvage}
+	if opts.Salvage {
+		p.report = report
+	}
+	return p, nil
 }
 
 // countingReader tracks how many bytes have been read — how the header's
@@ -107,6 +143,9 @@ func (p *ParallelReplayer) StackBase() uint64 { return p.hdr.stackBase }
 // tool stack to each consumer, then call Replay once.
 func (p *ParallelReplayer) NewConsumer() *Consumer {
 	c := newConsumer(p.hdr)
+	if p.salvage {
+		c.salvage = new(SalvageReport)
+	}
 	p.consumers = append(p.consumers, c)
 	return c
 }
@@ -122,10 +161,32 @@ func (p *ParallelReplayer) Replay() error { return p.ReplayContext(context.Backg
 
 // decodedChunk is one chunk's decode result: its records, or the error
 // that stopped the decode (with the records parsed before it).  The
-// slice pointer carries pool ownership.
+// slice pointer carries pool ownership.  In salvage mode errors are
+// absorbed into the damage flags instead: bad marks a chunk that lost
+// records, crcErr a failed payload checksum, torn unreachable bytes,
+// footerBad an index hint the (checksum-verified) bytes contradict.
 type decodedChunk struct {
 	recs *[]record
 	err  error
+
+	ref       ChunkRef
+	bad       bool
+	crcErr    bool
+	torn      bool
+	footerBad bool
+	hasEnd    bool
+}
+
+// decode runs decodeChunk over one index entry, absorbing failures into
+// damage flags when salvaging.
+func (p *ParallelReplayer) decode(ref ChunkRef, last bool) decodedChunk {
+	buf := recPool.Get().(*[]record)
+	dc := decodedChunk{recs: buf, ref: ref}
+	*buf, dc.err = p.decodeChunk(ref, last, (*buf)[:0], &dc)
+	if dc.err != nil && p.salvage {
+		dc.bad, dc.err = true, nil
+	}
+	return dc
 }
 
 // recPool recycles per-chunk record slices across the replay window.
@@ -189,11 +250,40 @@ func (p *ParallelReplayer) ReplayContext(ctx context.Context) error {
 	// Coordinator: fan each ordered chunk out to every consumer.  A
 	// chunk that decoded with an error still fans out first — consumers
 	// must apply the records preceding the failure, matching where a
-	// sequential replay stops.
+	// sequential replay stops.  In salvage mode decode damage arrives as
+	// flags instead of errors: the coordinator tallies it (single
+	// goroutine, no races) and the fan-out continues past the damage.
 	var decodeErr error
 	dispatched := 0
 fanout:
 	for d := range out {
+		if p.salvage {
+			p.report.ChunksTotal++
+			if d.crcErr {
+				p.report.CRCErrors++
+			}
+			if d.bad {
+				p.report.ChunksBad++
+				if p.index.FromFooter {
+					if applied := uint64(len(*d.recs)); d.ref.Records > applied {
+						p.report.RecordsLost += d.ref.Records - applied
+					}
+					if len(*d.recs) == 0 {
+						p.report.EventsLost += d.ref.Events
+					}
+					p.report.ICountLost += d.ref.EndIC - d.ref.StartIC
+				}
+			}
+			if d.torn {
+				p.report.TornTail = true
+			}
+			if d.footerBad {
+				p.report.FooterDamaged = true
+			}
+			if d.hasEnd {
+				p.report.Complete = true
+			}
+		}
 		share := &chunkShare{recs: d.recs}
 		share.refs.Store(int32(len(chans)))
 		for _, ch := range chans {
@@ -219,6 +309,13 @@ fanout:
 	for d := range out {
 		recPool.Put(d.recs)
 	}
+	if p.salvage {
+		// Hand every consumer the chunk-level tally; apply goroutines are
+		// done, so the merge is race-free.
+		for _, c := range p.consumers {
+			c.salvage.merge(p.report)
+		}
+	}
 
 	// Error precedence: a consumer's stream-order failure, then the
 	// decode failure, then cancellation.  (With several consumers the
@@ -226,11 +323,11 @@ fanout:
 	// failure as failing the whole pass.)
 	for _, err := range errs {
 		if err != nil {
-			return err
+			return corrupt(err)
 		}
 	}
 	if decodeErr != nil {
-		return decodeErr
+		return corrupt(decodeErr)
 	}
 	if dispatched != len(p.index.Chunks) {
 		c := p.consumers[0]
@@ -262,6 +359,13 @@ func (p *ParallelReplayer) applyLoop(ctx context.Context, cancel context.CancelF
 				recs := *share.recs
 				for i := range recs {
 					if err := c.apply(&recs[i]); err != nil {
+						if c.salvage != nil {
+							// Fallout of a skipped chunk (dangling block
+							// id, event before its static record): drop
+							// and count, don't fail the pass.
+							c.salvage.RecordsDropped++
+							continue
+						}
 						failed = err
 						break
 					}
@@ -284,16 +388,14 @@ func (p *ParallelReplayer) produceSequential(ctx context.Context, out chan<- dec
 	defer close(out)
 	last := len(p.index.Chunks) - 1
 	for i, ref := range p.index.Chunks {
-		buf := recPool.Get().(*[]record)
-		var err error
-		*buf, err = p.decodeChunk(ref, i == last, (*buf)[:0])
+		d := p.decode(ref, i == last)
 		select {
-		case out <- decodedChunk{recs: buf, err: err}:
+		case out <- d:
 		case <-ctx.Done():
-			recPool.Put(buf)
+			recPool.Put(d.recs)
 			return
 		}
-		if err != nil {
+		if d.err != nil {
 			return
 		}
 	}
@@ -345,11 +447,9 @@ func (p *ParallelReplayer) produceParallel(ctx context.Context, out chan<- decod
 		go func() {
 			defer wg.Done()
 			for j := range work {
-				buf := recPool.Get().(*[]record)
-				var err error
-				*buf, err = p.decodeChunk(j.ref, j.last, (*buf)[:0])
-				j.promise <- decodedChunk{recs: buf, err: err}
-				if err != nil {
+				d := p.decode(j.ref, j.last)
+				j.promise <- d
+				if d.err != nil {
 					icancel() // later chunks are unreachable; stop decoding
 				}
 			}
@@ -378,10 +478,14 @@ func (p *ParallelReplayer) produceParallel(ctx context.Context, out chan<- decod
 
 // decodeChunk reads and decodes one chunk identified by its index entry,
 // appending its records to recs.  The index is never trusted over the
-// bytes: the chunk's own length prefix must agree with the entry, an end
-// record may close only the final chunk, and a footer entry's record
-// count must match what actually decoded.
-func (p *ParallelReplayer) decodeChunk(ref ChunkRef, last bool, recs []record) ([]record, error) {
+// bytes: the chunk's own length prefix must agree with the entry, the
+// payload checksum must verify (version >= 2), an end record may close
+// only the final chunk, and a footer entry's record count must match what
+// actually decoded.  In salvage mode (dc non-nil is always true; p.salvage
+// gates it) each of those failures is absorbed into dc's damage flags —
+// keeping exactly the records that are provably sound — instead of
+// returning an error.
+func (p *ParallelReplayer) decodeChunk(ref ChunkRef, last bool, recs []record, dc *decodedChunk) ([]record, error) {
 	frameBuf := framePool.Get().(*[]byte)
 	defer framePool.Put(frameBuf)
 	frame := *frameBuf
@@ -392,14 +496,45 @@ func (p *ParallelReplayer) decodeChunk(ref ChunkRef, last bool, recs []record) (
 	}
 	frame = frame[:need]
 	if _, err := p.ra.ReadAt(frame, ref.Offset); err != nil {
+		if p.salvage {
+			// A short read under a footer index is a truncated file: the
+			// tail chunks the index promises are simply gone.
+			dc.bad, dc.torn = true, true
+			return recs, nil
+		}
 		return recs, fmt.Errorf("etrace: read chunk at %d: %w", ref.Offset, err)
 	}
 	size, n := binary.Uvarint(frame)
 	if n <= 0 || int64(size) != ref.Size || n != uvarintLen(size) {
+		if p.salvage {
+			dc.bad = true
+			return recs, nil
+		}
 		return recs, errors.New("etrace: index disagrees with chunk boundaries")
 	}
+	payload := frame[n:]
+	checksummed := p.hdr.version >= 2
+	if checksummed {
+		if len(payload) <= crcLen {
+			if p.salvage {
+				dc.bad = true
+				return recs, nil
+			}
+			return recs, errors.New("etrace: chunk too short for checksum")
+		}
+		body, sum := payload[:len(payload)-crcLen], payload[len(payload)-crcLen:]
+		if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(sum) {
+			if p.salvage {
+				dc.bad, dc.crcErr = true, true
+				return recs, nil
+			}
+			return recs, fmt.Errorf("etrace: chunk at %d checksum mismatch", ref.Offset)
+		}
+		payload = body
+	}
 	var cp chunkParser
-	cp.reset(frame[n:])
+	cp.reset(payload)
+	base := len(recs)
 	for !cp.done() {
 		// Parse into the appended slot: pooled slices carry stale
 		// records, and parseRecord only writes kind-relevant fields, so
@@ -408,19 +543,49 @@ func (p *ParallelReplayer) decodeChunk(ref ChunkRef, last bool, recs []record) (
 		recs = append(recs, record{})
 		rec := &recs[len(recs)-1]
 		if err := cp.parseRecord(rec); err != nil {
+			if p.salvage {
+				// Keep the sound prefix, drop the half-written slot.
+				recs = recs[:len(recs)-1]
+				dc.bad = true
+				return recs, nil
+			}
 			return recs, err
 		}
 		if rec.kind == recEnd && !last {
+			if p.salvage {
+				recs = recs[:len(recs)-1]
+				dc.bad = true
+				return recs, nil
+			}
 			return recs, errors.New("etrace: data after final chunk (end record mid-trace)")
 		}
 	}
-	if p.index.FromFooter && ref.Records != uint64(len(recs)) {
-		return recs, fmt.Errorf("etrace: index lists %d records, chunk decoded %d", ref.Records, len(recs))
-	}
-	if last {
-		if len(recs) == 0 || recs[len(recs)-1].kind != recEnd {
-			return recs, errTruncated
+	if p.index.FromFooter && ref.Records != uint64(len(recs)-base) {
+		if p.salvage {
+			if checksummed {
+				// The payload checksum held, so the bytes win over the
+				// index hint: keep the records, flag the footer.
+				dc.footerBad = true
+			} else {
+				// Unchecksummed, and the two sources disagree: neither can
+				// be trusted, so count the chunk as lost.
+				recs = recs[:base]
+				dc.bad = true
+				return recs, nil
+			}
+		} else {
+			return recs, fmt.Errorf("etrace: index lists %d records, chunk decoded %d", ref.Records, len(recs)-base)
 		}
+	}
+	if len(recs) > base && recs[len(recs)-1].kind == recEnd {
+		dc.hasEnd = true
+	}
+	if last && !dc.hasEnd {
+		if p.salvage {
+			dc.torn = true
+			return recs, nil
+		}
+		return recs, errTruncated
 	}
 	return recs, nil
 }

@@ -3,6 +3,7 @@ package etrace
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"sort"
 
@@ -21,14 +22,20 @@ type RecordOptions struct {
 	// granularity).  The profiling tools do not consume block events, so
 	// recording them is opt-in.
 	Blocks bool
+
+	// formatVersion overrides the trace format revision written (0 means
+	// the current Version).  Only the compatibility tests set it: every
+	// production recording is written at the current revision.
+	formatVersion byte
 }
 
 // writer serialises records into chunked output.  Errors are sticky; the
 // first one is reported by Finish.
 type writer struct {
-	out io.Writer
-	buf []byte
-	err error
+	out     io.Writer
+	buf     []byte
+	err     error
+	version byte
 
 	// Delta-chain state, reset at every chunk boundary.
 	prevIC, prevPC, prevAddr, prevSP, prevTarget uint64
@@ -44,10 +51,13 @@ type writer struct {
 }
 
 func newWriter(out io.Writer, hdr header) *writer {
-	w := &writer{out: out, buf: make([]byte, 0, chunkTarget+256)}
+	if hdr.version == 0 {
+		hdr.version = Version
+	}
+	w := &writer{out: out, buf: make([]byte, 0, chunkTarget+256), version: hdr.version}
 	var b []byte
 	b = append(b, magic...)
-	b = append(b, Version)
+	b = append(b, hdr.version)
 	b = binary.AppendUvarint(b, hdr.stackBase)
 	b = binary.AppendUvarint(b, uint64(len(hdr.workload)))
 	b = append(b, hdr.workload...)
@@ -63,6 +73,9 @@ func newWriter(out io.Writer, hdr header) *writer {
 		}
 		b = append(b, flags)
 	}
+	if hdr.version >= 2 {
+		b = binary.LittleEndian.AppendUint32(b, crc32.Checksum(b, castagnoli))
+	}
 	if _, err := out.Write(b); err != nil {
 		w.err = err
 	}
@@ -74,11 +87,16 @@ func (w *writer) resetDeltas() {
 	w.prevIC, w.prevPC, w.prevAddr, w.prevSP, w.prevTarget = 0, 0, 0, 0, 0
 }
 
-// flush seals the current chunk: length prefix, payload, fresh deltas —
-// and records the chunk's index entry.
+// flush seals the current chunk: payload checksum (version >= 2), length
+// prefix, payload, fresh deltas — and records the chunk's index entry.
+// The CRC lands inside the length prefix, so framing (and every framing
+// consumer: ScanIndex, frameLen, the refill loop) is version-independent.
 func (w *writer) flush() {
 	if w.err != nil || len(w.buf) == 0 {
 		return
+	}
+	if w.version >= 2 {
+		w.buf = binary.LittleEndian.AppendUint32(w.buf, crc32.Checksum(w.buf, castagnoli))
 	}
 	w.index = append(w.index, ChunkRef{
 		Offset:  w.off,
@@ -207,7 +225,11 @@ func (w *writer) end(ic, pc uint64, exitCode int64, halted bool) error {
 	}
 	w.flush()
 	if w.err == nil {
-		if _, err := w.out.Write(appendFooter(nil, w.index)); err != nil {
+		iv := byte(indexVersion)
+		if w.version >= 2 {
+			iv = indexVersionCRC
+		}
+		if _, err := w.out.Write(appendFooter(nil, w.index, iv)); err != nil {
 			w.err = err
 		}
 	}
@@ -233,7 +255,11 @@ type Recorder struct {
 // is written immediately, so out must be ready for writes.
 func Record(e *pin.Engine, out io.Writer, opts RecordOptions) (*Recorder, error) {
 	m := e.Machine()
-	hdr := header{stackBase: m.StackBase, workload: opts.Workload}
+	ver := opts.formatVersion
+	if ver == 0 {
+		ver = Version
+	}
+	hdr := header{version: ver, stackBase: m.StackBase, workload: opts.Workload}
 	for _, img := range m.Images {
 		main := img.Kind == image.Main
 		for _, rt := range img.Routines() {

@@ -6,6 +6,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"sort"
 
@@ -198,12 +199,22 @@ func (p *chunkParser) delta(prev *uint64) (uint64, error) {
 // decoder streams records out of a chunked trace: a sequential refill
 // loop over chunk frames feeding one chunkParser.
 type decoder struct {
-	r   *bufio.Reader
-	p   chunkParser
-	buf []byte // chunk payload, capacity reused across refills
+	r       *bufio.Reader
+	p       chunkParser
+	buf     []byte // chunk payload, capacity reused across refills
+	version byte
 
 	chunks int
 	ended  bool
+
+	// salvage switches the refill loop from fail-closed to fail-soft:
+	// damaged chunks are skipped (delta chains reset at the next chunk
+	// boundary) and tallied in report instead of stopping the stream.
+	// Sequential salvage cannot re-synchronise past framing damage — a
+	// broken length prefix ends the stream as a torn tail; only the
+	// indexed parallel replayer can skip over it.
+	salvage bool
+	report  *SalvageReport
 
 	// footer holds the trace's index when the stream carried one; nil
 	// for footer-less v1 traces.  Populated once the end record has been
@@ -215,27 +226,57 @@ func newDecoder(r io.Reader) *decoder {
 	return &decoder{r: bufio.NewReaderSize(r, 64<<10)}
 }
 
-// readHeader parses and validates the preamble.
+// crcReader hashes exactly the bytes the header parse consumes from the
+// buffered reader.  A tee below the bufio.Reader would hash read-ahead
+// bytes past the header; consuming through this wrapper keeps the sum
+// aligned with the parse position, so the header checksum can be checked
+// the moment the stream crosses it.
+type crcReader struct {
+	r   *bufio.Reader
+	crc uint32
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.crc = crc32.Update(c.crc, castagnoli, p[:n])
+	return n, err
+}
+
+func (c *crcReader) ReadByte() (byte, error) {
+	b, err := c.r.ReadByte()
+	if err != nil {
+		return 0, err
+	}
+	one := [1]byte{b}
+	c.crc = crc32.Update(c.crc, castagnoli, one[:])
+	return b, nil
+}
+
+// readHeader parses and validates the preamble.  Header damage is always
+// fatal — there is no salvaging a trace whose routine table cannot be
+// trusted.
 func (d *decoder) readHeader() (header, error) {
 	var hdr header
+	hr := &crcReader{r: d.r}
 	pre := make([]byte, len(magic)+1)
-	if _, err := io.ReadFull(d.r, pre); err != nil {
+	if _, err := io.ReadFull(hr, pre); err != nil {
 		return hdr, fmt.Errorf("etrace: short header: %w", err)
 	}
 	if string(pre[:len(magic)]) != magic {
 		return hdr, fmt.Errorf("etrace: bad magic %q", pre[:len(magic)])
 	}
-	if pre[len(magic)] != Version {
-		return hdr, fmt.Errorf("etrace: unsupported version %d (want %d)", pre[len(magic)], Version)
+	hdr.version = pre[len(magic)]
+	if hdr.version < versionPlain || hdr.version > Version {
+		return hdr, fmt.Errorf("etrace: unsupported version %d (want %d..%d)", hdr.version, versionPlain, Version)
 	}
 	var err error
-	if hdr.stackBase, err = binary.ReadUvarint(d.r); err != nil {
+	if hdr.stackBase, err = binary.ReadUvarint(hr); err != nil {
 		return hdr, fmt.Errorf("etrace: header stack base: %w", err)
 	}
-	if hdr.workload, err = d.readString(maxNameLen); err != nil {
+	if hdr.workload, err = readString(hr, maxNameLen); err != nil {
 		return hdr, fmt.Errorf("etrace: header workload: %w", err)
 	}
-	n, err := binary.ReadUvarint(d.r)
+	n, err := binary.ReadUvarint(hr)
 	if err != nil {
 		return hdr, fmt.Errorf("etrace: header routine count: %w", err)
 	}
@@ -245,16 +286,16 @@ func (d *decoder) readHeader() (header, error) {
 	hdr.routines = make([]Routine, 0, n)
 	for i := uint64(0); i < n; i++ {
 		var rt Routine
-		if rt.Name, err = d.readString(maxNameLen); err != nil {
+		if rt.Name, err = readString(hr, maxNameLen); err != nil {
 			return hdr, fmt.Errorf("etrace: routine %d name: %w", i, err)
 		}
-		if rt.Entry, err = binary.ReadUvarint(d.r); err != nil {
+		if rt.Entry, err = binary.ReadUvarint(hr); err != nil {
 			return hdr, fmt.Errorf("etrace: routine %d entry: %w", i, err)
 		}
-		if rt.End, err = binary.ReadUvarint(d.r); err != nil {
+		if rt.End, err = binary.ReadUvarint(hr); err != nil {
 			return hdr, fmt.Errorf("etrace: routine %d end: %w", i, err)
 		}
-		flags, err := d.r.ReadByte()
+		flags, err := hr.ReadByte()
 		if err != nil {
 			return hdr, fmt.Errorf("etrace: routine %d flags: %w", i, err)
 		}
@@ -269,11 +310,29 @@ func (d *decoder) readHeader() (header, error) {
 	}) {
 		return hdr, errors.New("etrace: routine table not sorted by entry")
 	}
+	if hdr.version >= 2 {
+		want := hr.crc // checksum of every header byte parsed above
+		var sum [crcLen]byte
+		if _, err := io.ReadFull(d.r, sum[:]); err != nil {
+			return hdr, fmt.Errorf("etrace: header checksum: %w", err)
+		}
+		if binary.LittleEndian.Uint32(sum[:]) != want {
+			return hdr, errors.New("etrace: header checksum mismatch")
+		}
+	}
+	d.version = hdr.version
 	return hdr, nil
 }
 
-func (d *decoder) readString(cap uint64) (string, error) {
-	n, err := binary.ReadUvarint(d.r)
+// byteScanner is the reader shape the header parse needs: streaming reads
+// plus the byte-at-a-time access binary.ReadUvarint wants.
+type byteScanner interface {
+	io.Reader
+	io.ByteReader
+}
+
+func readString(r byteScanner, cap uint64) (string, error) {
+	n, err := binary.ReadUvarint(r)
 	if err != nil {
 		return "", err
 	}
@@ -281,7 +340,7 @@ func (d *decoder) readString(cap uint64) (string, error) {
 		return "", fmt.Errorf("string length %d exceeds cap", n)
 	}
 	b := make([]byte, n)
-	if _, err := io.ReadFull(d.r, b); err != nil {
+	if _, err := io.ReadFull(r, b); err != nil {
 		return "", err
 	}
 	return string(b), nil
@@ -291,39 +350,92 @@ func (d *decoder) readString(cap uint64) (string, error) {
 var errTruncated = errors.New("etrace: truncated trace (no end record)")
 
 // next returns the next record.  After the end record it returns io.EOF;
-// a stream that runs dry without one fails with errTruncated.
+// a stream that runs dry without one fails with errTruncated.  In salvage
+// mode, damaged chunks are skipped and counted instead: checksum failures
+// drop the whole chunk, a mid-chunk parse error drops the chunk's
+// remainder (the prefix was already delivered), and framing damage or
+// truncation ends the stream as a torn tail with a clean io.EOF.
 func (d *decoder) next() (record, error) {
 	var rec record
 	if d.ended {
 		return rec, io.EOF
 	}
-	for d.p.done() {
-		n, err := binary.ReadUvarint(d.r)
-		if err != nil {
-			if err == io.EOF {
-				return rec, errTruncated
+	for {
+		for d.p.done() {
+			n, err := binary.ReadUvarint(d.r)
+			if err != nil {
+				if err == io.EOF {
+					if d.salvage {
+						d.report.TornTail = true
+						return rec, io.EOF
+					}
+					return rec, errTruncated
+				}
+				if d.salvage {
+					d.report.TornTail = true
+					return rec, io.EOF
+				}
+				return rec, fmt.Errorf("etrace: chunk length: %w", err)
 			}
-			return rec, fmt.Errorf("etrace: chunk length: %w", err)
+			if n == 0 || n > maxChunkLen || (d.version >= 2 && n <= crcLen) {
+				if d.salvage {
+					d.report.TornTail = true
+					return rec, io.EOF
+				}
+				return rec, fmt.Errorf("etrace: bad chunk length %d", n)
+			}
+			if uint64(cap(d.buf)) < n {
+				d.buf = make([]byte, n)
+			}
+			d.buf = d.buf[:n]
+			if _, err := io.ReadFull(d.r, d.buf); err != nil {
+				if d.salvage {
+					d.report.TornTail = true
+					return rec, io.EOF
+				}
+				return rec, fmt.Errorf("etrace: short chunk: %w", err)
+			}
+			d.chunks++
+			if d.salvage {
+				d.report.ChunksTotal++
+			}
+			payload := d.buf
+			if d.version >= 2 {
+				body, sum := payload[:len(payload)-crcLen], payload[len(payload)-crcLen:]
+				if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(sum) {
+					if d.salvage {
+						d.report.CRCErrors++
+						d.report.ChunksBad++
+						continue // the frame was consumed; skip its records
+					}
+					return rec, fmt.Errorf("etrace: chunk %d checksum mismatch", d.chunks-1)
+				}
+				payload = body
+			}
+			d.p.reset(payload)
 		}
-		if n == 0 || n > maxChunkLen {
-			return rec, fmt.Errorf("etrace: bad chunk length %d", n)
+		if err := d.p.parseRecord(&rec); err != nil {
+			if d.salvage {
+				// The records before the failure were already delivered;
+				// drop the chunk's remainder and resume at the next chunk,
+				// where every delta chain resets.
+				d.p.reset(nil)
+				d.report.ChunksBad++
+				continue
+			}
+			return rec, err
 		}
-		if uint64(cap(d.buf)) < n {
-			d.buf = make([]byte, n)
-		}
-		d.buf = d.buf[:n]
-		if _, err := io.ReadFull(d.r, d.buf); err != nil {
-			return rec, fmt.Errorf("etrace: short chunk: %w", err)
-		}
-		d.p.reset(d.buf)
-		d.chunks++
-	}
-	if err := d.p.parseRecord(&rec); err != nil {
-		return rec, err
+		break
 	}
 	if rec.kind == recEnd {
 		if err := d.readTrailing(); err != nil {
-			return rec, err
+			if !d.salvage {
+				return rec, err
+			}
+			d.report.FooterDamaged = true
+		}
+		if d.salvage {
+			d.report.Complete = true
 		}
 		d.ended = true
 	}
@@ -408,6 +520,12 @@ type Consumer struct {
 	// record.
 	ev   vm.Event
 	ectx pin.Context
+
+	// salvage is non-nil when this consumer replays in salvage mode; the
+	// report tallies what the damaged trace lost.  Each consumer owns its
+	// report (parallel replay merges chunk-level stats in afterwards), so
+	// no synchronisation is needed on the apply path.
+	salvage *SalvageReport
 
 	// Stats mirrors pin.Engine.Stats for the replayed run.
 	Stats pin.Stats
@@ -664,7 +782,15 @@ func (c *Consumer) PublishMetrics(reg *obs.Registry) {
 		reg.Counter("tquad_pin_analysis_calls_total").Add(c.Stats.AnalysisCalls)
 		reg.Counter("tquad_pin_suppressed_calls_total").Add(c.Stats.SuppressedCalls)
 	}
+	if c.salvage != nil {
+		reg.Counter(obs.MetricEtraceCRCErrors).Add(uint64(c.salvage.CRCErrors))
+		reg.Counter(obs.MetricEtraceChunksSalvaged).Add(uint64(c.salvage.ChunksBad))
+	}
 }
+
+// SalvageReport returns the damage tally of a salvage replay, or nil when
+// the consumer replays strictly.  Complete only after the replay.
+func (c *Consumer) SalvageReport() *SalvageReport { return c.salvage }
 
 // Replayer drives profiling tools from a recorded event trace,
 // sequentially.  It implements pin.Host (via its embedded Consumer): the
@@ -688,9 +814,26 @@ func NewReplayer(r io.Reader) (*Replayer, error) {
 	d := newDecoder(r)
 	hdr, err := d.readHeader()
 	if err != nil {
-		return nil, err
+		return nil, corrupt(err)
 	}
 	return &Replayer{Consumer: newConsumer(hdr), d: d}, nil
+}
+
+// NewSalvageReplayer is NewReplayer in fail-soft mode: damaged chunks are
+// skipped and tallied (see SalvageReport) instead of stopping the replay.
+// Header damage is still fatal — such a trace is unreadable, not
+// salvageable.  Sequential salvage cannot re-synchronise past framing
+// damage (a broken chunk length prefix); the indexed ParallelReplayer
+// with ParallelOptions.Salvage can.
+func NewSalvageReplayer(r io.Reader) (*Replayer, error) {
+	rep, err := NewReplayer(r)
+	if err != nil {
+		return nil, err
+	}
+	rep.d.salvage = true
+	rep.d.report = new(SalvageReport)
+	rep.Consumer.salvage = rep.d.report
+	return rep, nil
 }
 
 // OnProgress registers a heartbeat callback invoked with the replayed
@@ -742,10 +885,18 @@ func (r *Replayer) ReplayContext(ctx context.Context) error {
 			return nil
 		}
 		if err != nil {
-			return err
+			return corrupt(err)
 		}
 		if err := r.apply(&rec); err != nil {
-			return err
+			if r.d.salvage {
+				// A record that decodes but cannot apply (a dangling block
+				// id, an event before its static record — typical fallout
+				// of an earlier skipped chunk) is dropped and counted; no
+				// apply path mutates state before failing.
+				r.Consumer.salvage.RecordsDropped++
+				continue
+			}
+			return corrupt(err)
 		}
 	}
 }

@@ -5,10 +5,11 @@ import "io"
 // Info summarises one trace file without replaying it through any tools
 // (the tqdump inspector's view).
 type Info struct {
-	Version   int
-	Workload  string
-	StackBase uint64
-	Routines  []Routine
+	Version     int  // format revision of the stream itself
+	Checksummed bool // Version >= 2: header/chunk/footer CRC32C present
+	Workload    string
+	StackBase   uint64
+	Routines    []Routine
 
 	// Indexed reports whether the trace carried an index footer;
 	// IndexChunks is the footer's chunk-entry count when it did.
@@ -43,10 +44,11 @@ func Stat(rd io.Reader) (*Info, error) {
 		return nil, err
 	}
 	info := &Info{
-		Version:   Version,
-		Workload:  hdr.workload,
-		StackBase: hdr.stackBase,
-		Routines:  hdr.routines,
+		Version:     int(hdr.version),
+		Checksummed: hdr.version >= 2,
+		Workload:    hdr.workload,
+		StackBase:   hdr.stackBase,
+		Routines:    hdr.routines,
 	}
 	for {
 		rec, err := d.next()

@@ -28,6 +28,21 @@ const (
 	// MetricSchedStalled counts runs flagged by the live stall detector:
 	// started but heartbeat-silent for longer than the stall window.
 	MetricSchedStalled = "tquad_sched_stalled_total"
+	// MetricSchedRerecords counts recorded traces found corrupt at replay
+	// time and re-recorded by re-executing the guest.
+	MetricSchedRerecords = "tquad_sched_rerecords_total"
+)
+
+// Trace-integrity metric names, published by salvage replays
+// (internal/etrace) so damaged-trace recoveries are visible on the same
+// dashboards as the supervision counters.
+const (
+	// MetricEtraceCRCErrors counts trace chunks whose payload checksum
+	// failed during a salvage replay.
+	MetricEtraceCRCErrors = "tquad_etrace_crc_errors_total"
+	// MetricEtraceChunksSalvaged counts trace chunks skipped whole or in
+	// part by a salvage replay.
+	MetricEtraceChunksSalvaged = "tquad_etrace_chunks_salvaged_total"
 )
 
 // Supervision bundles the supervision counters resolved against one

@@ -171,6 +171,14 @@ func (c *Checkpoint) trace(execKey string) (string, bool) {
 	return path, true
 }
 
+// invalidateTrace removes the persisted trace for the key, so neither
+// this sweep's re-recording path nor a future resume can be served a
+// trace that failed integrity verification.  Removing a file that is
+// not there (or was never persisted) is a no-op.
+func (c *Checkpoint) invalidateTrace(execKey string) {
+	os.Remove(c.tracePath(execKey))
+}
+
 // saveTrace moves a finished recording from tmp into the journal,
 // atomically: the content lands under a .part name first (rename when
 // the temp file shares the journal's filesystem, copy otherwise) and

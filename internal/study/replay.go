@@ -54,6 +54,14 @@ type recording struct {
 	spans     []obs.SpanRecord
 	err       error
 
+	// Corruption recovery state, guarded by the scheduler's mu.  A
+	// recording whose trace later fails integrity verification is retired
+	// and replaced by a fresh guest execution (Scheduler.rerecord);
+	// generation counts how many predecessors this recording replaced,
+	// bounding the re-execution budget.
+	generation  int
+	replacement *recording
+
 	// Batched-replay state, guarded by the scheduler's mu: members
 	// submitted while a coordinator is live join its next pass instead of
 	// replaying individually (see Scheduler.batchReplays).
@@ -191,7 +199,7 @@ func (sc *Scheduler) recordOnce(pol policy, key string, attempt int, rec *record
 	}
 	f, err := os.CreateTemp("", "tquad-etrace-*.bin")
 	if err != nil {
-		return MarkTransient(err)
+		return markHostIO(err)
 	}
 	rec.path = f.Name()
 	var out io.Writer = f
@@ -204,13 +212,23 @@ func (sc *Scheduler) recordOnce(pol policy, key string, attempt int, rec *record
 		ctx: actx, maxInstr: pol.maxInstr, hooks: pol.hooks,
 		beat: pol.beatFunc("record/"+key, pol.maxInstr),
 	})
+	// Flush, fsync, close — in that order, every error surfaced.  The
+	// fsync is what makes the recording crash-safe: once recordOnce
+	// returns nil the trace bytes are on stable storage, so a host crash
+	// cannot leave a later replay (or checkpoint resume) reading pages
+	// the kernel never wrote back.
 	if err == nil {
 		if ferr := bw.Flush(); ferr != nil {
-			err = MarkTransient(ferr)
+			err = markHostIO(ferr)
+		}
+	}
+	if err == nil {
+		if serr := f.Sync(); serr != nil {
+			err = markHostIO(serr)
 		}
 	}
 	if cerr := f.Close(); err == nil && cerr != nil {
-		err = MarkTransient(cerr)
+		err = markHostIO(cerr)
 	}
 	if err != nil {
 		return err
@@ -225,7 +243,8 @@ func (sc *Scheduler) recordOnce(pol policy, key string, attempt int, rec *record
 // output distinguishes the recording from the replays that consume it)
 // and the executed instruction total, which becomes the replays' budget
 // on the live dashboard.  Trace-write failures are host I/O, not guest
-// behaviour, so they come back marked transient; guest failures stay
+// behaviour, so they are classified by markHostIO (retryable, unless
+// the errno names a stable host condition); guest failures stay
 // permanent.
 func (s *Study) recordGuest(w io.Writer, opt runOptions) (*obs.Registry, []obs.SpanRecord, uint64, error) {
 	if opt.ctx == nil {
@@ -250,7 +269,7 @@ func (s *Study) recordGuest(w io.Writer, opt runOptions) (*obs.Registry, []obs.S
 	instrument.End()
 	if err != nil {
 		run.End()
-		return nil, nil, 0, MarkTransient(err)
+		return nil, nil, 0, markHostIO(err)
 	}
 	if opt.hooks.Machine != nil {
 		opt.hooks.Machine(opt.ctx, m)
@@ -269,7 +288,7 @@ func (s *Study) recordGuest(w io.Writer, opt runOptions) (*obs.Registry, []obs.S
 	}
 	if err == nil {
 		if ferr := rec.Finish(); ferr != nil {
-			err = MarkTransient(ferr)
+			err = markHostIO(ferr)
 		}
 	}
 	run.End()
@@ -303,7 +322,7 @@ func (s *Study) replayConfig(cfg RunConfig, path string, opt runOptions) (*RunRe
 	f, err := os.Open(path)
 	if err != nil {
 		run.End()
-		return nil, fmt.Errorf("study: run %s: %w", res.Key, MarkTransient(err))
+		return nil, fmt.Errorf("study: run %s: %w", res.Key, markHostIO(err))
 	}
 	defer f.Close()
 	var in io.Reader = f
@@ -373,12 +392,12 @@ func (s *Study) replayGroup(runs []groupRun, path string, jobs int, ctx context.
 	}
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, MarkTransient(err)
+		return nil, markHostIO(err)
 	}
 	defer f.Close()
 	fi, err := f.Stat()
 	if err != nil {
-		return nil, MarkTransient(err)
+		return nil, markHostIO(err)
 	}
 	pr, err := etrace.NewParallelReplayer(f, fi.Size(), etrace.ParallelOptions{Jobs: jobs})
 	if err != nil {

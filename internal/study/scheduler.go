@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"tquad/internal/core"
+	"tquad/internal/etrace"
 	"tquad/internal/flatprof"
 	"tquad/internal/memsim"
 	"tquad/internal/obs"
@@ -204,6 +205,7 @@ type Scheduler struct {
 	mu        sync.Mutex
 	memo      map[string]*Pending
 	recs      map[string]*recording // execution-equivalence key -> recording
+	retired   []*recording          // corrupt recordings replaced by rerecord
 	merged    map[string]bool       // keys already folded into the study observer
 	recMerged map[string]bool       // recordings already folded in
 }
@@ -374,10 +376,11 @@ func (sc *Scheduler) Close() {
 	for _, p := range sc.memo {
 		pend = append(pend, p)
 	}
-	recs := make([]*recording, 0, len(sc.recs))
+	recs := make([]*recording, 0, len(sc.recs)+len(sc.retired))
 	for _, r := range sc.recs {
 		recs = append(recs, r)
 	}
+	recs = append(recs, sc.retired...)
 	sc.mu.Unlock()
 	for _, p := range pend {
 		<-p.done
@@ -560,26 +563,81 @@ func (sc *Scheduler) tryBatch(rec *recording, members []*batchMember) (results [
 
 // replayMember runs one configuration's individual supervised replay —
 // the non-batched path, also the batch-failure fallback.  It closes the
-// member's Pending and emits its terminal events.
+// member's Pending and emits its terminal events.  A replay that fails
+// trace verification (etrace.CorruptError) does not fail the member:
+// the recording is retired and the member retries against the
+// replacement (see rerecord); only an exhausted re-record budget — or a
+// corrupt replacement — surfaces the corruption as the member's error.
 func (sc *Scheduler) replayMember(rec *recording, m *batchMember) {
 	defer close(m.p.done)
-	if rec.err != nil {
-		m.p.err = fmt.Errorf("study: run %s: record: %w", m.key, rec.err)
-		m.pol.emit(obs.Event{Type: obs.EventFailed, Key: m.key, Err: m.p.err.Error()})
-		return
-	}
-	m.p.res, m.p.err = sc.supervised(m.pol, m.key, m.cfg, func(actx context.Context, attempt int) (*RunResult, error) {
-		sc.decodePasses.Add(1)
-		return sc.study.replayConfig(m.cfg, rec.path, runOptions{
-			ctx: actx, hooks: m.pol.hooks,
-			beat: m.pol.beatFunc(m.key, rec.icount),
+	for {
+		if rec.err != nil {
+			m.p.err = fmt.Errorf("study: run %s: record: %w", m.key, rec.err)
+			m.pol.emit(obs.Event{Type: obs.EventFailed, Key: m.key, Err: m.p.err.Error()})
+			return
+		}
+		path, icount := rec.path, rec.icount
+		m.p.res, m.p.err = sc.supervised(m.pol, m.key, m.cfg, func(actx context.Context, attempt int) (*RunResult, error) {
+			sc.decodePasses.Add(1)
+			return sc.study.replayConfig(m.cfg, path, runOptions{
+				ctx: actx, hooks: m.pol.hooks,
+				beat: m.pol.beatFunc(m.key, icount),
+			})
 		})
-	})
-	if m.p.err != nil {
+		if m.p.err == nil {
+			sc.finishMember(m)
+			return
+		}
+		if etrace.IsCorrupt(m.p.err) {
+			if fresh := sc.rerecord(m.pol, m.cfg.ExecKey(), rec); fresh != nil {
+				<-fresh.done
+				rec = fresh
+				continue
+			}
+		}
 		m.pol.emit(obs.Event{Type: obs.EventFailed, Key: m.key, Err: m.p.err.Error()})
 		return
 	}
-	sc.finishMember(m)
+}
+
+// rerecord handles a recorded trace that failed integrity verification
+// at replay time: the guest execution was fine — the bytes rotted after
+// recording — so the trace is re-recordable, not a config-group
+// failure.  It retires the bad recording, invalidates any checkpointed
+// copy (a resume must not serve the same rot), and starts one
+// replacement guest execution shared by every configuration in the
+// group.  Concurrent callers converge on the same replacement; the
+// budget is one re-execution per recording chain (a corrupt replacement
+// means the fault is systematic, and the second failure surfaces).
+// Returns nil when the budget is exhausted.
+func (sc *Scheduler) rerecord(pol policy, key string, bad *recording) *recording {
+	sc.mu.Lock()
+	if bad.replacement != nil {
+		fresh := bad.replacement
+		sc.mu.Unlock()
+		return fresh
+	}
+	if bad.generation >= 1 {
+		sc.mu.Unlock()
+		return nil
+	}
+	fresh := &recording{done: make(chan struct{}), generation: bad.generation + 1}
+	bad.replacement = fresh
+	sc.retired = append(sc.retired, bad)
+	sc.recs[key] = fresh
+	sc.mu.Unlock()
+	if pol.ckpt != nil {
+		pol.ckpt.invalidateTrace(key)
+	}
+	if sc.study != nil && sc.study.Obs != nil {
+		sc.study.Obs.Registry().Counter(obs.MetricSchedRerecords).Inc()
+	}
+	pol.emit(obs.Event{
+		Type: obs.EventRetry, Key: "record/" + key,
+		Attempt: fresh.generation + 1, Err: "recorded trace corrupt; re-executing guest",
+	})
+	go sc.record(pol, key, fresh)
+	return fresh
 }
 
 // finishMember emits the success-side lifecycle events and checkpoints

@@ -19,6 +19,14 @@
 //   - permanent: everything else — guest traps, non-zero exit codes,
 //     fuel exhaustion, worker panics.  The guest is deterministic, so
 //     re-executing would reproduce the failure; it is reported once.
+//     Host I/O failures that describe a stable host condition (ENOSPC,
+//     EROFS) are permanent too: see markHostIO.
+//
+// One failure crosses classes: a recorded trace that fails integrity
+// verification at replay time (etrace.CorruptError).  The guest run was
+// fine — the bytes rotted between recording and replay — so the
+// scheduler re-executes the guest once (Scheduler.rerecord) instead of
+// failing every configuration in the group.
 package study
 
 import (
@@ -29,6 +37,7 @@ import (
 	"io"
 	"math/rand"
 	"runtime/debug"
+	"syscall"
 	"time"
 
 	"tquad/internal/obs"
@@ -65,6 +74,22 @@ func MarkTransient(err error) error {
 		return nil
 	}
 	return &TransientError{Err: err}
+}
+
+// markHostIO classifies a host-I/O failure at the trace-write seam.
+// Most are transient (a glitchy disk write succeeds on retry), but a
+// full or read-only filesystem is a stable property of the host:
+// retrying burns the whole backoff budget to reproduce the same errno,
+// and a sweep of hundreds of configurations should fail fast instead.
+// Cancellation is left to IsTransient's existing precedence rules.
+func markHostIO(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, syscall.ENOSPC) || errors.Is(err, syscall.EROFS) {
+		return err // permanent: the host condition outlives any retry
+	}
+	return MarkTransient(err)
 }
 
 // IsTransient reports whether err is classified transient (retryable).
