@@ -6,7 +6,7 @@ GO ?= go
 # the run loudly, not stall CI at the default 10 minutes per package.
 TEST_TIMEOUT ?= 300s
 
-.PHONY: build test vet race chaos corrupt fuzz bench bench-json bench-compare verify
+.PHONY: build test vet race chaos corrupt fuzz bench bench-json bench-compare jobd-smoke verify
 
 build:
 	$(GO) build ./...
@@ -21,10 +21,11 @@ vet:
 # the parallel experiment scheduler (a full concurrent study sweep, cache
 # sweeps included), the event-trace recorder/replayer it drives, the
 # memory-hierarchy simulator attached across worker threads, the block
-# execution engine (per-machine caches on concurrent sweep workers) and
-# the cache-bearing block-engine kill/cancel/resume sweep at the root.
+# execution engine (per-machine caches on concurrent sweep workers), the
+# job daemon (worker pool + journal + HTTP surface) and the cache-bearing
+# block-engine kill/cancel/resume sweep at the root.
 race:
-	$(GO) test -race -timeout $(TEST_TIMEOUT) ./internal/obs/... ./internal/study/... ./internal/etrace/... ./internal/memsim/... ./internal/vm/...
+	$(GO) test -race -timeout $(TEST_TIMEOUT) ./internal/obs/... ./internal/study/... ./internal/etrace/... ./internal/memsim/... ./internal/vm/... ./internal/jobd/...
 	$(GO) test -race -timeout $(TEST_TIMEOUT) -run 'TestChaosBlockEngine|TestChaosMidSweepCancellation' .
 
 # The chaos suite: drives full scheduler sweeps through the deterministic
@@ -81,6 +82,14 @@ bench-json:
 # Per-benchmark deltas between the two newest BENCH_*.json logs.
 bench-compare:
 	$(GO) run ./cmd/benchcmp
+
+# The analysis-daemon gate: end-to-end HTTP submit → succeeded → artifact
+# byte-identity against cmd/tquad's golden sweep, plus the kill/resume
+# durability contract (SIGKILL-equivalent teardown, restart, zero guest
+# re-execution, identical artifacts).
+jobd-smoke:
+	$(GO) test -timeout $(TEST_TIMEOUT) -run 'TestDaemonServiceSmoke|TestChaosDaemonKillResume' -v .
+	$(GO) test -timeout $(TEST_TIMEOUT) ./internal/jobd/...
 
 # One-shot pre-merge gate: build, vet, the full test suite, the
 # race-detector pass over the concurrency-heavy packages, and the

@@ -8,7 +8,7 @@
 //
 //	tqdump [-app wfs|imgproc] [-config small|study] [-func NAME]
 //	       [-save DIR] [-load FILE...]
-//	tqdump -etrace FILE [-salvage]
+//	tqdump -etrace FILE [-salvage | -json]
 //
 // With -etrace, the trace is verified end to end (header checksum, every
 // chunk's CRC32C, the index footer) and a per-chunk health report is
@@ -46,11 +46,20 @@ func main() {
 		saveDir    = flag.String("save", "", "write the built images to this directory as .tqi files")
 		etracePath = flag.String("etrace", "", "summarise this recorded event trace instead of dumping images")
 		salvage    = flag.Bool("salvage", false, "with -etrace: replay around damaged chunks and report the gap")
+		jsonOut    = flag.Bool("json", false, "with -etrace: emit a machine-readable JSON summary instead of text")
 	)
 	flag.Parse()
 
 	if *etracePath != "" {
-		code, err := dumpTrace(*etracePath, *salvage)
+		var (
+			code int
+			err  error
+		)
+		if *jsonOut {
+			code, err = dumpTraceJSON(os.Stdout, *etracePath)
+		} else {
+			code, err = dumpTrace(*etracePath, *salvage)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}

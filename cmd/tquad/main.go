@@ -75,7 +75,6 @@ import (
 	"log"
 	"os"
 	"os/signal"
-	"sort"
 	"strconv"
 	"syscall"
 	"time"
@@ -227,7 +226,9 @@ func main() {
 			log.Fatal(err)
 		}
 		defer srv.Close()
-		log.Printf("live telemetry at %s", srv.URL())
+		// The bound address goes to stdout: with -serve :0 the kernel picks
+		// the port, and scripts (and the daemon's tests) read it from here.
+		fmt.Printf("live telemetry at %s\n", srv.URL())
 	}
 
 	if *replayIn != "" {
@@ -426,7 +427,7 @@ func main() {
 		fh.Close()
 	}
 
-	names := kernelSet(*kernels, prof)
+	names := study.KernelSet(*kernels, prof)
 	if *svgFile != "" {
 		svg := plot.Heatmap(prof, plot.SortLanesByFirstActivity(prof, names), plot.Options{
 			Title:        fmt.Sprintf("tQUAD %s bandwidth (%s)", *metric, *stack+" stack"),
@@ -447,10 +448,12 @@ func main() {
 		finish(reportSpan)
 		return
 	}
-	printCharts(prof, names, *metric, includeStack, *width)
-	fmt.Print(summaryTable(prof, names, includeStack))
+	study.WriteCharts(os.Stdout, prof, names, study.RenderOptions{
+		Metric: *metric, Width: *width, IncludeStack: includeStack,
+	})
+	fmt.Print(study.SummaryTable(prof, names, includeStack))
 	if memTool != nil {
-		printMemSection(memTool.Snapshot(), names, *width)
+		study.WriteMemSection(os.Stdout, memTool.Snapshot(), names, *width)
 	}
 
 	// End-of-run overhead accounting — the live analogue of the paper's
@@ -627,7 +630,7 @@ func replayOne(ctx context.Context, path string, interval uint64, mc *memsim.Con
 		}
 		fh.Close()
 	}
-	names := kernelSet(o.kernels, prof)
+	names := study.KernelSet(o.kernels, prof)
 	if o.svgFile != "" {
 		svg := plot.Heatmap(prof, plot.SortLanesByFirstActivity(prof, names), plot.Options{
 			Title:        fmt.Sprintf("tQUAD %s bandwidth (%s)", o.metric, o.stack+" stack"),
@@ -646,10 +649,12 @@ func replayOne(ctx context.Context, path string, interval uint64, mc *memsim.Con
 	if o.csv {
 		emitCSV(prof, names, o.metric, o.includeStack)
 	} else {
-		printCharts(prof, names, o.metric, o.includeStack, o.width)
-		fmt.Print(summaryTable(prof, names, o.includeStack))
+		study.WriteCharts(os.Stdout, prof, names, study.RenderOptions{
+			Metric: o.metric, Width: o.width, IncludeStack: o.includeStack,
+		})
+		fmt.Print(study.SummaryTable(prof, names, o.includeStack))
 		if memTool != nil {
-			printMemSection(memTool.Snapshot(), names, o.width)
+			study.WriteMemSection(os.Stdout, memTool.Snapshot(), names, o.width)
 		}
 		fmt.Println()
 		fmt.Print(tool.Breakdown().String())
@@ -755,75 +760,19 @@ func runSweep(cfg wfs.Config, intervals []uint64, caches []memsim.Config, includ
 		}
 		return fmt.Errorf("%d of %d runs failed", len(errs), len(pend))
 	}
-	memProfs := make(map[uint64][]*memsim.Profile, len(resolved))
-	for i, p := range pend {
+	results := make([]*study.RunResult, 0, len(pend))
+	for _, p := range pend {
 		res, err := p.Wait()
 		if err != nil {
 			return err
 		}
 		sup.chart.Add(res.Key, study.EffectiveBandwidth(res.Temporal))
-		if i > 0 {
-			fmt.Println()
-		}
-		prof := res.Temporal
-		fmt.Printf("tQUAD: %d instructions, %d slices of %d instructions, slowdown %.1fx\n\n",
-			prof.TotalInstr, prof.NumSlices, prof.SliceInterval,
-			float64(res.Time)/float64(prof.TotalInstr))
-		names := kernelSet(kernels, prof)
-		printCharts(prof, names, metric, includeStack, width)
-		fmt.Print(summaryTable(prof, names, includeStack))
-		if res.Mem != nil {
-			printMemSection(res.Mem, names, width)
-			memProfs[prof.SliceInterval] = append(memProfs[prof.SliceInterval], res.Mem)
-		}
-		fmt.Println()
-		fmt.Print(res.Breakdown.String())
+		results = append(results, res)
 	}
-	// With several hierarchies in play, close with the side-by-side
-	// geometry comparison, one table per slice interval in sweep order.
-	if len(caches) > 1 {
-		for _, iv := range resolved {
-			fmt.Printf("\ncache sweep comparison (slice %d):\n", iv)
-			fmt.Print(study.RenderCacheSweep(memProfs[iv]))
-		}
-	}
+	study.WriteSweepReport(os.Stdout, results, resolved, len(caches) > 1, study.RenderOptions{
+		Metric: metric, Kernels: kernels, Width: width, IncludeStack: includeStack,
+	})
 	return nil
-}
-
-// printMemSection prints the memory-hierarchy results for one run: the
-// off-chip (miss-bandwidth) chart, the per-kernel hit-rate/off-chip
-// columns, and the hierarchy digest.
-func printMemSection(mp *memsim.Profile, names []string, width int) {
-	fmt.Println()
-	fmt.Print(study.RenderMemFigure("off-chip (bytes per slice)", mp, names, width))
-	fmt.Println()
-	fmt.Print(memSummaryTable(mp, names))
-	fmt.Println()
-	fmt.Print(mp.String())
-}
-
-// memSummaryTable renders the new per-kernel report columns: hit rate
-// per simulated level and the kernel's effective off-chip traffic.
-func memSummaryTable(mp *memsim.Profile, names []string) string {
-	cols := []string{"kernel"}
-	for _, lv := range mp.Levels {
-		cols = append(cols, lv.Name+" hit%")
-	}
-	cols = append(cols, "fill bytes", "wb bytes", "off-chip bytes")
-	t := report.NewTable(cols...)
-	for _, n := range names {
-		k, ok := mp.Kernel(n)
-		if !ok {
-			continue
-		}
-		row := []string{n}
-		for i := range mp.Levels {
-			row = append(row, report.F2(100*k.HitRate(i)))
-		}
-		row = append(row, report.U(k.Total.FillBytes), report.U(k.Total.WBBytes), report.U(k.OffChip()))
-		t.AddRow(row...)
-	}
-	return t.String()
 }
 
 // parseSlices parses the -slice flag: a comma-separated list of
@@ -855,33 +804,6 @@ func parseCaches(s string) ([]memsim.Config, error) {
 	return cliutil.ParseList("-cache", s, ";", memsim.ParseConfig, memsim.Config.Key)
 }
 
-func printCharts(prof *core.Profile, names []string, metric string, includeStack bool, width int) {
-	if metric == "reads" || metric == "both" {
-		fmt.Print(study.RenderFigure("reads (bytes per slice)", prof, names, true, includeStack, width))
-		fmt.Println()
-	}
-	if metric == "writes" || metric == "both" {
-		fmt.Print(study.RenderFigure("writes (bytes per slice)", prof, names, false, includeStack, width))
-		fmt.Println()
-	}
-}
-
-// summaryTable renders the per-kernel statistics (Table IV's columns).
-func summaryTable(prof *core.Profile, names []string, includeStack bool) string {
-	t := report.NewTable("kernel", "first", "last", "activity span",
-		"avg rd B/i", "avg wr B/i", "max R+W B/i")
-	for _, n := range names {
-		k, ok := prof.Kernel(n)
-		if !ok {
-			continue
-		}
-		st := k.Stats(includeStack, prof.SliceInterval)
-		t.AddRow(n, report.U(k.FirstSlice), report.U(k.LastSlice), report.U(k.ActivitySpan),
-			report.F(st.AvgRead), report.F(st.AvgWrite), report.F(st.MaxRW))
-	}
-	return t.String()
-}
-
 func pickConfig(name string) (wfs.Config, error) {
 	switch name {
 	case "small":
@@ -890,21 +812,6 @@ func pickConfig(name string) (wfs.Config, error) {
 		return wfs.Study(), nil
 	}
 	return wfs.Config{}, fmt.Errorf("unknown config %q (want small or study)", name)
-}
-
-func kernelSet(sel string, prof *core.Profile) []string {
-	switch sel {
-	case "top":
-		return wfs.TopTenKernels()
-	case "last":
-		return wfs.LastTenKernels()
-	}
-	var names []string
-	for _, k := range prof.Kernels {
-		names = append(names, k.Name)
-	}
-	sort.Strings(names)
-	return names
 }
 
 func emitCSV(prof *core.Profile, names []string, metric string, includeStack bool) {

@@ -1,0 +1,72 @@
+// tquadd is the tQUAD analysis daemon: it serves the sweep workflow of
+// cmd/tquad as a long-running HTTP service with a durable job queue.
+// Jobs submitted over the API (or the dashboard at /) persist in an
+// append-only journal under -data, execute through the supervised
+// scheduler with per-job checkpoints, and leave their reports, profiles
+// and charts in a content-addressed artifact store.  Kill the daemon at
+// any point and restart it on the same -data directory: interrupted
+// jobs resume from their checkpoints with zero guest re-execution.
+//
+// Usage:
+//
+//	tquadd -data /var/lib/tquad [-listen :8077] [-workers 2]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"tquad/internal/jobd"
+)
+
+func main() {
+	data := flag.String("data", "", "data directory: job journal, checkpoints, artifacts (required)")
+	listen := flag.String("listen", ":8077", "HTTP listen address (\":0\" picks a free port)")
+	workers := flag.Int("workers", 1, "jobs to execute concurrently")
+	schedJobs := flag.Int("sched-jobs", runtime.GOMAXPROCS(0), "per-job scheduler worker count")
+	stall := flag.Duration("stall", 10*time.Second, "per-run stall detector window (0 disables)")
+	flag.Parse()
+
+	if *data == "" {
+		fmt.Fprintln(os.Stderr, "tquadd: -data is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	d, err := jobd.New(jobd.Options{
+		DataDir:     *data,
+		Workers:     *workers,
+		SchedJobs:   *schedJobs,
+		StallWindow: *stall,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tquadd: %v\n", err)
+		os.Exit(1)
+	}
+	srv, err := jobd.Serve(d, *listen)
+	if err != nil {
+		d.Shutdown()
+		fmt.Fprintf(os.Stderr, "tquadd: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("tquadd serving at %s (data %s)\n", srv.URL(), *data)
+
+	// SIGTERM/SIGINT drain gracefully: running guests stop at their next
+	// basic block, completed work is already checkpointed, interrupted
+	// jobs stay journalled as running and resume on the next boot.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	<-sig
+	fmt.Println("tquadd: draining...")
+	srv.Close()
+	if err := d.Shutdown(); err != nil {
+		fmt.Fprintf(os.Stderr, "tquadd: shutdown: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("tquadd: stopped")
+}

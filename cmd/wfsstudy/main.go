@@ -184,7 +184,9 @@ func run(ctx context.Context, config string, opt options) error {
 			return err
 		}
 		defer srv.Close()
-		log.Printf("live telemetry at %s", srv.URL())
+		// Stdout, not the log: scripted users bind :0 and read the
+		// actually-assigned address from here.
+		fmt.Printf("live telemetry at %s\n", srv.URL())
 	}
 
 	s, err := study.NewObserved(cfg, o)

@@ -336,3 +336,44 @@ func TestServeRequiresTracker(t *testing.T) {
 		t.Fatal("Serve accepted a nil tracker")
 	}
 }
+
+// TestBindEphemeralReportsUsableURL is the ":0" regression test: an
+// ephemeral bind must report the kernel-assigned port with a dialable
+// (loopback, not wildcard) host, and the reported URL must actually
+// serve.
+func TestBindEphemeralReportsUsableURL(t *testing.T) {
+	tr := NewTracker(TrackerOptions{})
+	defer tr.Close()
+	s, err := Serve(":0", Options{Tracker: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	url := s.URL()
+	if strings.Contains(url, ":0/") || strings.HasSuffix(url, ":0") {
+		t.Fatalf("URL %q still reports the unbound :0 port", url)
+	}
+	if !strings.HasPrefix(url, "http://127.0.0.1:") {
+		t.Fatalf("URL %q does not rewrite the wildcard host to loopback", url)
+	}
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatalf("reported URL not dialable: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s/metrics = %d", url, resp.StatusCode)
+	}
+}
+
+func TestListenURLKeepsExplicitHost(t *testing.T) {
+	ln, err := Bind("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	url := ListenURL(ln)
+	if !strings.HasPrefix(url, "http://127.0.0.1:") {
+		t.Fatalf("ListenURL = %q", url)
+	}
+}

@@ -34,6 +34,35 @@ type Server struct {
 	opts Options
 }
 
+// Bind binds a telemetry listen address ("host:port"; ":0" asks the
+// kernel for an ephemeral port).  Factored out of Serve so other
+// servers (the jobd daemon) and tests share the same bind semantics
+// and error wrapping.
+func Bind(addr string) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("live: listen %s: %w", addr, err)
+	}
+	return ln, nil
+}
+
+// ListenURL renders the listener's actually-bound address as a
+// browsable base URL.  Wildcard binds (":0", "0.0.0.0:8080", "[::]")
+// report an unspecified host, which no browser or client can dial; the
+// loopback address is substituted so the printed URL is directly
+// usable.
+func ListenURL(ln net.Listener) string {
+	addr := ln.Addr().String()
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return "http://" + addr
+	}
+	if ip := net.ParseIP(host); host == "" || (ip != nil && ip.IsUnspecified()) {
+		host = "127.0.0.1"
+	}
+	return "http://" + net.JoinHostPort(host, port)
+}
+
 // Serve binds addr (e.g. "localhost:8080", ":0") and starts serving the
 // telemetry endpoints in a background goroutine.
 func Serve(addr string, o Options) (*Server, error) {
@@ -43,9 +72,9 @@ func Serve(addr string, o Options) (*Server, error) {
 	if o.Title == "" {
 		o.Title = "tquad"
 	}
-	ln, err := net.Listen("tcp", addr)
+	ln, err := Bind(addr)
 	if err != nil {
-		return nil, fmt.Errorf("live: listen %s: %w", addr, err)
+		return nil, err
 	}
 	s := &Server{ln: ln, opts: o}
 	mux := http.NewServeMux()
@@ -65,8 +94,9 @@ func Serve(addr string, o Options) (*Server, error) {
 // Addr returns the bound address (useful with ":0").
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// URL returns the server's base URL.
-func (s *Server) URL() string { return "http://" + s.Addr() }
+// URL returns the server's base URL, with wildcard-bound hosts
+// rewritten to loopback (see ListenURL).
+func (s *Server) URL() string { return ListenURL(s.ln) }
 
 // Close stops the server, severing open streams.
 func (s *Server) Close() error { return s.srv.Close() }
@@ -87,6 +117,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // subscription: a consumer that stops reading drops events rather than
 // slowing the sweep.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	StreamEvents(w, r, s.opts.Tracker)
+}
+
+// StreamEvents serves one tracker's enriched lifecycle stream on an
+// arbitrary handler's response — the multi-job analogue of /events, so
+// the jobd daemon's per-job pages stream through exactly this code.
+// It blocks until the client disconnects or the tracker's bus closes.
+func StreamEvents(w http.ResponseWriter, r *http.Request, t *Tracker) {
 	jsonl := r.URL.Query().Get("format") == "jsonl"
 	if jsonl {
 		w.Header().Set("Content-Type", "application/x-ndjson")
@@ -123,9 +161,9 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 
 	// Subscribe before snapshotting: an event published in between is
 	// then duplicated (harmless — consumers key on Seq), never lost.
-	sub := s.opts.Tracker.Bus().Subscribe()
+	sub := t.Bus().Subscribe()
 	defer sub.Close()
-	for _, rs := range s.opts.Tracker.Snapshot() {
+	for _, rs := range t.Snapshot() {
 		ev := obs.Event{
 			Time: time.Now(), Type: rs.State, Key: rs.Key, Attempt: rs.Attempt,
 			ICount: rs.ICount, Budget: rs.Budget, Rate: rs.Rate,

@@ -148,6 +148,15 @@ func (c *Checkpoint) markDone(e doneEntry) error {
 	return nil
 }
 
+// PersistedTrace returns the path of the journalled, validated event
+// trace for an execution-equivalence key (the scheduler's ExecKey), or
+// ok=false when none has been persisted yet or the file does not decode
+// to a complete trace.  The jobd daemon archives a finished job's
+// recording from here into its artifact store.
+func (c *Checkpoint) PersistedTrace(execKey string) (string, bool) {
+	return c.trace(execKey)
+}
+
 // tracePath returns the persisted trace location for an
 // execution-equivalence key.
 func (c *Checkpoint) tracePath(execKey string) string {

@@ -1,0 +1,154 @@
+// CLI-style run report rendering, shared by cmd/tquad (stdout) and the
+// jobd daemon (the report.txt artifact).  Extracted from cmd/tquad
+// verbatim: the golden tests pin cmd/tquad's sweep output byte for
+// byte, and the daemon smoke test asserts its report artifact matches
+// the same sweep run through cmd/tquad — both hold because this is the
+// single implementation.
+package study
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"tquad/internal/core"
+	"tquad/internal/memsim"
+	"tquad/internal/report"
+	"tquad/internal/wfs"
+)
+
+// RenderOptions selects what a run report shows: which bandwidth metric
+// is charted, which kernel set is listed, the chart width, and whether
+// stack-area accesses count (must match the runs' IncludeStack).
+type RenderOptions struct {
+	Metric       string // reads, writes or both
+	Kernels      string // top (ten), last (ten) or all
+	Width        int    // chart width in characters
+	IncludeStack bool
+}
+
+// KernelSet resolves a kernel-selection word against a profile: "top"
+// and "last" are the paper's fixed ten-kernel sets, anything else lists
+// every kernel the profile saw, sorted by name.
+func KernelSet(sel string, prof *core.Profile) []string {
+	switch sel {
+	case "top":
+		return wfs.TopTenKernels()
+	case "last":
+		return wfs.LastTenKernels()
+	}
+	var names []string
+	for _, k := range prof.Kernels {
+		names = append(names, k.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WriteCharts writes the per-kernel bandwidth chart(s) selected by the
+// metric option, each followed by a blank line.
+func WriteCharts(w io.Writer, prof *core.Profile, names []string, opt RenderOptions) {
+	if opt.Metric == "reads" || opt.Metric == "both" {
+		io.WriteString(w, RenderFigure("reads (bytes per slice)", prof, names, true, opt.IncludeStack, opt.Width))
+		fmt.Fprintln(w)
+	}
+	if opt.Metric == "writes" || opt.Metric == "both" {
+		io.WriteString(w, RenderFigure("writes (bytes per slice)", prof, names, false, opt.IncludeStack, opt.Width))
+		fmt.Fprintln(w)
+	}
+}
+
+// SummaryTable renders the per-kernel statistics (Table IV's columns).
+func SummaryTable(prof *core.Profile, names []string, includeStack bool) string {
+	t := report.NewTable("kernel", "first", "last", "activity span",
+		"avg rd B/i", "avg wr B/i", "max R+W B/i")
+	for _, n := range names {
+		k, ok := prof.Kernel(n)
+		if !ok {
+			continue
+		}
+		st := k.Stats(includeStack, prof.SliceInterval)
+		t.AddRow(n, report.U(k.FirstSlice), report.U(k.LastSlice), report.U(k.ActivitySpan),
+			report.F(st.AvgRead), report.F(st.AvgWrite), report.F(st.MaxRW))
+	}
+	return t.String()
+}
+
+// MemSummaryTable renders the per-kernel memory-hierarchy columns: hit
+// rate per simulated level and the kernel's effective off-chip traffic.
+func MemSummaryTable(mp *memsim.Profile, names []string) string {
+	cols := []string{"kernel"}
+	for _, lv := range mp.Levels {
+		cols = append(cols, lv.Name+" hit%")
+	}
+	cols = append(cols, "fill bytes", "wb bytes", "off-chip bytes")
+	t := report.NewTable(cols...)
+	for _, n := range names {
+		k, ok := mp.Kernel(n)
+		if !ok {
+			continue
+		}
+		row := []string{n}
+		for i := range mp.Levels {
+			row = append(row, report.F2(100*k.HitRate(i)))
+		}
+		row = append(row, report.U(k.Total.FillBytes), report.U(k.Total.WBBytes), report.U(k.OffChip()))
+		t.AddRow(row...)
+	}
+	return t.String()
+}
+
+// WriteMemSection writes the memory-hierarchy results for one run: the
+// off-chip (miss-bandwidth) chart, the per-kernel hit-rate/off-chip
+// columns, and the hierarchy digest.
+func WriteMemSection(w io.Writer, mp *memsim.Profile, names []string, width int) {
+	fmt.Fprintln(w)
+	io.WriteString(w, RenderMemFigure("off-chip (bytes per slice)", mp, names, width))
+	fmt.Fprintln(w)
+	io.WriteString(w, MemSummaryTable(mp, names))
+	fmt.Fprintln(w)
+	io.WriteString(w, mp.String())
+}
+
+// WriteRunReport writes one tQUAD run's report block: the header line,
+// the charts, the kernel statistics, the memory-hierarchy section when
+// the run simulated one, and the overhead breakdown.
+func WriteRunReport(w io.Writer, res *RunResult, opt RenderOptions) {
+	prof := res.Temporal
+	fmt.Fprintf(w, "tQUAD: %d instructions, %d slices of %d instructions, slowdown %.1fx\n\n",
+		prof.TotalInstr, prof.NumSlices, prof.SliceInterval,
+		float64(res.Time)/float64(prof.TotalInstr))
+	names := KernelSet(opt.Kernels, prof)
+	WriteCharts(w, prof, names, opt)
+	io.WriteString(w, SummaryTable(prof, names, opt.IncludeStack))
+	if res.Mem != nil {
+		WriteMemSection(w, res.Mem, names, opt.Width)
+	}
+	fmt.Fprintln(w)
+	io.WriteString(w, res.Breakdown.String())
+}
+
+// WriteSweepReport writes a whole sweep's report: each run's block in
+// submission order separated by blank lines, and — when cacheCmp is set
+// (more than one hierarchy swept) — a closing side-by-side geometry
+// comparison, one table per slice interval in sweep order.  results
+// must be the sweep's tQUAD runs in interval-major, cache-minor order,
+// matching the intervals slice.
+func WriteSweepReport(w io.Writer, results []*RunResult, intervals []uint64, cacheCmp bool, opt RenderOptions) {
+	memProfs := make(map[uint64][]*memsim.Profile, len(intervals))
+	for i, res := range results {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		WriteRunReport(w, res, opt)
+		if res.Mem != nil {
+			memProfs[res.Temporal.SliceInterval] = append(memProfs[res.Temporal.SliceInterval], res.Mem)
+		}
+	}
+	if cacheCmp {
+		for _, iv := range intervals {
+			fmt.Fprintf(w, "\ncache sweep comparison (slice %d):\n", iv)
+			io.WriteString(w, RenderCacheSweep(memProfs[iv]))
+		}
+	}
+}
